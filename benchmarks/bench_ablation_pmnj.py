@@ -1,0 +1,60 @@
+"""Ablation — the PMNJ join bound (Section 4.5.2).
+
+PMNJ restricts how far apart two projected attributes may be joined in
+a *pairwise* mapping path.  The paper fixes PMNJ = 2 and argues longer
+unprojected chains "are very rare" in real mappings.  This sweep shows
+the cost of relaxing it: candidates and search time as PMNJ grows from
+1 to 3 on the user-study task.
+
+Expected shape: PMNJ = 1 cannot express the goal (junction tables force
+two joins between entities); PMNJ = 2 finds it at interactive cost;
+PMNJ = 3 finds a superset of candidates at measurably higher cost.
+"""
+
+from statistics import mean
+
+from repro.bench.harness import run_tpw_search
+from repro.bench.reporting import format_table, write_result
+from repro.config import TPWConfig
+from repro.datasets.workload import user_study_task_yahoo
+
+REPEATS = 3
+
+
+def test_ablation_pmnj(benchmark, yahoo_db):
+    task = user_study_task_yahoo()
+    rows = []
+    by_pmnj = {}
+    for pmnj in (1, 2, 3):
+        config = TPWConfig(pmnj=pmnj)
+        times = []
+        candidates = []
+        pairwise = []
+        for repeat in range(REPEATS):
+            cell = run_tpw_search(yahoo_db, task, seed=repeat, config=config)
+            times.append(cell.seconds * 1000)
+            candidates.append(cell.result.n_candidates)
+            pairwise.append(cell.result.stats.pairwise_mapping_paths)
+        by_pmnj[pmnj] = (mean(times), mean(candidates), mean(pairwise))
+        rows.append(
+            [pmnj, f"{mean(times):.2f}", f"{mean(candidates):.2f}",
+             f"{mean(pairwise):.2f}"]
+        )
+
+    table = format_table(
+        ["PMNJ", "search (ms)", "candidates", "pairwise MPs"],
+        rows,
+        title="Ablation: PMNJ sweep on the user-study task (Yahoo)",
+    )
+    write_result("ablation_pmnj.txt", table)
+
+    # PMNJ=1 cannot reach person through a junction: no candidates.
+    assert by_pmnj[1][1] == 0
+    # PMNJ=2 finds the goal.
+    assert by_pmnj[2][1] >= 1
+    # PMNJ=3 explores at least as many pairwise mapping paths.
+    assert by_pmnj[3][2] >= by_pmnj[2][2]
+
+    benchmark(
+        lambda: run_tpw_search(yahoo_db, task, seed=1, config=TPWConfig(pmnj=2))
+    )

@@ -1,0 +1,82 @@
+"""Figure 10 — the user study: time, keystrokes and clicks per user.
+
+The paper's six panels plot, for ten users (D1–D2 experts, N1–N8
+non-technical) on Yahoo Movies and IMDb, the overall time (a),
+keystrokes (b) and mouse clicks (c/f) to complete the §6.2 mapping
+task with MWeaver, Eirene and IBM InfoSphere Data Architect.
+
+Headline results reproduced here with a simulated panel:
+
+* MWeaver ≈ 1/5 of InfoSphere's time and ≈ 1/4 of Eirene's;
+* ≈ half of Eirene's keystrokes; ≈ 1/5 of both tools' mouse clicks;
+* satisfaction 4.7 / 3.45 / 2.7 (MWeaver / Eirene / InfoSphere).
+"""
+
+from repro.bench.reporting import format_table, write_result
+from repro.datasets.workload import user_study_task_imdb, user_study_task_yahoo
+from repro.study.study import run_user_study, satisfaction_scores
+from repro.study.tools import MWeaverModel
+from repro.study.users import default_user_panel
+
+
+def test_fig10_user_study(benchmark, yahoo_db, imdb_db):
+    study = run_user_study(
+        {
+            "yahoo-movies": (yahoo_db, user_study_task_yahoo()),
+            "imdb": (imdb_db, user_study_task_imdb()),
+        }
+    )
+
+    sections = []
+    panel_letters = {
+        ("yahoo-movies", "seconds"): "(a) Overall Time for Yahoo Movies (s)",
+        ("yahoo-movies", "keystrokes"): "(b) Overall Keystrokes for Yahoo Movies",
+        ("yahoo-movies", "clicks"): "(c) Overall Mouse Clicks for Yahoo Movies",
+        ("imdb", "seconds"): "(d) Overall Time for IMDb (s)",
+        ("imdb", "keystrokes"): "(e) Overall Keystrokes for IMDb",
+        ("imdb", "clicks"): "(f) Overall Mouse Clicks for IMDb",
+    }
+    for (dataset, metric), title in panel_letters.items():
+        panel = study.metric_panel(dataset, metric)
+        users = [user for user, _value in panel["MWeaver"]]
+        rows = [
+            [tool, *(f"{value:.0f}" for _user, value in series)]
+            for tool, series in panel.items()
+        ]
+        sections.append(format_table(["tool", *users], rows, title=title))
+
+    scores = satisfaction_scores(study)
+    summary = format_table(
+        ["metric", "MWeaver", "Eirene", "InfoSphere"],
+        [
+            ["mean time (s)"]
+            + [f"{study.mean_metric(t, 'seconds'):.1f}"
+               for t in ("MWeaver", "Eirene", "InfoSphere")],
+            ["mean keystrokes"]
+            + [f"{study.mean_metric(t, 'keystrokes'):.1f}"
+               for t in ("MWeaver", "Eirene", "InfoSphere")],
+            ["mean clicks"]
+            + [f"{study.mean_metric(t, 'clicks'):.1f}"
+               for t in ("MWeaver", "Eirene", "InfoSphere")],
+            ["satisfaction (1-5)"]
+            + [f"{scores[t]:.2f}" for t in ("MWeaver", "Eirene", "InfoSphere")],
+        ],
+        title=(
+            "Aggregates (paper: time ratios ~5x/~4x; satisfaction "
+            "4.7/3.45/2.7)"
+        ),
+    )
+    write_result(
+        "fig10_user_study.txt", "\n\n".join(sections + [summary])
+    )
+
+    # Shape assertions: the paper's headline ratios.
+    assert 3.5 <= study.time_ratio("MWeaver", "InfoSphere") <= 7.0
+    assert 2.5 <= study.time_ratio("MWeaver", "Eirene") <= 6.0
+    assert scores["MWeaver"] > 4.3
+    assert scores["MWeaver"] > scores["Eirene"] > scores["InfoSphere"]
+
+    # Headline micro-benchmark: one simulated MWeaver task completion.
+    user = default_user_panel()[2]
+    task = user_study_task_yahoo()
+    benchmark(lambda: MWeaverModel().simulate(user, yahoo_db, task, seed=8))

@@ -1,0 +1,56 @@
+"""Figure 12 — number of candidate mappings vs number of samples.
+
+The paper plots, per task set and target size, how the candidate set
+shrinks as simulated samples arrive: a sharp drop over the first
+handful of samples, reaching a single candidate at roughly ``2m``
+samples on average (worst case ~``8m``).
+
+We reproduce the series with the same simulation and check the shape:
+monotone non-increasing means, a large initial drop, convergence to 1.
+"""
+
+from repro.bench.harness import run_feeder_aggregate
+from repro.bench.reporting import ascii_series, write_result
+from repro.datasets.simulator import SampleFeeder
+
+
+def test_fig12_convergence(benchmark, yahoo_db, task_sets, n_runs):
+    sections = []
+    for task_set in task_sets:
+        for task in task_set.tasks:
+            aggregate = run_feeder_aggregate(
+                yahoo_db, task, n_runs=n_runs, seed=200 + task_set.set_id
+            )
+            label = (
+                f"J={task_set.n_joins} m={task.target_size} "
+                f"(avg samples to goal: {aggregate.samples_to_goal:.1f})"
+            )
+            sections.append(
+                ascii_series(
+                    [(float(x), y) for x, y in aggregate.candidates_by_samples],
+                    label=label,
+                )
+            )
+
+            series = aggregate.candidates_by_samples
+            means = [count for _samples, count in series]
+            # non-increasing mean candidate counts
+            assert all(a >= b - 1e-9 for a, b in zip(means, means[1:]))
+            # converges to a single candidate on average
+            assert means[-1] <= 1.5
+            # and the drop is front-loaded: half the reduction happens
+            # within the first m extra samples
+            if len(means) > 2 and means[0] > means[-1]:
+                midpoint_index = min(task.target_size, len(means) - 1)
+                drop_total = means[0] - means[-1]
+                drop_early = means[0] - means[midpoint_index]
+                assert drop_early >= 0.4 * drop_total
+
+    write_result(
+        "fig12_convergence.txt",
+        "Figure 12: mean candidate mappings vs samples\n\n"
+        + "\n\n".join(sections),
+    )
+
+    task = task_sets[0].tasks[1]
+    benchmark(lambda: SampleFeeder(yahoo_db, task, seed=3).run())

@@ -1,0 +1,60 @@
+"""Figure 13 — average number of tuple paths generated at each level.
+
+The paper plots, per task set and target size, how many tuple paths
+exist at each weaving level (level 2 = pairwise, level m = complete),
+observing that "the number of valid tuple paths decreases dramatically
+as the algorithm approaches the full size of the target schema" —
+sample co-occurrences get rarer as combinations grow.
+
+Shape checks: the complete level holds far fewer paths than the peak
+level, and the complete level's count is small in absolute terms.
+"""
+
+from statistics import mean
+
+from repro.bench.harness import run_tpw_search
+from repro.bench.reporting import ascii_series, write_result
+
+REPEATS = 3
+
+
+def test_fig13_paths_per_level(benchmark, yahoo_db, task_sets):
+    sections = []
+    collapse_ratios = []
+    for task_set in task_sets:
+        for task in task_set.tasks:
+            profiles: dict[int, list[int]] = {}
+            for repeat in range(REPEATS):
+                cell = run_tpw_search(yahoo_db, task, seed=300 + repeat)
+                for level, count in cell.result.stats.level_profile().items():
+                    profiles.setdefault(level, []).append(count)
+            series = [
+                (float(level), mean(counts))
+                for level, counts in sorted(profiles.items())
+            ]
+            label = f"J={task_set.n_joins} m={task.target_size}"
+            sections.append(ascii_series(series, label=label))
+
+            levels = dict(series)
+            peak = max(levels.values())
+            final = levels[max(levels)]
+            # the complete level never exceeds the peak level
+            assert final <= peak
+            if task.target_size >= 4:
+                collapse_ratios.append(final / peak if peak else 1.0)
+
+    write_result(
+        "fig13_paths_per_level.txt",
+        "Figure 13: mean tuple paths generated at each weaving level\n\n"
+        + "\n\n".join(sections),
+    )
+
+    # "decreases dramatically as the algorithm approaches the full
+    # size": on average across m >= 4 cells, the complete level holds
+    # well under the peak; the sharpest cell collapses hard.
+    assert collapse_ratios
+    assert mean(collapse_ratios) < 0.85
+    assert min(collapse_ratios) < 0.65
+
+    task = task_sets[2].tasks[2]
+    benchmark(lambda: run_tpw_search(yahoo_db, task, seed=4))

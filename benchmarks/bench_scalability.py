@@ -1,0 +1,66 @@
+"""Scalability — search latency vs. source database size.
+
+The paper's future work asks for "some insights into the scalability of
+our approach" since tuple-path counts can grow with the source size.
+This sweep runs the user-study search over generated sources of
+increasing scale and reports latency alongside the quantity that
+actually drives it: the number of pairwise tuple paths materialised.
+
+Expected shape: latency grows roughly with the tuple-path count (the
+instance-level work), not with the schema or raw row count — i.e.
+near-linear in sample-occurrence support, the paper's §6.3 observation.
+"""
+
+from statistics import mean
+
+from repro.bench.harness import run_tpw_search
+from repro.bench.reporting import format_table, write_result
+from repro.datasets.workload import user_study_task_yahoo
+from repro.datasets.yahoo import build_yahoo_movies
+
+SCALES = (50, 100, 200, 400)
+REPEATS = 3
+
+
+def test_scalability(benchmark):
+    task = user_study_task_yahoo()
+    rows = []
+    latencies = {}
+    for scale in SCALES:
+        db = build_yahoo_movies(n_movies=scale, seed=7)
+        # Warm the text indexes so we measure search, not index builds.
+        run_tpw_search(db, task, seed=0)
+        times = []
+        tuple_paths = []
+        for repeat in range(REPEATS):
+            cell = run_tpw_search(db, task, seed=repeat)
+            times.append(cell.seconds * 1000)
+            tuple_paths.append(
+                cell.result.stats.total_tuple_paths_processed()
+            )
+        latencies[scale] = mean(times)
+        rows.append(
+            [
+                scale,
+                db.total_rows(),
+                f"{mean(times):.2f}",
+                f"{mean(tuple_paths):.1f}",
+            ]
+        )
+
+    table = format_table(
+        ["movies", "total rows", "search (ms)", "tuple paths"],
+        rows,
+        title="Scalability: user-study search vs source size",
+    )
+    write_result("scalability.txt", table)
+
+    # Interactive at every scale, and sub-quadratic growth: an 8x data
+    # increase must not cost more than ~64x latency (quadratic bound
+    # with headroom for small-scale constant effects).
+    assert latencies[SCALES[-1]] < 1000
+    assert latencies[SCALES[-1]] / max(latencies[SCALES[0]], 0.1) < 64
+
+    db = build_yahoo_movies(n_movies=100, seed=7)
+    run_tpw_search(db, task, seed=0)  # warm
+    benchmark(lambda: run_tpw_search(db, task, seed=1))

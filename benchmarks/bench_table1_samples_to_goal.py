@@ -1,0 +1,54 @@
+"""Table 1 — average number of samples to generate the goal mapping.
+
+Paper's numbers (Yahoo Movies, 100 runs per cell)::
+
+    m              3      4      5      6
+    Task Set 1   7.24   9.35  10.80  14.98
+    Task Set 2   5.08   8.50  11.55  16.18
+    Task Set 3   6.97   9.27  11.71  13.67
+
+Expected shape on our synthetic source: samples grow with the target
+size m and stay in the one-to-three-rows regime (roughly m to 3m).
+"""
+
+from repro.bench.harness import run_feeder_aggregate
+from repro.bench.reporting import format_table, write_result
+from repro.datasets.simulator import SampleFeeder
+
+
+def test_table1_samples_to_goal(benchmark, yahoo_db, task_sets, n_runs):
+    rows = []
+    aggregates = {}
+    for task_set in task_sets:
+        cells = []
+        for task in task_set.tasks:
+            aggregate = run_feeder_aggregate(
+                yahoo_db, task, n_runs=n_runs, seed=task_set.set_id
+            )
+            aggregates[task.name] = aggregate
+            cells.append(aggregate.samples_to_goal)
+        rows.append([f"Task Set {task_set.set_id}", *cells])
+
+    table = format_table(
+        ["", "m=3", "m=4", "m=5", "m=6"],
+        rows,
+        title=(
+            "Table 1: average number of samples to generate the goal "
+            f"mapping ({n_runs} runs per cell)"
+        ),
+    )
+    write_result("table1_samples_to_goal.txt", table)
+
+    # Shape assertions (paper: ~2 rows of samples; grows with m).
+    for task_set in task_sets:
+        first = aggregates[task_set.tasks[0].name].samples_to_goal
+        last = aggregates[task_set.tasks[-1].name].samples_to_goal
+        assert first <= last, "samples should grow with target size"
+        for task in task_set.tasks:
+            aggregate = aggregates[task.name]
+            assert aggregate.convergence_rate >= 0.8
+            assert task.target_size <= aggregate.samples_to_goal <= 6 * task.target_size
+
+    # Headline micro-benchmark: one full feeder run on task set 1, m=3.
+    task = task_sets[0].tasks[0]
+    benchmark(lambda: SampleFeeder(yahoo_db, task, seed=1).run())

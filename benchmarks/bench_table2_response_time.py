@@ -1,0 +1,52 @@
+"""Table 2 — average response time for searching and pruning.
+
+Paper's numbers (ms)::
+
+    Task Set    m=3     m=4     m=5     m=6
+    1  search  534.35  655.03  639.49  577.25
+       prune    34.27   24.46   35.13   58.54
+    2  search  177.98  363.32  407.69  450.91
+       prune    27.23   40.63   58.24   62.20
+    3  search  305.89  442.78  761.69  817.38
+       prune    32.53   24.46   40.24   51.58
+
+Expected shape: searching costs tens-to-hundreds of milliseconds and
+interactive pruning is roughly an order of magnitude cheaper — the
+property that makes per-keystroke feedback possible.
+"""
+
+from repro.bench.harness import run_feeder_aggregate, run_tpw_search
+from repro.bench.reporting import format_table, write_result
+
+
+def test_table2_response_time(benchmark, yahoo_db, task_sets, n_runs):
+    rows = []
+    ratios = []
+    for task_set in task_sets:
+        search_cells = []
+        prune_cells = []
+        for task in task_set.tasks:
+            aggregate = run_feeder_aggregate(
+                yahoo_db, task, n_runs=n_runs, seed=100 + task_set.set_id
+            )
+            search_cells.append(aggregate.search_ms)
+            prune_cells.append(aggregate.prune_ms)
+            if aggregate.prune_ms > 0:
+                ratios.append(aggregate.search_ms / aggregate.prune_ms)
+        rows.append([f"Set {task_set.set_id}", "searching (ms)", *search_cells])
+        rows.append(["", "pruning (ms)", *prune_cells])
+
+    table = format_table(
+        ["Task Set", "phase", "m=3", "m=4", "m=5", "m=6"],
+        rows,
+        title="Table 2: average response time for searching and pruning",
+    )
+    write_result("table2_response_time.txt", table)
+
+    # Shape: pruning is much cheaper than searching on average.
+    assert ratios, "no pruning interactions measured"
+    assert sum(ratios) / len(ratios) > 3.0
+
+    # Headline micro-benchmark: a single first-row search (set 2, m=4).
+    task = task_sets[1].tasks[1]
+    benchmark(lambda: run_tpw_search(yahoo_db, task, seed=5))

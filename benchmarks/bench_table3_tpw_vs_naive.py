@@ -1,0 +1,70 @@
+"""Table 3 — average search time: TPW vs the naive baseline.
+
+Paper's numbers (ms; '-' marks the naive algorithm exhausting memory)::
+
+    Task Set    m=3       m=4        m=5  m=6
+    1  TPW    3735.48   3775.22   3008.52 3695.28
+       Naive 35891.43 734319.25      -      -
+    2  TPW     578.47   1354.05   2043.77 2804.33
+       Naive  1273.62  41976.94      -      -
+    3  TPW    1044.49   1674.66   3885.44 4727.86
+       Naive 11644.93 388723.31      -      -
+
+Expected shape: TPW stays within interactive bounds at every target
+size; the naive baseline is 1–2 orders of magnitude slower where it
+completes and blows its enumeration budget at m ≥ 5 (our stand-in for
+the paper's out-of-memory failures).
+"""
+
+from statistics import mean
+
+from repro.bench.harness import run_naive_search, run_tpw_search
+from repro.bench.reporting import format_table, write_result
+
+#: Repetitions per cell (the naive side is expensive).
+REPEATS = 3
+#: Enumeration budget standing in for the paper's 8 GB of RAM.
+NAIVE_BUDGET = 50_000
+
+
+def test_table3_tpw_vs_naive(benchmark, yahoo_db, task_sets):
+    rows = []
+    speedups = []
+    blowups = 0
+    for task_set in task_sets:
+        tpw_cells = []
+        naive_cells = []
+        for task in task_set.tasks:
+            tpw_ms = mean(
+                run_tpw_search(yahoo_db, task, seed=repeat).seconds * 1000
+                for repeat in range(REPEATS)
+            )
+            tpw_cells.append(f"{tpw_ms:.2f}")
+            naive = run_naive_search(
+                yahoo_db, task, seed=0, max_candidates=NAIVE_BUDGET
+            )
+            naive_cells.append(naive.display_seconds)
+            if naive.exceeded:
+                blowups += 1
+            elif naive.seconds is not None and tpw_ms > 0:
+                speedups.append(naive.seconds * 1000 / tpw_ms)
+        rows.append([f"Set {task_set.set_id}", "TPW (ms)", *tpw_cells])
+        rows.append(["", "Naive (ms)", *naive_cells])
+
+    table = format_table(
+        ["Task Set", "algorithm", "m=3", "m=4", "m=5", "m=6"],
+        rows,
+        title=(
+            "Table 3: average search time, TPW vs naive "
+            f"(naive budget {NAIVE_BUDGET} mapping paths; '-' = exceeded)"
+        ),
+    )
+    write_result("table3_tpw_vs_naive.txt", table)
+
+    # Shape: naive blows up at the larger targets and TPW wins at m=4.
+    assert blowups >= 3, "expected the naive baseline to exceed its budget"
+    assert speedups and max(speedups) > 5.0
+
+    # Headline micro-benchmark: TPW search on the hardest cell (set 3, m=6).
+    task = task_sets[2].tasks[3]
+    benchmark(lambda: run_tpw_search(yahoo_db, task, seed=9))

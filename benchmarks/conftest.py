@@ -1,0 +1,40 @@
+"""Shared benchmark fixtures.
+
+Scale and repetition are environment-tunable so the suite can run as a
+quick smoke check or as a full reproduction:
+
+* ``REPRO_BENCH_SCALE``  — movies per generated database (default 200)
+* ``REPRO_BENCH_RUNS``   — feeder repetitions per cell (default 10; the
+  paper used 100)
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.fixtures import bench_databases, bench_task_sets
+
+BENCH_SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "200"))
+BENCH_RUNS = int(os.environ.get("REPRO_BENCH_RUNS", "10"))
+
+
+@pytest.fixture(scope="session")
+def yahoo_db():
+    return bench_databases(BENCH_SCALE)[0]
+
+
+@pytest.fixture(scope="session")
+def imdb_db():
+    return bench_databases(BENCH_SCALE)[1]
+
+
+@pytest.fixture(scope="session")
+def task_sets():
+    return bench_task_sets()
+
+
+@pytest.fixture(scope="session")
+def n_runs() -> int:
+    return BENCH_RUNS

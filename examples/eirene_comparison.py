@@ -1,0 +1,98 @@
+"""Scenario: the two example-driven workflows, side by side.
+
+Run with::
+
+    python examples/eirene_comparison.py
+
+The paper's user study measures MWeaver against Eirene, the QBE-style
+tool of Alexe et al. that fits mappings to *paired* source/target data
+examples.  This example performs the same disambiguation — is the
+movie-to-person join via ``direct`` or via ``write``? — with both
+workflows and counts what the user had to author:
+
+* Eirene: complete source tuples (join keys spelled out twice) plus
+  the target rows;
+* MWeaver: target cell values, nothing else.
+
+Both converge on the identical mapping; the authored-cell gap is the
+mechanical core of the study's keystroke result.
+"""
+
+from repro import MappingSession
+from repro.datasets import build_running_example
+from repro.datasets.running_example import running_example_schema
+from repro.eirene import ExamplePair, authoring_cost, fit_mappings
+
+
+def eirene_workflow():
+    print("=== Eirene: paired source/target data examples ===")
+    pairs = [
+        ExamplePair(
+            source_rows={
+                "movie": [(1, "Avatar", None)],
+                "person": [(1, "James Cameron")],
+                "direct": [(1, 1)],
+                "write": [(1, 1)],
+            },
+            target_rows=(("Avatar", "James Cameron"),),
+        ),
+        ExamplePair(
+            source_rows={
+                "movie": [(2, "Big Fish", None)],
+                "person": [(2, "Tim Burton"), (4, "J. K. Rowling")],
+                "direct": [(2, 2)],
+                "write": [(2, 4)],
+            },
+            target_rows=(("Big Fish", "Tim Burton"),),
+        ),
+    ]
+    print("example 1: Avatar fragment (ambiguous: Cameron wrote AND directed)")
+    ambiguous = fit_mappings(running_example_schema(), pairs[:1])
+    for mapping in ambiguous:
+        print(f"  fits: {mapping.describe()}")
+    print("example 2 added: Big Fish fragment (Burton directs only)")
+    fitting = fit_mappings(running_example_schema(), pairs)
+    assert len(fitting) == 1
+    print(f"  unique fit: {fitting[0].describe()}")
+    cost = authoring_cost(pairs)
+    print(
+        f"  user authored {cost['source']} source cells + "
+        f"{cost['target']} target cells = {cost['total']} cells\n"
+    )
+    return fitting[0], cost
+
+
+def mweaver_workflow():
+    print("=== MWeaver: target samples only ===")
+    db = build_running_example()
+    session = MappingSession(db, ["Name", "Director"])
+    session.input(0, 0, "Avatar")
+    session.input(0, 1, "James Cameron")
+    print(f"  after ('Avatar', 'James Cameron'): "
+          f"{len(session.candidates)} candidates")
+    session.input(1, 0, "Big Fish")
+    session.input(1, 1, "Tim Burton")
+    assert session.converged
+    mapping = session.best_mapping()
+    print(f"  converged: {mapping.describe()}")
+    cells = session.sample_count()
+    print(f"  user authored {cells} target cells, 0 source cells\n")
+    return mapping, cells
+
+
+def main() -> None:
+    eirene_mapping, eirene_cost = eirene_workflow()
+    mweaver_mapping, mweaver_cells = mweaver_workflow()
+
+    assert eirene_mapping.signature() == mweaver_mapping.signature()
+    print("both workflows found the SAME mapping.")
+    print(
+        f"authoring burden: Eirene {eirene_cost['total']} cells vs "
+        f"MWeaver {mweaver_cells} cells "
+        f"({eirene_cost['total'] / mweaver_cells:.1f}x)"
+    )
+    print("…which is the mechanism behind the paper's keystroke result.")
+
+
+if __name__ == "__main__":
+    main()

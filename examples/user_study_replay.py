@@ -1,0 +1,57 @@
+"""Scenario: replaying the Section 6.2 user study.
+
+Run with::
+
+    python examples/user_study_replay.py
+
+Runs the simulated ten-user panel (two experts, eight non-technical
+users) through the mapping task with all three tool models and prints
+the Figure 10 panels plus the satisfaction survey — the study that
+produced the paper's "1/5th the time" headline.
+"""
+
+from repro.datasets import build_imdb, build_yahoo_movies
+from repro.datasets.workload import user_study_task_imdb, user_study_task_yahoo
+from repro.study import run_user_study, satisfaction_scores
+
+
+def print_panel(study, dataset: str, metric: str, unit: str) -> None:
+    panel = study.metric_panel(dataset, metric)
+    users = [user for user, _value in panel["MWeaver"]]
+    print(f"--- {metric} on {dataset} ({unit}) ---")
+    print(f"{'tool':12s} " + " ".join(f"{user:>6s}" for user in users))
+    for tool, series in panel.items():
+        cells = " ".join(f"{value:6.0f}" for _user, value in series)
+        print(f"{tool:12s} {cells}")
+    print()
+
+
+def main() -> None:
+    yahoo = build_yahoo_movies(n_movies=150, seed=7)
+    imdb = build_imdb(n_movies=150, seed=11)
+    study = run_user_study(
+        {
+            "yahoo-movies": (yahoo, user_study_task_yahoo()),
+            "imdb": (imdb, user_study_task_imdb()),
+        }
+    )
+
+    for dataset in ("yahoo-movies", "imdb"):
+        print_panel(study, dataset, "seconds", "s")
+        print_panel(study, dataset, "keystrokes", "count")
+        print_panel(study, dataset, "clicks", "count")
+
+    print("headline ratios (paper: ~5x vs InfoSphere, ~4x vs Eirene):")
+    print(f"  InfoSphere time / MWeaver time = "
+          f"{study.time_ratio('MWeaver', 'InfoSphere'):.2f}")
+    print(f"  Eirene time     / MWeaver time = "
+          f"{study.time_ratio('MWeaver', 'Eirene'):.2f}")
+
+    scores = satisfaction_scores(study)
+    print("\nsatisfaction survey (paper: 4.7 / 3.45 / 2.7):")
+    for tool, score in scores.items():
+        print(f"  {tool:12s} {score:.2f}")
+
+
+if __name__ == "__main__":
+    main()

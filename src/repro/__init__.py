@@ -1,0 +1,106 @@
+"""mweaver-repro: sample-driven schema mapping.
+
+A from-scratch reproduction of *Sample-Driven Schema Mapping* (Qian,
+Cafarella, Jagadish — SIGMOD 2012), the MWeaver system: the user types
+sample instances of the desired target table and the system derives the
+project-join schema mapping that produces them, pruning candidates
+interactively as more samples arrive.
+
+Quickstart::
+
+    from repro import TPWEngine, MappingSession
+    from repro.datasets import build_running_example
+
+    db = build_running_example()
+    result = TPWEngine(db).search(("Avatar", "James Cameron"))
+    for candidate in result.candidates:
+        print(candidate.describe())
+
+    session = MappingSession(db, ["Name", "Director"])
+    session.input(0, 0, "Avatar")
+    session.input(0, 1, "James Cameron")   # first row complete -> search
+    session.input(1, 0, "Big Fish")
+    session.input(1, 1, "Tim Burton")      # pruning
+    print(session.best_mapping().to_sql(db.schema))
+
+Package map::
+
+    repro.core        TPW search, pruning, interactive session
+    repro.relational  in-memory relational engine (schemas, FKs, queries)
+    repro.text        full-text indexes and noisy containment
+    repro.graphs      schema graph and bounded walks
+    repro.datasets    synthetic Yahoo-Movies / IMDb generators, workloads
+    repro.study       simulated user study (Figure 10)
+    repro.bench       benchmark harness helpers
+"""
+
+from repro.config import NaiveConfig, RankingWeights, TPWConfig
+from repro.core import (
+    MappingPath,
+    MappingProject,
+    MappingSession,
+    NaiveEngine,
+    RankedMapping,
+    SearchResult,
+    SessionStatus,
+    Spreadsheet,
+    TPWEngine,
+    TuplePath,
+    explain_mapping,
+    materialize_mapping,
+)
+from repro.exceptions import (
+    DatasetError,
+    IntegrityError,
+    QueryError,
+    ReproError,
+    SchemaError,
+    SearchBudgetExceeded,
+    SessionError,
+)
+from repro.relational import (
+    Attribute,
+    Database,
+    DatabaseSchema,
+    DataType,
+    ForeignKey,
+    RelationSchema,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # configuration
+    "TPWConfig",
+    "NaiveConfig",
+    "RankingWeights",
+    # engines and session
+    "TPWEngine",
+    "NaiveEngine",
+    "MappingSession",
+    "MappingProject",
+    "SessionStatus",
+    "SearchResult",
+    "materialize_mapping",
+    "explain_mapping",
+    "RankedMapping",
+    "Spreadsheet",
+    "MappingPath",
+    "TuplePath",
+    # relational building blocks
+    "Database",
+    "DatabaseSchema",
+    "RelationSchema",
+    "Attribute",
+    "ForeignKey",
+    "DataType",
+    # exceptions
+    "ReproError",
+    "SchemaError",
+    "IntegrityError",
+    "QueryError",
+    "SearchBudgetExceeded",
+    "SessionError",
+    "DatasetError",
+]

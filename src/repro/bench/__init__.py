@@ -1,0 +1,18 @@
+"""Shared harness utilities for the ``benchmarks/`` suite."""
+
+from repro.bench.reporting import (
+    ascii_series,
+    format_table,
+    results_path,
+    write_result,
+)
+from repro.bench.fixtures import bench_databases, bench_task_sets
+
+__all__ = [
+    "format_table",
+    "ascii_series",
+    "write_result",
+    "results_path",
+    "bench_databases",
+    "bench_task_sets",
+]

@@ -1,0 +1,166 @@
+"""Experiment drivers shared by the ``benchmarks/`` suite.
+
+Each driver runs one experiment cell (a task at a sample tuple) and
+returns plain numbers; the benchmark files aggregate them into the
+paper's tables and figures.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from statistics import mean
+
+from repro.config import NaiveConfig, TPWConfig
+from repro.core.naive import NaiveEngine
+from repro.core.tpw import SearchResult, TPWEngine
+from repro.datasets.simulator import SampleFeeder
+from repro.datasets.workload import MappingTask
+from repro.exceptions import SearchBudgetExceeded
+from repro.relational.database import Database
+
+
+def sample_tuple_for(
+    db: Database, task: MappingTask, seed: int
+) -> tuple[str, ...]:
+    """A deterministic random first-row sample tuple for ``task``."""
+    rows = task.target_rows(db, limit=200)
+    return random.Random(seed).choice(rows)
+
+
+@dataclass
+class SearchCell:
+    """One TPW search measurement."""
+
+    seconds: float
+    result: SearchResult
+
+
+def run_tpw_search(
+    db: Database,
+    task: MappingTask,
+    seed: int,
+    config: TPWConfig | None = None,
+) -> SearchCell:
+    """Time one TPW sample search for a random tuple of ``task``."""
+    samples = sample_tuple_for(db, task, seed)
+    engine = TPWEngine(db, config)
+    started = time.perf_counter()
+    result = engine.search(samples)
+    return SearchCell(time.perf_counter() - started, result)
+
+
+@dataclass
+class NaiveCell:
+    """One naive-baseline measurement; ``exceeded`` marks a blow-up."""
+
+    seconds: float | None
+    enumerated: int | None
+    valid: int | None
+    exceeded: bool
+
+    @property
+    def display_seconds(self) -> str:
+        """Formatted milliseconds, or the paper's dash for blow-ups."""
+        if self.exceeded or self.seconds is None:
+            return "-"
+        return f"{self.seconds * 1000:.2f}"
+
+    @property
+    def display_enumerated(self) -> str:
+        """Formatted enumeration count, or a dash."""
+        if self.exceeded or self.enumerated is None:
+            return "-"
+        return str(self.enumerated)
+
+
+def run_naive_search(
+    db: Database,
+    task: MappingTask,
+    seed: int,
+    *,
+    max_candidates: int = 200_000,
+) -> NaiveCell:
+    """Time one naive search; a budget blow-up becomes an explicit mark.
+
+    The paper's naive runs "failed beyond size 5 because the enumerated
+    mapping paths exhausted the memory"; our budget turns the same
+    failure into a dash instead of an OOM kill.
+    """
+    samples = sample_tuple_for(db, task, seed)
+    engine = NaiveEngine(db, NaiveConfig(max_candidates=max_candidates))
+    started = time.perf_counter()
+    try:
+        result = engine.search(samples)
+    except SearchBudgetExceeded:
+        return NaiveCell(None, None, None, exceeded=True)
+    return NaiveCell(
+        time.perf_counter() - started,
+        result.enumerated_complete,
+        len(result.valid_mappings),
+        exceeded=False,
+    )
+
+
+@dataclass
+class FeederAggregate:
+    """Aggregated feeder runs for one task."""
+
+    samples_to_goal: float
+    search_ms: float
+    prune_ms: float
+    convergence_rate: float
+    #: mean candidate count by sample index (Figure 12's series).
+    candidates_by_samples: list[tuple[int, float]] = field(default_factory=list)
+
+
+def run_feeder_aggregate(
+    db: Database,
+    task: MappingTask,
+    *,
+    n_runs: int,
+    seed: int = 0,
+    config: TPWConfig | None = None,
+) -> FeederAggregate:
+    """Run the sample feeder ``n_runs`` times and aggregate."""
+    sample_counts: list[int] = []
+    search_times: list[float] = []
+    prune_times: list[float] = []
+    converged = 0
+    run_histories: list[dict[int, int]] = []
+    for run in range(n_runs):
+        feeder = SampleFeeder(db, task, seed=seed * 7919 + run, config=config)
+        outcome = feeder.run()
+        sample_counts.append(outcome.n_samples)
+        search_times.append(outcome.search_seconds)
+        prune_times.extend(outcome.prune_seconds)
+        if outcome.converged and outcome.matched_goal:
+            converged += 1
+        run_histories.append(dict(outcome.candidate_history))
+
+    # Aggregate candidate counts by sample index.  Runs that converged
+    # early carry their final count forward — otherwise the mean past
+    # their stopping point would average only the slow runs and could
+    # *rise* (survivorship bias), which the real series never does.
+    max_samples = max((max(h) for h in run_histories if h), default=0)
+    histories: dict[int, list[int]] = {}
+    for history in run_histories:
+        if not history:
+            continue
+        current = None
+        for n_samples in range(min(history), max_samples + 1):
+            current = history.get(n_samples, current)
+            assert current is not None
+            histories.setdefault(n_samples, []).append(current)
+    series = [
+        (n_samples, mean(counts))
+        for n_samples, counts in sorted(histories.items())
+    ]
+    return FeederAggregate(
+        samples_to_goal=mean(sample_counts),
+        search_ms=mean(search_times) * 1000,
+        prune_ms=mean(prune_times) * 1000 if prune_times else 0.0,
+        convergence_rate=converged / n_runs,
+        candidates_by_samples=series,
+    )

@@ -1,0 +1,91 @@
+"""Plain-text table and series rendering for experiment reports.
+
+Every benchmark prints the rows the paper reports and mirrors them into
+``results/<name>.txt`` so that EXPERIMENTS.md can reference stable
+artifacts.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from pathlib import Path
+
+_RESULTS_DIR_NAMES = ("results",)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render an aligned plain-text table.
+
+    Floats print with two decimals; everything else with ``str``.
+    """
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.2f}"
+        return str(value)
+
+    text_rows = [[cell(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in text_rows:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+
+    def line(values: Sequence[str]) -> str:
+        return "  ".join(value.ljust(width) for value, width in zip(values, widths))
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(list(headers)))
+    parts.append(line(["-" * width for width in widths]))
+    parts.extend(line(row) for row in text_rows)
+    return "\n".join(parts)
+
+
+def ascii_series(
+    points: Sequence[tuple[float, float]],
+    *,
+    width: int = 48,
+    label: str = "",
+) -> str:
+    """Render an ``(x, y)`` series as labelled ASCII bars.
+
+    A poor man's figure: one bar per point, scaled to the maximum y.
+    """
+    if not points:
+        return f"{label} (no data)"
+    peak = max(y for _x, y in points) or 1.0
+    lines = [label] if label else []
+    for x, y in points:
+        bar = "#" * max(1, round(width * y / peak)) if y > 0 else ""
+        lines.append(f"  x={x:>8.6g}  y={y:>10.3f}  {bar}")
+    return "\n".join(lines)
+
+
+def results_path(name: str) -> Path:
+    """``results/<name>`` under the repository root (created on demand).
+
+    Falls back to the current working directory's ``results/`` when the
+    repository root cannot be located (e.g. an installed wheel).
+    """
+    here = Path(__file__).resolve()
+    for ancestor in here.parents:
+        if (ancestor / "pyproject.toml").exists():
+            directory = ancestor / _RESULTS_DIR_NAMES[0]
+            break
+    else:
+        directory = Path.cwd() / _RESULTS_DIR_NAMES[0]
+    directory.mkdir(parents=True, exist_ok=True)
+    return directory / name
+
+
+def write_result(name: str, content: str) -> Path:
+    """Print ``content`` and mirror it to ``results/<name>``."""
+    print(content)
+    path = results_path(name)
+    path.write_text(content + "\n", encoding="utf-8")
+    return path

@@ -1,0 +1,232 @@
+"""Command-line interface: ``mweaver`` (or ``python -m repro``).
+
+Subcommands
+-----------
+``demo``
+    Replay the paper's running example: search for the Avatar sample
+    tuple, then watch pruning converge on the Harry Potter task.
+``interactive``
+    A terminal spreadsheet session against a generated source database
+    (the closest thing to the paper's web UI that fits a terminal).
+``datasets``
+    Print the generated datasets' schema/size summaries.
+``study``
+    Run the simulated user study and print the Figure 10 aggregates.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.session import MappingSession, SessionStatus
+from repro.core.tpw import TPWEngine
+from repro.datasets.imdb import build_imdb
+from repro.datasets.running_example import build_running_example
+from repro.datasets.workload import user_study_task_imdb, user_study_task_yahoo
+from repro.datasets.yahoo import build_yahoo_movies
+from repro.study.study import run_user_study, satisfaction_scores
+
+
+def _cmd_demo(_args: argparse.Namespace) -> int:
+    db = build_running_example()
+    print(db.summary())
+    print()
+
+    engine = TPWEngine(db)
+    sample = ("Avatar", "James Cameron", "Lightstorm Co.", "New Zealand")
+    print(f"sample tuple: {sample}")
+    result = engine.search(sample)
+    print(f"{result.n_candidates} candidate mappings:")
+    for candidate in result.candidates:
+        print(f"  {candidate.describe()}")
+    print()
+    print(result.stats.describe())
+    print()
+
+    print("interactive pruning (Name / Director):")
+    session = MappingSession(db, ["Name", "Director"])
+    session.input(0, 0, "Avatar")
+    session.input(0, 1, "James Cameron")
+    print(f"  after ('Avatar', 'James Cameron'): "
+          f"{len(session.candidates)} candidates")
+    session.input(1, 0, "Big Fish")
+    session.input(1, 1, "Tim Burton")
+    print(f"  after ('Big Fish', 'Tim Burton'):  "
+          f"{len(session.candidates)} candidates")
+    best = session.best_mapping()
+    if best is not None:
+        print(f"  converged mapping: {best.describe()}")
+        print()
+        from repro.core.explain import explain_mapping
+
+        example = session.candidates[0].tuple_paths[0]
+        for line in explain_mapping(
+            best, db, column_names=["Name", "Director"], example=example
+        ).splitlines():
+            print(f"  {line}")
+        print()
+        print("  as SQL:")
+        for line in best.to_sql(db.schema, column_names=["Name", "Director"]).splitlines():
+            print(f"    {line}")
+    return 0
+
+
+def _cmd_interactive(args: argparse.Namespace) -> int:
+    if args.dataset == "yahoo":
+        db = build_yahoo_movies(n_movies=args.scale)
+    elif args.dataset == "imdb":
+        db = build_imdb(n_movies=args.scale)
+    else:
+        db = build_running_example()
+    print(db.summary())
+    columns = [column.strip() for column in args.columns.split(",") if column.strip()]
+    session = MappingSession(db, columns)
+    print(f"columns: {', '.join(columns)}")
+    print("enter samples as  ROW COL VALUE  (0-based), or 'quit'.")
+    print("auto-complete with  ? ROW COL [PREFIX]  once the search ran.")
+    print("after convergence:  export PATH  writes the target as TSV.")
+    print("the first row must be completed before pruning starts.")
+    while True:
+        try:
+            line = input("mweaver> ").strip()
+        except EOFError:
+            break
+        if not line or line in ("quit", "exit"):
+            break
+        if line.startswith("export "):
+            target_path = line[len("export "):].strip()
+            try:
+                target = session.materialize()
+            except Exception as error:
+                print(f"  error: {error}")
+                continue
+            table = target.table("target")
+            with open(target_path, "w", encoding="utf-8") as handle:
+                handle.write("\t".join(session.spreadsheet.columns) + "\n")
+                for row_values in table:
+                    handle.write(
+                        "\t".join(str(value) for value in row_values) + "\n"
+                    )
+            print(f"  wrote {len(table)} rows to {target_path}")
+            continue
+        if line.startswith("?"):
+            parts = line[1:].split(None, 2)
+            if len(parts) < 2:
+                print("  expected: ? ROW COL [PREFIX]")
+                continue
+            try:
+                row, column = int(parts[0]), int(parts[1])
+                prefix = parts[2] if len(parts) > 2 else ""
+                suggestions = session.suggest(row, column, prefix)
+            except Exception as error:
+                print(f"  error: {error}")
+                continue
+            if suggestions:
+                for suggestion in suggestions:
+                    print(f"  suggestion: {suggestion}")
+            else:
+                print("  no suggestions (run the first row search first?)")
+            continue
+        parts = line.split(None, 2)
+        if len(parts) != 3:
+            print("  expected: ROW COL VALUE")
+            continue
+        try:
+            row, column = int(parts[0]), int(parts[1])
+            status = session.input(row, column, parts[2])
+        except Exception as error:  # surfaced to the user, loop continues
+            print(f"  error: {error}")
+            continue
+        print(session.describe())
+        if status is SessionStatus.CONVERGED:
+            best = session.best_mapping()
+            assert best is not None
+            print("converged! SQL:")
+            print(best.to_sql(db.schema, column_names=list(columns)))
+            print("('export PATH' to write the target, or keep typing)")
+    return 0
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    yahoo = build_yahoo_movies(n_movies=args.scale)
+    imdb = build_imdb(n_movies=args.scale)
+    for db in (yahoo, imdb):
+        print(db.summary())
+        if args.verbose:
+            print(db.schema.describe())
+            print()
+    return 0
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    yahoo = build_yahoo_movies(n_movies=args.scale)
+    imdb = build_imdb(n_movies=args.scale)
+    result = run_user_study(
+        {
+            "yahoo-movies": (yahoo, user_study_task_yahoo()),
+            "imdb": (imdb, user_study_task_imdb()),
+        }
+    )
+    print(f"{'tool':12s} {'time(s)':>8s} {'keystrokes':>11s} {'clicks':>7s}")
+    for tool in result.tools():
+        print(
+            f"{tool:12s} {result.mean_metric(tool, 'seconds'):8.1f} "
+            f"{result.mean_metric(tool, 'keystrokes'):11.1f} "
+            f"{result.mean_metric(tool, 'clicks'):7.1f}"
+        )
+    print()
+    print(f"time ratio InfoSphere/MWeaver: "
+          f"{result.time_ratio('MWeaver', 'InfoSphere'):.2f} (paper: ~5)")
+    print(f"time ratio Eirene/MWeaver:     "
+          f"{result.time_ratio('MWeaver', 'Eirene'):.2f} (paper: ~4)")
+    scores = satisfaction_scores(result)
+    print("satisfaction: " + ", ".join(
+        f"{tool}={score:.2f}" for tool, score in scores.items()
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``mweaver`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="mweaver",
+        description="Sample-driven schema mapping (SIGMOD 2012 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="replay the paper's running example")
+    demo.set_defaults(func=_cmd_demo)
+
+    interactive = sub.add_parser("interactive", help="terminal mapping session")
+    interactive.add_argument(
+        "--dataset", choices=("running", "yahoo", "imdb"), default="running"
+    )
+    interactive.add_argument("--scale", type=int, default=150)
+    interactive.add_argument(
+        "--columns",
+        default="Name,Director",
+        help="comma-separated target columns",
+    )
+    interactive.set_defaults(func=_cmd_interactive)
+
+    datasets = sub.add_parser("datasets", help="describe the generated datasets")
+    datasets.add_argument("--scale", type=int, default=150)
+    datasets.add_argument("--verbose", action="store_true")
+    datasets.set_defaults(func=_cmd_datasets)
+
+    study = sub.add_parser("study", help="run the simulated user study")
+    study.add_argument("--scale", type=int, default=150)
+    study.set_defaults(func=_cmd_study)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,55 @@
+"""The paper's primary contribution: sample-driven schema mapping.
+
+Public surface:
+
+* :class:`~repro.core.tpw.TPWEngine` — the Tuple Path Weaving sample
+  search (Section 4).
+* :class:`~repro.core.session.MappingSession` — the interactive
+  spreadsheet model with sample pruning (Sections 3 and 5).
+* :class:`~repro.core.naive.NaiveEngine` — the candidate-network
+  baseline of Section 6.3.
+* :class:`~repro.core.mapping_path.MappingPath` /
+  :class:`~repro.core.tuple_path.TuplePath` — Definitions 4 and 5.
+"""
+
+from repro.core.samples import SampleTuple, Spreadsheet
+from repro.core.mapping_path import MappingPath
+from repro.core.tuple_path import TuplePath
+from repro.core.location import LocationMap, build_location_map
+from repro.core.stats import SearchStats
+from repro.core.ranking import RankedMapping, rank_mappings
+from repro.core.tpw import SearchResult, TPWEngine
+from repro.core.naive import NaiveEngine, NaiveResult
+from repro.core.pruning import prune_by_attribute, prune_by_structure
+from repro.core.suggest import suggest_row_values, suggest_values
+from repro.core.session import MappingSession, SessionEvent, SessionStatus
+from repro.core.materialize import materialize_mapping, target_schema_for
+from repro.core.explain import explain_mapping
+from repro.core.project import MappingProject
+
+__all__ = [
+    "SampleTuple",
+    "Spreadsheet",
+    "MappingPath",
+    "TuplePath",
+    "LocationMap",
+    "build_location_map",
+    "SearchStats",
+    "RankedMapping",
+    "rank_mappings",
+    "TPWEngine",
+    "SearchResult",
+    "NaiveEngine",
+    "NaiveResult",
+    "prune_by_attribute",
+    "prune_by_structure",
+    "suggest_values",
+    "suggest_row_values",
+    "MappingSession",
+    "SessionStatus",
+    "SessionEvent",
+    "materialize_mapping",
+    "target_schema_for",
+    "explain_mapping",
+    "MappingProject",
+]

@@ -1,0 +1,53 @@
+"""Canonical encodings of labeled unrooted trees.
+
+Weaving can construct the same tuple path along different orders (weave
+``r3`` then ``r5``, or ``r5`` then ``r3``), and vertex ids are assigned
+arbitrarily, so structural deduplication needs a canonical form that is
+invariant under vertex renaming.  We use the classic AHU-style recursive
+encoding, rooted at every vertex in turn, taking the lexicographic
+minimum.  Paths are tiny (a handful of vertices — target size is ≤ 6
+and PMNJ ≤ 2 in all experiments), so the ``O(n²)`` root loop is
+irrelevant next to the database work around it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Hashable
+
+from repro.relational.query import JoinTree
+
+#: A canonical signature: nested tuples of hashables.
+Signature = Hashable
+
+
+def canonical_signature(
+    tree: JoinTree,
+    vertex_label: Callable[[int], Hashable],
+) -> Signature:
+    """Canonical form of ``tree`` under arbitrary vertex renaming.
+
+    ``vertex_label`` maps a vertex id to the label that defines its
+    identity — ``(relation, projections)`` for mapping paths, plus the
+    row id for tuple paths.  Edge labels are the foreign-key name and
+    its orientation relative to the traversal.
+
+    Two trees have equal signatures iff there is a label- and
+    edge-preserving isomorphism between them.
+    """
+
+    def encode(vertex: int, parent: int | None) -> tuple:
+        children = []
+        for edge in tree.neighbors(vertex):
+            neighbor = edge.other(vertex)
+            if neighbor == parent:
+                continue
+            # Orientation: does the edge's FK point from this vertex
+            # down to the child, or up from the child to this vertex?
+            orientation = "down" if edge.source_vertex == vertex else "up"
+            children.append((edge.fk_name, orientation, encode(neighbor, vertex)))
+        children.sort()
+        return (vertex_label(vertex), tuple(children))
+
+    # There may be repeated subtrees under different roots; taking the
+    # minimum over all roots makes the encoding root-independent.
+    return min(encode(root, None) for root in tree.vertices)

@@ -1,0 +1,104 @@
+"""Human-readable mapping explanations (the UI's "Mapping List").
+
+The MWeaver interface visualises each candidate "as an undirected tree
+[with] the correspondences between the target columns and the source
+attributes" plus, on request, a supporting example — the explanatory
+device of Yan et al. and Alexe et al. that the related-work section
+discusses.  :func:`explain_mapping` renders exactly that as plain text.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.mapping_path import MappingPath
+from repro.core.tuple_path import TuplePath
+from repro.relational.database import Database
+
+
+def _render_tree(mapping: MappingPath) -> list[str]:
+    """Indented tree rendering rooted at the lowest-id vertex."""
+    tree = mapping.tree
+    root = min(tree.vertices)
+    by_vertex: dict[int, list[int]] = {}
+    for key, (vertex, _attribute) in mapping.projections.items():
+        by_vertex.setdefault(vertex, []).append(key)
+
+    lines: list[str] = []
+
+    def visit(vertex: int, parent: int | None, depth: int, via: str) -> None:
+        marker = f" -[{via}]-> " if via else ""
+        projected = by_vertex.get(vertex)
+        annotation = (
+            "  (target column" + ("s " if len(projected) > 1 else " ")
+            + ", ".join(str(key) for key in sorted(projected)) + ")"
+            if projected
+            else ""
+        )
+        lines.append(
+            "  " * depth + f"{marker}{tree.relation_of(vertex)}{annotation}"
+        )
+        for edge in tree.neighbors(vertex):
+            neighbor = edge.other(vertex)
+            if neighbor != parent:
+                visit(neighbor, vertex, depth + 1, edge.fk_name)
+
+    visit(root, None, 0, "")
+    return lines
+
+
+def explain_mapping(
+    mapping: MappingPath,
+    db: Database,
+    *,
+    column_names: Sequence[str] | None = None,
+    example: TuplePath | None = None,
+) -> str:
+    """Render a candidate mapping the way the UI's mapping list does.
+
+    Shows the join tree, the column-to-attribute correspondences, and —
+    when ``example`` is given or the mapping has any instance — one
+    example target row with the source tuples that produce it.
+    """
+    keys = sorted(mapping.projections)
+    names = (
+        list(column_names)
+        if column_names is not None
+        else [f"col{key}" for key in keys]
+    )
+
+    lines = ["join tree:"]
+    lines.extend(_render_tree(mapping))
+
+    lines.append("correspondences:")
+    for name, key in zip(names, keys):
+        relation, attribute = mapping.attribute_of(key)
+        lines.append(f"  {name}  <-  {relation}.{attribute}")
+
+    if example is None:
+        rows = mapping.execute(db, limit=1)
+        example_values = rows[0] if rows else None
+    else:
+        values = example.projection_values(db)
+        example_values = tuple(values[key] for key in keys)
+
+    if example_values is not None:
+        lines.append("example target row:")
+        lines.append(
+            "  ("
+            + ", ".join(
+                f"{name}={value!r}"
+                for name, value in zip(names, example_values)
+            )
+            + ")"
+        )
+    if example is not None:
+        lines.append("supported by source tuples:")
+        for vertex in sorted(example.rows):
+            relation, row_id = example.tuple_at(vertex)
+            row = db.table(relation).row_as_dict(row_id)
+            rendered = ", ".join(
+                f"{column}={value!r}" for column, value in list(row.items())[:4]
+            )
+            lines.append(f"  {relation}({rendered})")
+    return "\n".join(lines)

@@ -1,0 +1,75 @@
+"""Pairwise tuple path creation (Section 4.5.3, Appendix A.3).
+
+Each pairwise mapping path is translated into an approximate-search
+query — its join tree plus a containment predicate at each projected
+end — and executed.  Every satisfying assignment becomes a pairwise
+tuple path; mapping paths with no support are pruned here, which is the
+early pruning that gives TPW its edge over the naive baseline.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.config import TPWConfig
+from repro.core.mapping_path import MappingPath
+from repro.core.tuple_path import TuplePath
+from repro.relational.database import Database
+from repro.relational.executor import evaluate_tree
+from repro.text.errors import ErrorModel
+
+
+def instantiate_mapping_path(
+    db: Database,
+    mapping_path: MappingPath,
+    samples: Sequence[str],
+    model: ErrorModel,
+    *,
+    limit: int = 0,
+) -> list[TuplePath]:
+    """All tuple paths instantiating ``mapping_path`` for ``samples``.
+
+    ``samples`` is the full sample tuple; only the columns the mapping
+    path projects constrain the query.  ``limit=0`` means unbounded.
+    """
+    bound = {
+        key: samples[key] for key in mapping_path.projections if key < len(samples)
+    }
+    predicates = mapping_path.predicates_for(bound, model)
+    assignments = evaluate_tree(db, mapping_path.tree, predicates, limit=limit)
+    return [
+        TuplePath(mapping_path.tree, assignment, mapping_path.projections)
+        for assignment in assignments
+    ]
+
+
+def create_pairwise_tuple_paths(
+    db: Database,
+    pmpm: dict[tuple[int, int], list[MappingPath]],
+    samples: Sequence[str],
+    model: ErrorModel,
+    config: TPWConfig,
+) -> tuple[dict[tuple[int, int], list[TuplePath]], int]:
+    """Build the Pairwise Tuple Path Map (paper: ``PTPM``).
+
+    Returns the map plus the count of pairwise mapping paths that
+    turned out valid (had at least one supporting tuple path).
+    """
+    ptpm: dict[tuple[int, int], list[TuplePath]] = {}
+    valid_mapping_paths = 0
+    for key_pair, mapping_paths in pmpm.items():
+        collected: list[TuplePath] = []
+        for mapping_path in mapping_paths:
+            tuple_paths = instantiate_mapping_path(
+                db,
+                mapping_path,
+                samples,
+                model,
+                limit=config.max_tuple_paths_per_mapping,
+            )
+            if tuple_paths:
+                valid_mapping_paths += 1
+                collected.extend(tuple_paths)
+        if collected:
+            ptpm[key_pair] = collected
+    return ptpm, valid_mapping_paths

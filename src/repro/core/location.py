@@ -1,0 +1,77 @@
+"""Sample-occurrence location (Algorithm 1, ``LocateSample``).
+
+For each sample string, the location map records every source attribute
+that contains it, nested by relation so that pairwise path generation
+can ask "which samples does relation ``R`` contain?" in O(1).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.relational.database import Database
+from repro.text.errors import ErrorModel, default_error_model
+
+
+@dataclass
+class LocationMap:
+    """Where each sample occurs in the source database.
+
+    ``entries[i]`` is the set of ``(relation, attribute)`` pairs
+    containing sample ``i`` (0-based target column index);
+    ``by_relation[i]`` nests the same information by relation name.
+    """
+
+    samples: tuple[str, ...]
+    entries: dict[int, tuple[tuple[str, str], ...]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.by_relation: dict[int, dict[str, tuple[str, ...]]] = {}
+        for key, pairs in self.entries.items():
+            nested: dict[str, list[str]] = {}
+            for relation, attribute in pairs:
+                nested.setdefault(relation, []).append(attribute)
+            self.by_relation[key] = {
+                relation: tuple(attributes) for relation, attributes in nested.items()
+            }
+
+    def attributes_of(self, key: int) -> tuple[tuple[str, str], ...]:
+        """``L(key)``: all attributes containing sample ``key``."""
+        return self.entries.get(key, ())
+
+    def relations_of(self, key: int) -> tuple[str, ...]:
+        """Relations with at least one attribute containing sample ``key``."""
+        return tuple(self.by_relation.get(key, {}))
+
+    def attributes_in_relation(self, key: int, relation: str) -> tuple[str, ...]:
+        """Attributes of ``relation`` containing sample ``key``."""
+        return self.by_relation.get(key, {}).get(relation, ())
+
+    def empty_keys(self) -> tuple[int, ...]:
+        """Sample indexes that occur nowhere in the source.
+
+        Any mapping covering such a column is invalid, so a non-empty
+        result means the overall search must return no candidates (and
+        the session should warn about an irrelevant sample).
+        """
+        return tuple(
+            key for key in range(len(self.samples)) if not self.entries.get(key)
+        )
+
+    def total_occurrence_attributes(self) -> int:
+        """Total attribute hits across all samples (reported in stats)."""
+        return sum(len(pairs) for pairs in self.entries.values())
+
+
+def build_location_map(
+    db: Database,
+    samples: Sequence[str],
+    model: ErrorModel | None = None,
+) -> LocationMap:
+    """Run Algorithm 1: scan every full-text attribute for each sample."""
+    model = model or default_error_model()
+    entries: dict[int, tuple[tuple[str, str], ...]] = {}
+    for key, sample in enumerate(samples):
+        entries[key] = tuple(db.attributes_containing(sample, model))
+    return LocationMap(samples=tuple(samples), entries=entries)

@@ -1,0 +1,205 @@
+"""Mapping paths (Definition 4): relation paths plus projection maps.
+
+A mapping path is the paper's schema-mapping representation: an
+undirected tree of relation occurrences joined via foreign keys (the
+*relation path*, Definition 3) augmented with a *projection map* from
+target-column indexes to source attributes on the tree.  Every terminal
+vertex must project at least one target column, otherwise it would be a
+redundant join.
+
+Target columns are indexed **0-based** here (the paper writes 1-based
+``[m]``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.core.canonical import Signature, canonical_signature
+from repro.exceptions import QueryError
+from repro.relational.database import Database
+from repro.relational.query import ContainsPredicate, JoinTree, Projection
+from repro.relational.schema import DatabaseSchema
+from repro.relational.sql import render_join_tree_sql
+from repro.text.errors import ErrorModel
+
+
+class MappingPath:
+    """A project-join schema mapping, represented as an annotated tree.
+
+    Parameters
+    ----------
+    tree:
+        The relation path.
+    projections:
+        Target-column index → ``(vertex, attribute)``.  Keys form the
+        set ``N ⊆ [m]`` of Definition 4; ``len(projections)`` is the
+        mapping path's *size*.
+    """
+
+    __slots__ = ("tree", "projections", "_signature")
+
+    def __init__(
+        self, tree: JoinTree, projections: Mapping[int, tuple[int, str]]
+    ) -> None:
+        if not projections:
+            raise QueryError("a mapping path must project at least one column")
+        self.tree = tree
+        self.projections: dict[int, tuple[int, str]] = dict(
+            sorted(projections.items())
+        )
+        for key, (vertex, _attribute) in self.projections.items():
+            if key < 0:
+                raise QueryError(f"negative target column index {key}")
+            if vertex not in tree.vertices:
+                raise QueryError(f"projection of column {key} uses unknown vertex")
+        projected_vertices = {vertex for vertex, _ in self.projections.values()}
+        for terminal in tree.terminal_vertices():
+            if tree.degree(terminal) == 0:
+                continue  # single-vertex tree: nothing to check
+            if terminal not in projected_vertices:
+                raise QueryError(
+                    f"terminal vertex {terminal} projects nothing (redundant join)"
+                )
+        self._signature: Signature | None = None
+
+    # ------------------------------------------------------------------
+    # Size and shape
+    # ------------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Number of target columns projected (``|N|``)."""
+        return len(self.projections)
+
+    @property
+    def keys(self) -> frozenset[int]:
+        """The projected target-column indexes."""
+        return frozenset(self.projections)
+
+    @property
+    def n_joins(self) -> int:
+        """Number of joins in the relation path."""
+        return self.tree.n_joins
+
+    def is_pairwise(self) -> bool:
+        """Whether this is a size-two (pairwise) mapping path."""
+        return self.size == 2
+
+    def is_complete(self, target_size: int) -> bool:
+        """Whether every column of a size-``target_size`` target is mapped."""
+        return self.keys == frozenset(range(target_size))
+
+    def attribute_of(self, key: int) -> tuple[str, str]:
+        """``(relation, attribute)`` that target column ``key`` maps to."""
+        vertex, attribute = self.projections[key]
+        return (self.tree.relation_of(vertex), attribute)
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+
+    def signature(self) -> Signature:
+        """Canonical form, invariant under vertex renaming (cached)."""
+        if self._signature is None:
+            by_vertex: dict[int, list[tuple[int, str]]] = {}
+            for key, (vertex, attribute) in self.projections.items():
+                by_vertex.setdefault(vertex, []).append((key, attribute))
+
+            def label(vertex: int) -> tuple:
+                return (
+                    self.tree.relation_of(vertex),
+                    tuple(sorted(by_vertex.get(vertex, ()))),
+                )
+
+            self._signature = canonical_signature(self.tree, label)
+        return self._signature
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MappingPath):
+            return NotImplemented
+        return self.signature() == other.signature()
+
+    def __hash__(self) -> int:
+        return hash(self.signature())
+
+    # ------------------------------------------------------------------
+    # Translation
+    # ------------------------------------------------------------------
+
+    def predicates_for(
+        self, samples: Mapping[int, str], model: ErrorModel
+    ) -> list[ContainsPredicate]:
+        """Containment predicates binding ``samples`` to this mapping.
+
+        ``samples`` maps target-column indexes to sample strings; only
+        columns this mapping projects contribute predicates.
+        """
+        predicates = []
+        for key, sample in sorted(samples.items()):
+            if key in self.projections:
+                vertex, attribute = self.projections[key]
+                predicates.append(ContainsPredicate(vertex, attribute, sample, model))
+        return predicates
+
+    def to_sql(
+        self,
+        schema: DatabaseSchema,
+        *,
+        column_names: list[str] | None = None,
+    ) -> str:
+        """The SQL query implementing this schema mapping."""
+        projections = [
+            Projection(key, vertex, attribute)
+            for key, (vertex, attribute) in self.projections.items()
+        ]
+        return render_join_tree_sql(
+            schema, self.tree, projections, column_names=column_names
+        )
+
+    def execute(self, db: Database, *, limit: int = 0) -> list[tuple[object, ...]]:
+        """Materialise the target instance ``M(D_S)`` (optionally limited).
+
+        Output columns are ordered by target-column index.  Duplicate
+        tuples are preserved (the mapping is a plain project-join).
+        """
+        from repro.relational.executor import iterate_assignments, project_assignment
+
+        ordered = sorted(self.projections.items())
+        projection_pairs = [pair for _key, pair in ordered]
+        rows: list[tuple[object, ...]] = []
+        for assignment in iterate_assignments(db, self.tree):
+            rows.append(
+                project_assignment(db, self.tree, assignment, projection_pairs)
+            )
+            if limit and len(rows) >= limit:
+                break
+        return rows
+
+    # ------------------------------------------------------------------
+    # Display
+    # ------------------------------------------------------------------
+
+    def describe(self) -> str:
+        """Human-readable one-liner: tree plus projection map."""
+        projections = ", ".join(
+            f"{key}->{self.tree.relation_of(vertex)}.{attribute}"
+            for key, (vertex, attribute) in self.projections.items()
+        )
+        return f"[{self.tree.describe()}] {{{projections}}}"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<MappingPath {self.describe()}>"
+
+
+def single_relation_mapping(
+    relation: str, projections: Mapping[int, str]
+) -> MappingPath:
+    """A zero-join mapping projecting attributes of one relation.
+
+    ``projections`` maps target-column indexes to attribute names.
+    """
+    tree = JoinTree({0: relation})
+    return MappingPath(
+        tree, {key: (0, attribute) for key, attribute in projections.items()}
+    )

@@ -1,0 +1,91 @@
+"""Materialising a converged mapping: the data-exchange step.
+
+A schema mapping "transforms a source database instance into an
+instance that obeys a target schema" (Section 1).  Once the session has
+converged, :func:`materialize_mapping` performs that transformation,
+producing a new single-relation :class:`~repro.relational.database.Database`
+holding the target instance — ready for CSV export or the sqlite
+mirror.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.mapping_path import MappingPath
+from repro.exceptions import QueryError
+from repro.relational.database import Database
+from repro.relational.schema import Attribute, DatabaseSchema, RelationSchema
+
+
+def target_schema_for(
+    mapping: MappingPath,
+    source: Database,
+    relation_name: str,
+    column_names: Sequence[str],
+) -> DatabaseSchema:
+    """Derive the target relation's schema from the mapping.
+
+    Each target column inherits the data type of the source attribute
+    it projects; column order follows the target-column indexes.
+    """
+    keys = sorted(mapping.projections)
+    if len(column_names) != len(keys):
+        raise QueryError(
+            f"expected {len(keys)} column names, got {len(column_names)}"
+        )
+    attributes = []
+    for name, key in zip(column_names, keys):
+        relation, attribute = mapping.attribute_of(key)
+        source_attribute = source.schema.relation(relation).attribute(attribute)
+        attributes.append(Attribute(name, source_attribute.data_type))
+    return DatabaseSchema(
+        [RelationSchema(relation_name, tuple(attributes))]
+    )
+
+
+def materialize_mapping(
+    mapping: MappingPath,
+    source: Database,
+    *,
+    relation_name: str = "target",
+    column_names: Sequence[str] | None = None,
+    distinct: bool = False,
+    limit: int = 0,
+) -> Database:
+    """Execute ``mapping`` over ``source`` into a fresh target database.
+
+    Parameters
+    ----------
+    mapping:
+        The (typically converged) mapping path.
+    source:
+        The source instance.
+    relation_name:
+        Name of the single target relation.
+    column_names:
+        Target column names; defaults to ``col<key>``.
+    distinct:
+        Drop duplicate target tuples (a project-join is a bag by
+        default).
+    limit:
+        Cap on produced rows; ``0`` means all.
+    """
+    keys = sorted(mapping.projections)
+    names = (
+        list(column_names)
+        if column_names is not None
+        else [f"col{key}" for key in keys]
+    )
+    schema = target_schema_for(mapping, source, relation_name, names)
+    target = Database(schema, name=f"{source.name}-target")
+    seen: set[tuple[object, ...]] = set()
+    for row in mapping.execute(source, limit=0):
+        if distinct:
+            if row in seen:
+                continue
+            seen.add(row)
+        target.insert(relation_name, row)
+        if limit and len(target.table(relation_name)) >= limit:
+            break
+    return target

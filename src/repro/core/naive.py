@@ -1,0 +1,172 @@
+"""The naive baseline of Section 6.3.
+
+The paper compares TPW against "a naive algorithm which enumerated all
+the complete mapping paths (no matter valid or not) in the same way as
+the equivalent candidate networks are generated in DISCOVER, and
+validated them by executing an approximate search query translated from
+each of them".
+
+We enumerate that family by running the *schema-level* weave (merge on
+relation names, no instance information) over the pairwise mapping
+paths, then validate every enumerated complete mapping with a database
+query.  This is intentionally the same mapping family TPW explores —
+the difference, and the whole point of the comparison, is that the
+naive algorithm pays one database query per *candidate* while TPW pays
+one per *pairwise mapping path* and prunes everything else in memory.
+
+The enumeration explodes combinatorially (the paper reports memory
+exhaustion beyond target size four); :class:`NaiveEngine` converts that
+failure mode into an explicit
+:class:`~repro.exceptions.SearchBudgetExceeded`.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.config import NaiveConfig, TPWConfig
+from repro.core.location import LocationMap, build_location_map
+from repro.core.mapping_path import MappingPath, single_relation_mapping
+from repro.core.pairwise import generate_pairwise_mapping_paths
+from repro.core.weave import weave_mapping_paths
+from repro.exceptions import SearchBudgetExceeded, SessionError
+from repro.graphs.schema_graph import SchemaGraph
+from repro.relational.database import Database
+from repro.relational.executor import tree_exists
+from repro.text.errors import ErrorModel, default_error_model
+
+
+@dataclass
+class NaiveResult:
+    """Outcome of one naive search."""
+
+    sample_tuple: tuple[str, ...]
+    #: Valid complete mappings (same notion of valid as TPW's).
+    valid_mappings: list[MappingPath]
+    #: Complete mapping paths enumerated before validation — the
+    #: "# Naive MP" column of Table 4.
+    enumerated_complete: int = 0
+    #: Mapping paths enumerated across all levels (intermediate sizes
+    #: included), the quantity the budget applies to.
+    enumerated_total: int = 0
+    #: Validation queries issued (one per complete mapping path).
+    validation_queries: int = 0
+    timings: dict[str, float] = field(default_factory=dict)
+
+
+class NaiveEngine:
+    """Candidate-network-style enumerate-then-validate sample search."""
+
+    def __init__(
+        self,
+        db: Database,
+        config: NaiveConfig | None = None,
+        model: ErrorModel | None = None,
+    ) -> None:
+        self.db = db
+        self.config = config or NaiveConfig()
+        self.model = model or default_error_model()
+        self.graph = SchemaGraph(db.schema)
+
+    # ------------------------------------------------------------------
+
+    def _enumerate_complete(
+        self, location_map: LocationMap, target_size: int, result: NaiveResult
+    ) -> list[MappingPath]:
+        """Enumerate the complete mapping path family, schema-only."""
+        pairwise_config = TPWConfig(pmnj=self.config.pmnj)
+        pmpm = generate_pairwise_mapping_paths(
+            self.graph, location_map, pairwise_config
+        )
+
+        level: dict[object, MappingPath] = {}
+        for mapping_paths in pmpm.values():
+            for mapping_path in mapping_paths:
+                level.setdefault(mapping_path.signature(), mapping_path)
+        result.enumerated_total += len(level)
+        self._check_budget(result)
+
+        anchor_index: dict[tuple, list[MappingPath]] = {}
+        for mapping_path in level.values():
+            for key, (vertex, attribute) in mapping_path.projections.items():
+                anchor = (key, mapping_path.tree.relation_of(vertex), attribute)
+                anchor_index.setdefault(anchor, []).append(mapping_path)
+
+        current = level
+        for _size in range(2, target_size):
+            next_level: dict[object, MappingPath] = {}
+            for base in current.values():
+                for key, (vertex, attribute) in base.projections.items():
+                    anchor = (key, base.tree.relation_of(vertex), attribute)
+                    for pair in anchor_index.get(anchor, ()):
+                        other_key = next(
+                            k for k in pair.projections if k != key
+                        )
+                        if other_key in base.keys:
+                            continue
+                        for woven in weave_mapping_paths(base, pair, key):
+                            result.enumerated_total += 1
+                            self._check_budget(result)
+                            next_level.setdefault(woven.signature(), woven)
+            current = next_level
+        return list(current.values())
+
+    def _check_budget(self, result: NaiveResult) -> None:
+        if (
+            self.config.max_candidates
+            and result.enumerated_total > self.config.max_candidates
+        ):
+            raise SearchBudgetExceeded(
+                "naive mapping path enumeration", self.config.max_candidates
+            )
+
+    # ------------------------------------------------------------------
+
+    def search(self, sample_tuple: Sequence[str]) -> NaiveResult:
+        """Enumerate all complete mapping paths, validate each by query.
+
+        Raises
+        ------
+        SearchBudgetExceeded
+            When the enumeration outgrows ``config.max_candidates`` —
+            the analogue of the paper's out-of-memory failures at
+            target sizes five and six.
+        """
+        samples = tuple(str(sample) for sample in sample_tuple)
+        if not samples:
+            raise SessionError("the sample tuple must have at least one column")
+        result = NaiveResult(sample_tuple=samples, valid_mappings=[])
+        started = time.perf_counter()
+
+        phase = time.perf_counter()
+        location_map = build_location_map(self.db, samples, self.model)
+        result.timings["locate"] = time.perf_counter() - phase
+
+        if location_map.empty_keys():
+            result.timings["total"] = time.perf_counter() - started
+            return result
+
+        phase = time.perf_counter()
+        if len(samples) == 1:
+            complete = [
+                single_relation_mapping(relation, {0: attribute})
+                for relation, attribute in location_map.attributes_of(0)
+            ]
+            result.enumerated_total = len(complete)
+        else:
+            complete = self._enumerate_complete(location_map, len(samples), result)
+        result.enumerated_complete = len(complete)
+        result.timings["enumerate"] = time.perf_counter() - phase
+
+        phase = time.perf_counter()
+        sample_map = dict(enumerate(samples))
+        for mapping_path in complete:
+            predicates = mapping_path.predicates_for(sample_map, self.model)
+            result.validation_queries += 1
+            if tree_exists(self.db, mapping_path.tree, predicates):
+                result.valid_mappings.append(mapping_path)
+        result.timings["validate"] = time.perf_counter() - phase
+        result.timings["total"] = time.perf_counter() - started
+        return result

@@ -1,0 +1,114 @@
+"""Pairwise mapping path generation (Algorithms 2–4).
+
+For every pair of sample indexes ``i < j``, we enumerate all mapping
+paths that project sample ``i``'s attribute at one end and sample
+``j``'s attribute at the other, joined through at most ``PMNJ``
+foreign-key edges.  The enumeration is a bounded breadth-first walk of
+the schema graph from each relation containing sample ``i`` (Algorithm
+3, "Grow"); each walk reaching a relation containing sample ``j`` is
+turned into mapping paths by the attribute cross-product of Algorithm 4
+("Create").
+"""
+
+from __future__ import annotations
+
+from repro.config import TPWConfig
+from repro.core.location import LocationMap
+from repro.core.mapping_path import MappingPath
+from repro.graphs.schema_graph import SchemaGraph
+from repro.graphs.walks import Walk, enumerate_walks
+from repro.relational.query import JoinTree, JoinTreeEdge
+
+#: Pairwise Mapping Path Map: key pair -> mapping paths (paper: PMPM).
+PairwiseMappingPathMap = dict[tuple[int, int], list[MappingPath]]
+
+
+def walk_to_tree(walk: Walk) -> JoinTree:
+    """Materialise a schema-graph walk as a join tree (a simple path).
+
+    Vertex ``p`` is the walk's ``p``-th relation occurrence, so repeated
+    relations become distinct vertices, exactly as Definition 3 allows.
+    """
+    vertices = {
+        position: relation for position, relation in enumerate(walk.relations())
+    }
+    edges = []
+    for position, step in enumerate(walk.steps):
+        source_vertex = position if step.from_is_source else position + 1
+        edges.append(
+            JoinTreeEdge(
+                u=position,
+                v=position + 1,
+                fk_name=step.edge.name,
+                source_vertex=source_vertex,
+            )
+        )
+    return JoinTree(vertices, edges)
+
+
+def _create_mapping_paths(
+    walk: Walk,
+    location_map: LocationMap,
+    key_i: int,
+    key_j: int,
+) -> list[MappingPath]:
+    """Algorithm 4: attribute cross-product over one relation path."""
+    attributes_i = location_map.attributes_in_relation(key_i, walk.start)
+    attributes_j = location_map.attributes_in_relation(key_j, walk.end)
+    if not attributes_i or not attributes_j:
+        return []
+    tree = walk_to_tree(walk)
+    end_vertex = walk.n_joins
+    paths = []
+    for attribute_i in attributes_i:
+        for attribute_j in attributes_j:
+            paths.append(
+                MappingPath(
+                    tree,
+                    {key_i: (0, attribute_i), key_j: (end_vertex, attribute_j)},
+                )
+            )
+    return paths
+
+
+def generate_pairwise_mapping_paths(
+    graph: SchemaGraph,
+    location_map: LocationMap,
+    config: TPWConfig,
+) -> PairwiseMappingPathMap:
+    """Algorithm 2: build the pairwise mapping path map ``PMPM``.
+
+    For each key pair ``(i, j)`` with ``i < j`` the result lists every
+    distinct (up to isomorphism) mapping path of size two that joins an
+    attribute containing sample ``i`` to an attribute containing sample
+    ``j`` within the PMNJ bound.  Entries with no paths are omitted.
+    """
+    m = len(location_map.samples)
+    pmpm: PairwiseMappingPathMap = {}
+    dedup: dict[tuple[int, int], dict[object, MappingPath]] = {}
+    for key_i in range(m):
+        for start_relation in location_map.relations_of(key_i):
+            for walk in enumerate_walks(
+                graph,
+                start_relation,
+                config.pmnj,
+                allow_backtrack=config.allow_backtrack,
+            ):
+                for key_j in range(key_i + 1, m):
+                    if not location_map.attributes_in_relation(key_j, walk.end):
+                        continue
+                    for path in _create_mapping_paths(
+                        walk, location_map, key_i, key_j
+                    ):
+                        bucket = dedup.setdefault((key_i, key_j), {})
+                        signature = path.signature()
+                        if signature not in bucket:
+                            bucket[signature] = path
+    for key_pair, bucket in sorted(dedup.items()):
+        pmpm[key_pair] = list(bucket.values())
+    return pmpm
+
+
+def count_pairwise_paths(pmpm: PairwiseMappingPathMap) -> int:
+    """Total number of pairwise mapping paths across all key pairs."""
+    return sum(len(paths) for paths in pmpm.values())

@@ -1,0 +1,115 @@
+"""Multi-table mapping projects.
+
+The paper assumes "the target schema comprises one or more table
+'views' ... Since these views are independent, they can be constructed
+one at a time" (Section 3).  A :class:`MappingProject` manages that
+construction: one :class:`~repro.core.session.MappingSession` per
+target table over a shared source, with project-level convergence
+tracking and a combined SQL script once every table has converged.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.config import TPWConfig
+from repro.core.session import MappingSession, SessionStatus
+from repro.exceptions import SessionError
+from repro.relational.database import Database
+from repro.text.errors import ErrorModel
+
+
+class MappingProject:
+    """A set of independently-built target tables over one source."""
+
+    def __init__(
+        self,
+        db: Database,
+        *,
+        config: TPWConfig | None = None,
+        model: ErrorModel | None = None,
+    ) -> None:
+        self.db = db
+        self.config = config
+        self.model = model
+        self._sessions: dict[str, MappingSession] = {}
+
+    # ------------------------------------------------------------------
+
+    @property
+    def table_names(self) -> tuple[str, ...]:
+        """Target table names in creation order."""
+        return tuple(self._sessions)
+
+    def add_table(self, name: str, columns: Sequence[str]) -> MappingSession:
+        """Register a new target table and return its session."""
+        if not name:
+            raise SessionError("target table name must be non-empty")
+        if name in self._sessions:
+            raise SessionError(f"target table {name!r} already exists")
+        session = MappingSession(
+            self.db, columns, config=self.config, model=self.model
+        )
+        self._sessions[name] = session
+        return session
+
+    def drop_table(self, name: str) -> None:
+        """Remove a target table from the project."""
+        try:
+            del self._sessions[name]
+        except KeyError:
+            raise SessionError(f"unknown target table {name!r}") from None
+
+    def session(self, name: str) -> MappingSession:
+        """The session building target table ``name``."""
+        try:
+            return self._sessions[name]
+        except KeyError:
+            raise SessionError(f"unknown target table {name!r}") from None
+
+    # ------------------------------------------------------------------
+
+    def statuses(self) -> dict[str, SessionStatus]:
+        """Current status per target table."""
+        return {name: s.status for name, s in self._sessions.items()}
+
+    @property
+    def converged(self) -> bool:
+        """Whether every registered table has converged."""
+        return bool(self._sessions) and all(
+            session.converged for session in self._sessions.values()
+        )
+
+    def to_sql_script(self) -> str:
+        """One ``CREATE VIEW`` statement per converged target table.
+
+        Raises :class:`~repro.exceptions.SessionError` if any table has
+        not converged yet (the mapping would be ambiguous).
+        """
+        if not self._sessions:
+            raise SessionError("the project has no target tables")
+        statements = []
+        for name, session in self._sessions.items():
+            if not session.converged:
+                raise SessionError(
+                    f"target table {name!r} has not converged "
+                    f"({session.status.value})"
+                )
+            mapping = session.best_mapping()
+            assert mapping is not None
+            sql = mapping.to_sql(
+                self.db.schema, column_names=list(session.spreadsheet.columns)
+            )
+            statements.append(f"CREATE VIEW \"{name}\" AS\n{sql};")
+        return "\n\n".join(statements)
+
+    def describe(self) -> str:
+        """Project-level status summary."""
+        lines = [f"project over {self.db.name}: {len(self._sessions)} table(s)"]
+        for name, session in self._sessions.items():
+            lines.append(
+                f"  {name}: {session.status.value}, "
+                f"{len(session.candidates)} candidate(s), "
+                f"{session.sample_count()} sample(s)"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,72 @@
+"""Sample pruning (Section 5).
+
+After the initial candidate set is built from the first spreadsheet
+row, every additional sample narrows it:
+
+* **Pruning by attribute** — a new sample in column ``i`` keeps only
+  candidates whose column-``i`` projection is one of the source
+  attributes containing the sample.
+* **Pruning by mapping structure** — when a later row holds two or more
+  samples, each candidate is probed with an approximate-search query
+  over *all* that row's samples; candidates with an empty result are
+  discarded (Example 7: entering *Big Fish* / *Tim Burton* eliminates
+  the join via ``write`` because Big Fish's writer is not Tim Burton).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.core.mapping_path import MappingPath
+from repro.relational.database import Database
+from repro.relational.executor import tree_exists
+from repro.text.errors import ErrorModel, default_error_model
+
+
+def prune_by_attribute(
+    db: Database,
+    candidates: Sequence[MappingPath],
+    key: int,
+    sample: str,
+    model: ErrorModel | None = None,
+) -> list[MappingPath]:
+    """Keep candidates whose column-``key`` attribute contains ``sample``.
+
+    Candidates that do not project column ``key`` at all are kept (they
+    cannot be contradicted by it); complete mappings always project
+    every column, so in the session this case never triggers.
+    """
+    model = model or default_error_model()
+    containing = set(db.attributes_containing(sample, model))
+    kept = []
+    for mapping in candidates:
+        if key not in mapping.projections:
+            kept.append(mapping)
+        elif mapping.attribute_of(key) in containing:
+            kept.append(mapping)
+    return kept
+
+
+def prune_by_structure(
+    db: Database,
+    candidates: Sequence[MappingPath],
+    row_samples: Mapping[int, str],
+    model: ErrorModel | None = None,
+) -> list[MappingPath]:
+    """Keep candidates that can co-produce all of ``row_samples``.
+
+    ``row_samples`` maps column indexes to the samples currently on one
+    spreadsheet row; each candidate is kept iff a single source tuple
+    assignment satisfies every one of them simultaneously (an existence
+    query with early exit — this is why pruning is an order of
+    magnitude cheaper than searching in Table 2).
+    """
+    model = model or default_error_model()
+    if not row_samples:
+        return list(candidates)
+    kept = []
+    for mapping in candidates:
+        predicates = mapping.predicates_for(row_samples, model)
+        if tree_exists(db, mapping.tree, predicates):
+            kept.append(mapping)
+    return kept

@@ -1,0 +1,116 @@
+"""Candidate mapping extraction and ranking (Section 4.5.5).
+
+Complete tuple paths are grouped by the mapping path they instantiate;
+each tuple path is scored by a weighted combination of its *matching
+score* (how well the samples match the projected instance values) and
+its *complexity score* (number of joins); a mapping's score is the
+average over its supporting tuple paths.  Candidates are returned best
+first with a deterministic tie-break.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.config import RankingWeights
+from repro.core.mapping_path import MappingPath
+from repro.core.tuple_path import TuplePath
+from repro.relational.database import Database
+from repro.text.errors import ErrorModel
+
+
+@dataclass(frozen=True)
+class RankedMapping:
+    """One candidate mapping with its score and instance support."""
+
+    mapping: MappingPath
+    score: float
+    tuple_paths: tuple[TuplePath, ...]
+
+    @property
+    def support(self) -> int:
+        """Number of tuple paths instantiating the mapping."""
+        return len(self.tuple_paths)
+
+    def describe(self) -> str:
+        """One-line rendering with score and support count."""
+        return (
+            f"score={self.score:.3f} support={self.support} "
+            f"{self.mapping.describe()}"
+        )
+
+
+def matching_score(
+    db: Database,
+    tuple_path: TuplePath,
+    samples: Mapping[int, str],
+    model: ErrorModel,
+) -> float:
+    """Mean similarity between the samples and the projected values."""
+    values = tuple_path.projection_values(db)
+    similarities = [
+        model.similarity(values[key], samples[key])
+        for key in tuple_path.keys
+        if key in samples
+    ]
+    if not similarities:
+        return 0.0
+    return sum(similarities) / len(similarities)
+
+
+def score_tuple_path(
+    db: Database,
+    tuple_path: TuplePath,
+    samples: Mapping[int, str],
+    model: ErrorModel,
+    weights: RankingWeights,
+) -> float:
+    """Weighted matching-minus-complexity score of one tuple path."""
+    match = matching_score(db, tuple_path, samples, model)
+    return weights.match_weight * match - weights.join_weight * tuple_path.n_joins
+
+
+def rank_mappings(
+    db: Database,
+    complete_tuple_paths: Sequence[TuplePath],
+    samples: Sequence[str],
+    model: ErrorModel,
+    weights: RankingWeights,
+) -> list[RankedMapping]:
+    """Group complete tuple paths by mapping and rank the mappings.
+
+    The sort is best-score first; ties break toward fewer joins, then a
+    stable textual key, so results are deterministic run to run.
+    """
+    sample_map = dict(enumerate(samples))
+    groups: dict[object, tuple[MappingPath, list[TuplePath]]] = {}
+    for tuple_path in complete_tuple_paths:
+        mapping = tuple_path.to_mapping_path()
+        signature = mapping.signature()
+        if signature in groups:
+            groups[signature][1].append(tuple_path)
+        else:
+            groups[signature] = (mapping, [tuple_path])
+
+    ranked = []
+    for mapping, tuple_paths in groups.values():
+        scores = [
+            score_tuple_path(db, tuple_path, sample_map, model, weights)
+            for tuple_path in tuple_paths
+        ]
+        ranked.append(
+            RankedMapping(
+                mapping=mapping,
+                score=sum(scores) / len(scores),
+                tuple_paths=tuple(tuple_paths),
+            )
+        )
+    ranked.sort(
+        key=lambda candidate: (
+            -candidate.score,
+            candidate.mapping.n_joins,
+            candidate.mapping.describe(),
+        )
+    )
+    return ranked

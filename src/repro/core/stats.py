@@ -1,0 +1,75 @@
+"""Instrumentation counters for the sample search.
+
+The paper's performance analysis (Tables 2–4, Figure 13) is entirely a
+story about *how many paths exist at each stage*; :class:`SearchStats`
+records exactly those numbers plus phase timings so the benchmark
+harness can print the corresponding rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SearchStats:
+    """Counters and timings for one TPW sample search."""
+
+    #: Number of (relation, attribute) occurrence hits per sample index.
+    location_hits: dict[int, int] = field(default_factory=dict)
+    #: Pairwise mapping paths generated, per key pair (i, j).
+    pairwise_mapping_paths: int = 0
+    #: Pairwise mapping paths with at least one supporting tuple path.
+    pairwise_valid_mapping_paths: int = 0
+    #: Pairwise tuple paths materialised (level 2 of the weave).
+    pairwise_tuple_paths: int = 0
+    #: Tuple paths *generated* by weaving, per level (size -> count);
+    #: includes duplicates later removed by canonicalisation.
+    woven_per_level: dict[int, int] = field(default_factory=dict)
+    #: Distinct tuple paths *kept* per level after deduplication.
+    kept_per_level: dict[int, int] = field(default_factory=dict)
+    #: Complete tuple paths produced at the final level.
+    complete_tuple_paths: int = 0
+    #: Valid complete mapping paths extracted (the candidate count).
+    valid_complete_mappings: int = 0
+    #: Wall-clock seconds per phase (locate / pairwise / instantiate /
+    #: weave / rank / total).
+    timings: dict[str, float] = field(default_factory=dict)
+
+    def total_tuple_paths_processed(self) -> int:
+        """The "# TP Woven" quantity of Table 4.
+
+        Every tuple path the algorithm touched: the pairwise level plus
+        everything generated while weaving.
+        """
+        return self.pairwise_tuple_paths + sum(self.woven_per_level.values())
+
+    def level_profile(self) -> dict[int, int]:
+        """Tuple paths kept at each level (Figure 13's series).
+
+        Level 2 is the pairwise level; the final level holds the
+        complete tuple paths.
+        """
+        profile = {2: self.pairwise_tuple_paths}
+        profile.update(sorted(self.kept_per_level.items()))
+        return profile
+
+    def describe(self) -> str:
+        """Multi-line summary for logs."""
+        lines = [
+            f"pairwise mapping paths: {self.pairwise_mapping_paths} "
+            f"({self.pairwise_valid_mapping_paths} valid)",
+            f"pairwise tuple paths:   {self.pairwise_tuple_paths}",
+        ]
+        for level, count in sorted(self.kept_per_level.items()):
+            generated = self.woven_per_level.get(level, 0)
+            lines.append(f"level {level}: kept {count} (woven {generated})")
+        lines.append(f"complete tuple paths:   {self.complete_tuple_paths}")
+        lines.append(f"valid mappings:         {self.valid_complete_mappings}")
+        if self.timings:
+            timing = ", ".join(
+                f"{phase}={seconds * 1000:.1f}ms"
+                for phase, seconds in self.timings.items()
+            )
+            lines.append(f"timings: {timing}")
+        return "\n".join(lines)

@@ -1,0 +1,119 @@
+"""Relevant-data suggestion (the paper's §7 future work, and the
+auto-completion its UI already relied on).
+
+Two granularities:
+
+* :func:`suggest_values` — given the surviving candidate mappings,
+  propose cell values for one target column from the source attributes
+  those candidates project, filtered by a typed prefix.  This is the
+  spreadsheet's auto-completion: it can only offer values that keep at
+  least one candidate alive, so the §7 "totally irrelevant input"
+  problem cannot arise through completion.
+* :func:`suggest_row_values` — additionally require the proposed value
+  to be *co-producible* with the samples already on the row (one source
+  assignment yields them all), by evaluating each candidate's join tree
+  with the row's predicates and projecting the wanted column.
+
+Both return deduplicated suggestions ranked by how many candidate
+mappings support them, then alphabetically.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.core.mapping_path import MappingPath
+from repro.relational.database import Database
+from repro.relational.executor import iterate_assignments
+from repro.text.errors import ErrorModel, default_error_model
+from repro.text.normalize import normalize_text
+
+
+def _matches_prefix(value: object, prefix: str) -> bool:
+    if value is None:
+        return False
+    if not prefix:
+        return True
+    return normalize_text(str(value)).startswith(normalize_text(prefix))
+
+
+def suggest_values(
+    db: Database,
+    candidates: Sequence[MappingPath],
+    column: int,
+    prefix: str = "",
+    *,
+    limit: int = 10,
+) -> list[str]:
+    """Complete ``prefix`` for ``column`` from the candidates' attributes.
+
+    Scans the source attributes that the surviving candidates project
+    for the column and returns up to ``limit`` distinct values, ranked
+    by the number of supporting candidates and then alphabetically.
+    """
+    if limit <= 0:
+        return []
+    support: dict[str, int] = {}
+    seen_attributes: set[tuple[str, str]] = set()
+    for mapping in candidates:
+        if column not in mapping.projections:
+            continue
+        attribute_pair = mapping.attribute_of(column)
+        if attribute_pair in seen_attributes:
+            continue
+        seen_attributes.add(attribute_pair)
+        relation, attribute = attribute_pair
+        for value in db.table(relation).column(attribute):
+            if _matches_prefix(value, prefix):
+                text = str(value)
+                support[text] = support.get(text, 0) + 1
+    ranked = sorted(support.items(), key=lambda item: (-item[1], item[0]))
+    return [value for value, _count in ranked[:limit]]
+
+
+def suggest_row_values(
+    db: Database,
+    candidates: Sequence[MappingPath],
+    row_samples: Mapping[int, str],
+    column: int,
+    prefix: str = "",
+    *,
+    limit: int = 10,
+    model: ErrorModel | None = None,
+    max_assignments_per_candidate: int = 200,
+) -> list[str]:
+    """Complete ``prefix`` with values co-producible with ``row_samples``.
+
+    For each candidate mapping, evaluates its join tree constrained by
+    the row's existing samples (excluding ``column`` itself) and
+    projects the wanted column out of each satisfying assignment.  Only
+    values a candidate can actually place next to the row's samples are
+    offered — the strongest form of "suggest relevant data".
+    """
+    if limit <= 0:
+        return []
+    model = model or default_error_model()
+    constraints = {
+        key: sample for key, sample in row_samples.items() if key != column
+    }
+    support: dict[str, int] = {}
+    for mapping in candidates:
+        if column not in mapping.projections:
+            continue
+        predicates = mapping.predicates_for(constraints, model)
+        vertex, attribute = mapping.projections[column]
+        relation = mapping.tree.relation_of(vertex)
+        table = db.table(relation)
+        found: set[str] = set()
+        for index, assignment in enumerate(
+            iterate_assignments(db, mapping.tree, predicates)
+        ):
+            if index >= max_assignments_per_candidate:
+                break
+            value = table.value(assignment[vertex], attribute)
+            if _matches_prefix(value, prefix):
+                found.add(str(value))
+        for text in found:
+            support[text] = support.get(text, 0) + 1
+    ranked = sorted(support.items(), key=lambda item: (-item[1], item[0]))
+    return [value for value, _count in ranked[:limit]]

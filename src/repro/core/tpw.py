@@ -1,0 +1,180 @@
+"""The Tuple Path Weaving engine (Section 4.5, end to end).
+
+:class:`TPWEngine` wires the five TPW steps together:
+
+1. locate sample occurrences (:mod:`repro.core.location`),
+2. generate pairwise mapping paths (:mod:`repro.core.pairwise`),
+3. instantiate them into pairwise tuple paths
+   (:mod:`repro.core.instantiate`),
+4. weave complete tuple paths (:mod:`repro.core.weave`),
+5. extract and rank candidate mappings (:mod:`repro.core.ranking`).
+
+A target of size one never enters the weave: its candidates are exactly
+the single-attribute mappings of the location map, instantiated
+directly.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.config import TPWConfig
+from repro.core.instantiate import (
+    create_pairwise_tuple_paths,
+    instantiate_mapping_path,
+)
+from repro.core.location import LocationMap, build_location_map
+from repro.core.mapping_path import MappingPath, single_relation_mapping
+from repro.core.pairwise import count_pairwise_paths, generate_pairwise_mapping_paths
+from repro.core.ranking import RankedMapping, rank_mappings
+from repro.core.stats import SearchStats
+from repro.core.tuple_path import TuplePath
+from repro.core.weave import weave_complete_tuple_paths
+from repro.exceptions import SessionError
+from repro.graphs.schema_graph import SchemaGraph
+from repro.relational.database import Database
+from repro.text.errors import ErrorModel, default_error_model
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one sample search.
+
+    ``candidates`` are the valid complete mappings, best ranked first;
+    ``stats`` carries the counters Tables 2–4 and Figure 13 report.
+    """
+
+    sample_tuple: tuple[str, ...]
+    candidates: list[RankedMapping]
+    location_map: LocationMap
+    stats: SearchStats = field(default_factory=SearchStats)
+
+    @property
+    def mappings(self) -> list[MappingPath]:
+        """The candidate mapping paths, best first."""
+        return [candidate.mapping for candidate in self.candidates]
+
+    @property
+    def n_candidates(self) -> int:
+        """Number of valid complete mappings found."""
+        return len(self.candidates)
+
+    def best(self) -> RankedMapping | None:
+        """The top-ranked candidate, or ``None`` when there is none."""
+        return self.candidates[0] if self.candidates else None
+
+
+class TPWEngine:
+    """Sample search over one source database.
+
+    Parameters
+    ----------
+    db:
+        The source database instance.
+    config:
+        Search knobs; defaults to the paper's settings (PMNJ = 2).
+    model:
+        The noisy-containment error model; defaults to token
+        containment, mirroring the paper's MySQL full-text setup.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        config: TPWConfig | None = None,
+        model: ErrorModel | None = None,
+    ) -> None:
+        self.db = db
+        self.config = config or TPWConfig()
+        self.model = model or default_error_model()
+        self.graph = SchemaGraph(db.schema)
+
+    # ------------------------------------------------------------------
+
+    def search(self, sample_tuple: Sequence[str]) -> SearchResult:
+        """Run the full TPW sample search for one sample tuple.
+
+        Returns every valid complete mapping path within the configured
+        search family, ranked.  An empty ``candidates`` list means no
+        project-join mapping can produce the sample tuple — typically
+        because one sample occurs nowhere in the source (check
+        ``result.location_map.empty_keys()``).
+        """
+        samples = tuple(str(sample) for sample in sample_tuple)
+        if not samples:
+            raise SessionError("the sample tuple must have at least one column")
+        stats = SearchStats()
+        started = time.perf_counter()
+
+        phase = time.perf_counter()
+        location_map = build_location_map(self.db, samples, self.model)
+        stats.location_hits = {
+            key: len(location_map.attributes_of(key)) for key in range(len(samples))
+        }
+        stats.timings["locate"] = time.perf_counter() - phase
+
+        if location_map.empty_keys():
+            stats.timings["total"] = time.perf_counter() - started
+            return SearchResult(samples, [], location_map, stats)
+
+        if len(samples) == 1:
+            candidates = self._search_single_column(samples, location_map, stats)
+            stats.valid_complete_mappings = len(candidates)
+            stats.timings["total"] = time.perf_counter() - started
+            return SearchResult(samples, candidates, location_map, stats)
+
+        phase = time.perf_counter()
+        pmpm = generate_pairwise_mapping_paths(self.graph, location_map, self.config)
+        stats.pairwise_mapping_paths = count_pairwise_paths(pmpm)
+        stats.timings["pairwise"] = time.perf_counter() - phase
+
+        phase = time.perf_counter()
+        ptpm, valid_pairwise = create_pairwise_tuple_paths(
+            self.db, pmpm, samples, self.model, self.config
+        )
+        stats.pairwise_valid_mapping_paths = valid_pairwise
+        stats.timings["instantiate"] = time.perf_counter() - phase
+
+        phase = time.perf_counter()
+        complete = weave_complete_tuple_paths(
+            ptpm, len(samples), self.config, stats
+        )
+        stats.timings["weave"] = time.perf_counter() - phase
+
+        phase = time.perf_counter()
+        candidates = rank_mappings(
+            self.db, complete, samples, self.model, self.config.ranking
+        )
+        stats.valid_complete_mappings = len(candidates)
+        stats.timings["rank"] = time.perf_counter() - phase
+
+        stats.timings["total"] = time.perf_counter() - started
+        return SearchResult(samples, candidates, location_map, stats)
+
+    # ------------------------------------------------------------------
+
+    def _search_single_column(
+        self,
+        samples: tuple[str, ...],
+        location_map: LocationMap,
+        stats: SearchStats,
+    ) -> list[RankedMapping]:
+        """Target size one: each containing attribute is a candidate."""
+        tuple_paths: list[TuplePath] = []
+        for relation, attribute in location_map.attributes_of(0):
+            mapping = single_relation_mapping(relation, {0: attribute})
+            tuple_paths.extend(
+                instantiate_mapping_path(
+                    self.db,
+                    mapping,
+                    samples,
+                    self.model,
+                    limit=self.config.max_tuple_paths_per_mapping,
+                )
+            )
+        stats.complete_tuple_paths = len(tuple_paths)
+        return rank_mappings(
+            self.db, tuple_paths, samples, self.model, self.config.ranking
+        )

@@ -1,0 +1,289 @@
+"""Tuple path weaving (Algorithms 5–6) and its schema-level twin.
+
+"Weaving" merges a pairwise path onto a base path at their shared
+projection key: the two vertices projecting that key must carry the
+same source tuple; the traversal then walks the pairwise path, fusing
+each vertex with a matching unvisited neighbor of the base, and attaches
+whatever fails to fuse as a new tail (Example 6 of the paper).
+
+One deliberate generalisation over the paper's pseudocode: when several
+fusion choices exist (the same tuple can legitimately appear twice among
+the base's neighbors — e.g. a person who both directed and wrote the
+same movie), the paper's greedy "take the next adjacent vertex" can fuse
+the wrong occurrence and miss a valid result.  We explore every fusion
+choice and return *all* outcomes; canonical-signature deduplication
+keeps the result set tight.
+
+The attach-a-tail option is, by default, only taken when fusion *fails*
+— exactly Algorithm 6.  ``exhaustive=True`` additionally explores the
+attach option where fusion would succeed; that extends coverage to
+mappings that keep two copies of the same tuple as distinct vertices,
+but those mappings are homomorphically redundant (their output always
+contains the fused mapping's), so they can never be pruned by samples
+and are excluded from the interactive default.  See
+``TPWConfig.exhaustive_weave``.
+
+Every generalisation only ever *adds* sound outcomes: each edge of a
+woven path comes from the base or from the (instance-verified) pairwise
+path, so Lemma 1 soundness is preserved.
+
+The same merge logic runs at the schema level (vertex compatibility =
+same relation instead of same tuple) to enumerate complete mapping
+paths for the naive baseline of Section 6.3, guaranteeing that TPW and
+the baseline explore exactly the same mapping family.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Hashable
+from dataclasses import dataclass
+
+from repro.config import TPWConfig
+from repro.core.mapping_path import MappingPath
+from repro.core.stats import SearchStats
+from repro.core.tuple_path import TuplePath
+from repro.exceptions import SearchBudgetExceeded
+from repro.relational.query import JoinTree, JoinTreeEdge
+
+
+@dataclass(frozen=True)
+class _WeaveOutcome:
+    """One way of merging a pairwise path onto a base path.
+
+    ``attached`` maps newly created result vertices to the pairwise
+    vertices they came from (empty when the pairwise path fully fused).
+    """
+
+    tree: JoinTree
+    far_vertex: int
+    attached: dict[int, int]
+
+
+def _weave_generic(
+    base_tree: JoinTree,
+    base_projections: dict[int, tuple[int, str]],
+    pair_tree: JoinTree,
+    pair_projections: dict[int, tuple[int, str]],
+    shared_key: int,
+    token_base: Callable[[int], Hashable],
+    token_pair: Callable[[int], Hashable],
+    exhaustive: bool,
+) -> list[_WeaveOutcome]:
+    """Enumerate every merge of ``pair`` onto ``base`` at ``shared_key``."""
+    base_anchor, base_attr = base_projections[shared_key]
+    pair_anchor, pair_attr = pair_projections[shared_key]
+    if base_attr != pair_attr:
+        return []
+    if token_base(base_anchor) != token_pair(pair_anchor):
+        return []
+
+    # A pairwise path is a simple path with the shared key at one end,
+    # so a BFS order from that end is the chain order.
+    sequence = pair_tree.traversal_order(pair_anchor)
+    outcomes: list[_WeaveOutcome] = []
+
+    def attach_tail(fused: dict[int, int], position: int) -> None:
+        """Attach pairwise vertices ``sequence[position:]`` as new ones."""
+        next_id = max(base_tree.vertices) + 1
+        vertices = dict(base_tree.vertices)
+        edges = list(base_tree.edges)
+        attached: dict[int, int] = {}
+        vertex_map = dict(fused)
+        for index in range(position, len(sequence)):
+            pair_vertex, edge = sequence[index]
+            assert edge is not None  # only the anchor has no parent edge
+            result_vertex = next_id
+            next_id += 1
+            vertices[result_vertex] = pair_tree.relation_of(pair_vertex)
+            attached[result_vertex] = pair_vertex
+            vertex_map[pair_vertex] = result_vertex
+            previous_pair = edge.other(pair_vertex)
+            previous_result = vertex_map[previous_pair]
+            source_vertex = (
+                previous_result if edge.source_vertex == previous_pair else result_vertex
+            )
+            edges.append(
+                JoinTreeEdge(
+                    u=previous_result,
+                    v=result_vertex,
+                    fk_name=edge.fk_name,
+                    source_vertex=source_vertex,
+                )
+            )
+        tree = JoinTree(vertices, edges)
+        far_vertex = vertex_map[sequence[-1][0]]
+        outcomes.append(_WeaveOutcome(tree, far_vertex, attached))
+
+    def recurse(
+        position: int,
+        current_base: int,
+        fused: dict[int, int],
+        visited: frozenset[int],
+    ) -> None:
+        if position == len(sequence):
+            # Fully fused: the base structure is preserved (Alg. 6's
+            # "successful merge" case).
+            outcomes.append(
+                _WeaveOutcome(base_tree, fused[sequence[-1][0]], {})
+            )
+            return
+        pair_vertex, _edge = sequence[position]
+        pair_token = token_pair(pair_vertex)
+        fusable = [
+            base_edge.other(current_base)
+            for base_edge in base_tree.neighbors(current_base)
+            if base_edge.other(current_base) not in visited
+            and token_base(base_edge.other(current_base)) == pair_token
+        ]
+        if exhaustive or not fusable:
+            attach_tail(fused, position)
+        for neighbor in fusable:
+            recurse(
+                position + 1,
+                neighbor,
+                {**fused, pair_vertex: neighbor},
+                visited | {neighbor},
+            )
+
+    recurse(1, base_anchor, {pair_anchor: base_anchor}, frozenset((base_anchor,)))
+    return outcomes
+
+
+def _far_key(pair_projections: dict[int, tuple[int, str]], shared_key: int) -> int:
+    for key in pair_projections:
+        if key != shared_key:
+            return key
+    raise ValueError("pairwise path does not have a second key")
+
+
+def weave_tuple_paths(
+    base: TuplePath, pair: TuplePath, shared_key: int, *, exhaustive: bool = False
+) -> list[TuplePath]:
+    """All tuple paths obtainable by weaving ``pair`` onto ``base``.
+
+    Preconditions: ``pair`` is pairwise, and the two paths' key sets
+    intersect exactly on ``shared_key``.
+    """
+    outcomes = _weave_generic(
+        base.tree,
+        base.projections,
+        pair.tree,
+        pair.projections,
+        shared_key,
+        base.tuple_at,
+        pair.tuple_at,
+        exhaustive,
+    )
+    far_key = _far_key(pair.projections, shared_key)
+    far_attr = pair.projections[far_key][1]
+    results = []
+    for outcome in outcomes:
+        rows = dict(base.rows)
+        for result_vertex, pair_vertex in outcome.attached.items():
+            rows[result_vertex] = pair.rows[pair_vertex]
+        projections = dict(base.projections)
+        projections[far_key] = (outcome.far_vertex, far_attr)
+        results.append(TuplePath(outcome.tree, rows, projections))
+    return results
+
+
+def weave_mapping_paths(
+    base: MappingPath,
+    pair: MappingPath,
+    shared_key: int,
+    *,
+    exhaustive: bool = True,
+) -> list[MappingPath]:
+    """Schema-level weave: merge on relation names instead of tuples.
+
+    Used by the naive baseline to enumerate the complete mapping path
+    family without looking at the instance.  Defaults to exhaustive
+    because relation names collide far more often than tuples do, and
+    the enumeration must cover every structure the instance-level weave
+    can produce (two relation occurrences that greedy schema fusion
+    would merge may hold *different* tuples at the instance level).
+    """
+
+    def relation_token_base(vertex: int) -> Hashable:
+        return base.tree.relation_of(vertex)
+
+    def relation_token_pair(vertex: int) -> Hashable:
+        return pair.tree.relation_of(vertex)
+
+    outcomes = _weave_generic(
+        base.tree,
+        base.projections,
+        pair.tree,
+        pair.projections,
+        shared_key,
+        relation_token_base,
+        relation_token_pair,
+        exhaustive,
+    )
+    far_key = _far_key(pair.projections, shared_key)
+    far_attr = pair.projections[far_key][1]
+    results = []
+    for outcome in outcomes:
+        projections = dict(base.projections)
+        projections[far_key] = (outcome.far_vertex, far_attr)
+        results.append(MappingPath(outcome.tree, projections))
+    return results
+
+
+def weave_complete_tuple_paths(
+    ptpm: dict[tuple[int, int], list[TuplePath]],
+    target_size: int,
+    config: TPWConfig,
+    stats: SearchStats,
+) -> list[TuplePath]:
+    """Algorithm 5: build complete tuple paths level by level.
+
+    Level ``n`` holds the distinct tuple paths of size ``n``; each level
+    ``n + 1`` is produced by weaving every eligible pairwise tuple path
+    (exactly one shared key) onto every level-``n`` path.  Statistics
+    for Figures 12–13 and Table 4 are recorded on ``stats``.
+    """
+    level: dict[object, TuplePath] = {}
+    for tuple_paths in ptpm.values():
+        for tuple_path in tuple_paths:
+            level.setdefault(tuple_path.signature(), tuple_path)
+    stats.pairwise_tuple_paths = len(level)
+
+    # Index the deduplicated pairwise paths by (key, tuple, attribute)
+    # so the inner loop only sees weavable partners.
+    anchor_index: dict[tuple, list[TuplePath]] = {}
+    for tuple_path in level.values():
+        for key, (vertex, attribute) in tuple_path.projections.items():
+            anchor = (key, tuple_path.tuple_at(vertex), attribute)
+            anchor_index.setdefault(anchor, []).append(tuple_path)
+
+    current = level
+    for size in range(2, target_size):
+        next_level: dict[object, TuplePath] = {}
+        woven = 0
+        for base in current.values():
+            for key, (vertex, attribute) in base.projections.items():
+                anchor = (key, base.tuple_at(vertex), attribute)
+                for pair in anchor_index.get(anchor, ()):
+                    other_key = _far_key(pair.projections, key)
+                    if other_key in base.keys:
+                        continue
+                    for result in weave_tuple_paths(
+                        base, pair, key, exhaustive=config.exhaustive_weave
+                    ):
+                        woven += 1
+                        next_level.setdefault(result.signature(), result)
+        stats.woven_per_level[size + 1] = woven
+        stats.kept_per_level[size + 1] = len(next_level)
+        if (
+            config.max_woven_paths_per_level
+            and len(next_level) > config.max_woven_paths_per_level
+        ):
+            raise SearchBudgetExceeded(
+                f"tuple paths at level {size + 1}", config.max_woven_paths_per_level
+            )
+        current = next_level
+
+    complete = list(current.values())
+    stats.complete_tuple_paths = len(complete)
+    return complete

@@ -1,0 +1,33 @@
+"""Synthetic dataset generators.
+
+The paper evaluates on the Yahoo Movies database (500 MB, 43 relations,
+131 attributes) and an IMDb dump (2 GB, 19 relations, 57 attributes),
+neither of which is redistributable.  These generators produce
+deterministic movie-domain databases with the same schema shapes —
+including the join ambiguities (direct vs write vs produce links, title
+echoes inside loglines) that make the sample search non-trivial — at
+whatever scale a laptop benchmark needs.
+"""
+
+from repro.datasets.corpus import Corpus
+from repro.datasets.yahoo import YAHOO_RELATION_COUNT, build_yahoo_movies, yahoo_schema
+from repro.datasets.imdb import IMDB_RELATION_COUNT, build_imdb, imdb_schema
+from repro.datasets.running_example import build_running_example
+from repro.datasets.workload import MappingTask, TaskSet, build_task_sets
+from repro.datasets.simulator import FeedResult, SampleFeeder
+
+__all__ = [
+    "Corpus",
+    "yahoo_schema",
+    "build_yahoo_movies",
+    "YAHOO_RELATION_COUNT",
+    "imdb_schema",
+    "build_imdb",
+    "IMDB_RELATION_COUNT",
+    "build_running_example",
+    "MappingTask",
+    "TaskSet",
+    "build_task_sets",
+    "SampleFeeder",
+    "FeedResult",
+]

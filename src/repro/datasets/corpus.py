@@ -1,0 +1,264 @@
+"""Vocabulary and deterministic value factories for the generators.
+
+Every generated database draws names, titles, places and free text from
+the word lists below through a seeded :class:`random.Random`, so two
+runs with the same seed and scale produce byte-identical databases —
+a requirement for reproducible benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+
+FIRST_NAMES = (
+    "James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael",
+    "Linda", "David", "Elizabeth", "William", "Barbara", "Richard", "Susan",
+    "Joseph", "Jessica", "Thomas", "Sarah", "Charles", "Karen", "Christopher",
+    "Lisa", "Daniel", "Nancy", "Matthew", "Betty", "Anthony", "Margaret",
+    "Mark", "Sandra", "Donald", "Ashley", "Steven", "Kimberly", "Paul",
+    "Emily", "Andrew", "Donna", "Joshua", "Michelle", "Kenneth", "Carol",
+    "Kevin", "Amanda", "Brian", "Dorothy", "George", "Melissa", "Timothy",
+    "Deborah", "Ronald", "Stephanie", "Edward", "Rebecca", "Jason", "Sharon",
+    "Jeffrey", "Laura", "Ryan", "Cynthia", "Jacob", "Kathleen", "Gary",
+    "Amy", "Nicholas", "Angela", "Eric", "Shirley", "Jonathan", "Anna",
+    "Stephen", "Brenda", "Larry", "Pamela", "Justin", "Emma", "Scott",
+    "Nicole", "Brandon", "Helen", "Benjamin", "Samantha", "Samuel",
+    "Katherine", "Gregory", "Christine", "Alexander", "Debra", "Patrick",
+    "Rachel", "Frank", "Carolyn", "Raymond", "Janet", "Jack", "Catherine",
+    "Dennis", "Maria", "Jerry", "Heather",
+)
+
+LAST_NAMES = (
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+    "Davis", "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez",
+    "Wilson", "Anderson", "Thomas", "Taylor", "Moore", "Jackson", "Martin",
+    "Lee", "Perez", "Thompson", "White", "Harris", "Sanchez", "Clark",
+    "Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen", "King",
+    "Wright", "Scott", "Torres", "Nguyen", "Hill", "Flores", "Green",
+    "Adams", "Nelson", "Baker", "Hall", "Rivera", "Campbell", "Mitchell",
+    "Carter", "Roberts", "Gomez", "Phillips", "Evans", "Turner", "Diaz",
+    "Parker", "Cruz", "Edwards", "Collins", "Reyes", "Stewart", "Morris",
+    "Morales", "Murphy", "Cook", "Rogers", "Gutierrez", "Ortiz", "Morgan",
+    "Cooper", "Peterson", "Bailey", "Reed", "Kelly", "Howard", "Ramos",
+    "Kim", "Cox", "Ward", "Richardson", "Watson", "Brooks", "Chavez",
+    "Wood", "James", "Bennett", "Gray", "Mendoza", "Ruiz", "Hughes",
+    "Price", "Alvarez", "Castillo", "Sanders", "Patel", "Myers", "Long",
+    "Ross", "Foster", "Jimenez",
+)
+
+TITLE_ADJECTIVES = (
+    "Crimson", "Silent", "Golden", "Hidden", "Broken", "Eternal", "Savage",
+    "Electric", "Frozen", "Burning", "Midnight", "Scarlet", "Hollow",
+    "Shattered", "Velvet", "Iron", "Distant", "Wandering", "Luminous",
+    "Forgotten", "Restless", "Emerald", "Phantom", "Rising", "Falling",
+    "Wild", "Quiet", "Lonely", "Radiant", "Obsidian", "Amber", "Fearless",
+)
+
+TITLE_NOUNS = (
+    "Horizon", "River", "Empire", "Garden", "Voyage", "Shadow", "Harbor",
+    "Mountain", "Letter", "Promise", "Kingdom", "Mirror", "Station",
+    "Orchard", "Canyon", "Lantern", "Symphony", "Compass", "Meadow",
+    "Fortress", "Island", "Tempest", "Carnival", "Echo", "Labyrinth",
+    "Harvest", "Voyager", "Cathedral", "Monsoon", "Glacier", "Sparrow",
+    "Tide",
+)
+
+TITLE_SUFFIXES = (
+    "", "", "", "", " Returns", " Rising", " of Destiny", " at Dawn",
+    " in Winter", ": The Beginning", ": Redemption", " Forever",
+)
+
+COMPANY_WORDS = (
+    "Lightstorm", "Northwind", "Silverline", "Bluehill", "Paragon",
+    "Crescent", "Vanguard", "Summit", "Pinnacle", "Horizon", "Keystone",
+    "Atlas", "Meridian", "Beacon", "Sterling", "Redwood", "Ironwood",
+    "Clearwater", "Stonebridge", "Falcon", "Aurora", "Cascade", "Evergreen",
+    "Granite", "Harbor", "Juniper", "Lakeside", "Monarch", "Nimbus",
+    "Oakmont",
+)
+
+COMPANY_SUFFIXES = (
+    "Pictures", "Studios", "Films", "Entertainment", "Productions",
+    "Media", "Cinema Group", "Filmworks",
+)
+
+CITIES = (
+    "Wellington", "Auckland", "Vancouver", "Toronto", "Los Angeles",
+    "Burbank", "London", "Manchester", "Dublin", "Sydney", "Melbourne",
+    "Prague", "Budapest", "Berlin", "Munich", "Paris", "Marseille", "Rome",
+    "Florence", "Madrid", "Barcelona", "Tokyo", "Osaka", "Seoul", "Mumbai",
+    "Marrakech", "Cape Town", "Reykjavik", "Oslo", "Stockholm", "Atlanta",
+    "Albuquerque",
+)
+
+COUNTRIES = (
+    "New Zealand", "Canada", "United States", "United Kingdom", "Ireland",
+    "Australia", "Czech Republic", "Hungary", "Germany", "France", "Italy",
+    "Spain", "Japan", "South Korea", "India", "Morocco", "South Africa",
+    "Iceland", "Norway", "Sweden",
+)
+
+GENRES = (
+    "Drama", "Comedy", "Action", "Thriller", "Science Fiction", "Romance",
+    "Horror", "Documentary", "Animation", "Adventure", "Fantasy", "Mystery",
+    "Crime", "Western", "Musical", "War",
+)
+
+KEYWORDS = (
+    "betrayal", "redemption", "heist", "time travel", "coming of age",
+    "revenge", "conspiracy", "survival", "first contact", "undercover",
+    "courtroom", "road trip", "haunted house", "space station",
+    "lost treasure", "double agent", "small town", "artificial intelligence",
+    "post apocalypse", "masquerade", "forbidden love", "amnesia",
+    "heirloom", "underdog", "whistleblower", "exile", "prophecy",
+    "rebellion", "sanctuary", "masterpiece",
+)
+
+LANGUAGES = (
+    "English", "French", "German", "Spanish", "Italian", "Japanese",
+    "Korean", "Hindi", "Mandarin", "Portuguese", "Russian", "Arabic",
+)
+
+AWARDS = (
+    ("Best Picture", "Academy of Motion Arts"),
+    ("Best Director", "Academy of Motion Arts"),
+    ("Best Original Screenplay", "Academy of Motion Arts"),
+    ("Golden Reel", "Cinema Guild"),
+    ("Silver Lion", "Venice Committee"),
+    ("Audience Choice", "Sundown Festival"),
+    ("Critics Prize", "Critics Circle"),
+    ("Grand Jury Prize", "Cannes Committee"),
+    ("Rising Star", "Screen Actors League"),
+    ("Lifetime Achievement", "Cinema Guild"),
+)
+
+FESTIVALS = (
+    ("Sundown Film Festival", "Park City"),
+    ("Venice Biennale", "Venice"),
+    ("Cannes Festival", "Cannes"),
+    ("Berlinale", "Berlin"),
+    ("Toronto International", "Toronto"),
+    ("Tribeca Festival", "New York"),
+)
+
+MPAA_RATINGS = ("G", "PG", "PG-13", "R", "NC-17")
+
+LOGLINE_TEMPLATES = (
+    "A {adj} tale of {kw} set against the backdrop of {city}.",
+    "When {kw} strikes, one hero must face the {noun}.",
+    "In {title}, nothing is what it seems as {kw} unfolds.",
+    "An unforgettable journey of {kw} beneath the {adj} {noun}.",
+    "{title} follows a family torn apart by {kw}.",
+)
+
+REVIEW_SNIPPETS = (
+    "a triumph of craft", "uneven but ambitious", "a slow-burning marvel",
+    "visually stunning", "emotionally hollow", "an instant classic",
+    "overlong yet gripping", "quietly devastating", "a crowd pleaser",
+    "daring and strange",
+)
+
+DVD_FORMATS = ("DVD", "Blu-ray", "4K UHD", "Collector's Edition")
+
+THEATER_WORDS = ("Grand", "Royal", "Majestic", "Orpheum", "Rialto", "Bijou")
+
+INSTRUMENTAL_WORDS = (
+    "Overture", "Nocturne", "Reprise", "Interlude", "Finale", "Prelude",
+    "Serenade", "Rhapsody",
+)
+
+
+class Corpus:
+    """Deterministic factory for domain values.
+
+    All randomness flows through one seeded generator, so a corpus is
+    fully determined by its seed.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.rng = random.Random(seed)
+
+    # ------------------------------------------------------------------
+
+    def person_name(self) -> str:
+        """A ``First Last`` name; collisions across calls are possible
+        and intentional (shared surnames stress the containment search)."""
+        return f"{self.rng.choice(FIRST_NAMES)} {self.rng.choice(LAST_NAMES)}"
+
+    def movie_title(self, serial: int) -> str:
+        """A unique-ish title; ``serial`` breaks ties at large scales."""
+        adjective = self.rng.choice(TITLE_ADJECTIVES)
+        noun = self.rng.choice(TITLE_NOUNS)
+        suffix = self.rng.choice(TITLE_SUFFIXES)
+        title = f"The {adjective} {noun}{suffix}"
+        if serial >= len(TITLE_ADJECTIVES) * len(TITLE_NOUNS):
+            title = f"{title} {serial}"
+        return title
+
+    def company_name(self) -> str:
+        """A production-company name."""
+        return f"{self.rng.choice(COMPANY_WORDS)} {self.rng.choice(COMPANY_SUFFIXES)}"
+
+    def city(self) -> str:
+        """A filming city."""
+        return self.rng.choice(CITIES)
+
+    def country(self) -> str:
+        """A country name."""
+        return self.rng.choice(COUNTRIES)
+
+    def date(self, start_year: int = 1960, end_year: int = 2011) -> str:
+        """An ISO date within the given year range."""
+        year = self.rng.randint(start_year, end_year)
+        month = self.rng.randint(1, 12)
+        day = self.rng.randint(1, 28)
+        return f"{year:04d}-{month:02d}-{day:02d}"
+
+    def logline(self, title: str, *, echo_title_probability: float = 0.3) -> str:
+        """A one-sentence synopsis.
+
+        With probability ``echo_title_probability`` the logline quotes
+        the movie title — reproducing the ambiguity of the paper's
+        Example 3 where *Avatar* matches both ``movie.title`` and
+        ``movie.logline``.
+        """
+        template = self.rng.choice(LOGLINE_TEMPLATES)
+        if "{title}" in template and self.rng.random() > echo_title_probability:
+            template = LOGLINE_TEMPLATES[0]
+        return template.format(
+            adj=self.rng.choice(TITLE_ADJECTIVES).lower(),
+            noun=self.rng.choice(TITLE_NOUNS).lower(),
+            kw=self.rng.choice(KEYWORDS),
+            city=self.rng.choice(CITIES),
+            title=title,
+        )
+
+    def review_text(self) -> str:
+        """A short review blurb."""
+        first = self.rng.choice(REVIEW_SNIPPETS)
+        second = self.rng.choice(REVIEW_SNIPPETS)
+        return f"Critics called it {first}, others found it {second}."
+
+    def track_title(self) -> str:
+        """A soundtrack piece name."""
+        return (
+            f"{self.rng.choice(INSTRUMENTAL_WORDS)} in "
+            f"{self.rng.choice('ABCDEFG')} {self.rng.choice(('Major', 'Minor'))}"
+        )
+
+    def theater_name(self) -> str:
+        """A theater name."""
+        return f"The {self.rng.choice(THEATER_WORDS)} {self.rng.choice(CITIES)}"
+
+    def zipf_index(self, n: int, *, skew: float = 1.2) -> int:
+        """An index in ``[0, n)`` with a Zipf-ish popularity bias.
+
+        Popular entities (index 0) are picked far more often, which is
+        what gives real movie data its heavy-tailed person/company
+        sharing — and the sample search its fan-out challenge.
+        """
+        if n <= 1:
+            return 0
+        weight = self.rng.random()
+        index = int(n * (weight ** skew))
+        return min(index, n - 1)

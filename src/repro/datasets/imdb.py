@@ -1,0 +1,321 @@
+"""An IMDb-like source database.
+
+The paper's IMDb dump has 19 relations and 57 attributes and a very
+different shape from Yahoo Movies: one generic ``cast_info`` table for
+every person/movie credit (discriminated by ``role_type``), and a
+generic ``movie_info`` key-value table (discriminated by ``info_type``)
+instead of dedicated columns — so the "release date" of the task
+mapping lives in ``movie_info.info``, exactly as in Figure 11(b).
+
+Generation is fully deterministic in ``(seed, n_movies)``.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.corpus import Corpus, GENRES, KEYWORDS, LANGUAGES
+from repro.relational.database import Database
+from repro.relational.schema import (
+    Attribute,
+    DatabaseSchema,
+    ForeignKey,
+    RelationSchema,
+)
+from repro.relational.types import DataType
+
+#: The paper's IMDb schema shape.
+IMDB_RELATION_COUNT = 19
+IMDB_ATTRIBUTE_COUNT = 57
+
+_INT = DataType.INTEGER
+
+ROLE_TYPES = (
+    "director", "writer", "producer", "actor", "actress",
+    "cinematographer", "composer", "editor",
+)
+KIND_TYPES = ("movie", "tv movie", "video movie", "tv series")
+INFO_TYPES = ("release date", "genres", "languages", "budget", "tagline")
+PERSON_INFO_TYPES = ("birth place", "biography", "height")
+LINK_TYPES = ("sequel of", "remake of", "references")
+COMP_CAST_TYPES = ("cast", "crew", "complete", "complete+verified")
+
+
+def _key(name: str) -> Attribute:
+    return Attribute(name, _INT, fulltext=False)
+
+
+def _fk(source: str, column: str, target: str, target_column: str) -> ForeignKey:
+    return ForeignKey(
+        name=f"{source}_{column}",
+        source=source,
+        source_columns=(column,),
+        target=target,
+        target_columns=(target_column,),
+    )
+
+
+def imdb_schema() -> DatabaseSchema:
+    """The 19-relation / 57-attribute IMDb-like schema."""
+    relations = [
+        RelationSchema(
+            "title",
+            (
+                _key("tid"),
+                Attribute("title"),
+                Attribute("production_year", _INT),
+                _key("kind_id"),
+            ),
+            ("tid",),
+            (_fk("title", "kind_id", "kind_type", "ktid"),),
+        ),
+        RelationSchema(
+            "name",
+            (_key("nid"), Attribute("name"), Attribute("birth_year", _INT)),
+            ("nid",),
+        ),
+        RelationSchema("char_name", (_key("chid"), Attribute("name")), ("chid",)),
+        RelationSchema("role_type", (_key("rtid"), Attribute("role")), ("rtid",)),
+        RelationSchema("kind_type", (_key("ktid"), Attribute("kind")), ("ktid",)),
+        RelationSchema("info_type", (_key("itid"), Attribute("info")), ("itid",)),
+        RelationSchema("link_type", (_key("ltid"), Attribute("link")), ("ltid",)),
+        RelationSchema(
+            "company_name",
+            (_key("cid"), Attribute("name"), Attribute("country_code")),
+            ("cid",),
+        ),
+        RelationSchema(
+            "cast_info",
+            (
+                _key("ciid"),
+                _key("tid"),
+                _key("nid"),
+                _key("chid"),
+                _key("rtid"),
+                Attribute("nr_order", _INT),
+            ),
+            ("ciid",),
+            (
+                _fk("cast_info", "tid", "title", "tid"),
+                _fk("cast_info", "nid", "name", "nid"),
+                _fk("cast_info", "chid", "char_name", "chid"),
+                _fk("cast_info", "rtid", "role_type", "rtid"),
+            ),
+        ),
+        RelationSchema(
+            "movie_companies",
+            (_key("mcid"), _key("tid"), _key("cid")),
+            ("mcid",),
+            (
+                _fk("movie_companies", "tid", "title", "tid"),
+                _fk("movie_companies", "cid", "company_name", "cid"),
+            ),
+        ),
+        RelationSchema(
+            "movie_info",
+            (_key("miid"), _key("tid"), _key("itid"), Attribute("info")),
+            ("miid",),
+            (
+                _fk("movie_info", "tid", "title", "tid"),
+                _fk("movie_info", "itid", "info_type", "itid"),
+            ),
+        ),
+        RelationSchema(
+            "person_info",
+            (_key("piid"), _key("nid"), _key("itid"), Attribute("info")),
+            ("piid",),
+            (
+                _fk("person_info", "nid", "name", "nid"),
+                _fk("person_info", "itid", "info_type", "itid"),
+            ),
+        ),
+        RelationSchema(
+            "movie_keyword",
+            (_key("mkid"), _key("tid"), _key("kid")),
+            ("mkid",),
+            (
+                _fk("movie_keyword", "tid", "title", "tid"),
+                _fk("movie_keyword", "kid", "keyword", "kid"),
+            ),
+        ),
+        RelationSchema("keyword", (_key("kid"), Attribute("keyword")), ("kid",)),
+        RelationSchema(
+            "movie_link",
+            (_key("mlid"), _key("tid"), _key("linked_tid"), _key("ltid")),
+            ("mlid",),
+            (
+                _fk("movie_link", "tid", "title", "tid"),
+                _fk("movie_link", "linked_tid", "title", "tid"),
+                _fk("movie_link", "ltid", "link_type", "ltid"),
+            ),
+        ),
+        RelationSchema(
+            "aka_title",
+            (_key("atid"), _key("tid"), Attribute("title")),
+            ("atid",),
+            (_fk("aka_title", "tid", "title", "tid"),),
+        ),
+        RelationSchema(
+            "aka_name",
+            (_key("anid"), _key("nid"), Attribute("name")),
+            ("anid",),
+            (_fk("aka_name", "nid", "name", "nid"),),
+        ),
+        RelationSchema(
+            "complete_cast",
+            (_key("ccid"), _key("tid"), _key("cctid")),
+            ("ccid",),
+            (
+                _fk("complete_cast", "tid", "title", "tid"),
+                _fk("complete_cast", "cctid", "comp_cast_type", "cctid"),
+            ),
+        ),
+        RelationSchema(
+            "comp_cast_type", (_key("cctid"), Attribute("kind")), ("cctid",)
+        ),
+    ]
+    return DatabaseSchema(relations)
+
+
+def build_imdb(*, n_movies: int = 300, seed: int = 11, name: str = "imdb") -> Database:
+    """Generate a populated IMDb-like database."""
+    schema = imdb_schema()
+    db = Database(schema, name=name)
+    corpus = Corpus(seed)
+    rng = corpus.rng
+
+    n_people = max(4, int(n_movies * 1.5))
+    n_companies = max(2, n_movies // 8)
+    n_characters = max(4, int(n_movies * 1.2))
+
+    for rtid, role in enumerate(ROLE_TYPES, start=1):
+        db.insert("role_type", (rtid, role))
+    for ktid, kind in enumerate(KIND_TYPES, start=1):
+        db.insert("kind_type", (ktid, kind))
+    for itid, info in enumerate(INFO_TYPES + PERSON_INFO_TYPES, start=1):
+        db.insert("info_type", (itid, info))
+    for ltid, link in enumerate(LINK_TYPES, start=1):
+        db.insert("link_type", (ltid, link))
+    for cctid, kind in enumerate(COMP_CAST_TYPES, start=1):
+        db.insert("comp_cast_type", (cctid, kind))
+    for kid, keyword in enumerate(KEYWORDS, start=1):
+        db.insert("keyword", (kid, keyword))
+
+    info_type_ids = {
+        info: itid for itid, info in enumerate(INFO_TYPES + PERSON_INFO_TYPES, 1)
+    }
+    role_ids = {role: rtid for rtid, role in enumerate(ROLE_TYPES, 1)}
+
+    names = []
+    for nid in range(1, n_people + 1):
+        person = corpus.person_name()
+        names.append(person)
+        db.insert("name", (nid, person, rng.randint(1930, 1992)))
+        if rng.random() < 0.2:
+            db.insert(
+                "aka_name",
+                (len(names), nid, f"{person.split()[0]} {rng.choice('ABCDEF')}. "
+                                  f"{person.split()[-1]}"),
+            )
+        if rng.random() < 0.3:
+            db.insert(
+                "person_info",
+                (nid, nid, info_type_ids["birth place"], corpus.city()),
+            )
+    for cid in range(1, n_companies + 1):
+        db.insert(
+            "company_name",
+            (cid, corpus.company_name(), rng.choice(("us", "uk", "nz", "de", "fr"))),
+        )
+    for chid in range(1, n_characters + 1):
+        db.insert("char_name", (chid, corpus.person_name()))
+
+    cast_serial = 0
+    counters = {"movie_info": 0, "movie_companies": 0, "movie_keyword": 0,
+                "movie_link": 0, "aka_title": 0, "complete_cast": 0}
+
+    def next_id(counter: str) -> int:
+        counters[counter] += 1
+        return counters[counter]
+
+    def pick_person() -> int:
+        return 1 + corpus.zipf_index(n_people)
+
+    for tid in range(1, n_movies + 1):
+        title = corpus.movie_title(tid)
+        db.insert(
+            "title",
+            (tid, title, rng.randint(1960, 2011), 1 + corpus.zipf_index(len(KIND_TYPES))),
+        )
+
+        credits: list[tuple[int, str]] = [(pick_person(), "director")]
+        director = credits[0][0]
+        writer = director if rng.random() < 0.25 else pick_person()
+        credits.append((writer, "writer"))
+        credits.append((pick_person(), "producer"))
+        for _ in range(rng.randint(2, 4)):
+            credits.append((pick_person(), rng.choice(("actor", "actress"))))
+        if rng.random() < 0.6:
+            credits.append((pick_person(), "composer"))
+        for order, (nid, role) in enumerate(credits, start=1):
+            cast_serial += 1
+            db.insert(
+                "cast_info",
+                (
+                    cast_serial,
+                    tid,
+                    nid,
+                    rng.randint(1, n_characters),
+                    role_ids[role],
+                    order,
+                ),
+            )
+
+        db.insert(
+            "movie_companies",
+            (next_id("movie_companies"), tid, 1 + corpus.zipf_index(n_companies)),
+        )
+        db.insert(
+            "movie_info",
+            (next_id("movie_info"), tid, info_type_ids["release date"], corpus.date()),
+        )
+        db.insert(
+            "movie_info",
+            (
+                next_id("movie_info"),
+                tid,
+                info_type_ids["genres"],
+                rng.choice(GENRES),
+            ),
+        )
+        db.insert(
+            "movie_info",
+            (
+                next_id("movie_info"),
+                tid,
+                info_type_ids["languages"],
+                rng.choice(LANGUAGES),
+            ),
+        )
+        for kid in rng.sample(range(1, len(KEYWORDS) + 1), rng.randint(1, 3)):
+            db.insert("movie_keyword", (next_id("movie_keyword"), tid, kid))
+        if tid > 1 and rng.random() < 0.08:
+            db.insert(
+                "movie_link",
+                (
+                    next_id("movie_link"),
+                    tid,
+                    rng.randint(1, tid - 1),
+                    rng.randint(1, len(LINK_TYPES)),
+                ),
+            )
+        if rng.random() < 0.25:
+            db.insert(
+                "aka_title",
+                (next_id("aka_title"), tid, f"{title} (International Cut)"),
+            )
+        if rng.random() < 0.3:
+            db.insert(
+                "complete_cast",
+                (next_id("complete_cast"), tid, rng.randint(1, len(COMP_CAST_TYPES))),
+            )
+
+    return db

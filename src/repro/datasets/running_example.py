@@ -1,0 +1,149 @@
+"""The paper's running example database (Figures 2, 5–9).
+
+A hand-written miniature of the Yahoo Movies source holding exactly the
+tuples the paper reasons about: *Avatar* directed, written and produced
+by James Cameron's trio, *Big Fish* by Tim Burton, *Harry Potter*
+directed by David Yates but written by J. K. Rowling.  Unit tests and
+the quickstart example run against it because every expected candidate
+mapping can be enumerated by hand.
+"""
+
+from __future__ import annotations
+
+from repro.relational.database import Database
+from repro.relational.schema import (
+    Attribute,
+    DatabaseSchema,
+    ForeignKey,
+    RelationSchema,
+)
+from repro.relational.types import DataType
+
+_INT = DataType.INTEGER
+
+
+def _key(name: str) -> Attribute:
+    return Attribute(name, _INT, fulltext=False)
+
+
+def _fk(source: str, column: str, target: str, target_column: str) -> ForeignKey:
+    return ForeignKey(
+        name=f"{source}_{column}",
+        source=source,
+        source_columns=(column,),
+        target=target,
+        target_columns=(target_column,),
+    )
+
+
+def running_example_schema() -> DatabaseSchema:
+    """The eight-relation schema of Figure 5."""
+    return DatabaseSchema(
+        [
+            RelationSchema(
+                "movie",
+                (_key("mid"), Attribute("title"), Attribute("logline")),
+                ("mid",),
+            ),
+            RelationSchema("person", (_key("pid"), Attribute("name")), ("pid",)),
+            RelationSchema("company", (_key("cid"), Attribute("name")), ("cid",)),
+            RelationSchema("location", (_key("lid"), Attribute("loc")), ("lid",)),
+            RelationSchema(
+                "direct",
+                (_key("mid"), _key("pid")),
+                ("mid", "pid"),
+                (_fk("direct", "mid", "movie", "mid"),
+                 _fk("direct", "pid", "person", "pid")),
+            ),
+            RelationSchema(
+                "write",
+                (_key("mid"), _key("pid")),
+                ("mid", "pid"),
+                (_fk("write", "mid", "movie", "mid"),
+                 _fk("write", "pid", "person", "pid")),
+            ),
+            RelationSchema(
+                "produce",
+                (_key("mid"), _key("cid")),
+                ("mid", "cid"),
+                (_fk("produce", "mid", "movie", "mid"),
+                 _fk("produce", "cid", "company", "cid")),
+            ),
+            RelationSchema(
+                "filmedin",
+                (_key("mid"), _key("lid")),
+                ("mid", "lid"),
+                (_fk("filmedin", "mid", "movie", "mid"),
+                 _fk("filmedin", "lid", "location", "lid")),
+            ),
+        ]
+    )
+
+
+def build_running_example() -> Database:
+    """The populated running-example instance."""
+    db = Database(running_example_schema(), name="running-example")
+    movies = [
+        (1, "Avatar", "A marine is torn between duty and a new world"),
+        (2, "Big Fish", "A son untangles his dying father's tall tales"),
+        (3, "Harry Potter", "A young wizard learns who he really is"),
+        (4, "Ed Wood", "The story of Ed Wood, Hollywood's strangest director"),
+        (5, "Titanic", "An epic romance aboard the doomed liner"),
+    ]
+    people = [
+        (1, "James Cameron"),
+        (2, "Tim Burton"),
+        (3, "David Yates"),
+        (4, "J. K. Rowling"),
+        (5, "Ed Wood"),
+        (6, "Steve Kloves"),
+    ]
+    companies = [
+        (1, "Lightstorm Co."),
+        (2, "Columbia Pictures"),
+        (3, "Warner Films"),
+    ]
+    locations = [
+        (1, "New Zealand"),
+        (2, "Alabama"),
+        (3, "London"),
+        (4, "Halifax"),
+    ]
+    for row in movies:
+        db.insert("movie", row)
+    for row in people:
+        db.insert("person", row)
+    for row in companies:
+        db.insert("company", row)
+    for row in locations:
+        db.insert("location", row)
+
+    # Avatar: directed, written (Cameron), produced by Lightstorm,
+    # filmed in New Zealand — the sample tuple of Example 2.
+    db.insert("direct", (1, 1))
+    db.insert("write", (1, 1))
+    db.insert("produce", (1, 1))
+    db.insert("filmedin", (1, 1))
+    # Big Fish: Tim Burton directs (but does not write) — Example 7.
+    db.insert("direct", (2, 2))
+    db.insert("write", (2, 4))
+    db.insert("produce", (2, 2))
+    db.insert("filmedin", (2, 2))
+    # Harry Potter: Yates directs, Kloves & Rowling write — Example 1.
+    db.insert("direct", (3, 3))
+    db.insert("write", (3, 4))
+    db.insert("write", (3, 6))
+    db.insert("produce", (3, 3))
+    db.insert("filmedin", (3, 3))
+    # Ed Wood: the movie/person name collision of Example 1.
+    db.insert("direct", (4, 2))
+    db.insert("write", (4, 2))
+    db.insert("produce", (4, 2))
+    # Titanic: second Cameron movie (fan-out).
+    db.insert("direct", (5, 1))
+    db.insert("write", (5, 1))
+    db.insert("produce", (5, 1))
+    db.insert("filmedin", (5, 4))
+
+    db.validate_referential_integrity()
+    return db

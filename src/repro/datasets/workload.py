@@ -1,0 +1,254 @@
+"""The synthetic mapping-task workload of Section 6.2.
+
+Three task sets, sharing one relation path each (two, three and four
+joins respectively), with four mappings per set whose target schema
+size ranges from three to six columns.  Plus the user-study task of
+Figure 11 — "title / release date / production company / director" —
+for both the Yahoo-Movies-like and the IMDb-like sources.
+
+Tasks are described purely at the schema level (relation and attribute
+names), so the same task runs against any database generated from the
+matching schema, at any scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.mapping_path import MappingPath
+from repro.exceptions import DatasetError
+from repro.relational.database import Database
+from repro.relational.query import JoinTree, JoinTreeEdge
+
+
+@dataclass(frozen=True)
+class MappingTask:
+    """One goal mapping with display names for the target columns."""
+
+    name: str
+    dataset: str
+    columns: tuple[str, ...]
+    goal: MappingPath
+
+    @property
+    def target_size(self) -> int:
+        """Target schema size ``m``."""
+        return len(self.columns)
+
+    @property
+    def n_joins(self) -> int:
+        """Joins in the goal mapping's relation path."""
+        return self.goal.n_joins
+
+    def target_rows(self, db: Database, *, limit: int = 400) -> list[tuple[str, ...]]:
+        """Materialise target instance rows usable as samples.
+
+        Rows containing NULLs or empty strings are dropped (a NULL can
+        never be typed as a sample), values are stringified, and
+        duplicates are removed while preserving order.
+        """
+        rows: list[tuple[str, ...]] = []
+        seen: set[tuple[str, ...]] = set()
+        for row in self.goal.execute(db, limit=limit * 3):
+            if any(value is None or str(value).strip() == "" for value in row):
+                continue
+            as_text = tuple(str(value) for value in row)
+            if as_text in seen:
+                continue
+            seen.add(as_text)
+            rows.append(as_text)
+            if len(rows) >= limit:
+                break
+        if not rows:
+            raise DatasetError(
+                f"task {self.name!r}: goal mapping produced no usable rows"
+            )
+        return rows
+
+
+@dataclass(frozen=True)
+class TaskSet:
+    """One of the three task sets (all mappings share a relation path)."""
+
+    set_id: int
+    n_joins: int
+    tasks: tuple[MappingTask, ...]
+
+    def task_for_size(self, target_size: int) -> MappingTask:
+        """The task whose target schema has ``target_size`` columns."""
+        for task in self.tasks:
+            if task.target_size == target_size:
+                return task
+        raise DatasetError(
+            f"task set {self.set_id} has no task of size {target_size}"
+        )
+
+
+def _edge(u: int, v: int, fk_name: str, source_vertex: int) -> JoinTreeEdge:
+    return JoinTreeEdge(u=u, v=v, fk_name=fk_name, source_vertex=source_vertex)
+
+
+def _task(
+    name: str,
+    dataset: str,
+    tree: JoinTree,
+    projections: list[tuple[str, int, str]],
+) -> MappingTask:
+    """Build a task from ``(column name, vertex, attribute)`` triples."""
+    columns = tuple(column for column, _vertex, _attribute in projections)
+    mapping = MappingPath(
+        tree,
+        {
+            index: (vertex, attribute)
+            for index, (_column, vertex, attribute) in enumerate(projections)
+        },
+    )
+    return MappingTask(name=name, dataset=dataset, columns=columns, goal=mapping)
+
+
+# ----------------------------------------------------------------------
+# Task sets over the Yahoo-Movies-like schema
+# ----------------------------------------------------------------------
+
+def _task_set_1() -> TaskSet:
+    """Two joins: movie — direct — person."""
+    tree = JoinTree(
+        {0: "movie", 1: "direct", 2: "person"},
+        (
+            _edge(0, 1, "direct_mid", 1),
+            _edge(1, 2, "direct_pid", 1),
+        ),
+    )
+    # Task columns are deliberately selective (dates, names, free text):
+    # with a low-cardinality column such as ``mpaa_rating`` there almost
+    # always exists *another* movie by the same director carrying the
+    # same value, which makes redundant mapping variants extensionally
+    # indistinguishable from the goal — no amount of samples could ever
+    # converge.  The paper's tasks (Figure 11) use selective attributes
+    # for the same reason.
+    base = [
+        ("Movie", 0, "title"),
+        ("Director", 2, "name"),
+        ("ReleaseDate", 0, "release_date"),
+        ("Birthdate", 2, "birthdate"),
+        ("Birthplace", 2, "birthplace"),
+        ("Plot", 0, "plot"),
+    ]
+    tasks = tuple(
+        _task(f"ts1-m{size}", "yahoo", tree, base[:size]) for size in range(3, 7)
+    )
+    return TaskSet(set_id=1, n_joins=2, tasks=tasks)
+
+
+def _task_set_2() -> TaskSet:
+    """Three joins: dvd — movie — direct — person."""
+    tree = JoinTree(
+        {0: "dvd", 1: "movie", 2: "direct", 3: "person"},
+        (
+            _edge(0, 1, "dvd_mid", 0),
+            _edge(1, 2, "direct_mid", 2),
+            _edge(2, 3, "direct_pid", 2),
+        ),
+    )
+    base = [
+        ("Movie", 1, "title"),
+        ("Director", 3, "name"),
+        ("DvdDate", 0, "release_date"),
+        ("MovieDate", 1, "release_date"),
+        ("Birthplace", 3, "birthplace"),
+        ("Birthdate", 3, "birthdate"),
+    ]
+    tasks = tuple(
+        _task(f"ts2-m{size}", "yahoo", tree, base[:size]) for size in range(3, 7)
+    )
+    return TaskSet(set_id=2, n_joins=3, tasks=tasks)
+
+
+def _task_set_3() -> TaskSet:
+    """Four joins: company — produce — movie — direct — person."""
+    tree = JoinTree(
+        {0: "movie", 1: "direct", 2: "person", 3: "produce", 4: "company"},
+        (
+            _edge(0, 1, "direct_mid", 1),
+            _edge(1, 2, "direct_pid", 1),
+            _edge(0, 3, "produce_mid", 3),
+            _edge(3, 4, "produce_cid", 3),
+        ),
+    )
+    base = [
+        ("Movie", 0, "title"),
+        ("Director", 2, "name"),
+        ("Producer", 4, "name"),
+        ("ReleaseDate", 0, "release_date"),
+        ("Birthdate", 2, "birthdate"),
+        ("CompanyCountry", 4, "country"),
+    ]
+    tasks = tuple(
+        _task(f"ts3-m{size}", "yahoo", tree, base[:size]) for size in range(3, 7)
+    )
+    return TaskSet(set_id=3, n_joins=4, tasks=tasks)
+
+
+def build_task_sets() -> tuple[TaskSet, TaskSet, TaskSet]:
+    """The three task sets of Section 6.2, over the Yahoo-like schema."""
+    return (_task_set_1(), _task_set_2(), _task_set_3())
+
+
+# ----------------------------------------------------------------------
+# The user-study task (Figure 11)
+# ----------------------------------------------------------------------
+
+def user_study_task_yahoo() -> MappingTask:
+    """Figure 11(a): movie / release date / production company / director."""
+    tree = JoinTree(
+        {0: "movie", 1: "produce", 2: "company", 3: "direct", 4: "person"},
+        (
+            _edge(0, 1, "produce_mid", 1),
+            _edge(1, 2, "produce_cid", 1),
+            _edge(0, 3, "direct_mid", 3),
+            _edge(3, 4, "direct_pid", 3),
+        ),
+    )
+    return _task(
+        "user-study-yahoo",
+        "yahoo",
+        tree,
+        [
+            ("Movie", 0, "title"),
+            ("ReleaseDate", 0, "release_date"),
+            ("ProductionCompany", 2, "name"),
+            ("Director", 4, "name"),
+        ],
+    )
+
+
+def user_study_task_imdb() -> MappingTask:
+    """Figure 11(b): the same target over the IMDb-like schema."""
+    tree = JoinTree(
+        {
+            0: "title",
+            1: "movie_info",
+            2: "movie_companies",
+            3: "company_name",
+            4: "cast_info",
+            5: "name",
+        },
+        (
+            _edge(0, 1, "movie_info_tid", 1),
+            _edge(0, 2, "movie_companies_tid", 2),
+            _edge(2, 3, "movie_companies_cid", 2),
+            _edge(0, 4, "cast_info_tid", 4),
+            _edge(4, 5, "cast_info_nid", 4),
+        ),
+    )
+    return _task(
+        "user-study-imdb",
+        "imdb",
+        tree,
+        [
+            ("Movie", 0, "title"),
+            ("ReleaseDate", 1, "info"),
+            ("ProductionCompany", 3, "name"),
+            ("Director", 5, "name"),
+        ],
+    )

@@ -1,0 +1,693 @@
+"""A Yahoo-Movies-like source database.
+
+The paper's Yahoo Movies dataset has 43 relations and 131 attributes;
+this generator reproduces that schema shape — a movie/person/company
+core, a thick layer of junction tables (including the ``direct`` /
+``write`` ambiguity the running example turns on), and satellite tables
+(reviews, trailers, DVDs, ...) — at a configurable scale.
+
+Generation is fully deterministic in ``(seed, n_movies)``.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.corpus import (
+    AWARDS,
+    COUNTRIES,
+    Corpus,
+    DVD_FORMATS,
+    FESTIVALS,
+    GENRES,
+    KEYWORDS,
+    LANGUAGES,
+    MPAA_RATINGS,
+)
+from repro.relational.database import Database
+from repro.relational.schema import (
+    Attribute,
+    DatabaseSchema,
+    ForeignKey,
+    RelationSchema,
+)
+from repro.relational.types import DataType
+
+#: The paper's Yahoo Movies schema shape.
+YAHOO_RELATION_COUNT = 43
+YAHOO_ATTRIBUTE_COUNT = 131
+
+_INT = DataType.INTEGER
+_TEXT = DataType.TEXT
+_DATE = DataType.DATE
+
+
+def _key(name: str) -> Attribute:
+    return Attribute(name, _INT, fulltext=False)
+
+
+def _fk(source: str, column: str, target: str, target_column: str) -> ForeignKey:
+    return ForeignKey(
+        name=f"{source}_{column}",
+        source=source,
+        source_columns=(column,),
+        target=target,
+        target_columns=(target_column,),
+    )
+
+
+def _movie_link(name: str, extra: tuple[Attribute, ...] = ()) -> RelationSchema:
+    """A ``(mid, pid)`` junction between movie and person."""
+    return RelationSchema(
+        name=name,
+        attributes=(_key("mid"), _key("pid"), *extra),
+        primary_key=("mid", "pid"),
+        foreign_keys=(
+            _fk(name, "mid", "movie", "mid"),
+            _fk(name, "pid", "person", "pid"),
+        ),
+    )
+
+
+def yahoo_schema() -> DatabaseSchema:
+    """The 43-relation / 131-attribute Yahoo-Movies-like schema."""
+    relations = [
+        # ---------------- entity relations ----------------
+        RelationSchema(
+            "movie",
+            (
+                _key("mid"),
+                Attribute("title"),
+                Attribute("logline"),
+                Attribute("plot"),
+                Attribute("release_date", _DATE),
+                Attribute("mpaa_rating"),
+                Attribute("runtime", _INT),
+            ),
+            ("mid",),
+        ),
+        RelationSchema(
+            "person",
+            (
+                _key("pid"),
+                Attribute("name"),
+                Attribute("birthdate", _DATE),
+                Attribute("birthplace"),
+                Attribute("gender"),
+                Attribute("biography"),
+            ),
+            ("pid",),
+        ),
+        RelationSchema(
+            "company",
+            (
+                _key("cid"),
+                Attribute("name"),
+                Attribute("country"),
+                Attribute("founded", _INT),
+            ),
+            ("cid",),
+        ),
+        RelationSchema(
+            "location",
+            (_key("lid"), Attribute("loc"), Attribute("country")),
+            ("lid",),
+        ),
+        RelationSchema("genre", (_key("gid"), Attribute("genre")), ("gid",)),
+        RelationSchema("keyword", (_key("kid"), Attribute("keyword")), ("kid",)),
+        RelationSchema("language", (_key("lgid"), Attribute("language")), ("lgid",)),
+        RelationSchema(
+            "country", (_key("ctid"), Attribute("country_name")), ("ctid",)
+        ),
+        RelationSchema(
+            "award",
+            (_key("aid"), Attribute("award_name"), Attribute("organization")),
+            ("aid",),
+        ),
+        RelationSchema("family", (_key("fid"), Attribute("family")), ("fid",)),
+        RelationSchema(
+            "festival",
+            (_key("fsid"), Attribute("festival_name"), Attribute("city")),
+            ("fsid",),
+        ),
+        RelationSchema(
+            "theater",
+            (_key("thid"), Attribute("theater_name"), Attribute("city")),
+            ("thid",),
+        ),
+        RelationSchema(
+            "character", (_key("chid"), Attribute("char_name")), ("chid",)
+        ),
+        # ---------------- junction relations ----------------
+        _movie_link("direct"),
+        _movie_link("write"),
+        RelationSchema(
+            "act",
+            (
+                _key("mid"),
+                _key("pid"),
+                _key("chid"),
+                Attribute("billing", _INT),
+            ),
+            ("mid", "pid", "chid"),
+            (
+                _fk("act", "mid", "movie", "mid"),
+                _fk("act", "pid", "person", "pid"),
+                _fk("act", "chid", "character", "chid"),
+            ),
+        ),
+        _movie_link("edit"),
+        _movie_link("compose"),
+        _movie_link("cinematograph"),
+        RelationSchema(
+            "produce",
+            (_key("mid"), _key("cid")),
+            ("mid", "cid"),
+            (
+                _fk("produce", "mid", "movie", "mid"),
+                _fk("produce", "cid", "company", "cid"),
+            ),
+        ),
+        RelationSchema(
+            "distribute",
+            (_key("mid"), _key("cid"), Attribute("region")),
+            ("mid", "cid"),
+            (
+                _fk("distribute", "mid", "movie", "mid"),
+                _fk("distribute", "cid", "company", "cid"),
+            ),
+        ),
+        RelationSchema(
+            "filmedin",
+            (_key("mid"), _key("lid")),
+            ("mid", "lid"),
+            (
+                _fk("filmedin", "mid", "movie", "mid"),
+                _fk("filmedin", "lid", "location", "lid"),
+            ),
+        ),
+        RelationSchema(
+            "has_genre",
+            (_key("mid"), _key("gid")),
+            ("mid", "gid"),
+            (
+                _fk("has_genre", "mid", "movie", "mid"),
+                _fk("has_genre", "gid", "genre", "gid"),
+            ),
+        ),
+        RelationSchema(
+            "movie_keyword",
+            (_key("mid"), _key("kid")),
+            ("mid", "kid"),
+            (
+                _fk("movie_keyword", "mid", "movie", "mid"),
+                _fk("movie_keyword", "kid", "keyword", "kid"),
+            ),
+        ),
+        RelationSchema(
+            "movie_language",
+            (_key("mid"), _key("lgid")),
+            ("mid", "lgid"),
+            (
+                _fk("movie_language", "mid", "movie", "mid"),
+                _fk("movie_language", "lgid", "language", "lgid"),
+            ),
+        ),
+        RelationSchema(
+            "movie_country",
+            (_key("mid"), _key("ctid")),
+            ("mid", "ctid"),
+            (
+                _fk("movie_country", "mid", "movie", "mid"),
+                _fk("movie_country", "ctid", "country", "ctid"),
+            ),
+        ),
+        RelationSchema(
+            "won_award",
+            (_key("wid"), _key("mid"), _key("aid"), Attribute("year", _INT)),
+            ("wid",),
+            (
+                _fk("won_award", "mid", "movie", "mid"),
+                _fk("won_award", "aid", "award", "aid"),
+            ),
+        ),
+        RelationSchema(
+            "nominated",
+            (
+                _key("nid"),
+                _key("mid"),
+                _key("aid"),
+                Attribute("category"),
+                Attribute("year", _INT),
+            ),
+            ("nid",),
+            (
+                _fk("nominated", "mid", "movie", "mid"),
+                _fk("nominated", "aid", "award", "aid"),
+            ),
+        ),
+        RelationSchema(
+            "person_award",
+            (_key("paid"), _key("pid"), _key("aid"), Attribute("year", _INT)),
+            ("paid",),
+            (
+                _fk("person_award", "pid", "person", "pid"),
+                _fk("person_award", "aid", "award", "aid"),
+            ),
+        ),
+        RelationSchema(
+            "member_of",
+            (_key("pid"), _key("fid")),
+            ("pid", "fid"),
+            (
+                _fk("member_of", "pid", "person", "pid"),
+                _fk("member_of", "fid", "family", "fid"),
+            ),
+        ),
+        RelationSchema(
+            "screened_at",
+            (_key("scid"), _key("mid"), _key("fsid"), Attribute("year", _INT)),
+            ("scid",),
+            (
+                _fk("screened_at", "mid", "movie", "mid"),
+                _fk("screened_at", "fsid", "festival", "fsid"),
+            ),
+        ),
+        RelationSchema(
+            "sequel_of",
+            (_key("mid"), _key("prev_mid")),
+            ("mid", "prev_mid"),
+            (
+                _fk("sequel_of", "mid", "movie", "mid"),
+                _fk("sequel_of", "prev_mid", "movie", "mid"),
+            ),
+        ),
+        # ---------------- satellite relations ----------------
+        RelationSchema(
+            "review",
+            (
+                _key("rvid"),
+                _key("mid"),
+                Attribute("reviewer"),
+                Attribute("grade"),
+                Attribute("summary"),
+            ),
+            ("rvid",),
+            (_fk("review", "mid", "movie", "mid"),),
+        ),
+        RelationSchema(
+            "trailer",
+            (
+                _key("tlid"),
+                _key("mid"),
+                Attribute("caption"),
+                Attribute("duration", _INT),
+            ),
+            ("tlid",),
+            (_fk("trailer", "mid", "movie", "mid"),),
+        ),
+        RelationSchema(
+            "dvd",
+            (
+                _key("dvdid"),
+                _key("mid"),
+                Attribute("release_date", _DATE),
+                Attribute("format"),
+            ),
+            ("dvdid",),
+            (_fk("dvd", "mid", "movie", "mid"),),
+        ),
+        RelationSchema(
+            "soundtrack",
+            (
+                _key("stid"),
+                _key("mid"),
+                Attribute("track_title"),
+                Attribute("artist"),
+            ),
+            ("stid",),
+            (_fk("soundtrack", "mid", "movie", "mid"),),
+        ),
+        RelationSchema(
+            "quote",
+            (_key("qid"), _key("mid"), Attribute("quote_text")),
+            ("qid",),
+            (_fk("quote", "mid", "movie", "mid"),),
+        ),
+        RelationSchema(
+            "trivia",
+            (_key("tvid"), _key("mid"), Attribute("trivia_text")),
+            ("tvid",),
+            (_fk("trivia", "mid", "movie", "mid"),),
+        ),
+        RelationSchema(
+            "goof",
+            (_key("gfid"), _key("mid"), Attribute("goof_text")),
+            ("gfid",),
+            (_fk("goof", "mid", "movie", "mid"),),
+        ),
+        RelationSchema(
+            "box_office",
+            (
+                _key("boid"),
+                _key("mid"),
+                Attribute("gross", _INT),
+                Attribute("opening_gross", _INT),
+            ),
+            ("boid",),
+            (_fk("box_office", "mid", "movie", "mid"),),
+        ),
+        RelationSchema(
+            "showtime",
+            (
+                _key("shid"),
+                _key("mid"),
+                _key("thid"),
+                Attribute("show_date", _DATE),
+            ),
+            ("shid",),
+            (
+                _fk("showtime", "mid", "movie", "mid"),
+                _fk("showtime", "thid", "theater", "thid"),
+            ),
+        ),
+        RelationSchema(
+            "photo",
+            (_key("phid"), _key("pid"), Attribute("caption")),
+            ("phid",),
+            (_fk("photo", "pid", "person", "pid"),),
+        ),
+        RelationSchema(
+            "biography_note",
+            (_key("bnid"), _key("pid"), Attribute("note")),
+            ("bnid",),
+            (_fk("biography_note", "pid", "person", "pid"),),
+        ),
+    ]
+    return DatabaseSchema(relations)
+
+
+def build_yahoo_movies(
+    *, n_movies: int = 300, seed: int = 7, name: str = "yahoo-movies"
+) -> Database:
+    """Generate a populated Yahoo-Movies-like database.
+
+    ``n_movies`` scales everything else: people ≈ 1.5×, characters ≈
+    1.2×, companies ≈ n/8 and so on, with Zipf-biased sharing so that
+    popular people and companies appear in many movies (the fan-out that
+    motivates TPW over naive graph search).
+    """
+    schema = yahoo_schema()
+    db = Database(schema, name=name)
+    corpus = Corpus(seed)
+    rng = corpus.rng
+
+    n_people = max(4, int(n_movies * 1.5))
+    n_companies = max(2, n_movies // 8)
+    n_locations = max(4, min(48, n_movies // 4))
+    n_characters = max(4, int(n_movies * 1.2))
+    n_families = max(2, n_people // 10)
+    n_theaters = max(2, min(24, n_movies // 8))
+
+    # --- entity pools --------------------------------------------------
+    people = []
+    for pid in range(1, n_people + 1):
+        name_value = corpus.person_name()
+        people.append(name_value)
+        db.insert(
+            "person",
+            (
+                pid,
+                name_value,
+                corpus.date(1930, 1990),
+                corpus.city(),
+                rng.choice(("female", "male")),
+                # Deliberately does NOT quote the person's own name:
+                # otherwise a biography-projecting mapping variant would
+                # match every director sample and never be prunable.
+                f"Grew up around {corpus.city()} and trained in "
+                f"{rng.choice(('theatre', 'film', 'television'))}.",
+            ),
+        )
+    for cid in range(1, n_companies + 1):
+        db.insert(
+            "company",
+            (cid, corpus.company_name(), corpus.country(), rng.randint(1910, 2000)),
+        )
+    for lid in range(1, n_locations + 1):
+        db.insert("location", (lid, corpus.city(), corpus.country()))
+    for gid, genre in enumerate(GENRES, start=1):
+        db.insert("genre", (gid, genre))
+    for kid, keyword in enumerate(KEYWORDS, start=1):
+        db.insert("keyword", (kid, keyword))
+    for lgid, language in enumerate(LANGUAGES, start=1):
+        db.insert("language", (lgid, language))
+    for ctid, country_name in enumerate(COUNTRIES, start=1):
+        db.insert("country", (ctid, country_name))
+    for aid, (award_name, organization) in enumerate(AWARDS, start=1):
+        db.insert("award", (aid, award_name, organization))
+    for fid in range(1, n_families + 1):
+        # Family names sometimes contain a member's full name, giving
+        # samples a second occurrence site (paper Example 3: "James
+        # Cameron" matched family.family too).
+        member = rng.choice(people)
+        family = member if rng.random() < 0.5 else f"The {member.split()[-1]} family"
+        db.insert("family", (fid, family))
+    for fsid, (festival_name, city) in enumerate(FESTIVALS, start=1):
+        db.insert("festival", (fsid, festival_name, city))
+    for thid in range(1, n_theaters + 1):
+        db.insert("theater", (thid, corpus.theater_name(), corpus.city()))
+    for chid in range(1, n_characters + 1):
+        db.insert("character", (chid, corpus.person_name()))
+
+    # --- movies and their links ----------------------------------------
+    counters = {
+        key: 0
+        for key in (
+            "won_award",
+            "nominated",
+            "person_award",
+            "screened_at",
+            "review",
+            "trailer",
+            "dvd",
+            "soundtrack",
+            "quote",
+            "trivia",
+            "goof",
+            "box_office",
+            "showtime",
+            "photo",
+            "biography_note",
+        )
+    }
+
+    def next_id(counter: str) -> int:
+        counters[counter] += 1
+        return counters[counter]
+
+    def pick_person() -> int:
+        return 1 + corpus.zipf_index(n_people)
+
+    for mid in range(1, n_movies + 1):
+        title = corpus.movie_title(mid)
+        db.insert(
+            "movie",
+            (
+                mid,
+                title,
+                corpus.logline(title),
+                f"Set near {corpus.city()}, the story of {corpus.person_name()} "
+                f"and a case of {rng.choice(KEYWORDS)}.",
+                corpus.date(1960, 2011),
+                rng.choice(MPAA_RATINGS),
+                rng.randint(74, 189),
+            ),
+        )
+
+        director = pick_person()
+        db.insert("direct", (mid, director))
+        if rng.random() < 0.05:
+            co_director = pick_person()
+            if co_director != director:
+                db.insert("direct", (mid, co_director))
+
+        # A quarter of movies are written by their director — that is
+        # what makes direct-vs-write ambiguous for some sample tuples
+        # (e.g. Avatar / James Cameron in the paper).
+        writers = {director} if rng.random() < 0.25 else set()
+        while len(writers) < rng.randint(1, 2):
+            writers.add(pick_person())
+        for writer in writers:
+            db.insert("write", (mid, writer))
+
+        cast = set()
+        while len(cast) < rng.randint(2, 4):
+            cast.add(pick_person())
+        characters = rng.sample(range(1, n_characters + 1), len(cast))
+        for billing, (actor, character) in enumerate(zip(sorted(cast), characters), 1):
+            db.insert("act", (mid, actor, character, billing))
+
+        for crew_relation, probability in (
+            ("edit", 0.7),
+            ("compose", 0.7),
+            ("cinematograph", 0.7),
+        ):
+            if rng.random() < probability:
+                crew = pick_person()
+                if crew not in (director,):
+                    db.insert(crew_relation, (mid, crew))
+
+        producer = 1 + corpus.zipf_index(n_companies)
+        db.insert("produce", (mid, producer))
+        if rng.random() < 0.1:
+            second = 1 + corpus.zipf_index(n_companies)
+            if second != producer:
+                db.insert("produce", (mid, second))
+        if rng.random() < 0.5:
+            distributor = 1 + corpus.zipf_index(n_companies)
+            if distributor != producer:
+                db.insert(
+                    "distribute",
+                    (mid, distributor, rng.choice(("domestic", "international"))),
+                )
+
+        for lid in rng.sample(range(1, n_locations + 1), rng.randint(1, 2)):
+            db.insert("filmedin", (mid, lid))
+        for gid in rng.sample(range(1, len(GENRES) + 1), rng.randint(1, 2)):
+            db.insert("has_genre", (mid, gid))
+        for kid in rng.sample(range(1, len(KEYWORDS) + 1), rng.randint(2, 3)):
+            db.insert("movie_keyword", (mid, kid))
+        db.insert("movie_language", (mid, rng.randint(1, len(LANGUAGES))))
+        db.insert("movie_country", (mid, rng.randint(1, len(COUNTRIES))))
+
+        if rng.random() < 0.1:
+            db.insert(
+                "won_award",
+                (next_id("won_award"), mid, rng.randint(1, len(AWARDS)), rng.randint(1961, 2012)),
+            )
+        if rng.random() < 0.2:
+            db.insert(
+                "nominated",
+                (
+                    next_id("nominated"),
+                    mid,
+                    rng.randint(1, len(AWARDS)),
+                    rng.choice(("feature", "screenplay", "score", "editing")),
+                    rng.randint(1961, 2012),
+                ),
+            )
+        if rng.random() < 0.15:
+            db.insert(
+                "screened_at",
+                (next_id("screened_at"), mid, rng.randint(1, len(FESTIVALS)), rng.randint(1961, 2012)),
+            )
+        if mid > 1 and rng.random() < 0.05:
+            db.insert("sequel_of", (mid, rng.randint(1, mid - 1)))
+
+        for _ in range(rng.randint(1, 2)):
+            db.insert(
+                "review",
+                (
+                    next_id("review"),
+                    mid,
+                    corpus.person_name(),
+                    rng.choice(("A", "A-", "B+", "B", "B-", "C+", "C")),
+                    corpus.review_text(),
+                ),
+            )
+        if rng.random() < 0.6:
+            db.insert(
+                "trailer",
+                (
+                    next_id("trailer"),
+                    mid,
+                    f"Official trailer for {title}",
+                    rng.randint(60, 180),
+                ),
+            )
+        if rng.random() < 0.7:
+            db.insert(
+                "dvd",
+                (next_id("dvd"), mid, corpus.date(1998, 2012), rng.choice(DVD_FORMATS)),
+            )
+        for _ in range(rng.randint(0, 2)):
+            db.insert(
+                "soundtrack",
+                (next_id("soundtrack"), mid, corpus.track_title(), corpus.person_name()),
+            )
+        if rng.random() < 0.4:
+            db.insert(
+                "quote",
+                (
+                    next_id("quote"),
+                    mid,
+                    f"You can't outrun the {rng.choice(KEYWORDS)}.",
+                ),
+            )
+        if rng.random() < 0.4:
+            db.insert(
+                "trivia",
+                (
+                    next_id("trivia"),
+                    mid,
+                    f"The production spent three weeks in {corpus.city()}.",
+                ),
+            )
+        if rng.random() < 0.3:
+            db.insert(
+                "goof",
+                (
+                    next_id("goof"),
+                    mid,
+                    "A crew member is visible in the harbor scene.",
+                ),
+            )
+        db.insert(
+            "box_office",
+            (
+                next_id("box_office"),
+                mid,
+                rng.randint(1, 900) * 1_000_000,
+                rng.randint(1, 120) * 1_000_000,
+            ),
+        )
+        for _ in range(rng.randint(0, 2)):
+            db.insert(
+                "showtime",
+                (
+                    next_id("showtime"),
+                    mid,
+                    rng.randint(1, n_theaters),
+                    corpus.date(2010, 2012),
+                ),
+            )
+
+    # --- person satellites ----------------------------------------------
+    for pid in range(1, n_people + 1):
+        if rng.random() < 0.2:
+            db.insert("member_of", (pid, rng.randint(1, n_families)))
+        if rng.random() < 0.3:
+            db.insert(
+                "photo",
+                (next_id("photo"), pid, f"On set in {corpus.city()}"),
+            )
+        if rng.random() < 0.1:
+            db.insert(
+                "person_award",
+                (
+                    next_id("person_award"),
+                    pid,
+                    rng.randint(1, len(AWARDS)),
+                    rng.randint(1961, 2012),
+                ),
+            )
+        if rng.random() < 0.3:
+            db.insert(
+                "biography_note",
+                (
+                    next_id("biography_note"),
+                    pid,
+                    f"Honored by the {rng.choice(AWARDS)[1]} in {rng.randint(1980, 2011)}.",
+                ),
+            )
+
+    return db

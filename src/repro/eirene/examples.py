@@ -1,0 +1,62 @@
+"""Paired source/target data examples (Eirene's input format)."""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.exceptions import DatasetError
+from repro.relational.database import Database
+from repro.relational.schema import DatabaseSchema
+
+
+@dataclass(frozen=True)
+class ExamplePair:
+    """One data example: a source fragment and the target rows it yields.
+
+    Parameters
+    ----------
+    source_rows:
+        Relation name → rows (full arity, keys included — Eirene users
+        must spell out join keys so related tuples link up).
+    target_rows:
+        The rows the desired mapping must produce from the fragment.
+    """
+
+    source_rows: Mapping[str, Sequence[tuple]] = field(default_factory=dict)
+    target_rows: tuple[tuple[str, ...], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.target_rows:
+            raise DatasetError("an example pair needs at least one target row")
+        widths = {len(row) for row in self.target_rows}
+        if len(widths) != 1:
+            raise DatasetError("target rows must share one arity")
+
+    @property
+    def target_size(self) -> int:
+        """Number of target columns."""
+        return len(self.target_rows[0])
+
+    def source_cell_count(self) -> int:
+        """Non-NULL cells the user authored on the source side."""
+        return sum(
+            sum(1 for value in row if value is not None)
+            for rows in self.source_rows.values()
+            for row in rows
+        )
+
+    def target_cell_count(self) -> int:
+        """Cells the user authored on the target side."""
+        return sum(len(row) for row in self.target_rows)
+
+    def cell_count(self) -> int:
+        """Total user-authored cells (Eirene's authoring burden)."""
+        return self.source_cell_count() + self.target_cell_count()
+
+    def to_database(self, schema: DatabaseSchema, *, name: str = "fragment") -> Database:
+        """Load the source fragment into a fresh database instance."""
+        db = Database(schema, name=name)
+        for relation, rows in self.source_rows.items():
+            db.insert_many(relation, list(rows))
+        return db

@@ -1,0 +1,79 @@
+"""Exception hierarchy for the mweaver-repro library.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch a single base class at API boundaries.  Subclasses are
+grouped by subsystem: schema/catalog problems, query execution problems,
+search-budget exhaustion, and interactive-session misuse.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the repro package."""
+
+
+class SchemaError(ReproError):
+    """A schema definition is inconsistent.
+
+    Raised for duplicate relation or attribute names, foreign keys that
+    reference unknown relations/attributes, arity mismatches between a
+    foreign key's columns and the referenced key, and similar catalog
+    violations.
+    """
+
+
+class UnknownRelationError(SchemaError):
+    """A relation name was looked up but is not in the catalog."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"unknown relation: {name!r}")
+        self.name = name
+
+
+class UnknownAttributeError(SchemaError):
+    """An attribute name was looked up but is not in its relation."""
+
+    def __init__(self, relation: str, attribute: str) -> None:
+        super().__init__(f"unknown attribute: {relation!r}.{attribute!r}")
+        self.relation = relation
+        self.attribute = attribute
+
+
+class IntegrityError(ReproError):
+    """A data-level constraint was violated while loading rows.
+
+    Covers duplicate primary keys, rows of the wrong arity, and foreign
+    key values that do not resolve to a referenced row (when referential
+    checking is enabled).
+    """
+
+
+class QueryError(ReproError):
+    """A query object is malformed or references unknown catalog items."""
+
+
+class SearchBudgetExceeded(ReproError):
+    """A search exceeded its configured budget.
+
+    The paper's naive baseline exhausts memory for target sizes beyond
+    four; our harness converts that failure mode into this explicit,
+    catchable error carrying the budget that was exceeded.
+    """
+
+    def __init__(self, what: str, limit: int) -> None:
+        super().__init__(f"search budget exceeded: {what} > {limit}")
+        self.what = what
+        self.limit = limit
+
+
+class SessionError(ReproError):
+    """The interactive mapping session was driven incorrectly.
+
+    For instance: submitting the first row while some cells are still
+    empty, or addressing a spreadsheet column that does not exist.
+    """
+
+
+class DatasetError(ReproError):
+    """A synthetic dataset generator was configured inconsistently."""

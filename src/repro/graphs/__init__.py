@@ -1,0 +1,13 @@
+"""Schema graph substrate (Definition 2 of the paper).
+
+The schema graph has one vertex per relation and one undirected edge per
+foreign-key constraint.  :class:`SchemaGraph` builds it from a
+:class:`~repro.relational.schema.DatabaseSchema`;
+:func:`enumerate_walks` performs the bounded breadth-first exploration
+that Algorithm 3 ("Grow") runs to find pairwise join paths.
+"""
+
+from repro.graphs.schema_graph import SchemaEdge, SchemaGraph
+from repro.graphs.walks import Walk, WalkStep, enumerate_walks
+
+__all__ = ["SchemaEdge", "SchemaGraph", "Walk", "WalkStep", "enumerate_walks"]

@@ -1,0 +1,94 @@
+"""The schema graph: relations as vertices, FK constraints as edges."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import UnknownRelationError
+from repro.relational.schema import DatabaseSchema, ForeignKey
+
+
+@dataclass(frozen=True)
+class SchemaEdge:
+    """One undirected schema-graph edge, backed by a foreign key.
+
+    The edge is undirected for joinability (inner join is symmetric,
+    Section 4.4) but remembers the underlying constraint so that
+    instance-level navigation can follow it in the right direction.
+    """
+
+    fk: ForeignKey
+
+    @property
+    def name(self) -> str:
+        """The foreign key's unique name."""
+        return self.fk.name
+
+    @property
+    def endpoints(self) -> tuple[str, str]:
+        """``(source relation, target relation)`` of the constraint."""
+        return (self.fk.source, self.fk.target)
+
+    def other(self, relation: str) -> str:
+        """The relation at the opposite end of ``relation``."""
+        return self.fk.endpoint_for(relation)
+
+    def is_self_loop(self) -> bool:
+        """Whether both endpoints are the same relation."""
+        return self.fk.source == self.fk.target
+
+
+class SchemaGraph:
+    """Undirected multigraph over the relations of a schema.
+
+    Parallel edges (two constraints between the same pair of relations)
+    and self loops (a relation referencing itself) are both supported;
+    each foreign key contributes exactly one edge.
+    """
+
+    def __init__(self, schema: DatabaseSchema) -> None:
+        self.schema = schema
+        self._edges = tuple(SchemaEdge(fk) for fk in schema.foreign_keys())
+        self._incident: dict[str, list[SchemaEdge]] = {
+            relation.name: [] for relation in schema
+        }
+        for edge in self._edges:
+            self._incident[edge.fk.source].append(edge)
+            if not edge.is_self_loop():
+                self._incident[edge.fk.target].append(edge)
+
+    @property
+    def vertices(self) -> tuple[str, ...]:
+        """Relation names, in schema declaration order."""
+        return self.schema.relation_names
+
+    @property
+    def edges(self) -> tuple[SchemaEdge, ...]:
+        """Every edge, in FK declaration order."""
+        return self._edges
+
+    def incident_edges(self, relation: str) -> tuple[SchemaEdge, ...]:
+        """Edges touching ``relation`` (self loops appear once)."""
+        try:
+            return tuple(self._incident[relation])
+        except KeyError:
+            raise UnknownRelationError(relation) from None
+
+    def degree(self, relation: str) -> int:
+        """Number of edges incident to ``relation``."""
+        return len(self.incident_edges(relation))
+
+    def neighbors(self, relation: str) -> tuple[str, ...]:
+        """Relations reachable in one hop (with duplicates collapsed)."""
+        seen: dict[str, None] = {}
+        for edge in self.incident_edges(relation):
+            seen.setdefault(edge.other(relation), None)
+        return tuple(seen)
+
+    def describe(self) -> str:
+        """Multi-line ``relation: neighbor (via fk)`` rendering."""
+        lines = []
+        for relation in self.vertices:
+            for edge in self.incident_edges(relation):
+                lines.append(f"{relation} -[{edge.name}]- {edge.other(relation)}")
+        return "\n".join(lines)

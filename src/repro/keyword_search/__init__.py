@@ -1,0 +1,18 @@
+"""Database keyword search, DISCOVER/BANKS-style.
+
+Section 2 positions MWeaver against database keyword search: "keyword
+search focuses on querying *tuples* that may be related to the
+keywords; in contrast, MWeaver focuses on determining the exact
+*mapping*".  The two nonetheless share their machinery — locating
+keyword occurrences, joining the containing tuples along foreign keys —
+which is why this package is a thin façade over the TPW engine that
+returns the joined tuple trees themselves (with their row data) instead
+of the schema mappings they support.
+
+Results are ranked the classic way: fewer joins first (BANKS' proximity
+intuition), then by match quality.
+"""
+
+from repro.keyword_search.engine import KeywordHit, KeywordSearchEngine
+
+__all__ = ["KeywordHit", "KeywordSearchEngine"]

@@ -1,0 +1,87 @@
+"""The keyword-search engine: joined tuple trees for keyword queries."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.config import TPWConfig
+from repro.core.tpw import TPWEngine
+from repro.core.tuple_path import TuplePath
+from repro.relational.database import Database
+from repro.text.errors import ErrorModel
+
+
+@dataclass(frozen=True)
+class KeywordHit:
+    """One answer: a tree of joined source tuples covering all keywords."""
+
+    tuple_path: TuplePath
+    #: The keywords, in query order.
+    keywords: tuple[str, ...]
+
+    @property
+    def n_joins(self) -> int:
+        """Number of joins in the answer tree (the proximity rank key)."""
+        return self.tuple_path.n_joins
+
+    def rows(self, db: Database) -> list[tuple[str, dict[str, object]]]:
+        """The answer's tuples as ``(relation, row dict)`` pairs."""
+        result = []
+        for vertex in sorted(self.tuple_path.rows):
+            relation, row_id = self.tuple_path.tuple_at(vertex)
+            result.append((relation, db.table(relation).row_as_dict(row_id)))
+        return result
+
+    def describe(self, db: Database) -> str:
+        """Multi-line rendering of the joined tuples."""
+        lines = [f"{self.n_joins}-join answer for {list(self.keywords)}:"]
+        for relation, row in self.rows(db):
+            rendered = ", ".join(
+                f"{column}={value!r}" for column, value in list(row.items())[:4]
+            )
+            lines.append(f"  {relation}({rendered})")
+        return "\n".join(lines)
+
+
+class KeywordSearchEngine:
+    """AND-semantics keyword search over a relational instance.
+
+    Each keyword must be contained in some tuple of the answer tree;
+    trees are joined along foreign keys, bounded by the same pairwise
+    join limit the mapping search uses.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        *,
+        max_pairwise_joins: int = 2,
+        model: ErrorModel | None = None,
+    ) -> None:
+        self.db = db
+        self._engine = TPWEngine(
+            db, TPWConfig(pmnj=max_pairwise_joins), model=model
+        )
+
+    def search(
+        self, keywords: Sequence[str], *, limit: int = 0
+    ) -> list[KeywordHit]:
+        """All joined tuple trees covering every keyword, ranked.
+
+        Ranking: fewer joins first, then the engine's match score
+        ordering.  ``limit=0`` returns everything.
+        """
+        query = tuple(str(keyword) for keyword in keywords)
+        result = self._engine.search(query)
+        hits = [
+            KeywordHit(tuple_path=path, keywords=query)
+            for candidate in result.candidates
+            for path in candidate.tuple_paths
+        ]
+        hits.sort(
+            key=lambda hit: (hit.n_joins, hit.tuple_path.describe())
+        )
+        if limit:
+            hits = hits[:limit]
+        return hits

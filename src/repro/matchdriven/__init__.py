@@ -1,0 +1,32 @@
+"""A working match-driven baseline (the workflow the paper replaces).
+
+Section 2 classifies the state of the art: schema-based, instance-based
+and hybrid matchers feed a Clio-style two-phase pipeline — propose
+attribute correspondences, then derive one executable mapping.  The
+user study's InfoSphere condition is that pipeline; this package
+implements a compact version of it so the paper's criticisms can be
+demonstrated mechanically rather than asserted:
+
+* correspondences are ranked guesses: the top name-similarity match for
+  a target column is frequently wrong (the user must review,
+  §1: "painstakingly double-check an automatically-generated set of
+  matches");
+* even with perfect correspondences, several join paths may connect the
+  matched relations and the pipeline picks one — "which may not be the
+  desired one" (§1, citing [7]).
+
+:mod:`repro.matchdriven.matcher` proposes correspondences (name +
+optional instance evidence); :mod:`repro.matchdriven.pipeline` connects
+the matched relations with a shortest-join-tree heuristic and emits a
+single :class:`~repro.core.mapping_path.MappingPath`.
+"""
+
+from repro.matchdriven.matcher import Correspondence, propose_correspondences
+from repro.matchdriven.pipeline import MatchDrivenResult, match_driven_mapping
+
+__all__ = [
+    "Correspondence",
+    "propose_correspondences",
+    "MatchDrivenResult",
+    "match_driven_mapping",
+]

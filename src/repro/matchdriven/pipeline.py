@@ -1,0 +1,148 @@
+"""The mapping phase of the match-driven pipeline.
+
+Given one correspondence per target column, Clio-style systems derive
+an executable mapping by joining the matched relations along foreign
+keys.  We use the standard heuristic: connect the matched relations
+with a shortest-join-path (approximate Steiner) tree over the schema
+graph, taking the *first* shortest path found whenever several exist.
+
+That last clause is the point: when ``movie`` and ``person`` are
+connected by both ``direct`` and ``write``, the pipeline silently picks
+one — the behaviour the paper criticises ("current match-driven systems
+usually pick only one mapping, which may not be the desired one").
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.core.mapping_path import MappingPath
+from repro.graphs.schema_graph import SchemaGraph
+from repro.graphs.walks import Walk, enumerate_walks
+from repro.matchdriven.matcher import Correspondence, propose_correspondences
+from repro.relational.database import Database
+from repro.relational.query import JoinTree, JoinTreeEdge
+from repro.text.errors import ErrorModel
+
+#: Bound on the shortest-path search between two matched relations.
+MAX_CONNECTION_JOINS = 4
+
+
+@dataclass
+class MatchDrivenResult:
+    """Outcome of the pipeline: proposals, choices and the one mapping."""
+
+    proposals: dict[int, list[Correspondence]]
+    chosen: dict[int, Correspondence]
+    mapping: MappingPath | None
+    #: Columns for which no correspondence could be proposed.
+    unmatched: tuple[int, ...] = ()
+
+
+def _shortest_walk(
+    graph: SchemaGraph, start: str, goal: str
+) -> Walk | None:
+    """First shortest walk from ``start`` to ``goal`` (BFS order)."""
+    for walk in enumerate_walks(graph, start, MAX_CONNECTION_JOINS):
+        if walk.end == goal:
+            return walk
+    return None
+
+
+def _attach_walk(
+    vertices: dict[int, str],
+    edges: list[JoinTreeEdge],
+    relation_vertex: dict[str, int],
+    walk: Walk,
+) -> None:
+    """Graft ``walk`` onto the growing tree, reusing existing vertices.
+
+    The walk starts at a relation already in the tree; each subsequent
+    relation is reused when already present (first occurrence wins) and
+    created otherwise — the usual greedy Steiner approximation.
+    """
+    current = relation_vertex[walk.start]
+    for step in walk.steps:
+        existing = relation_vertex.get(step.to_relation)
+        if existing is not None and any(
+            (edge.u == current and edge.v == existing)
+            or (edge.u == existing and edge.v == current)
+            for edge in edges
+        ):
+            current = existing
+            continue
+        if existing is None:
+            vertex = max(vertices) + 1
+            vertices[vertex] = step.to_relation
+            relation_vertex[step.to_relation] = vertex
+        else:
+            vertex = existing
+        source_vertex = current if step.from_is_source else vertex
+        edges.append(
+            JoinTreeEdge(
+                u=current, v=vertex, fk_name=step.edge.name,
+                source_vertex=source_vertex,
+            )
+        )
+        current = vertex
+
+
+def match_driven_mapping(
+    db: Database,
+    column_names: Sequence[str],
+    *,
+    samples_by_column: Mapping[int, Sequence[str]] | None = None,
+    model: ErrorModel | None = None,
+) -> MatchDrivenResult:
+    """Run the two-phase match-driven pipeline end to end.
+
+    Phase one proposes correspondences; the pipeline auto-accepts the
+    top proposal per column (a human would review here).  Phase two
+    connects the matched relations with first-shortest join paths and
+    returns a single mapping — or ``None`` when a column is unmatched
+    or the relations cannot be connected within the join bound.
+    """
+    proposals = propose_correspondences(
+        db, column_names, samples_by_column=samples_by_column, model=model
+    )
+    unmatched = tuple(
+        column for column, ranked in proposals.items() if not ranked
+    )
+    if unmatched:
+        return MatchDrivenResult(proposals, {}, None, unmatched)
+
+    chosen = {column: ranked[0] for column, ranked in proposals.items()}
+    graph = SchemaGraph(db.schema)
+
+    ordered = [chosen[column] for column in sorted(chosen)]
+    first = ordered[0]
+    vertices: dict[int, str] = {0: first.relation}
+    edges: list[JoinTreeEdge] = []
+    relation_vertex = {first.relation: 0}
+    for correspondence in ordered[1:]:
+        if correspondence.relation in relation_vertex:
+            continue
+        # connect the new relation to any relation already in the tree
+        walk = None
+        for anchored in list(relation_vertex):
+            walk = _shortest_walk(graph, anchored, correspondence.relation)
+            if walk is not None:
+                break
+        if walk is None:
+            return MatchDrivenResult(proposals, chosen, None, ())
+        _attach_walk(vertices, edges, relation_vertex, walk)
+
+    projections = {
+        column: (relation_vertex[c.relation], c.attribute)
+        for column, c in chosen.items()
+    }
+    try:
+        tree = JoinTree(vertices, tuple(edges))
+        mapping = MappingPath(tree, projections)
+    except Exception:
+        # The greedy grafting produced a non-tree (rare with dense
+        # schemas); the pipeline gives up, as real tools make the user
+        # repair the mapping manually.
+        return MatchDrivenResult(proposals, chosen, None, ())
+    return MatchDrivenResult(proposals, chosen, mapping, ())

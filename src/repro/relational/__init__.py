@@ -1,0 +1,46 @@
+"""In-memory relational engine substrate.
+
+The paper stores its sources in MySQL 5 and issues SQL through a Java
+servlet.  This package is our self-contained replacement: typed schemas
+with primary/foreign keys, row storage with stable row ids, hash indexes
+over keys, foreign-key adjacency for instance-level navigation, a
+project-join tree query evaluator with noisy-containment predicates,
+SQL rendering, CSV persistence and an optional sqlite3 mirror used to
+cross-check query results in the test suite.
+"""
+
+from repro.relational.types import DataType
+from repro.relational.schema import (
+    Attribute,
+    DatabaseSchema,
+    ForeignKey,
+    RelationSchema,
+)
+from repro.relational.table import Table
+from repro.relational.database import Database
+from repro.relational.query import ContainsPredicate, JoinTree, Projection
+from repro.relational.executor import PlanExplanation, evaluate_tree, explain_tree, tree_exists
+from repro.relational.sql import render_join_tree_sql
+from repro.relational.csvio import load_database_csv, save_database_csv
+from repro.relational.sqlite_backend import to_sqlite
+
+__all__ = [
+    "DataType",
+    "Attribute",
+    "ForeignKey",
+    "RelationSchema",
+    "DatabaseSchema",
+    "Table",
+    "Database",
+    "JoinTree",
+    "ContainsPredicate",
+    "Projection",
+    "evaluate_tree",
+    "tree_exists",
+    "explain_tree",
+    "PlanExplanation",
+    "render_join_tree_sql",
+    "save_database_csv",
+    "load_database_csv",
+    "to_sqlite",
+]

@@ -1,0 +1,132 @@
+"""CSV + JSON persistence for databases.
+
+A database round-trips through a directory holding one ``<relation>.csv``
+per relation plus a ``schema.json`` describing attributes, keys and
+foreign keys.  Useful for inspecting generated datasets and for loading
+user-supplied sources into the engine.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from repro.exceptions import DatasetError
+from repro.relational.database import Database
+from repro.relational.schema import (
+    Attribute,
+    DatabaseSchema,
+    ForeignKey,
+    RelationSchema,
+)
+from repro.relational.types import DataType
+
+_SCHEMA_FILE = "schema.json"
+_NULL_MARKER = ""
+
+
+def _schema_to_json(schema: DatabaseSchema) -> dict:
+    return {
+        "relations": [
+            {
+                "name": relation.name,
+                "attributes": [
+                    {
+                        "name": attribute.name,
+                        "type": attribute.data_type.value,
+                        "fulltext": attribute.fulltext,
+                    }
+                    for attribute in relation.attributes
+                ],
+                "primary_key": list(relation.primary_key),
+                "foreign_keys": [
+                    {
+                        "name": fk.name,
+                        "source_columns": list(fk.source_columns),
+                        "target": fk.target,
+                        "target_columns": list(fk.target_columns),
+                    }
+                    for fk in relation.foreign_keys
+                ],
+            }
+            for relation in schema
+        ]
+    }
+
+
+def _schema_from_json(payload: dict) -> DatabaseSchema:
+    relations = []
+    for entry in payload["relations"]:
+        attributes = tuple(
+            Attribute(
+                name=attr["name"],
+                data_type=DataType(attr["type"]),
+                fulltext=attr.get("fulltext"),
+            )
+            for attr in entry["attributes"]
+        )
+        foreign_keys = tuple(
+            ForeignKey(
+                name=fk["name"],
+                source=entry["name"],
+                source_columns=tuple(fk["source_columns"]),
+                target=fk["target"],
+                target_columns=tuple(fk["target_columns"]),
+            )
+            for fk in entry.get("foreign_keys", ())
+        )
+        relations.append(
+            RelationSchema(
+                name=entry["name"],
+                attributes=attributes,
+                primary_key=tuple(entry.get("primary_key", ())),
+                foreign_keys=foreign_keys,
+            )
+        )
+    return DatabaseSchema(relations)
+
+
+def save_database_csv(db: Database, directory: str | Path) -> None:
+    """Write ``db`` to ``directory`` (created if missing)."""
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    with open(path / _SCHEMA_FILE, "w", encoding="utf-8") as handle:
+        json.dump(_schema_to_json(db.schema), handle, indent=2)
+    for relation in db.schema:
+        table = db.table(relation.name)
+        with open(path / f"{relation.name}.csv", "w", encoding="utf-8", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(relation.attribute_names)
+            for row in table:
+                writer.writerow(
+                    [_NULL_MARKER if value is None else value for value in row]
+                )
+
+
+def load_database_csv(directory: str | Path, *, name: str | None = None) -> Database:
+    """Load a database previously written by :func:`save_database_csv`."""
+    path = Path(directory)
+    schema_path = path / _SCHEMA_FILE
+    if not schema_path.exists():
+        raise DatasetError(f"no {_SCHEMA_FILE} in {path}")
+    with open(schema_path, encoding="utf-8") as handle:
+        schema = _schema_from_json(json.load(handle))
+    db = Database(schema, name=name or path.name)
+    for relation in schema:
+        csv_path = path / f"{relation.name}.csv"
+        if not csv_path.exists():
+            raise DatasetError(f"missing table file {csv_path}")
+        with open(csv_path, encoding="utf-8", newline="") as handle:
+            reader = csv.reader(handle)
+            header = next(reader, None)
+            if header is None or tuple(header) != relation.attribute_names:
+                raise DatasetError(
+                    f"{csv_path}: header does not match schema of {relation.name!r}"
+                )
+            rows = [
+                [None if cell == _NULL_MARKER else cell for cell in row]
+                for row in reader
+            ]
+        db.insert_many(relation.name, rows)
+    return db

@@ -1,0 +1,264 @@
+"""The :class:`Database`: tables, text indexes and FK adjacency.
+
+This is the "source database instance" every MWeaver search runs over.
+Besides row storage it owns two index families:
+
+* per-column **inverted text indexes** (used by Algorithm 1 and by every
+  containment predicate), and
+* per-foreign-key **adjacency indexes** (used by the tuple-path
+  instantiation and by the tree-query evaluator to hop from a tuple to
+  its join partners without scanning).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+from repro.exceptions import IntegrityError, UnknownRelationError
+from repro.relational.schema import DatabaseSchema, ForeignKey
+from repro.relational.table import Table
+from repro.text.errors import ErrorModel, default_error_model
+from repro.text.inverted_index import ColumnIndex, LinearScanIndex, build_column_index
+
+_EMPTY: tuple[int, ...] = ()
+
+
+class Database:
+    """A database instance over a :class:`DatabaseSchema`.
+
+    Parameters
+    ----------
+    schema:
+        The validated schema.
+    name:
+        Display name used in reports (e.g. ``"yahoo-movies"``).
+    use_inverted_index:
+        When false, text search degrades to linear scans — only useful
+        for the index ablation benchmark.
+    """
+
+    def __init__(
+        self,
+        schema: DatabaseSchema,
+        *,
+        name: str = "db",
+        use_inverted_index: bool = True,
+    ) -> None:
+        self.schema = schema
+        self.name = name
+        self.use_inverted_index = use_inverted_index
+        self.tables: dict[str, Table] = {
+            relation.name: Table(relation) for relation in schema
+        }
+        self._text_indexes: dict[tuple[str, str], ColumnIndex | LinearScanIndex] = {}
+        self._fk_forward: dict[str, dict[int, tuple[int, ...]]] = {}
+        self._fk_reverse: dict[str, dict[int, tuple[int, ...]]] = {}
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+
+    def table(self, relation: str) -> Table:
+        """The :class:`~repro.relational.table.Table` for ``relation``."""
+        try:
+            return self.tables[relation]
+        except KeyError:
+            raise UnknownRelationError(relation) from None
+
+    def insert(
+        self, relation: str, values: Sequence[object] | Mapping[str, object]
+    ) -> int:
+        """Insert one row into ``relation``; returns the new row id.
+
+        Inserting invalidates any indexes previously built over the
+        relation, so bulk-load first and search after.
+        """
+        row_id = self.table(relation).insert(values)
+        self._invalidate(relation)
+        return row_id
+
+    def insert_many(
+        self,
+        relation: str,
+        rows: Iterable[Sequence[object] | Mapping[str, object]],
+    ) -> list[int]:
+        """Bulk insert; returns the new row ids."""
+        table = self.table(relation)
+        row_ids = [table.insert(row) for row in rows]
+        if row_ids:
+            self._invalidate(relation)
+        return row_ids
+
+    def _invalidate(self, relation: str) -> None:
+        for key in [k for k in self._text_indexes if k[0] == relation]:
+            del self._text_indexes[key]
+        for foreign_key in self.schema.foreign_keys():
+            if relation in (foreign_key.source, foreign_key.target):
+                self._fk_forward.pop(foreign_key.name, None)
+                self._fk_reverse.pop(foreign_key.name, None)
+
+    def validate_referential_integrity(self) -> None:
+        """Check every non-NULL FK value resolves to a referenced row.
+
+        Raises :class:`~repro.exceptions.IntegrityError` on the first
+        dangling reference found.
+        """
+        for foreign_key in self.schema.foreign_keys():
+            source = self.table(foreign_key.source)
+            positions = tuple(
+                source.schema.position(column)
+                for column in foreign_key.source_columns
+            )
+            referenced = self._target_key_index(foreign_key)
+            for row_id, row in enumerate(source):
+                key = tuple(row[position] for position in positions)
+                if any(part is None for part in key):
+                    continue
+                if key not in referenced:
+                    raise IntegrityError(
+                        f"{foreign_key.name}: row {row_id} of "
+                        f"{foreign_key.source!r} references missing key {key!r}"
+                    )
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+
+    def total_rows(self) -> int:
+        """Total row count across all relations."""
+        return sum(len(table) for table in self.tables.values())
+
+    def summary(self) -> str:
+        """One-line size summary for logs and reports."""
+        return (
+            f"{self.name}: {len(self.schema)} relations, "
+            f"{self.schema.attribute_count()} attributes, "
+            f"{self.total_rows()} rows"
+        )
+
+    # ------------------------------------------------------------------
+    # Text search
+    # ------------------------------------------------------------------
+
+    def text_index(self, relation: str, attribute: str) -> ColumnIndex | LinearScanIndex:
+        """The (lazily built, cached) text index over one column."""
+        key = (relation, attribute)
+        index = self._text_indexes.get(key)
+        if index is None:
+            values = self.table(relation).column(attribute)
+            index = build_column_index(values, use_inverted=self.use_inverted_index)
+            self._text_indexes[key] = index
+        return index
+
+    def search_attribute(
+        self,
+        relation: str,
+        attribute: str,
+        sample: str,
+        model: ErrorModel | None = None,
+    ) -> list[int]:
+        """Row ids of ``relation`` whose ``attribute`` contains ``sample``."""
+        model = model or default_error_model()
+        return self.text_index(relation, attribute).search(model, sample)
+
+    def attribute_contains(
+        self,
+        relation: str,
+        attribute: str,
+        sample: str,
+        model: ErrorModel | None = None,
+    ) -> bool:
+        """Whether any row of ``relation.attribute`` contains ``sample``."""
+        model = model or default_error_model()
+        return self.text_index(relation, attribute).contains_any(model, sample)
+
+    def attributes_containing(
+        self, sample: str, model: ErrorModel | None = None
+    ) -> list[tuple[str, str]]:
+        """All ``(relation, attribute)`` pairs containing ``sample``.
+
+        This is the per-sample entry of Algorithm 1's location map; the
+        scan is restricted to attributes declared ``fulltext``.
+        """
+        model = model or default_error_model()
+        return [
+            (relation, attribute)
+            for relation, attribute in self.schema.text_attribute_pairs()
+            if self.attribute_contains(relation, attribute, sample, model)
+        ]
+
+    # ------------------------------------------------------------------
+    # Foreign-key adjacency
+    # ------------------------------------------------------------------
+
+    def _target_key_index(self, foreign_key: ForeignKey) -> dict[tuple[object, ...], list[int]]:
+        target = self.table(foreign_key.target)
+        positions = tuple(
+            target.schema.position(column) for column in foreign_key.target_columns
+        )
+        index: dict[tuple[object, ...], list[int]] = {}
+        for row_id, row in enumerate(target):
+            key = tuple(row[position] for position in positions)
+            if any(part is None for part in key):
+                continue
+            index.setdefault(key, []).append(row_id)
+        return index
+
+    def _build_fk_adjacency(self, foreign_key: ForeignKey) -> None:
+        source = self.table(foreign_key.source)
+        positions = tuple(
+            source.schema.position(column) for column in foreign_key.source_columns
+        )
+        target_index = self._target_key_index(foreign_key)
+        forward: dict[int, tuple[int, ...]] = {}
+        reverse_lists: dict[int, list[int]] = {}
+        for row_id, row in enumerate(source):
+            key = tuple(row[position] for position in positions)
+            if any(part is None for part in key):
+                continue
+            matches = target_index.get(key)
+            if not matches:
+                continue
+            forward[row_id] = tuple(matches)
+            for target_row in matches:
+                reverse_lists.setdefault(target_row, []).append(row_id)
+        self._fk_forward[foreign_key.name] = forward
+        self._fk_reverse[foreign_key.name] = {
+            target_row: tuple(source_rows)
+            for target_row, source_rows in reverse_lists.items()
+        }
+
+    def fk_targets(self, fk_name: str, source_row: int) -> tuple[int, ...]:
+        """Rows of the *referenced* relation joined to ``source_row``.
+
+        Follows the foreign key in its natural direction (child row →
+        parent rows).  With a proper key on the target this is 0 or 1
+        rows; the engine supports non-unique targets too.
+        """
+        if fk_name not in self._fk_forward:
+            self._build_fk_adjacency(self.schema.foreign_key(fk_name))
+        return self._fk_forward[fk_name].get(source_row, _EMPTY)
+
+    def fk_sources(self, fk_name: str, target_row: int) -> tuple[int, ...]:
+        """Rows of the *referencing* relation joined to ``target_row``.
+
+        Follows the foreign key in reverse (parent row → child rows);
+        the fan-out here is the "large tuple fan-out" the paper warns
+        about for graph-search approaches.
+        """
+        if fk_name not in self._fk_reverse:
+            self._build_fk_adjacency(self.schema.foreign_key(fk_name))
+        return self._fk_reverse[fk_name].get(target_row, _EMPTY)
+
+    def joined_rows(
+        self, fk_name: str, row_id: int, *, from_source: bool
+    ) -> tuple[int, ...]:
+        """Join partners of ``row_id`` across ``fk_name``.
+
+        ``from_source`` disambiguates direction, which matters for
+        self-referencing constraints where both endpoints are the same
+        relation.
+        """
+        if from_source:
+            return self.fk_targets(fk_name, row_id)
+        return self.fk_sources(fk_name, row_id)

@@ -1,0 +1,202 @@
+"""Project-join tree queries with containment predicates.
+
+A :class:`JoinTree` is the query-level twin of the paper's *relation
+path* (Definition 3): vertices carry relation names (the same relation
+may appear several times), edges carry the foreign key joining the two
+occurrences.  Augmented with :class:`ContainsPredicate` filters and
+:class:`Projection` outputs, it expresses exactly the "approximate
+search query" of Appendix A.3 — the only query shape the whole system
+ever executes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import QueryError
+from repro.relational.schema import DatabaseSchema
+from repro.text.errors import ErrorModel
+
+
+@dataclass(frozen=True)
+class JoinTreeEdge:
+    """One join edge between vertex ids ``u`` and ``v`` via ``fk_name``.
+
+    ``source_vertex`` names which of the two vertices plays the foreign
+    key's *source* (referencing) role — required because a constraint
+    may connect two occurrences of the same relation.
+    """
+
+    u: int
+    v: int
+    fk_name: str
+    source_vertex: int
+
+    def __post_init__(self) -> None:
+        if self.u == self.v:
+            raise QueryError("join edge endpoints must differ")
+        if self.source_vertex not in (self.u, self.v):
+            raise QueryError("source_vertex must be one of the edge endpoints")
+
+    def other(self, vertex: int) -> int:
+        """The endpoint that is not ``vertex``."""
+        if vertex == self.u:
+            return self.v
+        if vertex == self.v:
+            return self.u
+        raise QueryError(f"vertex {vertex} not on edge ({self.u}, {self.v})")
+
+    def leaving_source(self, vertex: int) -> bool:
+        """Whether traversing *away from* ``vertex`` follows FK direction."""
+        return vertex == self.source_vertex
+
+
+@dataclass(frozen=True)
+class ContainsPredicate:
+    """``vertex.attribute ⊑ sample`` under ``model``."""
+
+    vertex: int
+    attribute: str
+    sample: str
+    model: ErrorModel
+
+
+@dataclass(frozen=True)
+class Projection:
+    """Output column: project ``vertex.attribute`` as target column ``key``."""
+
+    key: int
+    vertex: int
+    attribute: str
+
+
+class JoinTree:
+    """An undirected tree of relation occurrences joined by FKs.
+
+    Parameters
+    ----------
+    vertices:
+        Mapping from vertex id to relation name.  A single-vertex tree
+        (no joins) is legal and common: the whole sample tuple may live
+        in one relation.
+    edges:
+        The join edges; must form a tree over ``vertices``.
+    """
+
+    __slots__ = ("vertices", "edges", "_adjacency")
+
+    def __init__(
+        self,
+        vertices: dict[int, str],
+        edges: tuple[JoinTreeEdge, ...] | list[JoinTreeEdge] = (),
+    ) -> None:
+        if not vertices:
+            raise QueryError("a join tree needs at least one vertex")
+        self.vertices = dict(vertices)
+        self.edges = tuple(edges)
+        if len(self.edges) != len(self.vertices) - 1:
+            raise QueryError(
+                f"not a tree: {len(self.vertices)} vertices need "
+                f"{len(self.vertices) - 1} edges, got {len(self.edges)}"
+            )
+        adjacency: dict[int, list[JoinTreeEdge]] = {vid: [] for vid in self.vertices}
+        for edge in self.edges:
+            if edge.u not in self.vertices or edge.v not in self.vertices:
+                raise QueryError(f"edge ({edge.u}, {edge.v}) references unknown vertex")
+            adjacency[edge.u].append(edge)
+            adjacency[edge.v].append(edge)
+        self._adjacency = adjacency
+        self._check_connected()
+
+    def _check_connected(self) -> None:
+        start = next(iter(self.vertices))
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            vertex = frontier.pop()
+            for edge in self._adjacency[vertex]:
+                neighbor = edge.other(vertex)
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    frontier.append(neighbor)
+        if len(seen) != len(self.vertices):
+            raise QueryError("join tree is not connected")
+
+    # ------------------------------------------------------------------
+
+    def relation_of(self, vertex: int) -> str:
+        """Relation name at ``vertex``."""
+        try:
+            return self.vertices[vertex]
+        except KeyError:
+            raise QueryError(f"unknown vertex {vertex}") from None
+
+    def neighbors(self, vertex: int) -> tuple[JoinTreeEdge, ...]:
+        """Edges incident to ``vertex``."""
+        return tuple(self._adjacency[vertex])
+
+    def degree(self, vertex: int) -> int:
+        """Number of incident edges."""
+        return len(self._adjacency[vertex])
+
+    def terminal_vertices(self) -> tuple[int, ...]:
+        """Vertices of degree ≤ 1 (``T(g)`` in the paper's notation)."""
+        return tuple(
+            vertex for vertex in self.vertices if len(self._adjacency[vertex]) <= 1
+        )
+
+    @property
+    def n_joins(self) -> int:
+        """Number of joins (edges)."""
+        return len(self.edges)
+
+    def traversal_order(self, root: int) -> tuple[tuple[int, JoinTreeEdge | None], ...]:
+        """BFS order from ``root``: ``(vertex, edge used to reach it)``.
+
+        The first entry is ``(root, None)``.  Every other vertex appears
+        exactly once, after its parent — the order the tree evaluator
+        binds vertices in.
+        """
+        order: list[tuple[int, JoinTreeEdge | None]] = [(root, None)]
+        seen = {root}
+        frontier = [root]
+        while frontier:
+            vertex = frontier.pop(0)
+            for edge in self._adjacency[vertex]:
+                neighbor = edge.other(vertex)
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    order.append((neighbor, edge))
+                    frontier.append(neighbor)
+        return tuple(order)
+
+    def validate_against(self, schema: DatabaseSchema) -> None:
+        """Check all relations and FK endpoints exist in ``schema``.
+
+        Raises :class:`~repro.exceptions.QueryError` on any mismatch.
+        """
+        for vertex, relation in self.vertices.items():
+            if relation not in schema:
+                raise QueryError(f"vertex {vertex}: unknown relation {relation!r}")
+        for edge in self.edges:
+            foreign_key = schema.foreign_key(edge.fk_name)
+            source_relation = self.relation_of(edge.source_vertex)
+            target_relation = self.relation_of(edge.other(edge.source_vertex))
+            if foreign_key.source != source_relation or foreign_key.target != target_relation:
+                raise QueryError(
+                    f"edge {edge.fk_name!r} does not join "
+                    f"{source_relation!r} -> {target_relation!r}"
+                )
+
+    def describe(self) -> str:
+        """Compact single-line rendering, e.g. ``movie -direct- person``."""
+        if not self.edges:
+            only = next(iter(self.vertices))
+            return self.vertices[only]
+        parts = []
+        for edge in self.edges:
+            parts.append(
+                f"{self.relation_of(edge.u)}#{edge.u} -{edge.fk_name}- "
+                f"{self.relation_of(edge.v)}#{edge.v}"
+            )
+        return " ; ".join(parts)

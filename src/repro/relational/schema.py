@@ -1,0 +1,247 @@
+"""Schema objects: attributes, relations, foreign keys, whole databases.
+
+The schema layer is the ground truth for everything above it: the schema
+graph (Definition 2) is derived from :class:`ForeignKey` declarations,
+and Algorithm 1's attribute scan walks :meth:`DatabaseSchema.text_attributes`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import SchemaError, UnknownAttributeError, UnknownRelationError
+from repro.relational.types import DataType
+
+_IDENTIFIER_BAD_CHARS = set(" \t\n.,;\"'`()")
+
+
+def _check_identifier(name: str, kind: str) -> None:
+    if not name:
+        raise SchemaError(f"{kind} name must be non-empty")
+    if any(ch in _IDENTIFIER_BAD_CHARS for ch in name):
+        raise SchemaError(f"{kind} name {name!r} contains illegal characters")
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A column of a relation.
+
+    Parameters
+    ----------
+    name:
+        Column name, unique within its relation.
+    data_type:
+        Storage type; see :class:`~repro.relational.types.DataType`.
+    fulltext:
+        Whether the column participates in sample search.  Defaults to
+        true for textual types and false otherwise.  Key columns are
+        typically declared ``fulltext=False`` so that a user typing
+        ``42`` does not match every surrogate key in the database.
+    """
+
+    name: str
+    data_type: DataType = DataType.TEXT
+    fulltext: bool | None = None
+
+    def __post_init__(self) -> None:
+        _check_identifier(self.name, "attribute")
+        if self.fulltext is None:
+            object.__setattr__(self, "fulltext", self.data_type.is_textual)
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        flag = " [fulltext]" if self.fulltext else ""
+        return f"{self.name}: {self.data_type.value}{flag}"
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A foreign-key constraint from ``source`` columns to ``target`` key.
+
+    Each constraint becomes one edge of the schema graph; two relations
+    linked by two distinct constraints get two parallel edges, which is
+    essential for self-join-style sources (e.g. a ``movie_link`` table
+    with two references into ``movie``).
+    """
+
+    name: str
+    source: str
+    source_columns: tuple[str, ...]
+    target: str
+    target_columns: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        _check_identifier(self.name, "foreign key")
+        if not self.source_columns:
+            raise SchemaError(f"foreign key {self.name!r} has no source columns")
+        if len(self.source_columns) != len(self.target_columns):
+            raise SchemaError(
+                f"foreign key {self.name!r}: column count mismatch "
+                f"({len(self.source_columns)} vs {len(self.target_columns)})"
+            )
+
+    def endpoint_for(self, relation: str) -> str:
+        """The relation at the other end of this constraint.
+
+        Raises :class:`~repro.exceptions.SchemaError` if ``relation`` is
+        not an endpoint.  For self-referencing constraints both ends are
+        the same relation and that name is returned.
+        """
+        if relation == self.source:
+            return self.target
+        if relation == self.target:
+            return self.source
+        raise SchemaError(f"relation {relation!r} is not an endpoint of {self.name!r}")
+
+    def describe(self) -> str:
+        """Human-readable ``source(cols) -> target(cols)`` rendering."""
+        src = ", ".join(self.source_columns)
+        dst = ", ".join(self.target_columns)
+        return f"{self.source}({src}) -> {self.target}({dst})"
+
+
+@dataclass(frozen=True)
+class RelationSchema:
+    """Schema of one relation: ordered attributes, key, outgoing FKs."""
+
+    name: str
+    attributes: tuple[Attribute, ...]
+    primary_key: tuple[str, ...] = ()
+    foreign_keys: tuple[ForeignKey, ...] = ()
+    _positions: dict[str, int] = field(init=False, repr=False, compare=False, hash=False)
+
+    def __post_init__(self) -> None:
+        _check_identifier(self.name, "relation")
+        if not self.attributes:
+            raise SchemaError(f"relation {self.name!r} has no attributes")
+        positions: dict[str, int] = {}
+        for index, attribute in enumerate(self.attributes):
+            if attribute.name in positions:
+                raise SchemaError(
+                    f"relation {self.name!r}: duplicate attribute {attribute.name!r}"
+                )
+            positions[attribute.name] = index
+        object.__setattr__(self, "_positions", positions)
+        for key_column in self.primary_key:
+            if key_column not in positions:
+                raise UnknownAttributeError(self.name, key_column)
+        for foreign_key in self.foreign_keys:
+            if foreign_key.source != self.name:
+                raise SchemaError(
+                    f"foreign key {foreign_key.name!r} declared on {self.name!r} "
+                    f"but sourced from {foreign_key.source!r}"
+                )
+            for column in foreign_key.source_columns:
+                if column not in positions:
+                    raise UnknownAttributeError(self.name, column)
+
+    @property
+    def arity(self) -> int:
+        """Number of attributes."""
+        return len(self.attributes)
+
+    @property
+    def attribute_names(self) -> tuple[str, ...]:
+        """Attribute names in declaration order."""
+        return tuple(attribute.name for attribute in self.attributes)
+
+    def has_attribute(self, name: str) -> bool:
+        """Whether ``name`` is an attribute of this relation."""
+        return name in self._positions
+
+    def position(self, name: str) -> int:
+        """Zero-based column position of ``name``."""
+        try:
+            return self._positions[name]
+        except KeyError:
+            raise UnknownAttributeError(self.name, name) from None
+
+    def attribute(self, name: str) -> Attribute:
+        """The :class:`Attribute` called ``name``."""
+        return self.attributes[self.position(name)]
+
+    def text_attributes(self) -> tuple[Attribute, ...]:
+        """Attributes that participate in full-text sample search."""
+        return tuple(attribute for attribute in self.attributes if attribute.fulltext)
+
+    def describe(self) -> str:
+        """Multi-line human-readable description."""
+        lines = [f"relation {self.name} (pk: {', '.join(self.primary_key) or '-'})"]
+        lines.extend(f"  {attribute.describe()}" for attribute in self.attributes)
+        lines.extend(f"  fk {fk.name}: {fk.describe()}" for fk in self.foreign_keys)
+        return "\n".join(lines)
+
+
+class DatabaseSchema:
+    """A named collection of relation schemas with validated FKs.
+
+    Iteration order is declaration order, which keeps every derived
+    artifact (schema graph, BFS, generated mappings) deterministic.
+    """
+
+    def __init__(self, relations: tuple[RelationSchema, ...] | list[RelationSchema]) -> None:
+        self._relations: dict[str, RelationSchema] = {}
+        for relation in relations:
+            if relation.name in self._relations:
+                raise SchemaError(f"duplicate relation {relation.name!r}")
+            self._relations[relation.name] = relation
+        self._foreign_keys: dict[str, ForeignKey] = {}
+        for relation in self._relations.values():
+            for foreign_key in relation.foreign_keys:
+                if foreign_key.name in self._foreign_keys:
+                    raise SchemaError(f"duplicate foreign key {foreign_key.name!r}")
+                target = self._relations.get(foreign_key.target)
+                if target is None:
+                    raise UnknownRelationError(foreign_key.target)
+                for column in foreign_key.target_columns:
+                    if not target.has_attribute(column):
+                        raise UnknownAttributeError(foreign_key.target, column)
+                self._foreign_keys[foreign_key.name] = foreign_key
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __iter__(self):
+        return iter(self._relations.values())
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    @property
+    def relation_names(self) -> tuple[str, ...]:
+        """Relation names in declaration order."""
+        return tuple(self._relations)
+
+    def relation(self, name: str) -> RelationSchema:
+        """Schema of relation ``name``."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise UnknownRelationError(name) from None
+
+    def foreign_keys(self) -> tuple[ForeignKey, ...]:
+        """Every foreign key in the database, in declaration order."""
+        return tuple(self._foreign_keys.values())
+
+    def foreign_key(self, name: str) -> ForeignKey:
+        """Look up a foreign key by its unique name."""
+        try:
+            return self._foreign_keys[name]
+        except KeyError:
+            raise SchemaError(f"unknown foreign key {name!r}") from None
+
+    def attribute_count(self) -> int:
+        """Total number of attributes across all relations."""
+        return sum(relation.arity for relation in self)
+
+    def text_attribute_pairs(self) -> tuple[tuple[str, str], ...]:
+        """All ``(relation, attribute)`` pairs eligible for sample search."""
+        return tuple(
+            (relation.name, attribute.name)
+            for relation in self
+            for attribute in relation.text_attributes()
+        )
+
+    def describe(self) -> str:
+        """Multi-line description of the whole schema."""
+        return "\n".join(relation.describe() for relation in self)

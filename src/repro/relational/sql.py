@@ -1,0 +1,106 @@
+"""SQL rendering of join-tree queries.
+
+A mapping path "is equivalent to a schema mapping in that it can be
+translated to a SQL query" (Section 4.4).  This module performs that
+translation.  The output runs unmodified on the sqlite3 mirror produced
+by :func:`repro.relational.sqlite_backend.to_sqlite`, which the test
+suite uses to cross-check the native evaluator; containment predicates
+are approximated with ``LIKE`` conjunctions (sqlite has no token-level
+full-text search without extensions).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.relational.query import ContainsPredicate, JoinTree, Projection
+from repro.relational.schema import DatabaseSchema
+from repro.text.tokenize import tokenize
+
+
+def _quote_identifier(name: str) -> str:
+    return '"' + name.replace('"', '""') + '"'
+
+
+def _quote_literal(value: str) -> str:
+    return "'" + value.replace("'", "''") + "'"
+
+
+def _alias(vertex: int) -> str:
+    return f"t{vertex}"
+
+
+def render_join_tree_sql(
+    schema: DatabaseSchema,
+    tree: JoinTree,
+    projections: Sequence[Projection],
+    predicates: Sequence[ContainsPredicate] = (),
+    *,
+    column_names: Sequence[str] | None = None,
+) -> str:
+    """Render ``tree`` as a SQL ``SELECT``.
+
+    Parameters
+    ----------
+    schema:
+        Database schema (resolves each edge's foreign-key columns).
+    tree:
+        The join structure.
+    projections:
+        Output columns ordered by target key.
+    predicates:
+        Optional containment filters, rendered as ``LIKE`` conjunctions
+        over the normalized sample tokens.
+    column_names:
+        Optional output column names; defaults to ``col<key>``.
+    """
+    ordered = sorted(projections, key=lambda projection: projection.key)
+    select_parts = []
+    for position, projection in enumerate(ordered):
+        if column_names is not None and position < len(column_names):
+            label = column_names[position]
+        else:
+            label = f"col{projection.key}"
+        select_parts.append(
+            f"{_alias(projection.vertex)}.{_quote_identifier(projection.attribute)}"
+            f" AS {_quote_identifier(label)}"
+        )
+
+    # FROM clause: walk the tree from its first vertex so every JOIN has
+    # a previously introduced partner.
+    root = min(tree.vertices)
+    order = tree.traversal_order(root)
+    from_lines = [
+        f"FROM {_quote_identifier(tree.relation_of(root))} AS {_alias(root)}"
+    ]
+    for vertex, edge in order[1:]:
+        assert edge is not None
+        foreign_key = schema.foreign_key(edge.fk_name)
+        parent = edge.other(vertex)
+        if edge.source_vertex == vertex:
+            child_alias, parent_alias = _alias(vertex), _alias(parent)
+        else:
+            child_alias, parent_alias = _alias(parent), _alias(vertex)
+        conditions = " AND ".join(
+            f"{child_alias}.{_quote_identifier(src)} = "
+            f"{parent_alias}.{_quote_identifier(dst)}"
+            for src, dst in zip(foreign_key.source_columns, foreign_key.target_columns)
+        )
+        from_lines.append(
+            f"JOIN {_quote_identifier(tree.relation_of(vertex))} AS {_alias(vertex)}"
+            f" ON {conditions}"
+        )
+
+    where_parts = []
+    for predicate in predicates:
+        column = f"{_alias(predicate.vertex)}.{_quote_identifier(predicate.attribute)}"
+        tokens = tokenize(predicate.sample) or (predicate.sample.casefold(),)
+        for token in tokens:
+            where_parts.append(
+                f"LOWER({column}) LIKE {_quote_literal('%' + token + '%')}"
+            )
+
+    lines = ["SELECT " + ", ".join(select_parts)] + from_lines
+    if where_parts:
+        lines.append("WHERE " + " AND ".join(where_parts))
+    return "\n".join(lines)

@@ -1,0 +1,62 @@
+"""Mirror a :class:`~repro.relational.database.Database` into sqlite3.
+
+The native engine is the system of record; the sqlite mirror exists so
+tests can cross-check the tree-query evaluator and the SQL renderer
+against an independent implementation, and so downstream users can hand
+a generated dataset to any SQL tool.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+from repro.relational.database import Database
+from repro.relational.schema import RelationSchema
+from repro.relational.types import DataType
+
+_SQLITE_TYPES = {
+    DataType.INTEGER: "INTEGER",
+    DataType.FLOAT: "REAL",
+    DataType.TEXT: "TEXT",
+    DataType.DATE: "TEXT",
+}
+
+
+def _quote(name: str) -> str:
+    return '"' + name.replace('"', '""') + '"'
+
+
+def _create_table_sql(relation: RelationSchema) -> str:
+    columns = [
+        f"{_quote(attribute.name)} {_SQLITE_TYPES[attribute.data_type]}"
+        for attribute in relation.attributes
+    ]
+    constraints = []
+    if relation.primary_key:
+        key_columns = ", ".join(_quote(column) for column in relation.primary_key)
+        constraints.append(f"PRIMARY KEY ({key_columns})")
+    body = ", ".join(columns + constraints)
+    return f"CREATE TABLE {_quote(relation.name)} ({body})"
+
+
+def to_sqlite(db: Database, path: str = ":memory:") -> sqlite3.Connection:
+    """Create a sqlite3 database mirroring ``db`` and return the connection.
+
+    Foreign keys are not declared on the sqlite side (sqlite cannot name
+    them the way our schema graph needs); joins are issued explicitly by
+    the rendered SQL instead.
+    """
+    connection = sqlite3.connect(path)
+    cursor = connection.cursor()
+    for relation in db.schema:
+        cursor.execute(_create_table_sql(relation))
+        table = db.table(relation.name)
+        if len(table) == 0:
+            continue
+        placeholders = ", ".join("?" for _ in relation.attributes)
+        cursor.executemany(
+            f"INSERT INTO {_quote(relation.name)} VALUES ({placeholders})",
+            list(table),
+        )
+    connection.commit()
+    return connection

@@ -1,0 +1,111 @@
+"""Row storage for a single relation.
+
+Rows are stored as tuples in insertion order; a row's position is its
+*row id*, the stable identity that tuple paths (Definition 5) carry
+around.  The paper calls this the "universal tuple id" (Appendix A.3) —
+there it is synthesized from relation name plus primary key values; here
+the (relation, row id) pair plays that role directly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping, Sequence
+
+from repro.exceptions import IntegrityError
+from repro.relational.schema import RelationSchema
+from repro.relational.types import coerce_value
+
+
+class Table:
+    """Instance of one relation.
+
+    Values are validated and coerced against the relation schema on
+    insert.  Primary-key uniqueness is enforced eagerly when the
+    relation declares a key.
+    """
+
+    __slots__ = ("schema", "_rows", "_pk_index", "_pk_positions")
+
+    def __init__(self, schema: RelationSchema) -> None:
+        self.schema = schema
+        self._rows: list[tuple[object, ...]] = []
+        self._pk_positions = tuple(
+            schema.position(column) for column in schema.primary_key
+        )
+        self._pk_index: dict[tuple[object, ...], int] = {}
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[tuple[object, ...]]:
+        return iter(self._rows)
+
+    @property
+    def name(self) -> str:
+        """Relation name (mirrors the schema)."""
+        return self.schema.name
+
+    def insert(self, values: Sequence[object] | Mapping[str, object]) -> int:
+        """Insert a row; returns its row id.
+
+        Accepts either a positional sequence matching the declared
+        attribute order, or a mapping from attribute name to value
+        (missing attributes become NULL).
+        """
+        if isinstance(values, Mapping):
+            unknown = set(values) - set(self.schema.attribute_names)
+            if unknown:
+                raise IntegrityError(
+                    f"{self.name}: unknown attributes in insert: {sorted(unknown)}"
+                )
+            row_values: list[object] = [
+                values.get(attribute.name) for attribute in self.schema.attributes
+            ]
+        else:
+            if len(values) != self.schema.arity:
+                raise IntegrityError(
+                    f"{self.name}: expected {self.schema.arity} values, "
+                    f"got {len(values)}"
+                )
+            row_values = list(values)
+        coerced = tuple(
+            coerce_value(value, attribute.data_type, f"{self.name}.{attribute.name}")
+            for value, attribute in zip(row_values, self.schema.attributes)
+        )
+        row_id = len(self._rows)
+        if self._pk_positions:
+            key = tuple(coerced[position] for position in self._pk_positions)
+            if any(part is None for part in key):
+                raise IntegrityError(f"{self.name}: NULL in primary key {key!r}")
+            if key in self._pk_index:
+                raise IntegrityError(f"{self.name}: duplicate primary key {key!r}")
+            self._pk_index[key] = row_id
+        self._rows.append(coerced)
+        return row_id
+
+    def row(self, row_id: int) -> tuple[object, ...]:
+        """The row stored under ``row_id``."""
+        return self._rows[row_id]
+
+    def value(self, row_id: int, attribute: str) -> object:
+        """One cell: row ``row_id``, column ``attribute``."""
+        return self._rows[row_id][self.schema.position(attribute)]
+
+    def column(self, attribute: str) -> list[object]:
+        """All values of ``attribute`` in row-id order."""
+        position = self.schema.position(attribute)
+        return [row[position] for row in self._rows]
+
+    def row_as_dict(self, row_id: int) -> dict[str, object]:
+        """Row ``row_id`` as an attribute-name → value mapping."""
+        return dict(zip(self.schema.attribute_names, self._rows[row_id]))
+
+    def lookup_pk(self, key: tuple[object, ...]) -> int | None:
+        """Row id holding primary key ``key``, or ``None``."""
+        if not self._pk_positions:
+            raise IntegrityError(f"{self.name}: relation has no primary key")
+        return self._pk_index.get(key)
+
+    def row_ids(self) -> range:
+        """All row ids (``0 .. len-1``)."""
+        return range(len(self._rows))

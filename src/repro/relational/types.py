@@ -1,0 +1,69 @@
+"""Column data types and value coercion for the relational engine."""
+
+from __future__ import annotations
+
+import enum
+
+from repro.exceptions import IntegrityError
+
+
+class DataType(enum.Enum):
+    """Storage type of a column.
+
+    The engine is deliberately small: integers, floats and text cover
+    everything the paper's datasets need.  ``DATE`` is stored as ISO
+    text — the mapping language never computes on dates, it only
+    matches them, and text matching is exactly what the containment
+    operator provides.
+    """
+
+    INTEGER = "integer"
+    FLOAT = "float"
+    TEXT = "text"
+    DATE = "date"
+
+    @property
+    def is_textual(self) -> bool:
+        """Whether values of this type are sensible full-text targets."""
+        return self in (DataType.TEXT, DataType.DATE)
+
+
+def coerce_value(value: object, data_type: DataType, context: str) -> object:
+    """Coerce ``value`` to ``data_type``; ``None`` passes through as NULL.
+
+    Raises :class:`~repro.exceptions.IntegrityError` when the value
+    cannot represent the declared type (e.g. ``"abc"`` in an INTEGER
+    column).  ``context`` names the column for the error message.
+    """
+    if value is None:
+        return None
+    if data_type is DataType.INTEGER:
+        if isinstance(value, bool):
+            raise IntegrityError(f"{context}: booleans are not integers")
+        if isinstance(value, int):
+            return value
+        if isinstance(value, float) and value.is_integer():
+            return int(value)
+        if isinstance(value, str):
+            try:
+                return int(value.strip())
+            except ValueError as exc:
+                raise IntegrityError(f"{context}: {value!r} is not an integer") from exc
+        raise IntegrityError(f"{context}: {value!r} is not an integer")
+    if data_type is DataType.FLOAT:
+        if isinstance(value, bool):
+            raise IntegrityError(f"{context}: booleans are not floats")
+        if isinstance(value, (int, float)):
+            return float(value)
+        if isinstance(value, str):
+            try:
+                return float(value.strip())
+            except ValueError as exc:
+                raise IntegrityError(f"{context}: {value!r} is not a float") from exc
+        raise IntegrityError(f"{context}: {value!r} is not a float")
+    # TEXT and DATE store strings.
+    if isinstance(value, str):
+        return value
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return str(value)
+    raise IntegrityError(f"{context}: {value!r} is not textual")

@@ -1,0 +1,39 @@
+"""Simulated user study (Section 6.2, Figure 10).
+
+The paper measures two database experts and eight non-technical users
+completing the same mapping task with three tools — MWeaver, Eirene and
+IBM InfoSphere Data Architect — recording overall time, keystrokes and
+mouse clicks.  We cannot rerun a human-subjects study, so this package
+replaces the humans with *interaction cost models*: each tool model
+replays the concrete action sequence (characters typed, widgets
+clicked, schema elements read) that completing the task with that tool
+requires, and each simulated user contributes individual typing speed,
+click latency and think time.
+
+The MWeaver model is not a formula: it drives a real
+:class:`~repro.core.session.MappingSession` through the real engine and
+derives its keystrokes from the samples the session actually needed.
+"""
+
+from repro.study.users import UserProfile, default_user_panel
+from repro.study.tools import (
+    EireneModel,
+    InfoSphereModel,
+    MWeaverModel,
+    ToolModel,
+    ToolUsage,
+)
+from repro.study.study import StudyResult, run_user_study, satisfaction_scores
+
+__all__ = [
+    "UserProfile",
+    "default_user_panel",
+    "ToolModel",
+    "ToolUsage",
+    "MWeaverModel",
+    "EireneModel",
+    "InfoSphereModel",
+    "StudyResult",
+    "run_user_study",
+    "satisfaction_scores",
+]

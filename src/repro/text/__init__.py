@@ -1,0 +1,49 @@
+"""Full-text search substrate.
+
+The paper implements its "approximate search query" on top of MySQL's
+full-text engine (Section 6.1).  This package is our from-scratch
+replacement: a tokenizer and normalizer, per-column inverted indexes,
+string-similarity measures, and the pluggable *noisy containment*
+operator ``⊑`` of Section 4.1 (spelled :meth:`ErrorModel.contains`
+here).
+"""
+
+from repro.text.normalize import normalize_text, normalize_token
+from repro.text.tokenize import tokenize, tokenize_value
+from repro.text.similarity import (
+    jaccard_similarity,
+    levenshtein_distance,
+    levenshtein_similarity,
+    token_set_similarity,
+)
+from repro.text.errors import (
+    CaseTokenModel,
+    EditDistanceModel,
+    ErrorModel,
+    ExactModel,
+    NumericToleranceModel,
+    SubstringModel,
+    default_error_model,
+)
+from repro.text.inverted_index import ColumnIndex, LinearScanIndex, build_column_index
+
+__all__ = [
+    "normalize_text",
+    "normalize_token",
+    "tokenize",
+    "tokenize_value",
+    "jaccard_similarity",
+    "levenshtein_distance",
+    "levenshtein_similarity",
+    "token_set_similarity",
+    "ErrorModel",
+    "ExactModel",
+    "CaseTokenModel",
+    "SubstringModel",
+    "EditDistanceModel",
+    "NumericToleranceModel",
+    "default_error_model",
+    "ColumnIndex",
+    "LinearScanIndex",
+    "build_column_index",
+]

@@ -1,0 +1,141 @@
+"""Per-column inverted indexes.
+
+Algorithm 1 of the paper locates sample occurrences with "a standard
+full-text search on an individual column which has a pre-computed
+inverted index".  :class:`ColumnIndex` is that index: token → sorted
+row-id postings, plus a verification pass through the active
+:class:`~repro.text.errors.ErrorModel`.  :class:`LinearScanIndex` is the
+no-index baseline used by the index ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.text.errors import ErrorModel
+from repro.text.tokenize import tokenize_value
+
+
+class ColumnIndex:
+    """Inverted index over one column of one relation.
+
+    Parameters
+    ----------
+    values:
+        The column's cell values, positionally indexed by row id.
+    """
+
+    __slots__ = ("_values", "_postings")
+
+    def __init__(self, values: Sequence[object]) -> None:
+        self._values = values
+        postings: dict[str, list[int]] = {}
+        for row_id, value in enumerate(values):
+            for token in set(tokenize_value(value)):
+                postings.setdefault(token, []).append(row_id)
+        self._postings = postings
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def vocabulary_size(self) -> int:
+        """Number of distinct tokens indexed."""
+        return len(self._postings)
+
+    def postings(self, token: str) -> Sequence[int]:
+        """Row ids whose cell contains ``token`` (ascending order)."""
+        return self._postings.get(token, ())
+
+    def candidate_rows(self, model: ErrorModel, sample: str) -> Iterable[int]:
+        """Rows that *may* contain ``sample`` under ``model``.
+
+        Intersects the postings of the model's required index tokens.
+        If the model cannot name any required token, every row is a
+        candidate (the verification pass below filters).
+        """
+        tokens = model.index_tokens(sample)
+        if not tokens:
+            return range(len(self._values))
+        lists = []
+        for token in set(tokens):
+            posting = self._postings.get(token)
+            if posting is None:
+                return ()
+            lists.append(posting)
+        lists.sort(key=len)
+        result = set(lists[0])
+        for posting in lists[1:]:
+            result.intersection_update(posting)
+            if not result:
+                return ()
+        return sorted(result)
+
+    def search(self, model: ErrorModel, sample: str) -> list[int]:
+        """All row ids whose cell contains ``sample`` under ``model``.
+
+        Candidates from the postings intersection are verified with
+        ``model.contains`` so the result is exact for any model.
+        """
+        return [
+            row_id
+            for row_id in self.candidate_rows(model, sample)
+            if model.contains(self._values[row_id], sample)
+        ]
+
+    def contains_any(self, model: ErrorModel, sample: str) -> bool:
+        """Whether at least one row contains ``sample`` (early exit)."""
+        for row_id in self.candidate_rows(model, sample):
+            if model.contains(self._values[row_id], sample):
+                return True
+        return False
+
+
+class LinearScanIndex:
+    """A drop-in replacement for :class:`ColumnIndex` with no index.
+
+    Exists to quantify what the inverted index buys (index ablation
+    benchmark); every search is a full column scan.
+    """
+
+    __slots__ = ("_values",)
+
+    def __init__(self, values: Sequence[object]) -> None:
+        self._values = values
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def vocabulary_size(self) -> int:
+        """Always zero: nothing is indexed."""
+        return 0
+
+    def postings(self, token: str) -> Sequence[int]:
+        """Unsupported — a scan index has no posting lists."""
+        raise NotImplementedError("LinearScanIndex has no postings")
+
+    def candidate_rows(self, model: ErrorModel, sample: str) -> Iterable[int]:
+        """Every row is a candidate (no prefiltering)."""
+        return range(len(self._values))
+
+    def search(self, model: ErrorModel, sample: str) -> list[int]:
+        """All row ids containing ``sample``, found by full scan."""
+        return [
+            row_id
+            for row_id, value in enumerate(self._values)
+            if model.contains(value, sample)
+        ]
+
+    def contains_any(self, model: ErrorModel, sample: str) -> bool:
+        """Whether any row contains ``sample`` (scan with early exit)."""
+        return any(model.contains(value, sample) for value in self._values)
+
+
+def build_column_index(
+    values: Sequence[object], *, use_inverted: bool = True
+) -> ColumnIndex | LinearScanIndex:
+    """Build the configured index flavour over ``values``."""
+    if use_inverted:
+        return ColumnIndex(values)
+    return LinearScanIndex(values)

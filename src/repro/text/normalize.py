@@ -1,0 +1,44 @@
+"""Text normalization.
+
+All containment checks in the library compare *normalized* text: Unicode
+NFKD with combining marks stripped, case-folded, with punctuation mapped
+to spaces and runs of whitespace collapsed.  Normalizing once at the
+boundary keeps every later comparison a plain string operation.
+"""
+
+from __future__ import annotations
+
+import unicodedata
+
+_PUNCT_TRANSLATION = {
+    ord(ch): " "
+    for ch in "!\"#$%&'()*+,-./:;<=>?@[\\]^_`{|}~"
+}
+
+
+def normalize_text(text: str) -> str:
+    """Normalize a free-text value for comparison.
+
+    Applies NFKD decomposition, drops combining marks, case-folds, maps
+    ASCII punctuation to spaces and collapses whitespace runs.
+
+    >>> normalize_text("  The  Lord of the Rings: The Two Towers ")
+    'the lord of the rings the two towers'
+    >>> normalize_text("Amélie")
+    'amelie'
+    """
+    decomposed = unicodedata.normalize("NFKD", text)
+    stripped = "".join(ch for ch in decomposed if not unicodedata.combining(ch))
+    spaced = stripped.translate(_PUNCT_TRANSLATION)
+    return " ".join(spaced.casefold().split())
+
+
+def normalize_token(token: str) -> str:
+    """Normalize a single token (no internal whitespace expected).
+
+    >>> normalize_token("Cafés")
+    'cafes'
+    """
+    decomposed = unicodedata.normalize("NFKD", token)
+    stripped = "".join(ch for ch in decomposed if not unicodedata.combining(ch))
+    return stripped.casefold().strip()

@@ -1,0 +1,107 @@
+"""String similarity measures used by the containment operator and the
+ranking stage (Section 4.5.5 "matching score")."""
+
+from __future__ import annotations
+
+from collections.abc import Collection
+
+from repro.text.normalize import normalize_text
+from repro.text.tokenize import tokenize
+
+
+def levenshtein_distance(a: str, b: str, *, cap: int | None = None) -> int:
+    """Edit distance between ``a`` and ``b``.
+
+    When ``cap`` is given and the true distance exceeds it, returns
+    ``cap + 1`` (an early exit that keeps candidate verification cheap).
+
+    >>> levenshtein_distance("kitten", "sitting")
+    3
+    >>> levenshtein_distance("abcdef", "uvwxyz", cap=2)
+    3
+    """
+    if a == b:
+        return 0
+    if len(a) > len(b):
+        a, b = b, a
+    if cap is not None and len(b) - len(a) > cap:
+        return cap + 1
+    previous = list(range(len(a) + 1))
+    for j, ch_b in enumerate(b, start=1):
+        current = [j]
+        row_min = j
+        for i, ch_a in enumerate(a, start=1):
+            cost = 0 if ch_a == ch_b else 1
+            value = min(
+                previous[i] + 1,
+                current[i - 1] + 1,
+                previous[i - 1] + cost,
+            )
+            current.append(value)
+            if value < row_min:
+                row_min = value
+        if cap is not None and row_min > cap:
+            return cap + 1
+        previous = current
+    return previous[-1]
+
+
+def levenshtein_similarity(a: str, b: str) -> float:
+    """Normalized edit similarity in ``[0, 1]``.
+
+    >>> levenshtein_similarity("avatar", "avatar")
+    1.0
+    >>> round(levenshtein_similarity("avatar", "avator"), 3)
+    0.833
+    """
+    if not a and not b:
+        return 1.0
+    longest = max(len(a), len(b))
+    return 1.0 - levenshtein_distance(a, b) / longest
+
+
+def jaccard_similarity(a: Collection[str], b: Collection[str]) -> float:
+    """Jaccard index of two token collections.
+
+    >>> jaccard_similarity({"ed", "wood"}, {"ed", "wood", "jr"})
+    ... # doctest: +ELLIPSIS
+    0.666...
+    """
+    set_a, set_b = set(a), set(b)
+    if not set_a and not set_b:
+        return 1.0
+    union = set_a | set_b
+    if not union:
+        return 1.0
+    return len(set_a & set_b) / len(union)
+
+
+def token_set_similarity(cell: str, sample: str) -> float:
+    """Similarity between a cell value and a user sample.
+
+    Combines token-level containment with character-level closeness:
+    the Jaccard index of the token sets, boosted to at least the
+    normalized edit similarity of the full normalized strings.  Chosen
+    so that an exact (modulo normalization) match scores 1.0 and a
+    sample that is a strict subset of the cell's tokens still scores
+    well.
+
+    >>> token_set_similarity("Ed Wood", "ed wood")
+    1.0
+    >>> token_set_similarity("Ed Wood Jr.", "Ed Wood") > 0.5
+    True
+    """
+    cell_norm = normalize_text(cell)
+    sample_norm = normalize_text(sample)
+    if cell_norm == sample_norm:
+        return 1.0
+    cell_tokens = set(tokenize(cell))
+    sample_tokens = set(tokenize(sample))
+    if sample_tokens and sample_tokens <= cell_tokens:
+        # Containment: score by how much of the cell the sample covers.
+        coverage = len(sample_tokens) / max(len(cell_tokens), 1)
+        return max(0.5 + coverage / 2, levenshtein_similarity(cell_norm, sample_norm))
+    return max(
+        jaccard_similarity(cell_tokens, sample_tokens),
+        levenshtein_similarity(cell_norm, sample_norm),
+    )

@@ -1,0 +1,47 @@
+"""Tokenization for full-text indexing and containment checks."""
+
+from __future__ import annotations
+
+from repro.text.normalize import normalize_text
+
+
+def tokenize(text: str) -> tuple[str, ...]:
+    """Split normalized text into word tokens.
+
+    Tokens are the whitespace-separated pieces of
+    :func:`~repro.text.normalize.normalize_text`'s output.
+
+    >>> tokenize("Harry Potter and the Half-Blood Prince")
+    ('harry', 'potter', 'and', 'the', 'half', 'blood', 'prince')
+    >>> tokenize("")
+    ()
+    """
+    normalized = normalize_text(text)
+    if not normalized:
+        return ()
+    return tuple(normalized.split(" "))
+
+
+def tokenize_value(value: object) -> tuple[str, ...]:
+    """Tokenize an arbitrary cell value.
+
+    ``None`` tokenizes to nothing (a NULL cell can never contain a
+    sample, Section 4.4); every other value is tokenized via its string
+    form.  Floats that carry an integral value render without the
+    trailing ``.0`` so that a user typing ``1999`` matches a cell
+    storing ``1999.0``.
+
+    >>> tokenize_value(None)
+    ()
+    >>> tokenize_value(1999.0)
+    ('1999',)
+    >>> tokenize_value("Ed Wood")
+    ('ed', 'wood')
+    """
+    if value is None:
+        return ()
+    if isinstance(value, float) and value.is_integer():
+        return tokenize(str(int(value)))
+    if isinstance(value, str):
+        return tokenize(value)
+    return tokenize(str(value))

@@ -1,0 +1,45 @@
+"""Shared fixtures: the running-example database and scaled-down
+generated sources, built once per test session."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.datasets.imdb import build_imdb
+from repro.datasets.running_example import build_running_example
+from repro.datasets.workload import build_task_sets
+from repro.datasets.yahoo import build_yahoo_movies
+
+# Wall-clock deadlines make property tests flaky on cold caches and slow
+# CI machines; example counts bound the work instead.
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture(scope="session")
+def running_db():
+    """The paper's hand-written running example (Figures 2/5)."""
+    return build_running_example()
+
+
+@pytest.fixture(scope="session")
+def yahoo_db():
+    """A small Yahoo-Movies-like database (fast enough for unit tests)."""
+    return build_yahoo_movies(n_movies=80, seed=7)
+
+
+@pytest.fixture(scope="session")
+def imdb_db():
+    """A small IMDb-like database."""
+    return build_imdb(n_movies=80, seed=11)
+
+
+@pytest.fixture(scope="session")
+def task_sets():
+    """The three synthetic task sets of Section 6.2."""
+    return build_task_sets()

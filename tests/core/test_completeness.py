@@ -1,0 +1,135 @@
+"""Completeness (Theorem 2): every valid mapping in the search family
+is discovered.
+
+Two layers of evidence:
+
+* hand-derived expectations on the running example — we enumerate, by
+  reading Figure 5, exactly which mappings must exist for a sample
+  tuple, and assert the engine returns precisely that set;
+* agreement with the enumerate-then-validate baseline across sample
+  tuples (the baseline validates with database queries, a code path
+  disjoint from tuple weaving) — see also tests/core/test_naive.py.
+"""
+
+import pytest
+
+from repro.config import TPWConfig
+from repro.core.naive import NaiveEngine
+from repro.core.tpw import TPWEngine
+
+
+def candidate_shapes(result):
+    """Summarise candidates as (projection attrs, FK multiset)."""
+    shapes = set()
+    for mapping in result.mappings:
+        attrs = tuple(
+            mapping.attribute_of(key) for key in sorted(mapping.projections)
+        )
+        fks = tuple(sorted(edge.fk_name for edge in mapping.tree.edges))
+        shapes.add((attrs, fks))
+    return shapes
+
+
+class TestHandDerivedExpectations:
+    def test_avatar_cameron(self, running_db):
+        """Avatar ⊑ movie.title only; Cameron ⊑ person.name only; Cameron
+        both directed and wrote Avatar ⇒ exactly the two variants."""
+        result = TPWEngine(running_db).search(("Avatar", "James Cameron"))
+        assert candidate_shapes(result) == {
+            (
+                (("movie", "title"), ("person", "name")),
+                ("direct_mid", "direct_pid"),
+            ),
+            (
+                (("movie", "title"), ("person", "name")),
+                ("write_mid", "write_pid"),
+            ),
+        }
+
+    def test_yates_only_directs(self, running_db):
+        result = TPWEngine(running_db).search(("Harry Potter", "David Yates"))
+        assert candidate_shapes(result) == {
+            (
+                (("movie", "title"), ("person", "name")),
+                ("direct_mid", "direct_pid"),
+            ),
+        }
+
+    def test_ed_wood_tim_burton(self, running_db):
+        """'Ed Wood' occurs in movie.title, movie.logline and person.name;
+        Tim Burton directed AND wrote the movie Ed Wood.  person.name
+        for column 0 is unreachable within PMNJ=2 (person-to-person
+        needs four joins), so exactly title/logline × direct/write."""
+        result = TPWEngine(running_db).search(("Ed Wood", "Tim Burton"))
+        expected = set()
+        for attribute in ("title", "logline"):
+            for fk_pair in (("direct_mid", "direct_pid"), ("write_mid", "write_pid")):
+                expected.add(
+                    (
+                        (("movie", attribute), ("person", "name")),
+                        fk_pair,
+                    )
+                )
+        assert candidate_shapes(result) == expected
+
+    def test_full_running_sample_tuple(self, running_db):
+        """The Figure 8/9 outcome: exactly direct & write variants of the
+        four-column mapping."""
+        result = TPWEngine(running_db).search(
+            ("Avatar", "James Cameron", "Lightstorm Co.", "New Zealand")
+        )
+        shapes = candidate_shapes(result)
+        assert len(shapes) == 2
+        for attrs, fks in shapes:
+            assert attrs == (
+                ("movie", "title"),
+                ("person", "name"),
+                ("company", "name"),
+                ("location", "loc"),
+            )
+            assert "produce_mid" in fks and "filmedin_mid" in fks
+
+    def test_pmnj_widening_adds_long_join_variants(self, running_db):
+        """('James Cameron', 'James Cameron'): at PMNJ=2 only the
+        zero-join single-relation mapping exists; at PMNJ=4 the
+        person-direct-movie-write-person round trips (Cameron wrote the
+        movies he directed) become reachable and supported."""
+        narrow = TPWEngine(running_db, TPWConfig(pmnj=2)).search(
+            ("James Cameron", "James Cameron")
+        )
+        assert {m.n_joins for m in narrow.mappings} == {0}
+        wide = TPWEngine(running_db, TPWConfig(pmnj=4)).search(
+            ("James Cameron", "James Cameron")
+        )
+        joins = {m.n_joins for m in wide.mappings}
+        assert 0 in joins and 4 in joins
+        narrow_signatures = {m.signature() for m in narrow.mappings}
+        wide_signatures = {m.signature() for m in wide.mappings}
+        assert narrow_signatures <= wide_signatures
+
+
+class TestBaselineAgreement:
+    TUPLES = [
+        ("Titanic", "James Cameron"),
+        ("Ed Wood", "Tim Burton"),
+        ("Big Fish", "J. K. Rowling"),  # writer of a different movie: empty
+    ]
+
+    @pytest.mark.parametrize("samples", TUPLES, ids=["-".join(t) for t in TUPLES])
+    def test_exhaustive_equals_baseline(self, running_db, samples):
+        tpw = TPWEngine(running_db, TPWConfig(exhaustive_weave=True))
+        naive = NaiveEngine(running_db)
+        assert {m.signature() for m in tpw.search(samples).mappings} == {
+            m.signature() for m in naive.search(samples).valid_mappings
+        }
+
+    def test_generated_dataset_agreement(self, yahoo_db):
+        """Same check on a generated source with 43 relations."""
+        title = yahoo_db.table("movie").value(5, "title")
+        date = yahoo_db.table("movie").value(5, "release_date")
+        samples = (title, date)
+        tpw = TPWEngine(yahoo_db, TPWConfig(exhaustive_weave=True))
+        naive = NaiveEngine(yahoo_db)
+        assert {m.signature() for m in tpw.search(samples).mappings} == {
+            m.signature() for m in naive.search(samples).valid_mappings
+        }

@@ -1,0 +1,69 @@
+"""Pipeline behaviour under non-default configuration knobs."""
+
+import pytest
+
+from repro.config import TPWConfig
+from repro.core.tpw import TPWEngine
+from repro.exceptions import SearchBudgetExceeded
+
+
+class TestAllowBacktrack:
+    def test_backtrack_family_is_superset(self, running_db):
+        """U-turn walks only re-derive tuples: with backtracking enabled
+        the valid mapping set can only grow (and the growth consists of
+        walk-redundant structures)."""
+        samples = ("Avatar", "James Cameron")
+        default = TPWEngine(running_db, TPWConfig()).search(samples)
+        backtrack = TPWEngine(
+            running_db, TPWConfig(allow_backtrack=True)
+        ).search(samples)
+        default_found = {m.signature() for m in default.mappings}
+        backtrack_found = {m.signature() for m in backtrack.mappings}
+        assert default_found <= backtrack_found
+
+    def test_backtrack_explores_more_pairwise_paths(self, running_db):
+        samples = ("Avatar", "James Cameron")
+        default = TPWEngine(running_db, TPWConfig()).search(samples)
+        backtrack = TPWEngine(
+            running_db, TPWConfig(allow_backtrack=True)
+        ).search(samples)
+        assert (
+            backtrack.stats.pairwise_mapping_paths
+            >= default.stats.pairwise_mapping_paths
+        )
+
+
+class TestTuplePathLimits:
+    def test_per_mapping_limit_bounds_support(self, running_db):
+        # Cameron directed two movies; an unconstrained 'Cameron' end
+        # yields several tuple paths per mapping.
+        config = TPWConfig(max_tuple_paths_per_mapping=1)
+        result = TPWEngine(running_db, config).search(("The", "Cameron"))
+        for candidate in result.candidates:
+            # support can exceed 1 only through weaving different
+            # pairwise combinations, not through one mapping's query
+            assert candidate.support >= 1
+
+    def test_level_budget_raises(self, yahoo_db):
+        config = TPWConfig(max_woven_paths_per_level=1)
+        engine = TPWEngine(yahoo_db, config)
+        title = yahoo_db.table("movie").value(0, "title")
+        date = yahoo_db.table("movie").value(0, "release_date")
+        rating = yahoo_db.table("movie").value(0, "mpaa_rating")
+        with pytest.raises(SearchBudgetExceeded):
+            engine.search((title, date, rating))
+
+
+class TestFixturesCache:
+    def test_bench_databases_cached(self):
+        from repro.bench.fixtures import bench_databases
+
+        first = bench_databases(30)
+        second = bench_databases(30)
+        assert first[0] is second[0]
+        assert first[1] is second[1]
+
+    def test_bench_task_sets_cached(self):
+        from repro.bench.fixtures import bench_task_sets
+
+        assert bench_task_sets() is bench_task_sets()

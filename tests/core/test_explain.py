@@ -1,0 +1,66 @@
+"""Tests for mapping explanations."""
+
+import pytest
+
+from repro.core.explain import explain_mapping
+from repro.core.tpw import TPWEngine
+
+
+@pytest.fixture()
+def yates_result(running_db):
+    result = TPWEngine(running_db).search(("Harry Potter", "David Yates"))
+    assert result.n_candidates == 1
+    return result
+
+
+class TestExplainMapping:
+    def test_tree_rendered(self, running_db, yates_result):
+        text = explain_mapping(yates_result.best().mapping, running_db)
+        assert "join tree:" in text
+        assert "movie" in text and "person" in text
+        assert "-[direct_mid]->" in text or "-[direct_pid]->" in text
+
+    def test_correspondences(self, running_db, yates_result):
+        text = explain_mapping(
+            yates_result.best().mapping,
+            running_db,
+            column_names=["Name", "Director"],
+        )
+        assert "Name  <-  movie.title" in text
+        assert "Director  <-  person.name" in text
+
+    def test_default_column_names(self, running_db, yates_result):
+        text = explain_mapping(yates_result.best().mapping, running_db)
+        assert "col0  <-  movie.title" in text
+
+    def test_example_row_from_execution(self, running_db, yates_result):
+        text = explain_mapping(yates_result.best().mapping, running_db)
+        assert "example target row:" in text
+
+    def test_example_tuple_path_sources(self, running_db, yates_result):
+        candidate = yates_result.best()
+        text = explain_mapping(
+            candidate.mapping,
+            running_db,
+            column_names=["Name", "Director"],
+            example=candidate.tuple_paths[0],
+        )
+        assert "supported by source tuples:" in text
+        assert "Harry Potter" in text
+        assert "David Yates" in text
+
+    def test_target_columns_annotated_in_tree(self, running_db, yates_result):
+        text = explain_mapping(yates_result.best().mapping, running_db)
+        assert "(target column 0)" in text
+        assert "(target column 1)" in text
+
+    def test_multi_projection_vertex(self, running_db):
+        result = TPWEngine(running_db).search(("Ed Wood", "Ed Wood"))
+        single = next(
+            candidate
+            for candidate in result.candidates
+            if candidate.mapping.n_joins == 0
+            and len({v for v, _a in candidate.mapping.projections.values()}) == 1
+        )
+        text = explain_mapping(single.mapping, running_db)
+        assert "target columns 0, 1" in text

@@ -1,0 +1,65 @@
+"""Unit tests for sample-occurrence location (Algorithm 1)."""
+
+from repro.core.location import build_location_map
+from repro.text.errors import ExactModel
+
+
+class TestBuildLocationMap:
+    def test_unique_occurrence(self, running_db):
+        lm = build_location_map(running_db, ["Avatar"])
+        assert lm.attributes_of(0) == (("movie", "title"),)
+
+    def test_multi_attribute_occurrence(self, running_db):
+        """'Ed Wood' is both a movie title and a person name (Example 1)."""
+        lm = build_location_map(running_db, ["Ed Wood"])
+        pairs = set(lm.attributes_of(0))
+        assert ("movie", "title") in pairs
+        assert ("person", "name") in pairs
+        # and the Ed Wood logline quotes the name too
+        assert ("movie", "logline") in pairs
+
+    def test_multiple_samples_indexed_by_position(self, running_db):
+        lm = build_location_map(running_db, ["Avatar", "James Cameron"])
+        assert lm.attributes_of(0) == (("movie", "title"),)
+        assert ("person", "name") in lm.attributes_of(1)
+
+    def test_relations_of(self, running_db):
+        lm = build_location_map(running_db, ["Ed Wood"])
+        assert set(lm.relations_of(0)) == {"movie", "person"}
+
+    def test_attributes_in_relation(self, running_db):
+        lm = build_location_map(running_db, ["Ed Wood"])
+        assert set(lm.attributes_in_relation(0, "movie")) == {"title", "logline"}
+        assert lm.attributes_in_relation(0, "company") == ()
+
+    def test_empty_keys(self, running_db):
+        lm = build_location_map(running_db, ["Avatar", "Nonexistent Thing"])
+        assert lm.empty_keys() == (1,)
+
+    def test_no_empty_keys(self, running_db):
+        lm = build_location_map(running_db, ["Avatar"])
+        assert lm.empty_keys() == ()
+
+    def test_total_occurrence_attributes(self, running_db):
+        lm = build_location_map(running_db, ["Avatar", "Ed Wood"])
+        assert lm.total_occurrence_attributes() == len(lm.attributes_of(0)) + len(
+            lm.attributes_of(1)
+        )
+
+    def test_custom_model(self, running_db):
+        lm = build_location_map(running_db, ["Cameron"], model=ExactModel())
+        assert lm.attributes_of(0) == ()  # no cell is exactly "Cameron"
+
+    def test_key_columns_never_located(self, running_db):
+        lm = build_location_map(running_db, ["1"])
+        relations = {relation for relation, _attr in lm.attributes_of(0)}
+        # integer keys are not fulltext; "1" may appear nowhere
+        assert all(
+            attr not in ("mid", "pid", "cid", "lid")
+            for _rel, attr in lm.attributes_of(0)
+        )
+        del relations
+
+    def test_samples_recorded(self, running_db):
+        lm = build_location_map(running_db, ["Avatar", "Cameron"])
+        assert lm.samples == ("Avatar", "Cameron")

@@ -1,0 +1,147 @@
+"""Unit tests for mapping paths (Definition 4)."""
+
+import pytest
+
+from repro.core.mapping_path import MappingPath, single_relation_mapping
+from repro.exceptions import QueryError
+from repro.relational.query import JoinTree, JoinTreeEdge
+from repro.text.errors import CaseTokenModel
+
+
+def movie_direct_person() -> JoinTree:
+    return JoinTree(
+        {0: "movie", 1: "direct", 2: "person"},
+        (
+            JoinTreeEdge(0, 1, "direct_mid", 1),
+            JoinTreeEdge(1, 2, "direct_pid", 1),
+        ),
+    )
+
+
+def goal_mapping() -> MappingPath:
+    return MappingPath(movie_direct_person(), {0: (0, "title"), 1: (2, "name")})
+
+
+class TestConstruction:
+    def test_size_and_keys(self):
+        mapping = goal_mapping()
+        assert mapping.size == 2
+        assert mapping.keys == frozenset({0, 1})
+        assert mapping.n_joins == 2
+
+    def test_empty_projection_rejected(self):
+        with pytest.raises(QueryError):
+            MappingPath(movie_direct_person(), {})
+
+    def test_unknown_vertex_rejected(self):
+        with pytest.raises(QueryError):
+            MappingPath(movie_direct_person(), {0: (9, "title")})
+
+    def test_negative_key_rejected(self):
+        with pytest.raises(QueryError):
+            MappingPath(movie_direct_person(), {-1: (0, "title"), 0: (2, "name")})
+
+    def test_unprojected_terminal_rejected(self):
+        # person (vertex 2) is a terminal without projection: redundant.
+        with pytest.raises(QueryError):
+            MappingPath(movie_direct_person(), {0: (0, "title"), 1: (0, "logline")})
+
+    def test_single_vertex_needs_no_terminal_projection_rule(self):
+        mapping = single_relation_mapping("movie", {0: "title"})
+        assert mapping.size == 1
+        assert mapping.n_joins == 0
+
+    def test_internal_vertex_may_project(self):
+        mapping = MappingPath(
+            movie_direct_person(),
+            {0: (0, "title"), 1: (2, "name"), 2: (1, "mid")},
+        )
+        assert mapping.size == 3
+
+
+class TestPredicatesAndKinds:
+    def test_is_pairwise(self):
+        assert goal_mapping().is_pairwise()
+
+    def test_is_complete(self):
+        assert goal_mapping().is_complete(2)
+        assert not goal_mapping().is_complete(3)
+
+    def test_attribute_of(self):
+        assert goal_mapping().attribute_of(1) == ("person", "name")
+
+    def test_predicates_for_full(self):
+        predicates = goal_mapping().predicates_for(
+            {0: "Avatar", 1: "James Cameron"}, CaseTokenModel()
+        )
+        assert [(p.vertex, p.attribute, p.sample) for p in predicates] == [
+            (0, "title", "Avatar"),
+            (2, "name", "James Cameron"),
+        ]
+
+    def test_predicates_skip_unprojected_keys(self):
+        predicates = goal_mapping().predicates_for({5: "x"}, CaseTokenModel())
+        assert predicates == []
+
+
+class TestIdentity:
+    def test_equal_ignores_vertex_ids(self):
+        other_tree = JoinTree(
+            {5: "movie", 6: "direct", 7: "person"},
+            (
+                JoinTreeEdge(5, 6, "direct_mid", 6),
+                JoinTreeEdge(6, 7, "direct_pid", 6),
+            ),
+        )
+        other = MappingPath(other_tree, {0: (5, "title"), 1: (7, "name")})
+        assert goal_mapping() == other
+        assert hash(goal_mapping()) == hash(other)
+
+    def test_different_attribute_not_equal(self):
+        variant = MappingPath(
+            movie_direct_person(), {0: (0, "logline"), 1: (2, "name")}
+        )
+        assert goal_mapping() != variant
+
+    def test_different_fk_not_equal(self):
+        write_tree = JoinTree(
+            {0: "movie", 1: "write", 2: "person"},
+            (
+                JoinTreeEdge(0, 1, "write_mid", 1),
+                JoinTreeEdge(1, 2, "write_pid", 1),
+            ),
+        )
+        variant = MappingPath(write_tree, {0: (0, "title"), 1: (2, "name")})
+        assert goal_mapping() != variant
+
+    def test_not_equal_to_other_types(self):
+        assert goal_mapping() != "mapping"
+
+
+class TestExecution:
+    def test_execute_running_example(self, running_db):
+        rows = goal_mapping().execute(running_db)
+        assert ("Avatar", "James Cameron") in rows
+        assert ("Big Fish", "Tim Burton") in rows
+        assert ("Harry Potter", "David Yates") in rows
+
+    def test_execute_limit(self, running_db):
+        assert len(goal_mapping().execute(running_db, limit=2)) == 2
+
+    def test_execute_column_order_follows_keys(self, running_db):
+        flipped = MappingPath(
+            movie_direct_person(), {1: (0, "title"), 0: (2, "name")}
+        )
+        rows = flipped.execute(running_db)
+        assert ("James Cameron", "Avatar") in rows
+
+    def test_to_sql_runs_on_sqlite(self, running_db):
+        from repro.relational.sqlite_backend import to_sqlite
+
+        sql = goal_mapping().to_sql(running_db.schema, column_names=["N", "D"])
+        connection = to_sqlite(running_db)
+        rows = set(connection.execute(sql).fetchall())
+        assert ("Avatar", "James Cameron") in rows
+
+    def test_describe_mentions_projection(self):
+        assert "0->movie.title" in goal_mapping().describe()

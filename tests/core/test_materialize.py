@@ -1,0 +1,74 @@
+"""Tests for target materialisation (the data-exchange step)."""
+
+import pytest
+
+from repro.core.materialize import materialize_mapping, target_schema_for
+from repro.core.tpw import TPWEngine
+from repro.exceptions import QueryError
+from repro.relational.types import DataType
+
+
+@pytest.fixture()
+def converged_mapping(running_db):
+    result = TPWEngine(running_db).search(("Harry Potter", "David Yates"))
+    assert result.n_candidates == 1
+    return result.best().mapping
+
+
+class TestTargetSchema:
+    def test_types_inherited(self, running_db, converged_mapping):
+        schema = target_schema_for(
+            converged_mapping, running_db, "my_movies", ["Name", "Director"]
+        )
+        relation = schema.relation("my_movies")
+        assert relation.attribute_names == ("Name", "Director")
+        assert relation.attribute("Name").data_type is DataType.TEXT
+
+    def test_wrong_column_count(self, running_db, converged_mapping):
+        with pytest.raises(QueryError):
+            target_schema_for(converged_mapping, running_db, "t", ["OnlyOne"])
+
+
+class TestMaterialize:
+    def test_rows_match_execute(self, running_db, converged_mapping):
+        target = materialize_mapping(
+            converged_mapping,
+            running_db,
+            relation_name="my_movies",
+            column_names=["Name", "Director"],
+        )
+        rows = set(target.table("my_movies"))
+        assert rows == set(converged_mapping.execute(running_db))
+        assert ("Avatar", "James Cameron") in rows
+
+    def test_default_column_names(self, running_db, converged_mapping):
+        target = materialize_mapping(converged_mapping, running_db)
+        relation = target.schema.relation("target")
+        assert relation.attribute_names == ("col0", "col1")
+
+    def test_distinct(self, running_db):
+        # Harry Potter has two writers: title+title via write duplicates.
+        result = TPWEngine(running_db).search(("Harry Potter", "J. K. Rowling"))
+        mapping = result.best().mapping
+        bag = materialize_mapping(mapping, running_db)
+        distinct = materialize_mapping(mapping, running_db, distinct=True)
+        assert len(distinct.table("target")) <= len(bag.table("target"))
+        rows = list(distinct.table("target"))
+        assert len(rows) == len(set(rows))
+
+    def test_limit(self, running_db, converged_mapping):
+        target = materialize_mapping(converged_mapping, running_db, limit=2)
+        assert len(target.table("target")) == 2
+
+    def test_target_is_searchable(self, running_db, converged_mapping):
+        """The materialised instance is a full Database: search works."""
+        target = materialize_mapping(
+            converged_mapping,
+            running_db,
+            column_names=["Name", "Director"],
+        )
+        assert target.search_attribute("target", "Name", "Avatar") != []
+
+    def test_target_name_derived(self, running_db, converged_mapping):
+        target = materialize_mapping(converged_mapping, running_db)
+        assert target.name == "running-example-target"

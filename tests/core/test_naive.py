@@ -1,0 +1,95 @@
+"""Tests for the naive candidate-network baseline (Section 6.3)."""
+
+import pytest
+
+from repro.config import NaiveConfig, TPWConfig
+from repro.core.naive import NaiveEngine
+from repro.core.tpw import TPWEngine
+from repro.exceptions import SearchBudgetExceeded, SessionError
+
+
+@pytest.fixture()
+def naive(running_db):
+    return NaiveEngine(running_db)
+
+
+class TestNaiveSearch:
+    def test_finds_valid_mappings(self, naive):
+        result = naive.search(("Harry Potter", "David Yates"))
+        assert len(result.valid_mappings) == 1
+        edge_fks = {edge.fk_name for edge in result.valid_mappings[0].tree.edges}
+        assert "direct_mid" in edge_fks
+
+    def test_enumerates_more_than_valid(self, naive):
+        result = naive.search(("Harry Potter", "David Yates"))
+        # direct and write variants enumerated; only direct validates
+        assert result.enumerated_complete > len(result.valid_mappings)
+
+    def test_validation_queries_counted(self, naive):
+        result = naive.search(("Avatar", "James Cameron"))
+        assert result.validation_queries == result.enumerated_complete
+
+    def test_single_column(self, naive):
+        result = naive.search(("New Zealand",))
+        assert len(result.valid_mappings) == 1
+
+    def test_absent_sample(self, naive):
+        result = naive.search(("Avatar", "Nobody Anywhere"))
+        assert result.valid_mappings == []
+        assert result.enumerated_complete == 0
+
+    def test_empty_tuple_rejected(self, naive):
+        with pytest.raises(SessionError):
+            naive.search(())
+
+    def test_timings_present(self, naive):
+        result = naive.search(("Avatar", "James Cameron"))
+        assert set(result.timings) >= {"locate", "enumerate", "validate", "total"}
+
+
+class TestBudget:
+    def test_budget_exceeded(self, running_db):
+        tight = NaiveEngine(running_db, NaiveConfig(max_candidates=1))
+        with pytest.raises(SearchBudgetExceeded):
+            tight.search(("Avatar", "James Cameron", "Lightstorm Co."))
+
+    def test_zero_budget_means_unbounded(self, running_db):
+        unbounded = NaiveEngine(running_db, NaiveConfig(max_candidates=0))
+        result = unbounded.search(("Avatar", "James Cameron"))
+        assert result.valid_mappings
+
+
+class TestAgreementWithTPW:
+    """The naive baseline validates exactly the mappings exhaustive TPW
+    finds — the two engines share the search family but check validity
+    through entirely different code paths (database queries vs tuple
+    weaving)."""
+
+    SAMPLES = [
+        ("Avatar", "James Cameron"),
+        ("Harry Potter", "David Yates"),
+        ("Big Fish", "Tim Burton"),
+        ("Avatar", "James Cameron", "Lightstorm Co."),
+        ("Harry Potter", "J. K. Rowling", "Warner Films"),
+        ("Ed Wood", "Ed Wood"),
+    ]
+
+    @pytest.mark.parametrize("samples", SAMPLES, ids=["-".join(s) for s in SAMPLES])
+    def test_same_valid_mappings(self, running_db, samples):
+        tpw = TPWEngine(running_db, TPWConfig(exhaustive_weave=True))
+        naive = NaiveEngine(running_db)
+        tpw_result = {m.signature() for m in tpw.search(samples).mappings}
+        naive_result = {
+            m.signature() for m in naive.search(samples).valid_mappings
+        }
+        assert tpw_result == naive_result
+
+    def test_greedy_subset_of_naive(self, running_db):
+        samples = ("Avatar", "James Cameron", "Lightstorm Co.")
+        tpw = TPWEngine(running_db)  # greedy default
+        naive = NaiveEngine(running_db)
+        tpw_result = {m.signature() for m in tpw.search(samples).mappings}
+        naive_result = {
+            m.signature() for m in naive.search(samples).valid_mappings
+        }
+        assert tpw_result <= naive_result

@@ -1,0 +1,131 @@
+"""Unit tests for pairwise mapping path generation (Algorithms 2–4)."""
+
+import pytest
+
+from repro.config import TPWConfig
+from repro.core.location import build_location_map
+from repro.core.pairwise import (
+    count_pairwise_paths,
+    generate_pairwise_mapping_paths,
+    walk_to_tree,
+)
+from repro.graphs.schema_graph import SchemaGraph
+from repro.graphs.walks import enumerate_walks
+
+
+@pytest.fixture()
+def graph(running_db):
+    return SchemaGraph(running_db.schema)
+
+
+class TestWalkToTree:
+    def test_zero_length(self, graph):
+        walk = next(enumerate_walks(graph, "movie", 0))
+        tree = walk_to_tree(walk)
+        assert tree.vertices == {0: "movie"}
+        assert tree.n_joins == 0
+
+    def test_two_hop(self, graph):
+        walk = next(
+            w
+            for w in enumerate_walks(graph, "movie", 2)
+            if w.end == "person" and w.relations()[1] == "direct"
+        )
+        tree = walk_to_tree(walk)
+        assert tree.vertices == {0: "movie", 1: "direct", 2: "person"}
+        assert [edge.fk_name for edge in tree.edges] == ["direct_mid", "direct_pid"]
+
+    def test_orientation_recorded(self, graph):
+        walk = next(
+            w
+            for w in enumerate_walks(graph, "movie", 2)
+            if w.end == "person" and w.relations()[1] == "direct"
+        )
+        tree = walk_to_tree(walk)
+        # both FKs are sourced at the junction vertex (1)
+        assert all(edge.source_vertex == 1 for edge in tree.edges)
+
+
+class TestGeneratePairwise:
+    def test_running_example_pairs(self, running_db, graph):
+        lm = build_location_map(running_db, ["Avatar", "James Cameron"])
+        pmpm = generate_pairwise_mapping_paths(graph, lm, TPWConfig())
+        assert set(pmpm) == {(0, 1)}
+        descriptions = {path.describe() for path in pmpm[(0, 1)]}
+        # title connects to name via both direct and write
+        assert any("direct" in d for d in descriptions)
+        assert any("write" in d for d in descriptions)
+
+    def test_pmnj_zero_only_same_relation(self, running_db, graph):
+        # Ed Wood occurs in movie.title and movie.logline: with PMNJ=0
+        # only zero-join pairwise mappings (both keys in one relation).
+        lm = build_location_map(running_db, ["Ed Wood", "Ed Wood"])
+        pmpm = generate_pairwise_mapping_paths(graph, lm, TPWConfig(pmnj=0))
+        assert (0, 1) in pmpm
+        assert all(path.n_joins == 0 for path in pmpm[(0, 1)])
+
+    def test_pmnj_bound_respected(self, running_db, graph):
+        lm = build_location_map(
+            running_db, ["Avatar", "James Cameron", "Lightstorm"]
+        )
+        for pmnj in (1, 2, 3):
+            pmpm = generate_pairwise_mapping_paths(graph, lm, TPWConfig(pmnj=pmnj))
+            for paths in pmpm.values():
+                assert all(path.n_joins <= pmnj for path in paths)
+
+    def test_growing_pmnj_is_monotone(self, running_db, graph):
+        lm = build_location_map(running_db, ["Avatar", "James Cameron"])
+        small = generate_pairwise_mapping_paths(graph, lm, TPWConfig(pmnj=1))
+        large = generate_pairwise_mapping_paths(graph, lm, TPWConfig(pmnj=2))
+        assert count_pairwise_paths(small) <= count_pairwise_paths(large)
+
+    def test_pmnj_one_cannot_reach_person(self, running_db, graph):
+        lm = build_location_map(running_db, ["Avatar", "James Cameron"])
+        pmpm = generate_pairwise_mapping_paths(graph, lm, TPWConfig(pmnj=1))
+        assert (0, 1) not in pmpm  # movie-person needs two joins
+
+    def test_attribute_cross_product(self, running_db, graph):
+        # "Ed Wood" is in movie.title, movie.logline and person.name:
+        # key pair (0, 1) over (Ed Wood, Ed Wood) includes same-relation
+        # combinations of title/logline.
+        lm = build_location_map(running_db, ["Ed Wood", "Ed Wood"])
+        pmpm = generate_pairwise_mapping_paths(graph, lm, TPWConfig())
+        zero_join = [p for p in pmpm[(0, 1)] if p.n_joins == 0]
+        combos = {
+            (p.attribute_of(0), p.attribute_of(1))
+            for p in zero_join
+            if p.attribute_of(0)[0] == "movie"
+        }
+        assert (("movie", "title"), ("movie", "logline")) in combos
+        assert (("movie", "title"), ("movie", "title")) in combos
+
+    def test_no_paths_for_absent_sample(self, running_db, graph):
+        lm = build_location_map(running_db, ["Avatar", "Nonexistent"])
+        pmpm = generate_pairwise_mapping_paths(graph, lm, TPWConfig())
+        assert pmpm == {}
+
+    def test_all_paths_are_pairwise(self, running_db, graph):
+        lm = build_location_map(
+            running_db, ["Avatar", "James Cameron", "New Zealand"]
+        )
+        pmpm = generate_pairwise_mapping_paths(graph, lm, TPWConfig())
+        for (i, j), paths in pmpm.items():
+            assert i < j
+            for path in paths:
+                assert path.is_pairwise()
+                assert path.keys == frozenset({i, j})
+
+    def test_deduplication(self, running_db, graph):
+        lm = build_location_map(running_db, ["Avatar", "James Cameron"])
+        pmpm = generate_pairwise_mapping_paths(graph, lm, TPWConfig())
+        for paths in pmpm.values():
+            signatures = [path.signature() for path in paths]
+            assert len(signatures) == len(set(signatures))
+
+    def test_deterministic(self, running_db, graph):
+        lm = build_location_map(running_db, ["Avatar", "James Cameron"])
+        one = generate_pairwise_mapping_paths(graph, lm, TPWConfig())
+        two = generate_pairwise_mapping_paths(graph, lm, TPWConfig())
+        assert {k: [p.describe() for p in v] for k, v in one.items()} == {
+            k: [p.describe() for p in v] for k, v in two.items()
+        }

@@ -1,0 +1,68 @@
+"""End-to-end searches over parallel FK edges into the same relation.
+
+``sequel_of`` (Yahoo-like) and ``movie_link`` (IMDb-like) reference the
+movie/title relation twice.  A mapping joining a movie to its sequel
+must traverse both parallel edges of the schema graph — the case that
+motivated modelling one graph edge per *constraint* rather than per
+relation pair.
+"""
+
+from repro.core.tpw import TPWEngine
+
+
+def find_sequel_pair(yahoo_db):
+    """A (sequel title, original title) pair from the generated data."""
+    sequel_table = yahoo_db.table("sequel_of")
+    if len(sequel_table) == 0:
+        return None
+    movie = yahoo_db.table("movie")
+    titles = {row[0]: row[1] for row in movie}
+    mid, prev_mid = sequel_table.row(0)
+    return titles[mid], titles[prev_mid]
+
+
+class TestSequelSearch:
+    def test_sequel_mapping_found(self, yahoo_db):
+        pair = find_sequel_pair(yahoo_db)
+        assert pair is not None, "generator should produce sequels at scale 80"
+        sequel_title, original_title = pair
+        result = TPWEngine(yahoo_db).search((sequel_title, original_title))
+        sequel_mappings = [
+            mapping
+            for mapping in result.mappings
+            if any("sequel_of" in edge.fk_name for edge in mapping.tree.edges)
+        ]
+        assert sequel_mappings, "expected a mapping via sequel_of"
+        mapping = sequel_mappings[0]
+        # two movie occurrences, joined through the junction
+        relations = sorted(mapping.tree.vertices.values())
+        assert relations.count("movie") == 2
+        fks = {edge.fk_name for edge in mapping.tree.edges}
+        assert fks >= {"sequel_of_mid", "sequel_of_prev_mid"}
+
+    def test_direction_matters(self, yahoo_db):
+        """(original, sequel) and (sequel, original) are different
+        mappings: the projection ends swap roles across the two FKs."""
+        pair = find_sequel_pair(yahoo_db)
+        assert pair is not None
+        sequel_title, original_title = pair
+        forward = TPWEngine(yahoo_db).search((sequel_title, original_title))
+        backward = TPWEngine(yahoo_db).search((original_title, sequel_title))
+        assert forward.n_candidates >= 1
+        assert backward.n_candidates >= 1
+
+
+class TestMovieLinkSearch:
+    def test_linked_titles_reachable(self, imdb_db):
+        link_table = imdb_db.table("movie_link")
+        assert len(link_table) > 0
+        titles = {row[0]: row[1] for row in imdb_db.table("title")}
+        link = link_table.row(0)
+        this_title, linked_title = titles[link[1]], titles[link[2]]
+        result = TPWEngine(imdb_db).search((this_title, linked_title))
+        link_mappings = [
+            mapping
+            for mapping in result.mappings
+            if any("movie_link" in edge.fk_name for edge in mapping.tree.edges)
+        ]
+        assert link_mappings

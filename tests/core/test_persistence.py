@@ -1,0 +1,87 @@
+"""Tests for session save/load."""
+
+import json
+
+import pytest
+
+from repro.core.persistence import (
+    load_session,
+    save_session,
+    session_from_dict,
+    session_to_dict,
+)
+from repro.core.session import MappingSession, SessionStatus
+from repro.exceptions import SessionError
+
+
+@pytest.fixture()
+def converged_session(running_db):
+    session = MappingSession(running_db, ["Name", "Director"])
+    session.input(0, 0, "Avatar")
+    session.input(0, 1, "James Cameron")
+    session.input(1, 0, "Big Fish")
+    session.input(1, 1, "Tim Burton")
+    assert session.converged
+    return session
+
+
+class TestRoundTrip:
+    def test_state_restored(self, tmp_path, running_db, converged_session):
+        path = tmp_path / "session.json"
+        save_session(converged_session, path)
+        restored = load_session(running_db, path)
+        assert restored.status is SessionStatus.CONVERGED
+        assert restored.best_mapping() == converged_session.best_mapping()
+        assert restored.spreadsheet.columns == ("Name", "Director")
+        assert restored.sample_count() == converged_session.sample_count()
+
+    def test_partial_session(self, tmp_path, running_db):
+        session = MappingSession(running_db, ["Name", "Director"])
+        session.input(0, 0, "Avatar")
+        path = tmp_path / "partial.json"
+        save_session(session, path)
+        restored = load_session(running_db, path)
+        assert restored.status is SessionStatus.AWAITING_FIRST_ROW
+        assert restored.spreadsheet.cell(0, 0) == "Avatar"
+
+    def test_candidate_lists_match(self, tmp_path, running_db):
+        session = MappingSession(running_db, ["Name", "Director"])
+        session.input(0, 0, "Avatar")
+        session.input(0, 1, "James Cameron")
+        path = tmp_path / "two.json"
+        save_session(session, path)
+        restored = load_session(running_db, path)
+        assert [c.mapping.signature() for c in restored.candidates] == [
+            c.mapping.signature() for c in session.candidates
+        ]
+
+    def test_policy_preserved(self, tmp_path, running_db):
+        session = MappingSession(
+            running_db, ["Name", "Director"], on_irrelevant="apply"
+        )
+        path = tmp_path / "policy.json"
+        save_session(session, path)
+        assert load_session(running_db, path).on_irrelevant == "apply"
+
+    def test_file_is_plain_json(self, tmp_path, converged_session):
+        path = tmp_path / "session.json"
+        save_session(converged_session, path)
+        payload = json.loads(path.read_text())
+        assert payload["version"] == 1
+        assert payload["columns"] == ["Name", "Director"]
+        assert len(payload["cells"]) == 4
+
+
+class TestErrors:
+    def test_unknown_version(self, running_db):
+        with pytest.raises(SessionError):
+            session_from_dict(running_db, {"version": 99, "columns": ["A"]})
+
+    def test_missing_columns(self, running_db):
+        with pytest.raises(SessionError):
+            session_from_dict(running_db, {"version": 1, "columns": []})
+
+    def test_dict_round_trip(self, running_db, converged_session):
+        payload = session_to_dict(converged_session)
+        restored = session_from_dict(running_db, payload)
+        assert restored.converged

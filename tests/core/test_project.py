@@ -1,0 +1,108 @@
+"""Tests for multi-table mapping projects."""
+
+import pytest
+
+from repro.core.project import MappingProject
+from repro.core.session import SessionStatus
+from repro.exceptions import SessionError
+
+
+@pytest.fixture()
+def project(running_db):
+    return MappingProject(running_db)
+
+
+def converge_directors(session) -> None:
+    session.input(0, 0, "Avatar")
+    session.input(0, 1, "James Cameron")
+    session.input(1, 0, "Big Fish")
+    session.input(1, 1, "Tim Burton")
+
+
+class TestTableManagement:
+    def test_add_table(self, project):
+        session = project.add_table("directors", ["Name", "Director"])
+        assert project.table_names == ("directors",)
+        assert session.status is SessionStatus.AWAITING_FIRST_ROW
+
+    def test_duplicate_name_rejected(self, project):
+        project.add_table("t", ["A"])
+        with pytest.raises(SessionError):
+            project.add_table("t", ["B"])
+
+    def test_empty_name_rejected(self, project):
+        with pytest.raises(SessionError):
+            project.add_table("", ["A"])
+
+    def test_drop_table(self, project):
+        project.add_table("t", ["A"])
+        project.drop_table("t")
+        assert project.table_names == ()
+
+    def test_drop_unknown(self, project):
+        with pytest.raises(SessionError):
+            project.drop_table("nope")
+
+    def test_session_lookup(self, project):
+        session = project.add_table("t", ["A"])
+        assert project.session("t") is session
+        with pytest.raises(SessionError):
+            project.session("other")
+
+
+class TestConvergence:
+    def test_independent_tables(self, project):
+        directors = project.add_table("directors", ["Name", "Director"])
+        locations = project.add_table("locations", ["Name", "Where"])
+        converge_directors(directors)
+        assert directors.converged
+        assert not project.converged  # locations still empty
+
+        locations.input(0, 0, "Avatar")
+        locations.input(0, 1, "New Zealand")
+        assert locations.converged
+        assert project.converged
+
+    def test_statuses(self, project):
+        directors = project.add_table("directors", ["Name", "Director"])
+        project.add_table("empty", ["A"])
+        converge_directors(directors)
+        statuses = project.statuses()
+        assert statuses["directors"] is SessionStatus.CONVERGED
+        assert statuses["empty"] is SessionStatus.AWAITING_FIRST_ROW
+
+    def test_empty_project_not_converged(self, project):
+        assert not project.converged
+
+
+class TestSqlScript:
+    def test_script_for_converged_project(self, project, running_db):
+        directors = project.add_table("directors", ["Name", "Director"])
+        converge_directors(directors)
+        script = project.to_sql_script()
+        assert script.startswith('CREATE VIEW "directors" AS')
+        assert script.rstrip().endswith(";")
+        assert '"Director"' in script
+
+        # The script runs on the sqlite mirror.
+        from repro.relational.sqlite_backend import to_sqlite
+
+        connection = to_sqlite(running_db)
+        connection.executescript(script)
+        rows = set(connection.execute('SELECT * FROM "directors"').fetchall())
+        assert ("Avatar", "James Cameron") in rows
+
+    def test_script_requires_convergence(self, project):
+        project.add_table("t", ["Name", "Director"])
+        with pytest.raises(SessionError, match="not converged"):
+            project.to_sql_script()
+
+    def test_script_requires_tables(self, project):
+        with pytest.raises(SessionError):
+            project.to_sql_script()
+
+    def test_describe(self, project):
+        directors = project.add_table("directors", ["Name", "Director"])
+        converge_directors(directors)
+        text = project.describe()
+        assert "directors: converged" in text

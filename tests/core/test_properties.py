@@ -1,0 +1,178 @@
+"""Property-based cross-validation of the whole search pipeline.
+
+Hypothesis generates small random database instances over a fixed
+entity/junction schema (values drawn from a tiny alphabet to force
+collisions) and random sample tuples.  Invariants checked:
+
+* exhaustive TPW and the enumerate-then-validate baseline agree exactly;
+* default (greedy) TPW returns a subset of the exhaustive family;
+* everything either engine returns passes the independent sqlite oracle;
+* search results are deterministic.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import NaiveConfig, TPWConfig
+from repro.core.naive import NaiveEngine
+from repro.core.tpw import TPWEngine
+from repro.relational.database import Database
+from repro.relational.schema import (
+    Attribute,
+    DatabaseSchema,
+    ForeignKey,
+    RelationSchema,
+)
+from repro.relational.types import DataType
+from repro.text.errors import CaseTokenModel
+
+from tests.core.test_soundness import oracle_valid
+
+_INT = DataType.INTEGER
+MODEL = CaseTokenModel()
+
+#: Tiny value alphabet: collisions across relations are the norm, which
+#: is exactly what stresses location, weaving and validation.
+VALUES = ("ada", "bob", "cy", "ada bob", "bob cy", "dee")
+
+
+def random_schema() -> DatabaseSchema:
+    return DatabaseSchema(
+        [
+            RelationSchema(
+                "e1",
+                (Attribute("id", _INT, fulltext=False), Attribute("val")),
+                ("id",),
+            ),
+            RelationSchema(
+                "e2",
+                (Attribute("id", _INT, fulltext=False), Attribute("val")),
+                ("id",),
+            ),
+            RelationSchema(
+                "j1",
+                (Attribute("a", _INT, fulltext=False),
+                 Attribute("b", _INT, fulltext=False)),
+                (),
+                (
+                    ForeignKey("j1_a", "j1", ("a",), "e1", ("id",)),
+                    ForeignKey("j1_b", "j1", ("b",), "e2", ("id",)),
+                ),
+            ),
+            RelationSchema(
+                "j2",
+                (Attribute("a", _INT, fulltext=False),
+                 Attribute("b", _INT, fulltext=False)),
+                (),
+                (
+                    ForeignKey("j2_a", "j2", ("a",), "e1", ("id",)),
+                    ForeignKey("j2_b", "j2", ("b",), "e2", ("id",)),
+                ),
+            ),
+        ]
+    )
+
+
+entity_rows = st.lists(
+    st.sampled_from(VALUES), min_size=1, max_size=4
+)
+junction_rows = st.lists(
+    st.tuples(st.integers(0, 3), st.integers(0, 3)), max_size=5
+)
+
+
+def build_db(e1_values, e2_values, j1_pairs, j2_pairs) -> Database:
+    db = Database(random_schema(), name="random")
+    for index, value in enumerate(e1_values):
+        db.insert("e1", (index, value))
+    for index, value in enumerate(e2_values):
+        db.insert("e2", (index, value))
+    for a, b in j1_pairs:
+        if a < len(e1_values) and b < len(e2_values):
+            db.insert("j1", (a, b))
+    for a, b in j2_pairs:
+        if a < len(e1_values) and b < len(e2_values):
+            db.insert("j2", (a, b))
+    return db
+
+
+db_strategy = st.builds(build_db, entity_rows, entity_rows,
+                        junction_rows, junction_rows)
+sample_strategy = st.lists(st.sampled_from(VALUES), min_size=1, max_size=3)
+
+
+class TestEngineAgreement:
+    @settings(max_examples=60)
+    @given(db_strategy, sample_strategy)
+    def test_exhaustive_tpw_equals_naive(self, db, samples):
+        tpw = TPWEngine(db, TPWConfig(exhaustive_weave=True))
+        naive = NaiveEngine(db, NaiveConfig(max_candidates=0))
+        tpw_found = {m.signature() for m in tpw.search(samples).mappings}
+        naive_found = {
+            m.signature() for m in naive.search(samples).valid_mappings
+        }
+        assert tpw_found == naive_found
+
+    @settings(max_examples=40)
+    @given(db_strategy, sample_strategy)
+    def test_greedy_subset_of_exhaustive(self, db, samples):
+        greedy = TPWEngine(db, TPWConfig())
+        exhaustive = TPWEngine(db, TPWConfig(exhaustive_weave=True))
+        greedy_found = {m.signature() for m in greedy.search(samples).mappings}
+        exhaustive_found = {
+            m.signature() for m in exhaustive.search(samples).mappings
+        }
+        assert greedy_found <= exhaustive_found
+
+    @settings(max_examples=40)
+    @given(db_strategy, sample_strategy)
+    def test_all_results_oracle_valid(self, db, samples):
+        result = TPWEngine(db, TPWConfig(exhaustive_weave=True)).search(samples)
+        for mapping in result.mappings:
+            assert oracle_valid(db, mapping, samples), mapping.describe()
+
+    @settings(max_examples=25)
+    @given(db_strategy, sample_strategy)
+    def test_search_deterministic(self, db, samples):
+        engine = TPWEngine(db)
+        first = [m.describe() for m in engine.search(samples).mappings]
+        second = [m.describe() for m in engine.search(samples).mappings]
+        assert first == second
+
+    @settings(max_examples=25)
+    @given(db_strategy, sample_strategy)
+    def test_tuple_paths_connected_and_valid(self, db, samples):
+        result = TPWEngine(db).search(samples)
+        bound = dict(enumerate(samples))
+        for candidate in result.candidates:
+            for path in candidate.tuple_paths:
+                assert path.check_connected_in(db)
+                assert path.is_valid_for(db, bound, MODEL)
+
+
+class TestExecutorSqliteOracle:
+    """The native tree evaluator agrees with sqlite3 on random data."""
+
+    @settings(max_examples=40)
+    @given(db_strategy)
+    def test_join_results_agree(self, db):
+        from repro.relational.executor import evaluate_tree, project_assignment
+        from repro.relational.query import JoinTree, JoinTreeEdge, Projection
+        from repro.relational.sql import render_join_tree_sql
+        from repro.relational.sqlite_backend import to_sqlite
+
+        tree = JoinTree(
+            {0: "e1", 1: "j1", 2: "e2"},
+            (
+                JoinTreeEdge(0, 1, "j1_a", 1),
+                JoinTreeEdge(1, 2, "j1_b", 1),
+            ),
+        )
+        projections = [Projection(0, 0, "val"), Projection(1, 2, "val")]
+        sql = render_join_tree_sql(db.schema, tree, projections)
+        sqlite_rows = sorted(to_sqlite(db).execute(sql).fetchall())
+        native_rows = sorted(
+            project_assignment(db, tree, assignment, [(0, "val"), (2, "val")])
+            for assignment in evaluate_tree(db, tree)
+        )
+        assert native_rows == sqlite_rows

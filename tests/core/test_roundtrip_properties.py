@@ -1,0 +1,86 @@
+"""Property-based round trips: persistence and materialisation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.materialize import materialize_mapping
+from repro.core.persistence import session_from_dict, session_to_dict
+from repro.core.session import MappingSession
+from repro.core.tpw import TPWEngine
+
+# Cell values drawn from strings that actually occur in the running
+# example plus noise that does not.
+CELL_VALUES = (
+    "Avatar", "Big Fish", "Harry Potter", "Titanic", "Ed Wood",
+    "James Cameron", "Tim Burton", "David Yates", "J. K. Rowling",
+    "not in the source", "zzz",
+)
+
+cell_events = st.lists(
+    st.tuples(
+        st.integers(0, 3),            # row
+        st.integers(0, 1),            # column
+        st.sampled_from(CELL_VALUES),
+    ),
+    max_size=8,
+)
+
+
+def drive(session: MappingSession, events) -> None:
+    for row, column, value in events:
+        try:
+            session.input(row, column, value)
+        except Exception:
+            # rows below 0 before the search are rejected; fine.
+            pass
+
+
+class TestPersistenceProperties:
+    @settings(max_examples=30)
+    @given(cell_events)
+    def test_round_trip_preserves_candidates(self, running_db, events):
+        session = MappingSession(running_db, ["Name", "Director"])
+        drive(session, events)
+        payload = session_to_dict(session)
+        restored = session_from_dict(running_db, payload)
+        assert restored.status is session.status
+        assert [c.mapping.signature() for c in restored.candidates] == [
+            c.mapping.signature() for c in session.candidates
+        ]
+        assert restored.sample_count() == session.sample_count()
+
+
+class TestMaterializeProperties:
+    SAMPLES = [
+        ("Avatar", "James Cameron"),
+        ("Harry Potter", "David Yates"),
+        ("Ed Wood",),
+    ]
+
+    @settings(max_examples=20)
+    @given(st.sampled_from(SAMPLES), st.integers(0, 5))
+    def test_row_count_matches_execute(self, running_db, samples, limit):
+        result = TPWEngine(running_db).search(samples)
+        for candidate in result.candidates:
+            target = materialize_mapping(
+                candidate.mapping, running_db, limit=limit
+            )
+            rows = list(target.table("target"))
+            executed = candidate.mapping.execute(running_db)
+            if limit:
+                assert len(rows) == min(limit, len(executed))
+            else:
+                assert rows == executed
+
+    @settings(max_examples=20)
+    @given(st.sampled_from(SAMPLES))
+    def test_distinct_is_set_of_bag(self, running_db, samples):
+        result = TPWEngine(running_db).search(samples)
+        for candidate in result.candidates:
+            bag = materialize_mapping(candidate.mapping, running_db)
+            dedup = materialize_mapping(
+                candidate.mapping, running_db, distinct=True
+            )
+            assert set(dedup.table("target")) == set(bag.table("target"))
+            rows = list(dedup.table("target"))
+            assert len(rows) == len(set(rows))

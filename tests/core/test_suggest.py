@@ -1,0 +1,137 @@
+"""Tests for relevant-data suggestion / auto-completion (§7 extension)."""
+
+import pytest
+
+from repro.core.suggest import suggest_row_values, suggest_values
+from repro.core.session import MappingSession
+from repro.core.tpw import TPWEngine
+
+
+@pytest.fixture()
+def avatar_candidates(running_db):
+    result = TPWEngine(running_db).search(("Avatar", "James Cameron"))
+    return result.mappings
+
+
+class TestSuggestValues:
+    def test_suggests_from_projected_attribute(self, running_db,
+                                               avatar_candidates):
+        suggestions = suggest_values(running_db, avatar_candidates, 0)
+        # column 0 projects movie.title in every candidate
+        assert "Avatar" in suggestions
+        assert "Big Fish" in suggestions
+
+    def test_prefix_filter(self, running_db, avatar_candidates):
+        suggestions = suggest_values(running_db, avatar_candidates, 0, "ha")
+        assert suggestions == ["Harry Potter"]
+
+    def test_prefix_case_insensitive(self, running_db, avatar_candidates):
+        assert suggest_values(running_db, avatar_candidates, 0, "AVA") == ["Avatar"]
+
+    def test_limit(self, running_db, avatar_candidates):
+        suggestions = suggest_values(running_db, avatar_candidates, 0, limit=2)
+        assert len(suggestions) == 2
+
+    def test_zero_limit(self, running_db, avatar_candidates):
+        assert suggest_values(running_db, avatar_candidates, 0, limit=0) == []
+
+    def test_unknown_column(self, running_db, avatar_candidates):
+        assert suggest_values(running_db, avatar_candidates, 9) == []
+
+    def test_no_candidates(self, running_db):
+        assert suggest_values(running_db, [], 0) == []
+
+    def test_multi_attribute_support_ranked_first(self, running_db):
+        # 'Ed Wood' search: candidates project title, logline AND name.
+        result = TPWEngine(running_db).search(("Ed Wood",))
+        suggestions = suggest_values(running_db, result.mappings, 0, "ed wood")
+        # 'Ed Wood' appears in movie.title and person.name: supported by
+        # more candidate attributes than any logline, so ranked first.
+        assert suggestions[0] == "Ed Wood"
+
+
+class TestSuggestRowValues:
+    def test_constrained_by_row_samples(self, running_db, avatar_candidates):
+        # Row says the movie is Harry Potter: the direct candidate offers
+        # its director, the (still alive) write candidate its writers —
+        # and nothing else.
+        suggestions = suggest_row_values(
+            running_db, avatar_candidates, {0: "Harry Potter"}, 1
+        )
+        assert set(suggestions) == {"David Yates", "J. K. Rowling",
+                                    "Steve Kloves"}
+
+    def test_big_fish_people(self, running_db, avatar_candidates):
+        suggestions = suggest_row_values(
+            running_db, avatar_candidates, {0: "Big Fish"}, 1
+        )
+        # director via the direct candidate, writer via the write one
+        assert set(suggestions) == {"Tim Burton", "J. K. Rowling"}
+
+    def test_unconstrained_row_offers_all_connected(self, running_db,
+                                                    avatar_candidates):
+        suggestions = suggest_row_values(running_db, avatar_candidates, {}, 1)
+        assert "James Cameron" in suggestions
+        assert "David Yates" in suggestions
+
+    def test_prefix(self, running_db, avatar_candidates):
+        suggestions = suggest_row_values(
+            running_db, avatar_candidates, {}, 1, prefix="tim"
+        )
+        assert suggestions == ["Tim Burton"]
+
+    def test_impossible_row(self, running_db, avatar_candidates):
+        suggestions = suggest_row_values(
+            running_db, avatar_candidates, {0: "Nonexistent Movie"}, 1
+        )
+        assert suggestions == []
+
+    def test_column_excluded_from_constraints(self, running_db,
+                                              avatar_candidates):
+        # The target column's own current content must not constrain it.
+        suggestions = suggest_row_values(
+            running_db, avatar_candidates, {1: "Zorro", 0: "Big Fish"}, 1
+        )
+        assert set(suggestions) == {"Tim Burton", "J. K. Rowling"}
+
+
+class TestSessionSuggest:
+    def test_no_suggestions_before_search(self, running_db):
+        session = MappingSession(running_db, ["Name", "Director"])
+        assert session.suggest(0, 0) == []
+
+    def test_unconstrained_after_search(self, running_db):
+        session = MappingSession(running_db, ["Name", "Director"])
+        session.input(0, 0, "Avatar")
+        session.input(0, 1, "James Cameron")
+        suggestions = session.suggest(1, 0, "big")
+        assert suggestions == ["Big Fish"]
+
+    def test_row_constrained(self, running_db):
+        session = MappingSession(running_db, ["Name", "Director"])
+        session.input(0, 0, "Avatar")
+        session.input(0, 1, "James Cameron")
+        session.input(1, 0, "Big Fish")
+        # both candidates are still alive: director + writer offered
+        assert set(session.suggest(1, 1)) == {"Tim Burton", "J. K. Rowling"}
+
+    def test_row_constrained_after_convergence(self, running_db):
+        session = MappingSession(running_db, ["Name", "Director"])
+        session.input(0, 0, "Avatar")
+        session.input(0, 1, "James Cameron")
+        session.input(1, 0, "Big Fish")
+        session.input(1, 1, "Tim Burton")   # converged: direct only
+        session.input(2, 0, "Harry Potter")
+        assert session.suggest(2, 1) == ["David Yates"]
+
+    def test_suggestions_never_irrelevant(self, running_db):
+        """Accepting any suggestion keeps the candidate set non-empty."""
+        session = MappingSession(running_db, ["Name", "Director"])
+        session.input(0, 0, "Avatar")
+        session.input(0, 1, "James Cameron")
+        for suggestion in session.suggest(1, 0, limit=20):
+            probe = MappingSession(running_db, ["Name", "Director"])
+            probe.input(0, 0, "Avatar")
+            probe.input(0, 1, "James Cameron")
+            probe.input(1, 0, suggestion)
+            assert probe.candidates, suggestion

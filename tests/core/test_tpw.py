@@ -1,0 +1,153 @@
+"""End-to-end tests of the TPW engine on the running example."""
+
+import pytest
+
+from repro.config import TPWConfig
+from repro.core.tpw import TPWEngine
+from repro.exceptions import SessionError
+from repro.text.errors import CaseTokenModel
+
+MODEL = CaseTokenModel()
+
+
+@pytest.fixture()
+def engine(running_db):
+    return TPWEngine(running_db)
+
+
+class TestRunningExample:
+    def test_example_2_two_candidates(self, engine):
+        """Avatar's director also wrote it: direct & write variants."""
+        result = engine.search(
+            ("Avatar", "James Cameron", "Lightstorm Co.", "New Zealand")
+        )
+        assert result.n_candidates == 2
+        fks = {
+            frozenset(edge.fk_name for edge in candidate.mapping.tree.edges)
+            for candidate in result.candidates
+        }
+        assert any("direct_mid" in group for group in fks)
+        assert any("write_mid" in group for group in fks)
+
+    def test_example_1_yates_converges_immediately(self, engine):
+        """Yates directed but did not write Harry Potter: one candidate."""
+        result = engine.search(("Harry Potter", "David Yates"))
+        assert result.n_candidates == 1
+        assert result.best().mapping.attribute_of(1) == ("person", "name")
+        edge_fks = {edge.fk_name for edge in result.best().mapping.tree.edges}
+        assert "direct_mid" in edge_fks
+
+    def test_rowling_goes_through_write(self, engine):
+        result = engine.search(("Harry Potter", "J. K. Rowling"))
+        assert result.n_candidates == 1
+        edge_fks = {edge.fk_name for edge in result.best().mapping.tree.edges}
+        assert "write_mid" in edge_fks
+
+    def test_ambiguous_ed_wood(self, engine):
+        """'Ed Wood' is a title, a name and a logline fragment."""
+        result = engine.search(("Ed Wood",))
+        attributes = {
+            candidate.mapping.attribute_of(0) for candidate in result.candidates
+        }
+        assert ("movie", "title") in attributes
+        assert ("person", "name") in attributes
+        assert ("movie", "logline") in attributes
+
+    def test_absent_sample_no_candidates(self, engine):
+        result = engine.search(("Avatar", "Nobody Anywhere"))
+        assert result.n_candidates == 0
+        assert result.location_map.empty_keys() == (1,)
+        assert result.best() is None
+
+    def test_empty_tuple_rejected(self, engine):
+        with pytest.raises(SessionError):
+            engine.search(())
+
+    def test_all_candidates_are_complete(self, engine):
+        result = engine.search(("Avatar", "James Cameron", "Lightstorm Co."))
+        for candidate in result.candidates:
+            assert candidate.mapping.is_complete(3)
+
+    def test_all_candidates_have_support(self, engine):
+        result = engine.search(("Avatar", "James Cameron"))
+        for candidate in result.candidates:
+            assert candidate.support >= 1
+            for path in candidate.tuple_paths:
+                assert path.check_connected_in(engine.db)
+
+    def test_candidates_sorted_by_score(self, engine):
+        result = engine.search(("Ed Wood",))
+        scores = [candidate.score for candidate in result.candidates]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_stats_recorded(self, engine):
+        result = engine.search(("Avatar", "James Cameron"))
+        stats = result.stats
+        assert stats.pairwise_mapping_paths >= 2
+        assert stats.pairwise_tuple_paths >= 1
+        assert stats.valid_complete_mappings == result.n_candidates
+        assert "total" in stats.timings
+
+    def test_single_column_search(self, engine):
+        result = engine.search(("New Zealand",))
+        assert result.n_candidates == 1
+        assert result.best().mapping.attribute_of(0) == ("location", "loc")
+        assert result.best().mapping.n_joins == 0
+
+    def test_deterministic_results(self, engine):
+        one = engine.search(("Avatar", "James Cameron"))
+        two = engine.search(("Avatar", "James Cameron"))
+        assert [c.mapping.describe() for c in one.candidates] == [
+            c.mapping.describe() for c in two.candidates
+        ]
+
+    def test_mappings_property(self, engine):
+        result = engine.search(("Avatar", "James Cameron"))
+        assert [m.signature() for m in result.mappings] == [
+            c.mapping.signature() for c in result.candidates
+        ]
+
+
+class TestConfigEffects:
+    def test_pmnj_zero_finds_single_relation_mappings_only(self, running_db):
+        engine = TPWEngine(running_db, TPWConfig(pmnj=0))
+        # Ed Wood the movie has 'Ed Wood' in title AND logline.
+        result = engine.search(("Ed Wood", "Ed Wood"))
+        assert result.n_candidates > 0
+        for candidate in result.candidates:
+            assert candidate.mapping.n_joins == 0
+
+    def test_pmnj_one_misses_movie_person(self, running_db):
+        engine = TPWEngine(running_db, TPWConfig(pmnj=1))
+        result = engine.search(("Avatar", "James Cameron"))
+        assert result.n_candidates == 0
+
+    def test_exhaustive_weave_is_superset(self, running_db):
+        greedy = TPWEngine(running_db, TPWConfig()).search(
+            ("Avatar", "James Cameron", "Lightstorm Co.")
+        )
+        exhaustive = TPWEngine(
+            running_db, TPWConfig(exhaustive_weave=True)
+        ).search(("Avatar", "James Cameron", "Lightstorm Co."))
+        greedy_signatures = {m.signature() for m in greedy.mappings}
+        exhaustive_signatures = {m.signature() for m in exhaustive.mappings}
+        assert greedy_signatures <= exhaustive_signatures
+
+    def test_samples_coerced_to_str(self, engine):
+        # numeric input is stringified, not an error
+        result = engine.search((1999,))
+        assert result.n_candidates >= 0
+
+
+class TestGeneratedDataset(object):
+    def test_yahoo_search_works(self, yahoo_db):
+        engine = TPWEngine(yahoo_db)
+        movie_title = yahoo_db.table("movie").value(0, "title")
+        result = engine.search((movie_title,))
+        assert result.n_candidates >= 1
+
+    def test_imdb_search_works(self, imdb_db):
+        engine = TPWEngine(imdb_db)
+        title = imdb_db.table("title").value(0, "title")
+        result = engine.search((title,))
+        assert result.n_candidates >= 1

@@ -1,0 +1,131 @@
+"""Unit tests for tuple paths (Definition 5)."""
+
+import pytest
+
+from repro.core.tuple_path import TuplePath
+from repro.exceptions import QueryError
+from repro.relational.query import JoinTree, JoinTreeEdge
+from repro.text.errors import CaseTokenModel
+
+MODEL = CaseTokenModel()
+
+
+def movie_direct_person() -> JoinTree:
+    return JoinTree(
+        {0: "movie", 1: "direct", 2: "person"},
+        (
+            JoinTreeEdge(0, 1, "direct_mid", 1),
+            JoinTreeEdge(1, 2, "direct_pid", 1),
+        ),
+    )
+
+
+def avatar_path() -> TuplePath:
+    """movie row 0 (Avatar) - direct row 0 - person row 0 (Cameron)."""
+    return TuplePath(
+        movie_direct_person(),
+        {0: 0, 1: 0, 2: 0},
+        {0: (0, "title"), 1: (2, "name")},
+    )
+
+
+class TestConstruction:
+    def test_every_vertex_needs_a_row(self):
+        with pytest.raises(QueryError):
+            TuplePath(movie_direct_person(), {0: 0, 1: 0}, {0: (0, "title")})
+
+    def test_extra_row_rejected(self):
+        with pytest.raises(QueryError):
+            TuplePath(
+                movie_direct_person(),
+                {0: 0, 1: 0, 2: 0, 9: 0},
+                {0: (0, "title")},
+            )
+
+    def test_empty_projection_rejected(self):
+        with pytest.raises(QueryError):
+            TuplePath(movie_direct_person(), {0: 0, 1: 0, 2: 0}, {})
+
+    def test_projection_unknown_vertex_rejected(self):
+        with pytest.raises(QueryError):
+            TuplePath(movie_direct_person(), {0: 0, 1: 0, 2: 0}, {0: (9, "title")})
+
+    def test_size_keys_joins(self):
+        path = avatar_path()
+        assert path.size == 2
+        assert path.keys == frozenset({0, 1})
+        assert path.n_joins == 2
+
+    def test_tuple_at(self):
+        assert avatar_path().tuple_at(2) == ("person", 0)
+
+    def test_vertex_of_key(self):
+        assert avatar_path().vertex_of_key(1) == 2
+
+
+class TestIdentity:
+    def test_equal_under_renaming(self):
+        other_tree = JoinTree(
+            {7: "movie", 8: "direct", 9: "person"},
+            (
+                JoinTreeEdge(7, 8, "direct_mid", 8),
+                JoinTreeEdge(8, 9, "direct_pid", 8),
+            ),
+        )
+        other = TuplePath(
+            other_tree, {7: 0, 8: 0, 9: 0}, {0: (7, "title"), 1: (9, "name")}
+        )
+        assert avatar_path() == other
+        assert hash(avatar_path()) == hash(other)
+
+    def test_different_rows_not_equal(self):
+        other = TuplePath(
+            movie_direct_person(),
+            {0: 1, 1: 1, 2: 1},
+            {0: (0, "title"), 1: (2, "name")},
+        )
+        assert avatar_path() != other
+
+    def test_not_equal_to_mapping_path(self):
+        assert avatar_path() != avatar_path().to_mapping_path()
+
+
+class TestSemantics:
+    def test_projection_values(self, running_db):
+        values = avatar_path().projection_values(running_db)
+        assert values == {0: "Avatar", 1: "James Cameron"}
+
+    def test_is_valid_for_matching_samples(self, running_db):
+        assert avatar_path().is_valid_for(
+            running_db, {0: "Avatar", 1: "Cameron"}, MODEL
+        )
+
+    def test_is_valid_rejects_mismatch(self, running_db):
+        assert not avatar_path().is_valid_for(
+            running_db, {0: "Avatar", 1: "Tim Burton"}, MODEL
+        )
+
+    def test_is_valid_ignores_missing_keys(self, running_db):
+        assert avatar_path().is_valid_for(running_db, {0: "Avatar"}, MODEL)
+
+    def test_check_connected_true(self, running_db):
+        assert avatar_path().check_connected_in(running_db)
+
+    def test_check_connected_false_for_mismatched_rows(self, running_db):
+        broken = TuplePath(
+            movie_direct_person(),
+            # direct row 0 joins movie 0 / person 0, not movie 1.
+            {0: 1, 1: 0, 2: 0},
+            {0: (0, "title"), 1: (2, "name")},
+        )
+        assert not broken.check_connected_in(running_db)
+
+    def test_to_mapping_path_drops_rows(self):
+        mapping = avatar_path().to_mapping_path()
+        assert mapping.projections == avatar_path().projections
+        assert mapping.tree is avatar_path().tree or (
+            mapping.tree.vertices == avatar_path().tree.vertices
+        )
+
+    def test_describe_mentions_rows(self):
+        assert "movie#0:t0" in avatar_path().describe()

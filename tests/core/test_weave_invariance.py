@@ -1,0 +1,79 @@
+"""Order-invariance of the weaving level loop.
+
+The complete tuple path set must not depend on the order in which
+pairwise tuple paths are listed or on which key pair is processed
+first — a regression guard for the deduplication and indexing logic in
+``weave_complete_tuple_paths``.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import TPWConfig
+from repro.core.instantiate import create_pairwise_tuple_paths
+from repro.core.location import build_location_map
+from repro.core.pairwise import generate_pairwise_mapping_paths
+from repro.core.stats import SearchStats
+from repro.core.weave import weave_complete_tuple_paths
+from repro.graphs.schema_graph import SchemaGraph
+from repro.text.errors import CaseTokenModel
+
+MODEL = CaseTokenModel()
+
+SAMPLES = ("Avatar", "James Cameron", "Lightstorm Co.", "New Zealand")
+
+
+def build_ptpm(db):
+    graph = SchemaGraph(db.schema)
+    location_map = build_location_map(db, SAMPLES, MODEL)
+    pmpm = generate_pairwise_mapping_paths(graph, location_map, TPWConfig())
+    ptpm, _valid = create_pairwise_tuple_paths(
+        db, pmpm, SAMPLES, MODEL, TPWConfig()
+    )
+    return ptpm
+
+
+def complete_signatures(ptpm, config=TPWConfig()):
+    stats = SearchStats()
+    complete = weave_complete_tuple_paths(ptpm, len(SAMPLES), config, stats)
+    return {path.signature() for path in complete}
+
+
+class TestOrderInvariance:
+    @settings(max_examples=15)
+    @given(st.integers(0, 2**30))
+    def test_shuffled_ptpm_same_result(self, running_db, seed):
+        baseline = complete_signatures(build_ptpm(running_db))
+        rng = random.Random(seed)
+        ptpm = build_ptpm(running_db)
+        shuffled_items = list(ptpm.items())
+        rng.shuffle(shuffled_items)
+        shuffled = {}
+        for key_pair, paths in shuffled_items:
+            paths = list(paths)
+            rng.shuffle(paths)
+            shuffled[key_pair] = paths
+        assert complete_signatures(shuffled) == baseline
+
+    @settings(max_examples=10)
+    @given(st.integers(0, 2**30))
+    def test_shuffled_exhaustive_same_result(self, running_db, seed):
+        config = TPWConfig(exhaustive_weave=True)
+        baseline = complete_signatures(build_ptpm(running_db), config)
+        rng = random.Random(seed)
+        ptpm = build_ptpm(running_db)
+        shuffled = {
+            key_pair: rng.sample(paths, len(paths))
+            for key_pair, paths in ptpm.items()
+        }
+        assert complete_signatures(shuffled, config) == baseline
+
+    def test_duplicated_entries_ignored(self, running_db):
+        baseline = complete_signatures(build_ptpm(running_db))
+        ptpm = build_ptpm(running_db)
+        doubled = {
+            key_pair: paths + paths for key_pair, paths in ptpm.items()
+        }
+        assert complete_signatures(doubled) == baseline

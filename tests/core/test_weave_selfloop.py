@@ -1,0 +1,105 @@
+"""Weaving and searching across self-referencing foreign keys.
+
+A relation that references itself (an org chart, a thread of replies)
+exercises the trickiest part of edge orientation: both endpoints of an
+edge live in the same relation, so only ``source_vertex`` can tell the
+two directions apart.
+"""
+
+import pytest
+
+from repro.core.tpw import TPWEngine
+from repro.relational.database import Database
+from repro.relational.schema import (
+    Attribute,
+    DatabaseSchema,
+    ForeignKey,
+    RelationSchema,
+)
+from repro.relational.types import DataType
+
+_INT = DataType.INTEGER
+
+
+@pytest.fixture(scope="module")
+def orgchart_db() -> Database:
+    schema = DatabaseSchema(
+        [
+            RelationSchema(
+                "employee",
+                (
+                    Attribute("eid", _INT, fulltext=False),
+                    Attribute("name"),
+                    Attribute("manager", _INT, fulltext=False),
+                ),
+                ("eid",),
+                (
+                    ForeignKey(
+                        "employee_manager",
+                        "employee",
+                        ("manager",),
+                        "employee",
+                        ("eid",),
+                    ),
+                ),
+            )
+        ]
+    )
+    db = Database(schema, name="orgchart")
+    db.insert("employee", (1, "Ada Root", None))
+    db.insert("employee", (2, "Ben Middle", 1))
+    db.insert("employee", (3, "Cara Leaf", 2))
+    db.insert("employee", (4, "Dan Leaf", 2))
+    db.validate_referential_integrity()
+    return db
+
+
+class TestSelfLoopSearch:
+    def test_employee_manager_pair(self, orgchart_db):
+        result = TPWEngine(orgchart_db).search(("Cara Leaf", "Ben Middle"))
+        assert result.n_candidates >= 1
+        best = result.best().mapping
+        assert set(best.tree.vertices.values()) == {"employee"}
+        assert best.n_joins == 1
+        assert all(
+            edge.fk_name == "employee_manager" for edge in best.tree.edges
+        )
+
+    def test_direction_symmetry(self, orgchart_db):
+        """(report, manager) and (manager, report) both resolve — the
+        projection ends swap across the same self-loop edge."""
+        down = TPWEngine(orgchart_db).search(("Ben Middle", "Cara Leaf"))
+        up = TPWEngine(orgchart_db).search(("Cara Leaf", "Ben Middle"))
+        assert down.n_candidates >= 1
+        assert up.n_candidates >= 1
+
+    def test_two_hop_chain(self, orgchart_db):
+        """Grandmanager: two traversals of the same self loop."""
+        result = TPWEngine(orgchart_db).search(("Cara Leaf", "Ada Root"))
+        two_hop = [m for m in result.mappings if m.n_joins == 2]
+        assert two_hop, "expected the manager-of-manager chain"
+
+    def test_siblings_found_via_shared_manager(self, orgchart_db):
+        """Cara and Dan share a manager: the down-up walk through the
+        self loop is a legitimate two-join mapping and must be found
+        (self loops are exempt from the no-U-turn rule because each
+        traversal direction binds different rows)."""
+        result = TPWEngine(orgchart_db).search(("Cara Leaf", "Dan Leaf"))
+        assert result.n_candidates >= 1
+        assert all(m.n_joins == 2 for m in result.mappings)
+        support = result.best().tuple_paths[0]
+        # the middle vertex binds the shared manager (row 1, Ben)
+        middle = next(
+            vertex
+            for vertex in support.rows
+            if support.tree.degree(vertex) == 2
+        )
+        assert support.tuple_at(middle) == ("employee", 1)
+
+    def test_siblings_unreachable_with_tight_bound(self, orgchart_db):
+        """PMNJ=1 only expresses direct manager/report pairs."""
+        from repro.config import TPWConfig
+
+        engine = TPWEngine(orgchart_db, TPWConfig(pmnj=1))
+        assert engine.search(("Cara Leaf", "Dan Leaf")).n_candidates == 0
+        assert engine.search(("Cara Leaf", "Ben Middle")).n_candidates >= 1

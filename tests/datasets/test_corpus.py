@@ -1,0 +1,68 @@
+"""Unit tests for the value corpus."""
+
+from repro.datasets.corpus import Corpus
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a, b = Corpus(3), Corpus(3)
+        assert [a.person_name() for _ in range(10)] == [
+            b.person_name() for _ in range(10)
+        ]
+
+    def test_different_seed_different_stream(self):
+        a, b = Corpus(3), Corpus(4)
+        assert [a.person_name() for _ in range(10)] != [
+            b.person_name() for _ in range(10)
+        ]
+
+
+class TestFactories:
+    def test_person_name_two_words(self):
+        corpus = Corpus(0)
+        assert len(corpus.person_name().split()) == 2
+
+    def test_movie_title_unique_at_scale(self):
+        corpus = Corpus(0)
+        titles = [corpus.movie_title(i) for i in range(2000)]
+        # serial suffix guarantees distinguishability past the corpus
+        assert len(set(titles)) > 1000
+
+    def test_date_format_and_range(self):
+        corpus = Corpus(0)
+        for _ in range(50):
+            date = corpus.date(1990, 2000)
+            year, month, day = date.split("-")
+            assert 1990 <= int(year) <= 2000
+            assert 1 <= int(month) <= 12
+            assert 1 <= int(day) <= 28
+
+    def test_logline_echoes_title_sometimes(self):
+        corpus = Corpus(1)
+        title = "The Crimson Horizon"
+        echoes = sum(
+            title in corpus.logline(title, echo_title_probability=1.0)
+            for _ in range(20)
+        )
+        assert echoes > 0
+
+    def test_logline_no_echo_when_probability_zero(self):
+        corpus = Corpus(1)
+        title = "XQZ Unique Marker"
+        for _ in range(20):
+            assert title not in corpus.logline(title, echo_title_probability=0.0)
+
+    def test_company_name_nonempty(self):
+        assert Corpus(0).company_name()
+
+    def test_zipf_index_bounds(self):
+        corpus = Corpus(0)
+        for n in (1, 2, 10, 100):
+            for _ in range(50):
+                assert 0 <= corpus.zipf_index(n) < n
+
+    def test_zipf_skews_low(self):
+        corpus = Corpus(0)
+        draws = [corpus.zipf_index(100) for _ in range(2000)]
+        low = sum(1 for d in draws if d < 50)
+        assert low > len(draws) * 0.55  # more than uniform's 50%

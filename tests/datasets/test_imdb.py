@@ -1,0 +1,76 @@
+"""Tests for the IMDb-like generator."""
+
+from repro.datasets.imdb import (
+    IMDB_ATTRIBUTE_COUNT,
+    IMDB_RELATION_COUNT,
+    ROLE_TYPES,
+    build_imdb,
+    imdb_schema,
+)
+
+
+class TestSchemaShape:
+    def test_relation_count_matches_paper(self):
+        assert len(imdb_schema()) == IMDB_RELATION_COUNT == 19
+
+    def test_attribute_count_matches_paper(self):
+        assert imdb_schema().attribute_count() == IMDB_ATTRIBUTE_COUNT == 57
+
+    def test_core_relations_present(self):
+        schema = imdb_schema()
+        for name in ("title", "name", "cast_info", "movie_companies",
+                     "company_name", "movie_info", "info_type", "role_type"):
+            assert name in schema
+
+    def test_movie_link_parallel_edges(self):
+        """movie_link references title twice (tid and linked_tid)."""
+        fks = imdb_schema().relation("movie_link").foreign_keys
+        to_title = [fk for fk in fks if fk.target == "title"]
+        assert len(to_title) == 2
+
+    def test_cast_info_is_generic(self):
+        """One credits table for every role — very unlike Yahoo's
+        dedicated direct/write tables, which is the point."""
+        fks = imdb_schema().relation("cast_info").foreign_keys
+        assert {fk.target for fk in fks} == {
+            "title", "name", "char_name", "role_type"
+        }
+
+
+class TestGeneratedInstance:
+    def test_referential_integrity(self, imdb_db):
+        imdb_db.validate_referential_integrity()
+
+    def test_role_types_populated(self, imdb_db):
+        roles = {row[1] for row in imdb_db.table("role_type")}
+        assert roles == set(ROLE_TYPES)
+
+    def test_every_title_has_director_credit(self, imdb_db):
+        role_ids = {
+            row[1]: row[0] for row in imdb_db.table("role_type")
+        }
+        director_id = role_ids["director"]
+        directed_titles = {
+            row[1]
+            for row in imdb_db.table("cast_info")
+            if row[4] == director_id
+        }
+        all_titles = {row[0] for row in imdb_db.table("title")}
+        assert directed_titles == all_titles
+
+    def test_release_dates_live_in_movie_info(self, imdb_db):
+        """Figure 11(b): ReleaseDate projects movie_info.info."""
+        info_types = {row[1]: row[0] for row in imdb_db.table("info_type")}
+        release_type = info_types["release date"]
+        release_rows = [
+            row for row in imdb_db.table("movie_info") if row[2] == release_type
+        ]
+        assert len(release_rows) == len(imdb_db.table("title"))
+        # dates look like ISO dates
+        assert all(len(row[3].split("-")) == 3 for row in release_rows)
+
+    def test_deterministic(self):
+        a = build_imdb(n_movies=15, seed=5)
+        b = build_imdb(n_movies=15, seed=5)
+        for relation in a.schema.relation_names:
+            assert list(a.table(relation)) == list(b.table(relation))

@@ -1,0 +1,35 @@
+"""Tests pinning the hand-written running example to the paper's facts."""
+
+from repro.datasets.running_example import build_running_example
+
+
+class TestRunningExampleFacts:
+    def test_integrity(self, running_db):
+        running_db.validate_referential_integrity()
+
+    def test_cameron_wrote_and_directed_avatar(self, running_db):
+        """Needed for Example 2's two-candidate ambiguity."""
+        directs = set(map(tuple, running_db.table("direct")))
+        writes = set(map(tuple, running_db.table("write")))
+        assert (1, 1) in directs and (1, 1) in writes
+
+    def test_yates_directed_but_not_wrote_harry_potter(self, running_db):
+        """Needed for Example 1's convergence."""
+        directs = set(map(tuple, running_db.table("direct")))
+        writes = set(map(tuple, running_db.table("write")))
+        assert (3, 3) in directs and (3, 3) not in writes
+
+    def test_burton_did_not_write_big_fish(self, running_db):
+        """Needed for Example 7's structural pruning."""
+        writes = set(map(tuple, running_db.table("write")))
+        assert (2, 2) not in writes
+
+    def test_ed_wood_is_title_and_name(self, running_db):
+        titles = {row[1] for row in running_db.table("movie")}
+        names = {row[1] for row in running_db.table("person")}
+        assert "Ed Wood" in titles and "Ed Wood" in names
+
+    def test_rebuild_is_identical(self, running_db):
+        fresh = build_running_example()
+        for relation in running_db.schema.relation_names:
+            assert list(fresh.table(relation)) == list(running_db.table(relation))

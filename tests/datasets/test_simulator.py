@@ -1,0 +1,78 @@
+"""Tests for the simulated sample feeder."""
+
+import pytest
+
+from repro.datasets.simulator import SampleFeeder, average_samples_to_goal
+
+
+@pytest.fixture(scope="module")
+def simple_task(task_sets):
+    return task_sets[0].tasks[0]  # ts1-m3
+
+
+class TestSampleFeeder:
+    def test_converges_to_goal(self, yahoo_db, simple_task):
+        result = SampleFeeder(yahoo_db, simple_task, seed=0).run()
+        assert result.converged
+        assert result.matched_goal
+
+    def test_sample_count_at_least_one_row(self, yahoo_db, simple_task):
+        result = SampleFeeder(yahoo_db, simple_task, seed=0).run()
+        assert result.n_samples >= simple_task.target_size
+
+    def test_history_starts_after_first_row(self, yahoo_db, simple_task):
+        result = SampleFeeder(yahoo_db, simple_task, seed=0).run()
+        first_samples, _count = result.candidate_history[0]
+        assert first_samples == simple_task.target_size
+
+    def test_candidate_counts_non_increasing(self, yahoo_db, simple_task):
+        result = SampleFeeder(yahoo_db, simple_task, seed=1).run()
+        counts = [count for _samples, count in result.candidate_history]
+        assert all(a >= b for a, b in zip(counts, counts[1:]))
+
+    def test_typed_characters_accumulated(self, yahoo_db, simple_task):
+        result = SampleFeeder(yahoo_db, simple_task, seed=0).run()
+        assert result.typed_characters >= result.n_samples  # ≥1 char each
+
+    def test_deterministic_for_seed(self, yahoo_db, simple_task):
+        one = SampleFeeder(yahoo_db, simple_task, seed=3).run()
+        two = SampleFeeder(yahoo_db, simple_task, seed=3).run()
+        assert one.n_samples == two.n_samples
+        assert one.candidate_history == two.candidate_history
+
+    def test_search_time_recorded(self, yahoo_db, simple_task):
+        result = SampleFeeder(yahoo_db, simple_task, seed=0).run()
+        assert result.search_seconds > 0
+
+    def test_max_samples_budget(self, yahoo_db, simple_task):
+        feeder = SampleFeeder(yahoo_db, simple_task, seed=0, max_samples=3)
+        result = feeder.run()
+        assert result.n_samples <= 3
+
+    @pytest.mark.parametrize("set_index", [0, 1, 2])
+    def test_all_task_sets_converge(self, yahoo_db, task_sets, set_index):
+        task = task_sets[set_index].tasks[0]
+        result = SampleFeeder(yahoo_db, task, seed=7).run()
+        assert result.converged and result.matched_goal
+
+
+class TestGoalNeverPruned:
+    """The invariant documented in the module: samples drawn from the
+    goal's own output can never eliminate the goal."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_goal_survives_entire_run(self, yahoo_db, task_sets, seed):
+        task = task_sets[2].tasks[1]  # 4 joins, m=4: plenty of pruning
+        result = SampleFeeder(yahoo_db, task, seed=seed).run()
+        # Either converged on the goal, or the goal is still among the
+        # candidates when the budget ran out.
+        assert result.matched_goal or not result.converged
+
+
+class TestAverageSamples:
+    def test_average_in_expected_range(self, yahoo_db, simple_task):
+        average = average_samples_to_goal(
+            yahoo_db, simple_task, n_runs=5, seed=1
+        )
+        # Paper's Table 1: roughly m to 3m samples for these tasks.
+        assert simple_task.target_size <= average <= 6 * simple_task.target_size

@@ -1,0 +1,97 @@
+"""Tests for the synthetic task workload (Section 6.2)."""
+
+import pytest
+
+from repro.datasets.workload import (
+    build_task_sets,
+    user_study_task_imdb,
+    user_study_task_yahoo,
+)
+from repro.exceptions import DatasetError
+
+
+class TestTaskSetShape:
+    def test_three_sets(self, task_sets):
+        assert len(task_sets) == 3
+
+    def test_join_counts_match_paper(self, task_sets):
+        assert [ts.n_joins for ts in task_sets] == [2, 3, 4]
+
+    def test_four_tasks_each_m3_to_m6(self, task_sets):
+        for ts in task_sets:
+            assert [task.target_size for task in ts.tasks] == [3, 4, 5, 6]
+
+    def test_shared_relation_path_within_set(self, task_sets):
+        for ts in task_sets:
+            trees = {
+                tuple(sorted(task.goal.tree.vertices.values()))
+                for task in ts.tasks
+            }
+            assert len(trees) == 1
+
+    def test_goal_joins_match_set(self, task_sets):
+        for ts in task_sets:
+            for task in ts.tasks:
+                assert task.n_joins == ts.n_joins
+
+    def test_task_for_size(self, task_sets):
+        assert task_sets[0].task_for_size(4).target_size == 4
+        with pytest.raises(DatasetError):
+            task_sets[0].task_for_size(9)
+
+    def test_goal_mappings_validate_against_yahoo(self, task_sets, yahoo_db):
+        for ts in task_sets:
+            for task in ts.tasks:
+                task.goal.tree.validate_against(yahoo_db.schema)
+
+    def test_column_count_matches_projection(self, task_sets):
+        for ts in task_sets:
+            for task in ts.tasks:
+                assert len(task.columns) == task.goal.size
+
+
+class TestTargetRows:
+    def test_rows_produced(self, task_sets, yahoo_db):
+        rows = task_sets[0].tasks[0].target_rows(yahoo_db, limit=20)
+        assert 0 < len(rows) <= 20
+        for row in rows:
+            assert len(row) == 3
+            assert all(isinstance(value, str) and value for value in row)
+
+    def test_rows_deduplicated(self, task_sets, yahoo_db):
+        rows = task_sets[0].tasks[0].target_rows(yahoo_db, limit=100)
+        assert len(rows) == len(set(rows))
+
+    def test_rows_actually_in_target_instance(self, task_sets, yahoo_db):
+        task = task_sets[0].tasks[0]
+        target = {
+            tuple(str(v) for v in row) for row in task.goal.execute(yahoo_db)
+        }
+        for row in task.target_rows(yahoo_db, limit=10):
+            assert row in target
+
+
+class TestUserStudyTasks:
+    def test_yahoo_task_is_figure_11a(self, yahoo_db):
+        task = user_study_task_yahoo()
+        task.goal.tree.validate_against(yahoo_db.schema)
+        assert task.columns == (
+            "Movie", "ReleaseDate", "ProductionCompany", "Director"
+        )
+        assert task.n_joins == 4
+        relations = set(task.goal.tree.vertices.values())
+        assert relations == {"movie", "produce", "company", "direct", "person"}
+
+    def test_imdb_task_is_figure_11b(self, imdb_db):
+        task = user_study_task_imdb()
+        task.goal.tree.validate_against(imdb_db.schema)
+        relations = set(task.goal.tree.vertices.values())
+        assert relations == {
+            "title", "movie_info", "movie_companies",
+            "company_name", "cast_info", "name",
+        }
+        assert task.goal.attribute_of(1) == ("movie_info", "info")
+
+    def test_both_tasks_produce_rows(self, yahoo_db, imdb_db):
+        assert user_study_task_yahoo().target_rows(yahoo_db, limit=5)
+        assert user_study_task_imdb().target_rows(imdb_db, limit=5)

@@ -1,0 +1,90 @@
+"""Tests for the Yahoo-Movies-like generator."""
+
+from repro.datasets.yahoo import (
+    YAHOO_ATTRIBUTE_COUNT,
+    YAHOO_RELATION_COUNT,
+    build_yahoo_movies,
+    yahoo_schema,
+)
+
+
+class TestSchemaShape:
+    def test_relation_count_matches_paper(self):
+        assert len(yahoo_schema()) == YAHOO_RELATION_COUNT == 43
+
+    def test_attribute_count_matches_paper(self):
+        assert yahoo_schema().attribute_count() == YAHOO_ATTRIBUTE_COUNT == 131
+
+    def test_core_relations_present(self):
+        schema = yahoo_schema()
+        for name in ("movie", "person", "company", "location", "direct",
+                     "write", "produce", "filmedin", "family"):
+            assert name in schema
+
+    def test_direct_write_parallel_structure(self):
+        """The direct/write ambiguity of the running example exists."""
+        schema = yahoo_schema()
+        for junction in ("direct", "write"):
+            fks = schema.relation(junction).foreign_keys
+            targets = {fk.target for fk in fks}
+            assert targets == {"movie", "person"}
+
+    def test_sequel_has_two_fks_to_movie(self):
+        fks = yahoo_schema().relation("sequel_of").foreign_keys
+        assert [fk.target for fk in fks] == ["movie", "movie"]
+
+    def test_key_columns_not_fulltext(self):
+        schema = yahoo_schema()
+        assert not schema.relation("movie").attribute("mid").fulltext
+        assert schema.relation("movie").attribute("title").fulltext
+
+
+class TestGeneratedInstance:
+    def test_referential_integrity(self, yahoo_db):
+        yahoo_db.validate_referential_integrity()
+
+    def test_movie_count_matches_scale(self, yahoo_db):
+        assert len(yahoo_db.table("movie")) == 80
+
+    def test_every_movie_has_director_and_producer(self, yahoo_db):
+        directed = {row[0] for row in yahoo_db.table("direct")}
+        produced = {row[0] for row in yahoo_db.table("produce")}
+        mids = {row[0] for row in yahoo_db.table("movie")}
+        assert directed == mids
+        assert produced == mids
+
+    def test_some_directors_write(self, yahoo_db):
+        """~25% of movies are written by their director — the source of
+        the paper's direct-vs-write ambiguity."""
+        directors = {(row[0], row[1]) for row in yahoo_db.table("direct")}
+        writers = {(row[0], row[1]) for row in yahoo_db.table("write")}
+        overlap = directors & writers
+        assert 0 < len(overlap) < len(directors)
+
+    def test_person_sharing_fanout(self, yahoo_db):
+        """Zipf bias: some people work on many movies."""
+        counts = {}
+        for row in yahoo_db.table("direct"):
+            counts[row[1]] = counts.get(row[1], 0) + 1
+        assert max(counts.values()) >= 3
+
+    def test_biography_never_contains_own_name(self, yahoo_db):
+        person = yahoo_db.table("person")
+        for row_id in person.row_ids():
+            name = person.value(row_id, "name")
+            biography = person.value(row_id, "biography")
+            assert name not in biography
+
+    def test_deterministic(self):
+        a = build_yahoo_movies(n_movies=15, seed=5)
+        b = build_yahoo_movies(n_movies=15, seed=5)
+        for relation in a.schema.relation_names:
+            assert list(a.table(relation)) == list(b.table(relation))
+
+    def test_seed_changes_content(self):
+        a = build_yahoo_movies(n_movies=15, seed=5)
+        b = build_yahoo_movies(n_movies=15, seed=6)
+        assert list(a.table("movie")) != list(b.table("movie"))
+
+    def test_dvds_common_enough_for_task_set_two(self, yahoo_db):
+        assert len(yahoo_db.table("dvd")) >= len(yahoo_db.table("movie")) * 0.4

@@ -1,0 +1,112 @@
+"""Unit tests for the schema graph (Definition 2)."""
+
+import pytest
+
+from repro.exceptions import UnknownRelationError
+from repro.graphs.schema_graph import SchemaGraph
+from repro.relational.schema import (
+    Attribute,
+    DatabaseSchema,
+    ForeignKey,
+    RelationSchema,
+)
+from repro.relational.types import DataType
+
+_INT = DataType.INTEGER
+
+
+def self_loop_schema() -> DatabaseSchema:
+    """movie plus a sequel table referencing movie twice."""
+    return DatabaseSchema(
+        [
+            RelationSchema(
+                "movie",
+                (Attribute("mid", _INT, fulltext=False), Attribute("title")),
+                ("mid",),
+            ),
+            RelationSchema(
+                "sequel",
+                (
+                    Attribute("mid", _INT, fulltext=False),
+                    Attribute("prev", _INT, fulltext=False),
+                ),
+                ("mid", "prev"),
+                (
+                    ForeignKey("sequel_mid", "sequel", ("mid",), "movie", ("mid",)),
+                    ForeignKey("sequel_prev", "sequel", ("prev",), "movie", ("mid",)),
+                ),
+            ),
+        ]
+    )
+
+
+class TestSchemaGraphRunningExample:
+    def test_vertices_are_relations(self, running_db):
+        graph = SchemaGraph(running_db.schema)
+        assert graph.vertices == running_db.schema.relation_names
+
+    def test_one_edge_per_fk(self, running_db):
+        graph = SchemaGraph(running_db.schema)
+        assert len(graph.edges) == len(running_db.schema.foreign_keys())
+
+    def test_movie_degree(self, running_db):
+        # movie is referenced by direct, write, produce, filmedin
+        graph = SchemaGraph(running_db.schema)
+        assert graph.degree("movie") == 4
+
+    def test_neighbors_of_movie(self, running_db):
+        graph = SchemaGraph(running_db.schema)
+        assert set(graph.neighbors("movie")) == {
+            "direct",
+            "write",
+            "produce",
+            "filmedin",
+        }
+
+    def test_person_neighbors(self, running_db):
+        graph = SchemaGraph(running_db.schema)
+        assert set(graph.neighbors("person")) == {"direct", "write"}
+
+    def test_unknown_relation(self, running_db):
+        graph = SchemaGraph(running_db.schema)
+        with pytest.raises(UnknownRelationError):
+            graph.incident_edges("nope")
+
+    def test_describe_contains_edges(self, running_db):
+        text = SchemaGraph(running_db.schema).describe()
+        assert "movie -[direct_mid]- direct" in text
+
+
+class TestParallelEdgesAndLoops:
+    def test_parallel_edges_kept(self):
+        graph = SchemaGraph(self_loop_schema())
+        edges = graph.incident_edges("sequel")
+        assert len(edges) == 2
+        assert {edge.name for edge in edges} == {"sequel_mid", "sequel_prev"}
+
+    def test_neighbors_deduplicated(self):
+        graph = SchemaGraph(self_loop_schema())
+        assert graph.neighbors("sequel") == ("movie",)
+
+    def test_movie_sees_both_edges(self):
+        graph = SchemaGraph(self_loop_schema())
+        assert graph.degree("movie") == 2
+
+    def test_self_loop_appears_once(self):
+        schema = DatabaseSchema(
+            [
+                RelationSchema(
+                    "node",
+                    (
+                        Attribute("nid", _INT, fulltext=False),
+                        Attribute("parent", _INT, fulltext=False),
+                        Attribute("label"),
+                    ),
+                    ("nid",),
+                    (ForeignKey("node_parent", "node", ("parent",), "node", ("nid",)),),
+                )
+            ]
+        )
+        graph = SchemaGraph(schema)
+        assert graph.degree("node") == 1
+        assert graph.incident_edges("node")[0].is_self_loop()

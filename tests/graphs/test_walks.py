@@ -1,0 +1,116 @@
+"""Unit tests for bounded walk enumeration (Algorithm 3's BFS)."""
+
+from repro.graphs.schema_graph import SchemaGraph
+from repro.graphs.walks import Walk, enumerate_walks
+
+from tests.graphs.test_schema_graph import self_loop_schema
+
+
+class TestWalkBasics:
+    def test_zero_length_walk_first(self, running_db):
+        graph = SchemaGraph(running_db.schema)
+        walks = list(enumerate_walks(graph, "movie", 0))
+        assert walks == [Walk("movie")]
+
+    def test_walk_end_and_joins(self, running_db):
+        graph = SchemaGraph(running_db.schema)
+        walks = list(enumerate_walks(graph, "movie", 1))
+        ends = {walk.end for walk in walks if walk.n_joins == 1}
+        assert ends == {"direct", "write", "produce", "filmedin"}
+
+    def test_walks_sorted_by_length(self, running_db):
+        graph = SchemaGraph(running_db.schema)
+        lengths = [walk.n_joins for walk in enumerate_walks(graph, "movie", 2)]
+        assert lengths == sorted(lengths)
+
+    def test_depth_two_reaches_person(self, running_db):
+        graph = SchemaGraph(running_db.schema)
+        ends = {walk.end for walk in enumerate_walks(graph, "movie", 2)}
+        assert "person" in ends
+        assert "company" in ends
+        assert "location" in ends
+
+    def test_no_backtrack_by_default(self, running_db):
+        graph = SchemaGraph(running_db.schema)
+        for walk in enumerate_walks(graph, "movie", 2):
+            relations = walk.relations()
+            # a U-turn would revisit the start immediately: movie,X,movie
+            if len(relations) == 3 and relations[0] == relations[2] == "movie":
+                # allowed only when two *different* edges connect them
+                step_edges = [step.edge.name for step in walk.steps]
+                assert step_edges[0] != step_edges[1]
+
+    def test_backtrack_enabled_produces_uturns(self, running_db):
+        graph = SchemaGraph(running_db.schema)
+        walks = list(enumerate_walks(graph, "movie", 2, allow_backtrack=True))
+        uturns = [
+            walk
+            for walk in walks
+            if walk.n_joins == 2
+            and walk.steps[0].edge is walk.steps[1].edge
+        ]
+        assert uturns
+
+    def test_backtrack_superset(self, running_db):
+        graph = SchemaGraph(running_db.schema)
+        default = {w.describe() for w in enumerate_walks(graph, "movie", 2)}
+        extended = {
+            w.describe()
+            for w in enumerate_walks(graph, "movie", 2, allow_backtrack=True)
+        }
+        assert default <= extended
+
+    def test_relations_sequence(self, running_db):
+        graph = SchemaGraph(running_db.schema)
+        two_hop = [
+            walk
+            for walk in enumerate_walks(graph, "person", 2)
+            if walk.end == "movie"
+        ]
+        assert all(walk.relations()[0] == "person" for walk in two_hop)
+        # person reaches movie via both direct and write
+        middles = {walk.relations()[1] for walk in two_hop}
+        assert middles == {"direct", "write"}
+
+    def test_describe(self, running_db):
+        graph = SchemaGraph(running_db.schema)
+        walk = next(
+            w for w in enumerate_walks(graph, "person", 2) if w.end == "movie"
+        )
+        assert walk.describe().startswith("person -")
+
+
+class TestWalkDirections:
+    def test_from_is_source_tracked(self, running_db):
+        graph = SchemaGraph(running_db.schema)
+        # movie -> direct traverses direct_mid *against* FK direction
+        step = next(
+            walk.steps[0]
+            for walk in enumerate_walks(graph, "movie", 1)
+            if walk.end == "direct"
+        )
+        assert step.from_is_source is False
+        # direct -> movie traverses with FK direction
+        step = next(
+            walk.steps[0]
+            for walk in enumerate_walks(graph, "direct", 1)
+            if walk.end == "movie" and walk.steps[0].edge.name == "direct_mid"
+        )
+        assert step.from_is_source is True
+
+
+class TestSelfLoops:
+    def test_self_loop_traversed_both_directions(self):
+        graph = SchemaGraph(self_loop_schema())
+        # add a true self loop schema
+        walks = list(enumerate_walks(graph, "sequel", 2))
+        # sequel -> movie -> sequel via the two distinct FKs is allowed
+        round_trips = [
+            walk
+            for walk in walks
+            if walk.n_joins == 2 and walk.end == "sequel"
+        ]
+        assert round_trips
+        for walk in round_trips:
+            names = [step.edge.name for step in walk.steps]
+            assert names[0] != names[1]

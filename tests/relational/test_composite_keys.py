@@ -1,0 +1,147 @@
+"""Composite-key foreign keys through the whole stack.
+
+The schema layer accepts multi-column keys; these tests make sure the
+adjacency indexes, the tree evaluator and the SQL renderer honour them
+— and that TPW searches work over a source whose joins are composite.
+"""
+
+import pytest
+
+from repro.core.tpw import TPWEngine
+from repro.relational.database import Database
+from repro.relational.executor import evaluate_tree
+from repro.relational.query import ContainsPredicate, JoinTree, JoinTreeEdge, Projection
+from repro.relational.schema import (
+    Attribute,
+    DatabaseSchema,
+    ForeignKey,
+    RelationSchema,
+)
+from repro.relational.sql import render_join_tree_sql
+from repro.relational.sqlite_backend import to_sqlite
+from repro.relational.types import DataType
+from repro.text.errors import CaseTokenModel
+
+_INT = DataType.INTEGER
+MODEL = CaseTokenModel()
+
+
+@pytest.fixture(scope="module")
+def flights_db() -> Database:
+    """Flights keyed by (airline, number); bookings reference both."""
+    schema = DatabaseSchema(
+        [
+            RelationSchema(
+                "flight",
+                (
+                    Attribute("airline"),
+                    Attribute("number", _INT, fulltext=False),
+                    Attribute("destination"),
+                ),
+                ("airline", "number"),
+            ),
+            RelationSchema(
+                "passenger",
+                (Attribute("pid", _INT, fulltext=False), Attribute("name")),
+                ("pid",),
+            ),
+            RelationSchema(
+                "booking",
+                (
+                    Attribute("airline"),
+                    Attribute("number", _INT, fulltext=False),
+                    Attribute("pid", _INT, fulltext=False),
+                ),
+                ("airline", "number", "pid"),
+                (
+                    ForeignKey(
+                        "booking_flight",
+                        "booking",
+                        ("airline", "number"),
+                        "flight",
+                        ("airline", "number"),
+                    ),
+                    ForeignKey(
+                        "booking_pid", "booking", ("pid",), "passenger", ("pid",)
+                    ),
+                ),
+            ),
+        ]
+    )
+    db = Database(schema, name="flights")
+    db.insert("flight", ("Aurora Air", 12, "Reykjavik"))
+    db.insert("flight", ("Aurora Air", 77, "Oslo"))
+    db.insert("flight", ("Borealis", 12, "Tromso"))  # same number, other airline
+    db.insert("passenger", (1, "Mara Lind"))
+    db.insert("passenger", (2, "Otto Berg"))
+    db.insert("booking", ("Aurora Air", 12, 1))
+    db.insert("booking", ("Borealis", 12, 2))
+    db.validate_referential_integrity()
+    return db
+
+
+def booking_tree() -> JoinTree:
+    return JoinTree(
+        {0: "flight", 1: "booking", 2: "passenger"},
+        (
+            JoinTreeEdge(0, 1, "booking_flight", 1),
+            JoinTreeEdge(1, 2, "booking_pid", 1),
+        ),
+    )
+
+
+class TestCompositeAdjacency:
+    def test_forward_matches_both_columns(self, flights_db):
+        # booking row 0 = (Aurora Air, 12) must hit flight row 0 only,
+        # not the Borealis flight sharing the number.
+        assert flights_db.fk_targets("booking_flight", 0) == (0,)
+
+    def test_reverse(self, flights_db):
+        assert flights_db.fk_sources("booking_flight", 2) == (1,)
+
+    def test_partial_match_is_no_match(self, flights_db):
+        # flight (Aurora Air, 77) has no booking.
+        assert flights_db.fk_sources("booking_flight", 1) == ()
+
+
+class TestCompositeJoins:
+    def test_tree_evaluation(self, flights_db):
+        predicates = [ContainsPredicate(2, "name", "Mara Lind", MODEL)]
+        assignments = evaluate_tree(flights_db, booking_tree(), predicates)
+        assert len(assignments) == 1
+        flight_row = assignments[0][0]
+        assert flights_db.table("flight").value(flight_row, "destination") == (
+            "Reykjavik"
+        )
+
+    def test_sqlite_agreement(self, flights_db):
+        projections = [Projection(0, 0, "destination"), Projection(1, 2, "name")]
+        sql = render_join_tree_sql(flights_db.schema, booking_tree(), projections)
+        assert 't1."airline" = t0."airline"' in sql
+        assert 't1."number" = t0."number"' in sql
+        connection = to_sqlite(flights_db)
+        sqlite_rows = sorted(connection.execute(sql).fetchall())
+        from repro.relational.executor import project_assignment
+
+        native = sorted(
+            project_assignment(
+                flights_db, booking_tree(), assignment,
+                [(0, "destination"), (2, "name")],
+            )
+            for assignment in evaluate_tree(flights_db, booking_tree())
+        )
+        assert native == sqlite_rows
+
+
+class TestCompositeSearch:
+    def test_tpw_over_composite_source(self, flights_db):
+        result = TPWEngine(flights_db).search(("Tromso", "Otto Berg"))
+        assert result.n_candidates == 1
+        mapping = result.best().mapping
+        assert mapping.attribute_of(0) == ("flight", "destination")
+        assert mapping.attribute_of(1) == ("passenger", "name")
+
+    def test_wrong_pairing_rejected(self, flights_db):
+        # Mara flew Aurora 12 (Reykjavik), not Borealis 12 (Tromso).
+        result = TPWEngine(flights_db).search(("Tromso", "Mara Lind"))
+        assert result.n_candidates == 0

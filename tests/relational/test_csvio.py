@@ -1,0 +1,75 @@
+"""Round-trip tests for CSV persistence."""
+
+import pytest
+
+from repro.datasets.running_example import build_running_example
+from repro.exceptions import DatasetError
+from repro.relational.csvio import load_database_csv, save_database_csv
+
+
+class TestRoundTrip:
+    def test_schema_preserved(self, tmp_path, running_db):
+        save_database_csv(running_db, tmp_path)
+        loaded = load_database_csv(tmp_path)
+        assert loaded.schema.relation_names == running_db.schema.relation_names
+        assert loaded.schema.attribute_count() == running_db.schema.attribute_count()
+        assert [fk.name for fk in loaded.schema.foreign_keys()] == [
+            fk.name for fk in running_db.schema.foreign_keys()
+        ]
+
+    def test_rows_preserved(self, tmp_path, running_db):
+        save_database_csv(running_db, tmp_path)
+        loaded = load_database_csv(tmp_path)
+        for relation in running_db.schema.relation_names:
+            assert list(loaded.table(relation)) == list(running_db.table(relation))
+
+    def test_fulltext_flags_preserved(self, tmp_path, running_db):
+        save_database_csv(running_db, tmp_path)
+        loaded = load_database_csv(tmp_path)
+        original = running_db.schema.relation("movie").attribute("mid")
+        restored = loaded.schema.relation("movie").attribute("mid")
+        assert restored.fulltext == original.fulltext
+
+    def test_name_defaults_to_directory(self, tmp_path, running_db):
+        target = tmp_path / "mydb"
+        save_database_csv(running_db, target)
+        assert load_database_csv(target).name == "mydb"
+
+    def test_explicit_name(self, tmp_path, running_db):
+        save_database_csv(running_db, tmp_path)
+        assert load_database_csv(tmp_path, name="other").name == "other"
+
+    def test_null_round_trip(self, tmp_path):
+        db = build_running_example()
+        # movie.logline row: make one NULL and round-trip it
+        db.insert("movie", (99, "Nulled", None))
+        save_database_csv(db, tmp_path)
+        loaded = load_database_csv(tmp_path)
+        row = loaded.table("movie").row(len(loaded.table("movie")) - 1)
+        assert row[2] is None
+
+    def test_search_works_after_load(self, tmp_path, running_db):
+        save_database_csv(running_db, tmp_path)
+        loaded = load_database_csv(tmp_path)
+        assert loaded.search_attribute("movie", "title", "Avatar") == [0]
+
+
+class TestErrors:
+    def test_missing_schema_file(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_database_csv(tmp_path)
+
+    def test_missing_table_file(self, tmp_path, running_db):
+        save_database_csv(running_db, tmp_path)
+        (tmp_path / "movie.csv").unlink()
+        with pytest.raises(DatasetError):
+            load_database_csv(tmp_path)
+
+    def test_header_mismatch(self, tmp_path, running_db):
+        save_database_csv(running_db, tmp_path)
+        path = tmp_path / "movie.csv"
+        content = path.read_text().splitlines()
+        content[0] = "wrong,header,here"
+        path.write_text("\n".join(content))
+        with pytest.raises(DatasetError):
+            load_database_csv(tmp_path)

@@ -1,0 +1,56 @@
+"""CSV round trips with adversarial cell contents."""
+
+import pytest
+
+from repro.relational.csvio import load_database_csv, save_database_csv
+from repro.relational.database import Database
+from repro.relational.schema import Attribute, DatabaseSchema, RelationSchema
+
+SPECIAL_VALUES = [
+    'comma, separated',
+    'double "quotes" inside',
+    "newline\ninside",
+    "tab\tinside",
+    "trailing space ",
+    "ünïcödé — em-dash",
+    "'single quotes'",
+    "=formula-looking",
+]
+
+
+@pytest.fixture()
+def special_db() -> Database:
+    schema = DatabaseSchema(
+        [RelationSchema("note", (Attribute("body"),))]
+    )
+    db = Database(schema, name="special")
+    for value in SPECIAL_VALUES:
+        db.insert("note", (value,))
+    return db
+
+
+class TestSpecialCharacters:
+    def test_round_trip_exact(self, tmp_path, special_db):
+        save_database_csv(special_db, tmp_path)
+        loaded = load_database_csv(tmp_path)
+        assert loaded.table("note").column("body") == SPECIAL_VALUES
+
+    def test_search_after_round_trip(self, tmp_path, special_db):
+        save_database_csv(special_db, tmp_path)
+        loaded = load_database_csv(tmp_path)
+        assert loaded.search_attribute("note", "body", "quotes") != []
+        # diacritics normalize away: 'ünïcödé' is findable as 'unicode'
+        assert loaded.search_attribute("note", "body", "unicode") != []
+        assert loaded.search_attribute("note", "body", "absent") == []
+
+    def test_empty_string_becomes_null(self, tmp_path):
+        # The CSV NULL marker is the empty string; a round-tripped empty
+        # string therefore comes back as NULL — a documented limitation.
+        schema = DatabaseSchema(
+            [RelationSchema("note", (Attribute("body"),))]
+        )
+        db = Database(schema)
+        db.insert("note", ("",))
+        save_database_csv(db, tmp_path)
+        loaded = load_database_csv(tmp_path)
+        assert loaded.table("note").value(0, "body") is None

@@ -1,0 +1,163 @@
+"""Unit tests for the Database: text search and FK adjacency."""
+
+import pytest
+
+from repro.exceptions import IntegrityError, UnknownRelationError
+from repro.relational.database import Database
+from repro.relational.schema import (
+    Attribute,
+    DatabaseSchema,
+    ForeignKey,
+    RelationSchema,
+)
+from repro.relational.types import DataType
+from repro.text.errors import ExactModel
+
+_INT = DataType.INTEGER
+
+
+def small_schema() -> DatabaseSchema:
+    return DatabaseSchema(
+        [
+            RelationSchema(
+                "movie",
+                (Attribute("mid", _INT, fulltext=False), Attribute("title")),
+                ("mid",),
+            ),
+            RelationSchema(
+                "person",
+                (Attribute("pid", _INT, fulltext=False), Attribute("name")),
+                ("pid",),
+            ),
+            RelationSchema(
+                "direct",
+                (Attribute("mid", _INT, fulltext=False),
+                 Attribute("pid", _INT, fulltext=False)),
+                ("mid", "pid"),
+                (
+                    ForeignKey("direct_mid", "direct", ("mid",), "movie", ("mid",)),
+                    ForeignKey("direct_pid", "direct", ("pid",), "person", ("pid",)),
+                ),
+            ),
+        ]
+    )
+
+
+@pytest.fixture()
+def db() -> Database:
+    db = Database(small_schema(), name="small")
+    db.insert("movie", (1, "Avatar"))
+    db.insert("movie", (2, "Big Fish"))
+    db.insert("person", (1, "James Cameron"))
+    db.insert("person", (2, "Tim Burton"))
+    db.insert("direct", (1, 1))
+    db.insert("direct", (2, 2))
+    return db
+
+
+class TestBasics:
+    def test_summary_counts(self, db):
+        assert "3 relations" in db.summary()
+        assert db.total_rows() == 6
+
+    def test_unknown_table(self, db):
+        with pytest.raises(UnknownRelationError):
+            db.table("nope")
+
+    def test_insert_many(self, db):
+        ids = db.insert_many("movie", [(3, "C"), (4, "D")])
+        assert ids == [2, 3]
+
+
+class TestTextSearch:
+    def test_search_attribute(self, db):
+        assert db.search_attribute("movie", "title", "Avatar") == [0]
+
+    def test_search_attribute_token(self, db):
+        assert db.search_attribute("person", "name", "cameron") == [0]
+
+    def test_search_custom_model(self, db):
+        assert db.search_attribute("person", "name", "James", ExactModel()) == []
+
+    def test_attribute_contains(self, db):
+        assert db.attribute_contains("movie", "title", "Big")
+        assert not db.attribute_contains("movie", "title", "Cameron")
+
+    def test_attributes_containing(self, db):
+        assert db.attributes_containing("Avatar") == [("movie", "title")]
+
+    def test_attributes_containing_nowhere(self, db):
+        assert db.attributes_containing("zzz") == []
+
+    def test_index_rebuilt_after_insert(self, db):
+        assert db.search_attribute("movie", "title", "Titanic") == []
+        db.insert("movie", (3, "Titanic"))
+        assert db.search_attribute("movie", "title", "Titanic") == [2]
+
+    def test_non_fulltext_attributes_excluded(self, db):
+        # mid=1 exists as an integer key but keys are not searchable
+        assert ("movie", "mid") not in db.attributes_containing("1")
+
+    def test_linear_scan_database_agrees(self):
+        scan_db = Database(small_schema(), use_inverted_index=False)
+        scan_db.insert("movie", (1, "Avatar"))
+        assert scan_db.search_attribute("movie", "title", "Avatar") == [0]
+
+
+class TestForeignKeyAdjacency:
+    def test_fk_targets(self, db):
+        assert db.fk_targets("direct_mid", 0) == (0,)
+
+    def test_fk_sources(self, db):
+        assert db.fk_sources("direct_pid", 1) == (1,)
+
+    def test_fk_targets_no_match(self, db):
+        db.insert("direct", (1, 2))
+        # The new direct row (row id 2) points at movie row 0.
+        assert db.fk_targets("direct_mid", 2) == (0,)
+
+    def test_fk_sources_fanout(self, db):
+        db.insert("direct", (1, 2))
+        assert db.fk_sources("direct_mid", 0) == (0, 2)
+
+    def test_joined_rows_directional(self, db):
+        assert db.joined_rows("direct_mid", 0, from_source=True) == (0,)
+        assert db.joined_rows("direct_mid", 0, from_source=False) == (0,)
+
+    def test_null_fk_has_no_edge(self):
+        schema = DatabaseSchema(
+            [
+                RelationSchema(
+                    "movie",
+                    (Attribute("mid", _INT, fulltext=False), Attribute("title")),
+                    ("mid",),
+                ),
+                RelationSchema(
+                    "review",
+                    (Attribute("rid", _INT, fulltext=False),
+                     Attribute("mid", _INT, fulltext=False)),
+                    ("rid",),
+                    (ForeignKey("review_mid", "review", ("mid",), "movie", ("mid",)),),
+                ),
+            ]
+        )
+        db = Database(schema)
+        db.insert("movie", (1, "A"))
+        db.insert("review", (1, None))
+        assert db.fk_targets("review_mid", 0) == ()
+        db.validate_referential_integrity()  # NULL FK is not dangling
+
+    def test_adjacency_invalidated_on_insert(self, db):
+        assert db.fk_sources("direct_mid", 1) == (1,)
+        db.insert("direct", (2, 1))
+        assert db.fk_sources("direct_mid", 1) == (1, 2)
+
+
+class TestReferentialIntegrity:
+    def test_valid_database_passes(self, db):
+        db.validate_referential_integrity()
+
+    def test_dangling_reference_caught(self, db):
+        db.insert("direct", (9, 1))  # movie 9 does not exist
+        with pytest.raises(IntegrityError, match="direct_mid"):
+            db.validate_referential_integrity()

@@ -1,0 +1,147 @@
+"""Unit tests for the tree-query evaluator, against the running example."""
+
+import pytest
+
+from repro.relational.executor import (
+    evaluate_tree,
+    iterate_assignments,
+    project_assignment,
+    tree_exists,
+)
+from repro.relational.query import ContainsPredicate, JoinTree, JoinTreeEdge
+from repro.text.errors import CaseTokenModel
+
+MODEL = CaseTokenModel()
+
+
+def movie_direct_person() -> JoinTree:
+    return JoinTree(
+        {0: "movie", 1: "direct", 2: "person"},
+        (
+            JoinTreeEdge(0, 1, "direct_mid", 1),
+            JoinTreeEdge(1, 2, "direct_pid", 1),
+        ),
+    )
+
+
+def star_tree() -> JoinTree:
+    """movie joined to person (via direct) and company (via produce)."""
+    return JoinTree(
+        {0: "movie", 1: "direct", 2: "person", 3: "produce", 4: "company"},
+        (
+            JoinTreeEdge(0, 1, "direct_mid", 1),
+            JoinTreeEdge(1, 2, "direct_pid", 1),
+            JoinTreeEdge(0, 3, "produce_mid", 3),
+            JoinTreeEdge(3, 4, "produce_cid", 3),
+        ),
+    )
+
+
+class TestEvaluateTree:
+    def test_single_vertex_all_rows(self, running_db):
+        tree = JoinTree({0: "movie"})
+        assignments = evaluate_tree(running_db, tree)
+        assert len(assignments) == len(running_db.table("movie"))
+
+    def test_single_vertex_with_predicate(self, running_db):
+        tree = JoinTree({0: "movie"})
+        predicate = ContainsPredicate(0, "title", "Avatar", MODEL)
+        assignments = evaluate_tree(running_db, tree, [predicate])
+        assert len(assignments) == 1
+        assert running_db.table("movie").value(assignments[0][0], "title") == "Avatar"
+
+    def test_join_count_matches_junction_size(self, running_db):
+        # Unconstrained movie-direct-person joins: one row per direct row.
+        assignments = evaluate_tree(running_db, movie_direct_person())
+        assert len(assignments) == len(running_db.table("direct"))
+
+    def test_predicates_at_both_ends(self, running_db):
+        predicates = [
+            ContainsPredicate(0, "title", "Harry Potter", MODEL),
+            ContainsPredicate(2, "name", "David Yates", MODEL),
+        ]
+        assignments = evaluate_tree(running_db, movie_direct_person(), predicates)
+        assert len(assignments) == 1
+
+    def test_unsatisfiable_predicates(self, running_db):
+        predicates = [
+            ContainsPredicate(0, "title", "Harry Potter", MODEL),
+            ContainsPredicate(2, "name", "Tim Burton", MODEL),  # wrong director
+        ]
+        assert evaluate_tree(running_db, movie_direct_person(), predicates) == []
+
+    def test_predicate_with_no_occurrence(self, running_db):
+        predicates = [ContainsPredicate(0, "title", "Nonexistent", MODEL)]
+        assert evaluate_tree(running_db, movie_direct_person(), predicates) == []
+
+    def test_limit(self, running_db):
+        assignments = evaluate_tree(running_db, movie_direct_person(), limit=2)
+        assert len(assignments) == 2
+
+    def test_star_join(self, running_db):
+        predicates = [
+            ContainsPredicate(0, "title", "Avatar", MODEL),
+        ]
+        assignments = evaluate_tree(running_db, star_tree(), predicates)
+        assert len(assignments) == 1
+        values = project_assignment(
+            running_db,
+            star_tree(),
+            assignments[0],
+            [(2, "name"), (4, "name")],
+        )
+        assert values == ("James Cameron", "Lightstorm Co.")
+
+    def test_assignments_bind_every_vertex(self, running_db):
+        for assignment in iterate_assignments(running_db, star_tree()):
+            assert set(assignment) == {0, 1, 2, 3, 4}
+
+    def test_every_edge_actually_joined(self, running_db):
+        tree = movie_direct_person()
+        for assignment in iterate_assignments(running_db, tree):
+            direct_row = running_db.table("direct").row(assignment[1])
+            movie_row = running_db.table("movie").row(assignment[0])
+            person_row = running_db.table("person").row(assignment[2])
+            assert direct_row[0] == movie_row[0]   # mid matches
+            assert direct_row[1] == person_row[0]  # pid matches
+
+    def test_deterministic_order(self, running_db):
+        first = evaluate_tree(running_db, movie_direct_person())
+        second = evaluate_tree(running_db, movie_direct_person())
+        assert first == second
+
+    def test_multiple_predicates_same_vertex(self, running_db):
+        predicates = [
+            ContainsPredicate(0, "title", "Big", MODEL),
+            ContainsPredicate(0, "title", "Fish", MODEL),
+        ]
+        tree = JoinTree({0: "movie"})
+        assignments = evaluate_tree(running_db, tree, predicates)
+        assert len(assignments) == 1
+
+
+class TestTreeExists:
+    def test_exists_true(self, running_db):
+        predicates = [
+            ContainsPredicate(0, "title", "Big Fish", MODEL),
+            ContainsPredicate(2, "name", "Tim Burton", MODEL),
+        ]
+        assert tree_exists(running_db, movie_direct_person(), predicates)
+
+    def test_exists_false_via_write(self, running_db):
+        """Example 7: Big Fish was not written by Tim Burton."""
+        tree = JoinTree(
+            {0: "movie", 1: "write", 2: "person"},
+            (
+                JoinTreeEdge(0, 1, "write_mid", 1),
+                JoinTreeEdge(1, 2, "write_pid", 1),
+            ),
+        )
+        predicates = [
+            ContainsPredicate(0, "title", "Big Fish", MODEL),
+            ContainsPredicate(2, "name", "Tim Burton", MODEL),
+        ]
+        assert not tree_exists(running_db, tree, predicates)
+
+    def test_exists_unconstrained(self, running_db):
+        assert tree_exists(running_db, movie_direct_person())

@@ -1,0 +1,59 @@
+"""Tests for the query-plan explanation."""
+
+from repro.relational.executor import explain_tree
+from repro.relational.query import ContainsPredicate, JoinTree, JoinTreeEdge
+from repro.text.errors import CaseTokenModel
+
+MODEL = CaseTokenModel()
+
+
+def movie_direct_person() -> JoinTree:
+    return JoinTree(
+        {0: "movie", 1: "direct", 2: "person"},
+        (
+            JoinTreeEdge(0, 1, "direct_mid", 1),
+            JoinTreeEdge(1, 2, "direct_pid", 1),
+        ),
+    )
+
+
+class TestExplainTree:
+    def test_root_is_most_selective(self, running_db):
+        predicates = [ContainsPredicate(0, "title", "Avatar", MODEL)]
+        plan = explain_tree(running_db, movie_direct_person(), predicates)
+        assert plan.root == 0
+        assert plan.candidate_sizes[0] == 1
+
+    def test_unconstrained_sizes_are_table_sizes(self, running_db):
+        plan = explain_tree(running_db, movie_direct_person())
+        assert plan.candidate_sizes[0] == len(running_db.table("movie"))
+        assert plan.candidate_sizes[2] == len(running_db.table("person"))
+
+    def test_binding_order_covers_tree(self, running_db):
+        plan = explain_tree(running_db, movie_direct_person())
+        assert sorted(plan.binding_order) == [0, 1, 2]
+        assert plan.binding_order[0] == plan.root
+
+    def test_predicates_flip_root(self, running_db):
+        # Selective person predicate moves the root to the person side.
+        predicates = [ContainsPredicate(2, "name", "David Yates", MODEL)]
+        plan = explain_tree(running_db, movie_direct_person(), predicates)
+        assert plan.root == 2
+
+    def test_describe(self, running_db):
+        predicates = [ContainsPredicate(0, "title", "Avatar", MODEL)]
+        plan = explain_tree(running_db, movie_direct_person(), predicates)
+        text = plan.describe(movie_direct_person())
+        assert "root: movie#0 (1 candidate rows)" in text
+        assert "then bind" in text
+
+    def test_plan_matches_execution_reality(self, running_db):
+        """The explained candidate count bounds actual results."""
+        from repro.relational.executor import evaluate_tree
+
+        predicates = [ContainsPredicate(0, "title", "Avatar", MODEL)]
+        plan = explain_tree(running_db, movie_direct_person(), predicates)
+        results = evaluate_tree(running_db, movie_direct_person(), predicates)
+        assert len(results) <= plan.candidate_sizes[plan.root] * max(
+            plan.candidate_sizes.values()
+        )

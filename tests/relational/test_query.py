@@ -1,0 +1,137 @@
+"""Unit tests for the join-tree query representation."""
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.relational.query import ContainsPredicate, JoinTree, JoinTreeEdge
+from repro.text.errors import CaseTokenModel
+
+
+def movie_direct_person() -> JoinTree:
+    return JoinTree(
+        {0: "movie", 1: "direct", 2: "person"},
+        (
+            JoinTreeEdge(0, 1, "direct_mid", 1),
+            JoinTreeEdge(1, 2, "direct_pid", 1),
+        ),
+    )
+
+
+class TestJoinTreeEdge:
+    def test_other(self):
+        edge = JoinTreeEdge(0, 1, "f", 0)
+        assert edge.other(0) == 1
+        assert edge.other(1) == 0
+
+    def test_other_unknown_vertex(self):
+        with pytest.raises(QueryError):
+            JoinTreeEdge(0, 1, "f", 0).other(2)
+
+    def test_self_edge_rejected(self):
+        with pytest.raises(QueryError):
+            JoinTreeEdge(0, 0, "f", 0)
+
+    def test_source_vertex_must_be_endpoint(self):
+        with pytest.raises(QueryError):
+            JoinTreeEdge(0, 1, "f", 2)
+
+    def test_leaving_source(self):
+        edge = JoinTreeEdge(0, 1, "f", 0)
+        assert edge.leaving_source(0)
+        assert not edge.leaving_source(1)
+
+
+class TestJoinTree:
+    def test_single_vertex(self):
+        tree = JoinTree({0: "movie"})
+        assert tree.n_joins == 0
+        assert tree.terminal_vertices() == (0,)
+
+    def test_empty_rejected(self):
+        with pytest.raises(QueryError):
+            JoinTree({})
+
+    def test_edge_count_must_match(self):
+        with pytest.raises(QueryError):
+            JoinTree({0: "a", 1: "b"})  # two vertices, no edge
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(QueryError):
+            JoinTree(
+                {0: "a", 1: "b", 2: "c", 3: "d"},
+                (JoinTreeEdge(0, 1, "f", 0), JoinTreeEdge(2, 3, "g", 2)),
+            )
+
+    def test_cycle_rejected_by_edge_count(self):
+        with pytest.raises(QueryError):
+            JoinTree(
+                {0: "a", 1: "b"},
+                (JoinTreeEdge(0, 1, "f", 0), JoinTreeEdge(0, 1, "g", 0)),
+            )
+
+    def test_unknown_edge_vertex(self):
+        with pytest.raises(QueryError):
+            JoinTree({0: "a", 1: "b"}, (JoinTreeEdge(0, 9, "f", 0),))
+
+    def test_relation_of(self):
+        tree = movie_direct_person()
+        assert tree.relation_of(2) == "person"
+
+    def test_relation_of_unknown(self):
+        with pytest.raises(QueryError):
+            movie_direct_person().relation_of(9)
+
+    def test_terminal_vertices(self):
+        assert set(movie_direct_person().terminal_vertices()) == {0, 2}
+
+    def test_degree(self):
+        tree = movie_direct_person()
+        assert tree.degree(1) == 2
+        assert tree.degree(0) == 1
+
+    def test_neighbors(self):
+        tree = movie_direct_person()
+        assert len(tree.neighbors(1)) == 2
+
+    def test_traversal_order_root_first(self):
+        tree = movie_direct_person()
+        order = tree.traversal_order(2)
+        assert order[0] == (2, None)
+        assert [vertex for vertex, _edge in order] == [2, 1, 0]
+
+    def test_traversal_covers_all_vertices(self):
+        tree = movie_direct_person()
+        for root in tree.vertices:
+            order = tree.traversal_order(root)
+            assert sorted(vertex for vertex, _ in order) == [0, 1, 2]
+
+    def test_describe_single(self):
+        assert JoinTree({7: "movie"}).describe() == "movie"
+
+    def test_describe_edges(self):
+        text = movie_direct_person().describe()
+        assert "direct_mid" in text
+        assert "person#2" in text
+
+    def test_validate_against_running_schema(self, running_db):
+        movie_direct_person().validate_against(running_db.schema)
+
+    def test_validate_unknown_relation(self, running_db):
+        tree = JoinTree({0: "nope"})
+        with pytest.raises(QueryError):
+            tree.validate_against(running_db.schema)
+
+    def test_validate_wrong_fk_endpoints(self, running_db):
+        tree = JoinTree(
+            {0: "movie", 1: "person"},
+            (JoinTreeEdge(0, 1, "direct_mid", 0),),  # direct_mid joins direct->movie
+        )
+        with pytest.raises(QueryError):
+            tree.validate_against(running_db.schema)
+
+
+class TestContainsPredicate:
+    def test_fields(self):
+        predicate = ContainsPredicate(0, "title", "Avatar", CaseTokenModel())
+        assert predicate.vertex == 0
+        assert predicate.attribute == "title"

@@ -1,0 +1,212 @@
+"""Unit tests for schema objects and catalog validation."""
+
+import pytest
+
+from repro.exceptions import SchemaError, UnknownAttributeError, UnknownRelationError
+from repro.relational.schema import (
+    Attribute,
+    DatabaseSchema,
+    ForeignKey,
+    RelationSchema,
+)
+from repro.relational.types import DataType
+
+
+def make_movie() -> RelationSchema:
+    return RelationSchema(
+        "movie",
+        (Attribute("mid", DataType.INTEGER, fulltext=False), Attribute("title")),
+        ("mid",),
+    )
+
+
+def make_direct() -> RelationSchema:
+    return RelationSchema(
+        "direct",
+        (Attribute("mid", DataType.INTEGER, fulltext=False),
+         Attribute("pid", DataType.INTEGER, fulltext=False)),
+        ("mid", "pid"),
+        (
+            ForeignKey("direct_mid", "direct", ("mid",), "movie", ("mid",)),
+            ForeignKey("direct_pid", "direct", ("pid",), "person", ("pid",)),
+        ),
+    )
+
+
+def make_person() -> RelationSchema:
+    return RelationSchema(
+        "person",
+        (Attribute("pid", DataType.INTEGER, fulltext=False), Attribute("name")),
+        ("pid",),
+    )
+
+
+class TestAttribute:
+    def test_default_fulltext_for_text(self):
+        assert Attribute("title").fulltext is True
+
+    def test_default_fulltext_for_integer(self):
+        assert Attribute("mid", DataType.INTEGER).fulltext is False
+
+    def test_explicit_fulltext_override(self):
+        assert Attribute("note", DataType.TEXT, fulltext=False).fulltext is False
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("")
+
+    def test_dotted_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("a.b")
+
+    def test_describe_mentions_type(self):
+        assert "integer" in Attribute("mid", DataType.INTEGER).describe()
+
+
+class TestForeignKey:
+    def test_endpoint_for(self):
+        fk = ForeignKey("f", "direct", ("mid",), "movie", ("mid",))
+        assert fk.endpoint_for("direct") == "movie"
+        assert fk.endpoint_for("movie") == "direct"
+
+    def test_endpoint_for_unknown(self):
+        fk = ForeignKey("f", "direct", ("mid",), "movie", ("mid",))
+        with pytest.raises(SchemaError):
+            fk.endpoint_for("person")
+
+    def test_self_loop_endpoint(self):
+        fk = ForeignKey("f", "movie", ("prev",), "movie", ("mid",))
+        assert fk.endpoint_for("movie") == "movie"
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(SchemaError):
+            ForeignKey("f", "a", ("x", "y"), "b", ("z",))
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            ForeignKey("f", "a", (), "b", ())
+
+    def test_describe(self):
+        fk = ForeignKey("f", "direct", ("mid",), "movie", ("mid",))
+        assert fk.describe() == "direct(mid) -> movie(mid)"
+
+
+class TestRelationSchema:
+    def test_position(self):
+        movie = make_movie()
+        assert movie.position("title") == 1
+
+    def test_position_unknown(self):
+        with pytest.raises(UnknownAttributeError):
+            make_movie().position("nope")
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("r", (Attribute("a"), Attribute("a")), ())
+
+    def test_empty_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("r", (), ())
+
+    def test_pk_must_exist(self):
+        with pytest.raises(UnknownAttributeError):
+            RelationSchema("r", (Attribute("a"),), ("missing",))
+
+    def test_fk_source_must_be_self(self):
+        fk = ForeignKey("f", "other", ("a",), "movie", ("mid",))
+        with pytest.raises(SchemaError):
+            RelationSchema("r", (Attribute("a"),), (), (fk,))
+
+    def test_fk_columns_must_exist(self):
+        fk = ForeignKey("f", "r", ("missing",), "movie", ("mid",))
+        with pytest.raises(UnknownAttributeError):
+            RelationSchema("r", (Attribute("a"),), (), (fk,))
+
+    def test_text_attributes(self):
+        movie = make_movie()
+        assert [a.name for a in movie.text_attributes()] == ["title"]
+
+    def test_arity(self):
+        assert make_movie().arity == 2
+
+    def test_attribute_names_order(self):
+        assert make_movie().attribute_names == ("mid", "title")
+
+
+class TestDatabaseSchema:
+    def make(self) -> DatabaseSchema:
+        return DatabaseSchema([make_movie(), make_person(), make_direct()])
+
+    def test_relation_lookup(self):
+        assert self.make().relation("movie").name == "movie"
+
+    def test_unknown_relation(self):
+        with pytest.raises(UnknownRelationError):
+            self.make().relation("nope")
+
+    def test_contains(self):
+        schema = self.make()
+        assert "movie" in schema
+        assert "nope" not in schema
+
+    def test_len_and_iteration_order(self):
+        schema = self.make()
+        assert len(schema) == 3
+        assert schema.relation_names == ("movie", "person", "direct")
+
+    def test_duplicate_relation_rejected(self):
+        with pytest.raises(SchemaError):
+            DatabaseSchema([make_movie(), make_movie()])
+
+    def test_fk_target_must_exist(self):
+        with pytest.raises(UnknownRelationError):
+            DatabaseSchema([make_direct()])
+
+    def test_fk_target_column_must_exist(self):
+        bad = RelationSchema(
+            "r",
+            (Attribute("x", DataType.INTEGER, fulltext=False),),
+            (),
+            (ForeignKey("f", "r", ("x",), "movie", ("missing",)),),
+        )
+        with pytest.raises(UnknownAttributeError):
+            DatabaseSchema([make_movie(), bad])
+
+    def test_duplicate_fk_name_rejected(self):
+        r1 = RelationSchema(
+            "r1",
+            (Attribute("x", DataType.INTEGER, fulltext=False),),
+            (),
+            (ForeignKey("f", "r1", ("x",), "movie", ("mid",)),),
+        )
+        r2 = RelationSchema(
+            "r2",
+            (Attribute("x", DataType.INTEGER, fulltext=False),),
+            (),
+            (ForeignKey("f", "r2", ("x",), "movie", ("mid",)),),
+        )
+        with pytest.raises(SchemaError):
+            DatabaseSchema([make_movie(), r1, r2])
+
+    def test_foreign_keys_listed(self):
+        schema = self.make()
+        assert [fk.name for fk in schema.foreign_keys()] == [
+            "direct_mid",
+            "direct_pid",
+        ]
+
+    def test_foreign_key_lookup(self):
+        assert self.make().foreign_key("direct_mid").target == "movie"
+
+    def test_foreign_key_unknown(self):
+        with pytest.raises(SchemaError):
+            self.make().foreign_key("nope")
+
+    def test_attribute_count(self):
+        assert self.make().attribute_count() == 6
+
+    def test_text_attribute_pairs(self):
+        assert self.make().text_attribute_pairs() == (
+            ("movie", "title"),
+            ("person", "name"),
+        )

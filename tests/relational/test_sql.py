@@ -1,0 +1,151 @@
+"""SQL rendering tests, cross-checked against sqlite3."""
+
+from repro.relational.executor import evaluate_tree, project_assignment
+from repro.relational.query import ContainsPredicate, JoinTree, JoinTreeEdge, Projection
+from repro.relational.sql import render_join_tree_sql
+from repro.relational.sqlite_backend import to_sqlite
+from repro.text.errors import CaseTokenModel
+
+MODEL = CaseTokenModel()
+
+
+def movie_direct_person() -> JoinTree:
+    return JoinTree(
+        {0: "movie", 1: "direct", 2: "person"},
+        (
+            JoinTreeEdge(0, 1, "direct_mid", 1),
+            JoinTreeEdge(1, 2, "direct_pid", 1),
+        ),
+    )
+
+
+class TestRendering:
+    def test_select_clause_labels(self, running_db):
+        sql = render_join_tree_sql(
+            running_db.schema,
+            movie_direct_person(),
+            [Projection(0, 0, "title"), Projection(1, 2, "name")],
+            column_names=["Name", "Director"],
+        )
+        assert '"Name"' in sql and '"Director"' in sql
+
+    def test_default_labels(self, running_db):
+        sql = render_join_tree_sql(
+            running_db.schema,
+            movie_direct_person(),
+            [Projection(0, 0, "title")],
+        )
+        assert '"col0"' in sql
+
+    def test_join_conditions(self, running_db):
+        sql = render_join_tree_sql(
+            running_db.schema,
+            movie_direct_person(),
+            [Projection(0, 0, "title"), Projection(1, 2, "name")],
+        )
+        assert 't1."mid" = t0."mid"' in sql
+        assert 't1."pid" = t2."pid"' in sql
+
+    def test_single_relation_no_join(self, running_db):
+        sql = render_join_tree_sql(
+            running_db.schema, JoinTree({0: "movie"}), [Projection(0, 0, "title")]
+        )
+        assert "JOIN" not in sql
+
+    def test_predicates_render_like(self, running_db):
+        sql = render_join_tree_sql(
+            running_db.schema,
+            JoinTree({0: "movie"}),
+            [Projection(0, 0, "title")],
+            [ContainsPredicate(0, "title", "Big Fish", MODEL)],
+        )
+        assert "LIKE '%big%'" in sql
+        assert "LIKE '%fish%'" in sql
+
+    def test_apostrophes_tokenize_away(self, running_db):
+        # Normalization maps apostrophes to spaces, so the predicate
+        # becomes two quote-free LIKE terms.
+        sql = render_join_tree_sql(
+            running_db.schema,
+            JoinTree({0: "movie"}),
+            [Projection(0, 0, "title")],
+            [ContainsPredicate(0, "title", "O'Brien", MODEL)],
+        )
+        assert "LIKE '%o%'" in sql and "LIKE '%brien%'" in sql
+
+    def test_quote_escaping_fallback(self, running_db):
+        # A punctuation-only sample has no tokens; the raw casefolded
+        # text is used and its quote must be escaped.
+        sql = render_join_tree_sql(
+            running_db.schema,
+            JoinTree({0: "movie"}),
+            [Projection(0, 0, "title")],
+            [ContainsPredicate(0, "title", "'", MODEL)],
+        )
+        assert "''" in sql
+
+
+class TestSqliteCrossCheck:
+    """The native evaluator and sqlite must agree on join results."""
+
+    def test_unconstrained_join_row_count(self, running_db):
+        tree = movie_direct_person()
+        projections = [Projection(0, 0, "title"), Projection(1, 2, "name")]
+        sql = render_join_tree_sql(running_db.schema, tree, projections)
+        connection = to_sqlite(running_db)
+        sqlite_rows = sorted(connection.execute(sql).fetchall())
+
+        assignments = evaluate_tree(running_db, tree)
+        native_rows = sorted(
+            project_assignment(
+                running_db, tree, assignment, [(0, "title"), (2, "name")]
+            )
+            for assignment in assignments
+        )
+        assert native_rows == sqlite_rows
+
+    def test_star_join_agrees(self, running_db):
+        tree = JoinTree(
+            {0: "movie", 1: "produce", 2: "company", 3: "filmedin", 4: "location"},
+            (
+                JoinTreeEdge(0, 1, "produce_mid", 1),
+                JoinTreeEdge(1, 2, "produce_cid", 1),
+                JoinTreeEdge(0, 3, "filmedin_mid", 3),
+                JoinTreeEdge(3, 4, "filmedin_lid", 3),
+            ),
+        )
+        projections = [
+            Projection(0, 0, "title"),
+            Projection(1, 2, "name"),
+            Projection(2, 4, "loc"),
+        ]
+        sql = render_join_tree_sql(running_db.schema, tree, projections)
+        connection = to_sqlite(running_db)
+        sqlite_rows = sorted(connection.execute(sql).fetchall())
+
+        native_rows = sorted(
+            project_assignment(
+                running_db, tree, assignment,
+                [(0, "title"), (2, "name"), (4, "loc")],
+            )
+            for assignment in evaluate_tree(running_db, tree)
+        )
+        assert native_rows == sqlite_rows
+
+    def test_generated_dataset_join_agrees(self, yahoo_db):
+        tree = JoinTree(
+            {0: "movie", 1: "direct", 2: "person"},
+            (
+                JoinTreeEdge(0, 1, "direct_mid", 1),
+                JoinTreeEdge(1, 2, "direct_pid", 1),
+            ),
+        )
+        projections = [Projection(0, 0, "title"), Projection(1, 2, "name")]
+        sql = render_join_tree_sql(yahoo_db.schema, tree, projections)
+        connection = to_sqlite(yahoo_db)
+        sqlite_rows = sorted(connection.execute(sql).fetchall())
+        native_rows = sorted(
+            project_assignment(yahoo_db, tree, a, [(0, "title"), (2, "name")])
+            for a in evaluate_tree(yahoo_db, tree)
+        )
+        assert native_rows == sqlite_rows

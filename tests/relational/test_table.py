@@ -1,0 +1,98 @@
+"""Unit tests for row storage."""
+
+import pytest
+
+from repro.exceptions import IntegrityError
+from repro.relational.schema import Attribute, RelationSchema
+from repro.relational.table import Table
+from repro.relational.types import DataType
+
+
+@pytest.fixture()
+def movie_table() -> Table:
+    schema = RelationSchema(
+        "movie",
+        (
+            Attribute("mid", DataType.INTEGER, fulltext=False),
+            Attribute("title"),
+            Attribute("runtime", DataType.INTEGER),
+        ),
+        ("mid",),
+    )
+    return Table(schema)
+
+
+class TestInsert:
+    def test_positional(self, movie_table):
+        row_id = movie_table.insert((1, "Avatar", 162))
+        assert row_id == 0
+        assert movie_table.row(0) == (1, "Avatar", 162)
+
+    def test_row_ids_sequential(self, movie_table):
+        assert movie_table.insert((1, "A", 100)) == 0
+        assert movie_table.insert((2, "B", 100)) == 1
+
+    def test_mapping_insert(self, movie_table):
+        movie_table.insert({"mid": 3, "title": "C"})
+        assert movie_table.row(0) == (3, "C", None)
+
+    def test_mapping_unknown_attribute(self, movie_table):
+        with pytest.raises(IntegrityError):
+            movie_table.insert({"mid": 1, "nope": "x"})
+
+    def test_wrong_arity(self, movie_table):
+        with pytest.raises(IntegrityError):
+            movie_table.insert((1, "Avatar"))
+
+    def test_type_coercion_applied(self, movie_table):
+        movie_table.insert(("7", "Avatar", "90"))
+        assert movie_table.row(0) == (7, "Avatar", 90)
+
+    def test_duplicate_pk_rejected(self, movie_table):
+        movie_table.insert((1, "A", 100))
+        with pytest.raises(IntegrityError):
+            movie_table.insert((1, "B", 100))
+
+    def test_null_pk_rejected(self, movie_table):
+        with pytest.raises(IntegrityError):
+            movie_table.insert((None, "A", 100))
+
+
+class TestAccess:
+    def test_value(self, movie_table):
+        movie_table.insert((1, "Avatar", 162))
+        assert movie_table.value(0, "title") == "Avatar"
+
+    def test_column(self, movie_table):
+        movie_table.insert((1, "A", 100))
+        movie_table.insert((2, "B", 110))
+        assert movie_table.column("title") == ["A", "B"]
+
+    def test_row_as_dict(self, movie_table):
+        movie_table.insert((1, "A", 100))
+        assert movie_table.row_as_dict(0) == {"mid": 1, "title": "A", "runtime": 100}
+
+    def test_lookup_pk(self, movie_table):
+        movie_table.insert((5, "A", 100))
+        assert movie_table.lookup_pk((5,)) == 0
+        assert movie_table.lookup_pk((6,)) is None
+
+    def test_lookup_pk_without_key_raises(self):
+        schema = RelationSchema("log", (Attribute("line"),))
+        table = Table(schema)
+        with pytest.raises(IntegrityError):
+            table.lookup_pk(("x",))
+
+    def test_iteration(self, movie_table):
+        movie_table.insert((1, "A", 100))
+        movie_table.insert((2, "B", 110))
+        assert [row[0] for row in movie_table] == [1, 2]
+
+    def test_len_and_row_ids(self, movie_table):
+        assert len(movie_table) == 0
+        movie_table.insert((1, "A", 100))
+        assert len(movie_table) == 1
+        assert list(movie_table.row_ids()) == [0]
+
+    def test_name(self, movie_table):
+        assert movie_table.name == "movie"

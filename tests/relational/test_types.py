@@ -1,0 +1,83 @@
+"""Unit tests for value coercion."""
+
+import pytest
+
+from repro.exceptions import IntegrityError
+from repro.relational.types import DataType, coerce_value
+
+
+class TestDataType:
+    def test_text_is_textual(self):
+        assert DataType.TEXT.is_textual
+
+    def test_date_is_textual(self):
+        assert DataType.DATE.is_textual
+
+    def test_integer_not_textual(self):
+        assert not DataType.INTEGER.is_textual
+
+    def test_float_not_textual(self):
+        assert not DataType.FLOAT.is_textual
+
+
+class TestCoerceInteger:
+    def test_int_passthrough(self):
+        assert coerce_value(42, DataType.INTEGER, "t.c") == 42
+
+    def test_none_passthrough(self):
+        assert coerce_value(None, DataType.INTEGER, "t.c") is None
+
+    def test_integral_float(self):
+        assert coerce_value(42.0, DataType.INTEGER, "t.c") == 42
+
+    def test_numeric_string(self):
+        assert coerce_value(" 42 ", DataType.INTEGER, "t.c") == 42
+
+    def test_fractional_float_rejected(self):
+        with pytest.raises(IntegrityError):
+            coerce_value(42.5, DataType.INTEGER, "t.c")
+
+    def test_bad_string_rejected(self):
+        with pytest.raises(IntegrityError):
+            coerce_value("abc", DataType.INTEGER, "t.c")
+
+    def test_bool_rejected(self):
+        with pytest.raises(IntegrityError):
+            coerce_value(True, DataType.INTEGER, "t.c")
+
+    def test_error_message_names_column(self):
+        with pytest.raises(IntegrityError, match="movie.mid"):
+            coerce_value("x", DataType.INTEGER, "movie.mid")
+
+
+class TestCoerceFloat:
+    def test_int_becomes_float(self):
+        value = coerce_value(3, DataType.FLOAT, "t.c")
+        assert value == 3.0
+        assert isinstance(value, float)
+
+    def test_string_parsed(self):
+        assert coerce_value("3.25", DataType.FLOAT, "t.c") == 3.25
+
+    def test_bad_string_rejected(self):
+        with pytest.raises(IntegrityError):
+            coerce_value("pi", DataType.FLOAT, "t.c")
+
+    def test_bool_rejected(self):
+        with pytest.raises(IntegrityError):
+            coerce_value(False, DataType.FLOAT, "t.c")
+
+
+class TestCoerceText:
+    def test_string_passthrough(self):
+        assert coerce_value("Avatar", DataType.TEXT, "t.c") == "Avatar"
+
+    def test_number_stringified(self):
+        assert coerce_value(1999, DataType.TEXT, "t.c") == "1999"
+
+    def test_date_accepts_string(self):
+        assert coerce_value("2009-12-18", DataType.DATE, "t.c") == "2009-12-18"
+
+    def test_list_rejected(self):
+        with pytest.raises(IntegrityError):
+            coerce_value(["a"], DataType.TEXT, "t.c")

@@ -1,0 +1,118 @@
+"""Tests for the full simulated user study (Figure 10 shape checks)."""
+
+import pytest
+
+from repro.datasets.workload import user_study_task_imdb, user_study_task_yahoo
+from repro.study.study import StudyResult, run_user_study, satisfaction_scores
+
+
+@pytest.fixture(scope="module")
+def study(yahoo_db, imdb_db) -> StudyResult:
+    return run_user_study(
+        {
+            "yahoo-movies": (yahoo_db, user_study_task_yahoo()),
+            "imdb": (imdb_db, user_study_task_imdb()),
+        }
+    )
+
+
+class TestStudyStructure:
+    def test_cell_count(self, study):
+        # 3 tools × 10 users × 2 datasets
+        assert len(study.usages) == 60
+
+    def test_tools_and_users(self, study):
+        assert study.tools() == ("MWeaver", "Eirene", "InfoSphere")
+        assert len(study.users()) == 10
+
+    def test_datasets(self, study):
+        assert set(study.datasets()) == {"yahoo-movies", "imdb"}
+
+    def test_lookup(self, study):
+        usage = study.lookup("MWeaver", "N3", "imdb")
+        assert usage.tool == "MWeaver" and usage.user == "N3"
+
+    def test_lookup_missing(self, study):
+        with pytest.raises(KeyError):
+            study.lookup("MWeaver", "N99", "imdb")
+
+    def test_metric_panel_shape(self, study):
+        panel = study.metric_panel("imdb", "seconds")
+        assert set(panel) == {"MWeaver", "Eirene", "InfoSphere"}
+        for series in panel.values():
+            assert len(series) == 10
+
+    def test_reproducible(self, yahoo_db, imdb_db, study):
+        again = run_user_study(
+            {
+                "yahoo-movies": (yahoo_db, user_study_task_yahoo()),
+                "imdb": (imdb_db, user_study_task_imdb()),
+            }
+        )
+        # Motor metrics are exactly reproducible; seconds embed measured
+        # engine latency, so compare with a small tolerance.
+        for one, two in zip(again.usages, study.usages):
+            assert (one.tool, one.user, one.dataset) == (
+                two.tool, two.user, two.dataset
+            )
+            assert (one.keystrokes, one.clicks) == (two.keystrokes, two.clicks)
+            assert one.seconds == pytest.approx(two.seconds, abs=1.0)
+
+
+class TestPaperShape:
+    """Figure 10 headline ratios, with generous tolerances."""
+
+    def test_time_ratio_vs_infosphere(self, study):
+        ratio = study.time_ratio("MWeaver", "InfoSphere")
+        assert 3.5 <= ratio <= 7.0  # paper: ≈5
+
+    def test_time_ratio_vs_eirene(self, study):
+        ratio = study.time_ratio("MWeaver", "Eirene")
+        assert 2.5 <= ratio <= 6.0  # paper: ≈4
+
+    def test_keystroke_ratio_vs_eirene(self, study):
+        ratio = study.mean_metric("Eirene", "keystrokes") / study.mean_metric(
+            "MWeaver", "keystrokes"
+        )
+        assert 1.5 <= ratio <= 4.0  # paper: ≈2
+
+    def test_click_ratio(self, study):
+        for other in ("Eirene", "InfoSphere"):
+            ratio = study.mean_metric(other, "clicks") / study.mean_metric(
+                "MWeaver", "clicks"
+            )
+            assert ratio >= 3.0  # paper: ≈5
+
+    def test_every_user_faster_with_mweaver(self, study):
+        for dataset in study.datasets():
+            for user in study.users():
+                mweaver = study.lookup("MWeaver", user, dataset).seconds
+                for other in ("Eirene", "InfoSphere"):
+                    assert mweaver < study.lookup(other, user, dataset).seconds
+
+    def test_satisfaction_ordering(self, study):
+        scores = satisfaction_scores(study)
+        assert scores["MWeaver"] > scores["Eirene"] > scores["InfoSphere"]
+
+    def test_satisfaction_near_paper_values(self, study):
+        scores = satisfaction_scores(study)
+        assert scores["MWeaver"] == pytest.approx(4.7, abs=0.35)
+        assert scores["Eirene"] == pytest.approx(3.45, abs=0.45)
+        assert scores["InfoSphere"] == pytest.approx(2.7, abs=0.45)
+
+    def test_scores_within_scale(self, study):
+        for score in satisfaction_scores(study).values():
+            assert 1.0 <= score <= 5.0
+
+    def test_no_substantial_expert_novice_gap_on_mweaver(self, study):
+        """§6.2: "no substantial performance difference between database
+        experts and end-users" — MWeaver requires no schema expertise,
+        so the expert mean must sit within the novice range."""
+        from statistics import mean
+
+        experts, novices = [], []
+        for dataset in study.datasets():
+            for user in study.users():
+                seconds = study.lookup("MWeaver", user, dataset).seconds
+                (experts if user.startswith("D") else novices).append(seconds)
+        assert min(novices) * 0.6 <= mean(experts) <= max(novices) * 1.4

@@ -1,0 +1,82 @@
+"""Sensitivity of the tool cost models to user parameters.
+
+The models must respond to the *right* inputs: faster typists save time
+everywhere but most where typing dominates; schema readers matter only
+for the source-schema-facing tools; MWeaver is insensitive to schema
+reading entirely.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.datasets.workload import user_study_task_yahoo
+from repro.study.tools import EireneModel, InfoSphereModel, MWeaverModel
+from repro.study.users import make_user
+
+
+@pytest.fixture(scope="module")
+def task():
+    return user_study_task_yahoo()
+
+
+@pytest.fixture(scope="module")
+def base_user():
+    return make_user("N1", expert=False, seed=404)
+
+
+def with_param(user, **overrides):
+    return dataclasses.replace(user, **overrides)
+
+
+class TestTypingSpeed:
+    def test_faster_typist_is_faster(self, yahoo_db, task, base_user):
+        slow = with_param(base_user, typing_cps=3.0)
+        fast = with_param(base_user, typing_cps=5.5)
+        for model in (MWeaverModel(), EireneModel()):
+            assert (
+                model.simulate(fast, yahoo_db, task, 1).seconds
+                < model.simulate(slow, yahoo_db, task, 1).seconds
+            )
+
+    def test_typing_matters_most_for_eirene(self, yahoo_db, task, base_user):
+        slow = with_param(base_user, typing_cps=3.0)
+        fast = with_param(base_user, typing_cps=5.5)
+
+        def saving(model):
+            return (
+                model.simulate(slow, yahoo_db, task, 1).seconds
+                - model.simulate(fast, yahoo_db, task, 1).seconds
+            )
+
+        assert saving(EireneModel()) > saving(InfoSphereModel())
+
+
+class TestSchemaReading:
+    def test_mweaver_ignores_schema_reading(self, yahoo_db, task, base_user):
+        slow_reader = with_param(base_user, schema_read_factor=2.0)
+        fast_reader = with_param(base_user, schema_read_factor=0.5)
+        slow_usage = MWeaverModel().simulate(slow_reader, yahoo_db, task, 1)
+        fast_usage = MWeaverModel().simulate(fast_reader, yahoo_db, task, 1)
+        assert slow_usage.seconds == pytest.approx(fast_usage.seconds, rel=0.05)
+
+    def test_match_driven_tools_punish_slow_readers(self, yahoo_db, task,
+                                                    base_user):
+        slow_reader = with_param(base_user, schema_read_factor=2.0)
+        fast_reader = with_param(base_user, schema_read_factor=0.5)
+        for model in (EireneModel(), InfoSphereModel()):
+            assert (
+                model.simulate(slow_reader, yahoo_db, task, 1).seconds
+                > model.simulate(fast_reader, yahoo_db, task, 1).seconds
+            )
+
+
+class TestThinkTime:
+    def test_think_factor_scales_all_tools(self, yahoo_db, task, base_user):
+        quick = with_param(base_user, think_factor=0.85)
+        slow = with_param(base_user, think_factor=1.25)
+        for model in (MWeaverModel(), EireneModel(), InfoSphereModel()):
+            assert (
+                model.simulate(quick, yahoo_db, task, 1).seconds
+                < model.simulate(slow, yahoo_db, task, 1).seconds
+            )

@@ -1,0 +1,91 @@
+"""Tests for the tool interaction cost models."""
+
+import pytest
+
+from repro.datasets.workload import user_study_task_yahoo
+from repro.study.tools import (
+    EireneModel,
+    InfoSphereModel,
+    MWeaverModel,
+    default_tool_models,
+)
+from repro.study.users import make_user
+
+
+@pytest.fixture(scope="module")
+def user():
+    return make_user("N1", expert=False, seed=101)
+
+
+@pytest.fixture(scope="module")
+def task():
+    return user_study_task_yahoo()
+
+
+class TestMWeaverModel:
+    def test_usage_fields(self, user, yahoo_db, task):
+        usage = MWeaverModel().simulate(user, yahoo_db, task, seed=1)
+        assert usage.tool == "MWeaver"
+        assert usage.user == "N1"
+        assert usage.seconds > 0
+        assert usage.keystrokes > 0
+        assert usage.clicks > 0
+
+    def test_keystrokes_below_raw_characters(self, user, yahoo_db, task):
+        """Auto-completion: fewer keys than sample characters."""
+        from repro.datasets.simulator import SampleFeeder
+
+        outcome = SampleFeeder(yahoo_db, task, seed=1).run()
+        usage = MWeaverModel().simulate(user, yahoo_db, task, seed=1)
+        overhead = outcome.n_samples + sum(len(c) for c in task.columns)
+        assert usage.keystrokes < outcome.typed_characters + overhead
+
+    def test_deterministic(self, user, yahoo_db, task):
+        one = MWeaverModel().simulate(user, yahoo_db, task, seed=5)
+        two = MWeaverModel().simulate(user, yahoo_db, task, seed=5)
+        # keystrokes/clicks are fully deterministic; seconds include the
+        # *measured* engine latency, so allow millisecond jitter.
+        assert (one.keystrokes, one.clicks) == (two.keystrokes, two.clicks)
+        assert one.seconds == pytest.approx(two.seconds, abs=1.0)
+
+
+class TestRelativeCosts:
+    """The workflow-structure claims of Section 6.2."""
+
+    def test_mweaver_fastest(self, user, yahoo_db, task):
+        mweaver = MWeaverModel().simulate(user, yahoo_db, task, 1)
+        eirene = EireneModel().simulate(user, yahoo_db, task, 1)
+        infosphere = InfoSphereModel().simulate(user, yahoo_db, task, 1)
+        assert mweaver.seconds < eirene.seconds < infosphere.seconds
+
+    def test_eirene_types_most(self, user, yahoo_db, task):
+        mweaver = MWeaverModel().simulate(user, yahoo_db, task, 1)
+        eirene = EireneModel().simulate(user, yahoo_db, task, 1)
+        infosphere = InfoSphereModel().simulate(user, yahoo_db, task, 1)
+        assert eirene.keystrokes > mweaver.keystrokes
+        assert eirene.keystrokes > infosphere.keystrokes
+
+    def test_mweaver_clicks_least(self, user, yahoo_db, task):
+        mweaver = MWeaverModel().simulate(user, yahoo_db, task, 1)
+        eirene = EireneModel().simulate(user, yahoo_db, task, 1)
+        infosphere = InfoSphereModel().simulate(user, yahoo_db, task, 1)
+        assert mweaver.clicks < eirene.clicks
+        assert mweaver.clicks < infosphere.clicks
+
+    def test_match_driven_cost_scales_with_schema(self, user, yahoo_db,
+                                                  imdb_db, task):
+        """InfoSphere burden grows with source schema size: the 43-relation
+        Yahoo schema costs more reading time than the 19-relation IMDb."""
+        from repro.datasets.workload import user_study_task_imdb
+
+        yahoo_usage = InfoSphereModel().simulate(user, yahoo_db, task, 1)
+        imdb_usage = InfoSphereModel().simulate(
+            user, imdb_db, user_study_task_imdb(), 1
+        )
+        assert yahoo_usage.seconds > imdb_usage.seconds
+
+
+class TestDefaults:
+    def test_default_models(self):
+        names = [model.name for model in default_tool_models()]
+        assert names == ["MWeaver", "Eirene", "InfoSphere"]

@@ -1,0 +1,48 @@
+"""Tests for the simulated participant panel."""
+
+from repro.study.users import UserProfile, default_user_panel, make_user
+
+
+class TestPanel:
+    def test_panel_size_and_labels(self):
+        panel = default_user_panel()
+        assert [user.label for user in panel] == [
+            "D1", "D2", "N1", "N2", "N3", "N4", "N5", "N6", "N7", "N8"
+        ]
+
+    def test_experts_flagged(self):
+        panel = default_user_panel()
+        assert [user.expert for user in panel[:2]] == [True, True]
+        assert not any(user.expert for user in panel[2:])
+
+    def test_deterministic(self):
+        assert default_user_panel(1) == default_user_panel(1)
+
+    def test_seed_changes_panel(self):
+        assert default_user_panel(1) != default_user_panel(2)
+
+    def test_experts_read_schema_faster(self):
+        panel = default_user_panel()
+        expert_factor = max(user.schema_read_factor for user in panel[:2])
+        novice_factor = min(user.schema_read_factor for user in panel[2:])
+        assert expert_factor < novice_factor
+
+
+class TestUserProfile:
+    def test_typing_seconds(self):
+        user = UserProfile("X", False, typing_cps=4.0, click_seconds=1.0,
+                           think_factor=1.0, schema_read_factor=1.0)
+        assert user.typing_seconds(40) == 10.0
+
+    def test_clicking_seconds(self):
+        user = UserProfile("X", False, typing_cps=4.0, click_seconds=1.5,
+                           think_factor=1.0, schema_read_factor=1.0)
+        assert user.clicking_seconds(10) == 15.0
+
+    def test_make_user_parameter_ranges(self):
+        for seed in range(20):
+            user = make_user("U", expert=False, seed=seed)
+            assert 3.0 <= user.typing_cps <= 5.5
+            assert 0.9 <= user.click_seconds <= 1.6
+            assert 0.85 <= user.think_factor <= 1.25
+            assert 0.9 <= user.schema_read_factor <= 1.3

@@ -1,0 +1,121 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_demo_parses(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.command == "demo"
+
+    def test_datasets_scale(self):
+        args = build_parser().parse_args(["datasets", "--scale", "42"])
+        assert args.scale == 42
+
+    def test_interactive_defaults(self):
+        args = build_parser().parse_args(["interactive"])
+        assert args.dataset == "running"
+        assert args.columns == "Name,Director"
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bogus"])
+
+
+class TestCommands:
+    def test_demo_output(self, capsys):
+        assert main(["demo"]) == 0
+        output = capsys.readouterr().out
+        assert "2 candidate mappings" in output
+        assert "converged mapping" in output
+        assert "SELECT" in output
+
+    def test_datasets_output(self, capsys):
+        assert main(["datasets", "--scale", "20"]) == 0
+        output = capsys.readouterr().out
+        assert "43 relations" in output
+        assert "19 relations" in output
+
+    def test_datasets_verbose(self, capsys):
+        assert main(["datasets", "--scale", "10", "--verbose"]) == 0
+        output = capsys.readouterr().out
+        assert "relation movie" in output
+
+    def test_study_output(self, capsys):
+        assert main(["study", "--scale", "60"]) == 0
+        output = capsys.readouterr().out
+        assert "MWeaver" in output and "InfoSphere" in output
+        assert "time ratio" in output
+        assert "satisfaction" in output
+
+    def test_interactive_session(self, capsys, monkeypatch):
+        lines = iter(
+            [
+                "0 0 Avatar",
+                "0 1 James Cameron",
+                "1 0 Big Fish",
+                "1 1 Tim Burton",
+                "quit",
+            ]
+        )
+        monkeypatch.setattr("builtins.input", lambda _prompt: next(lines))
+        assert main(["interactive"]) == 0
+        output = capsys.readouterr().out
+        assert "converged" in output
+        assert "SELECT" in output
+
+    def test_interactive_bad_input_recovers(self, capsys, monkeypatch):
+        lines = iter(["not enough", "0 0 Avatar", "quit"])
+        monkeypatch.setattr("builtins.input", lambda _prompt: next(lines))
+        assert main(["interactive"]) == 0
+        output = capsys.readouterr().out
+        assert "expected: ROW COL VALUE" in output
+
+    def test_interactive_export(self, capsys, monkeypatch, tmp_path):
+        target_path = tmp_path / "out.tsv"
+        lines = iter(
+            [
+                "0 0 Harry Potter",
+                "0 1 David Yates",
+                f"export {target_path}",
+                "quit",
+            ]
+        )
+        monkeypatch.setattr("builtins.input", lambda _prompt: next(lines))
+        assert main(["interactive"]) == 0
+        output = capsys.readouterr().out
+        assert "converged!" in output
+        assert "wrote" in output
+        content = target_path.read_text()
+        assert content.splitlines()[0] == "Name\tDirector"
+        assert "Avatar\tJames Cameron" in content
+
+    def test_interactive_export_before_convergence(self, capsys, monkeypatch,
+                                                   tmp_path):
+        lines = iter([f"export {tmp_path / 'x.tsv'}", "quit"])
+        monkeypatch.setattr("builtins.input", lambda _prompt: next(lines))
+        assert main(["interactive"]) == 0
+        output = capsys.readouterr().out
+        assert "error:" in output
+
+    def test_interactive_suggestions(self, capsys, monkeypatch):
+        lines = iter(
+            [
+                "? 0 0",             # too early: no search yet
+                "0 0 Avatar",
+                "0 1 James Cameron",
+                "? 1 0 big",         # completes Big Fish
+                "quit",
+            ]
+        )
+        monkeypatch.setattr("builtins.input", lambda _prompt: next(lines))
+        assert main(["interactive"]) == 0
+        output = capsys.readouterr().out
+        assert "no suggestions" in output
+        assert "suggestion: Big Fish" in output

@@ -1,0 +1,147 @@
+"""Tests for the Eirene-style example-fitting comparator."""
+
+import pytest
+
+from repro.core.session import MappingSession
+from repro.datasets.running_example import running_example_schema
+from repro.eirene import ExamplePair, authoring_cost, fit_mappings
+from repro.exceptions import DatasetError
+
+
+def avatar_fragment(include_write: bool = True) -> dict:
+    """A hand-authored fragment: Avatar, Cameron, their credit links."""
+    rows = {
+        "movie": [(1, "Avatar", None)],
+        "person": [(1, "James Cameron")],
+        "direct": [(1, 1)],
+    }
+    if include_write:
+        rows["write"] = [(1, 1)]
+    return rows
+
+
+class TestExamplePair:
+    def test_cell_counts(self):
+        pair = ExamplePair(
+            source_rows=avatar_fragment(),
+            target_rows=(("Avatar", "James Cameron"),),
+        )
+        # movie: 2 non-null + person: 2 + direct: 2 + write: 2 = 8
+        assert pair.source_cell_count() == 8
+        assert pair.target_cell_count() == 2
+        assert pair.cell_count() == 10
+
+    def test_needs_target_rows(self):
+        with pytest.raises(DatasetError):
+            ExamplePair(source_rows={}, target_rows=())
+
+    def test_target_arity_consistent(self):
+        with pytest.raises(DatasetError):
+            ExamplePair(
+                source_rows={},
+                target_rows=(("a", "b"), ("c",)),
+            )
+
+    def test_to_database(self):
+        pair = ExamplePair(
+            source_rows=avatar_fragment(),
+            target_rows=(("Avatar", "James Cameron"),),
+        )
+        db = pair.to_database(running_example_schema())
+        assert len(db.table("movie")) == 1
+        db.validate_referential_integrity()
+
+
+class TestFitting:
+    def test_ambiguous_single_example(self):
+        """Cameron both directed and wrote: two fitting mappings."""
+        pair = ExamplePair(
+            source_rows=avatar_fragment(include_write=True),
+            target_rows=(("Avatar", "James Cameron"),),
+        )
+        fitting = fit_mappings(running_example_schema(), [pair])
+        fks = {
+            frozenset(edge.fk_name for edge in mapping.tree.edges)
+            for mapping in fitting
+        }
+        assert frozenset({"direct_mid", "direct_pid"}) in fks
+        assert frozenset({"write_mid", "write_pid"}) in fks
+
+    def test_second_example_disambiguates(self):
+        """Adding a director-only example pins the direct variant —
+        Eirene's refinement loop, mechanically."""
+        ambiguous = ExamplePair(
+            source_rows=avatar_fragment(include_write=True),
+            target_rows=(("Avatar", "James Cameron"),),
+        )
+        disambiguating = ExamplePair(
+            source_rows={
+                "movie": [(2, "Big Fish", None)],
+                "person": [(2, "Tim Burton"), (4, "J. K. Rowling")],
+                "direct": [(2, 2)],
+                "write": [(2, 4)],
+            },
+            target_rows=(("Big Fish", "Tim Burton"),),
+        )
+        fitting = fit_mappings(
+            running_example_schema(), [ambiguous, disambiguating]
+        )
+        assert len(fitting) == 1
+        edge_fks = {edge.fk_name for edge in fitting[0].tree.edges}
+        assert "direct_mid" in edge_fks
+
+    def test_unfittable_examples(self):
+        pair = ExamplePair(
+            source_rows={"movie": [(1, "Avatar", None)]},
+            target_rows=(("Avatar", "Someone Else"),),
+        )
+        assert fit_mappings(running_example_schema(), [pair]) == []
+
+    def test_empty_pairs_rejected(self):
+        with pytest.raises(DatasetError):
+            fit_mappings(running_example_schema(), [])
+
+    def test_mismatched_arity_rejected(self):
+        one = ExamplePair(source_rows={}, target_rows=(("a",),))
+        two = ExamplePair(source_rows={}, target_rows=(("a", "b"),))
+        with pytest.raises(DatasetError):
+            fit_mappings(running_example_schema(), [one, two])
+
+
+class TestWorkflowComparison:
+    """The study's keystroke claim, grounded mechanically: the same
+    disambiguation costs Eirene strictly more authored cells."""
+
+    def test_eirene_costs_more_cells_than_mweaver(self, running_db):
+        pairs = [
+            ExamplePair(
+                source_rows=avatar_fragment(include_write=True),
+                target_rows=(("Avatar", "James Cameron"),),
+            ),
+            ExamplePair(
+                source_rows={
+                    "movie": [(2, "Big Fish", None)],
+                    "person": [(2, "Tim Burton"), (4, "J. K. Rowling")],
+                    "direct": [(2, 2)],
+                    "write": [(2, 4)],
+                },
+                target_rows=(("Big Fish", "Tim Burton"),),
+            ),
+        ]
+        eirene_cells = authoring_cost(pairs)
+
+        session = MappingSession(running_db, ["Name", "Director"])
+        session.input(0, 0, "Avatar")
+        session.input(0, 1, "James Cameron")
+        session.input(1, 0, "Big Fish")
+        session.input(1, 1, "Tim Burton")
+        assert session.converged
+        mweaver_cells = session.sample_count()
+
+        # Both workflows reach the same single mapping…
+        fitting = fit_mappings(running_example_schema(), pairs)
+        assert len(fitting) == 1
+        assert fitting[0].signature() == session.best_mapping().signature()
+        # …but Eirene needed the source side too (> 2x the cells).
+        assert eirene_cells["target"] == mweaver_cells
+        assert eirene_cells["total"] > 2 * mweaver_cells

@@ -1,0 +1,62 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.exceptions import (
+    DatasetError,
+    IntegrityError,
+    QueryError,
+    ReproError,
+    SchemaError,
+    SearchBudgetExceeded,
+    SessionError,
+    UnknownAttributeError,
+    UnknownRelationError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exception_type",
+        [
+            SchemaError,
+            IntegrityError,
+            QueryError,
+            SearchBudgetExceeded,
+            SessionError,
+            DatasetError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exception_type):
+        assert issubclass(exception_type, ReproError)
+
+    def test_unknown_relation_is_schema_error(self):
+        assert issubclass(UnknownRelationError, SchemaError)
+
+    def test_unknown_attribute_is_schema_error(self):
+        assert issubclass(UnknownAttributeError, SchemaError)
+
+
+class TestMessages:
+    def test_unknown_relation_carries_name(self):
+        error = UnknownRelationError("movies")
+        assert error.name == "movies"
+        assert "movies" in str(error)
+
+    def test_unknown_attribute_carries_pair(self):
+        error = UnknownAttributeError("movie", "tittle")
+        assert error.relation == "movie"
+        assert error.attribute == "tittle"
+        assert "movie" in str(error) and "tittle" in str(error)
+
+    def test_budget_exceeded_carries_limit(self):
+        error = SearchBudgetExceeded("paths", 100)
+        assert error.limit == 100
+        assert "100" in str(error)
+
+    def test_single_catch_at_api_boundary(self, running_db):
+        """Client code can wrap every library failure in one except."""
+        from repro import TPWEngine
+
+        with pytest.raises(ReproError):
+            TPWEngine(running_db).search(())

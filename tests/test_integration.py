@@ -1,0 +1,104 @@
+"""Cross-module integration tests: full user journeys."""
+
+import pytest
+
+from repro import (
+    MappingSession,
+    SessionStatus,
+    TPWConfig,
+    TPWEngine,
+)
+from repro.datasets.simulator import SampleFeeder
+from repro.datasets.workload import user_study_task_imdb, user_study_task_yahoo
+from repro.relational.csvio import load_database_csv, save_database_csv
+from repro.relational.sqlite_backend import to_sqlite
+
+
+class TestUserStudyJourneyYahoo:
+    """The §6.2 task, end to end on the generated Yahoo-like source."""
+
+    def test_session_reaches_goal(self, yahoo_db):
+        task = user_study_task_yahoo()
+        feeder = SampleFeeder(yahoo_db, task, seed=13)
+        result = feeder.run()
+        assert result.converged and result.matched_goal
+        # roughly two rows of samples suffice (Table 1 shape)
+        assert result.n_samples <= 4 * task.target_size
+
+    def test_goal_sql_runs_and_produces_target(self, yahoo_db):
+        task = user_study_task_yahoo()
+        sql = task.goal.to_sql(yahoo_db.schema, column_names=list(task.columns))
+        connection = to_sqlite(yahoo_db)
+        rows = connection.execute(sql).fetchall()
+        assert rows
+        native = task.goal.execute(yahoo_db)
+        assert len(rows) == len(native)
+
+
+class TestUserStudyJourneyImdb:
+    def test_session_reaches_goal(self, imdb_db):
+        task = user_study_task_imdb()
+        result = SampleFeeder(imdb_db, task, seed=21).run()
+        assert result.converged and result.matched_goal
+
+
+class TestPersistenceJourney:
+    def test_save_load_search(self, tmp_path, running_db):
+        """Persist the source, reload it, and search on the copy."""
+        save_database_csv(running_db, tmp_path / "db")
+        reloaded = load_database_csv(tmp_path / "db")
+        result = TPWEngine(reloaded).search(("Harry Potter", "David Yates"))
+        assert result.n_candidates == 1
+
+
+class TestManualSessionJourney:
+    def test_full_paper_walkthrough(self, running_db):
+        """Example 1 + Example 7 as one continuous session."""
+        session = MappingSession(running_db, ["Name", "Director"])
+
+        # user types the first row
+        assert session.input(0, 0, "Avatar") is SessionStatus.AWAITING_FIRST_ROW
+        assert session.input(0, 1, "James Cameron") is SessionStatus.ACTIVE
+        assert len(session.candidates) == 2  # direct vs write
+
+        # the second row disambiguates (Example 7)
+        session.input(1, 0, "Big Fish")
+        assert session.input(1, 1, "Tim Burton") is SessionStatus.CONVERGED
+
+        mapping = session.best_mapping()
+        assert mapping is not None
+
+        # the converged mapping, executed, yields the expected target
+        target = set(mapping.execute(running_db))
+        assert ("Avatar", "James Cameron") in target
+        assert ("Big Fish", "Tim Burton") in target
+        assert ("Harry Potter", "David Yates") in target
+        # and no writer-only pairs
+        assert ("Harry Potter", "J. K. Rowling") not in target
+
+    def test_engine_matches_session_first_row(self, running_db):
+        engine = TPWEngine(running_db)
+        direct = engine.search(("Avatar", "James Cameron"))
+        session = MappingSession(running_db, ["Name", "Director"])
+        session.input(0, 0, "Avatar")
+        session.input(0, 1, "James Cameron")
+        assert [c.mapping.signature() for c in session.candidates] == [
+            c.mapping.signature() for c in direct.candidates
+        ]
+
+
+class TestConfigPlumbing:
+    def test_session_respects_config(self, running_db):
+        session = MappingSession(
+            running_db, ["Name", "Director"], config=TPWConfig(pmnj=1)
+        )
+        session.input(0, 0, "Avatar")
+        status = session.input(0, 1, "James Cameron")
+        # movie-person needs two joins: nothing found under PMNJ=1
+        assert status is SessionStatus.NO_CANDIDATES
+
+    @pytest.mark.parametrize("pmnj", [2, 3])
+    def test_pmnj_growth_keeps_goal(self, running_db, pmnj):
+        engine = TPWEngine(running_db, TPWConfig(pmnj=pmnj))
+        result = engine.search(("Harry Potter", "David Yates"))
+        assert result.n_candidates >= 1

@@ -1,0 +1,95 @@
+"""Tests for the keyword-search façade — and its contrast with mapping
+search (the Section 2 distinction)."""
+
+import pytest
+
+from repro.core.tpw import TPWEngine
+from repro.keyword_search import KeywordSearchEngine
+from repro.text.errors import CaseTokenModel
+
+MODEL = CaseTokenModel()
+
+
+@pytest.fixture()
+def engine(running_db):
+    return KeywordSearchEngine(running_db)
+
+
+class TestKeywordSearch:
+    def test_single_keyword(self, running_db, engine):
+        hits = engine.search(["Titanic"])
+        assert hits
+        assert all(hit.n_joins == 0 for hit in hits)
+        relation, row = hits[0].rows(running_db)[0]
+        assert relation == "movie"
+        assert row["title"] == "Titanic"
+
+    def test_two_keywords_joined(self, running_db, engine):
+        hits = engine.search(["Avatar", "Cameron"])
+        assert hits
+        for hit in hits:
+            relations = [relation for relation, _row in hit.rows(running_db)]
+            assert "movie" in relations and "person" in relations
+
+    def test_every_keyword_contained(self, running_db, engine):
+        hits = engine.search(["Big Fish", "Burton"])
+        for hit in hits:
+            assert hit.tuple_path.is_valid_for(
+                running_db, dict(enumerate(hit.keywords)), MODEL
+            )
+
+    def test_ranking_by_joins(self, running_db, engine):
+        # "Ed Wood" twice: zero-join answers (both keywords in one
+        # tuple) must rank before joined ones.
+        hits = engine.search(["Ed Wood", "Ed Wood"])
+        joins = [hit.n_joins for hit in hits]
+        assert joins == sorted(joins)
+        assert joins[0] == 0
+
+    def test_no_answers(self, engine):
+        assert engine.search(["completely absent keyword"]) == []
+
+    def test_limit(self, engine):
+        unbounded = engine.search(["Ed Wood"])
+        limited = engine.search(["Ed Wood"], limit=1)
+        assert len(limited) == min(1, len(unbounded))
+
+    def test_describe(self, running_db, engine):
+        hit = engine.search(["Avatar", "Cameron"])[0]
+        text = hit.describe(running_db)
+        assert "answer for" in text
+        assert "movie(" in text
+
+
+class TestSectionTwoDistinction:
+    """Keyword search returns tuples; mapping search returns mappings."""
+
+    def test_hits_are_instance_level(self, running_db, engine):
+        # Cameron directed two movies: keyword 'Cameron' + 'The'… use a
+        # clean case: keyword search for (Cameron) joined to each movie
+        # gives one hit per supporting tuple tree.
+        hits = engine.search(["James Cameron"])
+        assert len(hits) >= 1  # tuples, one per occurrence
+
+    def test_mapping_search_deduplicates_structure(self, running_db):
+        # TPW groups all supporting tuple paths under ONE mapping.
+        result = TPWEngine(running_db).search(("Titanic", "James Cameron"))
+        # Titanic: directed & written by Cameron → 2 mappings, each
+        # with instance support attached.
+        assert result.n_candidates == 2
+        for candidate in result.candidates:
+            assert candidate.support >= 1
+
+    def test_same_support_different_output(self, running_db, engine):
+        """For the same query, the keyword hits are exactly the tuple
+        paths backing the mapping candidates."""
+        keywords = ("Avatar", "James Cameron")
+        hits = engine.search(keywords)
+        result = TPWEngine(running_db).search(keywords)
+        mapping_paths = {
+            path.signature()
+            for candidate in result.candidates
+            for path in candidate.tuple_paths
+        }
+        hit_paths = {hit.tuple_path.signature() for hit in hits}
+        assert hit_paths == mapping_paths

@@ -1,0 +1,171 @@
+"""Tests for the match-driven baseline — and the paper's criticisms of it."""
+
+import pytest
+
+from repro.core.pruning import prune_by_structure
+from repro.core.tpw import TPWEngine
+from repro.matchdriven import match_driven_mapping, propose_correspondences
+from repro.matchdriven.matcher import identifier_tokens, name_similarity
+
+
+class TestIdentifierTokens:
+    def test_camel_case(self):
+        assert identifier_tokens("ReleaseDate") == ("release", "date")
+
+    def test_snake_case(self):
+        assert identifier_tokens("release_date") == ("release", "date")
+
+    def test_single_word(self):
+        assert identifier_tokens("Director") == ("director",)
+
+
+class TestNameSimilarity:
+    def test_exact_attribute_match(self):
+        assert name_similarity("title", "movie", "title") == 1.0
+
+    def test_relation_context_helps(self):
+        with_context = name_similarity("ProductionCompany", "company", "name")
+        without = name_similarity("ProductionCompany", "person", "name")
+        assert with_context > without
+
+    def test_unrelated(self):
+        assert name_similarity("Director", "movie", "runtime") == 0.0
+
+
+class TestProposeCorrespondences:
+    def test_name_only_is_ambiguous(self, running_db):
+        """'Name' matches person.name AND company.name by schema alone —
+        the review burden the paper's Figure 3 shows."""
+        proposals = propose_correspondences(running_db, ["Name", "Director"])
+        name_matches = {
+            (c.relation, c.attribute) for c in proposals[0]
+        }
+        assert ("person", "name") in name_matches
+        assert ("company", "name") in name_matches
+        # and the *correct* correspondence (movie.title) is not proposed
+        assert ("movie", "title") not in name_matches
+
+    def test_unmatched_column(self, running_db):
+        proposals = propose_correspondences(running_db, ["Qzx"])
+        assert proposals[0] == []
+
+    def test_instance_evidence_fixes_ranking(self, running_db):
+        """With sample values, instance coverage overrides bad names."""
+        proposals = propose_correspondences(
+            running_db,
+            ["Name", "Director"],
+            samples_by_column={
+                0: ["Avatar", "Big Fish"],
+                1: ["James Cameron", "Tim Burton"],
+            },
+        )
+        top_name = proposals[0][0]
+        assert (top_name.relation, top_name.attribute) == ("movie", "title")
+        top_director = proposals[1][0]
+        assert (top_director.relation, top_director.attribute) == (
+            "person", "name",
+        )
+
+    def test_top_k_respected(self, running_db):
+        proposals = propose_correspondences(running_db, ["Name"], top_k=2)
+        assert len(proposals[0]) <= 2
+
+    def test_scores_sorted(self, running_db):
+        proposals = propose_correspondences(
+            running_db, ["Name"], samples_by_column={0: ["Avatar"]}
+        )
+        scores = [c.score for c in proposals[0]]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_describe(self, running_db):
+        proposals = propose_correspondences(running_db, ["Director"])
+        if proposals[0]:
+            assert "column 0" in proposals[0][0].describe()
+
+
+class TestMatchDrivenPipeline:
+    def test_produces_single_mapping(self, running_db):
+        result = match_driven_mapping(
+            running_db,
+            ["Name", "Director"],
+            samples_by_column={
+                0: ["Avatar", "Big Fish"],
+                1: ["James Cameron", "Tim Burton"],
+            },
+        )
+        assert result.mapping is not None
+        assert result.mapping.is_complete(2)
+        assert result.mapping.attribute_of(0) == ("movie", "title")
+        assert result.mapping.attribute_of(1) == ("person", "name")
+
+    def test_join_path_picked_silently(self, running_db):
+        """The paper's §1 criticism, demonstrated: movie and person are
+        joinable via direct OR write; the pipeline picks exactly one and
+        never surfaces the alternative."""
+        result = match_driven_mapping(
+            running_db,
+            ["Name", "Director"],
+            samples_by_column={
+                0: ["Avatar"],
+                1: ["James Cameron"],
+            },
+        )
+        assert result.mapping is not None
+        fks = {edge.fk_name for edge in result.mapping.tree.edges}
+        via_direct = "direct_mid" in fks
+        via_write = "write_mid" in fks
+        assert via_direct != via_write  # exactly one, chosen silently
+
+        # MWeaver, by contrast, keeps BOTH candidates and lets samples
+        # decide (Example 7): data can falsify the silent pick.
+        tpw = TPWEngine(running_db).search(("Avatar", "James Cameron"))
+        assert tpw.n_candidates == 2
+        if via_write:
+            survivors = prune_by_structure(
+                running_db,
+                [result.mapping],
+                {0: "Big Fish", 1: "Tim Burton"},
+            )
+            assert survivors == []  # the silent pick was wrong
+
+    def test_unmatched_column_aborts(self, running_db):
+        result = match_driven_mapping(running_db, ["Name", "Qzx"])
+        assert result.mapping is None
+        assert 1 in result.unmatched
+
+    def test_same_relation_columns(self, running_db):
+        result = match_driven_mapping(
+            running_db,
+            ["Title", "Story"],
+            samples_by_column={
+                0: ["Avatar"],
+                1: ["A marine is torn between duty and a new world"],
+            },
+        )
+        assert result.mapping is not None
+        assert result.mapping.n_joins == 0  # both columns on movie
+
+    def test_pipeline_mapping_is_executable(self, running_db):
+        result = match_driven_mapping(
+            running_db,
+            ["Name", "Director"],
+            samples_by_column={0: ["Avatar"], 1: ["James Cameron"]},
+        )
+        assert result.mapping is not None
+        rows = result.mapping.execute(running_db)
+        assert rows  # joins resolve on the instance
+
+
+class TestAgainstTPW:
+    def test_match_driven_result_is_one_of_tpw_candidates(self, running_db):
+        """When instance evidence is supplied, the pipeline's single
+        mapping is among the sound candidate set TPW computes."""
+        result = match_driven_mapping(
+            running_db,
+            ["Name", "Director"],
+            samples_by_column={0: ["Avatar"], 1: ["James Cameron"]},
+        )
+        tpw = TPWEngine(running_db).search(("Avatar", "James Cameron"))
+        signatures = {m.signature() for m in tpw.mappings}
+        assert result.mapping is not None
+        assert result.mapping.signature() in signatures

@@ -1,0 +1,151 @@
+"""Edge cases and failure injection across the stack."""
+
+import pytest
+
+from repro import MappingSession, SessionStatus, TPWEngine
+from repro.core.naive import NaiveEngine
+from repro.relational.database import Database
+from repro.relational.schema import (
+    Attribute,
+    DatabaseSchema,
+    ForeignKey,
+    RelationSchema,
+)
+from repro.relational.types import DataType
+
+_INT = DataType.INTEGER
+
+
+class TestEmptyAndTinySources:
+    def test_search_on_empty_database(self, running_db):
+        empty = Database(running_db.schema, name="empty")
+        result = TPWEngine(empty).search(("Avatar", "James Cameron"))
+        assert result.n_candidates == 0
+
+    def test_search_on_partially_empty_database(self, running_db):
+        # movies but no people/links: the pairwise step finds nothing.
+        db = Database(running_db.schema, name="partial")
+        db.insert("movie", (1, "Avatar", None))
+        result = TPWEngine(db).search(("Avatar", "James Cameron"))
+        assert result.n_candidates == 0
+        # single-column search still works
+        assert TPWEngine(db).search(("Avatar",)).n_candidates == 1
+
+    def test_single_row_database(self):
+        schema = DatabaseSchema(
+            [RelationSchema("note", (Attribute("text"),))]
+        )
+        db = Database(schema)
+        db.insert("note", ("hello world",))
+        result = TPWEngine(db).search(("hello",))
+        assert result.n_candidates == 1
+
+    def test_schema_without_foreign_keys(self):
+        schema = DatabaseSchema(
+            [
+                RelationSchema("a", (Attribute("x"),)),
+                RelationSchema("b", (Attribute("y"),)),
+            ]
+        )
+        db = Database(schema)
+        db.insert("a", ("shared token",))
+        db.insert("b", ("shared token",))
+        # Two columns, both matched, but no join can connect a and b.
+        result = TPWEngine(db).search(("shared", "token"))
+        # only same-relation (zero-join) mappings can be complete
+        for mapping in result.mappings:
+            assert mapping.n_joins == 0
+
+
+class TestOddValues:
+    def test_unicode_samples(self, running_db):
+        db = Database(running_db.schema, name="unicode")
+        db.insert("movie", (1, "Amélie à Montréal", None))
+        db.insert("person", (1, "Jean-Pierre Jeunet"))
+        db.insert("direct", (1, 1))
+        result = TPWEngine(db).search(("amelie a montreal", "jeunet"))
+        assert result.n_candidates == 1
+
+    def test_whitespace_only_sample(self, running_db):
+        result = TPWEngine(running_db).search(("   ",))
+        assert result.n_candidates == 0
+
+    def test_very_long_sample(self, running_db):
+        result = TPWEngine(running_db).search(("x" * 5000,))
+        assert result.n_candidates == 0
+
+    def test_sample_with_only_punctuation(self, running_db):
+        result = TPWEngine(running_db).search(("!!!...---",))
+        assert result.n_candidates == 0
+
+    def test_null_cells_never_match(self):
+        schema = DatabaseSchema(
+            [RelationSchema("t", (Attribute("a"), Attribute("b")))]
+        )
+        db = Database(schema)
+        db.insert("t", (None, "present"))
+        assert TPWEngine(db).search(("present",)).n_candidates == 1
+        assert db.search_attribute("t", "a", "present") == []
+
+
+class TestNonUniqueTargets:
+    def test_fk_to_non_key_column_fans_out(self):
+        """FKs may reference non-unique columns; adjacency must fan out."""
+        schema = DatabaseSchema(
+            [
+                RelationSchema(
+                    "category",
+                    (Attribute("code"), Attribute("label")),
+                    (),  # no primary key: duplicate codes allowed
+                ),
+                RelationSchema(
+                    "item",
+                    (Attribute("iid", _INT, fulltext=False),
+                     Attribute("code", fulltext=False),
+                     Attribute("name")),
+                    ("iid",),
+                    (ForeignKey("item_code", "item", ("code",),
+                                "category", ("code",)),),
+                ),
+            ]
+        )
+        db = Database(schema)
+        db.insert("category", ("A", "alpha label"))
+        db.insert("category", ("A", "another alpha"))
+        db.insert("item", (1, "A", "widget"))
+        assert db.fk_targets("item_code", 0) == (0, 1)
+        result = TPWEngine(db).search(("widget", "alpha label"))
+        assert result.n_candidates == 1
+
+
+class TestSessionMisuse:
+    def test_column_overflow(self, running_db):
+        session = MappingSession(running_db, ["A"])
+        with pytest.raises(Exception):
+            session.input(0, 5, "x")
+
+    def test_double_convergence_is_stable(self, running_db):
+        session = MappingSession(running_db, ["Name", "Director"])
+        session.input(0, 0, "Harry Potter")
+        session.input(0, 1, "David Yates")
+        assert session.converged
+        # more consistent samples keep it converged
+        session.input(1, 0, "Big Fish")
+        session.input(1, 1, "Tim Burton")
+        assert session.status is SessionStatus.CONVERGED
+
+    def test_engines_do_not_mutate_source(self, running_db):
+        before = {
+            relation: list(running_db.table(relation))
+            for relation in running_db.schema.relation_names
+        }
+        TPWEngine(running_db).search(("Avatar", "James Cameron"))
+        NaiveEngine(running_db).search(("Avatar", "James Cameron"))
+        session = MappingSession(running_db, ["Name", "Director"])
+        session.input(0, 0, "Avatar")
+        session.input(0, 1, "James Cameron")
+        after = {
+            relation: list(running_db.table(relation))
+            for relation in running_db.schema.relation_names
+        }
+        assert before == after

@@ -1,0 +1,150 @@
+"""Unit tests for the noisy-containment error models (the ``⊑`` of §4.1)."""
+
+import pytest
+
+from repro.text.errors import (
+    CaseTokenModel,
+    EditDistanceModel,
+    ExactModel,
+    NumericToleranceModel,
+    SubstringModel,
+    default_error_model,
+)
+
+
+class TestExactModel:
+    model = ExactModel()
+
+    def test_exact_match(self):
+        assert self.model.contains("Avatar", "Avatar")
+
+    def test_normalized_match(self):
+        assert self.model.contains("AVATAR", "avatar")
+
+    def test_superset_fails(self):
+        assert not self.model.contains("Avatar Returns", "Avatar")
+
+    def test_none_cell(self):
+        assert not self.model.contains(None, "Avatar")
+
+    def test_similarity_is_binary(self):
+        assert self.model.similarity("Avatar", "Avatar") == 1.0
+        assert self.model.similarity("Avatar Returns", "Avatar") == 0.0
+
+
+class TestCaseTokenModel:
+    model = CaseTokenModel()
+
+    def test_all_tokens_present(self):
+        assert self.model.contains("James Francis Cameron", "James Cameron")
+
+    def test_case_insensitive(self):
+        assert self.model.contains("JAMES CAMERON", "james cameron")
+
+    def test_order_irrelevant(self):
+        assert self.model.contains("Cameron, James", "James Cameron")
+
+    def test_missing_token_fails(self):
+        assert not self.model.contains("James Smith", "James Cameron")
+
+    def test_empty_sample_never_contained(self):
+        assert not self.model.contains("anything", "   ")
+
+    def test_none_cell(self):
+        assert not self.model.contains(None, "x")
+
+    def test_numeric_cell(self):
+        assert self.model.contains(1999, "1999")
+
+    def test_is_default(self):
+        assert isinstance(default_error_model(), CaseTokenModel)
+
+    def test_index_tokens_are_sample_tokens(self):
+        assert self.model.index_tokens("Ed Wood") == ("ed", "wood")
+
+
+class TestSubstringModel:
+    model = SubstringModel()
+
+    def test_substring(self):
+        assert self.model.contains("The Hidden Empire Returns", "hidden empire")
+
+    def test_word_prefix_matches(self):
+        # substring semantics are character-based, not token-based
+        assert self.model.contains("Lightstorm", "light")
+
+    def test_absent(self):
+        assert not self.model.contains("Avatar", "Empire")
+
+    def test_empty_sample(self):
+        assert not self.model.contains("Avatar", "")
+
+
+class TestEditDistanceModel:
+    model = EditDistanceModel(max_distance=1)
+
+    def test_exact_token(self):
+        assert self.model.contains("James Cameron", "Cameron")
+
+    def test_one_typo(self):
+        assert self.model.contains("James Cameron", "Cameron")
+
+    def test_two_typos_fail(self):
+        assert not self.model.contains("James Cameron", "Camirun")
+
+    def test_short_tokens_must_be_exact(self):
+        assert not self.model.contains("Ed Wood", "Et")
+
+    def test_short_token_exact_ok(self):
+        assert self.model.contains("Ed Wood", "Ed")
+
+    def test_empty_cell(self):
+        assert not self.model.contains("", "Cameron")
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            EditDistanceModel(max_distance=-1)
+
+    def test_index_tokens_only_short_ones(self):
+        # Fuzzy (long) tokens cannot prefilter via postings.
+        assert self.model.index_tokens("Ed Cameron") == ("ed",)
+
+
+class TestNumericToleranceModel:
+    def test_exact_number(self):
+        model = NumericToleranceModel()
+        assert model.contains(120, "120")
+
+    def test_within_tolerance(self):
+        model = NumericToleranceModel(relative_tolerance=0.05)
+        assert model.contains(104.0, "100")
+
+    def test_outside_tolerance(self):
+        model = NumericToleranceModel(relative_tolerance=0.05)
+        assert not model.contains(110.0, "100")
+
+    def test_numeric_string_cell(self):
+        model = NumericToleranceModel(relative_tolerance=0.1)
+        assert model.contains("95", "100")
+
+    def test_non_numeric_sample_falls_back_to_tokens(self):
+        model = NumericToleranceModel()
+        assert model.contains("James Cameron", "Cameron")
+
+    def test_non_numeric_cell_with_numeric_sample(self):
+        model = NumericToleranceModel()
+        assert not model.contains("Avatar", "100")
+
+    def test_similarity_decreases_with_distance(self):
+        model = NumericToleranceModel(relative_tolerance=1.0)
+        near = model.similarity(101, "100")
+        far = model.similarity(150, "100")
+        assert near > far
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            NumericToleranceModel(relative_tolerance=-0.1)
+
+    def test_index_tokens_empty_when_fuzzy_numeric(self):
+        model = NumericToleranceModel(relative_tolerance=0.1)
+        assert model.index_tokens("100") == ()

@@ -1,0 +1,50 @@
+"""Unit tests for text normalization."""
+
+import pytest
+
+from repro.text.normalize import normalize_text, normalize_token
+
+
+class TestNormalizeText:
+    def test_lowercases(self):
+        assert normalize_text("AVATAR") == "avatar"
+
+    def test_collapses_whitespace(self):
+        assert normalize_text("  Ed   Wood \t Jr ") == "ed wood jr"
+
+    def test_strips_accents(self):
+        assert normalize_text("Amélie à Montréal") == "amelie a montreal"
+
+    def test_punctuation_becomes_spaces(self):
+        assert normalize_text("Half-Blood: Prince!") == "half blood prince"
+
+    def test_empty_string(self):
+        assert normalize_text("") == ""
+
+    def test_only_punctuation(self):
+        assert normalize_text("...!!!") == ""
+
+    def test_digits_preserved(self):
+        assert normalize_text("2001: A Space Odyssey") == "2001 a space odyssey"
+
+    def test_idempotent(self):
+        once = normalize_text("The  Lord: of The RINGS")
+        assert normalize_text(once) == once
+
+    def test_apostrophes_split(self):
+        assert normalize_text("Lightstorm Co.'s") == "lightstorm co s"
+
+    def test_casefold_handles_sharp_s(self):
+        assert normalize_text("Straße") == "strasse"
+
+
+class TestNormalizeToken:
+    def test_simple(self):
+        assert normalize_token("Cafés") == "cafes"
+
+    def test_strips_surrounding_space(self):
+        assert normalize_token("  Wood ") == "wood"
+
+    @pytest.mark.parametrize("token", ["abc", "ABC", "AbC"])
+    def test_case_insensitive(self, token):
+        assert normalize_token(token) == "abc"

@@ -1,0 +1,97 @@
+"""Unit tests for string similarity measures."""
+
+import pytest
+
+from repro.text.similarity import (
+    jaccard_similarity,
+    levenshtein_distance,
+    levenshtein_similarity,
+    token_set_similarity,
+)
+
+
+class TestLevenshteinDistance:
+    @pytest.mark.parametrize(
+        ("a", "b", "expected"),
+        [
+            ("", "", 0),
+            ("a", "", 1),
+            ("", "abc", 3),
+            ("kitten", "sitting", 3),
+            ("flaw", "lawn", 2),
+            ("same", "same", 0),
+            ("abc", "acb", 2),
+        ],
+    )
+    def test_known_distances(self, a, b, expected):
+        assert levenshtein_distance(a, b) == expected
+
+    def test_symmetric(self):
+        assert levenshtein_distance("avatar", "avtr") == levenshtein_distance(
+            "avtr", "avatar"
+        )
+
+    def test_cap_exceeded_returns_cap_plus_one(self):
+        assert levenshtein_distance("abcdef", "uvwxyz", cap=2) == 3
+
+    def test_cap_not_exceeded_exact(self):
+        assert levenshtein_distance("kitten", "sitting", cap=5) == 3
+
+    def test_cap_by_length_difference(self):
+        assert levenshtein_distance("ab", "abcdefgh", cap=2) == 3
+
+    def test_triangle_inequality_sample(self):
+        a, b, c = "avatar", "avatr", "avat"
+        assert levenshtein_distance(a, c) <= (
+            levenshtein_distance(a, b) + levenshtein_distance(b, c)
+        )
+
+
+class TestLevenshteinSimilarity:
+    def test_identical(self):
+        assert levenshtein_similarity("x", "x") == 1.0
+
+    def test_empty_pair(self):
+        assert levenshtein_similarity("", "") == 1.0
+
+    def test_disjoint(self):
+        assert levenshtein_similarity("abc", "xyz") == 0.0
+
+    def test_range(self):
+        value = levenshtein_similarity("avatar", "avator")
+        assert 0.0 < value < 1.0
+
+
+class TestJaccard:
+    def test_identical_sets(self):
+        assert jaccard_similarity({"a", "b"}, {"b", "a"}) == 1.0
+
+    def test_disjoint_sets(self):
+        assert jaccard_similarity({"a"}, {"b"}) == 0.0
+
+    def test_both_empty(self):
+        assert jaccard_similarity(set(), set()) == 1.0
+
+    def test_partial_overlap(self):
+        assert jaccard_similarity({"a", "b"}, {"b", "c"}) == pytest.approx(1 / 3)
+
+    def test_accepts_lists_with_duplicates(self):
+        assert jaccard_similarity(["a", "a", "b"], ["a", "b"]) == 1.0
+
+
+class TestTokenSetSimilarity:
+    def test_exact_after_normalization(self):
+        assert token_set_similarity("Ed Wood", "ed   wood") == 1.0
+
+    def test_containment_scores_above_half(self):
+        assert token_set_similarity("Ed Wood Jr", "Ed Wood") > 0.5
+
+    def test_unrelated_scores_low(self):
+        assert token_set_similarity("Avatar", "Columbia Pictures") < 0.5
+
+    def test_range_bounds(self):
+        value = token_set_similarity("The Hidden Empire", "Hidden")
+        assert 0.0 <= value <= 1.0
+
+    def test_typo_still_similar(self):
+        assert token_set_similarity("Avatar", "Avatr") > 0.7

@@ -1,0 +1,40 @@
+"""Unit tests for tokenization."""
+
+from repro.text.tokenize import tokenize, tokenize_value
+
+
+class TestTokenize:
+    def test_basic_split(self):
+        assert tokenize("Ed Wood") == ("ed", "wood")
+
+    def test_hyphen_splits(self):
+        assert tokenize("PG-13") == ("pg", "13")
+
+    def test_empty(self):
+        assert tokenize("") == ()
+
+    def test_whitespace_only(self):
+        assert tokenize("   ") == ()
+
+    def test_preserves_order_and_duplicates(self):
+        assert tokenize("the man the plan") == ("the", "man", "the", "plan")
+
+
+class TestTokenizeValue:
+    def test_none_is_empty(self):
+        assert tokenize_value(None) == ()
+
+    def test_string_passthrough(self):
+        assert tokenize_value("New Zealand") == ("new", "zealand")
+
+    def test_integer(self):
+        assert tokenize_value(1999) == ("1999",)
+
+    def test_integral_float_drops_point(self):
+        assert tokenize_value(1999.0) == ("1999",)
+
+    def test_fractional_float(self):
+        assert tokenize_value(3.5) == ("3", "5")
+
+    def test_bool_tokenizes_via_str(self):
+        assert tokenize_value(True) == ("true",)
