@@ -48,5 +48,11 @@ def test_table2_response_time(benchmark, yahoo_db, task_sets, n_runs):
     assert sum(ratios) / len(ratios) > 3.0
 
     # Headline micro-benchmark: a single first-row search (set 2, m=4).
+    # One traced run first dumps the span tree for this exact workload
+    # (results/table2_headline_trace.jsonl); the measured runs stay
+    # untraced so the reported timing is the production path.
     task = task_sets[1].tasks[1]
+    run_tpw_search(
+        yahoo_db, task, seed=5, trace_name="table2_headline_trace.jsonl"
+    )
     benchmark(lambda: run_tpw_search(yahoo_db, task, seed=5))

@@ -12,6 +12,8 @@ import time
 from dataclasses import dataclass, field
 from statistics import mean
 
+from repro import obs
+from repro.bench.reporting import results_path
 from repro.config import NaiveConfig, TPWConfig
 from repro.core.naive import NaiveEngine
 from repro.core.tpw import SearchResult, TPWEngine
@@ -42,13 +44,34 @@ def run_tpw_search(
     task: MappingTask,
     seed: int,
     config: TPWConfig | None = None,
+    *,
+    trace_name: str | None = None,
 ) -> SearchCell:
-    """Time one TPW sample search for a random tuple of ``task``."""
+    """Time one TPW sample search for a random tuple of ``task``.
+
+    With ``trace_name`` set, the search runs under a temporarily
+    enabled tracer/metrics pair (:func:`repro.obs.scoped`) and the
+    resulting trace is written as JSON-lines to
+    ``results/<trace_name>`` alongside the benchmark's own output.
+    Note the traced run pays the instrumentation cost — use it for the
+    trace artifact, not for the reported timing.
+    """
     samples = sample_tuple_for(db, task, seed)
     engine = TPWEngine(db, config)
-    started = time.perf_counter()
-    result = engine.search(samples)
-    return SearchCell(time.perf_counter() - started, result)
+    if trace_name is None:
+        started = time.perf_counter()
+        result = engine.search(samples)
+        return SearchCell(time.perf_counter() - started, result)
+    with obs.scoped() as tracer:
+        started = time.perf_counter()
+        result = engine.search(samples)
+        seconds = time.perf_counter() - started
+        obs.write_jsonl(
+            results_path(trace_name),
+            tracer.finished,
+            obs.get_metrics().snapshot(),
+        )
+    return SearchCell(seconds, result)
 
 
 @dataclass

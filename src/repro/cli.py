@@ -12,6 +12,10 @@ Subcommands
     Print the generated datasets' schema/size summaries.
 ``study``
     Run the simulated user study and print the Figure 10 aggregates.
+
+``demo`` and ``interactive`` accept ``--trace`` (print the span tree
+and metrics after the run), ``--trace-out FILE`` (write the trace as
+JSON-lines) and ``--log-level LEVEL`` (attach a stderr log handler).
 """
 
 from __future__ import annotations
@@ -19,6 +23,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro import obs
 from repro.core.session import MappingSession, SessionStatus
 from repro.core.tpw import TPWEngine
 from repro.datasets.imdb import build_imdb
@@ -195,10 +200,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    demo = sub.add_parser("demo", help="replay the paper's running example")
+    tracing = argparse.ArgumentParser(add_help=False)
+    tracing.add_argument(
+        "--trace",
+        action="store_true",
+        help="print the span tree and metrics after the run",
+    )
+    tracing.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        help="write the trace as JSON-lines to FILE (implies tracing)",
+    )
+    tracing.add_argument(
+        "--log-level",
+        metavar="LEVEL",
+        help="attach a stderr handler for repro.* loggers (e.g. DEBUG)",
+    )
+
+    demo = sub.add_parser(
+        "demo",
+        parents=[tracing],
+        help="replay the paper's running example",
+    )
     demo.set_defaults(func=_cmd_demo)
 
-    interactive = sub.add_parser("interactive", help="terminal mapping session")
+    interactive = sub.add_parser(
+        "interactive", parents=[tracing], help="terminal mapping session"
+    )
     interactive.add_argument(
         "--dataset", choices=("running", "yahoo", "imdb"), default="running"
     )
@@ -225,7 +253,30 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    if getattr(args, "log_level", None):
+        try:
+            obs.setup_logging(args.log_level)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    trace_out = getattr(args, "trace_out", None)
+    if not (getattr(args, "trace", False) or trace_out):
+        return args.func(args)
+    with obs.scoped() as tracer:
+        code = args.func(args)
+        spans = tracer.finished
+        snapshot = obs.get_metrics().snapshot()
+    if args.trace:
+        print()
+        print("trace:")
+        print(obs.render_tree(spans))
+        print()
+        print("metrics:")
+        print(obs.render_metrics(snapshot))
+    if trace_out:
+        target = obs.write_jsonl(trace_out, spans, snapshot)
+        print(f"wrote trace to {target}")
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess

@@ -14,6 +14,7 @@ from collections.abc import Sequence
 from repro.config import TPWConfig
 from repro.core.mapping_path import MappingPath
 from repro.core.tuple_path import TuplePath
+from repro.obs import get_metrics, get_tracer
 from repro.relational.database import Database
 from repro.relational.executor import evaluate_tree
 from repro.text.errors import ErrorModel
@@ -49,27 +50,45 @@ def create_pairwise_tuple_paths(
     samples: Sequence[str],
     model: ErrorModel,
     config: TPWConfig,
+    tracer=None,
 ) -> tuple[dict[tuple[int, int], list[TuplePath]], int]:
     """Build the Pairwise Tuple Path Map (paper: ``PTPM``).
 
     Returns the map plus the count of pairwise mapping paths that
-    turned out valid (had at least one supporting tuple path).
+    turned out valid (had at least one supporting tuple path).  Each
+    key pair's query batch runs inside a ``tpw.instantiate.pair`` span
+    on ``tracer`` (default: the shared :mod:`repro.obs` handle).
     """
+    tracer = tracer or get_tracer()
+    metrics = get_metrics()
+    query_counter = metrics.counter("repro.instantiate.queries")
+    invalid_counter = metrics.counter("repro.instantiate.pruned_mapping_paths")
     ptpm: dict[tuple[int, int], list[TuplePath]] = {}
     valid_mapping_paths = 0
     for key_pair, mapping_paths in pmpm.items():
-        collected: list[TuplePath] = []
-        for mapping_path in mapping_paths:
-            tuple_paths = instantiate_mapping_path(
-                db,
-                mapping_path,
-                samples,
-                model,
-                limit=config.max_tuple_paths_per_mapping,
-            )
-            if tuple_paths:
-                valid_mapping_paths += 1
-                collected.extend(tuple_paths)
+        with tracer.span(
+            "tpw.instantiate.pair",
+            keys=list(key_pair),
+            mapping_paths=len(mapping_paths),
+        ) as span:
+            collected: list[TuplePath] = []
+            valid_here = 0
+            for mapping_path in mapping_paths:
+                query_counter.inc()
+                tuple_paths = instantiate_mapping_path(
+                    db,
+                    mapping_path,
+                    samples,
+                    model,
+                    limit=config.max_tuple_paths_per_mapping,
+                )
+                if tuple_paths:
+                    valid_here += 1
+                    collected.extend(tuple_paths)
+            invalid_counter.inc(len(mapping_paths) - valid_here)
+            valid_mapping_paths += valid_here
+            span.set("valid_mapping_paths", valid_here)
+            span.set("tuple_paths", len(collected))
         if collected:
             ptpm[key_pair] = collected
     return ptpm, valid_mapping_paths

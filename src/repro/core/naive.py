@@ -22,7 +22,6 @@ failure mode into an explicit
 
 from __future__ import annotations
 
-import time
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
@@ -33,9 +32,19 @@ from repro.core.pairwise import generate_pairwise_mapping_paths
 from repro.core.weave import weave_mapping_paths
 from repro.exceptions import SearchBudgetExceeded, SessionError
 from repro.graphs.schema_graph import SchemaGraph
+from repro.obs import get_tracer
 from repro.relational.database import Database
 from repro.relational.executor import tree_exists
 from repro.text.errors import ErrorModel, default_error_model
+
+#: Naive-search phases; like TPW's ``SearchStats.timings``, the result's
+#: ``timings`` dict always carries every key (0.0 when a phase did not
+#: run) so reporting code never KeyErrors on early-return searches.
+NAIVE_PHASES: tuple[str, ...] = ("locate", "enumerate", "validate", "total")
+
+
+def _default_timings() -> dict[str, float]:
+    return dict.fromkeys(NAIVE_PHASES, 0.0)
 
 
 @dataclass
@@ -53,7 +62,7 @@ class NaiveResult:
     enumerated_total: int = 0
     #: Validation queries issued (one per complete mapping path).
     validation_queries: int = 0
-    timings: dict[str, float] = field(default_factory=dict)
+    timings: dict[str, float] = field(default_factory=_default_timings)
 
 
 class NaiveEngine:
@@ -138,35 +147,44 @@ class NaiveEngine:
         if not samples:
             raise SessionError("the sample tuple must have at least one column")
         result = NaiveResult(sample_tuple=samples, valid_mappings=[])
-        started = time.perf_counter()
+        tracer = get_tracer()
+        with tracer.span("naive.search", columns=len(samples)) as root:
+            self._search_phases(samples, result, tracer)
+        result.timings["total"] = root.duration
+        return result
 
-        phase = time.perf_counter()
-        location_map = build_location_map(self.db, samples, self.model)
-        result.timings["locate"] = time.perf_counter() - phase
+    def _search_phases(
+        self, samples: tuple[str, ...], result: NaiveResult, tracer
+    ) -> None:
+        with tracer.span("naive.locate") as span:
+            location_map = build_location_map(self.db, samples, self.model)
+        result.timings["locate"] = span.duration
 
         if location_map.empty_keys():
-            result.timings["total"] = time.perf_counter() - started
-            return result
+            return
 
-        phase = time.perf_counter()
-        if len(samples) == 1:
-            complete = [
-                single_relation_mapping(relation, {0: attribute})
-                for relation, attribute in location_map.attributes_of(0)
-            ]
-            result.enumerated_total = len(complete)
-        else:
-            complete = self._enumerate_complete(location_map, len(samples), result)
-        result.enumerated_complete = len(complete)
-        result.timings["enumerate"] = time.perf_counter() - phase
+        with tracer.span("naive.enumerate") as span:
+            if len(samples) == 1:
+                complete = [
+                    single_relation_mapping(relation, {0: attribute})
+                    for relation, attribute in location_map.attributes_of(0)
+                ]
+                result.enumerated_total = len(complete)
+            else:
+                complete = self._enumerate_complete(
+                    location_map, len(samples), result
+                )
+            result.enumerated_complete = len(complete)
+            span.set("enumerated", result.enumerated_total)
+        result.timings["enumerate"] = span.duration
 
-        phase = time.perf_counter()
-        sample_map = dict(enumerate(samples))
-        for mapping_path in complete:
-            predicates = mapping_path.predicates_for(sample_map, self.model)
-            result.validation_queries += 1
-            if tree_exists(self.db, mapping_path.tree, predicates):
-                result.valid_mappings.append(mapping_path)
-        result.timings["validate"] = time.perf_counter() - phase
-        result.timings["total"] = time.perf_counter() - started
-        return result
+        with tracer.span("naive.validate") as span:
+            sample_map = dict(enumerate(samples))
+            for mapping_path in complete:
+                predicates = mapping_path.predicates_for(sample_map, self.model)
+                result.validation_queries += 1
+                if tree_exists(self.db, mapping_path.tree, predicates):
+                    result.valid_mappings.append(mapping_path)
+            span.set("queries", result.validation_queries)
+            span.set("valid", len(result.valid_mappings))
+        result.timings["validate"] = span.duration

@@ -17,6 +17,7 @@ from repro.core.location import LocationMap
 from repro.core.mapping_path import MappingPath
 from repro.graphs.schema_graph import SchemaGraph
 from repro.graphs.walks import Walk, enumerate_walks
+from repro.obs import get_metrics
 from repro.relational.query import JoinTree, JoinTreeEdge
 
 #: Pairwise Mapping Path Map: key pair -> mapping paths (paper: PMPM).
@@ -83,6 +84,9 @@ def generate_pairwise_mapping_paths(
     attribute containing sample ``i`` to an attribute containing sample
     ``j`` within the PMNJ bound.  Entries with no paths are omitted.
     """
+    metrics = get_metrics()
+    walk_counter = metrics.counter("repro.pairwise.walks")
+    path_counter = metrics.counter("repro.pairwise.mapping_paths")
     m = len(location_map.samples)
     pmpm: PairwiseMappingPathMap = {}
     dedup: dict[tuple[int, int], dict[object, MappingPath]] = {}
@@ -94,6 +98,7 @@ def generate_pairwise_mapping_paths(
                 config.pmnj,
                 allow_backtrack=config.allow_backtrack,
             ):
+                walk_counter.inc()
                 for key_j in range(key_i + 1, m):
                     if not location_map.attributes_in_relation(key_j, walk.end):
                         continue
@@ -104,6 +109,7 @@ def generate_pairwise_mapping_paths(
                         signature = path.signature()
                         if signature not in bucket:
                             bucket[signature] = path
+                            path_counter.inc()
     for key_pair, bucket in sorted(dedup.items()):
         pmpm[key_pair] = list(bucket.values())
     return pmpm

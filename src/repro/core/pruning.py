@@ -18,9 +18,19 @@ from __future__ import annotations
 from collections.abc import Mapping, Sequence
 
 from repro.core.mapping_path import MappingPath
+from repro.obs import get_metrics
 from repro.relational.database import Database
 from repro.relational.executor import tree_exists
 from repro.text.errors import ErrorModel, default_error_model
+
+
+def _record_decisions(reason: str, evaluated: int, kept: int) -> None:
+    """Count prune outcomes by reason (audit trail for ranking behavior)."""
+    metrics = get_metrics()
+    if not metrics.enabled:
+        return
+    metrics.counter("repro.prune.evaluated", reason=reason).inc(evaluated)
+    metrics.counter("repro.prune.dropped", reason=reason).inc(evaluated - kept)
 
 
 def prune_by_attribute(
@@ -44,6 +54,7 @@ def prune_by_attribute(
             kept.append(mapping)
         elif mapping.attribute_of(key) in containing:
             kept.append(mapping)
+    _record_decisions("attribute", len(candidates), len(kept))
     return kept
 
 
@@ -69,4 +80,5 @@ def prune_by_structure(
         predicates = mapping.predicates_for(row_samples, model)
         if tree_exists(db, mapping.tree, predicates):
             kept.append(mapping)
+    _record_decisions("structure", len(candidates), len(kept))
     return kept

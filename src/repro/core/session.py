@@ -15,7 +15,6 @@ semantics where such input simply empties the candidate set.
 from __future__ import annotations
 
 import enum
-import time
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field
 
@@ -26,8 +25,11 @@ from repro.core.ranking import RankedMapping
 from repro.core.samples import Spreadsheet
 from repro.core.tpw import SearchResult, TPWEngine
 from repro.exceptions import SessionError
+from repro.obs import get_logger, get_tracer
 from repro.relational.database import Database
 from repro.text.errors import ErrorModel
+
+_log = get_logger(__name__)
 
 
 class SessionStatus(enum.Enum):
@@ -268,9 +270,10 @@ class MappingSession:
 
     def _run_search(self) -> None:
         sample_tuple = self.spreadsheet.first_row()
-        started = time.perf_counter()
-        self.search_result = self.engine.search(sample_tuple)
-        self.timings.search_seconds.append(time.perf_counter() - started)
+        with get_tracer().span("session.search") as span:
+            self.search_result = self.engine.search(sample_tuple)
+            span.set("candidates", self.search_result.n_candidates)
+        self.timings.search_seconds.append(span.duration)
         self._candidates = list(self.search_result.candidates)
         if self.search_result.location_map.empty_keys():
             missing = ", ".join(
@@ -283,6 +286,7 @@ class MappingSession:
     def _warn(self, message: str) -> None:
         self.warnings.append(message)
         self._log("warning", message)
+        _log.warning("%s", message)
 
     def _filter_candidates(self, kept: Sequence[MappingPath]) -> list[RankedMapping]:
         signatures = {mapping.signature() for mapping in kept}
@@ -295,17 +299,18 @@ class MappingSession:
     def _prune_with_cell(
         self, row: int, column: int, sample: str, *, revert_on_empty: bool
     ) -> None:
-        started = time.perf_counter()
-        mappings = self.candidate_mappings
-        kept = prune_by_attribute(
-            self.db, mappings, column, sample, self.engine.model
-        )
-        row_samples = self.spreadsheet.row_samples(row)
-        if len(row_samples) >= 2:
-            kept = prune_by_structure(
-                self.db, kept, row_samples, self.engine.model
+        with get_tracer().span("session.prune", row=row, column=column) as span:
+            mappings = self.candidate_mappings
+            kept = prune_by_attribute(
+                self.db, mappings, column, sample, self.engine.model
             )
-        self.timings.prune_seconds.append(time.perf_counter() - started)
+            row_samples = self.spreadsheet.row_samples(row)
+            if len(row_samples) >= 2:
+                kept = prune_by_structure(
+                    self.db, kept, row_samples, self.engine.model
+                )
+            span.set("kept", len(kept))
+        self.timings.prune_seconds.append(span.duration)
 
         if not kept and revert_on_empty and self.on_irrelevant == "ignore":
             self.spreadsheet.set_cell(row, column, "")
@@ -324,20 +329,21 @@ class MappingSession:
         """Recompute the candidate set from the search result and grid."""
         if self.search_result is None:
             return
-        started = time.perf_counter()
-        self._candidates = list(self.search_result.candidates)
-        mappings = self.candidate_mappings
-        for row in range(1, self.spreadsheet.n_rows):
-            row_samples = self.spreadsheet.row_samples(row)
-            for column, sample in row_samples.items():
-                mappings = prune_by_attribute(
-                    self.db, mappings, column, sample, self.engine.model
-                )
-            if len(row_samples) >= 2:
-                mappings = prune_by_structure(
-                    self.db, mappings, row_samples, self.engine.model
-                )
-        self.timings.prune_seconds.append(time.perf_counter() - started)
+        with get_tracer().span("session.replay") as span:
+            self._candidates = list(self.search_result.candidates)
+            mappings = self.candidate_mappings
+            for row in range(1, self.spreadsheet.n_rows):
+                row_samples = self.spreadsheet.row_samples(row)
+                for column, sample in row_samples.items():
+                    mappings = prune_by_attribute(
+                        self.db, mappings, column, sample, self.engine.model
+                    )
+                if len(row_samples) >= 2:
+                    mappings = prune_by_structure(
+                        self.db, mappings, row_samples, self.engine.model
+                    )
+            span.set("kept", len(mappings))
+        self.timings.prune_seconds.append(span.duration)
         self._candidates = self._filter_candidates(mappings)
         self._log("prune", f"{len(self._candidates)} candidates remain (replay)")
 

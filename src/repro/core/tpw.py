@@ -12,11 +12,18 @@
 A target of size one never enters the weave: its candidates are exactly
 the single-attribute mappings of the location map, instantiated
 directly.
+
+Each phase runs inside a :mod:`repro.obs` span (``tpw.locate`` …
+``tpw.rank`` under a ``tpw.search`` root); with tracing enabled the
+finished tree is attached to :attr:`SearchResult.trace` and every
+:class:`~repro.core.stats.SearchStats` counter doubles as a span
+attribute, so ``SearchStats.from_span(result.trace)`` reproduces the
+stats exactly.  With tracing disabled the spans degrade to bare
+stopwatches that still feed the phase timings.
 """
 
 from __future__ import annotations
 
-import time
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
@@ -34,8 +41,12 @@ from repro.core.tuple_path import TuplePath
 from repro.core.weave import weave_complete_tuple_paths
 from repro.exceptions import SessionError
 from repro.graphs.schema_graph import SchemaGraph
+from repro.obs import get_logger, get_metrics, get_tracer
+from repro.obs.tracer import Span
 from repro.relational.database import Database
 from repro.text.errors import ErrorModel, default_error_model
+
+_log = get_logger(__name__)
 
 
 @dataclass
@@ -43,13 +54,16 @@ class SearchResult:
     """Outcome of one sample search.
 
     ``candidates`` are the valid complete mappings, best ranked first;
-    ``stats`` carries the counters Tables 2–4 and Figure 13 report.
+    ``stats`` carries the counters Tables 2–4 and Figure 13 report;
+    ``trace`` is the finished ``tpw.search`` span tree when tracing was
+    enabled for the search (``None`` otherwise).
     """
 
     sample_tuple: tuple[str, ...]
     candidates: list[RankedMapping]
     location_map: LocationMap
     stats: SearchStats = field(default_factory=SearchStats)
+    trace: Span | None = None
 
     @property
     def mappings(self) -> list[MappingPath]:
@@ -105,53 +119,95 @@ class TPWEngine:
         samples = tuple(str(sample) for sample in sample_tuple)
         if not samples:
             raise SessionError("the sample tuple must have at least one column")
+        tracer = get_tracer()
         stats = SearchStats()
-        started = time.perf_counter()
+        with tracer.span("tpw.search", columns=len(samples)) as root:
+            candidates, location_map = self._search_phases(
+                samples, stats, tracer
+            )
+            root.set("candidates", len(candidates))
+        stats.timings["total"] = root.duration
+        get_metrics().histogram("repro.search.seconds").observe(root.duration)
+        _log.debug(
+            "tpw.search columns=%d candidates=%d total=%.1fms",
+            len(samples), len(candidates), root.duration * 1000,
+        )
+        return SearchResult(
+            samples,
+            candidates,
+            location_map,
+            stats,
+            trace=root if tracer.enabled else None,
+        )
 
-        phase = time.perf_counter()
-        location_map = build_location_map(self.db, samples, self.model)
-        stats.location_hits = {
-            key: len(location_map.attributes_of(key)) for key in range(len(samples))
-        }
-        stats.timings["locate"] = time.perf_counter() - phase
+    def _search_phases(
+        self,
+        samples: tuple[str, ...],
+        stats: SearchStats,
+        tracer,
+    ) -> tuple[list[RankedMapping], LocationMap]:
+        """The phase pipeline, each phase inside its span."""
+        with tracer.span("tpw.locate") as span:
+            location_map = build_location_map(self.db, samples, self.model)
+            stats.location_hits = {
+                key: len(location_map.attributes_of(key))
+                for key in range(len(samples))
+            }
+            span.set(
+                "hits_by_key",
+                {str(key): hits for key, hits in stats.location_hits.items()},
+            )
+            span.set(
+                "attribute_hits", location_map.total_occurrence_attributes()
+            )
+            span.set("empty_keys", list(location_map.empty_keys()))
+        stats.timings["locate"] = span.duration
 
         if location_map.empty_keys():
-            stats.timings["total"] = time.perf_counter() - started
-            return SearchResult(samples, [], location_map, stats)
+            return [], location_map
 
         if len(samples) == 1:
-            candidates = self._search_single_column(samples, location_map, stats)
+            return (
+                self._search_single_column(samples, location_map, stats, tracer),
+                location_map,
+            )
+
+        with tracer.span("tpw.pairwise") as span:
+            pmpm = generate_pairwise_mapping_paths(
+                self.graph, location_map, self.config
+            )
+            stats.pairwise_mapping_paths = count_pairwise_paths(pmpm)
+            span.set("mapping_paths", stats.pairwise_mapping_paths)
+        stats.timings["pairwise"] = span.duration
+
+        with tracer.span("tpw.instantiate") as span:
+            ptpm, valid_pairwise = create_pairwise_tuple_paths(
+                self.db, pmpm, samples, self.model, self.config, tracer=tracer
+            )
+            stats.pairwise_valid_mapping_paths = valid_pairwise
+            span.set("valid_mapping_paths", valid_pairwise)
+            span.set(
+                "tuple_paths",
+                sum(len(paths) for paths in ptpm.values()),
+            )
+        stats.timings["instantiate"] = span.duration
+
+        with tracer.span("tpw.weave") as span:
+            complete = weave_complete_tuple_paths(
+                ptpm, len(samples), self.config, stats, tracer=tracer
+            )
+            span.set("pairwise_tuple_paths", stats.pairwise_tuple_paths)
+            span.set("complete_tuple_paths", stats.complete_tuple_paths)
+        stats.timings["weave"] = span.duration
+
+        with tracer.span("tpw.rank") as span:
+            candidates = rank_mappings(
+                self.db, complete, samples, self.model, self.config.ranking
+            )
             stats.valid_complete_mappings = len(candidates)
-            stats.timings["total"] = time.perf_counter() - started
-            return SearchResult(samples, candidates, location_map, stats)
-
-        phase = time.perf_counter()
-        pmpm = generate_pairwise_mapping_paths(self.graph, location_map, self.config)
-        stats.pairwise_mapping_paths = count_pairwise_paths(pmpm)
-        stats.timings["pairwise"] = time.perf_counter() - phase
-
-        phase = time.perf_counter()
-        ptpm, valid_pairwise = create_pairwise_tuple_paths(
-            self.db, pmpm, samples, self.model, self.config
-        )
-        stats.pairwise_valid_mapping_paths = valid_pairwise
-        stats.timings["instantiate"] = time.perf_counter() - phase
-
-        phase = time.perf_counter()
-        complete = weave_complete_tuple_paths(
-            ptpm, len(samples), self.config, stats
-        )
-        stats.timings["weave"] = time.perf_counter() - phase
-
-        phase = time.perf_counter()
-        candidates = rank_mappings(
-            self.db, complete, samples, self.model, self.config.ranking
-        )
-        stats.valid_complete_mappings = len(candidates)
-        stats.timings["rank"] = time.perf_counter() - phase
-
-        stats.timings["total"] = time.perf_counter() - started
-        return SearchResult(samples, candidates, location_map, stats)
+            span.set("candidates", len(candidates))
+        stats.timings["rank"] = span.duration
+        return candidates, location_map
 
     # ------------------------------------------------------------------
 
@@ -160,21 +216,31 @@ class TPWEngine:
         samples: tuple[str, ...],
         location_map: LocationMap,
         stats: SearchStats,
+        tracer,
     ) -> list[RankedMapping]:
         """Target size one: each containing attribute is a candidate."""
-        tuple_paths: list[TuplePath] = []
-        for relation, attribute in location_map.attributes_of(0):
-            mapping = single_relation_mapping(relation, {0: attribute})
-            tuple_paths.extend(
-                instantiate_mapping_path(
-                    self.db,
-                    mapping,
-                    samples,
-                    self.model,
-                    limit=self.config.max_tuple_paths_per_mapping,
+        with tracer.span("tpw.instantiate", single_column=True) as span:
+            tuple_paths: list[TuplePath] = []
+            for relation, attribute in location_map.attributes_of(0):
+                mapping = single_relation_mapping(relation, {0: attribute})
+                tuple_paths.extend(
+                    instantiate_mapping_path(
+                        self.db,
+                        mapping,
+                        samples,
+                        self.model,
+                        limit=self.config.max_tuple_paths_per_mapping,
+                    )
                 )
+            stats.complete_tuple_paths = len(tuple_paths)
+            span.set("complete_tuple_paths", len(tuple_paths))
+        stats.timings["instantiate"] = span.duration
+
+        with tracer.span("tpw.rank") as span:
+            candidates = rank_mappings(
+                self.db, tuple_paths, samples, self.model, self.config.ranking
             )
-        stats.complete_tuple_paths = len(tuple_paths)
-        return rank_mappings(
-            self.db, tuple_paths, samples, self.model, self.config.ranking
-        )
+            stats.valid_complete_mappings = len(candidates)
+            span.set("candidates", len(candidates))
+        stats.timings["rank"] = span.duration
+        return candidates

@@ -43,7 +43,11 @@ from repro.core.mapping_path import MappingPath
 from repro.core.stats import SearchStats
 from repro.core.tuple_path import TuplePath
 from repro.exceptions import SearchBudgetExceeded
+from repro.obs import get_logger, get_metrics, get_tracer
+from repro.obs.metrics import COUNT_BUCKETS
 from repro.relational.query import JoinTree, JoinTreeEdge
+
+_log = get_logger(__name__)
 
 
 @dataclass(frozen=True)
@@ -235,14 +239,19 @@ def weave_complete_tuple_paths(
     target_size: int,
     config: TPWConfig,
     stats: SearchStats,
+    tracer=None,
 ) -> list[TuplePath]:
     """Algorithm 5: build complete tuple paths level by level.
 
     Level ``n`` holds the distinct tuple paths of size ``n``; each level
     ``n + 1`` is produced by weaving every eligible pairwise tuple path
     (exactly one shared key) onto every level-``n`` path.  Statistics
-    for Figures 12–13 and Table 4 are recorded on ``stats``.
+    for Figures 12–13 and Table 4 are recorded on ``stats`` and, when
+    ``tracer`` (default: the shared :mod:`repro.obs` handle) is live,
+    mirrored onto one ``tpw.weave.level`` span per level.
     """
+    tracer = tracer or get_tracer()
+    metrics = get_metrics()
     level: dict[object, TuplePath] = {}
     for tuple_paths in ptpm.values():
         for tuple_path in tuple_paths:
@@ -259,29 +268,41 @@ def weave_complete_tuple_paths(
 
     current = level
     for size in range(2, target_size):
-        next_level: dict[object, TuplePath] = {}
-        woven = 0
-        for base in current.values():
-            for key, (vertex, attribute) in base.projections.items():
-                anchor = (key, base.tuple_at(vertex), attribute)
-                for pair in anchor_index.get(anchor, ()):
-                    other_key = _far_key(pair.projections, key)
-                    if other_key in base.keys:
-                        continue
-                    for result in weave_tuple_paths(
-                        base, pair, key, exhaustive=config.exhaustive_weave
-                    ):
-                        woven += 1
-                        next_level.setdefault(result.signature(), result)
-        stats.woven_per_level[size + 1] = woven
-        stats.kept_per_level[size + 1] = len(next_level)
-        if (
-            config.max_woven_paths_per_level
-            and len(next_level) > config.max_woven_paths_per_level
-        ):
-            raise SearchBudgetExceeded(
-                f"tuple paths at level {size + 1}", config.max_woven_paths_per_level
-            )
+        with tracer.span("tpw.weave.level", level=size + 1) as level_span:
+            next_level: dict[object, TuplePath] = {}
+            woven = 0
+            for base in current.values():
+                for key, (vertex, attribute) in base.projections.items():
+                    anchor = (key, base.tuple_at(vertex), attribute)
+                    for pair in anchor_index.get(anchor, ()):
+                        other_key = _far_key(pair.projections, key)
+                        if other_key in base.keys:
+                            continue
+                        for result in weave_tuple_paths(
+                            base, pair, key, exhaustive=config.exhaustive_weave
+                        ):
+                            woven += 1
+                            next_level.setdefault(result.signature(), result)
+            stats.woven_per_level[size + 1] = woven
+            stats.kept_per_level[size + 1] = len(next_level)
+            level_span.set("woven", woven)
+            level_span.set("kept", len(next_level))
+            metrics.counter("repro.weave.woven").inc(woven)
+            metrics.histogram(
+                "repro.weave.level_width", buckets=COUNT_BUCKETS
+            ).observe(len(next_level))
+            if (
+                config.max_woven_paths_per_level
+                and len(next_level) > config.max_woven_paths_per_level
+            ):
+                _log.warning(
+                    "weave budget exceeded at level %d: %d > %d kept paths",
+                    size + 1, len(next_level), config.max_woven_paths_per_level,
+                )
+                raise SearchBudgetExceeded(
+                    f"tuple paths at level {size + 1}",
+                    config.max_woven_paths_per_level,
+                )
         current = next_level
 
     complete = list(current.values())

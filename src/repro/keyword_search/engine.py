@@ -8,8 +8,11 @@ from dataclasses import dataclass
 from repro.config import TPWConfig
 from repro.core.tpw import TPWEngine
 from repro.core.tuple_path import TuplePath
+from repro.obs import get_logger, get_metrics, get_tracer
 from repro.relational.database import Database
 from repro.text.errors import ErrorModel
+
+_log = get_logger(__name__)
 
 
 @dataclass(frozen=True)
@@ -73,15 +76,21 @@ class KeywordSearchEngine:
         ordering.  ``limit=0`` returns everything.
         """
         query = tuple(str(keyword) for keyword in keywords)
-        result = self._engine.search(query)
-        hits = [
-            KeywordHit(tuple_path=path, keywords=query)
-            for candidate in result.candidates
-            for path in candidate.tuple_paths
-        ]
-        hits.sort(
-            key=lambda hit: (hit.n_joins, hit.tuple_path.describe())
-        )
-        if limit:
-            hits = hits[:limit]
+        with get_tracer().span(
+            "kwsearch.search", keywords=len(query), limit=limit
+        ) as span:
+            result = self._engine.search(query)
+            hits = [
+                KeywordHit(tuple_path=path, keywords=query)
+                for candidate in result.candidates
+                for path in candidate.tuple_paths
+            ]
+            hits.sort(
+                key=lambda hit: (hit.n_joins, hit.tuple_path.describe())
+            )
+            if limit:
+                hits = hits[:limit]
+            span.set("hits", len(hits))
+        get_metrics().counter("repro.kwsearch.searches").inc()
+        _log.debug("keyword search %r returned %d hits", query, len(hits))
         return hits

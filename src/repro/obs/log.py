@@ -1,0 +1,79 @@
+"""Structured logging under the ``repro.*`` namespace.
+
+The library itself never configures handlers beyond a ``NullHandler``
+on the ``repro`` root logger (the standard library-friendly default);
+applications — including our own CLI — opt in with :func:`setup_logging`
+or by exporting ``REPRO_LOG_LEVEL`` (e.g. ``REPRO_LOG_LEVEL=DEBUG``)
+before the first ``repro.obs`` import.
+
+Modules obtain loggers with ``get_logger(__name__)``; any name outside
+the namespace is prefixed, so ``get_logger("bench")`` logs as
+``repro.bench``.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+from typing import IO
+
+NAMESPACE = "repro"
+
+_root = logging.getLogger(NAMESPACE)
+if not _root.handlers:
+    _root.addHandler(logging.NullHandler())
+
+#: Marker attribute distinguishing our handler from user-installed ones.
+_HANDLER_FLAG = "_repro_obs_handler"
+
+DEFAULT_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """A logger inside the ``repro`` namespace."""
+    if not name:
+        return _root
+    if name == NAMESPACE or name.startswith(NAMESPACE + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{NAMESPACE}.{name}")
+
+
+def setup_logging(
+    level: int | str | None = None,
+    *,
+    stream: IO[str] | None = None,
+    fmt: str = DEFAULT_FORMAT,
+) -> logging.Logger:
+    """Attach one stream handler to the ``repro`` root logger.
+
+    Idempotent: calling again replaces the handler (so the level and
+    stream can be changed at runtime).  ``level`` defaults to the
+    ``REPRO_LOG_LEVEL`` environment variable, then ``WARNING``.
+    """
+    if level is None:
+        level = os.environ.get("REPRO_LOG_LEVEL", "WARNING")
+    if isinstance(level, str):
+        parsed = logging.getLevelName(level.upper())
+        if not isinstance(parsed, int):
+            raise ValueError(f"unknown log level {level!r}")
+        level = parsed
+
+    for handler in list(_root.handlers):
+        if getattr(handler, _HANDLER_FLAG, False):
+            _root.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(logging.Formatter(fmt))
+    setattr(handler, _HANDLER_FLAG, True)
+    _root.addHandler(handler)
+    _root.setLevel(level)
+    _root.propagate = False
+    return _root
+
+
+def teardown_logging() -> None:
+    """Remove the handler installed by :func:`setup_logging` (tests)."""
+    for handler in list(_root.handlers):
+        if getattr(handler, _HANDLER_FLAG, False):
+            _root.removeHandler(handler)
+    _root.setLevel(logging.NOTSET)

@@ -1,0 +1,294 @@
+"""Counters, gauges and fixed-bucket histograms for the hot paths.
+
+The tracer answers "where did *this* search spend its time"; the
+metrics registry answers fleet questions — how many index probes ran,
+how wide the weave levels get, how often pruning drops a candidate and
+why.  Instruments are named (dotted ``repro.*`` names, mirroring the
+logger namespace) and optionally labelled::
+
+    metrics = get_metrics()
+    metrics.counter("repro.index.probes", index="inverted").inc()
+    metrics.histogram("repro.weave.level_width").observe(len(level))
+
+Like the tracer, the module keeps one shared handle
+(:func:`get_metrics`), **disabled by default**: the handle is then a
+:class:`NullMetrics` whose instruments are a single shared no-op object,
+so a guarded hot loop pays one attribute lookup and one empty method
+call per event — and call sites that need to avoid even that check
+``metrics.enabled`` once.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from threading import Lock
+from typing import Any
+
+#: Default latency buckets (seconds): 0.1 ms … 10 s, roughly log-spaced.
+LATENCY_BUCKETS: tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+    0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Default size buckets (counts): 1 … 10k, for path/candidate widths.
+COUNT_BUCKETS: tuple[float, ...] = (
+    1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000,
+)
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: tuple[tuple[str, str], ...]) -> None:
+        self.name = name
+        self.labels = labels
+        self.value: int | float = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        """Add ``amount`` (must be non-negative) to the count."""
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge")
+        self.value += amount
+
+
+class Gauge:
+    """Last-write-wins instantaneous value."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: tuple[tuple[str, str], ...]) -> None:
+        self.name = name
+        self.labels = labels
+        self.value: int | float = 0
+
+    def set(self, value: int | float) -> None:
+        """Replace the gauge's value."""
+        self.value = value
+
+    def inc(self, amount: int | float = 1) -> None:
+        """Raise the gauge by ``amount``."""
+        self.value += amount
+
+    def dec(self, amount: int | float = 1) -> None:
+        """Lower the gauge by ``amount``."""
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket histogram (cumulative-style, plus sum and count).
+
+    ``bounds`` are inclusive upper bounds; one overflow bucket catches
+    everything above the last bound, so ``len(counts) == len(bounds)+1``.
+    """
+
+    __slots__ = ("name", "labels", "bounds", "counts", "sum", "count")
+
+    def __init__(
+        self,
+        name: str,
+        labels: tuple[tuple[str, str], ...],
+        bounds: tuple[float, ...] = LATENCY_BUCKETS,
+    ) -> None:
+        if list(bounds) != sorted(bounds) or not bounds:
+            raise ValueError("histogram bounds must be non-empty and sorted")
+        self.name = name
+        self.labels = labels
+        self.bounds = tuple(bounds)
+        self.counts = [0] * (len(bounds) + 1)
+        self.sum: float = 0.0
+        self.count: int = 0
+
+    def observe(self, value: int | float) -> None:
+        """Record one observation in its bucket (and sum / count)."""
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        """Average of all observations (0.0 when empty)."""
+        return self.sum / self.count if self.count else 0.0
+
+
+def _key(name: str, labels: dict[str, Any]) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class MetricsRegistry:
+    """Get-or-create home for every instrument, keyed by name+labels."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = Lock()
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, cls: type, key: str, *args: Any) -> Any:
+        with self._lock:
+            instrument = self._instruments.get(key)
+            if instrument is None:
+                instrument = cls(*args)
+                self._instruments[key] = instrument
+            elif type(instrument) is not cls:
+                raise TypeError(
+                    f"metric {key!r} is a {type(instrument).__name__}, "
+                    f"not a {cls.__name__}"
+                )
+            return instrument
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        """Get-or-create the :class:`Counter` for ``name`` + ``labels``."""
+        key = _key(name, labels)
+        return self._get(
+            Counter, key, name, tuple(sorted((k, str(v)) for k, v in labels.items()))
+        )
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        """Get-or-create the :class:`Gauge` for ``name`` + ``labels``."""
+        key = _key(name, labels)
+        return self._get(
+            Gauge, key, name, tuple(sorted((k, str(v)) for k, v in labels.items()))
+        )
+
+    def histogram(
+        self,
+        name: str,
+        buckets: tuple[float, ...] = LATENCY_BUCKETS,
+        **labels: Any,
+    ) -> Histogram:
+        """Get-or-create the :class:`Histogram` for ``name`` + ``labels``.
+
+        ``buckets`` only applies on first creation; later calls return
+        the existing instrument unchanged.
+        """
+        key = _key(name, labels)
+        return self._get(
+            Histogram,
+            key,
+            name,
+            tuple(sorted((k, str(v)) for k, v in labels.items())),
+            buckets,
+        )
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """A JSON-serializable view: counters / gauges / histograms."""
+        out: dict[str, dict[str, Any]] = {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+        with self._lock:
+            for key, instrument in sorted(self._instruments.items()):
+                if isinstance(instrument, Counter):
+                    out["counters"][key] = instrument.value
+                elif isinstance(instrument, Gauge):
+                    out["gauges"][key] = instrument.value
+                else:
+                    out["histograms"][key] = {
+                        "bounds": list(instrument.bounds),
+                        "counts": list(instrument.counts),
+                        "sum": instrument.sum,
+                        "count": instrument.count,
+                    }
+        return out
+
+    def reset(self) -> None:
+        """Drop every instrument (names and values alike)."""
+        with self._lock:
+            self._instruments.clear()
+
+
+class _NullInstrument:
+    """Shared do-nothing counter/gauge/histogram."""
+
+    __slots__ = ()
+
+    name = ""
+    labels: tuple = ()
+    value = 0
+    sum = 0.0
+    count = 0
+    mean = 0.0
+    bounds: tuple = ()
+    counts: tuple = ()
+
+    def inc(self, amount: int | float = 1) -> None:
+        pass
+
+    def dec(self, amount: int | float = 1) -> None:
+        pass
+
+    def set(self, value: int | float) -> None:
+        pass
+
+    def observe(self, value: int | float) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetrics:
+    """The disabled registry: every instrument is the shared no-op."""
+
+    enabled = False
+
+    def counter(self, name: str, **labels: Any) -> _NullInstrument:
+        """The shared no-op instrument (never records)."""
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, **labels: Any) -> _NullInstrument:
+        """The shared no-op instrument (never records)."""
+        return _NULL_INSTRUMENT
+
+    def histogram(
+        self, name: str, buckets: tuple[float, ...] = LATENCY_BUCKETS,
+        **labels: Any,
+    ) -> _NullInstrument:
+        """The shared no-op instrument (never records)."""
+        return _NULL_INSTRUMENT
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """An empty snapshot in the live registry's shape."""
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def reset(self) -> None:
+        """No-op (nothing is ever recorded)."""
+
+
+_NULL_METRICS = NullMetrics()
+_metrics: MetricsRegistry | NullMetrics = _NULL_METRICS
+
+
+def get_metrics() -> MetricsRegistry | NullMetrics:
+    """The shared metrics handle every instrumented call site consults."""
+    return _metrics
+
+
+def set_metrics(registry: MetricsRegistry | NullMetrics) -> MetricsRegistry | NullMetrics:
+    """Install ``registry`` as the shared handle (returns it)."""
+    global _metrics
+    _metrics = registry
+    return registry
+
+
+def enable_metrics() -> MetricsRegistry:
+    """Switch the shared handle to a live registry (idempotent)."""
+    if not isinstance(_metrics, MetricsRegistry):
+        set_metrics(MetricsRegistry())
+    return _metrics  # type: ignore[return-value]
+
+
+def disable_metrics() -> None:
+    """Switch the shared handle back to the no-op registry."""
+    set_metrics(_NULL_METRICS)
+
+
+def metrics_enabled() -> bool:
+    """Whether the shared handle records observations."""
+    return _metrics.enabled

@@ -11,9 +11,17 @@ no-index baseline used by the index ablation benchmark.
 from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
+from time import perf_counter
 
+from repro.obs import get_metrics
 from repro.text.errors import ErrorModel
 from repro.text.tokenize import tokenize_value
+
+
+def _record_probe(index: str, seconds: float) -> None:
+    metrics = get_metrics()
+    metrics.counter("repro.index.probes", index=index).inc()
+    metrics.histogram("repro.index.probe_seconds", index=index).observe(seconds)
 
 
 class ColumnIndex:
@@ -71,17 +79,25 @@ class ColumnIndex:
                 return ()
         return sorted(result)
 
+    def _search(self, model: ErrorModel, sample: str) -> list[int]:
+        return [
+            row_id
+            for row_id in self.candidate_rows(model, sample)
+            if model.contains(self._values[row_id], sample)
+        ]
+
     def search(self, model: ErrorModel, sample: str) -> list[int]:
         """All row ids whose cell contains ``sample`` under ``model``.
 
         Candidates from the postings intersection are verified with
         ``model.contains`` so the result is exact for any model.
         """
-        return [
-            row_id
-            for row_id in self.candidate_rows(model, sample)
-            if model.contains(self._values[row_id], sample)
-        ]
+        if not get_metrics().enabled:
+            return self._search(model, sample)
+        start = perf_counter()
+        result = self._search(model, sample)
+        _record_probe("inverted", perf_counter() - start)
+        return result
 
     def contains_any(self, model: ErrorModel, sample: str) -> bool:
         """Whether at least one row contains ``sample`` (early exit)."""
@@ -119,13 +135,21 @@ class LinearScanIndex:
         """Every row is a candidate (no prefiltering)."""
         return range(len(self._values))
 
-    def search(self, model: ErrorModel, sample: str) -> list[int]:
-        """All row ids containing ``sample``, found by full scan."""
+    def _search(self, model: ErrorModel, sample: str) -> list[int]:
         return [
             row_id
             for row_id, value in enumerate(self._values)
             if model.contains(value, sample)
         ]
+
+    def search(self, model: ErrorModel, sample: str) -> list[int]:
+        """All row ids containing ``sample``, found by full scan."""
+        if not get_metrics().enabled:
+            return self._search(model, sample)
+        start = perf_counter()
+        result = self._search(model, sample)
+        _record_probe("scan", perf_counter() - start)
+        return result
 
     def contains_any(self, model: ErrorModel, sample: str) -> bool:
         """Whether any row contains ``sample`` (scan with early exit)."""

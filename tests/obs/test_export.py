@@ -1,0 +1,115 @@
+"""Tests for the JSON-lines and human-readable exporters."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    parse_jsonl,
+    render_metrics,
+    render_tree,
+    span_records,
+    to_jsonl,
+    write_jsonl,
+)
+from repro.obs.tracer import Span, Tracer
+
+
+def _sample_tree() -> Span:
+    tracer = Tracer()
+    with tracer.span("root", columns=3) as root:
+        with tracer.span("left", hits={"0": 2}):
+            pass
+        with tracer.span("right"):
+            with tracer.span("leaf"):
+                pass
+    return root
+
+
+class TestJsonl:
+    def test_records_are_preorder_with_parent_links(self):
+        root = _sample_tree()
+        records = list(span_records([root]))
+        assert [r["name"] for r in records] == ["root", "left", "right", "leaf"]
+        assert [r["id"] for r in records] == [0, 1, 2, 3]
+        assert [r["parent"] for r in records] == [None, 0, 0, 2]
+        assert all(r["trace"] == 0 for r in records)
+
+    def test_every_line_is_json(self):
+        text = to_jsonl([_sample_tree()])
+        for line in text.strip().splitlines():
+            assert json.loads(line)["kind"] == "span"
+
+    def test_round_trip_preserves_tree_and_fields(self):
+        root = _sample_tree()
+        snapshot = {"counters": {"c": 1}, "gauges": {}, "histograms": {}}
+        roots, parsed_snapshot = parse_jsonl(to_jsonl([root], snapshot))
+        (restored,) = roots
+        assert [s.name for s in restored.walk()] == [s.name for s in root.walk()]
+        assert restored.attributes == {"columns": 3}
+        assert restored.find("left").attributes == {"hits": {"0": 2}}
+        assert restored.duration == pytest.approx(root.duration)
+        assert restored.status == "ok"
+        assert parsed_snapshot == snapshot
+
+    def test_multiple_traces_round_trip(self):
+        roots, _ = parse_jsonl(to_jsonl([_sample_tree(), _sample_tree()]))
+        assert [r.name for r in roots] == ["root", "root"]
+        assert all(len(r.children) == 2 for r in roots)
+
+    def test_empty_input(self):
+        assert to_jsonl([]) == ""
+        assert parse_jsonl("") == ([], None)
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(ValueError, match="not JSON"):
+            parse_jsonl("{nope")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown kind"):
+            parse_jsonl('{"kind": "mystery"}')
+
+    def test_dangling_parent_rejected(self):
+        record = {
+            "kind": "span", "trace": 0, "id": 1, "parent": 99,
+            "name": "orphan",
+        }
+        with pytest.raises(ValueError, match="parent 99"):
+            parse_jsonl(json.dumps(record))
+
+    def test_write_jsonl_creates_parents(self, tmp_path):
+        target = write_jsonl(tmp_path / "deep" / "trace.jsonl", [_sample_tree()])
+        assert target.exists()
+        roots, _ = parse_jsonl(target.read_text(encoding="utf-8"))
+        assert roots[0].name == "root"
+
+
+class TestRendering:
+    def test_tree_shows_nesting_and_attrs(self):
+        text = render_tree([_sample_tree()])
+        lines = text.splitlines()
+        assert lines[0].startswith("root ")
+        assert "columns=3" in lines[0]
+        assert any(line.startswith("├─ left") for line in lines)
+        assert any("└─ leaf" in line for line in lines)
+
+    def test_error_spans_get_a_marker(self):
+        span = Span.restored("bad", status="error", error="ValueError: x")
+        assert "!" in render_tree([span])
+
+    def test_empty_tree(self):
+        assert render_tree([]) == "(no spans recorded)"
+
+    def test_metrics_rendering(self):
+        snapshot = {
+            "counters": {"repro.x": 4},
+            "gauges": {"repro.g": 2},
+            "histograms": {
+                "repro.h": {"bounds": [1], "counts": [1, 1], "sum": 3.0,
+                            "count": 2},
+            },
+        }
+        text = render_metrics(snapshot)
+        assert "repro.x" in text and "4" in text
+        assert "count=2" in text and "mean=1.5" in text
+        assert render_metrics({}) == "(no metrics recorded)"

@@ -1,0 +1,121 @@
+"""Tests for the metrics registry."""
+
+import pytest
+
+from repro.obs.metrics import (
+    COUNT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+    disable_metrics,
+    enable_metrics,
+    get_metrics,
+    metrics_enabled,
+)
+
+
+class TestInstruments:
+    def test_counter_only_goes_up(self):
+        counter = Counter("c", ())
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        gauge = Gauge("g", ())
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert gauge.value == 12
+
+    def test_histogram_buckets_observations(self):
+        histogram = Histogram("h", (), bounds=(1.0, 10.0))
+        for value in (0.5, 1.0, 5.0, 100.0):
+            histogram.observe(value)
+        # inclusive upper bounds: 0.5 and 1.0 land in the first bucket
+        assert histogram.counts == [2, 1, 1]
+        assert histogram.count == 4
+        assert histogram.sum == pytest.approx(106.5)
+        assert histogram.mean == pytest.approx(106.5 / 4)
+
+    def test_histogram_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("h", (), bounds=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", (), bounds=())
+
+    def test_empty_histogram_mean_is_zero(self):
+        assert Histogram("h", ()).mean == 0.0
+
+
+class TestRegistry:
+    def test_get_or_create_by_name(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.counter("a") is not registry.counter("b")
+
+    def test_labels_distinguish_instruments(self):
+        registry = MetricsRegistry()
+        inverted = registry.counter("probes", index="inverted")
+        scan = registry.counter("probes", index="scan")
+        assert inverted is not scan
+        inverted.inc(3)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["probes{index=inverted}"] == 3
+        assert snapshot["counters"]["probes{index=scan}"] == 0
+
+    def test_type_clash_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError, match="Counter"):
+            registry.gauge("x")
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2)
+        registry.gauge("g").set(7)
+        registry.histogram("h", buckets=COUNT_BUCKETS).observe(3)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"c": 2}
+        assert snapshot["gauges"] == {"g": 7}
+        histogram = snapshot["histograms"]["h"]
+        assert histogram["count"] == 1
+        assert histogram["sum"] == 3
+        assert len(histogram["counts"]) == len(histogram["bounds"]) + 1
+
+    def test_reset_clears_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.reset()
+        assert registry.snapshot()["counters"] == {}
+
+
+class TestNullRegistry:
+    def test_shared_noop_instrument(self):
+        null = NullMetrics()
+        assert null.counter("a") is null.counter("b") is null.histogram("c")
+        null.counter("a").inc(5)
+        null.gauge("g").set(3)
+        null.histogram("h").observe(1.0)
+        assert null.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+        null.reset()
+
+    def test_global_handle_toggles(self):
+        assert not metrics_enabled()
+        try:
+            registry = enable_metrics()
+            assert metrics_enabled()
+            assert get_metrics() is registry
+            assert enable_metrics() is registry  # idempotent
+        finally:
+            disable_metrics()
+        assert not metrics_enabled()
+        assert isinstance(get_metrics(), NullMetrics)
