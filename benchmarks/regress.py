@@ -1,0 +1,24 @@
+#!/usr/bin/env python
+"""Benchmark regression gate — thin wrapper over ``repro.bench.regress``.
+
+Usage (from the repository root):
+
+    PYTHONPATH=src python benchmarks/regress.py --check
+    PYTHONPATH=src python benchmarks/regress.py --measure --update
+
+See :mod:`repro.bench.regress` for the record format and thresholds.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+try:
+    from repro.bench.regress import main
+except ImportError:  # pragma: no cover - direct invocation without PYTHONPATH
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    from repro.bench.regress import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,11 +9,13 @@ from __future__ import annotations
 
 import random
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from statistics import mean
 
 from repro import obs
 from repro.bench.reporting import results_path
+from repro.bench.resources import ResourceUsage, measure
 from repro.config import NaiveConfig, TPWConfig
 from repro.core.naive import NaiveEngine
 from repro.core.tpw import SearchResult, TPWEngine
@@ -37,6 +39,9 @@ class SearchCell:
 
     seconds: float
     result: SearchResult
+    #: Full wall/CPU/memory accounting when requested (see
+    #: ``run_tpw_search(measure_resources=True)``), else ``None``.
+    resources: ResourceUsage | None = None
 
 
 def run_tpw_search(
@@ -46,32 +51,47 @@ def run_tpw_search(
     config: TPWConfig | None = None,
     *,
     trace_name: str | None = None,
+    measure_resources: bool = False,
 ) -> SearchCell:
     """Time one TPW sample search for a random tuple of ``task``.
 
     With ``trace_name`` set, the search runs under a temporarily
     enabled tracer/metrics pair (:func:`repro.obs.scoped`) and the
-    resulting trace is written as JSON-lines to
+    resulting trace — spans plus a final metrics-registry snapshot, so
+    the file is self-contained — is written as JSON-lines to
     ``results/<trace_name>`` alongside the benchmark's own output.
     Note the traced run pays the instrumentation cost — use it for the
     trace artifact, not for the reported timing.
+
+    With ``measure_resources`` the run is additionally accounted via
+    :func:`repro.bench.resources.measure` (CPU seconds, tracemalloc
+    allocation peak, process RSS) on :attr:`SearchCell.resources`; the
+    tracemalloc overhead lands in the measured time, so — like traced
+    runs — resource-accounted cells are for profiles, not headlines.
     """
     samples = sample_tuple_for(db, task, seed)
     engine = TPWEngine(db, config)
-    if trace_name is None:
+    if trace_name is None and not measure_resources:
         started = time.perf_counter()
         result = engine.search(samples)
         return SearchCell(time.perf_counter() - started, result)
-    with obs.scoped() as tracer:
-        started = time.perf_counter()
-        result = engine.search(samples)
-        seconds = time.perf_counter() - started
-        obs.write_jsonl(
-            results_path(trace_name),
-            tracer.finished,
-            obs.get_metrics().snapshot(),
-        )
-    return SearchCell(seconds, result)
+    scope = obs.scoped() if trace_name is not None else nullcontext(None)
+    with scope as tracer:
+        if measure_resources:
+            usage = measure(lambda: engine.search(samples), trace_memory=True)
+            result, seconds = usage.value, usage.wall_s
+        else:
+            usage = None
+            started = time.perf_counter()
+            result = engine.search(samples)
+            seconds = time.perf_counter() - started
+        if trace_name is not None:
+            obs.write_jsonl(
+                results_path(trace_name),
+                tracer.finished,
+                obs.get_metrics().snapshot(),
+            )
+    return SearchCell(seconds, result, resources=usage)
 
 
 @dataclass
@@ -145,22 +165,41 @@ def run_feeder_aggregate(
     n_runs: int,
     seed: int = 0,
     config: TPWConfig | None = None,
+    trace_name: str | None = None,
 ) -> FeederAggregate:
-    """Run the sample feeder ``n_runs`` times and aggregate."""
+    """Run the sample feeder ``n_runs`` times and aggregate.
+
+    With ``trace_name`` set the whole batch runs traced and the session
+    span trees (``session.search`` / ``session.prune`` with their
+    nested ``tpw.*`` children) are written to ``results/<trace_name>``
+    as JSON-lines, together with a final metrics-registry snapshot so
+    the file is self-contained.  Traced runs pay the instrumentation
+    cost — use the numbers from untraced runs for headline tables.
+    """
     sample_counts: list[int] = []
     search_times: list[float] = []
     prune_times: list[float] = []
     converged = 0
     run_histories: list[dict[int, int]] = []
-    for run in range(n_runs):
-        feeder = SampleFeeder(db, task, seed=seed * 7919 + run, config=config)
-        outcome = feeder.run()
-        sample_counts.append(outcome.n_samples)
-        search_times.append(outcome.search_seconds)
-        prune_times.extend(outcome.prune_seconds)
-        if outcome.converged and outcome.matched_goal:
-            converged += 1
-        run_histories.append(dict(outcome.candidate_history))
+    scope = obs.scoped() if trace_name is not None else nullcontext(None)
+    with scope as tracer:
+        for run in range(n_runs):
+            feeder = SampleFeeder(
+                db, task, seed=seed * 7919 + run, config=config
+            )
+            outcome = feeder.run()
+            sample_counts.append(outcome.n_samples)
+            search_times.append(outcome.search_seconds)
+            prune_times.extend(outcome.prune_seconds)
+            if outcome.converged and outcome.matched_goal:
+                converged += 1
+            run_histories.append(dict(outcome.candidate_history))
+        if trace_name is not None:
+            obs.write_jsonl(
+                results_path(trace_name),
+                tracer.finished,
+                obs.get_metrics().snapshot(),
+            )
 
     # Aggregate candidate counts by sample index.  Runs that converged
     # early carry their final count forward — otherwise the mean past

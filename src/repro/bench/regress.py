@@ -1,0 +1,417 @@
+"""The benchmark regression observatory.
+
+``results/BENCH_*.json`` files record what a benchmark measured;
+nothing so far *read* them.  This module closes the loop:
+
+1. :func:`measure_smoke` runs a small, fixed workload set (the paper's
+   running example plus scaled-down yahoo/imdb searches) under
+   :mod:`repro.bench.resources` accounting and writes one
+   **bench record** — wall, CPU and peak-memory numbers per workload
+   plus a calibration constant;
+2. :func:`compare_records` diffs a fresh record against a committed
+   baseline (``results/baselines/``) with noise-tolerant thresholds;
+3. :func:`render_markdown` emits the comparison as a markdown table,
+   and :func:`main` wires it all into ``benchmarks/regress.py`` — the
+   CI perf smoke gate (warn on >15 % wall drift, hard-fail on >2x).
+
+Noise tolerance
+---------------
+
+Cross-machine wall clocks are not comparable, so every record carries
+``calibration_s``: the wall time of a fixed pure-Python microbenchmark
+on the recording machine.  Comparisons scale the baseline by the
+calibration ratio before thresholding.  Two more guards keep the gate
+quiet: per-workload timings are the **minimum** over ``--reps`` runs
+(the least-disturbed run), and workloads faster than
+:data:`MIN_SECONDS` only fail when the absolute drift also exceeds
+:data:`MIN_ABS_DRIFT_S` — a 3 ms workload doubling to 6 ms is noise,
+not a regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.bench.reporting import results_path
+from repro.bench.resources import measure, measure_min
+
+#: Record format version (bump when the JSON shape changes).
+RECORD_KIND = "bench-record"
+
+#: Baselines live here, committed to the repository.
+BASELINE_DIR_NAME = "baselines"
+
+#: Below this baseline wall time, relative thresholds alone cannot fail.
+MIN_SECONDS = 0.003
+#: ...unless the absolute drift also exceeds this.
+MIN_ABS_DRIFT_S = 0.01
+
+#: Statuses a workload comparison can land on, in increasing severity.
+STATUSES = ("ok", "new", "missing", "warn", "fail")
+
+
+@dataclass(frozen=True)
+class Threshold:
+    """Relative drift thresholds for one measured quantity.
+
+    ``warn`` and ``fail`` are fractional increases over the (calibrated)
+    baseline: ``warn=0.15`` flags +15 %, ``fail=1.0`` flags >2x.
+    """
+
+    warn: float
+    fail: float
+
+
+#: Wall time is the headline gate (CI: warn >15 %, hard-fail >2x).
+WALL_THRESHOLD = Threshold(warn=0.15, fail=1.0)
+#: CPU drifts are thresholded like wall but are not calibrated.
+CPU_THRESHOLD = Threshold(warn=0.25, fail=1.5)
+#: Python allocation peaks are deterministic — tight thresholds.
+MEMORY_THRESHOLD = Threshold(warn=0.20, fail=1.0)
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One workload's verdict against the baseline."""
+
+    workload: str
+    metric: str
+    baseline: float
+    current: float
+    #: Baseline scaled by the machines' calibration ratio.
+    adjusted_baseline: float
+    ratio: float
+    status: str
+
+    def describe(self) -> str:
+        """``workload wall_s: 0.012 -> 0.031 (2.58x) FAIL`` style line."""
+        return (
+            f"{self.workload} {self.metric}: {self.baseline:.4g} -> "
+            f"{self.current:.4g} ({self.ratio:.2f}x) {self.status.upper()}"
+        )
+
+
+def calibrate(reps: int = 5) -> float:
+    """Wall seconds of a fixed pure-Python microbenchmark (min of reps).
+
+    The workload mixes dict churn, string joins and arithmetic — the
+    operations the search hot paths spend their time on — so the ratio
+    between two machines' calibrations approximates the ratio of their
+    single-core Python throughput.
+    """
+
+    def workload() -> int:
+        table: dict[str, int] = {}
+        for index in range(20_000):
+            table[f"key-{index % 997}"] = index * 31 % 65537
+        total = 0
+        for key, value in table.items():
+            total += len(key) + value
+        return total
+
+    best = float("inf")
+    for _ in range(max(1, reps)):
+        started = time.perf_counter()
+        workload()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def smoke_workloads(scale: int) -> dict[str, Any]:
+    """The smoke suite: name -> zero-argument callable.
+
+    Small by design — the CI gate must run in seconds.  Databases build
+    outside the measured region (the lru-cached fixtures), so each
+    callable measures one search only.
+    """
+    from repro.bench.fixtures import bench_databases, bench_task_sets
+    from repro.bench.harness import sample_tuple_for
+    from repro.core.tpw import TPWEngine
+    from repro.datasets.running_example import build_running_example
+    from repro.datasets.workload import user_study_task_imdb
+
+    running = build_running_example()
+    yahoo, imdb = bench_databases(scale)
+    task_sets = bench_task_sets()
+
+    def run(db, samples):
+        return lambda: TPWEngine(db).search(samples)
+
+    avatar = ("Avatar", "James Cameron", "Lightstorm Co.", "New Zealand")
+    workloads = {"running/avatar": run(running, avatar)}
+    for set_index, task_index in ((0, 0), (1, 1)):
+        task = task_sets[set_index].tasks[task_index]
+        samples = sample_tuple_for(yahoo, task, seed=5)
+        workloads[f"yahoo/{task.name}"] = run(yahoo, samples)
+    imdb_task = user_study_task_imdb()
+    workloads[f"imdb/{imdb_task.name}"] = run(
+        imdb, sample_tuple_for(imdb, imdb_task, seed=5)
+    )
+    return workloads
+
+
+def measure_smoke(*, scale: int = 60, reps: int = 3) -> dict[str, Any]:
+    """Measure the smoke suite into one bench record (a plain dict)."""
+    record: dict[str, Any] = {
+        "kind": RECORD_KIND,
+        "name": "smoke",
+        "calibration_s": calibrate(),
+        "meta": {"scale": scale, "reps": reps},
+        "workloads": {},
+    }
+    for name, fn in smoke_workloads(scale).items():
+        timing, memory = measure_min(fn, reps=reps)
+        entry = timing.to_dict()
+        entry["py_peak_bytes"] = memory.py_peak_bytes
+        record["workloads"][name] = entry
+    return record
+
+
+def load_record(path: Path | str) -> dict[str, Any]:
+    """Read one bench record, validating the ``kind`` marker."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    if data.get("kind") != RECORD_KIND:
+        raise ValueError(f"{path}: not a {RECORD_KIND} file")
+    return data
+
+
+def baseline_path(name: str = "BENCH_smoke.json") -> Path:
+    """``results/baselines/<name>`` under the repository root."""
+    return results_path(BASELINE_DIR_NAME) / name
+
+
+def _compare_metric(
+    workload: str,
+    metric: str,
+    baseline: float,
+    current: float,
+    threshold: Threshold,
+    calibration_ratio: float,
+    *,
+    noise_floor: bool,
+) -> Comparison:
+    adjusted = baseline * calibration_ratio
+    ratio = current / adjusted if adjusted > 0 else float("inf")
+    status = "ok"
+    drift = ratio - 1.0
+    if drift > threshold.warn:
+        status = "warn"
+    if drift > threshold.fail:
+        status = "fail"
+    if (
+        noise_floor
+        and status == "fail"
+        and adjusted < MIN_SECONDS
+        and (current - adjusted) < MIN_ABS_DRIFT_S
+    ):
+        # Tiny workload doubling within the absolute noise band: a real
+        # 2x regression on real work would clear MIN_ABS_DRIFT_S.
+        status = "warn"
+    return Comparison(
+        workload=workload,
+        metric=metric,
+        baseline=baseline,
+        current=current,
+        adjusted_baseline=adjusted,
+        ratio=ratio,
+        status=status,
+    )
+
+
+def compare_records(
+    baseline: dict[str, Any],
+    current: dict[str, Any],
+    *,
+    wall: Threshold = WALL_THRESHOLD,
+    cpu: Threshold = CPU_THRESHOLD,
+    memory: Threshold = MEMORY_THRESHOLD,
+) -> list[Comparison]:
+    """Diff two bench records, workload by workload.
+
+    Workloads present on only one side yield ``new`` / ``missing``
+    pseudo-comparisons (a *missing* workload fails the gate — a silently
+    dropped benchmark is itself a regression of coverage).
+    """
+    base_cal = float(baseline.get("calibration_s") or 0.0)
+    cur_cal = float(current.get("calibration_s") or 0.0)
+    calibration_ratio = cur_cal / base_cal if base_cal > 0 and cur_cal > 0 else 1.0
+    comparisons: list[Comparison] = []
+    base_workloads = baseline.get("workloads", {})
+    cur_workloads = current.get("workloads", {})
+    for name in sorted(set(base_workloads) | set(cur_workloads)):
+        if name not in cur_workloads:
+            comparisons.append(
+                Comparison(name, "wall_s", base_workloads[name]["wall_s"],
+                           0.0, 0.0, 0.0, "missing")
+            )
+            continue
+        if name not in base_workloads:
+            comparisons.append(
+                Comparison(name, "wall_s", 0.0,
+                           cur_workloads[name]["wall_s"], 0.0, 0.0, "new")
+            )
+            continue
+        base_entry, cur_entry = base_workloads[name], cur_workloads[name]
+        comparisons.append(
+            _compare_metric(
+                name, "wall_s", float(base_entry["wall_s"]),
+                float(cur_entry["wall_s"]), wall, calibration_ratio,
+                noise_floor=True,
+            )
+        )
+        comparisons.append(
+            _compare_metric(
+                name, "cpu_s", float(base_entry["cpu_s"]),
+                float(cur_entry["cpu_s"]), cpu, calibration_ratio,
+                noise_floor=True,
+            )
+        )
+        base_peak = float(base_entry.get("py_peak_bytes") or 0)
+        cur_peak = float(cur_entry.get("py_peak_bytes") or 0)
+        if base_peak > 0 and cur_peak > 0:
+            comparisons.append(
+                _compare_metric(
+                    name, "py_peak_bytes", base_peak, cur_peak, memory,
+                    1.0, noise_floor=False,
+                )
+            )
+    return comparisons
+
+
+def worst_status(comparisons: list[Comparison]) -> str:
+    """The most severe status across all comparisons."""
+    worst = "ok"
+    for comparison in comparisons:
+        if STATUSES.index(comparison.status) > STATUSES.index(worst):
+            worst = comparison.status
+    # ``missing`` gates as hard as ``fail``; ``new`` is informational.
+    return worst
+
+
+def gate_exit_code(comparisons: list[Comparison]) -> int:
+    """0 when the gate passes; 1 on any ``fail`` or ``missing``."""
+    return int(
+        any(c.status in ("fail", "missing") for c in comparisons)
+    )
+
+
+_STATUS_MARKS = {
+    "ok": "✅", "new": "🆕", "warn": "⚠️", "fail": "❌", "missing": "❌",
+}
+
+
+def render_markdown(
+    comparisons: list[Comparison],
+    *,
+    calibration_ratio: float | None = None,
+) -> str:
+    """The comparison as a markdown summary (CI job output)."""
+    lines = ["# Bench regression report", ""]
+    if calibration_ratio is not None:
+        lines.append(
+            f"Machine calibration ratio (current/baseline): "
+            f"{calibration_ratio:.2f} — baselines scaled accordingly."
+        )
+        lines.append("")
+    lines.append("| workload | metric | baseline | current | ratio | status |")
+    lines.append("|---|---|---:|---:|---:|:---:|")
+    for c in comparisons:
+        mark = _STATUS_MARKS.get(c.status, c.status)
+        lines.append(
+            f"| {c.workload} | {c.metric} | {c.baseline:.4g} | "
+            f"{c.current:.4g} | {c.ratio:.2f}x | {mark} {c.status} |"
+        )
+    lines.append("")
+    verdict = worst_status(comparisons)
+    if verdict in ("fail", "missing"):
+        lines.append("**Verdict: FAIL** — performance regression gate tripped.")
+    elif verdict == "warn":
+        lines.append(
+            "**Verdict: WARN** — drift above the watch threshold "
+            "(non-blocking)."
+        )
+    else:
+        lines.append("**Verdict: OK** — within thresholds.")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI: measure the smoke suite and/or gate against a baseline.
+
+    ``--measure`` writes ``results/BENCH_smoke.json``; ``--check``
+    compares it (measuring first when absent) against the committed
+    baseline and exits 1 on a hard failure; ``--update`` promotes the
+    fresh record to the baseline.  ``--markdown FILE`` mirrors the
+    report (``-`` for stdout only).
+    """
+    parser = argparse.ArgumentParser(
+        prog="regress.py",
+        description="Compare bench runs against committed baselines.",
+    )
+    parser.add_argument("--measure", action="store_true",
+                        help="run the smoke suite and write BENCH_smoke.json")
+    parser.add_argument("--check", action="store_true",
+                        help="gate the fresh record against the baseline")
+    parser.add_argument("--update", action="store_true",
+                        help="promote the fresh record to the baseline")
+    parser.add_argument("--baseline", metavar="FILE",
+                        help="baseline record (default: results/baselines/)")
+    parser.add_argument("--current", metavar="FILE",
+                        help="compare this record instead of measuring")
+    parser.add_argument("--markdown", metavar="FILE",
+                        help="write the markdown report here ('-' = stdout)")
+    parser.add_argument("--scale", type=int, default=60,
+                        help="bench database scale (movies)")
+    parser.add_argument("--reps", type=int, default=3,
+                        help="timing repetitions per workload (min wins)")
+    args = parser.parse_args(argv)
+    if not (args.measure or args.check or args.update):
+        parser.error("pick at least one of --measure / --check / --update")
+
+    current: dict[str, Any] | None = None
+    if args.current:
+        current = load_record(args.current)
+    if current is None and (args.measure or args.check or args.update):
+        print(f"measuring smoke suite (scale={args.scale}, reps={args.reps})…")
+        current = measure_smoke(scale=args.scale, reps=args.reps)
+        out = results_path("BENCH_smoke.json")
+        out.write_text(json.dumps(current, indent=2) + "\n", encoding="utf-8")
+        print(f"wrote {out}")
+
+    if args.update:
+        assert current is not None
+        target = baseline_path()
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(current, indent=2) + "\n", encoding="utf-8")
+        print(f"baseline updated: {target}")
+
+    if not args.check:
+        return 0
+
+    assert current is not None
+    base_file = Path(args.baseline) if args.baseline else baseline_path()
+    if not base_file.exists():
+        print(f"no baseline at {base_file}; run with --update to create one",
+              file=sys.stderr)
+        return 1
+    baseline = load_record(base_file)
+    comparisons = compare_records(baseline, current)
+    base_cal = float(baseline.get("calibration_s") or 0.0)
+    cur_cal = float(current.get("calibration_s") or 0.0)
+    ratio = cur_cal / base_cal if base_cal > 0 and cur_cal > 0 else None
+    report = render_markdown(comparisons, calibration_ratio=ratio)
+    print(report)
+    if args.markdown and args.markdown != "-":
+        Path(args.markdown).write_text(report + "\n", encoding="utf-8")
+        print(f"wrote {args.markdown}")
+    return gate_exit_code(comparisons)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -8,6 +8,13 @@ Subcommands
 ``interactive``
     A terminal spreadsheet session against a generated source database
     (the closest thing to the paper's web UI that fits a terminal).
+``explain``
+    Run one traced sample search (or load a ``--trace-out`` JSON-lines
+    file) and print its provenance report: which mapping paths were
+    generated, kept or pruned (and why — zero-support, PMNJ bound,
+    dominated), the weave fuse statistics, and every candidate's score
+    decomposition.  ``--format json`` for machines, ``--html FILE`` for
+    a single-file report.
 ``datasets``
     Print the generated datasets' schema/size summaries.
 ``study``
@@ -153,6 +160,58 @@ def _cmd_interactive(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_dataset(dataset: str, scale: int):
+    if dataset == "yahoo":
+        return build_yahoo_movies(n_movies=scale)
+    if dataset == "imdb":
+        return build_imdb(n_movies=scale)
+    return build_running_example()
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    if args.input:
+        roots, _metrics = obs.parse_jsonl(
+            open(args.input, encoding="utf-8").read()
+        )
+        try:
+            explanation = obs.SearchExplanation.from_trace(
+                roots, search_id=args.search_id
+            )
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    else:
+        db = _build_dataset(args.dataset, args.scale)
+        sample = tuple(
+            value.strip() for value in args.sample.split(",") if value.strip()
+        )
+        if not sample:
+            print("error: --sample must name at least one value",
+                  file=sys.stderr)
+            return 2
+        with obs.scoped() as tracer:
+            result = TPWEngine(db).search(sample)
+            if args.trace_out:
+                target = obs.write_jsonl(
+                    args.trace_out,
+                    tracer.finished,
+                    obs.get_metrics().snapshot(),
+                )
+                print(f"wrote trace to {target}", file=sys.stderr)
+        assert result.trace is not None
+        explanation = obs.SearchExplanation.from_span(result.trace)
+
+    if args.html:
+        with open(args.html, "w", encoding="utf-8") as handle:
+            handle.write(explanation.to_html())
+        print(f"wrote HTML report to {args.html}", file=sys.stderr)
+    if args.format == "json":
+        print(explanation.to_json())
+    else:
+        print(explanation.to_text())
+    return 0
+
+
 def _cmd_datasets(args: argparse.Namespace) -> int:
     yahoo = build_yahoo_movies(n_movies=args.scale)
     imdb = build_imdb(n_movies=args.scale)
@@ -238,6 +297,55 @@ def build_parser() -> argparse.ArgumentParser:
     )
     interactive.set_defaults(func=_cmd_interactive)
 
+    explain = sub.add_parser(
+        "explain",
+        help="provenance report for one sample search",
+        description=(
+            "Run a traced search (or read an existing --trace-out file) "
+            "and report why each candidate mapping path was kept or "
+            "pruned, the weave fuse statistics, and the score "
+            "decomposition of every ranked candidate."
+        ),
+    )
+    explain.add_argument(
+        "--dataset", choices=("running", "yahoo", "imdb"), default="running"
+    )
+    explain.add_argument("--scale", type=int, default=150)
+    explain.add_argument(
+        "--sample",
+        default="Big Fish,Tim Burton",
+        help="comma-separated sample tuple to search for (default "
+             "exercises a zero-support prune on the running example)",
+    )
+    explain.add_argument(
+        "--input",
+        metavar="FILE",
+        help="explain an existing JSON-lines trace instead of searching",
+    )
+    explain.add_argument(
+        "--search-id",
+        type=int,
+        default=None,
+        help="pick one search out of a multi-search trace (see the "
+             "search_id attribute on tpw.search spans)",
+    )
+    explain.add_argument(
+        "--format", choices=("text", "json"), default="text"
+    )
+    explain.add_argument(
+        "--html",
+        metavar="FILE",
+        help="additionally write a single-file HTML report",
+    )
+    explain.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        help="also dump the traced search as JSON-lines to FILE",
+    )
+    # explain manages its own tracer scope (it must read the span tree
+    # to build the report), so main()'s --trace-out wrapper skips it.
+    explain.set_defaults(func=_cmd_explain, self_traced=True)
+
     datasets = sub.add_parser("datasets", help="describe the generated datasets")
     datasets.add_argument("--scale", type=int, default=150)
     datasets.add_argument("--verbose", action="store_true")
@@ -260,7 +368,9 @@ def main(argv: list[str] | None = None) -> int:
             print(f"error: {error}", file=sys.stderr)
             return 2
     trace_out = getattr(args, "trace_out", None)
-    if not (getattr(args, "trace", False) or trace_out):
+    if getattr(args, "self_traced", False) or not (
+        getattr(args, "trace", False) or trace_out
+    ):
         return args.func(args)
     with obs.scoped() as tracer:
         code = args.func(args)

@@ -15,6 +15,7 @@ from repro.config import TPWConfig
 from repro.core.mapping_path import MappingPath
 from repro.core.tuple_path import TuplePath
 from repro.obs import get_metrics, get_tracer
+from repro.obs.explain import NULL_EXPLAIN
 from repro.relational.database import Database
 from repro.relational.executor import evaluate_tree
 from repro.text.errors import ErrorModel
@@ -51,13 +52,17 @@ def create_pairwise_tuple_paths(
     model: ErrorModel,
     config: TPWConfig,
     tracer=None,
+    explain=NULL_EXPLAIN,
 ) -> tuple[dict[tuple[int, int], list[TuplePath]], int]:
     """Build the Pairwise Tuple Path Map (paper: ``PTPM``).
 
     Returns the map plus the count of pairwise mapping paths that
     turned out valid (had at least one supporting tuple path).  Each
     key pair's query batch runs inside a ``tpw.instantiate.pair`` span
-    on ``tracer`` (default: the shared :mod:`repro.obs` handle).
+    on ``tracer`` (default: the shared :mod:`repro.obs` handle);
+    ``explain`` receives one decision per mapping path, carrying the
+    support count and the ``zero-support`` prune reason when the query
+    came back empty.
     """
     tracer = tracer or get_tracer()
     metrics = get_metrics()
@@ -85,10 +90,15 @@ def create_pairwise_tuple_paths(
                 if tuple_paths:
                     valid_here += 1
                     collected.extend(tuple_paths)
+                if explain.enabled:
+                    explain.instantiate_decision(
+                        key_pair, mapping_path, len(tuple_paths)
+                    )
             invalid_counter.inc(len(mapping_paths) - valid_here)
             valid_mapping_paths += valid_here
             span.set("valid_mapping_paths", valid_here)
             span.set("tuple_paths", len(collected))
+            explain.annotate_instantiate_pair(span)
         if collected:
             ptpm[key_pair] = collected
     return ptpm, valid_mapping_paths

@@ -18,6 +18,7 @@ from repro.core.mapping_path import MappingPath
 from repro.graphs.schema_graph import SchemaGraph
 from repro.graphs.walks import Walk, enumerate_walks
 from repro.obs import get_metrics
+from repro.obs.explain import NULL_EXPLAIN
 from repro.relational.query import JoinTree, JoinTreeEdge
 
 #: Pairwise Mapping Path Map: key pair -> mapping paths (paper: PMPM).
@@ -76,6 +77,7 @@ def generate_pairwise_mapping_paths(
     graph: SchemaGraph,
     location_map: LocationMap,
     config: TPWConfig,
+    explain=NULL_EXPLAIN,
 ) -> PairwiseMappingPathMap:
     """Algorithm 2: build the pairwise mapping path map ``PMPM``.
 
@@ -83,6 +85,11 @@ def generate_pairwise_mapping_paths(
     distinct (up to isomorphism) mapping path of size two that joins an
     attribute containing sample ``i`` to an attribute containing sample
     ``j`` within the PMNJ bound.  Entries with no paths are omitted.
+
+    ``explain`` (an :class:`~repro.obs.explain.ExplainRecorder` during a
+    traced search) receives a kept/dominated decision per generated path
+    and the PMNJ frontier: walks truncated at the join bound while
+    unexplored edges remained, i.e. where enumeration provably stopped.
     """
     metrics = get_metrics()
     walk_counter = metrics.counter("repro.pairwise.walks")
@@ -99,6 +106,12 @@ def generate_pairwise_mapping_paths(
                 allow_backtrack=config.allow_backtrack,
             ):
                 walk_counter.inc()
+                if (
+                    explain.enabled
+                    and walk.n_joins >= config.pmnj
+                    and graph.incident_edges(walk.end)
+                ):
+                    explain.pmnj_frontier(key_i, walk)
                 for key_j in range(key_i + 1, m):
                     if not location_map.attributes_in_relation(key_j, walk.end):
                         continue
@@ -110,6 +123,14 @@ def generate_pairwise_mapping_paths(
                         if signature not in bucket:
                             bucket[signature] = path
                             path_counter.inc()
+                            if explain.enabled:
+                                explain.pairwise_decision(
+                                    (key_i, key_j), path, "kept"
+                                )
+                        elif explain.enabled:
+                            explain.pairwise_decision(
+                                (key_i, key_j), path, "pruned", "dominated"
+                            )
     for key_pair, bucket in sorted(dedup.items()):
         pmpm[key_pair] = list(bucket.values())
     return pmpm

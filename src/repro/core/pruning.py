@@ -18,19 +18,55 @@ from __future__ import annotations
 from collections.abc import Mapping, Sequence
 
 from repro.core.mapping_path import MappingPath
-from repro.obs import get_metrics
+from repro.obs import get_metrics, get_tracer
+from repro.obs.explain import MAX_RECORDS
 from repro.relational.database import Database
 from repro.relational.executor import tree_exists
 from repro.text.errors import ErrorModel, default_error_model
 
 
-def _record_decisions(reason: str, evaluated: int, kept: int) -> None:
-    """Count prune outcomes by reason (audit trail for ranking behavior)."""
+def _record_decisions(
+    reason: str,
+    candidates: Sequence[MappingPath],
+    kept: Sequence[MappingPath],
+) -> None:
+    """Count prune outcomes by reason (audit trail for ranking behavior).
+
+    With tracing enabled, additionally attach one decision record per
+    candidate to the innermost open span (``session.prune`` /
+    ``session.replay``), so session traces carry the same per-candidate
+    provenance the search's explain log does.
+    """
     metrics = get_metrics()
-    if not metrics.enabled:
+    if metrics.enabled:
+        metrics.counter("repro.prune.evaluated", reason=reason).inc(
+            len(candidates)
+        )
+        metrics.counter("repro.prune.dropped", reason=reason).inc(
+            len(candidates) - len(kept)
+        )
+    tracer = get_tracer()
+    if not tracer.enabled:
         return
-    metrics.counter("repro.prune.evaluated", reason=reason).inc(evaluated)
-    metrics.counter("repro.prune.dropped", reason=reason).inc(evaluated - kept)
+    span = tracer.current()
+    if span is None:
+        return
+    kept_signatures = {mapping.signature() for mapping in kept}
+    records = span.attributes.setdefault("decisions", [])
+    for mapping in candidates:
+        if len(records) >= MAX_RECORDS:
+            span.attributes["decisions_dropped"] = (
+                span.attributes.get("decisions_dropped", 0) + 1
+            )
+            continue
+        survived = mapping.signature() in kept_signatures
+        records.append(
+            {
+                "path": mapping.describe(),
+                "decision": "kept" if survived else "pruned",
+                "reason": None if survived else reason,
+            }
+        )
 
 
 def prune_by_attribute(
@@ -54,7 +90,7 @@ def prune_by_attribute(
             kept.append(mapping)
         elif mapping.attribute_of(key) in containing:
             kept.append(mapping)
-    _record_decisions("attribute", len(candidates), len(kept))
+    _record_decisions("attribute", candidates, kept)
     return kept
 
 
@@ -80,5 +116,5 @@ def prune_by_structure(
         predicates = mapping.predicates_for(row_samples, model)
         if tree_exists(db, mapping.tree, predicates):
             kept.append(mapping)
-    _record_decisions("structure", len(candidates), len(kept))
+    _record_decisions("structure", candidates, kept)
     return kept

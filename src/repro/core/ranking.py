@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from repro.config import RankingWeights
 from repro.core.mapping_path import MappingPath
 from repro.core.tuple_path import TuplePath
+from repro.obs.explain import NULL_EXPLAIN
 from repro.relational.database import Database
 from repro.text.errors import ErrorModel
 
@@ -77,11 +78,16 @@ def rank_mappings(
     samples: Sequence[str],
     model: ErrorModel,
     weights: RankingWeights,
+    explain=NULL_EXPLAIN,
 ) -> list[RankedMapping]:
     """Group complete tuple paths by mapping and rank the mappings.
 
     The sort is best-score first; ties break toward fewer joins, then a
     stable textual key, so results are deterministic run to run.
+
+    ``explain`` (an :class:`~repro.obs.explain.ExplainRecorder` during a
+    traced search) receives each ranked candidate's score decomposition:
+    ``score = match_weight * mean(match) − join_weight * n_joins``.
     """
     sample_map = dict(enumerate(samples))
     groups: dict[object, tuple[MappingPath, list[TuplePath]]] = {}
@@ -94,18 +100,24 @@ def rank_mappings(
             groups[signature] = (mapping, [tuple_path])
 
     ranked = []
+    match_means: dict[int, float] = {}
     for mapping, tuple_paths in groups.values():
-        scores = [
-            score_tuple_path(db, tuple_path, sample_map, model, weights)
+        matches = [
+            matching_score(db, tuple_path, sample_map, model)
             for tuple_path in tuple_paths
         ]
-        ranked.append(
-            RankedMapping(
-                mapping=mapping,
-                score=sum(scores) / len(scores),
-                tuple_paths=tuple(tuple_paths),
-            )
+        scores = [
+            weights.match_weight * match - weights.join_weight * tuple_path.n_joins
+            for match, tuple_path in zip(matches, tuple_paths)
+        ]
+        candidate = RankedMapping(
+            mapping=mapping,
+            score=sum(scores) / len(scores),
+            tuple_paths=tuple(tuple_paths),
         )
+        ranked.append(candidate)
+        if explain.enabled:
+            match_means[id(candidate)] = sum(matches) / len(matches)
     ranked.sort(
         key=lambda candidate: (
             -candidate.score,
@@ -113,4 +125,16 @@ def rank_mappings(
             candidate.mapping.describe(),
         )
     )
+    if explain.enabled:
+        for rank, candidate in enumerate(ranked, start=1):
+            match_mean = match_means[id(candidate)]
+            explain.score(
+                rank,
+                candidate.mapping,
+                score=candidate.score,
+                match_mean=match_mean,
+                match_term=weights.match_weight * match_mean,
+                join_term=weights.join_weight * candidate.mapping.n_joins,
+                support=candidate.support,
+            )
     return ranked

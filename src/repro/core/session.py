@@ -273,6 +273,7 @@ class MappingSession:
         with get_tracer().span("session.search") as span:
             self.search_result = self.engine.search(sample_tuple)
             span.set("candidates", self.search_result.n_candidates)
+            span.set("search_id", self.search_result.search_id)
         self.timings.search_seconds.append(span.duration)
         self._candidates = list(self.search_result.candidates)
         if self.search_result.location_map.empty_keys():

@@ -87,7 +87,18 @@ class SearchStats:
         attributes, timings from span durations.  JSON round-trips turn
         integer dict keys into strings, so keyed attributes are stored
         stringly and converted back here.
+
+        Raises :class:`ValueError` unless ``span`` is a ``tpw.search``
+        span — passing any other tree used to *silently* return
+        all-zero stats (easy to hit with a multi-search trace file;
+        use :meth:`from_trace` for those).
         """
+        if span.name != "tpw.search":
+            raise ValueError(
+                "SearchStats.from_span needs a tpw.search span, got "
+                f"{span.name!r}; use SearchStats.from_trace to select a "
+                "search out of a full trace"
+            )
         stats = cls()
         stats.timings["total"] = span.duration
         stats.valid_complete_mappings = int(span.attributes.get("candidates", 0))
@@ -127,6 +138,41 @@ class SearchStats:
                         level_span.attributes.get("kept", 0)
                     )
         return stats
+
+    @classmethod
+    def from_trace(
+        cls, roots: "list[Span] | tuple[Span, ...]", search_id: int | None = None
+    ) -> "SearchStats":
+        """Derive the stats of one search out of a whole trace.
+
+        ``roots`` is a list of span trees, e.g. ``tracer.finished`` or
+        the result of :func:`repro.obs.export.parse_jsonl`; nested
+        ``tpw.search`` spans (sessions, benches) are found too.  With
+        ``search_id`` the matching search is selected; without it the
+        trace must contain exactly one search — a trace with several
+        raises :class:`ValueError` (naming the available ids) instead
+        of silently picking one.
+        """
+        from repro.obs.explain import find_searches
+
+        searches = find_searches(roots)
+        if search_id is not None:
+            searches = [
+                span
+                for span in searches
+                if span.attributes.get("search_id") == search_id
+            ]
+            if not searches:
+                raise ValueError(f"no tpw.search span with id {search_id}")
+        if not searches:
+            raise ValueError("trace contains no tpw.search span")
+        if len(searches) > 1:
+            ids = [span.attributes.get("search_id") for span in searches]
+            raise ValueError(
+                f"trace contains {len(searches)} searches (ids {ids}); "
+                "pass search_id to pick one"
+            )
+        return cls.from_span(searches[0])
 
     def describe(self) -> str:
         """Multi-line summary for logs."""

@@ -24,6 +24,7 @@ stopwatches that still feed the phase timings.
 
 from __future__ import annotations
 
+import itertools
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
@@ -42,11 +43,16 @@ from repro.core.weave import weave_complete_tuple_paths
 from repro.exceptions import SessionError
 from repro.graphs.schema_graph import SchemaGraph
 from repro.obs import get_logger, get_metrics, get_tracer
+from repro.obs.explain import NULL_EXPLAIN, ExplainRecorder
 from repro.obs.tracer import Span
 from repro.relational.database import Database
 from repro.text.errors import ErrorModel, default_error_model
 
 _log = get_logger(__name__)
+
+#: Process-wide search ids, so traces holding several searches (a bench
+#: run, a session with re-searches) can be told apart by explain tools.
+_search_ids = itertools.count(1)
 
 
 @dataclass
@@ -64,6 +70,10 @@ class SearchResult:
     location_map: LocationMap
     stats: SearchStats = field(default_factory=SearchStats)
     trace: Span | None = None
+    #: Process-unique id of this search; also the ``search_id``
+    #: attribute of the ``tpw.search`` span, so multi-search traces can
+    #: be disambiguated (``SearchStats.from_trace``, ``repro explain``).
+    search_id: int = 0
 
     @property
     def mappings(self) -> list[MappingPath]:
@@ -121,9 +131,15 @@ class TPWEngine:
             raise SessionError("the sample tuple must have at least one column")
         tracer = get_tracer()
         stats = SearchStats()
-        with tracer.span("tpw.search", columns=len(samples)) as root:
+        search_id = next(_search_ids)
+        # The explain recorder rides the tracer: one per traced search,
+        # the shared no-op otherwise (keeps the disabled path free).
+        explain = ExplainRecorder() if tracer.enabled else NULL_EXPLAIN
+        with tracer.span(
+            "tpw.search", columns=len(samples), search_id=search_id
+        ) as root:
             candidates, location_map = self._search_phases(
-                samples, stats, tracer
+                samples, stats, tracer, explain
             )
             root.set("candidates", len(candidates))
         stats.timings["total"] = root.duration
@@ -138,6 +154,7 @@ class TPWEngine:
             location_map,
             stats,
             trace=root if tracer.enabled else None,
+            search_id=search_id,
         )
 
     def _search_phases(
@@ -145,6 +162,7 @@ class TPWEngine:
         samples: tuple[str, ...],
         stats: SearchStats,
         tracer,
+        explain=NULL_EXPLAIN,
     ) -> tuple[list[RankedMapping], LocationMap]:
         """The phase pipeline, each phase inside its span."""
         with tracer.span("tpw.locate") as span:
@@ -168,21 +186,25 @@ class TPWEngine:
 
         if len(samples) == 1:
             return (
-                self._search_single_column(samples, location_map, stats, tracer),
+                self._search_single_column(
+                    samples, location_map, stats, tracer, explain
+                ),
                 location_map,
             )
 
         with tracer.span("tpw.pairwise") as span:
             pmpm = generate_pairwise_mapping_paths(
-                self.graph, location_map, self.config
+                self.graph, location_map, self.config, explain=explain
             )
             stats.pairwise_mapping_paths = count_pairwise_paths(pmpm)
             span.set("mapping_paths", stats.pairwise_mapping_paths)
+            explain.annotate_pairwise(span)
         stats.timings["pairwise"] = span.duration
 
         with tracer.span("tpw.instantiate") as span:
             ptpm, valid_pairwise = create_pairwise_tuple_paths(
-                self.db, pmpm, samples, self.model, self.config, tracer=tracer
+                self.db, pmpm, samples, self.model, self.config,
+                tracer=tracer, explain=explain,
             )
             stats.pairwise_valid_mapping_paths = valid_pairwise
             span.set("valid_mapping_paths", valid_pairwise)
@@ -194,18 +216,22 @@ class TPWEngine:
 
         with tracer.span("tpw.weave") as span:
             complete = weave_complete_tuple_paths(
-                ptpm, len(samples), self.config, stats, tracer=tracer
+                ptpm, len(samples), self.config, stats,
+                tracer=tracer, explain=explain,
             )
             span.set("pairwise_tuple_paths", stats.pairwise_tuple_paths)
             span.set("complete_tuple_paths", stats.complete_tuple_paths)
+            explain.annotate_weave(span)
         stats.timings["weave"] = span.duration
 
         with tracer.span("tpw.rank") as span:
             candidates = rank_mappings(
-                self.db, complete, samples, self.model, self.config.ranking
+                self.db, complete, samples, self.model, self.config.ranking,
+                explain=explain,
             )
             stats.valid_complete_mappings = len(candidates)
             span.set("candidates", len(candidates))
+            explain.annotate_rank(span)
         stats.timings["rank"] = span.duration
         return candidates, location_map
 
@@ -217,6 +243,7 @@ class TPWEngine:
         location_map: LocationMap,
         stats: SearchStats,
         tracer,
+        explain=NULL_EXPLAIN,
     ) -> list[RankedMapping]:
         """Target size one: each containing attribute is a candidate."""
         with tracer.span("tpw.instantiate", single_column=True) as span:
@@ -238,9 +265,11 @@ class TPWEngine:
 
         with tracer.span("tpw.rank") as span:
             candidates = rank_mappings(
-                self.db, tuple_paths, samples, self.model, self.config.ranking
+                self.db, tuple_paths, samples, self.model, self.config.ranking,
+                explain=explain,
             )
             stats.valid_complete_mappings = len(candidates)
             span.set("candidates", len(candidates))
+            explain.annotate_rank(span)
         stats.timings["rank"] = span.duration
         return candidates

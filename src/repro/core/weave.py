@@ -44,6 +44,7 @@ from repro.core.stats import SearchStats
 from repro.core.tuple_path import TuplePath
 from repro.exceptions import SearchBudgetExceeded
 from repro.obs import get_logger, get_metrics, get_tracer
+from repro.obs.explain import NULL_EXPLAIN
 from repro.obs.metrics import COUNT_BUCKETS
 from repro.relational.query import JoinTree, JoinTreeEdge
 
@@ -240,6 +241,7 @@ def weave_complete_tuple_paths(
     config: TPWConfig,
     stats: SearchStats,
     tracer=None,
+    explain=NULL_EXPLAIN,
 ) -> list[TuplePath]:
     """Algorithm 5: build complete tuple paths level by level.
 
@@ -248,15 +250,21 @@ def weave_complete_tuple_paths(
     (exactly one shared key) onto every level-``n`` path.  Statistics
     for Figures 12–13 and Table 4 are recorded on ``stats`` and, when
     ``tracer`` (default: the shared :mod:`repro.obs` handle) is live,
-    mirrored onto one ``tpw.weave.level`` span per level.
+    mirrored onto one ``tpw.weave.level`` span per level.  ``explain``
+    receives the fuse statistics — candidates in/out per level, how many
+    woven paths were dominated (duplicate canonical signature), and a
+    few dominated examples.
     """
     tracer = tracer or get_tracer()
     metrics = get_metrics()
+    pairwise_in = sum(len(tuple_paths) for tuple_paths in ptpm.values())
     level: dict[object, TuplePath] = {}
     for tuple_paths in ptpm.values():
         for tuple_path in tuple_paths:
             level.setdefault(tuple_path.signature(), tuple_path)
     stats.pairwise_tuple_paths = len(level)
+    if explain.enabled:
+        explain.weave_entry(pairwise_in, len(level))
 
     # Index the deduplicated pairwise paths by (key, tuple, attribute)
     # so the inner loop only sees weavable partners.
@@ -271,6 +279,7 @@ def weave_complete_tuple_paths(
         with tracer.span("tpw.weave.level", level=size + 1) as level_span:
             next_level: dict[object, TuplePath] = {}
             woven = 0
+            dominated_examples: list[str] = []
             for base in current.values():
                 for key, (vertex, attribute) in base.projections.items():
                     anchor = (key, base.tuple_at(vertex), attribute)
@@ -282,11 +291,26 @@ def weave_complete_tuple_paths(
                             base, pair, key, exhaustive=config.exhaustive_weave
                         ):
                             woven += 1
-                            next_level.setdefault(result.signature(), result)
+                            signature = result.signature()
+                            if signature not in next_level:
+                                next_level[signature] = result
+                            elif (
+                                explain.enabled
+                                and len(dominated_examples) < 3
+                            ):
+                                dominated_examples.append(result.describe())
             stats.woven_per_level[size + 1] = woven
             stats.kept_per_level[size + 1] = len(next_level)
             level_span.set("woven", woven)
             level_span.set("kept", len(next_level))
+            explain.level_fuse(
+                level_span,
+                level=size + 1,
+                bases_in=len(current),
+                woven=woven,
+                kept=len(next_level),
+                examples=dominated_examples,
+            )
             metrics.counter("repro.weave.woven").inc(woven)
             metrics.histogram(
                 "repro.weave.level_width", buckets=COUNT_BUCKETS

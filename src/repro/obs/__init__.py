@@ -10,7 +10,10 @@ One import point for the three observability primitives:
 * :mod:`repro.obs.log` — stdlib logging under the ``repro.*``
   namespace,
 
-plus :mod:`repro.obs.export` for JSON-lines and human-readable output.
+plus :mod:`repro.obs.export` for JSON-lines and human-readable output
+and :mod:`repro.obs.explain` for per-search decision provenance (prune
+reasons, weave fuse statistics, score decompositions) riding the span
+tree.
 
 Everything is **off by default** and zero-cost-when-disabled: the
 shared handles are no-op implementations until :func:`enable` (or the
@@ -30,6 +33,13 @@ import os
 from contextlib import contextmanager
 from collections.abc import Iterator
 
+from repro.obs.explain import (
+    NULL_EXPLAIN,
+    ExplainRecorder,
+    NullExplainRecorder,
+    SearchExplanation,
+    find_searches,
+)
 from repro.obs.export import (
     parse_jsonl,
     render_metrics,
@@ -82,6 +92,11 @@ __all__ = [
     "enable_metrics",
     "disable_metrics",
     "metrics_enabled",
+    "ExplainRecorder",
+    "NullExplainRecorder",
+    "NULL_EXPLAIN",
+    "SearchExplanation",
+    "find_searches",
     "enable",
     "disable",
     "scoped",

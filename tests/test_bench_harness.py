@@ -105,6 +105,60 @@ class TestHarnessDrivers:
         assert means[-1] <= 1.0 + 1e-9
 
 
+class TestTraceSnapshots:
+    def test_run_tpw_search_writes_trace_and_metrics(
+        self, yahoo_db, simple_task, tmp_path, monkeypatch
+    ):
+        from repro import obs
+        from repro.bench import harness
+
+        monkeypatch.setattr(
+            harness, "results_path", lambda name: tmp_path / name
+        )
+        cell = run_tpw_search(
+            yahoo_db, simple_task, seed=1, trace_name="trace.jsonl"
+        )
+        assert cell.result.n_candidates >= 1
+        roots, metrics = obs.parse_jsonl(
+            (tmp_path / "trace.jsonl").read_text()
+        )
+        assert any(
+            span.name == "tpw.search" for root in roots for span in root.walk()
+        )
+        assert metrics is not None
+
+    def test_run_tpw_search_accounts_resources(self, yahoo_db, simple_task):
+        cell = run_tpw_search(
+            yahoo_db, simple_task, seed=1, measure_resources=True
+        )
+        assert cell.resources is not None
+        assert cell.resources.wall_s > 0
+        assert cell.resources.py_peak_bytes > 0
+        assert cell.seconds == cell.resources.wall_s
+
+    def test_run_feeder_aggregate_writes_session_trace(
+        self, yahoo_db, simple_task, tmp_path, monkeypatch
+    ):
+        from repro import obs
+        from repro.bench import harness
+
+        monkeypatch.setattr(
+            harness, "results_path", lambda name: tmp_path / name
+        )
+        aggregate = run_feeder_aggregate(
+            yahoo_db, simple_task, n_runs=2, seed=1,
+            trace_name="feeder.jsonl",
+        )
+        assert aggregate.convergence_rate == 1.0
+        roots, metrics = obs.parse_jsonl(
+            (tmp_path / "feeder.jsonl").read_text()
+        )
+        names = {span.name for root in roots for span in root.walk()}
+        assert "session.search" in names
+        assert "tpw.search" in names
+        assert metrics is not None
+
+
 class TestStatsHelpers:
     def test_level_profile_includes_pairwise(self):
         stats = SearchStats()

@@ -1,0 +1,231 @@
+"""Tests for the benchmark regression observatory (``repro.bench.regress``)."""
+
+import json
+
+import pytest
+
+from repro.bench import regress
+from repro.bench.regress import (
+    Comparison,
+    Threshold,
+    compare_records,
+    gate_exit_code,
+    render_markdown,
+    worst_status,
+)
+from repro.bench.resources import ResourceUsage, measure, measure_min
+
+
+def make_record(workloads, calibration_s=0.02):
+    """A minimal bench record with the given {name: wall_s} workloads."""
+    return {
+        "kind": regress.RECORD_KIND,
+        "name": "smoke",
+        "calibration_s": calibration_s,
+        "meta": {"scale": 60, "reps": 3},
+        "workloads": {
+            name: {
+                "wall_s": wall,
+                "cpu_s": wall,
+                "py_peak_bytes": 1_000_000,
+                "rss_peak_bytes": 50_000_000,
+            }
+            for name, wall in workloads.items()
+        },
+    }
+
+
+class TestCompareRecords:
+    def test_identical_records_are_ok(self):
+        record = make_record({"a": 0.010, "b": 0.020})
+        comparisons = compare_records(record, record)
+        assert comparisons and all(c.status == "ok" for c in comparisons)
+        assert gate_exit_code(comparisons) == 0
+
+    def test_injected_2x_slowdown_fails_the_gate(self):
+        baseline = make_record({"a": 0.010})
+        slowed = make_record({"a": 0.025})
+        comparisons = compare_records(baseline, slowed)
+        wall = next(c for c in comparisons if c.metric == "wall_s")
+        assert wall.status == "fail"
+        assert gate_exit_code(comparisons) == 1
+
+    def test_moderate_drift_warns_without_failing(self):
+        baseline = make_record({"a": 0.010})
+        drifted = make_record({"a": 0.0135})  # +35%: past warn, under 2x
+        comparisons = compare_records(baseline, drifted)
+        wall = next(c for c in comparisons if c.metric == "wall_s")
+        assert wall.status == "warn"
+        assert gate_exit_code(comparisons) == 0
+
+    def test_missing_workload_fails_the_gate(self):
+        baseline = make_record({"a": 0.010, "b": 0.010})
+        current = make_record({"a": 0.010})
+        comparisons = compare_records(baseline, current)
+        missing = [c for c in comparisons if c.status == "missing"]
+        assert [c.workload for c in missing] == ["b"]
+        assert gate_exit_code(comparisons) == 1
+
+    def test_new_workload_is_informational(self):
+        baseline = make_record({"a": 0.010})
+        current = make_record({"a": 0.010, "b": 0.010})
+        comparisons = compare_records(baseline, current)
+        new = [c for c in comparisons if c.status == "new"]
+        assert [c.workload for c in new] == ["b"]
+        assert gate_exit_code(comparisons) == 0
+
+    def test_calibration_ratio_rescales_baseline(self):
+        # The current machine is 2x slower per the microbenchmark, so a
+        # 2x wall increase is expected and must not trip the gate.
+        baseline = make_record({"a": 0.010}, calibration_s=0.010)
+        current = make_record({"a": 0.020}, calibration_s=0.020)
+        comparisons = compare_records(baseline, current)
+        wall = next(c for c in comparisons if c.metric == "wall_s")
+        assert wall.adjusted_baseline == pytest.approx(0.020)
+        assert wall.ratio == pytest.approx(1.0)
+        assert wall.status == "ok"
+
+    def test_noise_floor_demotes_tiny_workloads(self):
+        # 1 ms -> 2.5 ms is >2x relative but under both absolute floors:
+        # warn, not fail.
+        baseline = make_record({"a": 0.001})
+        current = make_record({"a": 0.0025})
+        comparisons = compare_records(baseline, current)
+        wall = next(c for c in comparisons if c.metric == "wall_s")
+        assert wall.status == "warn"
+        assert gate_exit_code(comparisons) == 0
+
+    def test_memory_regression_is_compared_uncalibrated(self):
+        baseline = make_record({"a": 0.010}, calibration_s=0.010)
+        current = make_record({"a": 0.010}, calibration_s=0.030)
+        current["workloads"]["a"]["py_peak_bytes"] = 2_500_000
+        comparisons = compare_records(baseline, current)
+        memory = next(c for c in comparisons if c.metric == "py_peak_bytes")
+        assert memory.ratio == pytest.approx(2.5)
+        assert memory.status == "fail"
+
+    def test_custom_thresholds(self):
+        baseline = make_record({"a": 0.010})
+        current = make_record({"a": 0.012})
+        strict = Threshold(warn=0.05, fail=0.10)
+        comparisons = compare_records(baseline, current, wall=strict)
+        wall = next(c for c in comparisons if c.metric == "wall_s")
+        assert wall.status == "fail"
+
+
+class TestVerdicts:
+    def test_worst_status_ordering(self):
+        def comp(status):
+            return Comparison("w", "wall_s", 1.0, 1.0, 1.0, 1.0, status)
+
+        assert worst_status([comp("ok"), comp("warn")]) == "warn"
+        assert worst_status([comp("warn"), comp("fail")]) == "fail"
+        assert worst_status([]) == "ok"
+
+    def test_render_markdown_verdicts(self):
+        ok = make_record({"a": 0.010})
+        assert "Verdict: OK" in render_markdown(compare_records(ok, ok))
+        failed = compare_records(ok, make_record({"a": 0.025}))
+        report = render_markdown(failed, calibration_ratio=1.0)
+        assert "Verdict: FAIL" in report
+        assert "| a | wall_s |" in report
+        assert "calibration ratio" in report
+
+    def test_describe_line(self):
+        line = Comparison("a", "wall_s", 0.01, 0.025, 0.01, 2.5, "fail")
+        assert line.describe() == "a wall_s: 0.01 -> 0.025 (2.50x) FAIL"
+
+
+class TestLoadRecord:
+    def test_round_trip(self, tmp_path):
+        record = make_record({"a": 0.010})
+        path = tmp_path / "rec.json"
+        path.write_text(json.dumps(record), encoding="utf-8")
+        assert regress.load_record(path) == record
+
+    def test_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"kind": "something-else"}))
+        with pytest.raises(ValueError, match="bench-record"):
+            regress.load_record(path)
+
+
+class TestMainGate:
+    def test_injected_slowdown_exits_nonzero(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        current = tmp_path / "current.json"
+        baseline.write_text(json.dumps(make_record({"a": 0.010})))
+        current.write_text(json.dumps(make_record({"a": 0.025})))
+        code = regress.main([
+            "--check",
+            "--baseline", str(baseline),
+            "--current", str(current),
+            "--markdown", str(tmp_path / "report.md"),
+        ])
+        assert code == 1
+        assert "FAIL" in (tmp_path / "report.md").read_text()
+
+    def test_clean_run_exits_zero(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(make_record({"a": 0.010})))
+        code = regress.main([
+            "--check",
+            "--baseline", str(baseline),
+            "--current", str(baseline),
+        ])
+        assert code == 0
+
+    def test_missing_baseline_errors(self, tmp_path, capsys):
+        current = tmp_path / "current.json"
+        current.write_text(json.dumps(make_record({"a": 0.010})))
+        code = regress.main([
+            "--check",
+            "--baseline", str(tmp_path / "absent.json"),
+            "--current", str(current),
+        ])
+        assert code == 1
+        assert "no baseline" in capsys.readouterr().err
+
+
+class TestResources:
+    def test_measure_accounts_wall_and_cpu(self):
+        usage = measure(lambda: sum(range(200_000)))
+        assert usage.wall_s > 0
+        assert usage.cpu_s > 0
+        assert usage.value == sum(range(200_000))
+        assert usage.py_peak_bytes == 0  # tracing off by default
+
+    def test_measure_traces_python_peak(self):
+        usage = measure(lambda: [bytearray(64) for _ in range(2_000)],
+                        trace_memory=True)
+        assert usage.py_peak_bytes > 100_000
+
+    def test_to_dict_drops_the_value(self):
+        usage = measure(lambda: "payload")
+        payload = usage.to_dict()
+        assert set(payload) == {
+            "wall_s", "cpu_s", "py_peak_bytes", "rss_peak_bytes"
+        }
+
+    def test_measure_min_returns_timing_and_memory(self):
+        calls = 0
+
+        def fn():
+            nonlocal calls
+            calls += 1
+            return list(range(10_000))
+
+        timing, mem = measure_min(fn, reps=3)
+        assert calls == 4  # 3 timing reps + 1 memory rep
+        assert timing.py_peak_bytes == 0
+        assert mem.py_peak_bytes > 0
+
+    def test_measure_min_rejects_zero_reps(self):
+        with pytest.raises(ValueError, match="reps"):
+            measure_min(lambda: None, reps=0)
+
+
+class TestCalibration:
+    def test_calibrate_is_positive_and_repeatable(self):
+        first = regress.calibrate(reps=2)
+        assert first > 0
