@@ -1,0 +1,64 @@
+"""Mapping-service load bench — p50/p95 latency and throughput.
+
+Runs the running-example flow (create session, four cells, candidates,
+delete) through a real loopback ``MappingServer`` at 1/4/8 concurrent
+clients and records the aggregates into ``results/BENCH_service.json``
+(a ``bench-record``, so ``benchmarks/regress.py --service --check``
+gates drift against ``results/baselines/BENCH_service.json``).
+
+Every flow is also a correctness probe: the converged mapping must be
+the movie–direct–person path the serial session finds, and a single
+request error fails the bench.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.bench.reporting import format_table, results_path
+from repro.bench.service_load import measure_service
+
+#: Concurrency levels the ISSUE's acceptance criteria name.
+CLIENT_LEVELS = (1, 4, 8)
+
+
+def test_service_load() -> None:
+    record = measure_service(clients=CLIENT_LEVELS, flows_per_client=5)
+
+    rows = []
+    for name, entry in record["workloads"].items():
+        rows.append(
+            (
+                name,
+                entry["clients"],
+                entry["requests"],
+                entry["p50_s"] * 1000,
+                entry["p95_s"] * 1000,
+                entry["throughput_rps"],
+                entry["errors"],
+                entry["mismatches"],
+            )
+        )
+    table = format_table(
+        ("workload", "clients", "requests", "p50(ms)", "p95(ms)",
+         "rps", "errors", "mismatches"),
+        rows,
+        title="Mapping service load (running example flow)",
+    )
+    print()
+    print(table)
+
+    out = results_path("BENCH_service.json")
+    out.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {out}")
+
+    for name, entry in record["workloads"].items():
+        assert entry["errors"] == 0, f"{name}: {entry['errors']} errors"
+        assert entry["mismatches"] == 0, (
+            f"{name}: {entry['mismatches']} flows diverged from serial"
+        )
+        assert entry["requests"] == entry["clients"] * 5 * 7
+
+
+if __name__ == "__main__":  # pragma: no cover - manual runs
+    test_service_load()

@@ -74,6 +74,10 @@ WALL_THRESHOLD = Threshold(warn=0.15, fail=1.0)
 CPU_THRESHOLD = Threshold(warn=0.25, fail=1.5)
 #: Python allocation peaks are deterministic — tight thresholds.
 MEMORY_THRESHOLD = Threshold(warn=0.20, fail=1.0)
+#: Service request latency (p95 under concurrent load) is far noisier
+#: than a single-thread search: the gate only trips on gross (>5x)
+#: regressions, as the ISSUE's "generous threshold" for CI asks.
+SERVICE_WALL_THRESHOLD = Threshold(warn=1.0, fail=4.0)
 
 
 @dataclass(frozen=True)
@@ -231,12 +235,16 @@ def compare_records(
     wall: Threshold = WALL_THRESHOLD,
     cpu: Threshold = CPU_THRESHOLD,
     memory: Threshold = MEMORY_THRESHOLD,
+    require_all: bool = True,
 ) -> list[Comparison]:
     """Diff two bench records, workload by workload.
 
     Workloads present on only one side yield ``new`` / ``missing``
     pseudo-comparisons (a *missing* workload fails the gate — a silently
-    dropped benchmark is itself a regression of coverage).
+    dropped benchmark is itself a regression of coverage).  With
+    ``require_all=False`` baseline-only workloads are skipped instead:
+    the service smoke job measures a subset (1 client) of the committed
+    1/4/8-client baseline on purpose.
     """
     base_cal = float(baseline.get("calibration_s") or 0.0)
     cur_cal = float(current.get("calibration_s") or 0.0)
@@ -246,6 +254,8 @@ def compare_records(
     cur_workloads = current.get("workloads", {})
     for name in sorted(set(base_workloads) | set(cur_workloads)):
         if name not in cur_workloads:
+            if not require_all:
+                continue
             comparisons.append(
                 Comparison(name, "wall_s", base_workloads[name]["wall_s"],
                            0.0, 0.0, 0.0, "missing")
@@ -265,13 +275,15 @@ def compare_records(
                 noise_floor=True,
             )
         )
-        comparisons.append(
-            _compare_metric(
-                name, "cpu_s", float(base_entry["cpu_s"]),
-                float(cur_entry["cpu_s"]), cpu, calibration_ratio,
-                noise_floor=True,
+        base_cpu = float(base_entry.get("cpu_s") or 0.0)
+        cur_cpu = float(cur_entry.get("cpu_s") or 0.0)
+        if base_cpu > 0 and cur_cpu > 0:
+            comparisons.append(
+                _compare_metric(
+                    name, "cpu_s", base_cpu, cur_cpu, cpu, calibration_ratio,
+                    noise_floor=True,
+                )
             )
-        )
         base_peak = float(base_entry.get("py_peak_bytes") or 0)
         cur_peak = float(cur_entry.get("py_peak_bytes") or 0)
         if base_peak > 0 and cur_peak > 0:
@@ -349,6 +361,14 @@ def main(argv: list[str] | None = None) -> int:
     baseline and exits 1 on a hard failure; ``--update`` promotes the
     fresh record to the baseline.  ``--markdown FILE`` mirrors the
     report (``-`` for stdout only).
+
+    ``--service`` switches the whole pipeline to the mapping-service
+    load bench (:mod:`repro.bench.service_load`): the record becomes
+    ``results/BENCH_service.json``, the baseline
+    ``results/baselines/BENCH_service.json``, the wall gate the
+    deliberately generous :data:`SERVICE_WALL_THRESHOLD`, and
+    baseline-only concurrency levels are skipped (CI measures just the
+    1-client level of the committed 1/4/8 baseline).
     """
     parser = argparse.ArgumentParser(
         prog="regress.py",
@@ -370,23 +390,69 @@ def main(argv: list[str] | None = None) -> int:
                         help="bench database scale (movies)")
     parser.add_argument("--reps", type=int, default=3,
                         help="timing repetitions per workload (min wins)")
+    parser.add_argument("--service", action="store_true",
+                        help="bench the mapping service load instead of "
+                             "the search smoke suite")
+    parser.add_argument("--clients", default="1,4,8", metavar="N,N,...",
+                        help="concurrency levels for --service")
+    parser.add_argument("--flows", type=int, default=5,
+                        help="flows per client for --service")
     args = parser.parse_args(argv)
     if not (args.measure or args.check or args.update):
         parser.error("pick at least one of --measure / --check / --update")
+
+    if args.service:
+        record_name = "BENCH_service.json"
+        wall_threshold = SERVICE_WALL_THRESHOLD
+        require_all = False
+    else:
+        record_name = "BENCH_smoke.json"
+        wall_threshold = WALL_THRESHOLD
+        require_all = True
 
     current: dict[str, Any] | None = None
     if args.current:
         current = load_record(args.current)
     if current is None and (args.measure or args.check or args.update):
-        print(f"measuring smoke suite (scale={args.scale}, reps={args.reps})…")
-        current = measure_smoke(scale=args.scale, reps=args.reps)
-        out = results_path("BENCH_smoke.json")
+        if args.service:
+            from repro.bench.service_load import measure_service
+
+            clients = tuple(
+                int(level) for level in args.clients.split(",") if level.strip()
+            )
+            print(f"measuring service load (clients={clients}, "
+                  f"flows={args.flows})…")
+            current = measure_service(
+                clients=clients, flows_per_client=args.flows
+            )
+        else:
+            print(f"measuring smoke suite (scale={args.scale}, "
+                  f"reps={args.reps})…")
+            current = measure_smoke(scale=args.scale, reps=args.reps)
+        out = results_path(record_name)
         out.write_text(json.dumps(current, indent=2) + "\n", encoding="utf-8")
         print(f"wrote {out}")
 
+    if args.service and current is not None:
+        # Correctness gates before any latency talk: every flow must
+        # have completed and converged identically to the serial run.
+        broken = {
+            name: entry
+            for name, entry in current.get("workloads", {}).items()
+            if entry.get("errors") or entry.get("mismatches")
+        }
+        if broken:
+            for name, entry in broken.items():
+                print(
+                    f"{name}: {entry.get('errors', 0)} request error(s), "
+                    f"{entry.get('mismatches', 0)} result mismatch(es)",
+                    file=sys.stderr,
+                )
+            return 1
+
     if args.update:
         assert current is not None
-        target = baseline_path()
+        target = baseline_path(record_name)
         target.parent.mkdir(parents=True, exist_ok=True)
         target.write_text(json.dumps(current, indent=2) + "\n", encoding="utf-8")
         print(f"baseline updated: {target}")
@@ -395,13 +461,15 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     assert current is not None
-    base_file = Path(args.baseline) if args.baseline else baseline_path()
+    base_file = Path(args.baseline) if args.baseline else baseline_path(record_name)
     if not base_file.exists():
         print(f"no baseline at {base_file}; run with --update to create one",
               file=sys.stderr)
         return 1
     baseline = load_record(base_file)
-    comparisons = compare_records(baseline, current)
+    comparisons = compare_records(
+        baseline, current, wall=wall_threshold, require_all=require_all
+    )
     base_cal = float(baseline.get("calibration_s") or 0.0)
     cur_cal = float(current.get("calibration_s") or 0.0)
     ratio = cur_cal / base_cal if base_cal > 0 and cur_cal > 0 else None

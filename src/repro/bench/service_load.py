@@ -1,0 +1,248 @@
+"""Load generator for the mapping service (``results/BENCH_service.json``).
+
+Drives a real :class:`~repro.service.http.MappingServer` (loopback
+socket, keep-alive connections) with N concurrent clients, each running
+the paper's running-example flow end to end::
+
+    POST /sessions
+    POST /sessions/{id}/cells   x4   (Avatar row, then Big Fish row)
+    GET  /sessions/{id}/candidates
+    DELETE /sessions/{id}
+
+Every flow must converge to the same mapping SQL the serial session
+produces — the load bench doubles as an isolation check.  Per-request
+latencies aggregate into p50/p95 and throughput per concurrency level;
+:func:`measure_service` packages them as a ``bench-record`` so the
+regression observatory (:mod:`repro.bench.regress`) can gate drift the
+same way it gates the search smoke suite (``wall_s`` carries the p95).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.service.app import ServiceApp
+from repro.service.config import ServiceConfig
+from repro.service.http import MappingServer
+
+#: The running-example flow each simulated client repeats.
+FLOW_CELLS: tuple[tuple[int, int, str], ...] = (
+    (0, 0, "Avatar"),
+    (0, 1, "James Cameron"),
+    (1, 0, "Big Fish"),
+    (1, 1, "Tim Burton"),
+)
+
+#: Marker of the converged running-example mapping (movie-direct-person).
+EXPECTED_MAPPING_FRAGMENT = "0->movie.title, 1->person.name"
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Nearest-rank percentile (``q`` in [0, 100]); 0.0 when empty."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1, round(q / 100 * len(ordered)) - 1))
+    return ordered[rank]
+
+
+@dataclass
+class LoadResult:
+    """Aggregated outcome of one concurrency level."""
+
+    clients: int
+    flows: int
+    requests: int = 0
+    errors: int = 0
+    #: Flows whose converged mapping differed from the serial run.
+    mismatches: int = 0
+    wall_s: float = 0.0
+    status_counts: dict[int, int] = field(default_factory=dict)
+    latencies_s: list[float] = field(default_factory=list)
+
+    @property
+    def p50_s(self) -> float:
+        """Median request latency."""
+        return percentile(self.latencies_s, 50)
+
+    @property
+    def p95_s(self) -> float:
+        """95th-percentile request latency."""
+        return percentile(self.latencies_s, 95)
+
+    @property
+    def throughput_rps(self) -> float:
+        """Completed requests per wall second."""
+        return self.requests / self.wall_s if self.wall_s > 0 else 0.0
+
+    def to_workload_entry(self) -> dict[str, Any]:
+        """The bench-record workload entry (``wall_s`` = p95 latency)."""
+        return {
+            "wall_s": self.p95_s,
+            "p50_s": self.p50_s,
+            "p95_s": self.p95_s,
+            "throughput_rps": round(self.throughput_rps, 2),
+            "clients": self.clients,
+            "requests": self.requests,
+            "errors": self.errors,
+            "mismatches": self.mismatches,
+        }
+
+
+class _Client:
+    """One keep-alive HTTP client running flows against the service."""
+
+    def __init__(self, host: str, port: int, timeout_s: float = 30.0) -> None:
+        self._conn = http.client.HTTPConnection(host, port, timeout=timeout_s)
+
+    def request(
+        self, method: str, path: str, body: dict[str, Any] | None = None
+    ) -> tuple[int, dict[str, Any] | None, float]:
+        """``(status, parsed body, latency seconds)`` for one request."""
+        payload = json.dumps(body).encode("utf-8") if body is not None else None
+        headers = {"Content-Type": "application/json"} if payload else {}
+        started = time.perf_counter()
+        self._conn.request(method, path, body=payload, headers=headers)
+        response = self._conn.getresponse()
+        raw = response.read()
+        elapsed = time.perf_counter() - started
+        parsed = json.loads(raw) if raw else None
+        return response.status, parsed, elapsed
+
+    def close(self) -> None:
+        self._conn.close()
+
+
+def _run_flow(client: _Client, result: LoadResult, lock: threading.Lock) -> None:
+    """One full sample -> converged-mapping flow; records into result."""
+    local_latencies: list[float] = []
+    statuses: list[int] = []
+
+    def call(method: str, path: str, body: dict[str, Any] | None = None):
+        status, parsed, elapsed = client.request(method, path, body)
+        local_latencies.append(elapsed)
+        statuses.append(status)
+        return status, parsed
+
+    errors = 0
+    mismatch = 0
+    status, body = call("POST", "/sessions", {})
+    if status != 201 or body is None:
+        errors += 1
+        session_id = None
+    else:
+        session_id = body["session_id"]
+    if session_id is not None:
+        for row, column, value in FLOW_CELLS:
+            status, body = call(
+                "POST",
+                f"/sessions/{session_id}/cells",
+                {"row": row, "column": column, "value": value},
+            )
+            if status != 200:
+                errors += 1
+        status, body = call(
+            "GET", f"/sessions/{session_id}/candidates?limit=1"
+        )
+        if status != 200 or body is None:
+            errors += 1
+        elif (
+            body.get("status") != "converged"
+            or not body.get("candidates")
+            or EXPECTED_MAPPING_FRAGMENT
+            not in body["candidates"][0]["mapping"]
+        ):
+            mismatch += 1
+        status, _ = call("DELETE", f"/sessions/{session_id}")
+        if status != 204:
+            errors += 1
+    with lock:
+        result.latencies_s.extend(local_latencies)
+        result.requests += len(local_latencies)
+        result.errors += errors
+        result.mismatches += mismatch
+        for status in statuses:
+            result.status_counts[status] = (
+                result.status_counts.get(status, 0) + 1
+            )
+
+
+def run_load(
+    host: str, port: int, *, clients: int, flows_per_client: int
+) -> LoadResult:
+    """Hammer a running server with ``clients`` concurrent flow loops."""
+    result = LoadResult(clients=clients, flows=clients * flows_per_client)
+    lock = threading.Lock()
+
+    def client_loop() -> None:
+        client = _Client(host, port)
+        try:
+            for _ in range(flows_per_client):
+                _run_flow(client, result, lock)
+        finally:
+            client.close()
+
+    threads = [
+        threading.Thread(target=client_loop, name=f"load-client-{index}")
+        for index in range(clients)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    result.wall_s = time.perf_counter() - started
+    return result
+
+
+def measure_service(
+    *,
+    clients: tuple[int, ...] = (1, 4, 8),
+    flows_per_client: int = 5,
+    config: ServiceConfig | None = None,
+) -> dict[str, Any]:
+    """Measure the load bench into one ``bench-record`` dict.
+
+    Starts an in-process server on an ephemeral port, runs each
+    concurrency level in sequence (one warmup flow first so dataset and
+    location caches are hot), and returns the record ready for
+    ``results/BENCH_service.json`` and the regression observatory.
+    """
+    from repro.bench.regress import RECORD_KIND, calibrate
+
+    config = config or ServiceConfig(
+        port=0,
+        datasets=("running",),
+        workers=8,
+        queue_size=64,
+        max_sessions=128,
+    )
+    record: dict[str, Any] = {
+        "kind": RECORD_KIND,
+        "name": "service",
+        "calibration_s": calibrate(),
+        "meta": {
+            "flows_per_client": flows_per_client,
+            "workers": config.workers,
+            "queue_size": config.queue_size,
+            "dataset": config.datasets[0],
+        },
+        "workloads": {},
+    }
+    app = ServiceApp(config)
+    with MappingServer(app, port=0) as server:
+        run_load(server.host, server.port, clients=1, flows_per_client=1)
+        for level in clients:
+            result = run_load(
+                server.host, server.port,
+                clients=level, flows_per_client=flows_per_client,
+            )
+            record["workloads"][f"service/c{level}"] = (
+                result.to_workload_entry()
+            )
+    return record

@@ -15,6 +15,12 @@ Subcommands
     dominated), the weave fuse statistics, and every candidate's score
     decomposition.  ``--format json`` for machines, ``--html FILE`` for
     a single-file report.
+``serve``
+    Run the concurrent mapping service (:mod:`repro.service`): an HTTP
+    JSON API over named mapping sessions with a shared dataset
+    registry, a bounded worker pool and TTL session eviction.  Exit
+    codes: 2 for configuration errors (unknown dataset, bad knobs), 1
+    for runtime failures (port already bound), 0 on clean shutdown.
 ``datasets``
     Print the generated datasets' schema/size summaries.
 ``study``
@@ -212,6 +218,65 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.exceptions import ServiceConfigError
+    from repro.service import MappingServer, ServiceApp, ServiceConfig
+
+    datasets = tuple(
+        name.strip() for name in args.datasets.split(",") if name.strip()
+    )
+    columns = tuple(
+        column.strip() for column in args.columns.split(",") if column.strip()
+    )
+    try:
+        config = ServiceConfig(
+            host=args.host,
+            port=args.port,
+            datasets=datasets,
+            scale=args.scale,
+            max_sessions=args.max_sessions,
+            session_ttl_s=args.session_ttl,
+            workers=args.workers,
+            queue_size=args.queue_size,
+            request_timeout_s=args.request_timeout,
+            location_cache_size=args.location_cache,
+            default_columns=columns,
+        ).validate()
+    except ServiceConfigError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    # /metrics should report real numbers even without --trace.
+    obs.enable_metrics()
+    app = ServiceApp(config)
+    try:
+        server = MappingServer(app)
+    except OSError as error:
+        print(
+            f"error: cannot bind {config.host}:{config.port}: {error}",
+            file=sys.stderr,
+        )
+        app.close()
+        return 1
+    print(f"mweaver service listening on {server.url}")
+    print(
+        f"datasets: {', '.join(config.datasets)}  "
+        f"workers: {config.workers}  queue: {config.queue_size}  "
+        f"sessions: <= {config.max_sessions} (ttl {config.session_ttl_s:g}s)"
+    )
+    print("Ctrl-C to stop.")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+        return 0
+    except Exception as error:  # surfaced as a runtime failure
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    finally:
+        server.shutdown()
+    return 0
+
+
 def _cmd_datasets(args: argparse.Namespace) -> int:
     yahoo = build_yahoo_movies(n_movies=args.scale)
     imdb = build_imdb(n_movies=args.scale)
@@ -345,6 +410,49 @@ def build_parser() -> argparse.ArgumentParser:
     # explain manages its own tracer scope (it must read the span tree
     # to build the report), so main()'s --trace-out wrapper skips it.
     explain.set_defaults(func=_cmd_explain, self_traced=True)
+
+    serve = sub.add_parser(
+        "serve",
+        parents=[tracing],
+        help="run the concurrent mapping service (HTTP JSON API)",
+        description=(
+            "Serve mapping sessions over HTTP: POST /sessions, "
+            "POST /sessions/{id}/cells, GET /sessions/{id}/candidates, "
+            "GET /sessions/{id}/explain, GET /healthz, GET /metrics. "
+            "A full work queue answers 429 with Retry-After; idle "
+            "sessions are evicted after the TTL. Exit codes: 2 on "
+            "configuration errors, 1 on runtime failures."
+        ),
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8384,
+                       help="TCP port (0 = let the OS pick)")
+    serve.add_argument(
+        "--datasets",
+        default="running",
+        help="comma-separated datasets to preload (running, yahoo, imdb)",
+    )
+    serve.add_argument("--scale", type=int, default=150,
+                       help="movie count for the generated datasets")
+    serve.add_argument(
+        "--columns",
+        default="Name,Director",
+        help="default target columns for sessions that name none",
+    )
+    serve.add_argument("--workers", type=int, default=4,
+                       help="worker threads running searches")
+    serve.add_argument("--queue-size", type=int, default=32,
+                       help="bounded work-queue depth (full = 429)")
+    serve.add_argument("--max-sessions", type=int, default=64,
+                       help="cap on concurrently live sessions")
+    serve.add_argument("--session-ttl", type=float, default=900.0,
+                       metavar="SECONDS", help="idle eviction TTL")
+    serve.add_argument("--request-timeout", type=float, default=10.0,
+                       metavar="SECONDS", help="per-request deadline")
+    serve.add_argument("--location-cache", type=int, default=4096,
+                       metavar="ENTRIES",
+                       help="cross-session LocateSample LRU size (0 = off)")
+    serve.set_defaults(func=_cmd_serve)
 
     datasets = sub.add_parser("datasets", help="describe the generated datasets")
     datasets.add_argument("--scale", type=int, default=150)

@@ -73,15 +73,18 @@ class MappingSession:
         config: TPWConfig | None = None,
         model: ErrorModel | None = None,
         on_irrelevant: str = "ignore",
+        location_cache=None,
     ) -> None:
         if on_irrelevant not in ("ignore", "apply"):
             raise SessionError("on_irrelevant must be 'ignore' or 'apply'")
-        self.engine = TPWEngine(db, config, model)
+        self.engine = TPWEngine(db, config, model, location_cache=location_cache)
         self.spreadsheet = Spreadsheet(columns)
         self.on_irrelevant = on_irrelevant
         self.search_result: SearchResult | None = None
         self.events: list[SessionEvent] = []
         self.warnings: list[str] = []
+        #: Message of the last failed :meth:`input` (cleared on success).
+        self.last_error: str | None = None
         self.timings = _Timings()
         self._candidates: list[RankedMapping] = []
         #: (row, column, previous content) per applied input, for undo.
@@ -143,21 +146,46 @@ class MappingSession:
         triggers the initial sample search; editing row 0 afterwards
         re-runs the search and replays all later rows.  Inputs below
         row 0 require the search to have run and prune incrementally.
+
+        Failures are atomic: if the search or pruning raises (budget
+        exhaustion, a deadline interrupting a service request, …) the
+        cell, undo history and candidate state all roll back to their
+        pre-call values, :attr:`last_error` records the failure, and
+        the exception propagates — the session stays usable.
         """
         if row > 0 and self.search_result is None:
             raise SessionError(
                 "fill the first row completely before adding more samples"
             )
         previous = self.spreadsheet.cell(row, column)
+        prior_result = self.search_result
+        prior_candidates = list(self._candidates)
         self.spreadsheet.set_cell(row, column, content)
         self._undo_stack.append((row, column, previous))
         self._log("input", f"({row}, {column}) <- {content.strip()!r}")
+        try:
+            self._apply_input(row, column, content, previous)
+        except Exception as error:
+            self.spreadsheet.set_cell(row, column, previous or "")
+            if self._undo_stack and self._undo_stack[-1] == (row, column, previous):
+                self._undo_stack.pop()
+            self.search_result = prior_result
+            self._candidates = prior_candidates
+            self.last_error = f"{type(error).__name__}: {error}"
+            self._log("error", f"input rolled back: {self.last_error}")
+            raise
+        self.last_error = None
+        return self.status
 
+    def _apply_input(
+        self, row: int, column: int, content: str, previous: str | None
+    ) -> None:
+        """The state-mutating body of :meth:`input` (see its contract)."""
         if row == 0:
             if self.spreadsheet.first_row_complete():
                 self._run_search()
                 self._replay_pruning()
-            return self.status
+            return
 
         stripped = content.strip()
         if not stripped or (previous is not None and previous != stripped):
@@ -174,10 +202,9 @@ class MappingSession:
                     f"{self.spreadsheet.columns[column]!r} currently "
                     f"contradicts every candidate"
                 )
-            return self.status
+            return
 
         self._prune_with_cell(row, column, stripped, revert_on_empty=True)
-        return self.status
 
     def load_cells(self, cells: Mapping[tuple[int, int], str]) -> SessionStatus:
         """Replace the whole grid and recompute the session state.

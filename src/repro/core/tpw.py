@@ -102,6 +102,11 @@ class TPWEngine:
     model:
         The noisy-containment error model; defaults to token
         containment, mirroring the paper's MySQL full-text setup.
+    location_cache:
+        Optional shared LocateSample cache (any object exposing
+        ``location_map(db, samples, model) -> LocationMap``), used by
+        the service layer to share per-sample occurrence lookups
+        across concurrent sessions; ``None`` locates from scratch.
     """
 
     def __init__(
@@ -109,11 +114,22 @@ class TPWEngine:
         db: Database,
         config: TPWConfig | None = None,
         model: ErrorModel | None = None,
+        *,
+        location_cache=None,
     ) -> None:
         self.db = db
         self.config = config or TPWConfig()
         self.model = model or default_error_model()
         self.graph = SchemaGraph(db.schema)
+        self.location_cache = location_cache
+
+    def _locate(self, samples: tuple[str, ...]) -> LocationMap:
+        """LocateSample, through the shared cache when one is attached."""
+        if self.location_cache is not None:
+            return self.location_cache.location_map(
+                self.db, samples, self.model
+            )
+        return build_location_map(self.db, samples, self.model)
 
     # ------------------------------------------------------------------
 
@@ -166,7 +182,7 @@ class TPWEngine:
     ) -> tuple[list[RankedMapping], LocationMap]:
         """The phase pipeline, each phase inside its span."""
         with tracer.span("tpw.locate") as span:
-            location_map = build_location_map(self.db, samples, self.model)
+            location_map = self._locate(samples)
             stats.location_hits = {
                 key: len(location_map.attributes_of(key))
                 for key in range(len(samples))

@@ -77,3 +77,49 @@ class SessionError(ReproError):
 
 class DatasetError(ReproError):
     """A synthetic dataset generator was configured inconsistently."""
+
+
+class ServiceError(ReproError):
+    """Base class for mapping-service failures (:mod:`repro.service`)."""
+
+
+class ServiceConfigError(ServiceError):
+    """The service was configured inconsistently (unknown dataset,
+    non-positive pool sizes, a TTL shorter than the request timeout…).
+
+    The ``mweaver serve`` subcommand maps this to exit code 2.
+    """
+
+
+class ServiceOverloadedError(ServiceError):
+    """The service's bounded work queue (or session table) is full.
+
+    The HTTP layer maps this to ``429 Too Many Requests`` with a
+    ``Retry-After`` hint; ``retry_after_s`` carries the suggested wait.
+    """
+
+    def __init__(self, what: str, *, retry_after_s: float = 1.0) -> None:
+        super().__init__(f"service overloaded: {what}")
+        self.what = what
+        self.retry_after_s = retry_after_s
+
+
+class DeadlineExceeded(ServiceError):
+    """A service request missed its deadline before/while executing."""
+
+    def __init__(self, what: str, deadline_s: float) -> None:
+        super().__init__(f"deadline exceeded after {deadline_s:g}s: {what}")
+        self.what = what
+        self.deadline_s = deadline_s
+
+
+class UnknownSessionError(ServiceError):
+    """A session id was addressed but is not (or no longer) live.
+
+    Raised both for ids that never existed and for sessions the
+    TTL/idle sweeper already evicted; the HTTP layer maps it to 404.
+    """
+
+    def __init__(self, session_id: str) -> None:
+        super().__init__(f"unknown session: {session_id!r}")
+        self.session_id = session_id

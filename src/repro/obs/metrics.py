@@ -37,43 +37,61 @@ COUNT_BUCKETS: tuple[float, ...] = (
 
 
 class Counter:
-    """Monotonically increasing count."""
+    """Monotonically increasing count.
 
-    __slots__ = ("name", "labels", "value")
+    Updates take the instrument's own lock: ``value += amount`` is a
+    read-modify-write that can lose increments when several threads
+    (the service's workers, every HTTP handler thread) hit the same
+    instrument — and lost counts are exactly what a counter must never
+    do.
+    """
+
+    __slots__ = ("name", "labels", "value", "_lock")
 
     def __init__(self, name: str, labels: tuple[tuple[str, str], ...]) -> None:
         self.name = name
         self.labels = labels
         self.value: int | float = 0
+        self._lock = Lock()
 
     def inc(self, amount: int | float = 1) -> None:
         """Add ``amount`` (must be non-negative) to the count."""
         if amount < 0:
             raise ValueError("counters only go up; use a gauge")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 class Gauge:
-    """Last-write-wins instantaneous value."""
+    """Last-write-wins instantaneous value.
 
-    __slots__ = ("name", "labels", "value")
+    ``inc``/``dec`` are read-modify-writes and take the instrument's
+    lock like :meth:`Counter.inc`; ``set`` is a single store but locks
+    too so a concurrent ``inc`` never resurrects an overwritten value.
+    """
+
+    __slots__ = ("name", "labels", "value", "_lock")
 
     def __init__(self, name: str, labels: tuple[tuple[str, str], ...]) -> None:
         self.name = name
         self.labels = labels
         self.value: int | float = 0
+        self._lock = Lock()
 
     def set(self, value: int | float) -> None:
         """Replace the gauge's value."""
-        self.value = value
+        with self._lock:
+            self.value = value
 
     def inc(self, amount: int | float = 1) -> None:
         """Raise the gauge by ``amount``."""
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def dec(self, amount: int | float = 1) -> None:
         """Lower the gauge by ``amount``."""
-        self.value -= amount
+        with self._lock:
+            self.value -= amount
 
 
 class Histogram:
@@ -81,9 +99,14 @@ class Histogram:
 
     ``bounds`` are inclusive upper bounds; one overflow bucket catches
     everything above the last bound, so ``len(counts) == len(bounds)+1``.
+
+    :meth:`observe` updates bucket, sum and count under the
+    instrument's lock so concurrent observers (every request and worker
+    thread of the mapping service shares one latency histogram) never
+    lose observations or tear the sum/count pair apart.
     """
 
-    __slots__ = ("name", "labels", "bounds", "counts", "sum", "count")
+    __slots__ = ("name", "labels", "bounds", "counts", "sum", "count", "_lock")
 
     def __init__(
         self,
@@ -99,12 +122,15 @@ class Histogram:
         self.counts = [0] * (len(bounds) + 1)
         self.sum: float = 0.0
         self.count: int = 0
+        self._lock = Lock()
 
     def observe(self, value: int | float) -> None:
         """Record one observation in its bucket (and sum / count)."""
-        self.counts[bisect_left(self.bounds, value)] += 1
-        self.sum += value
-        self.count += 1
+        bucket = bisect_left(self.bounds, value)
+        with self._lock:
+            self.counts[bucket] += 1
+            self.sum += value
+            self.count += 1
 
     @property
     def mean(self) -> float:

@@ -44,11 +44,23 @@ Span naming convention (see ``docs/observability.md``):
 ``session.prune``         one incremental pruning interaction
 ``session.replay``        full pruning replay after an edit/undo/restore
 ``kwsearch.search``       one keyword-search query
+``service.request``       one HTTP request to the mapping service; attrs
+                          ``method``, ``route``, ``status``
 ========================  =====================================================
+
+Cross-thread parentage: the open-span stack is thread-local, so a span
+opened on a worker thread becomes a *root* even when the logical parent
+(say a ``service.request``) is open on the request thread.
+:meth:`Tracer.adopt` bridges the gap — the worker pushes the parent
+span onto its own stack for the duration of the job, so spans it opens
+nest under the adopted parent.  Only one thread may adopt a given span
+at a time (the service's worker pool guarantees this by running each
+request's work on exactly one worker).
 """
 
 from __future__ import annotations
 
+import contextlib
 import functools
 import threading
 import time
@@ -258,6 +270,29 @@ class Tracer:
         current thread's innermost open span."""
         return Span(name, attributes or None, tracer=self)
 
+    @contextlib.contextmanager
+    def adopt(self, span: Span | None) -> Iterator[Span | None]:
+        """Parent this thread's spans under ``span`` (opened elsewhere).
+
+        Pushes an already-open span onto *this* thread's stack without
+        taking ownership: leaving the block pops it again but does not
+        finish it or re-file it under a parent — the opening thread's
+        ``__exit__`` still does that.  ``adopt(None)`` is a no-op, so
+        call sites can pass through an optional parent unconditionally.
+        """
+        if span is None:
+            yield None
+            return
+        stack = self._stack()
+        stack.append(span)
+        try:
+            yield span
+        finally:
+            if stack and stack[-1] is span:
+                stack.pop()
+            elif span in stack:  # a child leaked an unbalanced exit
+                stack.remove(span)
+
     def current(self) -> Span | None:
         """The innermost open span on this thread, or ``None``."""
         stack = self._stack()
@@ -283,6 +318,11 @@ class NullTracer:
     def span(self, name: str, **attributes: Any) -> Stopwatch:
         """A fresh :class:`Stopwatch` — wall-clock only, never recorded."""
         return Stopwatch()
+
+    @contextlib.contextmanager
+    def adopt(self, span: Any = None) -> Iterator[None]:
+        """No-op adoption (the disabled tracer keeps no stacks)."""
+        yield None
 
     def current(self) -> None:
         """Always ``None``: the disabled tracer keeps no open-span stack."""

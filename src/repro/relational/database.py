@@ -150,6 +150,22 @@ class Database:
             self._text_indexes[key] = index
         return index
 
+    def warm_indexes(self) -> None:
+        """Eagerly build every lazy cache (text indexes, FK adjacency).
+
+        The text indexes and foreign-key adjacency maps are normally
+        built on first use and memoised in plain dicts — fine for one
+        thread, but a data race when concurrent readers share the
+        instance.  Warming them up-front makes the database effectively
+        immutable, so the service layer can serve many sessions from
+        one shared copy without locking the read path.
+        """
+        for relation, attribute in self.schema.text_attribute_pairs():
+            self.text_index(relation, attribute)
+        for foreign_key in self.schema.foreign_keys():
+            if foreign_key.name not in self._fk_forward:
+                self._build_fk_adjacency(foreign_key)
+
     def search_attribute(
         self,
         relation: str,

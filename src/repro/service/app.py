@@ -1,0 +1,399 @@
+"""The mapping service application: routing, request semantics, JSON.
+
+:class:`ServiceApp` is the transport-independent heart of the service —
+:meth:`ServiceApp.handle` takes ``(method, path, query, body)`` and
+returns ``(status, body, headers)``.  The HTTP layer
+(:mod:`repro.service.http`) is a thin socket adapter over it, which is
+also what makes the concurrency tests honest: they drive ``handle``
+from many threads without a loopback socket in the way.
+
+API surface (all JSON)::
+
+    POST   /sessions                  {dataset?, columns?} -> 201 session
+    GET    /sessions                  -> {sessions: [...ids...]}
+    GET    /sessions/{id}             -> session state
+    DELETE /sessions/{id}             -> 204
+    POST   /sessions/{id}/cells       {row, column|column_name, value}
+    GET    /sessions/{id}/candidates  ?limit=N&sql=1
+    GET    /sessions/{id}/explain     -> events, warnings, best SQL
+    GET    /sessions/{id}/suggest     ?row=&column=&prefix=&limit=
+    GET    /healthz                   -> liveness + pool/session gauges
+    GET    /metrics                   -> obs snapshot + service stats
+
+Failure mapping: unknown/evicted session -> 404, malformed input -> 400,
+full work queue or session table -> 429 with ``Retry-After``, a missed
+request deadline -> 504, anything unexpected -> 500.  Every request runs
+inside a ``service.request`` span; search/prune work executes on the
+worker pool, which re-parents its spans under the request via
+:meth:`repro.obs.tracer.Tracer.adopt`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from repro import obs
+from repro.core.session import MappingSession
+from repro.exceptions import (
+    DeadlineExceeded,
+    ReproError,
+    ServiceOverloadedError,
+    SessionError,
+    UnknownSessionError,
+)
+from repro.obs import get_logger, get_metrics, get_tracer
+from repro.service.config import ServiceConfig
+from repro.service.registry import DatasetRegistry, LocationCache
+from repro.service.sessions import ManagedSession, SessionManager
+from repro.service.workers import WorkerPool
+
+_log = get_logger(__name__)
+
+#: ``(status, json body or None, extra headers)``.
+Response = tuple[int, "dict[str, Any] | None", "dict[str, str]"]
+
+
+class _BadRequest(Exception):
+    """Internal: malformed payloads become 400s with this message."""
+
+
+def _require(body: dict[str, Any] | None, key: str) -> Any:
+    if not isinstance(body, dict) or key not in body:
+        raise _BadRequest(f"missing required field {key!r}")
+    return body[key]
+
+
+def _as_int(value: Any, name: str) -> int:
+    try:
+        return int(value)
+    except (TypeError, ValueError):
+        raise _BadRequest(f"{name} must be an integer") from None
+
+
+class ServiceApp:
+    """One running instance of the mapping service."""
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        *,
+        registry: DatasetRegistry | None = None,
+    ) -> None:
+        self.config = (config or ServiceConfig()).validate()
+        self.registry = registry or DatasetRegistry(scale=self.config.scale)
+        self.registry.preload(self.config.datasets)
+        self.location_cache = (
+            LocationCache(self.config.location_cache_size)
+            if self.config.location_cache_size
+            else None
+        )
+        self.sessions = SessionManager(
+            max_sessions=self.config.max_sessions,
+            ttl_s=self.config.session_ttl_s,
+            retry_after_s=self.config.retry_after_s,
+        )
+        self.pool = WorkerPool(
+            workers=self.config.workers,
+            queue_size=self.config.queue_size,
+            retry_after_s=self.config.retry_after_s,
+        )
+        self.started_at = time.time()
+        self._closed = False
+
+    def close(self) -> None:
+        """Stop the worker pool (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            self.pool.shutdown()
+
+    def __enter__(self) -> "ServiceApp":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    def handle(
+        self,
+        method: str,
+        path: str,
+        query: dict[str, str] | None = None,
+        body: dict[str, Any] | None = None,
+    ) -> Response:
+        """Route one request; never raises — failures become statuses."""
+        query = query or {}
+        parts = tuple(part for part in path.split("/") if part)
+        route = self._route_template(method, parts)
+        tracer = get_tracer()
+        with tracer.span("service.request", method=method, route=route) as span:
+            started = time.perf_counter()
+            try:
+                status, payload, headers = self._dispatch(
+                    method, parts, query, body
+                )
+            except _BadRequest as error:
+                status, payload, headers = 400, {"error": str(error)}, {}
+            except UnknownSessionError as error:
+                status, payload, headers = 404, {"error": str(error)}, {}
+            except ServiceOverloadedError as error:
+                status = 429
+                payload = {"error": str(error),
+                           "retry_after_s": error.retry_after_s}
+                headers = {
+                    "Retry-After": str(max(1, round(error.retry_after_s)))
+                }
+            except DeadlineExceeded as error:
+                status, payload, headers = 504, {"error": str(error)}, {}
+            except SessionError as error:
+                status, payload, headers = 400, {"error": str(error)}, {}
+            except ReproError as error:
+                status, payload, headers = 400, {"error": str(error)}, {}
+            except Exception as error:  # noqa: BLE001 - the 500 boundary
+                _log.exception("unhandled error on %s %s", method, path)
+                status = 500
+                payload = {"error": f"{type(error).__name__}: {error}"}
+                headers = {}
+            span.set("status", status)
+            elapsed = time.perf_counter() - started
+        metrics = get_metrics()
+        metrics.counter(
+            "repro.service.requests", route=route, status=status
+        ).inc()
+        metrics.histogram("repro.service.request.seconds").observe(elapsed)
+        return status, payload, headers
+
+    @staticmethod
+    def _route_template(method: str, parts: tuple[str, ...]) -> str:
+        """Low-cardinality route label (session ids collapsed)."""
+        if parts and parts[0] == "sessions" and len(parts) >= 2:
+            tail = "/".join(parts[2:])
+            suffix = f"/{tail}" if tail else ""
+            return f"{method} /sessions/{{id}}{suffix}"
+        return f"{method} /{'/'.join(parts)}"
+
+    def _dispatch(
+        self,
+        method: str,
+        parts: tuple[str, ...],
+        query: dict[str, str],
+        body: dict[str, Any] | None,
+    ) -> Response:
+        if parts == ("healthz",) and method == "GET":
+            return self.healthz()
+        if parts == ("metrics",) and method == "GET":
+            return self.metrics()
+        if parts == ("sessions",):
+            if method == "POST":
+                return self.create_session(body)
+            if method == "GET":
+                return 200, {"sessions": list(self.sessions.ids())}, {}
+        if len(parts) == 2 and parts[0] == "sessions":
+            session_id = parts[1]
+            if method == "GET":
+                return self.session_state(session_id)
+            if method == "DELETE":
+                self.sessions.remove(session_id)
+                return 204, None, {}
+        if len(parts) == 3 and parts[0] == "sessions":
+            session_id, action = parts[1], parts[2]
+            if action == "cells" and method == "POST":
+                return self.put_cell(session_id, body)
+            if action == "candidates" and method == "GET":
+                return self.candidates(session_id, query)
+            if action == "explain" and method == "GET":
+                return self.explain(session_id)
+            if action == "suggest" and method == "GET":
+                return self.suggest(session_id, query)
+        return 404, {"error": f"no route for {method} /{'/'.join(parts)}"}, {}
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+
+    def create_session(self, body: dict[str, Any] | None) -> Response:
+        """``POST /sessions`` — admit a new mapping session."""
+        body = body or {}
+        dataset = str(body.get("dataset", self.config.datasets[0]))
+        if dataset not in self.config.datasets:
+            raise _BadRequest(
+                f"dataset {dataset!r} is not served (loaded: "
+                f"{', '.join(self.config.datasets)})"
+            )
+        columns = body.get("columns", list(self.config.default_columns))
+        if (
+            not isinstance(columns, (list, tuple))
+            or not columns
+            or not all(isinstance(c, str) and c.strip() for c in columns)
+        ):
+            raise _BadRequest("columns must be a non-empty list of names")
+        db = self.registry.get(dataset)
+
+        def factory() -> MappingSession:
+            return MappingSession(
+                db, [c.strip() for c in columns],
+                location_cache=self.location_cache,
+            )
+
+        managed = self.sessions.create(dataset, factory)
+        return 201, self._state(managed), {}
+
+    def session_state(self, session_id: str) -> Response:
+        """``GET /sessions/{id}`` — the session's current state."""
+        managed = self.sessions.get(session_id)
+        with managed.lock:
+            return 200, self._state(managed), {}
+
+    def put_cell(
+        self, session_id: str, body: dict[str, Any] | None
+    ) -> Response:
+        """``POST /sessions/{id}/cells`` — apply one spreadsheet input.
+
+        The search/prune work runs on the worker pool under the
+        session's lock, bounded by the configured request deadline.
+        """
+        managed = self.sessions.get(session_id)
+        row = _as_int(_require(body, "row"), "row")
+        value = str(_require(body, "value"))
+        assert body is not None
+        column_name = body.get("column_name")
+        column = body.get("column")
+        if column is None and column_name is None:
+            raise _BadRequest("provide either column or column_name")
+
+        def work() -> dict[str, Any]:
+            with managed.lock:
+                if column is not None:
+                    managed.session.input(
+                        row, _as_int(column, "column"), value
+                    )
+                else:
+                    managed.session.input_named(row, str(column_name), value)
+                return self._state(managed)
+
+        state = self.pool.run(work, timeout_s=self.config.request_timeout_s)
+        return 200, state, {}
+
+    def candidates(self, session_id: str, query: dict[str, str]) -> Response:
+        """``GET /sessions/{id}/candidates`` — ranked candidate mappings."""
+        managed = self.sessions.get(session_id)
+        limit = _as_int(query.get("limit", 10), "limit")
+        with_sql = query.get("sql", "") in ("1", "true", "yes")
+        with managed.lock:
+            session = managed.session
+            columns = list(session.spreadsheet.columns)
+            ranked = session.candidates[: max(0, limit)]
+            items = []
+            for rank, candidate in enumerate(ranked, start=1):
+                item: dict[str, Any] = {
+                    "rank": rank,
+                    "score": candidate.score,
+                    "support": candidate.support,
+                    "mapping": candidate.mapping.describe(),
+                }
+                if with_sql:
+                    item["sql"] = candidate.mapping.to_sql(
+                        session.db.schema, column_names=columns
+                    )
+                items.append(item)
+            return 200, {
+                "session_id": session_id,
+                "status": session.status.value,
+                "n_candidates": len(session.candidates),
+                "candidates": items,
+            }, {}
+
+    def explain(self, session_id: str) -> Response:
+        """``GET /sessions/{id}/explain`` — audit log and best mapping."""
+        managed = self.sessions.get(session_id)
+        with managed.lock:
+            session = managed.session
+            best = session.best_mapping()
+            body: dict[str, Any] = {
+                "session_id": session_id,
+                "status": session.status.value,
+                "samples": session.sample_count(),
+                "events": [
+                    {
+                        "kind": event.kind,
+                        "message": event.message,
+                        "n_candidates": event.n_candidates,
+                    }
+                    for event in session.events
+                ],
+                "warnings": list(session.warnings),
+                "last_error": session.last_error,
+                "best_mapping": best.describe() if best else None,
+                "best_sql": (
+                    best.to_sql(
+                        session.db.schema,
+                        column_names=list(session.spreadsheet.columns),
+                    )
+                    if best
+                    else None
+                ),
+            }
+            return 200, body, {}
+
+    def suggest(self, session_id: str, query: dict[str, str]) -> Response:
+        """``GET /sessions/{id}/suggest`` — auto-completion values."""
+        managed = self.sessions.get(session_id)
+        row = _as_int(query.get("row", 0), "row")
+        column = _as_int(_require(query, "column"), "column")
+        prefix = query.get("prefix", "")
+        limit = _as_int(query.get("limit", 10), "limit")
+
+        def work() -> list[str]:
+            with managed.lock:
+                return managed.session.suggest(
+                    row, column, prefix, limit=limit
+                )
+
+        values = self.pool.run(work, timeout_s=self.config.request_timeout_s)
+        return 200, {"session_id": session_id, "suggestions": values}, {}
+
+    def healthz(self) -> Response:
+        """``GET /healthz`` — liveness plus headline gauges."""
+        return 200, {
+            "status": "ok",
+            "uptime_s": round(time.time() - self.started_at, 3),
+            "datasets": list(self.registry.loaded()),
+            "sessions": self.sessions.count(),
+            "max_sessions": self.config.max_sessions,
+            "workers": self.config.workers,
+            "queue_size": self.config.queue_size,
+        }, {}
+
+    def metrics(self) -> Response:
+        """``GET /metrics`` — obs snapshot plus service-level stats."""
+        cache_stats = (
+            self.location_cache.stats() if self.location_cache else None
+        )
+        return 200, {
+            "service": {
+                "uptime_s": round(time.time() - self.started_at, 3),
+                "sessions": self.sessions.count(),
+                "sessions_evicted": self.sessions.evicted,
+                "location_cache": cache_stats,
+            },
+            "metrics": obs.get_metrics().snapshot(),
+        }, {}
+
+    # ------------------------------------------------------------------
+
+    def _state(self, managed: ManagedSession) -> dict[str, Any]:
+        session = managed.session
+        return {
+            "session_id": managed.session_id,
+            "dataset": managed.dataset,
+            "columns": list(session.spreadsheet.columns),
+            "status": session.status.value,
+            "samples": session.sample_count(),
+            "n_candidates": len(session.candidates),
+            "converged": session.converged,
+            "warnings": list(session.warnings),
+            "last_error": session.last_error,
+        }

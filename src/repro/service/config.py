@@ -1,0 +1,95 @@
+"""Deployment knobs for the mapping service (:mod:`repro.service`).
+
+One frozen dataclass holds every tunable the server exposes; the CLI
+builds it from ``mweaver serve`` flags and :meth:`ServiceConfig.validate`
+turns inconsistent combinations into
+:class:`~repro.exceptions.ServiceConfigError` (exit code 2) before any
+socket is bound or dataset built.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import ServiceConfigError
+
+#: Datasets the registry knows how to build, in CLI spelling.
+KNOWN_DATASETS: tuple[str, ...] = ("running", "yahoo", "imdb")
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Every tunable of the mapping service, validated as a whole.
+
+    The defaults suit the running-example demo: a handful of worker
+    threads, a small bounded queue (backpressure kicks in early rather
+    than letting latency pile up), and generous-but-finite session
+    lifetimes.
+    """
+
+    #: Bind address of the HTTP listener.
+    host: str = "127.0.0.1"
+    #: TCP port; 0 lets the OS pick (tests and the load bench use this).
+    port: int = 8384
+    #: Datasets preloaded into the registry at startup; sessions may
+    #: only be created against one of these.
+    datasets: tuple[str, ...] = ("running",)
+    #: Movie count for the generated datasets (ignored by ``running``).
+    scale: int = 150
+    #: Hard cap on live sessions across all users.
+    max_sessions: int = 64
+    #: Idle seconds after which a session is evicted (TTL).
+    session_ttl_s: float = 900.0
+    #: Worker threads executing searches/prunes off the request thread.
+    workers: int = 4
+    #: Bounded work-queue depth; a full queue answers 429.
+    queue_size: int = 32
+    #: Per-request deadline for queued work (seconds).
+    request_timeout_s: float = 10.0
+    #: Entries in the cross-session LocateSample LRU (0 disables it).
+    location_cache_size: int = 4096
+    #: ``Retry-After`` hint (seconds) sent with 429 responses.
+    retry_after_s: float = 1.0
+    #: Default spreadsheet columns for sessions that do not name any.
+    default_columns: tuple[str, ...] = field(
+        default=("Name", "Director")
+    )
+
+    def validate(self) -> "ServiceConfig":
+        """Raise :class:`ServiceConfigError` on any bad knob; return self."""
+        if not self.datasets:
+            raise ServiceConfigError("at least one dataset must be preloaded")
+        for dataset in self.datasets:
+            if dataset not in KNOWN_DATASETS:
+                raise ServiceConfigError(
+                    f"unknown dataset {dataset!r} "
+                    f"(expected one of {', '.join(KNOWN_DATASETS)})"
+                )
+        if len(set(self.datasets)) != len(self.datasets):
+            raise ServiceConfigError("datasets must not repeat")
+        if self.port < 0 or self.port > 65535:
+            raise ServiceConfigError(f"port out of range: {self.port}")
+        if self.scale <= 0:
+            raise ServiceConfigError("scale must be positive")
+        if self.max_sessions <= 0:
+            raise ServiceConfigError("max_sessions must be positive")
+        if self.workers <= 0:
+            raise ServiceConfigError("workers must be positive")
+        if self.queue_size <= 0:
+            raise ServiceConfigError("queue_size must be positive")
+        if self.session_ttl_s <= 0:
+            raise ServiceConfigError("session_ttl_s must be positive")
+        if self.request_timeout_s <= 0:
+            raise ServiceConfigError("request_timeout_s must be positive")
+        if self.session_ttl_s <= self.request_timeout_s:
+            raise ServiceConfigError(
+                "session_ttl_s must exceed request_timeout_s — otherwise "
+                "a session can be evicted while its own request runs"
+            )
+        if self.location_cache_size < 0:
+            raise ServiceConfigError("location_cache_size must be >= 0")
+        if self.retry_after_s <= 0:
+            raise ServiceConfigError("retry_after_s must be positive")
+        if not self.default_columns:
+            raise ServiceConfigError("default_columns must not be empty")
+        return self

@@ -1,0 +1,175 @@
+"""Named, TTL-bounded mapping sessions for concurrent use.
+
+The :class:`SessionManager` owns every live
+:class:`~repro.core.session.MappingSession` behind an opaque id.  Each
+managed session carries its own re-entrant lock — all engine work for a
+session runs under it, so two requests racing on the *same* session
+serialize while requests on *different* sessions proceed in parallel
+(the databases themselves are shared read-only, see
+:mod:`repro.service.registry`).
+
+Lifetime: the table is capped (``max_sessions``; a full table answers
+429, clients should retry or delete sessions) and idle sessions are
+evicted after ``ttl_s`` seconds.  Eviction is piggybacked on every
+create/get/list — no background reaper thread to leak — and an evicted
+or never-created id raises
+:class:`~repro.exceptions.UnknownSessionError` (HTTP 404).
+"""
+
+from __future__ import annotations
+
+import itertools
+import secrets
+import threading
+import time
+from collections.abc import Callable, Iterator
+from contextlib import contextmanager
+
+from repro.core.session import MappingSession
+from repro.exceptions import ServiceOverloadedError, UnknownSessionError
+from repro.obs import get_logger, get_metrics
+
+_log = get_logger(__name__)
+
+
+class ManagedSession:
+    """One live session plus its lock and bookkeeping."""
+
+    __slots__ = (
+        "session_id", "dataset", "session", "lock",
+        "created_at", "last_used_at",
+    )
+
+    def __init__(
+        self,
+        session_id: str,
+        dataset: str,
+        session: MappingSession,
+        *,
+        now: float,
+    ) -> None:
+        self.session_id = session_id
+        self.dataset = dataset
+        self.session = session
+        self.lock = threading.RLock()
+        self.created_at = now
+        self.last_used_at = now
+
+    def touch(self, now: float) -> None:
+        """Record activity, pushing eviction out by a full TTL."""
+        self.last_used_at = now
+
+
+class SessionManager:
+    """The bounded, TTL-evicting table of live sessions."""
+
+    def __init__(
+        self,
+        *,
+        max_sessions: int,
+        ttl_s: float,
+        clock: Callable[[], float] = time.monotonic,
+        retry_after_s: float = 1.0,
+    ) -> None:
+        self.max_sessions = max_sessions
+        self.ttl_s = ttl_s
+        self.retry_after_s = retry_after_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._sessions: dict[str, ManagedSession] = {}
+        self._ids = itertools.count(1)
+        self.evicted = 0
+
+    # -- lifecycle ------------------------------------------------------
+
+    def create(
+        self, dataset: str, factory: Callable[[], MappingSession]
+    ) -> ManagedSession:
+        """Admit a new session, evicting idle ones first if needed."""
+        now = self._clock()
+        with self._lock:
+            self._evict_expired(now)
+            if len(self._sessions) >= self.max_sessions:
+                raise ServiceOverloadedError(
+                    f"session table full ({self.max_sessions} live sessions)",
+                    retry_after_s=self.retry_after_s,
+                )
+            session_id = f"s{next(self._ids):04d}-{secrets.token_hex(3)}"
+            managed = ManagedSession(
+                session_id, dataset, factory(), now=now
+            )
+            self._sessions[session_id] = managed
+            get_metrics().gauge("repro.service.sessions.active").set(
+                len(self._sessions)
+            )
+        _log.info("session %s created (dataset=%s)", session_id, dataset)
+        return managed
+
+    def get(self, session_id: str) -> ManagedSession:
+        """Look up a live session (refreshing its idle clock)."""
+        now = self._clock()
+        with self._lock:
+            self._evict_expired(now)
+            managed = self._sessions.get(session_id)
+            if managed is None:
+                raise UnknownSessionError(session_id)
+            managed.touch(now)
+            return managed
+
+    @contextmanager
+    def using(self, session_id: str) -> Iterator[ManagedSession]:
+        """``get`` + hold the session's lock for the block."""
+        managed = self.get(session_id)
+        with managed.lock:
+            yield managed
+        managed.touch(self._clock())
+
+    def remove(self, session_id: str) -> None:
+        """Delete a session explicitly (404 when unknown)."""
+        with self._lock:
+            if session_id not in self._sessions:
+                raise UnknownSessionError(session_id)
+            del self._sessions[session_id]
+            get_metrics().gauge("repro.service.sessions.active").set(
+                len(self._sessions)
+            )
+        _log.info("session %s deleted", session_id)
+
+    # -- inspection -----------------------------------------------------
+
+    def ids(self) -> tuple[str, ...]:
+        """Live session ids (evicting expired ones first)."""
+        with self._lock:
+            self._evict_expired(self._clock())
+            return tuple(sorted(self._sessions))
+
+    def count(self) -> int:
+        """Number of live sessions after sweeping expired ones."""
+        return len(self.ids())
+
+    def evict_idle(self) -> tuple[str, ...]:
+        """Explicit sweep; returns the evicted ids (tests use this)."""
+        with self._lock:
+            return self._evict_expired(self._clock())
+
+    # -- internals ------------------------------------------------------
+
+    def _evict_expired(self, now: float) -> tuple[str, ...]:
+        """Drop sessions idle past the TTL (caller holds the lock)."""
+        expired = tuple(
+            session_id
+            for session_id, managed in self._sessions.items()
+            if now - managed.last_used_at > self.ttl_s
+        )
+        for session_id in expired:
+            del self._sessions[session_id]
+        if expired:
+            self.evicted += len(expired)
+            metrics = get_metrics()
+            metrics.counter("repro.service.sessions.evicted").inc(len(expired))
+            metrics.gauge("repro.service.sessions.active").set(
+                len(self._sessions)
+            )
+            _log.info("evicted %d idle session(s): %s",
+                      len(expired), ", ".join(expired))
+        return expired

@@ -1,0 +1,208 @@
+"""A bounded worker pool with per-job deadlines and cancellation.
+
+Search and prune work runs *off* the request thread: the HTTP handler
+submits a closure, the pool's bounded queue provides backpressure (a
+full queue raises :class:`~repro.exceptions.ServiceOverloadedError`,
+which the HTTP layer turns into ``429 Too Many Requests``), and every
+job carries a deadline.
+
+Cancellation is cooperative.  A job whose waiter gave up is marked
+cancelled; if it is still queued when a worker picks it up, it is
+dropped without running (the common overload case — queues back up
+before CPUs do).  A job already executing cannot be interrupted —
+Python threads cannot be killed — so the waiter returns
+:class:`~repro.exceptions.DeadlineExceeded` while the worker finishes
+and discards the result; the session-level atomicity guarantees
+(see :meth:`repro.core.session.MappingSession.input`) keep the session
+consistent either way.
+
+Span parentage: :meth:`WorkerPool.submit` captures the submitting
+thread's innermost open span (typically the ``service.request`` root)
+and the worker executes the job under ``tracer.adopt(...)``, so spans
+opened by the job nest where a reader expects them.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+from collections.abc import Callable
+from typing import Any
+
+from repro.exceptions import DeadlineExceeded, ServiceOverloadedError
+from repro.obs import get_logger, get_metrics, get_tracer
+
+_log = get_logger(__name__)
+
+
+class Job:
+    """One unit of submitted work and its synchronization state."""
+
+    __slots__ = (
+        "job_id", "fn", "deadline", "timeout_s", "parent_span",
+        "done", "result", "error", "_lock", "_cancelled", "_started",
+    )
+
+    def __init__(
+        self,
+        job_id: int,
+        fn: Callable[[], Any],
+        *,
+        timeout_s: float,
+        parent_span: Any = None,
+    ) -> None:
+        self.job_id = job_id
+        self.fn = fn
+        self.timeout_s = timeout_s
+        self.deadline = time.monotonic() + timeout_s
+        self.parent_span = parent_span
+        self.done = threading.Event()
+        self.result: Any = None
+        self.error: BaseException | None = None
+        self._lock = threading.Lock()
+        self._cancelled = False
+        self._started = False
+
+    # -- state transitions (all under the lock) ------------------------
+
+    def cancel(self) -> bool:
+        """Mark the job cancelled; True when it had not started yet."""
+        with self._lock:
+            if self._started:
+                return False
+            self._cancelled = True
+            return True
+
+    def try_start(self) -> bool:
+        """Worker-side claim: False when cancelled or past deadline."""
+        with self._lock:
+            if self._cancelled:
+                return False
+            if time.monotonic() > self.deadline:
+                self._cancelled = True
+                return False
+            self._started = True
+            return True
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether the job was cancelled before it could start."""
+        with self._lock:
+            return self._cancelled
+
+    # -- waiting -------------------------------------------------------
+
+    def wait(self) -> Any:
+        """Block until the job finishes or its deadline passes.
+
+        Returns the job's result, re-raises its exception, or raises
+        :class:`DeadlineExceeded` — cancelling the job if it is still
+        queued so it never runs.
+        """
+        remaining = self.deadline - time.monotonic()
+        if not self.done.wait(timeout=max(0.0, remaining)):
+            self.cancel()
+            # The job may have finished between the wait timing out and
+            # the cancel: prefer its real outcome when it did.
+            if not self.done.is_set():
+                raise DeadlineExceeded("queued work", self.timeout_s)
+        if self.error is not None:
+            raise self.error
+        if self.cancelled:
+            raise DeadlineExceeded("queued work", self.timeout_s)
+        return self.result
+
+
+class WorkerPool:
+    """Fixed worker threads draining one bounded queue."""
+
+    def __init__(
+        self, *, workers: int, queue_size: int, retry_after_s: float = 1.0
+    ) -> None:
+        self.retry_after_s = retry_after_s
+        self._queue: queue.Queue[Job | None] = queue.Queue(maxsize=queue_size)
+        self._ids = itertools.count(1)
+        self._closed = False
+        self._threads = [
+            threading.Thread(
+                target=self._run, name=f"mweaver-worker-{index}", daemon=True
+            )
+            for index in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -- submission ----------------------------------------------------
+
+    def submit(
+        self, fn: Callable[[], Any], *, timeout_s: float
+    ) -> Job:
+        """Enqueue ``fn``; raise :class:`ServiceOverloadedError` when full."""
+        if self._closed:
+            raise ServiceOverloadedError(
+                "worker pool is shut down", retry_after_s=self.retry_after_s
+            )
+        job = Job(
+            next(self._ids),
+            fn,
+            timeout_s=timeout_s,
+            parent_span=get_tracer().current(),
+        )
+        try:
+            self._queue.put_nowait(job)
+        except queue.Full:
+            get_metrics().counter("repro.service.queue.rejected").inc()
+            raise ServiceOverloadedError(
+                "work queue full", retry_after_s=self.retry_after_s
+            ) from None
+        get_metrics().gauge("repro.service.queue.depth").set(
+            self._queue.qsize()
+        )
+        return job
+
+    def run(self, fn: Callable[[], Any], *, timeout_s: float) -> Any:
+        """Submit and wait — the synchronous request-thread entry point."""
+        return self.submit(fn, timeout_s=timeout_s).wait()
+
+    # -- worker loop ---------------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None:  # shutdown sentinel
+                self._queue.task_done()
+                return
+            metrics = get_metrics()
+            metrics.gauge("repro.service.queue.depth").set(self._queue.qsize())
+            if not job.try_start():
+                metrics.counter("repro.service.jobs.expired").inc()
+                job.done.set()
+                self._queue.task_done()
+                continue
+            started = time.perf_counter()
+            try:
+                with get_tracer().adopt(job.parent_span):
+                    job.result = job.fn()
+            except BaseException as error:  # delivered to the waiter
+                job.error = error
+            finally:
+                metrics.histogram("repro.service.job.seconds").observe(
+                    time.perf_counter() - started
+                )
+                job.done.set()
+                self._queue.task_done()
+
+    # -- lifecycle -----------------------------------------------------
+
+    def shutdown(self, *, wait: bool = True) -> None:
+        """Stop accepting work and (optionally) join the workers."""
+        if self._closed:
+            return
+        self._closed = True
+        for _ in self._threads:
+            self._queue.put(None)
+        if wait:
+            for thread in self._threads:
+                thread.join(timeout=5.0)

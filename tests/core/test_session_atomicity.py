@@ -1,0 +1,84 @@
+"""Atomicity of MappingSession.input: failures roll everything back.
+
+A worker-pool deadline or a search-budget failure can interrupt an
+input mid-flight; the session contract is that the cell, the undo
+history and the candidate state all return to their pre-call values,
+``last_error`` records what happened, and the session stays usable.
+"""
+
+import pytest
+
+from repro.core.session import MappingSession, SessionStatus
+
+
+class Boom(RuntimeError):
+    pass
+
+
+def _raise(*_args, **_kwargs):
+    raise Boom("search interrupted")
+
+
+class TestFirstRowAtomicity:
+    def test_failed_search_rolls_back_the_completing_cell(self, running_db):
+        session = MappingSession(running_db, ["Name", "Director"])
+        session.input(0, 0, "Avatar")
+        original_search = session.engine.search
+        session.engine.search = _raise
+        with pytest.raises(Boom):
+            session.input(0, 1, "James Cameron")
+
+        assert not session.spreadsheet.cell(0, 1)
+        assert session.spreadsheet.cell(0, 0) == "Avatar"
+        assert session.status is SessionStatus.AWAITING_FIRST_ROW
+        assert session.search_result is None
+        assert session.candidates == []
+        assert "Boom" in session.last_error
+
+        # The session is still usable: the same input now succeeds.
+        session.engine.search = original_search
+        status = session.input(0, 1, "James Cameron")
+        assert status is not SessionStatus.AWAITING_FIRST_ROW
+        assert session.last_error is None
+        assert session.candidates
+
+    def test_failed_input_is_not_undoable(self, running_db):
+        session = MappingSession(running_db, ["Name", "Director"])
+        session.engine.search = _raise
+        session.input(0, 0, "Avatar")  # row incomplete: no search yet
+        with pytest.raises(Boom):
+            session.input(0, 1, "James Cameron")
+        # Only the successful input remains on the undo stack.
+        session.undo()
+        assert not session.spreadsheet.cell(0, 0)
+        from repro.exceptions import SessionError
+
+        with pytest.raises(SessionError, match="nothing to undo"):
+            session.undo()
+
+
+class TestPruneAtomicity:
+    def test_failed_prune_restores_candidates(self, running_db, monkeypatch):
+        session = MappingSession(running_db, ["Name", "Director"])
+        session.input(0, 0, "Avatar")
+        session.input(0, 1, "James Cameron")
+        before = [c.mapping.signature() for c in session.candidates]
+        assert len(before) > 1
+
+        monkeypatch.setattr(
+            "repro.core.session.prune_by_attribute", _raise
+        )
+        with pytest.raises(Boom):
+            session.input(1, 0, "Big Fish")
+
+        assert not session.spreadsheet.cell(1, 0)
+        after = [c.mapping.signature() for c in session.candidates]
+        assert after == before
+        assert session.status is SessionStatus.ACTIVE
+        assert "Boom" in session.last_error
+
+        monkeypatch.undo()
+        session.input(1, 0, "Big Fish")
+        session.input(1, 1, "Tim Burton")
+        assert session.converged
+        assert session.last_error is None

@@ -1,0 +1,87 @@
+"""Shared fixtures for the mapping-service tests.
+
+Every app here serves the prebuilt running-example database through an
+injected registry builder, so the suite never pays dataset generation
+twice.  ``make_app`` hands out configured :class:`ServiceApp` instances
+and closes their worker pools at teardown.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.app import ServiceApp
+from repro.service.config import ServiceConfig
+from repro.service.registry import DatasetRegistry
+
+
+@pytest.fixture(scope="session")
+def running_registry(running_db):
+    """A registry that answers every name with the running example."""
+    return DatasetRegistry(builder=lambda _name, _scale: running_db)
+
+
+@pytest.fixture
+def make_app(running_registry):
+    """Factory for :class:`ServiceApp` instances with test-sized knobs."""
+    apps: list[ServiceApp] = []
+
+    def build(**overrides) -> ServiceApp:
+        settings = dict(
+            datasets=("running",),
+            workers=2,
+            queue_size=8,
+            max_sessions=8,
+            request_timeout_s=5.0,
+        )
+        settings.update(overrides)
+        app = ServiceApp(
+            ServiceConfig(**settings), registry=running_registry
+        )
+        apps.append(app)
+        return app
+
+    yield build
+    for app in apps:
+        app.close()
+
+
+@pytest.fixture
+def app(make_app):
+    """One default test app on the running example."""
+    return make_app()
+
+
+#: The running-example flow (Figure 2): two complete rows.
+FLOW_CELLS = (
+    (0, 0, "Avatar"),
+    (0, 1, "James Cameron"),
+    (1, 0, "Big Fish"),
+    (1, 1, "Tim Burton"),
+)
+
+
+def run_flow(app: ServiceApp) -> dict:
+    """Create a session, feed the running-example cells, return the top
+    candidate payload (with SQL); deletes the session afterwards."""
+    status, body, _ = app.handle("POST", "/sessions", {}, {})
+    assert status == 201, body
+    session_id = body["session_id"]
+    for row, column, value in FLOW_CELLS:
+        status, body, _ = app.handle(
+            "POST",
+            f"/sessions/{session_id}/cells",
+            {},
+            {"row": row, "column": column, "value": value},
+        )
+        assert status == 200, body
+    status, body, _ = app.handle(
+        "GET", f"/sessions/{session_id}/candidates",
+        {"limit": "1", "sql": "1"}, None,
+    )
+    assert status == 200, body
+    status_del, _, _ = app.handle(
+        "DELETE", f"/sessions/{session_id}", {}, None
+    )
+    assert status_del == 204
+    return body

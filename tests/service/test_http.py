@@ -1,0 +1,105 @@
+"""Tests for the HTTP layer: a real loopback server and raw sockets."""
+
+import http.client
+import json
+
+import pytest
+
+from repro.service.http import MAX_BODY_BYTES, MappingServer
+
+
+@pytest.fixture
+def server(app):
+    with MappingServer(app, port=0) as server:
+        yield server
+
+
+@pytest.fixture
+def conn(server):
+    conn = http.client.HTTPConnection(server.host, server.port, timeout=10.0)
+    yield conn
+    conn.close()
+
+
+def call(conn, method, path, body=None, *, raw=None, headers=None):
+    payload = raw
+    if payload is None and body is not None:
+        payload = json.dumps(body).encode("utf-8")
+    send_headers = {"Content-Type": "application/json"} if payload else {}
+    send_headers.update(headers or {})
+    conn.request(method, path, body=payload, headers=send_headers)
+    response = conn.getresponse()
+    data = response.read()
+    return response, json.loads(data) if data else None
+
+
+class TestRoundTrip:
+    def test_healthz_over_the_wire(self, conn):
+        response, body = call(conn, "GET", "/healthz")
+        assert response.status == 200
+        assert body["status"] == "ok"
+        assert response.getheader("Content-Type") == "application/json"
+
+    def test_full_flow_on_one_keepalive_connection(self, conn):
+        response, created = call(conn, "POST", "/sessions", {})
+        assert response.status == 201
+        session_id = created["session_id"]
+        for row, column, value in (
+            (0, 0, "Avatar"), (0, 1, "James Cameron"),
+            (1, 0, "Big Fish"), (1, 1, "Tim Burton"),
+        ):
+            response, state = call(
+                conn, "POST", f"/sessions/{session_id}/cells",
+                {"row": row, "column": column, "value": value},
+            )
+            assert response.status == 200
+        assert state["converged"] is True
+        response, body = call(
+            conn, "GET", f"/sessions/{session_id}/candidates?limit=1&sql=1"
+        )
+        assert response.status == 200
+        assert body["candidates"][0]["sql"].startswith("SELECT")
+        response, body = call(conn, "DELETE", f"/sessions/{session_id}")
+        assert response.status == 204
+        assert body is None
+        response, _ = call(conn, "GET", f"/sessions/{session_id}")
+        assert response.status == 404
+
+    def test_unknown_route_is_json_404(self, conn):
+        response, body = call(conn, "GET", "/bogus")
+        assert response.status == 404
+        assert "error" in body
+
+
+class TestBodyHandling:
+    def test_invalid_json_is_400(self, conn):
+        response, body = call(conn, "POST", "/sessions", raw=b"{nope")
+        assert response.status == 400
+        assert "invalid JSON" in body["error"]
+
+    def test_non_object_body_is_400(self, conn):
+        response, body = call(conn, "POST", "/sessions", raw=b"[1, 2]")
+        assert response.status == 400
+        assert "must be an object" in body["error"]
+
+    def test_oversized_body_is_413(self, conn):
+        # Claim a huge body without sending it; the server answers from
+        # the Content-Length alone.
+        conn.putrequest("POST", "/sessions")
+        conn.putheader("Content-Type", "application/json")
+        conn.putheader("Content-Length", str(MAX_BODY_BYTES + 1))
+        conn.endheaders()
+        response = conn.getresponse()
+        assert response.status == 413
+        response.read()
+
+
+class TestLifecycle:
+    def test_port_zero_binds_an_ephemeral_port(self, server):
+        assert server.port != 0
+        assert server.url == f"http://{server.host}:{server.port}"
+
+    def test_shutdown_is_idempotent_via_app_close(self, app):
+        server = MappingServer(app, port=0).start()
+        server.shutdown()
+        app.close()  # second close must be a no-op

@@ -1,0 +1,78 @@
+"""Concurrency semantics: session isolation and TTL over the API.
+
+The acceptance bar for the service: N clients running the full
+running-example flow concurrently must each converge to exactly the
+mapping a serial session finds — shared databases and the cross-session
+location cache must never leak state between sessions.
+"""
+
+import threading
+import time
+
+from tests.service.conftest import run_flow
+
+
+class TestIsolation:
+    def test_eight_concurrent_flows_match_the_serial_result(self, make_app):
+        app = make_app(workers=8, queue_size=64, max_sessions=32)
+        serial = run_flow(app)
+        assert serial["status"] == "converged"
+        serial_sql = serial["candidates"][0]["sql"]
+
+        results: list[dict] = []
+        errors: list[BaseException] = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(8)
+
+        def flow() -> None:
+            try:
+                barrier.wait(timeout=10.0)
+                body = run_flow(app)
+                with lock:
+                    results.append(body)
+            except BaseException as error:  # noqa: BLE001 - collected
+                with lock:
+                    errors.append(error)
+
+        threads = [
+            threading.Thread(target=flow, name=f"client-{i}")
+            for i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+
+        assert errors == []
+        assert len(results) == 8
+        for body in results:
+            assert body["status"] == "converged"
+            assert body["n_candidates"] == 1
+            assert body["candidates"][0]["sql"] == serial_sql
+
+    def test_sessions_do_not_share_spreadsheets(self, app):
+        _, first, _ = app.handle("POST", "/sessions", {}, {})
+        _, second, _ = app.handle("POST", "/sessions", {}, {})
+        app.handle(
+            "POST", f"/sessions/{first['session_id']}/cells", {},
+            {"row": 0, "column": 0, "value": "Avatar"},
+        )
+        _, state, _ = app.handle(
+            "GET", f"/sessions/{second['session_id']}", {}, None
+        )
+        assert state["samples"] == 0
+        assert state["status"] == "awaiting_first_row"
+
+
+class TestTTLOverTheAPI:
+    def test_idle_session_becomes_404(self, make_app):
+        app = make_app(session_ttl_s=0.3, request_timeout_s=0.2)
+        _, created, _ = app.handle("POST", "/sessions", {}, {})
+        session_id = created["session_id"]
+        assert app.handle("GET", f"/sessions/{session_id}", {}, None)[0] == 200
+        time.sleep(0.4)
+        status, body, _ = app.handle(
+            "GET", f"/sessions/{session_id}", {}, None
+        )
+        assert status == 404
+        assert session_id in body["error"]

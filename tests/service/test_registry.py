@@ -1,0 +1,114 @@
+"""Tests for the shared dataset registry and the LocateSample cache."""
+
+import pytest
+
+from repro.core.location import build_location_map
+from repro.core.tpw import TPWEngine
+from repro.exceptions import ServiceConfigError
+from repro.service.registry import (
+    DatasetRegistry,
+    LocationCache,
+    _build_dataset,
+    normalize_sample,
+)
+
+
+class TestDatasetRegistry:
+    def test_builds_each_dataset_exactly_once(self, running_db):
+        builds = []
+
+        def builder(name, scale):
+            builds.append((name, scale))
+            return running_db
+
+        registry = DatasetRegistry(scale=25, builder=builder)
+        first = registry.get("running")
+        second = registry.get("running")
+        assert first is second is running_db
+        assert builds == [("running", 25)]
+
+    def test_preload_and_loaded(self, running_db):
+        registry = DatasetRegistry(builder=lambda name, _s: running_db)
+        assert registry.loaded() == ()
+        registry.preload(["b", "a"])
+        assert registry.loaded() == ("a", "b")
+
+    def test_get_warms_the_shared_indexes(self, running_db):
+        registry = DatasetRegistry(builder=lambda _n, _s: running_db)
+        db = registry.get("running")
+        # Every text index exists up-front: lookups never mutate the db.
+        for relation, attribute in db.schema.text_attribute_pairs():
+            assert (relation, attribute) in db._text_indexes  # noqa: SLF001
+
+    def test_unknown_dataset_is_a_config_error(self):
+        with pytest.raises(ServiceConfigError, match="bogus"):
+            _build_dataset("bogus", 10)
+
+
+class TestNormalizeSample:
+    def test_collapses_whitespace_runs(self):
+        assert normalize_sample("  Big \t Fish \n") == "Big Fish"
+
+    def test_preserves_case(self):
+        # The error model decides case sensitivity; the key must not.
+        assert normalize_sample("Avatar") != normalize_sample("avatar")
+
+
+class TestLocationCache:
+    @pytest.fixture
+    def model(self, running_db):
+        return TPWEngine(running_db).model
+
+    def test_miss_then_hit(self, running_db, model):
+        cache = LocationCache(max_entries=16)
+        first = cache.entries_for(running_db, "Avatar", model)
+        second = cache.entries_for(running_db, "Avatar", model)
+        assert first == second
+        assert ("movie", "title") in first
+        assert cache.stats() == {
+            "hits": 1, "misses": 1, "size": 1, "max_entries": 16,
+        }
+
+    def test_whitespace_variants_share_one_entry(self, running_db, model):
+        cache = LocationCache(max_entries=16)
+        cache.entries_for(running_db, "Big Fish", model)
+        cache.entries_for(running_db, "  Big \t Fish ", model)
+        assert cache.stats()["size"] == 1
+        assert cache.stats()["hits"] == 1
+
+    def test_lru_evicts_oldest(self, running_db, model):
+        cache = LocationCache(max_entries=2)
+        cache.entries_for(running_db, "Avatar", model)
+        cache.entries_for(running_db, "Big Fish", model)
+        cache.entries_for(running_db, "Tim Burton", model)  # evicts Avatar
+        assert cache.stats()["size"] == 2
+        cache.entries_for(running_db, "Avatar", model)
+        assert cache.stats()["misses"] == 4
+
+    def test_location_map_matches_uncached_algorithm(self, running_db, model):
+        cache = LocationCache()
+        samples = ("Avatar", "James Cameron")
+        cached = cache.location_map(running_db, samples, model)
+        direct = build_location_map(running_db, samples, model)
+        assert cached.samples == direct.samples
+        assert cached.entries == direct.entries
+        # And again, now fully from cache.
+        again = cache.location_map(running_db, samples, model)
+        assert again.entries == direct.entries
+        assert cache.stats()["hits"] == 2
+
+    def test_clear_keeps_counters(self, running_db, model):
+        cache = LocationCache()
+        cache.entries_for(running_db, "Avatar", model)
+        cache.clear()
+        stats = cache.stats()
+        assert stats["size"] == 0
+        assert stats["misses"] == 1
+
+    def test_engine_uses_the_cache(self, running_db):
+        cache = LocationCache()
+        engine = TPWEngine(running_db, location_cache=cache)
+        engine.search(("Avatar", "James Cameron"))
+        assert cache.stats()["misses"] == 2
+        engine.search(("Avatar", "James Cameron"))
+        assert cache.stats()["hits"] == 2

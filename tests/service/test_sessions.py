@@ -1,0 +1,103 @@
+"""Tests for the TTL-bounded session manager (fake-clock driven)."""
+
+import pytest
+
+from repro.exceptions import ServiceOverloadedError, UnknownSessionError
+from repro.service.sessions import SessionManager
+
+
+class FakeClock:
+    """A monotonic clock the tests advance by hand."""
+
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def manager(clock):
+    return SessionManager(max_sessions=3, ttl_s=10.0, clock=clock)
+
+
+def make_session() -> object:
+    """The manager never calls into the session; a sentinel suffices."""
+    return object()
+
+
+class TestLifecycle:
+    def test_create_get_remove(self, manager):
+        managed = manager.create("running", make_session)
+        assert manager.get(managed.session_id) is managed
+        assert manager.ids() == (managed.session_id,)
+        manager.remove(managed.session_id)
+        assert manager.count() == 0
+        with pytest.raises(UnknownSessionError):
+            manager.get(managed.session_id)
+
+    def test_ids_are_unique_and_opaque(self, manager):
+        first = manager.create("running", make_session)
+        second = manager.create("running", make_session)
+        assert first.session_id != second.session_id
+
+    def test_remove_unknown_raises(self, manager):
+        with pytest.raises(UnknownSessionError):
+            manager.remove("nope")
+
+    def test_using_yields_under_the_lock(self, manager):
+        managed = manager.create("running", make_session)
+        with manager.using(managed.session_id) as held:
+            assert held is managed
+            # RLock: the holder can re-acquire, proving it is held here.
+            assert managed.lock.acquire(blocking=False)
+            managed.lock.release()
+
+
+class TestTTL:
+    def test_idle_session_evicts_to_404(self, manager, clock):
+        managed = manager.create("running", make_session)
+        clock.advance(10.1)
+        with pytest.raises(UnknownSessionError):
+            manager.get(managed.session_id)
+        assert manager.evicted == 1
+
+    def test_activity_pushes_eviction_out(self, manager, clock):
+        managed = manager.create("running", make_session)
+        clock.advance(9.0)
+        manager.get(managed.session_id)  # touch
+        clock.advance(9.0)
+        assert manager.get(managed.session_id) is managed
+
+    def test_explicit_sweep_reports_ids(self, manager, clock):
+        first = manager.create("running", make_session)
+        clock.advance(6.0)
+        second = manager.create("running", make_session)
+        clock.advance(6.0)  # first idle 12s, second idle 6s
+        assert manager.evict_idle() == (first.session_id,)
+        assert manager.ids() == (second.session_id,)
+
+
+class TestCapacity:
+    def test_full_table_answers_overloaded(self, manager):
+        for _ in range(3):
+            manager.create("running", make_session)
+        with pytest.raises(ServiceOverloadedError) as info:
+            manager.create("running", make_session)
+        assert info.value.retry_after_s > 0
+
+    def test_eviction_frees_room_for_create(self, manager, clock):
+        for _ in range(3):
+            manager.create("running", make_session)
+        clock.advance(10.1)
+        managed = manager.create("running", make_session)
+        assert manager.ids() == (managed.session_id,)
+        assert manager.evicted == 3

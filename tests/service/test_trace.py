@@ -1,0 +1,59 @@
+"""Request spans: every API call is a ``service.request`` root and the
+engine spans produced on worker threads nest under it (Tracer.adopt)."""
+
+from repro import obs
+from tests.service.conftest import FLOW_CELLS
+
+
+class TestRequestSpans:
+    def test_every_request_is_one_root_span(self, app):
+        with obs.scoped() as tracer:
+            app.handle("GET", "/healthz", {}, None)
+            app.handle("GET", "/sessions", {}, None)
+        roots = [span for span in tracer.finished
+                 if span.name == "service.request"]
+        assert [span.attributes["route"] for span in roots] == [
+            "GET /healthz", "GET /sessions",
+        ]
+        assert all(span.attributes["status"] == 200 for span in roots)
+
+    def test_error_statuses_are_recorded(self, app):
+        with obs.scoped() as tracer:
+            app.handle("GET", "/sessions/sXXXX", {}, None)
+        (root,) = [span for span in tracer.finished
+                   if span.name == "service.request"]
+        assert root.attributes["status"] == 404
+        assert root.attributes["route"] == "GET /sessions/{id}"
+
+    def test_worker_engine_spans_parent_under_the_request(self, app):
+        with obs.scoped() as tracer:
+            _, created, _ = app.handle("POST", "/sessions", {}, {})
+            session_id = created["session_id"]
+            for row, column, value in FLOW_CELLS:
+                app.handle(
+                    "POST", f"/sessions/{session_id}/cells", {},
+                    {"row": row, "column": column, "value": value},
+                )
+        cell_roots = [
+            span for span in tracer.finished
+            if span.name == "service.request"
+            and span.attributes["route"] == "POST /sessions/{id}/cells"
+        ]
+        assert len(cell_roots) == 4
+        # The search runs on a worker thread, yet its span lands under
+        # the request that submitted it, not as a detached root.
+        search_parent = next(
+            span for span in cell_roots if span.find("session.search")
+        )
+        assert search_parent.attributes["status"] == 200
+        prune_spans = [
+            span for root in cell_roots
+            for span in root.walk() if span.name == "session.prune"
+        ]
+        assert prune_spans, "pruning spans must nest under cell requests"
+        detached = [
+            span for span in tracer.finished
+            if span.name in ("session.search", "session.prune",
+                             "session.replay", "tpw.search")
+        ]
+        assert detached == []

@@ -1,0 +1,114 @@
+"""Tests for the bounded worker pool: deadlines, backpressure, spans."""
+
+import threading
+import time
+
+import pytest
+
+from repro import obs
+from repro.exceptions import DeadlineExceeded, ServiceOverloadedError
+from repro.service.workers import WorkerPool
+
+
+@pytest.fixture
+def pool():
+    pool = WorkerPool(workers=1, queue_size=2)
+    yield pool
+    pool.shutdown()
+
+
+class TestExecution:
+    def test_run_returns_the_result(self, pool):
+        assert pool.run(lambda: 21 * 2, timeout_s=5.0) == 42
+
+    def test_exceptions_reach_the_waiter(self, pool):
+        with pytest.raises(ValueError, match="boom"):
+            pool.run(self._raise, timeout_s=5.0)
+
+    @staticmethod
+    def _raise():
+        raise ValueError("boom")
+
+    def test_jobs_run_concurrently_with_the_caller(self, pool):
+        gate = threading.Event()
+        job = pool.submit(gate.wait, timeout_s=5.0)
+        gate.set()
+        assert job.wait() is True
+
+
+class TestDeadlines:
+    def test_running_past_the_deadline_raises_504_side(self, pool):
+        release = threading.Event()
+        try:
+            with pytest.raises(DeadlineExceeded):
+                pool.run(release.wait, timeout_s=0.05)
+        finally:
+            release.set()
+
+    def test_queued_expired_job_never_runs(self, pool):
+        release = threading.Event()
+        ran = []
+        blocker = pool.submit(release.wait, timeout_s=5.0)
+        doomed = pool.submit(lambda: ran.append(True), timeout_s=0.05)
+        with pytest.raises(DeadlineExceeded):
+            doomed.wait()
+        release.set()
+        blocker.wait()
+        # The worker is free now; give it a moment to drain the queue.
+        assert doomed.done.wait(timeout=2.0)
+        assert ran == []
+        assert doomed.cancelled
+
+    def test_finish_wins_a_race_with_the_deadline(self, pool):
+        # A job that completes just as the waiter times out must still
+        # deliver its result (the wait() re-check path).
+        job = pool.submit(lambda: "done", timeout_s=5.0)
+        assert job.wait() == "done"
+
+
+class TestBackpressure:
+    def test_full_queue_raises_overloaded(self, pool):
+        release = threading.Event()
+        jobs = [pool.submit(release.wait, timeout_s=5.0)]
+        try:
+            # Worker holds job 0; fill the queue behind it.  The worker
+            # may have already dequeued one, so saturate with retries.
+            deadline = time.monotonic() + 2.0
+            with pytest.raises(ServiceOverloadedError) as info:
+                while time.monotonic() < deadline:
+                    jobs.append(pool.submit(release.wait, timeout_s=5.0))
+            assert info.value.retry_after_s > 0
+        finally:
+            release.set()
+            for job in jobs:
+                job.wait()
+
+    def test_submit_after_shutdown_is_overloaded(self):
+        pool = WorkerPool(workers=1, queue_size=1)
+        pool.shutdown()
+        with pytest.raises(ServiceOverloadedError):
+            pool.submit(lambda: None, timeout_s=1.0)
+
+
+class TestSpanParentage:
+    def test_worker_spans_nest_under_the_submitting_span(self, pool):
+        with obs.scoped() as tracer:
+
+            def work():
+                with tracer.span("job.inner"):
+                    return "ok"
+
+            with tracer.span("request.root") as root:
+                assert pool.run(work, timeout_s=5.0) == "ok"
+        assert [span.name for span in root.children] == ["job.inner"]
+        assert [span.name for span in tracer.finished] == ["request.root"]
+
+    def test_no_open_span_means_worker_roots(self, pool):
+        with obs.scoped() as tracer:
+
+            def work():
+                with tracer.span("job.orphan"):
+                    return None
+
+            pool.run(work, timeout_s=5.0)
+        assert [span.name for span in tracer.finished] == ["job.orphan"]

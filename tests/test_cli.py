@@ -27,6 +27,21 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["bogus"])
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 8384
+        assert args.datasets == "running"
+        assert args.workers == 4
+        assert args.queue_size == 32
+
+    def test_serve_help_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as info:
+            build_parser().parse_args(["serve", "--help"])
+        assert info.value.code == 0
+        output = capsys.readouterr().out
+        assert "POST /sessions" in output
+        assert "429" in output
+
 
 class TestCommands:
     def test_demo_output(self, capsys):
@@ -103,6 +118,32 @@ class TestCommands:
         assert main(["interactive"]) == 0
         output = capsys.readouterr().out
         assert "error:" in output
+
+    def test_serve_bad_dataset_is_a_config_error(self, capsys):
+        assert main(["serve", "--datasets", "bogus"]) == 2
+        assert "bogus" in capsys.readouterr().err
+
+    def test_serve_bad_knobs_are_config_errors(self, capsys):
+        assert main(["serve", "--workers", "0"]) == 2
+        assert main(["serve", "--queue-size", "-1"]) == 2
+        assert main(["serve", "--columns", ""]) == 2
+        capsys.readouterr()
+
+    def test_serve_unbindable_port_is_a_runtime_error(self, capsys):
+        import socket
+
+        from repro import obs
+
+        held = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            held.bind(("127.0.0.1", 0))
+            held.listen(1)
+            port = held.getsockname()[1]
+            assert main(["serve", "--port", str(port)]) == 1
+            assert "cannot bind" in capsys.readouterr().err
+        finally:
+            held.close()
+            obs.disable_metrics()
 
     def test_interactive_suggestions(self, capsys, monkeypatch):
         lines = iter(
