@@ -369,6 +369,12 @@ def main(argv: list[str] | None = None) -> int:
     deliberately generous :data:`SERVICE_WALL_THRESHOLD`, and
     baseline-only concurrency levels are skipped (CI measures just the
     1-client level of the committed 1/4/8 baseline).
+
+    ``--resilience`` does the same for the degraded-mode workloads
+    (:func:`repro.bench.service_load.measure_resilience`): record
+    ``results/BENCH_resilience.json``, baseline under
+    ``results/baselines/``, happy/budgeted/degraded/faulty workloads
+    gated on errors first and latency second.
     """
     parser = argparse.ArgumentParser(
         prog="regress.py",
@@ -393,15 +399,25 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--service", action="store_true",
                         help="bench the mapping service load instead of "
                              "the search smoke suite")
+    parser.add_argument("--resilience", action="store_true",
+                        help="bench the degraded-mode service workloads "
+                             "(anytime budgets + fault mix)")
     parser.add_argument("--clients", default="1,4,8", metavar="N,N,...",
-                        help="concurrency levels for --service")
+                        help="concurrency levels for --service "
+                             "(--resilience uses the first level only)")
     parser.add_argument("--flows", type=int, default=5,
-                        help="flows per client for --service")
+                        help="flows per client for --service/--resilience")
     args = parser.parse_args(argv)
     if not (args.measure or args.check or args.update):
         parser.error("pick at least one of --measure / --check / --update")
+    if args.service and args.resilience:
+        parser.error("--service and --resilience are mutually exclusive")
 
-    if args.service:
+    if args.resilience:
+        record_name = "BENCH_resilience.json"
+        wall_threshold = SERVICE_WALL_THRESHOLD
+        require_all = False
+    elif args.service:
         record_name = "BENCH_service.json"
         wall_threshold = SERVICE_WALL_THRESHOLD
         require_all = False
@@ -414,7 +430,21 @@ def main(argv: list[str] | None = None) -> int:
     if args.current:
         current = load_record(args.current)
     if current is None and (args.measure or args.check or args.update):
-        if args.service:
+        if args.resilience:
+            from repro.bench.service_load import measure_resilience
+
+            clients = tuple(
+                int(level) for level in args.clients.split(",") if level.strip()
+            )
+            print(f"measuring resilience workloads (clients={clients[0]}, "
+                  f"flows={args.flows})…")
+            current = measure_resilience(
+                clients=clients[0], flows_per_client=args.flows
+            )
+            overhead = current.get("meta", {}).get("happy_path_overhead_pct")
+            if overhead is not None:
+                print(f"happy-path budget overhead: {overhead:+.2f}% (p50)")
+        elif args.service:
             from repro.bench.service_load import measure_service
 
             clients = tuple(
@@ -433,9 +463,11 @@ def main(argv: list[str] | None = None) -> int:
         out.write_text(json.dumps(current, indent=2) + "\n", encoding="utf-8")
         print(f"wrote {out}")
 
-    if args.service and current is not None:
+    if (args.service or args.resilience) and current is not None:
         # Correctness gates before any latency talk: every flow must
-        # have completed and converged identically to the serial run.
+        # have completed, and (where convergence is checked) converged
+        # identically to the serial run.  The degraded/faulty workloads
+        # skip convergence, so only errors can trip them here.
         broken = {
             name: entry
             for name, entry in current.get("workloads", {}).items()

@@ -61,6 +61,8 @@ class LoadResult:
     errors: int = 0
     #: Flows whose converged mapping differed from the serial run.
     mismatches: int = 0
+    #: 200 responses flagged ``degraded`` (anytime-search answers).
+    degraded: int = 0
     wall_s: float = 0.0
     status_counts: dict[int, int] = field(default_factory=dict)
     latencies_s: list[float] = field(default_factory=list)
@@ -91,6 +93,7 @@ class LoadResult:
             "requests": self.requests,
             "errors": self.errors,
             "mismatches": self.mismatches,
+            "degraded": self.degraded,
         }
 
 
@@ -118,19 +121,35 @@ class _Client:
         self._conn.close()
 
 
-def _run_flow(client: _Client, result: LoadResult, lock: threading.Lock) -> None:
-    """One full sample -> converged-mapping flow; records into result."""
+def _run_flow(
+    client: _Client,
+    result: LoadResult,
+    lock: threading.Lock,
+    *,
+    check_convergence: bool = True,
+) -> None:
+    """One full sample -> converged-mapping flow; records into result.
+
+    ``check_convergence=False`` skips the serial-equivalence assertion —
+    used by the resilience workloads, where degraded answers and
+    injected partial results legitimately change the candidate set.
+    """
     local_latencies: list[float] = []
     statuses: list[int] = []
 
+    errors = 0
+    mismatch = 0
+    degraded = 0
+
     def call(method: str, path: str, body: dict[str, Any] | None = None):
+        nonlocal degraded
         status, parsed, elapsed = client.request(method, path, body)
         local_latencies.append(elapsed)
         statuses.append(status)
+        if status == 200 and isinstance(parsed, dict) and parsed.get("degraded"):
+            degraded += 1
         return status, parsed
 
-    errors = 0
-    mismatch = 0
     status, body = call("POST", "/sessions", {})
     if status != 201 or body is None:
         errors += 1
@@ -151,7 +170,7 @@ def _run_flow(client: _Client, result: LoadResult, lock: threading.Lock) -> None
         )
         if status != 200 or body is None:
             errors += 1
-        elif (
+        elif check_convergence and (
             body.get("status") != "converged"
             or not body.get("candidates")
             or EXPECTED_MAPPING_FRAGMENT
@@ -166,6 +185,7 @@ def _run_flow(client: _Client, result: LoadResult, lock: threading.Lock) -> None
         result.requests += len(local_latencies)
         result.errors += errors
         result.mismatches += mismatch
+        result.degraded += degraded
         for status in statuses:
             result.status_counts[status] = (
                 result.status_counts.get(status, 0) + 1
@@ -173,7 +193,12 @@ def _run_flow(client: _Client, result: LoadResult, lock: threading.Lock) -> None
 
 
 def run_load(
-    host: str, port: int, *, clients: int, flows_per_client: int
+    host: str,
+    port: int,
+    *,
+    clients: int,
+    flows_per_client: int,
+    check_convergence: bool = True,
 ) -> LoadResult:
     """Hammer a running server with ``clients`` concurrent flow loops."""
     result = LoadResult(clients=clients, flows=clients * flows_per_client)
@@ -183,7 +208,10 @@ def run_load(
         client = _Client(host, port)
         try:
             for _ in range(flows_per_client):
-                _run_flow(client, result, lock)
+                _run_flow(
+                    client, result, lock,
+                    check_convergence=check_convergence,
+                )
         finally:
             client.close()
 
@@ -245,4 +273,133 @@ def measure_service(
             record["workloads"][f"service/c{level}"] = (
                 result.to_workload_entry()
             )
+    return record
+
+
+def _measure_level(
+    config: ServiceConfig,
+    *,
+    clients: int,
+    flows_per_client: int,
+    check_convergence: bool = True,
+) -> LoadResult:
+    """One warmed-up load run against a fresh server for ``config``."""
+    app = ServiceApp(config)
+    with MappingServer(app, port=0) as server:
+        run_load(
+            server.host, server.port, clients=1, flows_per_client=1,
+            check_convergence=check_convergence,
+        )
+        return run_load(
+            server.host, server.port,
+            clients=clients, flows_per_client=flows_per_client,
+            check_convergence=check_convergence,
+        )
+
+
+def measure_resilience(
+    *,
+    clients: int = 4,
+    flows_per_client: int = 6,
+    config: ServiceConfig | None = None,
+) -> dict[str, Any]:
+    """Measure the resilience workloads into one ``bench-record`` dict.
+
+    Four workloads over the same flow, for
+    ``results/BENCH_resilience.json``:
+
+    * ``resilience/happy`` — budget machinery **off**
+      (``search_deadline_s=0``): the pre-resilience baseline.
+    * ``resilience/budgeted`` — the default live budget threaded through
+      every search, generous enough never to trip.  Its p50 against
+      ``happy`` is the budget's happy-path overhead (the ISSUE asks for
+      under 5 %; see ``meta.happy_path_overhead_pct``).
+    * ``resilience/degraded`` — a microscopic search deadline: every
+      search degrades, measuring the anytime fast-path latency.
+    * ``resilience/faulty`` — a slow-query + fault mix (injected index
+      latency, occasional partial results) with the default budget:
+      the service must keep answering 200s.
+
+    Degraded and faulty flows skip the convergence check — degraded
+    answers and injected partial results legitimately change the
+    candidate set; the observatory gates their errors, not their
+    mappings.
+    """
+    from repro.bench.regress import RECORD_KIND, calibrate
+    from repro.resilience.faults import FaultInjector, FaultSpec
+
+    base = config or ServiceConfig(
+        port=0,
+        datasets=("running",),
+        workers=8,
+        queue_size=64,
+        max_sessions=128,
+    )
+
+    def variant(**overrides) -> ServiceConfig:
+        settings = dict(
+            port=0,
+            datasets=base.datasets,
+            workers=base.workers,
+            queue_size=base.queue_size,
+            max_sessions=base.max_sessions,
+            request_timeout_s=base.request_timeout_s,
+        )
+        settings.update(overrides)
+        return ServiceConfig(**settings)
+
+    record: dict[str, Any] = {
+        "kind": RECORD_KIND,
+        "name": "resilience",
+        "calibration_s": calibrate(),
+        "meta": {
+            "clients": clients,
+            "flows_per_client": flows_per_client,
+            "workers": base.workers,
+            "dataset": base.datasets[0],
+        },
+        "workloads": {},
+    }
+
+    happy = _measure_level(
+        variant(search_deadline_s=0.0),
+        clients=clients, flows_per_client=flows_per_client,
+    )
+    record["workloads"]["resilience/happy"] = happy.to_workload_entry()
+
+    budgeted = _measure_level(
+        variant(),  # default budget: 80% of the request timeout
+        clients=clients, flows_per_client=flows_per_client,
+    )
+    record["workloads"]["resilience/budgeted"] = budgeted.to_workload_entry()
+
+    degraded = _measure_level(
+        variant(search_deadline_s=1e-6),
+        clients=clients, flows_per_client=flows_per_client,
+        check_convergence=False,
+    )
+    record["workloads"]["resilience/degraded"] = degraded.to_workload_entry()
+
+    fault_mix = [
+        # Slow queries: every third-ish index probe stalls for 1 ms.
+        FaultSpec(
+            "index.search", mode="latency", latency_s=0.001, probability=0.3
+        ),
+        # Flaky secondary index: occasional truncated posting lists.
+        FaultSpec(
+            "index.search", mode="partial", keep_fraction=0.8,
+            probability=0.05,
+        ),
+    ]
+    with FaultInjector(fault_mix, seed=13):
+        faulty = _measure_level(
+            variant(),
+            clients=clients, flows_per_client=flows_per_client,
+            check_convergence=False,
+        )
+    record["workloads"]["resilience/faulty"] = faulty.to_workload_entry()
+
+    if happy.p50_s > 0:
+        overhead = (budgeted.p50_s - happy.p50_s) / happy.p50_s * 100.0
+        record["meta"]["happy_path_overhead_pct"] = round(overhead, 2)
     return record

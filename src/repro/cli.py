@@ -241,6 +241,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             request_timeout_s=args.request_timeout,
             location_cache_size=args.location_cache,
             default_columns=columns,
+            journal_dir=args.journal_dir,
+            search_deadline_s=args.search_deadline,
         ).validate()
     except ServiceConfigError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -263,6 +265,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"workers: {config.workers}  queue: {config.queue_size}  "
         f"sessions: <= {config.max_sessions} (ttl {config.session_ttl_s:g}s)"
     )
+    if config.journal_dir:
+        print(
+            f"journal: {app.journal.path} "
+            f"(recovered {app.recovered_sessions} session(s))"
+        )
     print("Ctrl-C to stop.")
     try:
         server.serve_forever()
@@ -449,6 +456,16 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="SECONDS", help="idle eviction TTL")
     serve.add_argument("--request-timeout", type=float, default=10.0,
                        metavar="SECONDS", help="per-request deadline")
+    serve.add_argument(
+        "--journal-dir", default=None, metavar="DIR",
+        help="enable crash-safe session journaling in DIR; on startup "
+             "the journal is replayed and live sessions restored",
+    )
+    serve.add_argument(
+        "--search-deadline", type=float, default=None, metavar="SECONDS",
+        help="anytime-search budget per cell input (default: 80%% of "
+             "--request-timeout; 0 disables the budget)",
+    )
     serve.add_argument("--location-cache", type=int, default=4096,
                        metavar="ENTRIES",
                        help="cross-session LocateSample LRU size (0 = off)")

@@ -18,6 +18,7 @@ from repro.obs import get_metrics, get_tracer
 from repro.obs.explain import NULL_EXPLAIN
 from repro.relational.database import Database
 from repro.relational.executor import evaluate_tree
+from repro.resilience.budget import NULL_BUDGET
 from repro.text.errors import ErrorModel
 
 
@@ -53,6 +54,7 @@ def create_pairwise_tuple_paths(
     config: TPWConfig,
     tracer=None,
     explain=NULL_EXPLAIN,
+    budget=NULL_BUDGET,
 ) -> tuple[dict[tuple[int, int], list[TuplePath]], int]:
     """Build the Pairwise Tuple Path Map (paper: ``PTPM``).
 
@@ -63,6 +65,10 @@ def create_pairwise_tuple_paths(
     ``explain`` receives one decision per mapping path, carrying the
     support count and the ``zero-support`` prune reason when the query
     came back empty.
+
+    ``budget`` is checked before each instantiation query (the phase's
+    expensive unit); on exhaustion the partial map is returned and an
+    ``instantiate`` degradation records the mapping paths left unqueried.
     """
     tracer = tracer or get_tracer()
     metrics = get_metrics()
@@ -70,6 +76,8 @@ def create_pairwise_tuple_paths(
     invalid_counter = metrics.counter("repro.instantiate.pruned_mapping_paths")
     ptpm: dict[tuple[int, int], list[TuplePath]] = {}
     valid_mapping_paths = 0
+    total_paths = sum(len(paths) for paths in pmpm.values())
+    queried = 0
     for key_pair, mapping_paths in pmpm.items():
         with tracer.span(
             "tpw.instantiate.pair",
@@ -79,6 +87,20 @@ def create_pairwise_tuple_paths(
             collected: list[TuplePath] = []
             valid_here = 0
             for mapping_path in mapping_paths:
+                if budget.exhausted():
+                    budget.stop(
+                        "instantiate",
+                        queries_run=queried,
+                        mapping_paths_unqueried=total_paths - queried,
+                    )
+                    valid_mapping_paths += valid_here
+                    span.set("valid_mapping_paths", valid_here)
+                    span.set("tuple_paths", len(collected))
+                    if collected:
+                        ptpm[key_pair] = collected
+                    return ptpm, valid_mapping_paths
+                queried += 1
+                budget.charge()
                 query_counter.inc()
                 tuple_paths = instantiate_mapping_path(
                     db,

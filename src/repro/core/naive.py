@@ -128,7 +128,14 @@ class NaiveEngine:
             and result.enumerated_total > self.config.max_candidates
         ):
             raise SearchBudgetExceeded(
-                "naive mapping path enumeration", self.config.max_candidates
+                "naive mapping path enumeration",
+                self.config.max_candidates,
+                phase="enumerate",
+                explored={
+                    "mapping_paths": result.enumerated_total,
+                    "complete": result.enumerated_complete,
+                    "validation_queries": result.validation_queries,
+                },
             )
 
     # ------------------------------------------------------------------

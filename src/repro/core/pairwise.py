@@ -20,6 +20,7 @@ from repro.graphs.walks import Walk, enumerate_walks
 from repro.obs import get_metrics
 from repro.obs.explain import NULL_EXPLAIN
 from repro.relational.query import JoinTree, JoinTreeEdge
+from repro.resilience.budget import NULL_BUDGET
 
 #: Pairwise Mapping Path Map: key pair -> mapping paths (paper: PMPM).
 PairwiseMappingPathMap = dict[tuple[int, int], list[MappingPath]]
@@ -78,6 +79,7 @@ def generate_pairwise_mapping_paths(
     location_map: LocationMap,
     config: TPWConfig,
     explain=NULL_EXPLAIN,
+    budget=NULL_BUDGET,
 ) -> PairwiseMappingPathMap:
     """Algorithm 2: build the pairwise mapping path map ``PMPM``.
 
@@ -90,6 +92,11 @@ def generate_pairwise_mapping_paths(
     traced search) receives a kept/dominated decision per generated path
     and the PMNJ frontier: walks truncated at the join bound while
     unexplored edges remained, i.e. where enumeration provably stopped.
+
+    ``budget`` (a :class:`~repro.resilience.Budget`) is checked once per
+    enumerated walk; on exhaustion the map built so far is returned and
+    a ``pairwise`` degradation records how many sample keys were never
+    explored (anytime semantics — never raises).
     """
     metrics = get_metrics()
     walk_counter = metrics.counter("repro.pairwise.walks")
@@ -97,6 +104,7 @@ def generate_pairwise_mapping_paths(
     m = len(location_map.samples)
     pmpm: PairwiseMappingPathMap = {}
     dedup: dict[tuple[int, int], dict[object, MappingPath]] = {}
+    walks_seen = 0
     for key_i in range(m):
         for start_relation in location_map.relations_of(key_i):
             for walk in enumerate_walks(
@@ -105,6 +113,17 @@ def generate_pairwise_mapping_paths(
                 config.pmnj,
                 allow_backtrack=config.allow_backtrack,
             ):
+                if budget.exhausted():
+                    budget.stop(
+                        "pairwise",
+                        walks_explored=walks_seen,
+                        keys_unexplored=m - key_i - 1,
+                    )
+                    for key_pair, bucket in sorted(dedup.items()):
+                        pmpm[key_pair] = list(bucket.values())
+                    return pmpm
+                walks_seen += 1
+                budget.charge()
                 walk_counter.inc()
                 if (
                     explain.enabled

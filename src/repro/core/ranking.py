@@ -18,6 +18,7 @@ from repro.core.mapping_path import MappingPath
 from repro.core.tuple_path import TuplePath
 from repro.obs.explain import NULL_EXPLAIN
 from repro.relational.database import Database
+from repro.resilience.budget import NULL_BUDGET
 from repro.text.errors import ErrorModel
 
 
@@ -79,6 +80,7 @@ def rank_mappings(
     model: ErrorModel,
     weights: RankingWeights,
     explain=NULL_EXPLAIN,
+    budget=NULL_BUDGET,
 ) -> list[RankedMapping]:
     """Group complete tuple paths by mapping and rank the mappings.
 
@@ -88,6 +90,13 @@ def rank_mappings(
     ``explain`` (an :class:`~repro.obs.explain.ExplainRecorder` during a
     traced search) receives each ranked candidate's score decomposition:
     ``score = match_weight * mean(match) − join_weight * n_joins``.
+
+    ``budget`` is checked once per mapping group before scoring (scores
+    read instance values); on exhaustion the groups scored so far are
+    still sorted and returned, with a ``rank`` degradation recording the
+    unscored remainder.  Tuple paths projecting only a subset of the
+    sample columns score against that subset, so degraded partial paths
+    rank cleanly.
     """
     sample_map = dict(enumerate(samples))
     groups: dict[object, tuple[MappingPath, list[TuplePath]]] = {}
@@ -101,7 +110,17 @@ def rank_mappings(
 
     ranked = []
     match_means: dict[int, float] = {}
+    scored = 0
     for mapping, tuple_paths in groups.values():
+        if budget.exhausted():
+            budget.stop(
+                "rank",
+                groups_scored=scored,
+                groups_unscored=len(groups) - scored,
+            )
+            break
+        scored += 1
+        budget.charge()
         matches = [
             matching_score(db, tuple_path, sample_map, model)
             for tuple_path in tuple_paths

@@ -27,6 +27,7 @@ from repro.core.tpw import SearchResult, TPWEngine
 from repro.exceptions import SessionError
 from repro.obs import get_logger, get_tracer
 from repro.relational.database import Database
+from repro.resilience.budget import NULL_BUDGET
 from repro.text.errors import ErrorModel
 
 _log = get_logger(__name__)
@@ -85,6 +86,9 @@ class MappingSession:
         self.warnings: list[str] = []
         #: Message of the last failed :meth:`input` (cleared on success).
         self.last_error: str | None = None
+        #: ``Budget.summary()`` of the most recent search, when it
+        #: degraded (anytime semantics); ``None`` after a clean search.
+        self.last_degradation: dict | None = None
         self.timings = _Timings()
         self._candidates: list[RankedMapping] = []
         #: (row, column, previous content) per applied input, for undo.
@@ -139,13 +143,20 @@ class MappingSession:
     # Input handling
     # ------------------------------------------------------------------
 
-    def input(self, row: int, column: int, content: str) -> SessionStatus:
+    def input(
+        self, row: int, column: int, content: str, *, budget=NULL_BUDGET
+    ) -> SessionStatus:
         """Apply one ``Input(row, column, content)`` event.
 
         Row 0 inputs accumulate until the first row is complete, which
         triggers the initial sample search; editing row 0 afterwards
         re-runs the search and replays all later rows.  Inputs below
         row 0 require the search to have run and prune incrementally.
+
+        ``budget`` (a :class:`~repro.resilience.Budget`) threads into
+        any search this input triggers: on exhaustion the search
+        degrades to its best-effort candidates instead of raising, and
+        :attr:`last_degradation` records why.
 
         Failures are atomic: if the search or pruning raises (budget
         exhaustion, a deadline interrupting a service request, …) the
@@ -160,17 +171,19 @@ class MappingSession:
         previous = self.spreadsheet.cell(row, column)
         prior_result = self.search_result
         prior_candidates = list(self._candidates)
+        prior_degradation = self.last_degradation
         self.spreadsheet.set_cell(row, column, content)
         self._undo_stack.append((row, column, previous))
         self._log("input", f"({row}, {column}) <- {content.strip()!r}")
         try:
-            self._apply_input(row, column, content, previous)
+            self._apply_input(row, column, content, previous, budget=budget)
         except Exception as error:
             self.spreadsheet.set_cell(row, column, previous or "")
             if self._undo_stack and self._undo_stack[-1] == (row, column, previous):
                 self._undo_stack.pop()
             self.search_result = prior_result
             self._candidates = prior_candidates
+            self.last_degradation = prior_degradation
             self.last_error = f"{type(error).__name__}: {error}"
             self._log("error", f"input rolled back: {self.last_error}")
             raise
@@ -178,12 +191,18 @@ class MappingSession:
         return self.status
 
     def _apply_input(
-        self, row: int, column: int, content: str, previous: str | None
+        self,
+        row: int,
+        column: int,
+        content: str,
+        previous: str | None,
+        *,
+        budget=NULL_BUDGET,
     ) -> None:
         """The state-mutating body of :meth:`input` (see its contract)."""
         if row == 0:
             if self.spreadsheet.first_row_complete():
-                self._run_search()
+                self._run_search(budget=budget)
                 self._replay_pruning()
             return
 
@@ -225,9 +244,21 @@ class MappingSession:
             self._candidates = []
         return self.status
 
-    def input_named(self, row: int, column_name: str, content: str) -> SessionStatus:
+    def input_named(
+        self,
+        row: int,
+        column_name: str,
+        content: str,
+        *,
+        budget=NULL_BUDGET,
+    ) -> SessionStatus:
         """:meth:`input` addressing the column by name."""
-        return self.input(row, self.spreadsheet.column_index(column_name), content)
+        return self.input(
+            row,
+            self.spreadsheet.column_index(column_name),
+            content,
+            budget=budget,
+        )
 
     def undo(self) -> SessionStatus:
         """Revert the most recent input and recompute the candidates.
@@ -295,13 +326,19 @@ class MappingSession:
     def _log(self, kind: str, message: str) -> None:
         self.events.append(SessionEvent(kind, message, len(self._candidates)))
 
-    def _run_search(self) -> None:
+    def _run_search(self, *, budget=NULL_BUDGET) -> None:
         sample_tuple = self.spreadsheet.first_row()
         with get_tracer().span("session.search") as span:
-            self.search_result = self.engine.search(sample_tuple)
+            self.search_result = self.engine.search(sample_tuple, budget=budget)
             span.set("candidates", self.search_result.n_candidates)
             span.set("search_id", self.search_result.search_id)
         self.timings.search_seconds.append(span.duration)
+        self.last_degradation = self.search_result.degradation
+        if self.search_result.degraded:
+            self._warn(
+                "search degraded: best-effort candidates only "
+                f"({(self.search_result.degradation or {}).get('reason')})"
+            )
         self._candidates = list(self.search_result.candidates)
         if self.search_result.location_map.empty_keys():
             missing = ", ".join(

@@ -46,6 +46,7 @@ from repro.obs import get_logger, get_metrics, get_tracer
 from repro.obs.explain import NULL_EXPLAIN, ExplainRecorder
 from repro.obs.tracer import Span
 from repro.relational.database import Database
+from repro.resilience.budget import NULL_BUDGET
 from repro.text.errors import ErrorModel, default_error_model
 
 _log = get_logger(__name__)
@@ -74,6 +75,14 @@ class SearchResult:
     #: attribute of the ``tpw.search`` span, so multi-search traces can
     #: be disambiguated (``SearchStats.from_trace``, ``repro explain``).
     search_id: int = 0
+    #: ``True`` when a budget stopped the search early: ``candidates``
+    #: is then the best-effort ranked set (anytime semantics), possibly
+    #: holding partial mappings that project a subset of the columns.
+    degraded: bool = False
+    #: Machine-readable degradation payload (``Budget.summary()``):
+    #: which phase stopped, why, and what was skipped. ``None`` when
+    #: the search completed cleanly.
+    degradation: dict | None = None
 
     @property
     def mappings(self) -> list[MappingPath]:
@@ -133,7 +142,9 @@ class TPWEngine:
 
     # ------------------------------------------------------------------
 
-    def search(self, sample_tuple: Sequence[str]) -> SearchResult:
+    def search(
+        self, sample_tuple: Sequence[str], *, budget=NULL_BUDGET
+    ) -> SearchResult:
         """Run the full TPW sample search for one sample tuple.
 
         Returns every valid complete mapping path within the configured
@@ -141,6 +152,13 @@ class TPWEngine:
         project-join mapping can produce the sample tuple — typically
         because one sample occurs nowhere in the source (check
         ``result.location_map.empty_keys()``).
+
+        ``budget`` (a :class:`~repro.resilience.Budget`) turns on
+        anytime semantics: when its deadline/work allowance runs out or
+        it is cancelled, the search stops at the next iteration
+        boundary and the result carries the best-effort ranked
+        candidates found so far with ``degraded=True`` and a
+        machine-readable ``degradation`` payload — never an exception.
         """
         samples = tuple(str(sample) for sample in sample_tuple)
         if not samples:
@@ -155,11 +173,19 @@ class TPWEngine:
             "tpw.search", columns=len(samples), search_id=search_id
         ) as root:
             candidates, location_map = self._search_phases(
-                samples, stats, tracer, explain
+                samples, stats, tracer, explain, budget
             )
             root.set("candidates", len(candidates))
+            if budget.degraded:
+                root.set("degraded", True)
+                root.set("degradation", budget.summary())
         stats.timings["total"] = root.duration
         get_metrics().histogram("repro.search.seconds").observe(root.duration)
+        if budget.degraded:
+            get_metrics().counter("repro.search.degraded").inc()
+            _log.warning(
+                "tpw.search degraded: %s", budget.summary(),
+            )
         _log.debug(
             "tpw.search columns=%d candidates=%d total=%.1fms",
             len(samples), len(candidates), root.duration * 1000,
@@ -171,6 +197,8 @@ class TPWEngine:
             stats,
             trace=root if tracer.enabled else None,
             search_id=search_id,
+            degraded=budget.degraded,
+            degradation=budget.summary(),
         )
 
     def _search_phases(
@@ -179,8 +207,17 @@ class TPWEngine:
         stats: SearchStats,
         tracer,
         explain=NULL_EXPLAIN,
+        budget=NULL_BUDGET,
     ) -> tuple[list[RankedMapping], LocationMap]:
-        """The phase pipeline, each phase inside its span."""
+        """The phase pipeline, each phase inside its span.
+
+        Anytime behavior: after each phase the budget is consulted;
+        once it is exhausted the remaining phases are skipped and the
+        most advanced tuple paths available go straight to ranking, so
+        a degraded search still returns a ranked (possibly partial)
+        candidate list whenever at least one pairwise tuple path was
+        instantiated before the budget tripped.
+        """
         with tracer.span("tpw.locate") as span:
             location_map = self._locate(samples)
             stats.location_hits = {
@@ -200,17 +237,22 @@ class TPWEngine:
         if location_map.empty_keys():
             return [], location_map
 
+        if budget.exhausted():
+            budget.stop("locate")
+            return [], location_map
+
         if len(samples) == 1:
             return (
                 self._search_single_column(
-                    samples, location_map, stats, tracer, explain
+                    samples, location_map, stats, tracer, explain, budget
                 ),
                 location_map,
             )
 
         with tracer.span("tpw.pairwise") as span:
             pmpm = generate_pairwise_mapping_paths(
-                self.graph, location_map, self.config, explain=explain
+                self.graph, location_map, self.config, explain=explain,
+                budget=budget,
             )
             stats.pairwise_mapping_paths = count_pairwise_paths(pmpm)
             span.set("mapping_paths", stats.pairwise_mapping_paths)
@@ -220,7 +262,7 @@ class TPWEngine:
         with tracer.span("tpw.instantiate") as span:
             ptpm, valid_pairwise = create_pairwise_tuple_paths(
                 self.db, pmpm, samples, self.model, self.config,
-                tracer=tracer, explain=explain,
+                tracer=tracer, explain=explain, budget=budget,
             )
             stats.pairwise_valid_mapping_paths = valid_pairwise
             span.set("valid_mapping_paths", valid_pairwise)
@@ -230,20 +272,34 @@ class TPWEngine:
             )
         stats.timings["instantiate"] = span.duration
 
-        with tracer.span("tpw.weave") as span:
-            complete = weave_complete_tuple_paths(
-                ptpm, len(samples), self.config, stats,
-                tracer=tracer, explain=explain,
-            )
-            span.set("pairwise_tuple_paths", stats.pairwise_tuple_paths)
-            span.set("complete_tuple_paths", stats.complete_tuple_paths)
-            explain.annotate_weave(span)
-        stats.timings["weave"] = span.duration
+        if budget.degraded:
+            # The weave would start from an incomplete pairwise map;
+            # rank the instantiated pairwise tuple paths directly so the
+            # user still sees the best-supported (partial) mappings.
+            dedup: dict[object, TuplePath] = {}
+            for tuple_paths in ptpm.values():
+                for tuple_path in tuple_paths:
+                    dedup.setdefault(tuple_path.signature(), tuple_path)
+            stats.pairwise_tuple_paths = len(dedup)
+            complete = list(dedup.values())
+        else:
+            with tracer.span("tpw.weave") as span:
+                complete = weave_complete_tuple_paths(
+                    ptpm, len(samples), self.config, stats,
+                    tracer=tracer, explain=explain, budget=budget,
+                )
+                span.set("pairwise_tuple_paths", stats.pairwise_tuple_paths)
+                span.set("complete_tuple_paths", stats.complete_tuple_paths)
+                explain.annotate_weave(span)
+            stats.timings["weave"] = span.duration
 
         with tracer.span("tpw.rank") as span:
             candidates = rank_mappings(
                 self.db, complete, samples, self.model, self.config.ranking,
                 explain=explain,
+                # Ranking what survived is part of the anytime contract:
+                # an already-exhausted budget must not empty the answer.
+                budget=NULL_BUDGET if budget.degraded else budget,
             )
             stats.valid_complete_mappings = len(candidates)
             span.set("candidates", len(candidates))
@@ -260,11 +316,21 @@ class TPWEngine:
         stats: SearchStats,
         tracer,
         explain=NULL_EXPLAIN,
+        budget=NULL_BUDGET,
     ) -> list[RankedMapping]:
         """Target size one: each containing attribute is a candidate."""
         with tracer.span("tpw.instantiate", single_column=True) as span:
             tuple_paths: list[TuplePath] = []
-            for relation, attribute in location_map.attributes_of(0):
+            attributes = location_map.attributes_of(0)
+            for done, (relation, attribute) in enumerate(attributes):
+                if budget.exhausted():
+                    budget.stop(
+                        "instantiate",
+                        attributes_done=done,
+                        attributes_skipped=len(attributes) - done,
+                    )
+                    break
+                budget.charge()
                 mapping = single_relation_mapping(relation, {0: attribute})
                 tuple_paths.extend(
                     instantiate_mapping_path(
@@ -283,6 +349,7 @@ class TPWEngine:
             candidates = rank_mappings(
                 self.db, tuple_paths, samples, self.model, self.config.ranking,
                 explain=explain,
+                budget=NULL_BUDGET if budget.degraded else budget,
             )
             stats.valid_complete_mappings = len(candidates)
             span.set("candidates", len(candidates))

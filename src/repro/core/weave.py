@@ -35,6 +35,8 @@ the baseline explore exactly the same mapping family.
 
 from __future__ import annotations
 
+import itertools
+import time
 from collections.abc import Callable, Hashable
 from dataclasses import dataclass
 
@@ -47,6 +49,7 @@ from repro.obs import get_logger, get_metrics, get_tracer
 from repro.obs.explain import NULL_EXPLAIN
 from repro.obs.metrics import COUNT_BUCKETS
 from repro.relational.query import JoinTree, JoinTreeEdge
+from repro.resilience.budget import NULL_BUDGET, REASON_LIMIT
 
 _log = get_logger(__name__)
 
@@ -242,6 +245,7 @@ def weave_complete_tuple_paths(
     stats: SearchStats,
     tracer=None,
     explain=NULL_EXPLAIN,
+    budget=NULL_BUDGET,
 ) -> list[TuplePath]:
     """Algorithm 5: build complete tuple paths level by level.
 
@@ -254,6 +258,14 @@ def weave_complete_tuple_paths(
     receives the fuse statistics — candidates in/out per level, how many
     woven paths were dominated (duplicate canonical signature), and a
     few dominated examples.
+
+    ``budget`` is checked once per base path; on exhaustion the most
+    advanced non-empty level is returned (partial tuple paths rank into
+    partial candidate mappings downstream) with a ``weave`` degradation.
+    A *live* budget also converts the ``max_woven_paths_per_level``
+    overflow into degradation — the level is truncated to the limit and
+    weaving stops — where the legacy (un-budgeted) path keeps raising
+    :class:`SearchBudgetExceeded`.
     """
     tracer = tracer or get_tracer()
     metrics = get_metrics()
@@ -275,12 +287,31 @@ def weave_complete_tuple_paths(
             anchor_index.setdefault(anchor, []).append(tuple_path)
 
     current = level
+    start = time.monotonic()
     for size in range(2, target_size):
         with tracer.span("tpw.weave.level", level=size + 1) as level_span:
             next_level: dict[object, TuplePath] = {}
             woven = 0
             dominated_examples: list[str] = []
+            bases_done = 0
             for base in current.values():
+                if budget.exhausted():
+                    budget.stop(
+                        "weave",
+                        level=size + 1,
+                        bases_done=bases_done,
+                        bases_skipped=len(current) - bases_done,
+                        levels_skipped=target_size - (size + 1),
+                    )
+                    # Anytime result: the most advanced non-empty level.
+                    partial = next_level or current
+                    level_span.set("woven", woven)
+                    level_span.set("kept", len(partial))
+                    complete = list(partial.values())
+                    stats.complete_tuple_paths = len(complete)
+                    return complete
+                bases_done += 1
+                budget.charge()
                 for key, (vertex, attribute) in base.projections.items():
                     anchor = (key, base.tuple_at(vertex), attribute)
                     for pair in anchor_index.get(anchor, ()):
@@ -323,9 +354,37 @@ def weave_complete_tuple_paths(
                     "weave budget exceeded at level %d: %d > %d kept paths",
                     size + 1, len(next_level), config.max_woven_paths_per_level,
                 )
+                if budget.live:
+                    # Anytime semantics: truncate to the configured width
+                    # and surface the overflow as a degradation instead
+                    # of failing the whole search.
+                    dropped = len(next_level) - config.max_woven_paths_per_level
+                    budget.stop(
+                        "weave",
+                        reason=REASON_LIMIT,
+                        level=size + 1,
+                        paths_dropped=dropped,
+                        levels_skipped=target_size - (size + 1),
+                    )
+                    kept = dict(
+                        itertools.islice(
+                            next_level.items(),
+                            config.max_woven_paths_per_level,
+                        )
+                    )
+                    complete = list(kept.values())
+                    stats.complete_tuple_paths = len(complete)
+                    return complete
                 raise SearchBudgetExceeded(
                     f"tuple paths at level {size + 1}",
                     config.max_woven_paths_per_level,
+                    phase="weave",
+                    elapsed_s=time.monotonic() - start,
+                    explored={
+                        "woven": woven,
+                        "kept": len(next_level),
+                        "level": size + 1,
+                    },
                 )
         current = next_level
 

@@ -59,12 +59,62 @@ class SearchBudgetExceeded(ReproError):
     The paper's naive baseline exhausts memory for target sizes beyond
     four; our harness converts that failure mode into this explicit,
     catchable error carrying the budget that was exceeded.
+
+    The keyword-only fields enrich the error for ``explain`` and the
+    degraded-result payload: ``phase`` names the search phase that
+    tripped, ``elapsed_s`` the wall time spent, and ``explored`` counts
+    whatever the phase had examined when it gave up (walks, mapping
+    paths, woven paths…).  They default to empty so the historic
+    ``SearchBudgetExceeded(what, limit)`` call sites keep working.
     """
 
-    def __init__(self, what: str, limit: int) -> None:
-        super().__init__(f"search budget exceeded: {what} > {limit}")
+    def __init__(
+        self,
+        what: str,
+        limit: int,
+        *,
+        phase: str | None = None,
+        elapsed_s: float | None = None,
+        explored: dict[str, int] | None = None,
+    ) -> None:
+        message = f"search budget exceeded: {what} > {limit}"
+        if phase is not None:
+            message += f" (phase={phase}"
+            if elapsed_s is not None:
+                message += f", elapsed={elapsed_s:.3f}s"
+            message += ")"
+        super().__init__(message)
         self.what = what
         self.limit = limit
+        self.phase = phase
+        self.elapsed_s = elapsed_s
+        self.explored = dict(explored or {})
+
+    def context(self) -> dict[str, object]:
+        """JSON-ready context for explain reports and error payloads."""
+        payload: dict[str, object] = {"what": self.what, "limit": self.limit}
+        if self.phase is not None:
+            payload["phase"] = self.phase
+        if self.elapsed_s is not None:
+            payload["elapsed_s"] = round(self.elapsed_s, 6)
+        if self.explored:
+            payload["explored"] = dict(self.explored)
+        return payload
+
+
+class BackendError(ReproError):
+    """A storage backend failed beneath the mapping engine.
+
+    Wraps residual :class:`sqlite3.OperationalError` (and friends) that
+    survive the retry layer, so callers deal in typed repro errors
+    instead of driver exceptions.  ``operation`` names the backend step
+    (``connect``, ``execute``…); ``cause`` keeps the original error.
+    """
+
+    def __init__(self, operation: str, cause: BaseException) -> None:
+        super().__init__(f"backend {operation} failed: {cause}")
+        self.operation = operation
+        self.cause = cause
 
 
 class SessionError(ReproError):
@@ -111,6 +161,21 @@ class DeadlineExceeded(ServiceError):
         super().__init__(f"deadline exceeded after {deadline_s:g}s: {what}")
         self.what = what
         self.deadline_s = deadline_s
+
+
+class CircuitOpenError(ServiceError):
+    """A circuit breaker is open: the backend is failing fast.
+
+    Raised by :class:`repro.resilience.CircuitBreaker` instead of
+    calling through to an operation that has failed repeatedly; carries
+    a ``retry_after_s`` hint for the caller (the HTTP layer maps this
+    to ``503 Service Unavailable``).
+    """
+
+    def __init__(self, name: str, *, retry_after_s: float = 1.0) -> None:
+        super().__init__(f"circuit open: {name}")
+        self.name = name
+        self.retry_after_s = retry_after_s
 
 
 class UnknownSessionError(ServiceError):

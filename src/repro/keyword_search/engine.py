@@ -10,9 +10,25 @@ from repro.core.tpw import TPWEngine
 from repro.core.tuple_path import TuplePath
 from repro.obs import get_logger, get_metrics, get_tracer
 from repro.relational.database import Database
+from repro.resilience.budget import NULL_BUDGET
 from repro.text.errors import ErrorModel
 
 _log = get_logger(__name__)
+
+
+class KeywordResults(list):
+    """A ranked hit list that also carries degradation state.
+
+    Subclasses ``list`` so every existing caller that treats the search
+    result as ``list[KeywordHit]`` keeps working; anytime-aware callers
+    read :attr:`degraded` / :attr:`degradation` to see whether a budget
+    stopped the underlying TPW search early.
+    """
+
+    #: ``True`` when the underlying search degraded (anytime result).
+    degraded: bool = False
+    #: ``Budget.summary()`` payload when degraded, else ``None``.
+    degradation: dict | None = None
 
 
 @dataclass(frozen=True)
@@ -68,29 +84,38 @@ class KeywordSearchEngine:
         )
 
     def search(
-        self, keywords: Sequence[str], *, limit: int = 0
-    ) -> list[KeywordHit]:
+        self, keywords: Sequence[str], *, limit: int = 0, budget=NULL_BUDGET
+    ) -> KeywordResults:
         """All joined tuple trees covering every keyword, ranked.
 
         Ranking: fewer joins first, then the engine's match score
         ordering.  ``limit=0`` returns everything.
+
+        ``budget`` (a :class:`~repro.resilience.Budget`) threads into
+        the underlying TPW search: when it runs out, the hits found so
+        far come back with ``degraded=True`` on the returned
+        :class:`KeywordResults` instead of an exception.
         """
         query = tuple(str(keyword) for keyword in keywords)
         with get_tracer().span(
             "kwsearch.search", keywords=len(query), limit=limit
         ) as span:
-            result = self._engine.search(query)
-            hits = [
+            result = self._engine.search(query, budget=budget)
+            hits = KeywordResults(
                 KeywordHit(tuple_path=path, keywords=query)
                 for candidate in result.candidates
                 for path in candidate.tuple_paths
-            ]
+            )
             hits.sort(
                 key=lambda hit: (hit.n_joins, hit.tuple_path.describe())
             )
             if limit:
-                hits = hits[:limit]
+                hits = KeywordResults(hits[:limit])
+            hits.degraded = result.degraded
+            hits.degradation = result.degradation
             span.set("hits", len(hits))
+            if hits.degraded:
+                span.set("degraded", True)
         get_metrics().counter("repro.kwsearch.searches").inc()
         _log.debug("keyword search %r returned %d hits", query, len(hits))
         return hits

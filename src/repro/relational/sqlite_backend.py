@@ -4,15 +4,32 @@ The native engine is the system of record; the sqlite mirror exists so
 tests can cross-check the tree-query evaluator and the SQL renderer
 against an independent implementation, and so downstream users can hand
 a generated dataset to any SQL tool.
+
+Robustness: every connection gets ``PRAGMA busy_timeout`` so concurrent
+writers wait instead of failing instantly with ``database is locked``;
+transient :class:`sqlite3.OperationalError` is retried with jittered
+backoff; anything that survives the retries is translated into the
+typed :class:`~repro.exceptions.BackendError` so callers never have to
+catch driver exceptions.  The ``sqlite.connect`` / ``sqlite.execute``
+fault points let the chaos tests inject failures at these exact seams.
 """
 
 from __future__ import annotations
 
 import sqlite3
 
+from repro.exceptions import BackendError
 from repro.relational.database import Database
 from repro.relational.schema import RelationSchema
 from repro.relational.types import DataType
+from repro.resilience.faults import fault_point
+from repro.resilience.retry import RetryPolicy, retry_call
+
+#: How long a connection waits on a locked database before erroring.
+BUSY_TIMEOUT_MS = 5_000
+
+#: Backoff schedule for transient sqlite errors (busy/locked).
+SQLITE_RETRY = RetryPolicy(max_attempts=3, base_delay_s=0.02, max_delay_s=0.5)
 
 _SQLITE_TYPES = {
     DataType.INTEGER: "INTEGER",
@@ -39,24 +56,84 @@ def _create_table_sql(relation: RelationSchema) -> str:
     return f"CREATE TABLE {_quote(relation.name)} ({body})"
 
 
+def connect(path: str = ":memory:") -> sqlite3.Connection:
+    """Open a sqlite connection with the resilience defaults applied.
+
+    Sets ``PRAGMA busy_timeout`` so lock contention waits rather than
+    raising, retries transient :class:`sqlite3.OperationalError`, and
+    wraps a persistent failure in :class:`BackendError`.
+    """
+
+    def _open() -> sqlite3.Connection:
+        fault_point("sqlite.connect")
+        connection = sqlite3.connect(path)
+        connection.execute(f"PRAGMA busy_timeout = {BUSY_TIMEOUT_MS}")
+        return connection
+
+    try:
+        return retry_call(
+            _open,
+            policy=SQLITE_RETRY,
+            retry_on=(sqlite3.OperationalError,),
+            name="sqlite.connect",
+        )
+    except sqlite3.OperationalError as error:
+        raise BackendError("connect", error) from error
+
+
 def to_sqlite(db: Database, path: str = ":memory:") -> sqlite3.Connection:
     """Create a sqlite3 database mirroring ``db`` and return the connection.
 
     Foreign keys are not declared on the sqlite side (sqlite cannot name
     them the way our schema graph needs); joins are issued explicitly by
     the rendered SQL instead.
+
+    Raises :class:`~repro.exceptions.BackendError` when sqlite keeps
+    failing after the built-in retries.
     """
-    connection = sqlite3.connect(path)
-    cursor = connection.cursor()
-    for relation in db.schema:
-        cursor.execute(_create_table_sql(relation))
-        table = db.table(relation.name)
-        if len(table) == 0:
-            continue
-        placeholders = ", ".join("?" for _ in relation.attributes)
-        cursor.executemany(
-            f"INSERT INTO {_quote(relation.name)} VALUES ({placeholders})",
-            list(table),
+    connection = connect(path)
+
+    def _load() -> None:
+        cursor = connection.cursor()
+        for relation in db.schema:
+            fault_point("sqlite.execute")
+            cursor.execute(_create_table_sql(relation))
+            table = db.table(relation.name)
+            if len(table) == 0:
+                continue
+            placeholders = ", ".join("?" for _ in relation.attributes)
+            cursor.executemany(
+                f"INSERT INTO {_quote(relation.name)} VALUES ({placeholders})",
+                list(table),
+            )
+        connection.commit()
+
+    try:
+        retry_call(
+            _reset_and(_load, connection, db),
+            policy=SQLITE_RETRY,
+            retry_on=(sqlite3.OperationalError,),
+            name="sqlite.load",
         )
-    connection.commit()
+    except sqlite3.OperationalError as error:
+        connection.close()
+        raise BackendError("execute", error) from error
     return connection
+
+
+def _reset_and(load, connection: sqlite3.Connection, db: Database):
+    """Wrap ``load`` so each retry starts from an empty schema.
+
+    A half-created mirror (the first attempt died mid-``CREATE TABLE``)
+    would make the retry fail on "table already exists"; dropping our
+    tables first makes the load idempotent.
+    """
+
+    def _run() -> None:
+        for relation in db.schema:
+            connection.execute(
+                f"DROP TABLE IF EXISTS {_quote(relation.name)}"
+            )
+        load()
+
+    return _run

@@ -1,0 +1,250 @@
+"""Crash-safe session journaling for the mapping service.
+
+A session's durable state is exactly its spreadsheet inputs (see
+:mod:`repro.core.persistence`), so the journal is an **append-only
+JSON-lines log of cell inputs** plus session create/delete markers.
+``mweaver serve --journal-dir DIR`` appends one record per applied
+mutation; after a crash (or a plain restart) the new process replays
+the journal and restores every live session — same ids, same grids,
+same candidate state (candidates are recomputed by re-running the real
+search, so a recovered session is indistinguishable from a live one).
+
+Record shapes (one JSON object per line)::
+
+    {"op": "create", "session_id": ..., "dataset": ...,
+     "columns": [...], "on_irrelevant": ..., "ts": ...}
+    {"op": "cell", "session_id": ..., "row": 0, "column": 1,
+     "value": "James Cameron", "ts": ...}
+    {"op": "delete", "session_id": ..., "ts": ...}
+
+Durability policy: every append is flushed to the OS (``flush``); with
+``fsync=True`` it is additionally fsynced, trading latency for
+power-loss safety.  A torn final line (the classic ``kill -9``
+mid-write artifact) is tolerated: replay skips unparsable lines and
+keeps everything before them.
+
+On recovery the journal is **compacted**: the restored live state is
+rewritten as a fresh create+cells prefix, so the file does not grow
+without bound across restarts.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.obs import get_logger, get_metrics
+from repro.resilience.faults import fault_point
+
+_log = get_logger(__name__)
+
+#: Journal format version, embedded in every record.
+_FORMAT_VERSION = 1
+
+
+@dataclass
+class JournaledSession:
+    """One live session reconstructed from the journal."""
+
+    session_id: str
+    dataset: str
+    columns: list[str]
+    on_irrelevant: str = "ignore"
+    #: Applied cell inputs in arrival order: ``(row, column, value)``.
+    cells: list[tuple[int, int, str]] = field(default_factory=list)
+
+    def grid(self) -> dict[tuple[int, int], str]:
+        """The final grid: last write per cell wins."""
+        cells: dict[tuple[int, int], str] = {}
+        for row, column, value in self.cells:
+            cells[(row, column)] = value
+        return cells
+
+
+def replay_journal(path: str | Path) -> dict[str, JournaledSession]:
+    """Replay a journal file into the live sessions it describes.
+
+    Returns ``session_id -> JournaledSession`` for every session that
+    was created and not deleted.  Unparsable lines (torn tail writes)
+    and records for unknown sessions are skipped with a warning count
+    rather than failing the whole recovery.
+    """
+    path = Path(path)
+    live: dict[str, JournaledSession] = {}
+    skipped = 0
+    if not path.exists():
+        return live
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                skipped += 1
+                continue
+            if not isinstance(record, dict):
+                skipped += 1
+                continue
+            op = record.get("op")
+            session_id = record.get("session_id")
+            if op == "create" and isinstance(session_id, str):
+                live[session_id] = JournaledSession(
+                    session_id=session_id,
+                    dataset=str(record.get("dataset", "")),
+                    columns=[str(c) for c in record.get("columns", [])],
+                    on_irrelevant=str(record.get("on_irrelevant", "ignore")),
+                )
+            elif op == "cell" and session_id in live:
+                try:
+                    live[session_id].cells.append(
+                        (
+                            int(record["row"]),
+                            int(record["column"]),
+                            str(record["value"]),
+                        )
+                    )
+                except (KeyError, TypeError, ValueError):
+                    skipped += 1
+            elif op == "delete" and isinstance(session_id, str):
+                live.pop(session_id, None)
+            else:
+                skipped += 1
+    if skipped:
+        _log.warning(
+            "journal %s: skipped %d unparsable/orphan record(s)",
+            path, skipped,
+        )
+    return live
+
+
+class SessionJournal:
+    """Append-only journal of session mutations, one JSON per line.
+
+    Thread-safe (one lock around the write path — appends are tiny and
+    rare relative to searches).  ``fsync=True`` makes every append
+    durable against power loss, not just process death.
+    """
+
+    def __init__(
+        self, path: str | Path, *, fsync: bool = False
+    ) -> None:
+        self.path = Path(path)
+        self.fsync = fsync
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._handle: io.TextIOWrapper = self.path.open(
+            "a", encoding="utf-8"
+        )
+        self.appended = 0
+
+    # -- the write path ------------------------------------------------
+
+    def _append(self, record: dict[str, Any]) -> None:
+        record["ts"] = time.time()
+        record["v"] = _FORMAT_VERSION
+        line = json.dumps(record, separators=(",", ":")) + "\n"
+        with self._lock:
+            fault_point("journal.append")
+            self._handle.write(line)
+            self._handle.flush()
+            if self.fsync:
+                os.fsync(self._handle.fileno())
+            self.appended += 1
+        get_metrics().counter("repro.journal.appends").inc()
+
+    def record_create(
+        self,
+        session_id: str,
+        dataset: str,
+        columns: list[str],
+        *,
+        on_irrelevant: str = "ignore",
+    ) -> None:
+        """Journal a session creation."""
+        self._append({
+            "op": "create",
+            "session_id": session_id,
+            "dataset": dataset,
+            "columns": list(columns),
+            "on_irrelevant": on_irrelevant,
+        })
+
+    def record_cell(
+        self, session_id: str, row: int, column: int, value: str
+    ) -> None:
+        """Journal one applied cell input."""
+        self._append({
+            "op": "cell",
+            "session_id": session_id,
+            "row": row,
+            "column": column,
+            "value": value,
+        })
+
+    def record_delete(self, session_id: str) -> None:
+        """Journal a session deletion (explicit or TTL eviction)."""
+        self._append({"op": "delete", "session_id": session_id})
+
+    # -- maintenance ---------------------------------------------------
+
+    def compact(self, live: dict[str, JournaledSession]) -> None:
+        """Rewrite the journal so it holds only the live state.
+
+        Called after recovery: the restored sessions become a fresh
+        create+cells prefix and everything else (deleted sessions,
+        superseded cell writes, torn lines) is dropped.  The rewrite
+        goes through a temp file + ``os.replace`` so a crash mid-compact
+        leaves either the old or the new journal, never a torn one.
+        """
+        with self._lock:
+            temp = self.path.with_suffix(self.path.suffix + ".compact")
+            with temp.open("w", encoding="utf-8") as handle:
+                for session in live.values():
+                    records: list[dict[str, Any]] = [{
+                        "op": "create",
+                        "session_id": session.session_id,
+                        "dataset": session.dataset,
+                        "columns": list(session.columns),
+                        "on_irrelevant": session.on_irrelevant,
+                    }]
+                    # Last-write-wins: superseded cell writes are dropped.
+                    for (row, column), value in sorted(
+                        session.grid().items()
+                    ):
+                        records.append({
+                            "op": "cell",
+                            "session_id": session.session_id,
+                            "row": row,
+                            "column": column,
+                            "value": value,
+                        })
+                    for record in records:
+                        record["ts"] = time.time()
+                        record["v"] = _FORMAT_VERSION
+                        handle.write(
+                            json.dumps(record, separators=(",", ":")) + "\n"
+                        )
+                handle.flush()
+                os.fsync(handle.fileno())
+            self._handle.close()
+            os.replace(temp, self.path)
+            self._handle = self.path.open("a", encoding="utf-8")
+        _log.info(
+            "journal compacted: %d live session(s) at %s",
+            len(live), self.path,
+        )
+
+    def close(self) -> None:
+        """Flush and close the underlying file (idempotent)."""
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.flush()
+                self._handle.close()

@@ -21,21 +21,36 @@ API surface (all JSON)::
     GET    /metrics                   -> obs snapshot + service stats
 
 Failure mapping: unknown/evicted session -> 404, malformed input -> 400,
-full work queue or session table -> 429 with ``Retry-After``, a missed
+full work queue or session table -> 429 with ``Retry-After``, an open
+dataset-build circuit breaker -> 503 with ``Retry-After``, a missed
 request deadline -> 504, anything unexpected -> 500.  Every request runs
 inside a ``service.request`` span; search/prune work executes on the
 worker pool, which re-parents its spans under the request via
 :meth:`repro.obs.tracer.Tracer.adopt`.
+
+Graceful degradation: each cell input carries an anytime-search
+:class:`~repro.resilience.Budget` (see
+``ServiceConfig.search_deadline_s``).  A search that exhausts it still
+answers **200** — the session state carries ``degraded: true`` plus a
+machine-readable ``degradation`` summary — so clients get the
+best-effort candidate ranking instead of a 504.  504 remains the answer
+only when the request deadline passes with nothing to return.
+
+Crash safety: with ``journal_dir`` configured, every applied mutation is
+appended to a JSONL journal and replayed on startup, restoring live
+sessions (same ids, same grids) across a crash or restart.
 """
 
 from __future__ import annotations
 
 import time
+from pathlib import Path
 from typing import Any
 
 from repro import obs
 from repro.core.session import MappingSession
 from repro.exceptions import (
+    CircuitOpenError,
     DeadlineExceeded,
     ReproError,
     ServiceOverloadedError,
@@ -43,6 +58,7 @@ from repro.exceptions import (
     UnknownSessionError,
 )
 from repro.obs import get_logger, get_metrics, get_tracer
+from repro.resilience import NULL_BUDGET, Budget, SessionJournal, replay_journal
 from repro.service.config import ServiceConfig
 from repro.service.registry import DatasetRegistry, LocationCache
 from repro.service.sessions import ManagedSession, SessionManager
@@ -88,11 +104,22 @@ class ServiceApp:
             if self.config.location_cache_size
             else None
         )
+        self.journal: SessionJournal | None = None
+        if self.config.journal_dir:
+            self.journal = SessionJournal(
+                Path(self.config.journal_dir) / "sessions.journal"
+            )
         self.sessions = SessionManager(
             max_sessions=self.config.max_sessions,
             ttl_s=self.config.session_ttl_s,
             retry_after_s=self.config.retry_after_s,
+            on_evict=(
+                self.journal.record_delete if self.journal else None
+            ),
         )
+        self.recovered_sessions = 0
+        if self.journal is not None:
+            self._recover_sessions()
         self.pool = WorkerPool(
             workers=self.config.workers,
             queue_size=self.config.queue_size,
@@ -101,11 +128,67 @@ class ServiceApp:
         self.started_at = time.time()
         self._closed = False
 
+    def _recover_sessions(self) -> None:
+        """Replay the journal and re-admit every live session.
+
+        Each session recovers independently — one bad record set (a
+        dataset no longer served, a full table) skips that session with
+        a warning instead of failing startup.  The journal is compacted
+        afterwards so it holds exactly the restored state.
+        """
+        assert self.journal is not None
+        recovered = replay_journal(self.journal.path)
+        restored: dict[str, Any] = {}
+        for session_id, journaled in recovered.items():
+            try:
+                if journaled.dataset not in self.config.datasets:
+                    raise SessionError(
+                        f"dataset {journaled.dataset!r} is not served"
+                    )
+                db = self.registry.get(journaled.dataset)
+                columns = journaled.columns
+                on_irrelevant = journaled.on_irrelevant
+
+                def factory() -> MappingSession:
+                    return MappingSession(
+                        db, columns,
+                        on_irrelevant=on_irrelevant,
+                        location_cache=self.location_cache,
+                    )
+
+                managed = self.sessions.create(
+                    journaled.dataset, factory, session_id=session_id
+                )
+                try:
+                    with managed.lock:
+                        managed.session.load_cells(journaled.grid())
+                except Exception:
+                    self.sessions.remove(session_id)
+                    raise
+                restored[session_id] = journaled
+            except Exception as error:  # noqa: BLE001 - isolate per session
+                _log.warning(
+                    "journal recovery skipped session %s: %s",
+                    session_id, error,
+                )
+        self.recovered_sessions = len(restored)
+        self.journal.compact(restored)
+        if recovered:
+            _log.info(
+                "journal recovery: restored %d of %d session(s)",
+                len(restored), len(recovered),
+            )
+        get_metrics().counter("repro.service.sessions.recovered").inc(
+            len(restored)
+        )
+
     def close(self) -> None:
-        """Stop the worker pool (idempotent)."""
+        """Stop the worker pool and close the journal (idempotent)."""
         if not self._closed:
             self._closed = True
             self.pool.shutdown()
+            if self.journal is not None:
+                self.journal.close()
 
     def __enter__(self) -> "ServiceApp":
         return self
@@ -141,6 +224,13 @@ class ServiceApp:
                 status, payload, headers = 404, {"error": str(error)}, {}
             except ServiceOverloadedError as error:
                 status = 429
+                payload = {"error": str(error),
+                           "retry_after_s": error.retry_after_s}
+                headers = {
+                    "Retry-After": str(max(1, round(error.retry_after_s)))
+                }
+            except CircuitOpenError as error:
+                status = 503
                 payload = {"error": str(error),
                            "retry_after_s": error.retry_after_s}
                 headers = {
@@ -239,6 +329,12 @@ class ServiceApp:
             )
 
         managed = self.sessions.create(dataset, factory)
+        if self.journal is not None:
+            self.journal.record_create(
+                managed.session_id, dataset,
+                list(managed.session.spreadsheet.columns),
+                on_irrelevant=managed.session.on_irrelevant,
+            )
         return 201, self._state(managed), {}
 
     def session_state(self, session_id: str) -> Response:
@@ -253,7 +349,12 @@ class ServiceApp:
         """``POST /sessions/{id}/cells`` — apply one spreadsheet input.
 
         The search/prune work runs on the worker pool under the
-        session's lock, bounded by the configured request deadline.
+        session's lock, bounded by the configured request deadline.  An
+        anytime-search budget (``search_deadline_s``) starts ticking
+        when the worker picks the job up — queue wait does not eat into
+        it — and an exhausted budget degrades the search to best-effort
+        candidates (still a 200; see the module docstring) instead of
+        blowing the request deadline.
         """
         managed = self.sessions.get(session_id)
         row = _as_int(_require(body, "row"), "row")
@@ -263,15 +364,31 @@ class ServiceApp:
         column = body.get("column")
         if column is None and column_name is None:
             raise _BadRequest("provide either column or column_name")
+        if column is not None:
+            column = _as_int(column, "column")
+        deadline_s = self.config.effective_search_deadline_s
 
         def work() -> dict[str, Any]:
+            budget = Budget(deadline_s=deadline_s) if deadline_s else NULL_BUDGET
             with managed.lock:
+                session = managed.session
                 if column is not None:
-                    managed.session.input(
-                        row, _as_int(column, "column"), value
-                    )
+                    col_index = column
+                    session.input(row, col_index, value, budget=budget)
                 else:
-                    managed.session.input_named(row, str(column_name), value)
+                    col_index = session.spreadsheet.column_index(
+                        str(column_name)
+                    )
+                    session.input(row, col_index, value, budget=budget)
+                if self.journal is not None:
+                    # Journal only what the session actually kept: an
+                    # input reverted by the on_irrelevant="ignore"
+                    # policy must not resurrect on replay.
+                    applied = session.spreadsheet.cell(row, col_index)
+                    if applied == (value.strip() or None):
+                        self.journal.record_cell(
+                            managed.session_id, row, col_index, value
+                        )
                 return self._state(managed)
 
         state = self.pool.run(work, timeout_s=self.config.request_timeout_s)
@@ -356,15 +473,28 @@ class ServiceApp:
         return 200, {"session_id": session_id, "suggestions": values}, {}
 
     def healthz(self) -> Response:
-        """``GET /healthz`` — liveness plus headline gauges."""
+        """``GET /healthz`` — liveness, breaker and degradation state."""
+        breakers = self.registry.breaker_snapshots()
+        degraded = any(b["state"] != "closed" for b in breakers)
         return 200, {
-            "status": "ok",
+            "status": "degraded" if degraded else "ok",
             "uptime_s": round(time.time() - self.started_at, 3),
             "datasets": list(self.registry.loaded()),
             "sessions": self.sessions.count(),
             "max_sessions": self.config.max_sessions,
             "workers": self.config.workers,
             "queue_size": self.config.queue_size,
+            "breakers": breakers,
+            "journal": (
+                {
+                    "path": str(self.journal.path),
+                    "appended": self.journal.appended,
+                    "recovered_sessions": self.recovered_sessions,
+                }
+                if self.journal is not None
+                else None
+            ),
+            "search_deadline_s": self.config.effective_search_deadline_s,
         }, {}
 
     def metrics(self) -> Response:
@@ -396,4 +526,6 @@ class ServiceApp:
             "converged": session.converged,
             "warnings": list(session.warnings),
             "last_error": session.last_error,
+            "degraded": session.last_degradation is not None,
+            "degradation": session.last_degradation,
         }

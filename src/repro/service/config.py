@@ -54,6 +54,23 @@ class ServiceConfig:
     default_columns: tuple[str, ...] = field(
         default=("Name", "Director")
     )
+    #: Directory for the crash-safe session journal (``None`` disables
+    #: journaling; ``mweaver serve --journal-dir`` sets it).  On startup
+    #: the journal is replayed and every live session restored.
+    journal_dir: str | None = None
+    #: Anytime-search budget per cell input (seconds).  ``None`` derives
+    #: 80% of ``request_timeout_s``, so a slow search degrades into a
+    #: best-effort 200 before the request deadline turns it into a 504.
+    #: Set to 0 to disable the budget entirely (searches run to
+    #: completion or the request deadline, whichever comes first).
+    search_deadline_s: float | None = None
+
+    @property
+    def effective_search_deadline_s(self) -> float:
+        """The search budget actually applied (0 = no budget)."""
+        if self.search_deadline_s is None:
+            return 0.8 * self.request_timeout_s
+        return self.search_deadline_s
 
     def validate(self) -> "ServiceConfig":
         """Raise :class:`ServiceConfigError` on any bad knob; return self."""
@@ -92,4 +109,15 @@ class ServiceConfig:
             raise ServiceConfigError("retry_after_s must be positive")
         if not self.default_columns:
             raise ServiceConfigError("default_columns must not be empty")
+        if self.search_deadline_s is not None:
+            if self.search_deadline_s < 0:
+                raise ServiceConfigError(
+                    "search_deadline_s must be >= 0 (0 disables the budget)"
+                )
+            if self.search_deadline_s >= self.request_timeout_s:
+                raise ServiceConfigError(
+                    "search_deadline_s must be below request_timeout_s — "
+                    "a budget that outlives the request can never degrade "
+                    "before the 504"
+                )
         return self

@@ -29,6 +29,8 @@ from repro.core.location import LocationMap
 from repro.exceptions import ServiceConfigError
 from repro.obs import get_logger, get_metrics
 from repro.relational.database import Database
+from repro.resilience.faults import fault_point
+from repro.resilience.retry import CircuitBreaker, RetryPolicy, retry_call
 from repro.text.errors import ErrorModel
 
 _log = get_logger(__name__)
@@ -51,6 +53,10 @@ def _build_dataset(name: str, scale: int) -> Database:
     raise ServiceConfigError(f"unknown dataset {name!r}")
 
 
+#: Backoff schedule for transient dataset-build failures.
+BUILD_RETRY = RetryPolicy(max_attempts=3, base_delay_s=0.05, max_delay_s=1.0)
+
+
 class DatasetRegistry:
     """Named, shared, read-only databases, each built exactly once.
 
@@ -59,6 +65,13 @@ class DatasetRegistry:
     and blocks concurrent callers of the *same* dataset until the first
     build finishes (double-checked under one lock — dataset builds are
     rare, contention on the lock is not a concern).
+
+    Builds are fault-tolerant: transient failures (the
+    ``registry.build`` fault point, an I/O hiccup in a generator) are
+    retried with jittered backoff, and a per-dataset circuit breaker
+    fails fast once a dataset keeps failing — so a broken dataset name
+    cannot stall every request that touches it.  Breaker state feeds
+    the service's ``/healthz``.
     """
 
     def __init__(
@@ -66,25 +79,63 @@ class DatasetRegistry:
         *,
         scale: int = 150,
         builder: Callable[[str, int], Database] | None = None,
+        retry_policy: RetryPolicy | None = None,
+        breaker_threshold: int = 3,
+        breaker_reset_s: float = 30.0,
     ) -> None:
         self._scale = scale
         self._builder = builder or _build_dataset
         self._lock = threading.Lock()
         self._databases: dict[str, Database] = {}
+        self._retry = retry_policy or BUILD_RETRY
+        self._breaker_threshold = breaker_threshold
+        self._breaker_reset_s = breaker_reset_s
+        self._breakers: dict[str, CircuitBreaker] = {}
 
     def preload(self, names: Sequence[str]) -> None:
         """Build (and index-warm) every named dataset up-front."""
         for name in names:
             self.get(name)
 
+    def _breaker(self, name: str) -> CircuitBreaker:
+        """The per-dataset build breaker (created on first use)."""
+        breaker = self._breakers.get(name)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                f"registry.build:{name}",
+                failure_threshold=self._breaker_threshold,
+                reset_timeout_s=self._breaker_reset_s,
+            )
+            self._breakers[name] = breaker
+        return breaker
+
     def get(self, name: str) -> Database:
-        """The shared database for ``name``, built on first request."""
+        """The shared database for ``name``, built on first request.
+
+        Raises
+        ------
+        CircuitOpenError
+            When the dataset's build breaker is open (recent builds
+            kept failing); the HTTP layer maps this to 503.
+        """
         with self._lock:
             db = self._databases.get(name)
             if db is None:
                 _log.info("building dataset %r (scale=%d)", name, self._scale)
-                db = self._builder(name, self._scale)
-                db.warm_indexes()
+
+                def _build() -> Database:
+                    fault_point("registry.build")
+                    built = self._builder(name, self._scale)
+                    built.warm_indexes()
+                    return built
+
+                db = retry_call(
+                    _build,
+                    policy=self._retry,
+                    retry_on=(Exception,),
+                    breaker=self._breaker(name),
+                    name=f"registry.build:{name}",
+                )
                 self._databases[name] = db
         return db
 
@@ -92,6 +143,14 @@ class DatasetRegistry:
         """Names of the datasets built so far, sorted."""
         with self._lock:
             return tuple(sorted(self._databases))
+
+    def breaker_snapshots(self) -> list[dict]:
+        """Per-dataset build-breaker state for ``/healthz``."""
+        with self._lock:
+            return [
+                self._breakers[name].snapshot()
+                for name in sorted(self._breakers)
+            ]
 
 
 def normalize_sample(sample: str) -> str:

@@ -70,6 +70,7 @@ class SessionManager:
         ttl_s: float,
         clock: Callable[[], float] = time.monotonic,
         retry_after_s: float = 1.0,
+        on_evict: Callable[[str], None] | None = None,
     ) -> None:
         self.max_sessions = max_sessions
         self.ttl_s = ttl_s
@@ -79,13 +80,26 @@ class SessionManager:
         self._sessions: dict[str, ManagedSession] = {}
         self._ids = itertools.count(1)
         self.evicted = 0
+        #: Fired once per session id on TTL eviction *and* explicit
+        #: delete — the single place the journal learns a session died.
+        self._on_evict = on_evict
 
     # -- lifecycle ------------------------------------------------------
 
     def create(
-        self, dataset: str, factory: Callable[[], MappingSession]
+        self,
+        dataset: str,
+        factory: Callable[[], MappingSession],
+        *,
+        session_id: str | None = None,
     ) -> ManagedSession:
-        """Admit a new session, evicting idle ones first if needed."""
+        """Admit a new session, evicting idle ones first if needed.
+
+        ``session_id`` lets journal recovery re-admit a session under
+        its original id; fresh sessions get a generated one.  A taken
+        id raises :class:`ServiceOverloadedError`-adjacent ``ValueError``
+        only in recovery code paths, so it is a plain error here.
+        """
         now = self._clock()
         with self._lock:
             self._evict_expired(now)
@@ -94,7 +108,10 @@ class SessionManager:
                     f"session table full ({self.max_sessions} live sessions)",
                     retry_after_s=self.retry_after_s,
                 )
-            session_id = f"s{next(self._ids):04d}-{secrets.token_hex(3)}"
+            if session_id is None:
+                session_id = f"s{next(self._ids):04d}-{secrets.token_hex(3)}"
+            elif session_id in self._sessions:
+                raise ValueError(f"session id {session_id!r} already live")
             managed = ManagedSession(
                 session_id, dataset, factory(), now=now
             )
@@ -133,6 +150,7 @@ class SessionManager:
             get_metrics().gauge("repro.service.sessions.active").set(
                 len(self._sessions)
             )
+        self._notify_evicted((session_id,))
         _log.info("session %s deleted", session_id)
 
     # -- inspection -----------------------------------------------------
@@ -172,4 +190,15 @@ class SessionManager:
             )
             _log.info("evicted %d idle session(s): %s",
                       len(expired), ", ".join(expired))
+            self._notify_evicted(expired)
         return expired
+
+    def _notify_evicted(self, session_ids: tuple[str, ...]) -> None:
+        """Run the eviction callback; it must not reenter the manager."""
+        if self._on_evict is None:
+            return
+        for session_id in session_ids:
+            try:
+                self._on_evict(session_id)
+            except Exception:  # pragma: no cover - defensive
+                _log.exception("on_evict callback failed for %s", session_id)

@@ -33,6 +33,7 @@ from typing import Any
 
 from repro.exceptions import DeadlineExceeded, ServiceOverloadedError
 from repro.obs import get_logger, get_metrics, get_tracer
+from repro.resilience.faults import fault_point
 
 _log = get_logger(__name__)
 
@@ -184,6 +185,9 @@ class WorkerPool:
             started = time.perf_counter()
             try:
                 with get_tracer().adopt(job.parent_span):
+                    # Chaos seam: lets tests fail or stall a job right
+                    # where the worker hands control to the request body.
+                    fault_point("workers.job")
                     job.result = job.fn()
             except BaseException as error:  # delivered to the waiter
                 job.error = error

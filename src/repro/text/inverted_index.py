@@ -14,6 +14,7 @@ from collections.abc import Iterable, Sequence
 from time import perf_counter
 
 from repro.obs import get_metrics
+from repro.resilience.faults import fault_point, partial_point
 from repro.text.errors import ErrorModel
 from repro.text.tokenize import tokenize_value
 
@@ -91,13 +92,18 @@ class ColumnIndex:
 
         Candidates from the postings intersection are verified with
         ``model.contains`` so the result is exact for any model.
+
+        Carries the ``index.search`` fault point: chaos tests can make
+        the probe raise, stall, or drop rows (``partial`` mode — a
+        flaky secondary index returning an incomplete posting list).
         """
+        fault_point("index.search")
         if not get_metrics().enabled:
-            return self._search(model, sample)
+            return partial_point("index.search", self._search(model, sample))
         start = perf_counter()
         result = self._search(model, sample)
         _record_probe("inverted", perf_counter() - start)
-        return result
+        return partial_point("index.search", result)
 
     def contains_any(self, model: ErrorModel, sample: str) -> bool:
         """Whether at least one row contains ``sample`` (early exit)."""
@@ -143,13 +149,18 @@ class LinearScanIndex:
         ]
 
     def search(self, model: ErrorModel, sample: str) -> list[int]:
-        """All row ids containing ``sample``, found by full scan."""
+        """All row ids containing ``sample``, found by full scan.
+
+        Shares the ``index.search`` fault point with the inverted
+        flavour so the ablation benchmark is chaos-testable too.
+        """
+        fault_point("index.search")
         if not get_metrics().enabled:
-            return self._search(model, sample)
+            return partial_point("index.search", self._search(model, sample))
         start = perf_counter()
         result = self._search(model, sample)
         _record_probe("scan", perf_counter() - start)
-        return result
+        return partial_point("index.search", result)
 
     def contains_any(self, model: ErrorModel, sample: str) -> bool:
         """Whether any row contains ``sample`` (scan with early exit)."""

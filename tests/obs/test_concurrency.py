@@ -14,6 +14,7 @@ import threading
 
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import NullTracer, Tracer
+from repro.resilience import Budget
 
 
 class TestAdopt:
@@ -125,3 +126,49 @@ class TestMetricsContention:
 
         self._hammer(grab)
         assert all(instrument is seen[0] for instrument in seen)
+
+
+class TestBudgetCancellationVisibility:
+    """Cross-thread cancellation of a search budget is promptly seen.
+
+    The service's request thread cancels the worker's budget on
+    timeout; the worker polls ``exhausted()`` at iteration boundaries.
+    The flag is a single attribute write read without locking — this
+    pins down that a hot polling loop actually observes it.
+    """
+
+    def test_worker_loop_observes_cancel_from_another_thread(self):
+        budget = Budget()
+        observed = threading.Event()
+
+        def poll():
+            while not budget.exhausted():
+                pass
+            observed.set()
+
+        worker = threading.Thread(target=poll)
+        worker.start()
+        budget.cancel()
+        worker.join(timeout=5.0)
+        assert observed.is_set()
+        assert budget.reason == "cancelled"
+
+    def test_many_threads_see_one_sticky_verdict(self):
+        budget = Budget(max_work=1)
+        budget.charge(2)
+        barrier = threading.Barrier(8)
+        verdicts = []
+        lock = threading.Lock()
+
+        def check():
+            barrier.wait()
+            value = budget.exhausted()
+            with lock:
+                verdicts.append(value)
+
+        threads = [threading.Thread(target=check) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert verdicts == [True] * 8

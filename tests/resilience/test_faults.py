@@ -1,0 +1,145 @@
+"""Tests for deterministic fault injection at named points."""
+
+import pytest
+
+from repro.resilience.faults import (
+    FAULT_POINTS,
+    FaultInjector,
+    FaultSpec,
+    InjectedFault,
+    active_injector,
+    fault_point,
+    partial_point,
+)
+
+
+class TestFaultSpec:
+    def test_unknown_point_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault point"):
+            FaultSpec("nonexistent.point")
+
+    def test_unknown_mode_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault mode"):
+            FaultSpec("index.search", mode="meltdown")
+
+    @pytest.mark.parametrize("kwargs", [
+        {"probability": 1.5},
+        {"times": 0},
+        {"latency_s": -0.1},
+        {"keep_fraction": 2.0},
+    ])
+    def test_bad_parameters_raise(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultSpec("index.search", **kwargs)
+
+    def test_custom_error_factory(self):
+        spec = FaultSpec("sqlite.execute", error=lambda: OSError("disk"))
+        assert isinstance(spec.make_error(), OSError)
+
+
+class TestActivation:
+    def test_no_injector_means_points_are_inert(self):
+        assert active_injector() is None
+        fault_point("index.search")  # must not raise
+        assert partial_point("index.search", [1, 2]) == [1, 2]
+
+    def test_context_manager_installs_and_removes(self):
+        injector = FaultInjector([])
+        with injector:
+            assert active_injector() is injector
+        assert active_injector() is None
+
+    def test_deactivate_only_removes_itself(self):
+        first = FaultInjector([])
+        second = FaultInjector([])
+        first.activate()
+        second.activate()
+        first.deactivate()  # not the active one: no-op
+        assert active_injector() is second
+        second.deactivate()
+        assert active_injector() is None
+
+
+class TestErrorMode:
+    def test_error_fault_raises_injected_fault(self):
+        with FaultInjector([FaultSpec("index.search")]):
+            with pytest.raises(InjectedFault) as info:
+                fault_point("index.search")
+        assert info.value.point == "index.search"
+
+    def test_other_points_are_untouched(self):
+        with FaultInjector([FaultSpec("index.search")]):
+            fault_point("sqlite.connect")  # must not raise
+
+    def test_times_limits_firings(self):
+        injector = FaultInjector([FaultSpec("workers.job", times=2)])
+        with injector:
+            for _ in range(2):
+                with pytest.raises(InjectedFault):
+                    fault_point("workers.job")
+            fault_point("workers.job")  # dormant now
+        assert injector.fired == {"workers.job": 2}
+        assert injector.specs[0].fired == 2
+
+
+class TestLatencyMode:
+    def test_latency_fault_sleeps_with_injected_sleep(self):
+        slept = []
+        injector = FaultInjector(
+            [FaultSpec("sqlite.execute", mode="latency", latency_s=0.25)],
+            sleep=slept.append,
+        )
+        with injector:
+            fault_point("sqlite.execute")
+        assert slept == [0.25]
+
+
+class TestPartialMode:
+    def test_partial_truncates_and_drops_at_least_one(self):
+        injector = FaultInjector(
+            [FaultSpec("index.search", mode="partial", keep_fraction=0.5)]
+        )
+        with injector:
+            assert partial_point("index.search", [1, 2, 3, 4]) == [1, 2]
+            # keep_fraction=1.0 would keep all; the contract still drops one.
+        injector2 = FaultInjector(
+            [FaultSpec("index.search", mode="partial", keep_fraction=1.0)]
+        )
+        with injector2:
+            assert partial_point("index.search", [1, 2, 3]) == [1, 2]
+
+    def test_empty_lists_pass_through(self):
+        with FaultInjector([FaultSpec("index.search", mode="partial")]):
+            assert partial_point("index.search", []) == []
+
+
+class TestDeterminism:
+    def _firing_pattern(self, seed):
+        injector = FaultInjector(
+            [FaultSpec("workers.job", probability=0.5)], seed=seed
+        )
+        pattern = []
+        with injector:
+            for _ in range(20):
+                try:
+                    fault_point("workers.job")
+                    pattern.append(False)
+                except InjectedFault:
+                    pattern.append(True)
+        return pattern
+
+    def test_same_seed_same_sequence(self):
+        assert self._firing_pattern(7) == self._firing_pattern(7)
+
+    def test_probabilistic_faults_actually_mix(self):
+        pattern = self._firing_pattern(7)
+        assert any(pattern) and not all(pattern)
+
+
+class TestCatalog:
+    def test_every_advertised_point_is_compiled_in(self):
+        # The docstring contract: these seams exist in the codebase.
+        assert FAULT_POINTS == {
+            "sqlite.connect", "sqlite.execute", "index.search",
+            "registry.build", "workers.job", "journal.append",
+        }

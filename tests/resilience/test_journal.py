@@ -1,0 +1,144 @@
+"""Tests for the crash-safe session journal (append, replay, compact)."""
+
+import json
+
+import pytest
+
+from repro.resilience import SessionJournal, replay_journal
+from repro.resilience.faults import FaultInjector, FaultSpec, InjectedFault
+
+
+@pytest.fixture
+def journal_path(tmp_path):
+    return tmp_path / "sessions.journal"
+
+
+class TestRoundTrip:
+    def test_create_cells_replay(self, journal_path):
+        journal = SessionJournal(journal_path)
+        journal.record_create("s1", "running", ["Name", "Director"])
+        journal.record_cell("s1", 0, 0, "Avatar")
+        journal.record_cell("s1", 0, 1, "James Cameron")
+        journal.close()
+
+        live = replay_journal(journal_path)
+        assert set(live) == {"s1"}
+        session = live["s1"]
+        assert session.dataset == "running"
+        assert session.columns == ["Name", "Director"]
+        assert session.grid() == {(0, 0): "Avatar", (0, 1): "James Cameron"}
+
+    def test_delete_removes_the_session(self, journal_path):
+        journal = SessionJournal(journal_path)
+        journal.record_create("s1", "running", ["Name"])
+        journal.record_create("s2", "running", ["Name"])
+        journal.record_delete("s1")
+        journal.close()
+        assert set(replay_journal(journal_path)) == {"s2"}
+
+    def test_last_write_per_cell_wins(self, journal_path):
+        journal = SessionJournal(journal_path)
+        journal.record_create("s1", "running", ["Name"])
+        journal.record_cell("s1", 0, 0, "Avatar")
+        journal.record_cell("s1", 0, 0, "Big Fish")
+        journal.close()
+        assert replay_journal(journal_path)["s1"].grid() == {
+            (0, 0): "Big Fish"
+        }
+
+    def test_missing_file_replays_empty(self, tmp_path):
+        assert replay_journal(tmp_path / "absent.journal") == {}
+
+    def test_on_irrelevant_is_preserved(self, journal_path):
+        journal = SessionJournal(journal_path)
+        journal.record_create(
+            "s1", "running", ["Name"], on_irrelevant="apply"
+        )
+        journal.close()
+        assert replay_journal(journal_path)["s1"].on_irrelevant == "apply"
+
+
+class TestTornWrites:
+    def test_torn_tail_is_tolerated(self, journal_path):
+        journal = SessionJournal(journal_path)
+        journal.record_create("s1", "running", ["Name"])
+        journal.record_cell("s1", 0, 0, "Avatar")
+        journal.close()
+        with journal_path.open("a", encoding="utf-8") as handle:
+            handle.write('{"op": "cell", "session_id": "s1", "ro')  # torn
+        live = replay_journal(journal_path)
+        assert live["s1"].grid() == {(0, 0): "Avatar"}
+
+    def test_orphan_cells_are_skipped(self, journal_path):
+        journal = SessionJournal(journal_path)
+        journal.record_cell("ghost", 0, 0, "Avatar")  # no create record
+        journal.record_create("s1", "running", ["Name"])
+        journal.close()
+        live = replay_journal(journal_path)
+        assert set(live) == {"s1"}
+        assert live["s1"].cells == []
+
+    def test_non_object_lines_are_skipped(self, journal_path):
+        journal_path.write_text('[1, 2, 3]\n"just a string"\n')
+        assert replay_journal(journal_path) == {}
+
+
+class TestCompaction:
+    def test_compact_rewrites_only_live_state(self, journal_path):
+        journal = SessionJournal(journal_path)
+        journal.record_create("s1", "running", ["Name"])
+        journal.record_cell("s1", 0, 0, "Avatar")
+        journal.record_cell("s1", 0, 0, "Big Fish")  # superseded below
+        journal.record_create("s2", "running", ["Name"])
+        journal.record_delete("s2")
+
+        live = replay_journal(journal_path)  # reads the flushed file
+        journal.compact(live)
+
+        lines = journal_path.read_text().strip().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert [r["op"] for r in records] == ["create", "cell"]
+        # Replay after compact gives back the same state.
+        assert replay_journal(journal_path)["s1"].grid() == {
+            (0, 0): "Big Fish"
+        }
+
+        # The journal stays appendable after the rewrite.
+        journal.record_cell("s1", 1, 0, "Ed Wood")
+        journal.close()
+        assert replay_journal(journal_path)["s1"].grid() == {
+            (0, 0): "Big Fish", (1, 0): "Ed Wood",
+        }
+
+
+class TestDurabilityKnobs:
+    def test_fsync_mode_appends(self, journal_path):
+        journal = SessionJournal(journal_path, fsync=True)
+        journal.record_create("s1", "running", ["Name"])
+        journal.close()
+        assert set(replay_journal(journal_path)) == {"s1"}
+
+    def test_close_is_idempotent(self, journal_path):
+        journal = SessionJournal(journal_path)
+        journal.close()
+        journal.close()
+
+    def test_every_record_carries_version_and_timestamp(self, journal_path):
+        journal = SessionJournal(journal_path)
+        journal.record_create("s1", "running", ["Name"])
+        journal.close()
+        record = json.loads(journal_path.read_text().strip())
+        assert record["v"] == 1
+        assert record["ts"] > 0
+
+
+class TestFaultPoint:
+    def test_journal_append_fault_surfaces(self, journal_path):
+        journal = SessionJournal(journal_path)
+        with FaultInjector([FaultSpec("journal.append")]):
+            with pytest.raises(InjectedFault):
+                journal.record_cell("s1", 0, 0, "Avatar")
+        # The injector gone, appends work again.
+        journal.record_create("s1", "running", ["Name"])
+        journal.close()
+        assert set(replay_journal(journal_path)) == {"s1"}

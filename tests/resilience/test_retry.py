@@ -1,0 +1,196 @@
+"""Tests for retry-with-backoff and the circuit breaker."""
+
+import random
+
+import pytest
+
+from repro.exceptions import CircuitOpenError
+from repro.resilience import CircuitBreaker, RetryPolicy, retry_call
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+def flaky(failures, error=RuntimeError("transient")):
+    """A callable failing ``failures`` times, then returning 'ok'."""
+    state = {"left": failures}
+
+    def call():
+        if state["left"] > 0:
+            state["left"] -= 1
+            raise error
+        return "ok"
+
+    return call
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+
+    def test_exponential_delays_without_jitter(self):
+        policy = RetryPolicy(
+            base_delay_s=0.1, multiplier=2.0, max_delay_s=0.3, jitter=0.0
+        )
+        rng = random.Random(0)
+        delays = [policy.delay_for(n, rng) for n in range(4)]
+        assert delays == pytest.approx([0.1, 0.2, 0.3, 0.3])  # capped
+
+    def test_jitter_stays_within_spread(self):
+        policy = RetryPolicy(base_delay_s=0.1, jitter=0.5)
+        rng = random.Random(42)
+        for attempt in range(5):
+            delay = policy.delay_for(attempt, rng)
+            nominal = min(policy.max_delay_s,
+                          policy.base_delay_s * 2 ** attempt)
+            assert 0.0 <= delay <= nominal * 1.5
+
+
+class TestRetryCall:
+    def test_first_try_success_does_not_sleep(self):
+        slept = []
+        assert retry_call(lambda: 42, sleep=slept.append) == 42
+        assert slept == []
+
+    def test_transient_failures_are_absorbed(self):
+        slept = []
+        result = retry_call(
+            flaky(2),
+            policy=RetryPolicy(max_attempts=3, jitter=0.0),
+            sleep=slept.append,
+        )
+        assert result == "ok"
+        assert len(slept) == 2
+
+    def test_gives_up_and_reraises_the_last_error(self):
+        with pytest.raises(RuntimeError, match="transient"):
+            retry_call(
+                flaky(5),
+                policy=RetryPolicy(max_attempts=3, base_delay_s=0.0),
+                sleep=lambda _s: None,
+            )
+
+    def test_non_matching_errors_propagate_immediately(self):
+        calls = []
+
+        def fail():
+            calls.append(True)
+            raise KeyError("not transient")
+
+        with pytest.raises(KeyError):
+            retry_call(fail, retry_on=(OSError,), sleep=lambda _s: None)
+        assert len(calls) == 1
+
+
+class TestCircuitBreaker:
+    def _breaker(self, clock, threshold=3, reset=10.0):
+        return CircuitBreaker(
+            "test", failure_threshold=threshold,
+            reset_timeout_s=reset, clock=clock,
+        )
+
+    def test_opens_after_consecutive_failures(self):
+        breaker = self._breaker(FakeClock())
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        with pytest.raises(CircuitOpenError) as info:
+            breaker.before_call()
+        assert info.value.retry_after_s > 0
+
+    def test_success_resets_the_failure_count(self):
+        breaker = self._breaker(FakeClock())
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_half_open_probe_success_closes(self):
+        clock = FakeClock()
+        breaker = self._breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.now = 11.0  # past the cool-down
+        breaker.before_call()  # the probe is admitted
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_half_open_probe_failure_reopens(self):
+        clock = FakeClock()
+        breaker = self._breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.now = 11.0
+        breaker.before_call()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.opened_total == 2
+
+    def test_half_open_admits_exactly_one_probe(self):
+        clock = FakeClock()
+        breaker = self._breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.now = 11.0
+        breaker.before_call()  # first probe in
+        with pytest.raises(CircuitOpenError):
+            breaker.before_call()  # concurrent caller is rejected
+
+    def test_snapshot_is_json_ready(self):
+        breaker = self._breaker(FakeClock())
+        breaker.record_failure()
+        snap = breaker.snapshot()
+        assert snap["name"] == "test"
+        assert snap["state"] == "closed"
+        assert snap["consecutive_failures"] == 1
+        assert snap["failure_threshold"] == 3
+
+    def test_call_wraps_one_invocation(self):
+        breaker = self._breaker(FakeClock(), threshold=1)
+        with pytest.raises(RuntimeError):
+            breaker.call(flaky(1))
+        assert breaker.state == CircuitBreaker.OPEN
+
+
+class TestRetryWithBreaker:
+    def test_open_breaker_short_circuits_retry_call(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            "fastfail", failure_threshold=1,
+            reset_timeout_s=10.0, clock=clock,
+        )
+        breaker.record_failure()
+        calls = []
+        with pytest.raises(CircuitOpenError):
+            retry_call(
+                lambda: calls.append(True),
+                breaker=breaker,
+                sleep=lambda _s: None,
+            )
+        assert calls == []  # fn never ran
+
+    def test_retries_feed_the_breaker(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            "feeding", failure_threshold=3,
+            reset_timeout_s=10.0, clock=clock,
+        )
+        with pytest.raises(RuntimeError):
+            retry_call(
+                flaky(5),
+                policy=RetryPolicy(max_attempts=3, base_delay_s=0.0),
+                breaker=breaker,
+                sleep=lambda _s: None,
+            )
+        assert breaker.state == CircuitBreaker.OPEN

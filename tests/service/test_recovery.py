@@ -1,0 +1,309 @@
+"""Crash-safe session recovery: journaling, replay, and kill -9.
+
+Most tests restart the service in-process (a new :class:`ServiceApp`
+over the same journal directory — exactly what a process restart does).
+The final test is the real thing: it boots ``mweaver serve`` in a
+subprocess, feeds it a session over HTTP, ``SIGKILL``s it mid-flight,
+restarts it, and asserts the session came back.
+"""
+
+import http.client
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.service.app import ServiceApp
+from repro.service.config import ServiceConfig
+from repro.service.registry import DatasetRegistry
+
+FIRST_ROW = ((0, 0, "Avatar"), (0, 1, "James Cameron"))
+
+
+@pytest.fixture
+def make_journaled_app(running_registry, tmp_path):
+    """App factory sharing one journal directory across 'restarts'."""
+    apps = []
+
+    def build(**overrides):
+        settings = dict(
+            datasets=("running",),
+            workers=2,
+            queue_size=8,
+            max_sessions=8,
+            request_timeout_s=5.0,
+            journal_dir=str(tmp_path),
+        )
+        settings.update(overrides)
+        app = ServiceApp(
+            ServiceConfig(**settings), registry=running_registry
+        )
+        apps.append(app)
+        return app
+
+    yield build
+    for app in apps:
+        app.close()
+
+
+def _feed(app, session_id, cells=FIRST_ROW):
+    for row, column, value in cells:
+        status, body, _ = app.handle(
+            "POST", f"/sessions/{session_id}/cells", {},
+            {"row": row, "column": column, "value": value},
+        )
+        assert status == 200, body
+    return body
+
+
+class TestInProcessRecovery:
+    def test_sessions_survive_a_restart(self, make_journaled_app):
+        first = make_journaled_app()
+        _status, body, _ = first.handle(
+            "POST", "/sessions", {}, {"columns": ["Name", "Director"]}
+        )
+        session_id = body["session_id"]
+        before = _feed(first, session_id)
+        assert before["n_candidates"] == 2
+        first.close()  # simulated crash boundary (journal already flushed)
+
+        second = make_journaled_app()
+        assert second.recovered_sessions == 1
+        status, after, _ = second.handle(
+            "GET", f"/sessions/{session_id}", {}, None
+        )
+        assert status == 200
+        assert after["n_candidates"] == before["n_candidates"]
+        assert after["samples"] == before["samples"]
+        assert after["columns"] == ["Name", "Director"]
+
+    def test_deleted_sessions_stay_deleted(self, make_journaled_app):
+        first = make_journaled_app()
+        _status, body, _ = first.handle("POST", "/sessions", {}, {})
+        session_id = body["session_id"]
+        status, _, _ = first.handle(
+            "DELETE", f"/sessions/{session_id}", {}, None
+        )
+        assert status == 204
+        first.close()
+
+        second = make_journaled_app()
+        assert second.recovered_sessions == 0
+        status, _, _ = second.handle(
+            "GET", f"/sessions/{session_id}", {}, None
+        )
+        assert status == 404
+
+    def test_reverted_inputs_are_not_journaled(
+        self, make_journaled_app, tmp_path
+    ):
+        first = make_journaled_app()
+        _status, body, _ = first.handle("POST", "/sessions", {}, {})
+        session_id = body["session_id"]
+        _feed(first, session_id)
+        # This value contradicts every candidate; on_irrelevant="ignore"
+        # reverts the cell, so replay must not resurrect it.
+        status, body, _ = first.handle(
+            "POST", f"/sessions/{session_id}/cells", {},
+            {"row": 1, "column": 0, "value": "No Such Movie Anywhere"},
+        )
+        assert status == 200, body
+        first.close()
+
+        journal_text = (tmp_path / "sessions.journal").read_text()
+        assert "No Such Movie Anywhere" not in journal_text
+
+        second = make_journaled_app()
+        status, after, _ = second.handle(
+            "GET", f"/sessions/{session_id}", {}, None
+        )
+        assert status == 200
+        assert after["samples"] == 2  # the reverted row never came back
+
+    def test_torn_tail_does_not_break_recovery(
+        self, make_journaled_app, tmp_path
+    ):
+        first = make_journaled_app()
+        _status, body, _ = first.handle("POST", "/sessions", {}, {})
+        session_id = body["session_id"]
+        _feed(first, session_id)
+        first.close()
+        with (tmp_path / "sessions.journal").open("a") as handle:
+            handle.write('{"op": "cell", "session_id": "' + session_id)
+
+        second = make_journaled_app()
+        assert second.recovered_sessions == 1
+        status, after, _ = second.handle(
+            "GET", f"/sessions/{session_id}", {}, None
+        )
+        assert status == 200
+        assert after["n_candidates"] == 2
+
+    def test_recovery_compacts_the_journal(
+        self, make_journaled_app, tmp_path
+    ):
+        first = make_journaled_app()
+        _status, body, _ = first.handle("POST", "/sessions", {}, {})
+        keep_id = body["session_id"]
+        _feed(first, keep_id)
+        _status, body, _ = first.handle("POST", "/sessions", {}, {})
+        first.handle("DELETE", f"/sessions/{body['session_id']}", {}, None)
+        first.close()
+
+        second = make_journaled_app()
+        records = [
+            json.loads(line)
+            for line in (tmp_path / "sessions.journal")
+            .read_text().strip().splitlines()
+        ]
+        # Compacted: exactly one create + its two live cells remain.
+        assert [r["op"] for r in records] == ["create", "cell", "cell"]
+        assert all(r["session_id"] == keep_id for r in records)
+        assert second.recovered_sessions == 1
+
+    def test_ttl_eviction_is_journaled_as_delete(
+        self, running_registry, tmp_path
+    ):
+        config = ServiceConfig(
+            datasets=("running",),
+            workers=2,
+            queue_size=8,
+            request_timeout_s=0.2,
+            session_ttl_s=0.25,
+            journal_dir=str(tmp_path),
+            search_deadline_s=0.1,
+        )
+        app = ServiceApp(config, registry=running_registry)
+        try:
+            _status, body, _ = app.handle("POST", "/sessions", {}, {})
+            session_id = body["session_id"]
+            time.sleep(0.4)
+            # Any manager access sweeps the expired session.
+            status, _, _ = app.handle(
+                "GET", f"/sessions/{session_id}", {}, None
+            )
+            assert status == 404
+        finally:
+            app.close()
+
+        restarted = ServiceApp(config, registry=running_registry)
+        try:
+            assert restarted.recovered_sessions == 0
+        finally:
+            restarted.close()
+
+    def test_unrecoverable_session_is_skipped_not_fatal(
+        self, running_registry, tmp_path
+    ):
+        journal = tmp_path / "sessions.journal"
+        journal.write_text(
+            '{"op":"create","session_id":"bad1","dataset":"not-served",'
+            '"columns":["Name"],"on_irrelevant":"ignore","ts":1,"v":1}\n'
+            '{"op":"create","session_id":"good1","dataset":"running",'
+            '"columns":["Name","Director"],"on_irrelevant":"ignore",'
+            '"ts":1,"v":1}\n'
+        )
+        app = ServiceApp(
+            ServiceConfig(
+                datasets=("running",), workers=2, queue_size=8,
+                journal_dir=str(tmp_path),
+            ),
+            registry=running_registry,
+        )
+        try:
+            assert app.recovered_sessions == 1
+            status, _, _ = app.handle("GET", "/sessions/good1", {}, None)
+            assert status == 200
+            status, _, _ = app.handle("GET", "/sessions/bad1", {}, None)
+            assert status == 404
+        finally:
+            app.close()
+
+
+def _request(port, method, path, body=None):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30.0)
+    try:
+        payload = json.dumps(body).encode() if body is not None else None
+        headers = {"Content-Type": "application/json"} if payload else {}
+        conn.request(method, path, body=payload, headers=headers)
+        response = conn.getresponse()
+        data = response.read()
+        return response.status, json.loads(data) if data else None
+    finally:
+        conn.close()
+
+
+def _start_server(tmp_path, env):
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0", "--datasets", "running",
+            "--journal-dir", str(tmp_path / "journal"),
+            "--workers", "2",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    port = None
+    deadline = time.monotonic() + 60.0
+    assert process.stdout is not None
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if not line:
+            break
+        if "listening on" in line:
+            port = int(line.rsplit(":", 1)[1].strip().rstrip("/"))
+            break
+    if port is None:
+        process.kill()
+        raise AssertionError("server did not report its port in time")
+    return process, port
+
+
+@pytest.mark.slow
+class TestKillDashNine:
+    def test_sigkill_then_restart_restores_the_session(self, tmp_path):
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src)
+
+        process, port = _start_server(tmp_path, env)
+        try:
+            status, body = _request(port, "POST", "/sessions", {
+                "columns": ["Name", "Director"],
+            })
+            assert status == 201, body
+            session_id = body["session_id"]
+            for row, column, value in FIRST_ROW:
+                status, body = _request(
+                    port, "POST", f"/sessions/{session_id}/cells",
+                    {"row": row, "column": column, "value": value},
+                )
+                assert status == 200, body
+            assert body["n_candidates"] == 2
+        finally:
+            # The crash: no shutdown hooks, no flush-on-exit courtesy.
+            process.send_signal(signal.SIGKILL)
+            process.wait(timeout=30.0)
+            process.stdout.close()
+
+        process, port = _start_server(tmp_path, env)
+        try:
+            status, body = _request(
+                port, "GET", f"/sessions/{session_id}"
+            )
+            assert status == 200, body
+            assert body["n_candidates"] == 2
+            assert body["samples"] == 2
+            status, health = _request(port, "GET", "/healthz")
+            assert health["journal"]["recovered_sessions"] == 1
+        finally:
+            process.send_signal(signal.SIGKILL)
+            process.wait(timeout=30.0)
+            process.stdout.close()

@@ -90,6 +90,73 @@ class TestBackpressure:
             pool.submit(lambda: None, timeout_s=1.0)
 
 
+class TestCancellationRaces:
+    def test_cancel_between_enqueue_and_start_never_runs(self, pool):
+        release = threading.Event()
+        ran = []
+        blocker = pool.submit(release.wait, timeout_s=5.0)
+        victim = pool.submit(lambda: ran.append(True), timeout_s=5.0)
+        # The worker is busy with the blocker, so the victim sits in
+        # the queue: this cancel lands between dequeue and start.
+        assert victim.cancel() is True
+        release.set()
+        blocker.wait()
+        assert victim.done.wait(timeout=2.0)
+        assert ran == []
+        with pytest.raises(DeadlineExceeded):
+            victim.wait()
+
+    def test_cancel_after_start_loses_the_race(self, pool):
+        started = threading.Event()
+        release = threading.Event()
+
+        def work():
+            started.set()
+            release.wait()
+            return "finished"
+
+        job = pool.submit(work, timeout_s=5.0)
+        assert started.wait(timeout=2.0)
+        # Too late: the worker already claimed the job.
+        assert job.cancel() is False
+        release.set()
+        assert job.wait() == "finished"
+
+    def test_deadline_mid_job_releases_the_slot(self, pool):
+        release = threading.Event()
+        try:
+            with pytest.raises(DeadlineExceeded):
+                pool.run(release.wait, timeout_s=0.05)
+        finally:
+            release.set()
+        # The worker finishes the abandoned job and picks up new work:
+        # the slot was released, not leaked.
+        assert pool.run(lambda: "alive", timeout_s=5.0) == "alive"
+
+    def test_session_lock_is_released_after_a_deadline(self, pool):
+        # Mirrors put_cell: the job holds a lock while it runs.  When
+        # the waiter gives up, the lock must come free once the worker
+        # finishes — a later request on the same session cannot hang.
+        lock = threading.RLock()
+        release = threading.Event()
+
+        def slow():
+            with lock:
+                release.wait()
+
+        try:
+            with pytest.raises(DeadlineExceeded):
+                pool.run(slow, timeout_s=0.05)
+        finally:
+            release.set()
+
+        def fast():
+            with lock:
+                return "unblocked"
+
+        assert pool.run(fast, timeout_s=5.0) == "unblocked"
+
+
 class TestSpanParentage:
     def test_worker_spans_nest_under_the_submitting_span(self, pool):
         with obs.scoped() as tracer:
