@@ -375,6 +375,13 @@ def main(argv: list[str] | None = None) -> int:
     ``results/BENCH_resilience.json``, baseline under
     ``results/baselines/``, happy/budgeted/degraded/faulty workloads
     gated on errors first and latency second.
+
+    ``--overload`` gates the isolation/overload workloads
+    (:func:`repro.bench.service_load.measure_overload`): record
+    ``results/BENCH_overload.json`` — an unloaded thread-mode baseline,
+    a 4x-capacity shed run (accepted-request goodput), and the
+    process-isolation happy path whose p50 against the baseline is
+    ``meta.process_overhead_pct``.
     """
     parser = argparse.ArgumentParser(
         prog="regress.py",
@@ -402,18 +409,29 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--resilience", action="store_true",
                         help="bench the degraded-mode service workloads "
                              "(anytime budgets + fault mix)")
+    parser.add_argument("--overload", action="store_true",
+                        help="bench the overload/isolation workloads "
+                             "(shed at 4x capacity + process-mode "
+                             "happy path)")
     parser.add_argument("--clients", default="1,4,8", metavar="N,N,...",
                         help="concurrency levels for --service "
                              "(--resilience uses the first level only)")
     parser.add_argument("--flows", type=int, default=5,
-                        help="flows per client for --service/--resilience")
+                        help="flows per client for "
+                             "--service/--resilience/--overload")
     args = parser.parse_args(argv)
     if not (args.measure or args.check or args.update):
         parser.error("pick at least one of --measure / --check / --update")
-    if args.service and args.resilience:
-        parser.error("--service and --resilience are mutually exclusive")
+    if sum((args.service, args.resilience, args.overload)) > 1:
+        parser.error(
+            "--service / --resilience / --overload are mutually exclusive"
+        )
 
-    if args.resilience:
+    if args.overload:
+        record_name = "BENCH_overload.json"
+        wall_threshold = SERVICE_WALL_THRESHOLD
+        require_all = False
+    elif args.resilience:
         record_name = "BENCH_resilience.json"
         wall_threshold = SERVICE_WALL_THRESHOLD
         require_all = False
@@ -430,7 +448,16 @@ def main(argv: list[str] | None = None) -> int:
     if args.current:
         current = load_record(args.current)
     if current is None and (args.measure or args.check or args.update):
-        if args.resilience:
+        if args.overload:
+            from repro.bench.service_load import measure_overload
+
+            print(f"measuring overload workloads (flows={args.flows})…")
+            current = measure_overload(flows_per_client=args.flows)
+            overhead = current.get("meta", {}).get("process_overhead_pct")
+            if overhead is not None:
+                print(f"process-isolation happy-path overhead: "
+                      f"{overhead:+.2f}% (p50)")
+        elif args.resilience:
             from repro.bench.service_load import measure_resilience
 
             clients = tuple(
@@ -463,7 +490,7 @@ def main(argv: list[str] | None = None) -> int:
         out.write_text(json.dumps(current, indent=2) + "\n", encoding="utf-8")
         print(f"wrote {out}")
 
-    if (args.service or args.resilience) and current is not None:
+    if (args.service or args.resilience or args.overload) and current is not None:
         # Correctness gates before any latency talk: every flow must
         # have completed, and (where convergence is checked) converged
         # identically to the serial run.  The degraded/faulty workloads

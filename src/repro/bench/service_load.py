@@ -63,6 +63,8 @@ class LoadResult:
     mismatches: int = 0
     #: 200 responses flagged ``degraded`` (anytime-search answers).
     degraded: int = 0
+    #: Overload refusals (429/503/504) absorbed by client-side retries.
+    refused: int = 0
     wall_s: float = 0.0
     status_counts: dict[int, int] = field(default_factory=dict)
     latencies_s: list[float] = field(default_factory=list)
@@ -94,6 +96,7 @@ class LoadResult:
             "errors": self.errors,
             "mismatches": self.mismatches,
             "degraded": self.degraded,
+            "refused": self.refused,
         }
 
 
@@ -121,18 +124,30 @@ class _Client:
         self._conn.close()
 
 
+#: Statuses an overloaded service may answer; retried by shed-aware
+#: clients (429 = depth limit, 503 = shed/drain/kill, 504 = deadline).
+RETRIABLE_STATUSES = frozenset({429, 503, 504})
+
+
 def _run_flow(
     client: _Client,
     result: LoadResult,
     lock: threading.Lock,
     *,
     check_convergence: bool = True,
+    retry_refusals: bool = False,
 ) -> None:
     """One full sample -> converged-mapping flow; records into result.
 
     ``check_convergence=False`` skips the serial-equivalence assertion —
     used by the resilience workloads, where degraded answers and
     injected partial results legitimately change the candidate set.
+
+    ``retry_refusals=True`` makes the client shed-aware: 429/503/504
+    answers count as ``refused`` (not errors), honour the advertised
+    ``retry_after_s``, and the request is retried until a per-flow
+    deadline.  Refused attempts stay out of the latency sample — the
+    p50/p95 then measure *accepted-request* goodput under overload.
     """
     local_latencies: list[float] = []
     statuses: list[int] = []
@@ -140,12 +155,27 @@ def _run_flow(
     errors = 0
     mismatch = 0
     degraded = 0
+    refused = 0
+    flow_deadline = time.monotonic() + 60.0
 
     def call(method: str, path: str, body: dict[str, Any] | None = None):
-        nonlocal degraded
-        status, parsed, elapsed = client.request(method, path, body)
+        nonlocal degraded, refused
+        while True:
+            status, parsed, elapsed = client.request(method, path, body)
+            statuses.append(status)
+            if (
+                retry_refusals
+                and status in RETRIABLE_STATUSES
+                and time.monotonic() < flow_deadline
+            ):
+                refused += 1
+                retry_after = 0.25
+                if isinstance(parsed, dict) and parsed.get("retry_after_s"):
+                    retry_after = float(parsed["retry_after_s"])
+                time.sleep(min(retry_after, 0.5))
+                continue
+            break
         local_latencies.append(elapsed)
-        statuses.append(status)
         if status == 200 and isinstance(parsed, dict) and parsed.get("degraded"):
             degraded += 1
         return status, parsed
@@ -186,6 +216,7 @@ def _run_flow(
         result.errors += errors
         result.mismatches += mismatch
         result.degraded += degraded
+        result.refused += refused
         for status in statuses:
             result.status_counts[status] = (
                 result.status_counts.get(status, 0) + 1
@@ -199,6 +230,7 @@ def run_load(
     clients: int,
     flows_per_client: int,
     check_convergence: bool = True,
+    retry_refusals: bool = False,
 ) -> LoadResult:
     """Hammer a running server with ``clients`` concurrent flow loops."""
     result = LoadResult(clients=clients, flows=clients * flows_per_client)
@@ -211,6 +243,7 @@ def run_load(
                 _run_flow(
                     client, result, lock,
                     check_convergence=check_convergence,
+                    retry_refusals=retry_refusals,
                 )
         finally:
             client.close()
@@ -282,6 +315,7 @@ def _measure_level(
     clients: int,
     flows_per_client: int,
     check_convergence: bool = True,
+    retry_refusals: bool = False,
 ) -> LoadResult:
     """One warmed-up load run against a fresh server for ``config``."""
     app = ServiceApp(config)
@@ -294,6 +328,7 @@ def _measure_level(
             server.host, server.port,
             clients=clients, flows_per_client=flows_per_client,
             check_convergence=check_convergence,
+            retry_refusals=retry_refusals,
         )
 
 
@@ -402,4 +437,96 @@ def measure_resilience(
     if happy.p50_s > 0:
         overhead = (budgeted.p50_s - happy.p50_s) / happy.p50_s * 100.0
         record["meta"]["happy_path_overhead_pct"] = round(overhead, 2)
+    return record
+
+
+def measure_overload(
+    *,
+    workers: int = 2,
+    overload_clients: int = 8,
+    flows_per_client: int = 3,
+) -> dict[str, Any]:
+    """Measure the overload/isolation workloads into one ``bench-record``.
+
+    Three workloads for ``results/BENCH_overload.json``:
+
+    * ``overload/unloaded`` — thread mode, 1 client against ``workers``
+      workers with a small injected ``index.search`` latency: the
+      baseline p50 every other number is read against.
+    * ``overload/shed4x`` — the same server at 4x capacity
+      (``overload_clients`` shed-aware clients, small queue, aggressive
+      ``shed_factor``) under the same fault.  Refusals are retried and
+      counted (``refused``); the p50/p95 are *accepted-request* goodput
+      — the number admission control exists to protect.
+    * ``overload/proc_happy`` — 1 client against
+      ``--isolation=process``: the subprocess pool's happy-path cost.
+      ``meta.process_overhead_pct`` is its p50 against ``unloaded`` —
+      the price of the SIGKILL backstop when nothing goes wrong.
+
+    The shed workload skips the convergence check (a flow whose retries
+    exhaust the per-flow deadline legitimately never converges); the
+    observatory gates its errors instead.
+    """
+    from repro.bench.regress import RECORD_KIND, calibrate
+    from repro.resilience.faults import FaultInjector, FaultSpec
+
+    def variant(**overrides) -> ServiceConfig:
+        settings = dict(
+            port=0,
+            datasets=("running",),
+            workers=workers,
+            queue_size=32,
+            max_sessions=4 * overload_clients,
+            request_timeout_s=10.0,
+        )
+        settings.update(overrides)
+        return ServiceConfig(**settings)
+
+    record: dict[str, Any] = {
+        "kind": RECORD_KIND,
+        "name": "overload",
+        "calibration_s": calibrate(),
+        "meta": {
+            "workers": workers,
+            "overload_clients": overload_clients,
+            "flows_per_client": flows_per_client,
+            "dataset": "running",
+        },
+        "workloads": {},
+    }
+
+    #: Per-probe stall: enough that 4x clients pile the queue up, small
+    #: enough that accepted requests stay inside their deadlines.
+    fault = [FaultSpec("index.search", mode="latency", latency_s=0.02)]
+
+    with FaultInjector(fault):
+        unloaded = _measure_level(
+            variant(),
+            clients=1, flows_per_client=flows_per_client,
+        )
+    record["workloads"]["overload/unloaded"] = unloaded.to_workload_entry()
+
+    with FaultInjector(fault):
+        shed = _measure_level(
+            variant(queue_size=4, shed_factor=0.25),
+            clients=overload_clients, flows_per_client=flows_per_client,
+            check_convergence=False, retry_refusals=True,
+        )
+    record["workloads"]["overload/shed4x"] = shed.to_workload_entry()
+
+    # Same fault as ``unloaded`` — the process app snapshots the active
+    # fault plan at submit time and workers rebuild it, so the p50
+    # difference isolates the pipe/serialisation cost, not the fault.
+    with FaultInjector(fault):
+        proc_happy = _measure_level(
+            variant(isolation="process", procs=workers),
+            clients=1, flows_per_client=flows_per_client,
+        )
+    record["workloads"]["overload/proc_happy"] = proc_happy.to_workload_entry()
+
+    if unloaded.p50_s > 0:
+        overhead = (
+            (proc_happy.p50_s - unloaded.p50_s) / unloaded.p50_s * 100.0
+        )
+        record["meta"]["process_overhead_pct"] = round(overhead, 2)
     return record

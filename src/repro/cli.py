@@ -219,6 +219,9 @@ def _cmd_explain(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
     from repro.exceptions import ServiceConfigError
     from repro.service import MappingServer, ServiceApp, ServiceConfig
 
@@ -243,6 +246,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             default_columns=columns,
             journal_dir=args.journal_dir,
             search_deadline_s=args.search_deadline,
+            isolation=args.isolation,
+            procs=args.procs,
+            kill_grace=args.kill_grace,
+            worker_memory_mb=args.worker_memory_mb,
+            recycle_requests=args.recycle_requests,
+            recycle_growth_mb=args.recycle_growth_mb,
+            drain_timeout_s=args.drain_timeout,
+            shed_factor=args.shed_factor,
         ).validate()
     except ServiceConfigError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -265,22 +276,63 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"workers: {config.workers}  queue: {config.queue_size}  "
         f"sessions: <= {config.max_sessions} (ttl {config.session_ttl_s:g}s)"
     )
+    if config.isolation == "process":
+        print(
+            f"isolation: process  procs: {config.effective_procs}  "
+            f"kill after: {config.effective_kill_after_s:g}s  "
+            f"memory: "
+            f"{config.worker_memory_mb or 'unlimited'} MiB/worker"
+        )
     if config.journal_dir:
         print(
             f"journal: {app.journal.path} "
             f"(recovered {app.recovered_sessions} session(s))"
         )
-    print("Ctrl-C to stop.")
+    print("Ctrl-C or SIGTERM to drain and stop.")
+
+    # Graceful drain is the default shutdown path for BOTH isolation
+    # modes: the handler only flips an event and hands off to a thread
+    # (signal handlers must not block), the drain stops admission,
+    # finishes in-flight requests, flushes the journal, and unblocks
+    # serve_forever — so the process exits 0 with nothing torn.
+    drain_started = threading.Event()
+    drain_thread: list[threading.Thread] = []
+
+    def _on_signal(signum: int, _frame) -> None:
+        if drain_started.is_set():
+            return
+        drain_started.set()
+        name = signal.Signals(signum).name
+        print(f"{name} received: draining", flush=True)
+        thread = threading.Thread(
+            target=server.drain, name="mweaver-drain", daemon=True
+        )
+        drain_thread.append(thread)
+        thread.start()
+
+    previous = {
+        signal.SIGTERM: signal.signal(signal.SIGTERM, _on_signal),
+        signal.SIGINT: signal.signal(signal.SIGINT, _on_signal),
+    }
     try:
         server.serve_forever()
-    except KeyboardInterrupt:
+    except KeyboardInterrupt:  # pragma: no cover - handler owns SIGINT
         print("shutting down")
         return 0
     except Exception as error:  # surfaced as a runtime failure
         print(f"error: {error}", file=sys.stderr)
         return 1
     finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+        if drain_thread:
+            # The journal flush happens inside the drain; wait for it
+            # before the interpreter starts tearing down.
+            drain_thread[0].join(timeout=config.drain_timeout_s + 10.0)
         server.shutdown()
+    if app.drain_report is not None:
+        state = "clean" if app.drain_report["clean"] else "timed out"
+        print(f"drained in {app.drain_report['seconds']:g}s ({state})")
     return 0
 
 
@@ -469,6 +521,46 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--location-cache", type=int, default=4096,
                        metavar="ENTRIES",
                        help="cross-session LocateSample LRU size (0 = off)")
+    serve.add_argument(
+        "--isolation", choices=("thread", "process"), default="thread",
+        help="worker isolation: 'thread' (in-process pool, the default) "
+             "or 'process' (supervised worker processes with hard "
+             "SIGKILL deadlines and memory ceilings)",
+    )
+    serve.add_argument(
+        "--procs", type=int, default=0, metavar="N",
+        help="worker processes for --isolation=process "
+             "(0 = same as --workers)",
+    )
+    serve.add_argument(
+        "--kill-grace", type=float, default=2.0, metavar="FACTOR",
+        help="hard-kill a process-mode job after the search deadline "
+             "times this factor (>= 1.0)",
+    )
+    serve.add_argument(
+        "--worker-memory-mb", type=int, default=0, metavar="MB",
+        help="address-space ceiling per worker process via setrlimit "
+             "(0 = unlimited)",
+    )
+    serve.add_argument(
+        "--recycle-requests", type=int, default=0, metavar="N",
+        help="recycle a worker process after N requests (0 = never)",
+    )
+    serve.add_argument(
+        "--recycle-growth-mb", type=int, default=0, metavar="MB",
+        help="recycle a worker process after MB of RSS growth "
+             "(0 = never)",
+    )
+    serve.add_argument(
+        "--drain-timeout", type=float, default=10.0, metavar="SECONDS",
+        help="graceful-drain budget for in-flight requests on "
+             "SIGTERM/SIGINT",
+    )
+    serve.add_argument(
+        "--shed-factor", type=float, default=1.0, metavar="FACTOR",
+        help="shed (503 + Retry-After) when estimated queue wait "
+             "exceeds FACTOR x the request deadline (0 = off)",
+    )
     serve.set_defaults(func=_cmd_serve)
 
     datasets = sub.add_parser("datasets", help="describe the generated datasets")

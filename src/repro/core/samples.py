@@ -72,6 +72,16 @@ class Spreadsheet:
         """The sample at ``(row, column)`` or ``None`` if empty."""
         return self._cells.get((row, column))
 
+    def cells(self) -> dict[tuple[int, int], str]:
+        """A copy of the grid: ``(row, column) -> sample``.
+
+        The serialized form the journal and the process-isolation
+        workers exchange; feeding it back through
+        :meth:`~repro.core.session.MappingSession.load_cells` rebuilds
+        an identical session.
+        """
+        return dict(self._cells)
+
     def row_samples(self, row: int) -> dict[int, str]:
         """Non-empty cells of ``row`` as column-index → sample."""
         return {

@@ -1,0 +1,911 @@
+"""Process-level isolation: supervised subprocess workers with hard kills.
+
+The cooperative :class:`~repro.resilience.budget.Budget` can only stop
+a search at points the search chooses to check — a query stuck inside
+sqlite's C core, an injected ``time.sleep``, or a pathological weave
+that balloons resident memory sails right past it.  This module is the
+non-cooperative backstop: each job runs in a supervised **worker
+process** that the parent can always ``SIGKILL``.
+
+Guarantees (the containment contract):
+
+* **Hard wall-clock kill.** A job that has not replied within its
+  ``kill_after_s`` (the cooperative deadline × a grace factor) gets its
+  worker ``SIGKILL``ed — no cooperation required.
+* **Memory ceilings.** Workers apply ``resource.setrlimit(RLIMIT_AS)``
+  at startup (allocations beyond it raise ``MemoryError`` inside the
+  worker, answered as an OOM), and the parent watches reported RSS,
+  recycling workers that grow past the watchdog limits.
+* **Recycling.** Workers retire after ``max_requests`` jobs or
+  ``max_growth_mb`` of RSS growth — leaks die young.
+* **Supervision.** Every dead worker (killed, crashed, recycled) is
+  restarted by its slot runner with jittered exponential backoff; the
+  victim job is re-queued **once**, then fails fast with
+  :class:`~repro.exceptions.ServiceUnavailableError` (HTTP 503).
+
+The pool is transport-agnostic: jobs are ``(task, payload)`` pairs
+where ``task`` names a function in the bootstrap's task module (plus
+the built-in ``diag.*`` tasks used by tests and ops smoke checks) and
+``payload``/results are plain picklable dicts.  The mapping service's
+tasks live in :mod:`repro.service.proctasks`.
+
+Workers are started with the ``spawn`` method: a fresh interpreter,
+no inherited locks mid-acquire, no shared mutable state — worker death
+cannot corrupt the parent.  The price is startup cost (an import plus
+the task module's ``bootstrap_worker``), which is exactly what the
+recycling budget amortizes.
+
+Fault injection crosses the process boundary per job: ``submit``
+snapshots the active :class:`~repro.resilience.faults.FaultInjector`'s
+picklable specs and the worker re-installs them around the task body,
+so chaos tests drive child processes the same way they drive threads.
+
+Metrics (all under ``repro.isolation.*``): ``kills``, ``oom_kills``,
+``recycles`` (labelled by reason), ``restarts``, ``requeued``,
+``expired``, ``queue.rejected``, and the ``workers.alive`` gauge.
+Worker lifecycle is traced as ``isolation.worker.spawn`` /
+``isolation.worker.exit`` spans.
+"""
+
+from __future__ import annotations
+
+import importlib
+import itertools
+import os
+import queue
+import random
+import signal
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+import multiprocessing
+import multiprocessing.connection
+
+from repro.exceptions import (
+    DeadlineExceeded,
+    ReproError,
+    ServiceOverloadedError,
+    ServiceUnavailableError,
+    SessionError,
+)
+from repro.obs import get_logger, get_metrics, get_tracer
+from repro.resilience.faults import FaultSpec, active_injector
+
+_log = get_logger(__name__)
+
+#: Parent waits this long for a fresh worker's ready handshake.
+SPAWN_TIMEOUT_S = 60.0
+
+#: Poll granularity while waiting for a worker reply (seconds).
+_POLL_STEP_S = 0.02
+
+#: Restart backoff: ``min(cap, base * 2**failures)`` with ±50% jitter.
+_BACKOFF_BASE_S = 0.05
+_BACKOFF_CAP_S = 2.0
+
+
+def _rss_bytes() -> int:
+    """Peak resident set size of the calling process, in bytes."""
+    import resource
+
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is kilobytes on Linux, bytes on macOS.
+    return peak * 1024 if sys.platform != "darwin" else peak
+
+
+@dataclass(frozen=True)
+class IsolationLimits:
+    """Per-worker resource ceilings; ``0`` disables each knob.
+
+    ``address_space_mb`` is enforced *inside* the worker via
+    ``setrlimit(RLIMIT_AS)`` — allocations beyond it fail with
+    ``MemoryError`` (answered as an OOM and the worker is recycled).
+    ``rss_limit_mb`` and ``max_growth_mb`` are parent-side watchdogs on
+    the RSS each reply reports; ``max_requests`` retires workers by age.
+    """
+
+    address_space_mb: int = 0
+    rss_limit_mb: int = 0
+    max_requests: int = 0
+    max_growth_mb: int = 0
+
+    def validate(self) -> "IsolationLimits":
+        """Raise ``ValueError`` on a negative knob; return self."""
+        for name in (
+            "address_space_mb", "rss_limit_mb", "max_requests",
+            "max_growth_mb",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0 (0 disables it)")
+        return self
+
+
+@dataclass(frozen=True)
+class WorkerBootstrap:
+    """Everything a spawned worker needs to become useful (picklable).
+
+    ``task_module`` names a module exposing ``TASKS`` (a ``name ->
+    callable(payload) -> result`` dict) and optionally
+    ``bootstrap_worker(context)`` which runs once at worker startup
+    (the mapping service preloads its datasets there).  ``context`` is
+    an arbitrary picklable dict handed to ``bootstrap_worker``.
+    """
+
+    task_module: str | None = None
+    context: dict[str, Any] = field(default_factory=dict)
+    limits: IsolationLimits = field(default_factory=IsolationLimits)
+
+
+# ----------------------------------------------------------------------
+# Built-in diagnostic tasks (tests, ops smoke checks)
+# ----------------------------------------------------------------------
+
+_HELD_ALLOCATIONS: list[bytearray] = []
+
+
+def _diag_echo(payload: dict[str, Any]) -> dict[str, Any]:
+    return {"echo": payload.get("value"), "pid": os.getpid()}
+
+
+def _diag_sleep(payload: dict[str, Any]) -> dict[str, Any]:
+    seconds = float(payload.get("seconds", 0.0))
+    time.sleep(seconds)
+    return {"slept_s": seconds, "pid": os.getpid()}
+
+
+def _diag_alloc(payload: dict[str, Any]) -> dict[str, Any]:
+    """Allocate ``mb`` megabytes; ``hold=True`` keeps them resident."""
+    size = int(payload.get("mb", 1)) * 1024 * 1024
+    blob = bytearray(size)
+    blob[::4096] = b"x" * len(blob[::4096])  # fault the pages in
+    if payload.get("hold"):
+        _HELD_ALLOCATIONS.append(blob)
+    return {"allocated_bytes": size, "pid": os.getpid()}
+
+
+def _diag_boom(payload: dict[str, Any]) -> dict[str, Any]:
+    raise RuntimeError(str(payload.get("message", "boom")))
+
+
+def _diag_fault(payload: dict[str, Any]) -> dict[str, Any]:
+    """Visit a fault point — proves injected specs reach the worker."""
+    from repro.resilience.faults import fault_point
+
+    fault_point(str(payload.get("point", "workers.job")))
+    return {"unfaulted": True, "pid": os.getpid()}
+
+
+DIAG_TASKS: dict[str, Any] = {
+    "diag.echo": _diag_echo,
+    "diag.sleep": _diag_sleep,
+    "diag.alloc": _diag_alloc,
+    "diag.boom": _diag_boom,
+    "diag.fault": _diag_fault,
+}
+
+
+# ----------------------------------------------------------------------
+# Fault-spec transport
+# ----------------------------------------------------------------------
+
+def snapshot_fault_specs() -> list[dict[str, Any]] | None:
+    """Picklable snapshot of the active injector's specs (or ``None``).
+
+    Custom ``error`` factories are dropped (callables may not pickle);
+    every other field travels, so latency / partial / default-error
+    chaos reaches worker processes.
+    """
+    injector = active_injector()
+    if injector is None:
+        return None
+    specs = [
+        {
+            "point": spec.point,
+            "mode": spec.mode,
+            "probability": spec.probability,
+            "times": spec.times,
+            "latency_s": spec.latency_s,
+            "keep_fraction": spec.keep_fraction,
+        }
+        for spec in injector.specs
+        if spec.error is None
+    ]
+    return specs or None
+
+
+def _rebuild_fault_specs(specs: list[dict[str, Any]]) -> list[FaultSpec]:
+    return [FaultSpec(**spec) for spec in specs]
+
+
+# ----------------------------------------------------------------------
+# The worker process
+# ----------------------------------------------------------------------
+
+def worker_main(
+    conn: multiprocessing.connection.Connection,
+    bootstrap: WorkerBootstrap,
+) -> None:
+    """Entry point of one worker process (module-level for ``spawn``).
+
+    Protocol, parent → worker: ``None`` (graceful retirement) or a job
+    dict ``{"task", "payload", "faults", "seed"}``.  Worker → parent:
+    one ``{"op": "ready", ...}`` handshake, then exactly one
+    ``{"op": "result", ...}`` per job carrying ``ok``, the result or
+    error description, and the worker's current ``rss_bytes``.
+    """
+    # Hard memory ceiling first: even bootstrap leaks are contained.
+    if bootstrap.limits.address_space_mb:
+        import resource
+
+        ceiling = bootstrap.limits.address_space_mb * 1024 * 1024
+        try:
+            resource.setrlimit(resource.RLIMIT_AS, (ceiling, ceiling))
+        except (ValueError, OSError):  # pragma: no cover - platform quirk
+            pass
+    # The parent enforces deadlines with SIGKILL; restore default term
+    # handling so an orphaned worker dies cleanly with its group.
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+
+    tasks: dict[str, Any] = dict(DIAG_TASKS)
+    try:
+        if bootstrap.task_module:
+            module = importlib.import_module(bootstrap.task_module)
+            tasks.update(getattr(module, "TASKS", {}))
+            bootstrap_fn = getattr(module, "bootstrap_worker", None)
+            if bootstrap_fn is not None:
+                bootstrap_fn(bootstrap.context)
+    except Exception as error:  # noqa: BLE001 - reported, then exit
+        try:
+            conn.send({"op": "ready", "ok": False,
+                       "error": f"{type(error).__name__}: {error}"})
+        except (BrokenPipeError, OSError):
+            pass
+        return
+
+    conn.send({"op": "ready", "ok": True, "pid": os.getpid(),
+               "rss_bytes": _rss_bytes()})
+
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return
+        if message is None:
+            return
+        reply: dict[str, Any] = {"op": "result", "ok": True}
+        fatal = False
+        try:
+            task = tasks[message["task"]]
+            faults = message.get("faults")
+            if faults:
+                from repro.resilience.faults import FaultInjector
+
+                with FaultInjector(
+                    _rebuild_fault_specs(faults),
+                    seed=int(message.get("seed", 0)),
+                ):
+                    reply["result"] = task(message.get("payload") or {})
+            else:
+                reply["result"] = task(message.get("payload") or {})
+        except MemoryError:
+            # The rlimit tripped: answer, then retire — the heap is in
+            # an unknown state and the parent will restart us anyway.
+            reply = {"op": "result", "ok": False, "kind": "oom",
+                     "category": "oom", "error_type": "MemoryError",
+                     "message": "worker memory ceiling exceeded"}
+            fatal = True
+        except BaseException as error:  # noqa: BLE001 - serialized verbatim
+            if isinstance(error, SessionError):
+                category = "session"
+            elif isinstance(error, ReproError):
+                category = "repro"
+            else:
+                category = "other"
+            reply = {"op": "result", "ok": False, "kind": "error",
+                     "category": category,
+                     "error_type": type(error).__name__,
+                     "message": str(error)}
+        reply["rss_bytes"] = _rss_bytes()
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            return
+        if fatal:
+            return
+
+
+def _decode_error(reply: dict[str, Any]) -> Exception:
+    """Rebuild a typed exception from a worker's error reply."""
+    message = f"{reply.get('error_type', 'Error')}: {reply.get('message', '')}"
+    category = reply.get("category")
+    if category == "session":
+        return SessionError(reply.get("message", message))
+    if category == "repro":
+        return ReproError(reply.get("message", message))
+    return RuntimeError(message)
+
+
+# ----------------------------------------------------------------------
+# Parent-side job bookkeeping
+# ----------------------------------------------------------------------
+
+class ProcJob:
+    """One queued unit of process-pool work and its synchronization."""
+
+    __slots__ = (
+        "job_id", "task", "payload", "timeout_s", "kill_after_s",
+        "deadline", "faults", "seed", "done", "result", "error",
+        "attempts", "_lock", "_cancelled", "_started",
+    )
+
+    def __init__(
+        self,
+        job_id: int,
+        task: str,
+        payload: dict[str, Any],
+        *,
+        timeout_s: float,
+        kill_after_s: float,
+        faults: list[dict[str, Any]] | None,
+        seed: int,
+    ) -> None:
+        self.job_id = job_id
+        self.task = task
+        self.payload = payload
+        self.timeout_s = timeout_s
+        self.kill_after_s = kill_after_s
+        self.deadline = time.monotonic() + timeout_s
+        self.faults = faults
+        self.seed = seed
+        self.done = threading.Event()
+        self.result: Any = None
+        self.error: BaseException | None = None
+        self.attempts = 0
+        self._lock = threading.Lock()
+        self._cancelled = False
+        self._started = False
+
+    def cancel(self) -> bool:
+        """Mark cancelled; ``True`` when the job had not started yet."""
+        with self._lock:
+            if self._started:
+                return False
+            self._cancelled = True
+            return True
+
+    def try_start(self) -> bool:
+        """Slot-runner claim: ``False`` when cancelled or expired."""
+        with self._lock:
+            if self._cancelled:
+                return False
+            if time.monotonic() > self.deadline:
+                self._cancelled = True
+                return False
+            self._started = True
+            return True
+
+    def reset_for_retry(self) -> bool:
+        """Allow one more :meth:`try_start` after a worker death."""
+        with self._lock:
+            if self._cancelled:
+                return False
+            self._started = False
+            return True
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether the job was cancelled before it could (re)start."""
+        with self._lock:
+            return self._cancelled
+
+    def wait(self) -> Any:
+        """Block for the result; raise the error or ``DeadlineExceeded``."""
+        remaining = self.deadline - time.monotonic()
+        if not self.done.wait(timeout=max(0.0, remaining)):
+            self.cancel()
+            if not self.done.is_set():
+                raise DeadlineExceeded("isolated work", self.timeout_s)
+        if self.error is not None:
+            raise self.error
+        if self.cancelled:
+            raise DeadlineExceeded("isolated work", self.timeout_s)
+        return self.result
+
+
+class _WorkerProcess:
+    """Parent-side record of one live worker process."""
+
+    __slots__ = (
+        "slot", "process", "conn", "pid", "served", "baseline_rss",
+        "rss_bytes", "started_at",
+    )
+
+    def __init__(self, slot: int, process, conn, pid: int, rss: int) -> None:
+        self.slot = slot
+        self.process = process
+        self.conn = conn
+        self.pid = pid
+        self.served = 0
+        self.baseline_rss = rss
+        self.rss_bytes = rss
+        self.started_at = time.time()
+
+
+class ProcessWorkerPool:
+    """A fixed set of supervised worker processes behind one queue.
+
+    One *slot runner* thread per worker slot owns the lifecycle of the
+    successive processes filling that slot: spawn (with ready
+    handshake), serve jobs, kill/recycle, restart with jittered
+    backoff.  The request thread only ever touches the bounded queue
+    and the job's event — worker death never propagates past a 503.
+    """
+
+    def __init__(
+        self,
+        *,
+        procs: int,
+        queue_size: int,
+        bootstrap: WorkerBootstrap | None = None,
+        kill_grace: float = 2.0,
+        retry_after_s: float = 1.0,
+        spawn_timeout_s: float = SPAWN_TIMEOUT_S,
+    ) -> None:
+        if procs <= 0:
+            raise ValueError("procs must be positive")
+        if kill_grace < 1.0:
+            raise ValueError("kill_grace must be >= 1.0")
+        self.bootstrap = bootstrap or WorkerBootstrap()
+        self.bootstrap.limits.validate()
+        self.kill_grace = kill_grace
+        self.retry_after_s = retry_after_s
+        self.spawn_timeout_s = spawn_timeout_s
+        self._ctx = multiprocessing.get_context("spawn")
+        self._queue: queue.Queue[ProcJob] = queue.Queue(maxsize=queue_size)
+        self._ids = itertools.count(1)
+        self._seeds = itertools.count(1)
+        self._closed = False
+        self._draining = False
+        self._lock = threading.Lock()
+        self._workers: dict[int, _WorkerProcess | None] = {}
+        self._states: dict[int, str] = {}
+        self._restarts: dict[int, int] = {}
+        self._outstanding = 0
+        self._idle = threading.Condition(self._lock)
+        # Lifetime counters (under self._lock), mirrored to metrics.
+        self.kills = 0
+        self.oom_kills = 0
+        self.recycles = 0
+        self.requeued = 0
+        self.restarts = 0
+        self._ready = threading.Event()
+        self._threads = []
+        for slot in range(procs):
+            self._workers[slot] = None
+            self._states[slot] = "starting"
+            self._restarts[slot] = 0
+            thread = threading.Thread(
+                target=self._slot_loop, args=(slot,),
+                name=f"mweaver-procslot-{slot}", daemon=True,
+            )
+            self._threads.append(thread)
+            thread.start()
+
+    # -- submission ----------------------------------------------------
+
+    def submit(
+        self,
+        task: str,
+        payload: dict[str, Any],
+        *,
+        timeout_s: float,
+        kill_after_s: float | None = None,
+        faults: list[dict[str, Any]] | None = None,
+    ) -> ProcJob:
+        """Enqueue one job; 429 semantics when the queue is full."""
+        if self._closed or self._draining:
+            raise ServiceUnavailableError(
+                "process pool is shutting down",
+                retry_after_s=self.retry_after_s, reason="drain",
+            )
+        job = ProcJob(
+            next(self._ids),
+            task,
+            payload,
+            timeout_s=timeout_s,
+            kill_after_s=(
+                kill_after_s if kill_after_s is not None
+                else timeout_s * self.kill_grace
+            ),
+            faults=faults if faults is not None else snapshot_fault_specs(),
+            seed=next(self._seeds),
+        )
+        try:
+            self._queue.put_nowait(job)
+        except queue.Full:
+            get_metrics().counter("repro.isolation.queue.rejected").inc()
+            raise ServiceOverloadedError(
+                "isolation queue full", retry_after_s=self.retry_after_s
+            ) from None
+        with self._lock:
+            self._outstanding += 1
+        get_metrics().gauge("repro.isolation.queue.depth").set(
+            self._queue.qsize()
+        )
+        return job
+
+    def run(
+        self,
+        task: str,
+        payload: dict[str, Any],
+        *,
+        timeout_s: float,
+        kill_after_s: float | None = None,
+    ) -> Any:
+        """Submit and wait — the synchronous request-thread entry point."""
+        return self.submit(
+            task, payload, timeout_s=timeout_s, kill_after_s=kill_after_s
+        ).wait()
+
+    def qsize(self) -> int:
+        """Jobs waiting in the queue (admission-control input)."""
+        return self._queue.qsize()
+
+    # -- slot runner ---------------------------------------------------
+
+    def _slot_loop(self, slot: int) -> None:
+        failures = 0
+        while not self._closed:
+            try:
+                worker = self._spawn(slot)
+            except Exception as error:  # noqa: BLE001 - spawn is retried
+                failures += 1
+                self._set_state(slot, "backoff")
+                _log.warning("worker slot %d spawn failed: %s", slot, error)
+                self._sleep_backoff(failures)
+                continue
+            failures = 0
+            self._ready.set()
+            reason = self._serve_with(slot, worker)
+            self._retire(slot, worker, reason)
+            if reason == "closed" or self._closed:
+                return
+            with self._lock:
+                self.restarts += 1
+                self._restarts[slot] += 1
+            get_metrics().counter(
+                "repro.isolation.restarts", reason=reason
+            ).inc()
+            if reason in ("crash", "oom"):
+                failures += 1
+            self._set_state(slot, "backoff")
+            self._sleep_backoff(failures)
+        self._set_state(slot, "closed")
+
+    def _sleep_backoff(self, failures: int) -> None:
+        delay = min(_BACKOFF_CAP_S, _BACKOFF_BASE_S * (2 ** max(0, failures)))
+        time.sleep(delay * (0.5 + random.random()))
+
+    def _spawn(self, slot: int) -> _WorkerProcess:
+        with get_tracer().span("isolation.worker.spawn", slot=slot) as span:
+            parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+            process = self._ctx.Process(
+                target=worker_main,
+                args=(child_conn, self.bootstrap),
+                name=f"mweaver-procworker-{slot}",
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            if not parent_conn.poll(self.spawn_timeout_s):
+                process.kill()
+                process.join(timeout=5.0)
+                parent_conn.close()
+                raise TimeoutError(
+                    f"worker slot {slot} missed the ready handshake "
+                    f"({self.spawn_timeout_s:g}s)"
+                )
+            ready = parent_conn.recv()
+            if not ready.get("ok"):
+                process.join(timeout=5.0)
+                parent_conn.close()
+                raise RuntimeError(
+                    f"worker slot {slot} failed to bootstrap: "
+                    f"{ready.get('error', 'unknown error')}"
+                )
+            worker = _WorkerProcess(
+                slot, process, parent_conn,
+                int(ready["pid"]), int(ready.get("rss_bytes", 0)),
+            )
+            span.set("pid", worker.pid)
+        with self._lock:
+            self._workers[slot] = worker
+            self._states[slot] = "idle"
+            alive = sum(1 for w in self._workers.values() if w is not None)
+        get_metrics().gauge("repro.isolation.workers.alive").set(alive)
+        _log.info("worker slot %d up (pid %d)", slot, worker.pid)
+        return worker
+
+    def _serve_with(self, slot: int, worker: _WorkerProcess) -> str:
+        """Run jobs on ``worker`` until it dies/retires; returns why."""
+        limits = self.bootstrap.limits
+        while not self._closed:
+            if self._draining and self._queue.empty():
+                return "closed"
+            try:
+                job = self._queue.get(timeout=0.25)
+            except queue.Empty:
+                if not worker.process.is_alive():
+                    return "crash"
+                continue
+            if not job.try_start():
+                get_metrics().counter("repro.isolation.expired").inc()
+                self._finish(job)
+                continue
+            self._set_state(slot, "busy")
+            outcome = self._run_one(slot, worker, job)
+            self._set_state(slot, "idle" if outcome == "ok" else "dead")
+            if outcome != "ok":
+                return outcome
+            if limits.max_requests and worker.served >= limits.max_requests:
+                self._count_recycle("requests")
+                return "recycle"
+            growth = worker.rss_bytes - worker.baseline_rss
+            if (
+                limits.max_growth_mb
+                and growth > limits.max_growth_mb * 1024 * 1024
+            ):
+                self._count_recycle("growth")
+                return "recycle"
+            if (
+                limits.rss_limit_mb
+                and worker.rss_bytes > limits.rss_limit_mb * 1024 * 1024
+            ):
+                self._count_recycle("rss")
+                return "recycle"
+        return "closed"
+
+    def _run_one(self, slot: int, worker: _WorkerProcess, job: ProcJob) -> str:
+        """Execute one job on one worker; never raises.
+
+        Returns ``"ok"`` (worker reusable), ``"killed"``, ``"oom"`` or
+        ``"crash"`` (worker gone; the job has been re-queued or
+        failed).
+        """
+        message = {
+            "task": job.task, "payload": job.payload,
+            "faults": job.faults, "seed": job.seed,
+        }
+        try:
+            worker.conn.send(message)
+        except (BrokenPipeError, OSError):
+            self._requeue_or_fail(job, "crash", "worker pipe broken")
+            return "crash"
+        started = time.perf_counter()
+        kill_at = started + job.kill_after_s
+        while True:
+            step = min(_POLL_STEP_S * 10, max(0.0, kill_at - time.perf_counter()))
+            try:
+                if worker.conn.poll(step or _POLL_STEP_S):
+                    reply = worker.conn.recv()
+                    break
+            except (EOFError, OSError):
+                # Worker died mid-job (hard OOM, external kill, bug).
+                self._reap(worker)
+                self._requeue_or_fail(job, "crash", "worker died mid-job")
+                return "crash"
+            if time.perf_counter() >= kill_at:
+                self._hard_kill(slot, worker, job)
+                return "killed"
+            if not worker.process.is_alive():
+                self._reap(worker)
+                self._requeue_or_fail(job, "crash", "worker died mid-job")
+                return "crash"
+        elapsed = time.perf_counter() - started
+        worker.served += 1
+        worker.rss_bytes = int(reply.get("rss_bytes", worker.rss_bytes))
+        get_metrics().histogram("repro.isolation.job.seconds").observe(elapsed)
+        if reply.get("ok"):
+            job.result = reply.get("result")
+            self._finish(job)
+            return "ok"
+        if reply.get("kind") == "oom":
+            # The worker contained the blow-up and is retiring itself.
+            with self._lock:
+                self.oom_kills += 1
+            get_metrics().counter("repro.isolation.oom_kills").inc()
+            self._requeue_or_fail(
+                job, "oom",
+                f"worker exceeded its memory ceiling "
+                f"({self.bootstrap.limits.address_space_mb} MiB)",
+            )
+            worker.process.join(timeout=5.0)
+            return "oom"
+        job.error = _decode_error(reply)
+        self._finish(job)
+        return "ok"
+
+    def _hard_kill(self, slot: int, worker: _WorkerProcess, job: ProcJob) -> None:
+        """SIGKILL a worker whose job blew deadline × grace."""
+        with get_tracer().span(
+            "isolation.worker.kill", slot=slot, pid=worker.pid,
+            task=job.task,
+        ):
+            _log.warning(
+                "hard-killing worker %d (pid %d): job %d exceeded %.3gs",
+                slot, worker.pid, job.job_id, job.kill_after_s,
+            )
+            worker.process.kill()
+            worker.process.join(timeout=5.0)
+            worker.conn.close()
+        with self._lock:
+            self.kills += 1
+        get_metrics().counter("repro.isolation.kills").inc()
+        self._requeue_or_fail(
+            job, "deadline_kill",
+            f"hard deadline blown ({job.kill_after_s:.3g}s); worker killed",
+        )
+
+    def _reap(self, worker: _WorkerProcess) -> None:
+        worker.process.join(timeout=5.0)
+        try:
+            worker.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+    def _requeue_or_fail(self, job: ProcJob, kind: str, detail: str) -> None:
+        """Victim policy: re-queue once, then answer 503."""
+        job.attempts += 1
+        remaining = job.deadline - time.monotonic()
+        if job.attempts <= 1 and remaining > 0 and job.reset_for_retry():
+            try:
+                self._queue.put_nowait(job)
+            except queue.Full:
+                pass
+            else:
+                with self._lock:
+                    self.requeued += 1
+                get_metrics().counter("repro.isolation.requeued").inc()
+                _log.info(
+                    "job %d re-queued after worker %s", job.job_id, kind
+                )
+                return
+        job.error = ServiceUnavailableError(
+            detail, retry_after_s=self.retry_after_s, reason="worker_killed"
+        )
+        self._finish(job)
+
+    def _finish(self, job: ProcJob) -> None:
+        job.done.set()
+        with self._lock:
+            self._outstanding = max(0, self._outstanding - 1)
+            self._idle.notify_all()
+
+    def _retire(self, slot: int, worker: _WorkerProcess, reason: str) -> None:
+        """Take a worker out of service (graceful when still alive)."""
+        if worker.process.is_alive():
+            try:
+                worker.conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+            worker.process.join(timeout=5.0)
+            if worker.process.is_alive():  # pragma: no cover - stuck exit
+                worker.process.kill()
+                worker.process.join(timeout=5.0)
+        try:
+            worker.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        with get_tracer().span(
+            "isolation.worker.exit", slot=slot, pid=worker.pid,
+            reason=reason, served=worker.served,
+        ):
+            pass
+        with self._lock:
+            self._workers[slot] = None
+            alive = sum(1 for w in self._workers.values() if w is not None)
+        get_metrics().gauge("repro.isolation.workers.alive").set(alive)
+        _log.info(
+            "worker slot %d down (pid %d, reason=%s, served=%d)",
+            slot, worker.pid, reason, worker.served,
+        )
+
+    def _count_recycle(self, reason: str) -> None:
+        with self._lock:
+            self.recycles += 1
+        get_metrics().counter("repro.isolation.recycles", reason=reason).inc()
+
+    def _set_state(self, slot: int, state: str) -> None:
+        with self._lock:
+            self._states[slot] = state
+
+    # -- lifecycle -----------------------------------------------------
+
+    def wait_ready(self, timeout_s: float = SPAWN_TIMEOUT_S) -> bool:
+        """Block until at least one worker finished its handshake."""
+        return self._ready.wait(timeout=timeout_s)
+
+    def drain(self, timeout_s: float = 5.0) -> bool:
+        """Stop accepting, let queued/in-flight jobs finish, shut down.
+
+        Returns ``True`` when every outstanding job completed within
+        ``timeout_s`` (stragglers are abandoned to :meth:`shutdown`'s
+        worker teardown otherwise).
+        """
+        self._draining = True
+        deadline = time.monotonic() + timeout_s
+        with self._idle:
+            while self._outstanding > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._idle.wait(timeout=min(0.25, remaining))
+            clean = self._outstanding == 0
+        self.shutdown()
+        return clean
+
+    def shutdown(self, *, wait: bool = True) -> None:
+        """Kill the pool: retire every worker, join the slot runners."""
+        if self._closed:
+            return
+        self._closed = True
+        self._draining = True
+        if wait:
+            for thread in self._threads:
+                thread.join(timeout=10.0)
+        # Fail any job still queued (its slot runners are gone).
+        while True:
+            try:
+                job = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            job.error = ServiceUnavailableError(
+                "process pool shut down",
+                retry_after_s=self.retry_after_s, reason="drain",
+            )
+            self._finish(job)
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-ready pool state for ``/healthz`` and ops tooling."""
+        with self._lock:
+            workers = []
+            for slot in sorted(self._workers):
+                worker = self._workers[slot]
+                workers.append({
+                    "slot": slot,
+                    "state": self._states.get(slot, "unknown"),
+                    "pid": worker.pid if worker else None,
+                    "served": worker.served if worker else 0,
+                    "rss_bytes": worker.rss_bytes if worker else 0,
+                    "restarts": self._restarts[slot],
+                })
+            return {
+                "procs": len(self._workers),
+                "alive": sum(
+                    1 for w in self._workers.values() if w is not None
+                ),
+                "queue_depth": self._queue.qsize(),
+                "outstanding": self._outstanding,
+                "kills": self.kills,
+                "oom_kills": self.oom_kills,
+                "recycles": self.recycles,
+                "restarts": self.restarts,
+                "requeued": self.requeued,
+                "kill_grace": self.kill_grace,
+                "limits": {
+                    "address_space_mb": self.bootstrap.limits.address_space_mb,
+                    "rss_limit_mb": self.bootstrap.limits.rss_limit_mb,
+                    "max_requests": self.bootstrap.limits.max_requests,
+                    "max_growth_mb": self.bootstrap.limits.max_growth_mb,
+                },
+                "workers": workers,
+            }
+
+    def __enter__(self) -> "ProcessWorkerPool":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.shutdown()

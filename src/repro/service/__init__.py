@@ -12,9 +12,15 @@ spreadsheet UI):
   table with per-session locks,
 * :mod:`repro.service.workers` — the bounded worker pool (deadlines,
   cooperative cancellation, 429 backpressure),
+* :mod:`repro.service.admission` — latency-aware load shedding (503 +
+  ``Retry-After`` before the queue wait can blow the deadline),
+* :mod:`repro.service.remote` / :mod:`repro.service.proctasks` — the
+  parent and worker halves of ``--isolation=process`` mode, where each
+  search runs in a supervised subprocess
+  (:class:`repro.resilience.ProcessWorkerPool`),
 * :mod:`repro.service.app` — transport-independent request handling,
 * :mod:`repro.service.http` — the stdlib ``ThreadingHTTPServer``
-  adapter behind ``mweaver serve``.
+  adapter behind ``mweaver serve`` (with SIGTERM graceful drain).
 
 Quick in-process use::
 
@@ -29,10 +35,12 @@ Quick in-process use::
 
 from __future__ import annotations
 
+from repro.service.admission import AdmissionController
 from repro.service.app import ServiceApp
 from repro.service.config import KNOWN_DATASETS, ServiceConfig
 from repro.service.http import MappingServer, make_server
 from repro.service.registry import DatasetRegistry, LocationCache
+from repro.service.remote import RemoteMappingSession
 from repro.service.sessions import ManagedSession, SessionManager
 from repro.service.workers import Job, WorkerPool
 
@@ -48,4 +56,6 @@ __all__ = [
     "ManagedSession",
     "WorkerPool",
     "Job",
+    "AdmissionController",
+    "RemoteMappingSession",
 ]

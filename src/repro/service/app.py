@@ -43,6 +43,7 @@ sessions (same ids, same grids) across a crash or restart.
 
 from __future__ import annotations
 
+import threading
 import time
 from pathlib import Path
 from typing import Any
@@ -54,13 +55,21 @@ from repro.exceptions import (
     DeadlineExceeded,
     ReproError,
     ServiceOverloadedError,
+    ServiceUnavailableError,
     SessionError,
     UnknownSessionError,
 )
 from repro.obs import get_logger, get_metrics, get_tracer
 from repro.resilience import NULL_BUDGET, Budget, SessionJournal, replay_journal
+from repro.resilience.isolation import (
+    IsolationLimits,
+    ProcessWorkerPool,
+    WorkerBootstrap,
+)
+from repro.service.admission import AdmissionController
 from repro.service.config import ServiceConfig
 from repro.service.registry import DatasetRegistry, LocationCache
+from repro.service.remote import RemoteMappingSession
 from repro.service.sessions import ManagedSession, SessionManager
 from repro.service.workers import WorkerPool
 
@@ -97,11 +106,15 @@ class ServiceApp:
         registry: DatasetRegistry | None = None,
     ) -> None:
         self.config = (config or ServiceConfig()).validate()
+        self.proc_mode = self.config.isolation == "process"
         self.registry = registry or DatasetRegistry(scale=self.config.scale)
-        self.registry.preload(self.config.datasets)
+        if not self.proc_mode:
+            # Process mode never searches in the parent; the datasets
+            # are built inside each worker's bootstrap instead.
+            self.registry.preload(self.config.datasets)
         self.location_cache = (
             LocationCache(self.config.location_cache_size)
-            if self.config.location_cache_size
+            if self.config.location_cache_size and not self.proc_mode
             else None
         )
         self.journal: SessionJournal | None = None
@@ -117,14 +130,55 @@ class ServiceApp:
                 self.journal.record_delete if self.journal else None
             ),
         )
+        self.admission = AdmissionController(
+            workers=(
+                self.config.effective_procs if self.proc_mode
+                else self.config.workers
+            ),
+            shed_factor=self.config.shed_factor,
+            retry_after_s=self.config.retry_after_s,
+        )
+        # Drain bookkeeping: in-flight requests and the draining flag
+        # share one condition so drain can wait for the count to hit 0.
+        self._inflight = 0
+        self._inflight_cond = threading.Condition()
+        self._draining = False
+        self.drain_report: dict[str, Any] | None = None
+        # The pool comes up before journal recovery: process-mode
+        # recovery replays sessions through the workers themselves.
+        self.pool: WorkerPool | ProcessWorkerPool
+        if self.proc_mode:
+            self.pool = ProcessWorkerPool(
+                procs=self.config.effective_procs,
+                queue_size=self.config.queue_size,
+                bootstrap=WorkerBootstrap(
+                    task_module="repro.service.proctasks",
+                    context={
+                        "datasets": tuple(self.config.datasets),
+                        "scale": self.config.scale,
+                        "location_cache_size": (
+                            self.config.location_cache_size
+                        ),
+                    },
+                    limits=IsolationLimits(
+                        address_space_mb=self.config.worker_memory_mb,
+                        max_requests=self.config.recycle_requests,
+                        max_growth_mb=self.config.recycle_growth_mb,
+                    ),
+                ),
+                kill_grace=self.config.kill_grace,
+                retry_after_s=self.config.retry_after_s,
+            )
+            self.pool.wait_ready()
+        else:
+            self.pool = WorkerPool(
+                workers=self.config.workers,
+                queue_size=self.config.queue_size,
+                retry_after_s=self.config.retry_after_s,
+            )
         self.recovered_sessions = 0
         if self.journal is not None:
             self._recover_sessions()
-        self.pool = WorkerPool(
-            workers=self.config.workers,
-            queue_size=self.config.queue_size,
-            retry_after_s=self.config.retry_after_s,
-        )
         self.started_at = time.time()
         self._closed = False
 
@@ -145,20 +199,14 @@ class ServiceApp:
                     raise SessionError(
                         f"dataset {journaled.dataset!r} is not served"
                     )
-                db = self.registry.get(journaled.dataset)
-                columns = journaled.columns
-                on_irrelevant = journaled.on_irrelevant
-
-                def factory() -> MappingSession:
-                    return MappingSession(
-                        db, columns,
-                        on_irrelevant=on_irrelevant,
-                        location_cache=self.location_cache,
-                    )
-
+                factory = self._session_factory(
+                    journaled.dataset, journaled.columns,
+                    on_irrelevant=journaled.on_irrelevant,
+                )
                 managed = self.sessions.create(
                     journaled.dataset, factory, session_id=session_id
                 )
+                self._stamp_remote(managed)
                 try:
                     with managed.lock:
                         managed.session.load_cells(journaled.grid())
@@ -181,6 +229,94 @@ class ServiceApp:
         get_metrics().counter("repro.service.sessions.recovered").inc(
             len(restored)
         )
+
+    def _session_factory(self, dataset: str, columns, *, on_irrelevant="ignore"):
+        """A mode-appropriate session constructor for ``dataset``."""
+        if self.proc_mode:
+            def factory() -> RemoteMappingSession:
+                return RemoteMappingSession(
+                    [str(c).strip() for c in columns],
+                    on_irrelevant=on_irrelevant,
+                    run_task=self._run_proc_task,
+                )
+            return factory
+        db = self.registry.get(dataset)
+
+        def factory() -> MappingSession:
+            return MappingSession(
+                db, [str(c).strip() for c in columns],
+                on_irrelevant=on_irrelevant,
+                location_cache=self.location_cache,
+            )
+        return factory
+
+    def _stamp_remote(self, managed: ManagedSession) -> None:
+        """Give a remote session its wire identity (process mode only)."""
+        if self.proc_mode:
+            managed.session.session_id = managed.session_id
+            managed.session.dataset = managed.dataset
+
+    def _run_proc_task(self, task: str, payload: dict[str, Any]) -> Any:
+        """One round-trip through the process pool (process mode only)."""
+        assert isinstance(self.pool, ProcessWorkerPool)
+        return self.pool.run(
+            task, payload,
+            timeout_s=self.config.request_timeout_s,
+            kill_after_s=self.config.effective_kill_after_s,
+        )
+
+    # ------------------------------------------------------------------
+    # Drain / lifecycle
+    # ------------------------------------------------------------------
+
+    def begin_drain(self) -> None:
+        """Stop admitting work; in-flight requests keep running.
+
+        New non-health requests answer 503 (``reason="drain"``) from
+        this point on.  Idempotent.
+        """
+        with self._inflight_cond:
+            if self._draining:
+                return
+            self._draining = True
+        get_metrics().gauge("repro.isolation.draining").set(1)
+        _log.info("drain started: no longer admitting work")
+
+    def wait_idle(self, timeout_s: float) -> bool:
+        """Block until no request is in flight (True) or timeout (False)."""
+        deadline = time.monotonic() + timeout_s
+        with self._inflight_cond:
+            while self._inflight > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._inflight_cond.wait(timeout=min(0.25, remaining))
+        return True
+
+    def drain(self, timeout_s: float | None = None) -> bool:
+        """The graceful-shutdown path: drain, then close.
+
+        Stops admitting, waits up to ``timeout_s`` (default: the
+        configured ``drain_timeout_s``) for in-flight requests, then
+        closes the pool and flushes/closes the journal.  Returns
+        ``True`` when every in-flight request finished in time.
+        """
+        timeout = (
+            timeout_s if timeout_s is not None
+            else self.config.drain_timeout_s
+        )
+        started = time.monotonic()
+        self.begin_drain()
+        clean = self.wait_idle(timeout)
+        self.close()
+        elapsed = time.monotonic() - started
+        self.drain_report = {"clean": clean, "seconds": round(elapsed, 3)}
+        get_metrics().gauge("repro.isolation.drain.seconds").set(elapsed)
+        _log.info(
+            "drain finished in %.3fs (%s)",
+            elapsed, "clean" if clean else "timed out",
+        )
+        return clean
 
     def close(self) -> None:
         """Stop the worker pool and close the journal (idempotent)."""
@@ -214,6 +350,8 @@ class ServiceApp:
         tracer = get_tracer()
         with tracer.span("service.request", method=method, route=route) as span:
             started = time.perf_counter()
+            with self._inflight_cond:
+                self._inflight += 1
             try:
                 status, payload, headers = self._dispatch(
                     method, parts, query, body
@@ -225,6 +363,14 @@ class ServiceApp:
             except ServiceOverloadedError as error:
                 status = 429
                 payload = {"error": str(error),
+                           "retry_after_s": error.retry_after_s}
+                headers = {
+                    "Retry-After": str(max(1, round(error.retry_after_s)))
+                }
+            except ServiceUnavailableError as error:
+                status = 503
+                payload = {"error": str(error),
+                           "reason": error.reason,
                            "retry_after_s": error.retry_after_s}
                 headers = {
                     "Retry-After": str(max(1, round(error.retry_after_s)))
@@ -247,6 +393,10 @@ class ServiceApp:
                 status = 500
                 payload = {"error": f"{type(error).__name__}: {error}"}
                 headers = {}
+            finally:
+                with self._inflight_cond:
+                    self._inflight -= 1
+                    self._inflight_cond.notify_all()
             span.set("status", status)
             elapsed = time.perf_counter() - started
         metrics = get_metrics()
@@ -273,9 +423,17 @@ class ServiceApp:
         body: dict[str, Any] | None,
     ) -> Response:
         if parts == ("healthz",) and method == "GET":
-            return self.healthz()
+            return self.healthz(query)
         if parts == ("metrics",) and method == "GET":
             return self.metrics()
+        if self._draining:
+            # Health endpoints stay answerable while draining; all
+            # other routes fail fast so the drain can finish.
+            raise ServiceUnavailableError(
+                "server is draining",
+                retry_after_s=self.config.retry_after_s,
+                reason="drain",
+            )
         if parts == ("sessions",):
             if method == "POST":
                 return self.create_session(body)
@@ -320,15 +478,9 @@ class ServiceApp:
             or not all(isinstance(c, str) and c.strip() for c in columns)
         ):
             raise _BadRequest("columns must be a non-empty list of names")
-        db = self.registry.get(dataset)
-
-        def factory() -> MappingSession:
-            return MappingSession(
-                db, [c.strip() for c in columns],
-                location_cache=self.location_cache,
-            )
-
+        factory = self._session_factory(dataset, columns)
         managed = self.sessions.create(dataset, factory)
+        self._stamp_remote(managed)
         if self.journal is not None:
             self.journal.record_create(
                 managed.session_id, dataset,
@@ -367,6 +519,12 @@ class ServiceApp:
         if column is not None:
             column = _as_int(column, "column")
         deadline_s = self.config.effective_search_deadline_s
+        self.admission.check(
+            self.pool.qsize(), self.config.request_timeout_s
+        )
+        if self.proc_mode:
+            return self._put_cell_process(managed, row, column, column_name,
+                                          value)
 
         def work() -> dict[str, Any]:
             budget = Budget(deadline_s=deadline_s) if deadline_s else NULL_BUDGET
@@ -391,7 +549,48 @@ class ServiceApp:
                         )
                 return self._state(managed)
 
+        started = time.perf_counter()
         state = self.pool.run(work, timeout_s=self.config.request_timeout_s)
+        self.admission.observe(time.perf_counter() - started)
+        return 200, state, {}
+
+    def _put_cell_process(
+        self,
+        managed: ManagedSession,
+        row: int,
+        column: int | None,
+        column_name: Any,
+        value: str,
+    ) -> Response:
+        """Process-mode cell input: one state-carrying worker job.
+
+        The request thread holds the session lock across the round
+        trip — per-session serialization, cross-session concurrency —
+        while the worker does the search.  The job ships the grid, so
+        it can land on (or be re-queued to) any worker; the reply's
+        state is adopted wholesale and journaled under the same
+        only-what-was-kept rule as thread mode.
+        """
+        session = managed.session
+        started = time.perf_counter()
+        with managed.lock:
+            if column is not None:
+                col_index = column
+            else:
+                col_index = session.spreadsheet.column_index(str(column_name))
+            payload = session.job_payload()
+            payload.update(
+                row=row, column=col_index, value=value,
+                search_deadline_s=self.config.effective_search_deadline_s,
+            )
+            reply = self._run_proc_task("session.input", payload)
+            session.apply_state(reply["state"])
+            if self.journal is not None and reply.get("applied"):
+                self.journal.record_cell(
+                    managed.session_id, row, col_index, value
+                )
+            state = self._state(managed)
+        self.admission.observe(time.perf_counter() - started)
         return 200, state, {}
 
     def candidates(self, session_id: str, query: dict[str, str]) -> Response:
@@ -462,6 +661,19 @@ class ServiceApp:
         column = _as_int(_require(query, "column"), "column")
         prefix = query.get("prefix", "")
         limit = _as_int(query.get("limit", 10), "limit")
+        self.admission.check(
+            self.pool.qsize(), self.config.request_timeout_s
+        )
+        if self.proc_mode:
+            with managed.lock:
+                # RemoteMappingSession.suggest runs the worker round
+                # trip itself (via the pool runner it was built with).
+                values = managed.session.suggest(
+                    row, column, prefix, limit=limit
+                )
+            return 200, {
+                "session_id": session_id, "suggestions": values,
+            }, {}
 
         def work() -> list[str]:
             with managed.lock:
@@ -472,14 +684,27 @@ class ServiceApp:
         values = self.pool.run(work, timeout_s=self.config.request_timeout_s)
         return 200, {"session_id": session_id, "suggestions": values}, {}
 
-    def healthz(self) -> Response:
-        """``GET /healthz`` — liveness, breaker and degradation state."""
+    def healthz(self, query: dict[str, str] | None = None) -> Response:
+        """``GET /healthz`` — liveness; ``?ready=1`` — readiness.
+
+        Plain ``/healthz`` is a *liveness* probe: always 200 while the
+        process can answer, even with ``status: "degraded"`` (an open
+        breaker means a dataset is failing to build — existing sessions
+        still work, so killing the process would make things worse).
+
+        ``/healthz?ready=1`` is the *readiness* probe load balancers
+        should poll: 503 while the server drains or any breaker is
+        open, so traffic rotates away without dropping the instance.
+        """
+        query = query or {}
         breakers = self.registry.breaker_snapshots()
         degraded = any(b["state"] != "closed" for b in breakers)
-        return 200, {
+        body: dict[str, Any] = {
             "status": "degraded" if degraded else "ok",
             "uptime_s": round(time.time() - self.started_at, 3),
-            "datasets": list(self.registry.loaded()),
+            "datasets": (
+                list(self.registry.loaded()) or list(self.config.datasets)
+            ),
             "sessions": self.sessions.count(),
             "max_sessions": self.config.max_sessions,
             "workers": self.config.workers,
@@ -495,7 +720,27 @@ class ServiceApp:
                 else None
             ),
             "search_deadline_s": self.config.effective_search_deadline_s,
-        }, {}
+            "draining": self._draining,
+            "admission": self.admission.snapshot(),
+            "isolation": (
+                {"mode": "process", **self.pool.snapshot()}
+                if self.proc_mode
+                else {"mode": "thread"}
+            ),
+        }
+        if query.get("ready", "") in ("1", "true", "yes"):
+            blockers = [
+                f"breaker:{b['name']}" for b in breakers
+                if b["state"] == "open"
+            ]
+            if self._draining:
+                blockers.insert(0, "draining")
+            body["ready"] = not blockers
+            if blockers:
+                body["ready_blockers"] = blockers
+                retry = str(max(1, round(self.config.retry_after_s)))
+                return 503, body, {"Retry-After": retry}
+        return 200, body, {}
 
     def metrics(self) -> Response:
         """``GET /metrics`` — obs snapshot plus service-level stats."""

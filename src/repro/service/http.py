@@ -162,6 +162,26 @@ class MappingServer:
         _log.info("mapping service listening on %s", self.url)
         self._server.serve_forever()
 
+    def drain(self, timeout_s: float | None = None) -> bool:
+        """Graceful shutdown: drain the app first, then stop serving.
+
+        Ordering matters: the app stops *admitting* (new work answers
+        503 ``reason="drain"``) while the listener keeps accepting, so
+        clients get clean refusals instead of connection resets; once
+        in-flight requests finish (or ``timeout_s`` passes) the
+        listener stops and ``serve_forever`` returns.  The app drain
+        flushes and closes the session journal.  Returns ``True`` when
+        every in-flight request finished in time.  Idempotent with a
+        later :meth:`shutdown`.
+        """
+        clean = self.app.drain(timeout_s)
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        return clean
+
     def shutdown(self) -> None:
         """Stop serving, join the thread, close the app."""
         self._server.shutdown()

@@ -1,0 +1,186 @@
+"""Worker-process task bodies for the mapping service.
+
+This module only ever runs **inside** an isolation worker process
+(:mod:`repro.resilience.isolation` imports it by name from the
+:class:`~repro.resilience.isolation.WorkerBootstrap`).  The parent
+keeps the authoritative session table (ids, TTLs, locks, journal); a
+worker keeps only a cache of rebuilt :class:`MappingSession` objects so
+consecutive inputs against the same session skip the replay.
+
+The protocol is state-carrying: every job ships the session's identity
+(id, dataset, columns, irrelevance policy) plus the parent's view of
+the spreadsheet grid *before* the mutation.  The worker reconciles —
+cache hit with an identical grid means reuse, anything else means a
+fresh session rebuilt via ``load_cells`` — so a job can land on *any*
+worker, survive worker kills, and never trusts worker-local state for
+correctness.  Replies carry the full serialized session state back
+(grid, status, candidates with pre-rendered SQL, events, degradation),
+which the parent's :class:`~repro.service.remote.RemoteMappingSession`
+exposes through the ordinary session surface.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.session import MappingSession
+from repro.resilience import NULL_BUDGET, Budget
+from repro.service.registry import DatasetRegistry, LocationCache
+
+#: Candidates serialized per reply; ranked lists rarely exceed a dozen.
+MAX_CANDIDATES = 50
+
+_REGISTRY: DatasetRegistry | None = None
+_CACHE: LocationCache | None = None
+#: session_id -> (dataset, on_irrelevant, MappingSession)
+_SESSIONS: dict[str, tuple[str, str, MappingSession]] = {}
+
+
+def bootstrap_worker(context: dict[str, Any]) -> None:
+    """Build this worker's registry and caches (runs once at spawn).
+
+    ``context`` comes from the parent's ``WorkerBootstrap``: datasets to
+    preload, generator scale, and the LocateSample LRU size.  Preloading
+    here keeps dataset construction out of the request path, exactly
+    like the parent's registry preload in thread mode.
+    """
+    global _REGISTRY, _CACHE
+    _REGISTRY = DatasetRegistry(scale=int(context.get("scale", 150)))
+    _REGISTRY.preload(tuple(context.get("datasets", ("running",))))
+    cache_size = int(context.get("location_cache_size", 0))
+    _CACHE = LocationCache(cache_size) if cache_size else None
+
+
+def _decode_grid(grid: Any) -> dict[tuple[int, int], str]:
+    """Grid wire format ``[[row, column, value], ...]`` -> cell dict."""
+    return {(int(row), int(col)): str(value) for row, col, value in grid}
+
+
+def encode_grid(cells: dict[tuple[int, int], str]) -> list[list[Any]]:
+    """Cell dict -> wire format (sorted for determinism)."""
+    return [
+        [row, col, value] for (row, col), value in sorted(cells.items())
+    ]
+
+
+def _session_for(payload: dict[str, Any]) -> MappingSession:
+    """The cached session for this job, reconciled with the parent.
+
+    The parent's grid (pre-mutation) is authoritative.  A cache hit
+    whose grid matches is reused as-is; any mismatch — first sight of
+    the session, a previous request routed elsewhere, a worker restart
+    — rebuilds a fresh session and replays the grid through
+    ``load_cells``.  Rebuild-on-mismatch (rather than patching cells)
+    keeps worker state convergent no matter what the worker missed.
+    """
+    if _REGISTRY is None:
+        raise RuntimeError("worker not bootstrapped (no registry)")
+    session_id = str(payload["session_id"])
+    dataset = str(payload["dataset"])
+    columns = tuple(str(c) for c in payload["columns"])
+    on_irrelevant = str(payload.get("on_irrelevant", "ignore"))
+    grid = _decode_grid(payload.get("grid", []))
+    cached = _SESSIONS.get(session_id)
+    if cached is not None:
+        cached_dataset, cached_policy, session = cached
+        if (
+            cached_dataset == dataset
+            and cached_policy == on_irrelevant
+            and tuple(session.spreadsheet.columns) == columns
+            and session.spreadsheet.cells() == grid
+        ):
+            return session
+        del _SESSIONS[session_id]
+    db = _REGISTRY.get(dataset)
+    session = MappingSession(
+        db, list(columns),
+        on_irrelevant=on_irrelevant,
+        location_cache=_CACHE,
+    )
+    if grid:
+        session.load_cells(grid)
+    _SESSIONS[session_id] = (dataset, on_irrelevant, session)
+    return session
+
+
+def _serialize(session: MappingSession) -> dict[str, Any]:
+    """The session state a reply carries back to the parent."""
+    columns = list(session.spreadsheet.columns)
+    candidates = []
+    for ranked in session.candidates[:MAX_CANDIDATES]:
+        candidates.append({
+            "score": ranked.score,
+            "support": ranked.support,
+            "mapping": ranked.mapping.describe(),
+            "sql": ranked.mapping.to_sql(
+                session.db.schema, column_names=columns
+            ),
+        })
+    return {
+        "grid": encode_grid(session.spreadsheet.cells()),
+        "columns": columns,
+        "status": session.status.value,
+        "samples": session.sample_count(),
+        "n_candidates": len(session.candidates),
+        "converged": session.converged,
+        "candidates": candidates,
+        "events": [
+            [event.kind, event.message, event.n_candidates]
+            for event in session.events
+        ],
+        "warnings": list(session.warnings),
+        "last_error": session.last_error,
+        "degradation": session.last_degradation,
+    }
+
+
+def session_input(payload: dict[str, Any]) -> dict[str, Any]:
+    """Apply one spreadsheet input; the search/prune hot path.
+
+    Raises the same typed errors the in-process path raises (they
+    travel back by category and re-raise in the parent).  ``applied``
+    tells the parent whether the cell survived the session's
+    irrelevance policy — the journal-only-what-was-kept rule.
+    """
+    session = _session_for(payload)
+    row = int(payload["row"])
+    column = int(payload["column"])
+    value = str(payload["value"])
+    deadline_s = float(payload.get("search_deadline_s", 0.0))
+    budget = Budget(deadline_s=deadline_s) if deadline_s else NULL_BUDGET
+    session.input(row, column, value, budget=budget)
+    applied = session.spreadsheet.cell(row, column) == (value.strip() or None)
+    return {"applied": applied, "state": _serialize(session)}
+
+
+def session_suggest(payload: dict[str, Any]) -> dict[str, Any]:
+    """Auto-completion values for one cell."""
+    session = _session_for(payload)
+    return {
+        "suggestions": session.suggest(
+            int(payload["row"]),
+            int(payload["column"]),
+            str(payload.get("prefix", "")),
+            limit=int(payload.get("limit", 10)),
+        ),
+    }
+
+
+def session_replay(payload: dict[str, Any]) -> dict[str, Any]:
+    """Rebuild a session from a grid (journal recovery, cache warm)."""
+    session = _session_for(payload)
+    return {"state": _serialize(session)}
+
+
+def session_forget(payload: dict[str, Any]) -> dict[str, Any]:
+    """Drop a worker's cached session (parent deleted/evicted it)."""
+    existed = _SESSIONS.pop(str(payload["session_id"]), None) is not None
+    return {"forgotten": existed}
+
+
+TASKS = {
+    "session.input": session_input,
+    "session.suggest": session_suggest,
+    "session.replay": session_replay,
+    "session.forget": session_forget,
+}

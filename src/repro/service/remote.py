@@ -1,0 +1,184 @@
+"""Parent-side view of a session that lives in worker processes.
+
+In process-isolation mode the parent never builds a database or runs a
+search: it keeps the authoritative grid plus the last state a worker
+reported, and :class:`RemoteMappingSession` presents that state through
+the same surface :class:`~repro.core.session.MappingSession` exposes —
+``spreadsheet``, ``status``, ``candidates`` (with ``describe()`` /
+``to_sql()``), ``events``, ``warnings``, ``last_degradation`` — so the
+app's endpoint code and journaling rules stay mode-agnostic.
+
+The division of labor: the app routes the job (building the payload
+from :meth:`RemoteMappingSession.job_payload`, running it on the
+process pool under the session lock) and feeds the reply back through
+:meth:`RemoteMappingSession.apply_state`.  SQL and mapping
+descriptions are pre-rendered by the worker (the parent has no schema
+to render against); ``_RemoteMapping.to_sql`` ignores its arguments
+and returns the baked string.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.core.samples import Spreadsheet
+from repro.core.session import SessionEvent, SessionStatus
+
+#: ``run(task, payload) -> result`` — bound by the app to its pool.
+TaskRunner = Callable[[str, dict], dict]
+
+
+class _RemoteSchema:
+    """Placeholder schema: remote SQL is pre-rendered by the worker."""
+
+
+class _RemoteDB:
+    """Duck-typed ``session.db`` — only ``.schema`` is ever touched."""
+
+    schema = _RemoteSchema()
+
+
+class _RemoteMapping:
+    """A candidate mapping as two strings the worker rendered."""
+
+    __slots__ = ("_description", "_sql")
+
+    def __init__(self, description: str, sql: str) -> None:
+        self._description = description
+        self._sql = sql
+
+    def describe(self) -> str:
+        return self._description
+
+    def to_sql(self, *_args: Any, **_kwargs: Any) -> str:
+        return self._sql
+
+
+class _RemoteRanked:
+    """Mirror of :class:`~repro.core.rank.RankedMapping` for replies."""
+
+    __slots__ = ("score", "support", "mapping")
+
+    def __init__(self, score: float, support: int, mapping: _RemoteMapping):
+        self.score = score
+        self.support = support
+        self.mapping = mapping
+
+
+class RemoteMappingSession:
+    """Session state mirrored from isolation workers.
+
+    Read access (state, candidates, explain) is served entirely from
+    the mirror — no worker round-trip.  Mutations go through the app's
+    process pool and land back here via :meth:`apply_state`.  The grid
+    is authoritative on the *parent* side: jobs carry it to whichever
+    worker they land on, so a worker kill loses no session state.
+    """
+
+    def __init__(
+        self,
+        columns: list[str],
+        *,
+        on_irrelevant: str = "ignore",
+        run_task: TaskRunner,
+    ) -> None:
+        self.spreadsheet = Spreadsheet(columns)
+        self.on_irrelevant = on_irrelevant
+        self.db = _RemoteDB()
+        self._run_task = run_task
+        self._status = SessionStatus.AWAITING_FIRST_ROW
+        self._candidates: list[_RemoteRanked] = []
+        self._n_candidates = 0
+        self.events: list[SessionEvent] = []
+        self.warnings: list[str] = []
+        self.last_error: str | None = None
+        self.last_degradation: dict | None = None
+        #: ``session_id``/``dataset`` are stamped by the app right after
+        #: the managed session is admitted (the id is minted there).
+        self.session_id: str | None = None
+        self.dataset: str | None = None
+
+    # -- MappingSession surface ---------------------------------------
+
+    @property
+    def status(self) -> SessionStatus:
+        """Lifecycle state, as last reported by a worker."""
+        return self._status
+
+    @property
+    def candidates(self) -> list[_RemoteRanked]:
+        """Top candidates (the worker caps the mirrored list)."""
+        return list(self._candidates)
+
+    @property
+    def converged(self) -> bool:
+        """Whether exactly one candidate remains."""
+        return self._status is SessionStatus.CONVERGED
+
+    def sample_count(self) -> int:
+        """Non-empty cells in the (parent-authoritative) grid."""
+        return self.spreadsheet.sample_count()
+
+    def best_mapping(self) -> _RemoteMapping | None:
+        """The top-ranked candidate's mapping, when any survived."""
+        return self._candidates[0].mapping if self._candidates else None
+
+    def suggest(
+        self, row: int, column: int, prefix: str, *, limit: int = 10
+    ) -> list[str]:
+        """Auto-completion via a worker round-trip."""
+        payload = self.job_payload()
+        payload.update(row=row, column=column, prefix=prefix, limit=limit)
+        reply = self._run_task("session.suggest", payload)
+        return list(reply.get("suggestions", []))
+
+    def load_cells(self, cells: dict[tuple[int, int], str]) -> SessionStatus:
+        """Journal recovery: replay a grid through a worker."""
+        replaced = Spreadsheet(list(self.spreadsheet.columns))
+        for (row, column), content in sorted(cells.items()):
+            replaced.set_cell(row, column, content)
+        self.spreadsheet = replaced
+        reply = self._run_task("session.replay", self.job_payload())
+        self.apply_state(reply["state"])
+        return self._status
+
+    # -- wire helpers --------------------------------------------------
+
+    def job_payload(self) -> dict[str, Any]:
+        """The state-carrying base payload every job ships."""
+        return {
+            "session_id": self.session_id,
+            "dataset": self.dataset,
+            "columns": list(self.spreadsheet.columns),
+            "on_irrelevant": self.on_irrelevant,
+            "grid": [
+                [row, col, value]
+                for (row, col), value in sorted(
+                    self.spreadsheet.cells().items()
+                )
+            ],
+        }
+
+    def apply_state(self, state: dict[str, Any]) -> None:
+        """Adopt the session state a worker reply carries."""
+        grid = Spreadsheet(list(self.spreadsheet.columns))
+        for row, col, value in state.get("grid", []):
+            grid.set_cell(int(row), int(col), str(value))
+        self.spreadsheet = grid
+        self._status = SessionStatus(state["status"])
+        self._n_candidates = int(state.get("n_candidates", 0))
+        self._candidates = [
+            _RemoteRanked(
+                float(item["score"]),
+                int(item["support"]),
+                _RemoteMapping(str(item["mapping"]), str(item["sql"])),
+            )
+            for item in state.get("candidates", [])
+        ]
+        self.events = [
+            SessionEvent(str(kind), str(message), int(n_candidates))
+            for kind, message, n_candidates in state.get("events", [])
+        ]
+        self.warnings = [str(w) for w in state.get("warnings", [])]
+        self.last_error = state.get("last_error")
+        self.last_degradation = state.get("degradation")

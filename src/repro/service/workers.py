@@ -167,6 +167,10 @@ class WorkerPool:
         """Submit and wait — the synchronous request-thread entry point."""
         return self.submit(fn, timeout_s=timeout_s).wait()
 
+    def qsize(self) -> int:
+        """Jobs waiting in the queue (admission-control input)."""
+        return self._queue.qsize()
+
     # -- worker loop ---------------------------------------------------
 
     def _run(self) -> None:

@@ -1,0 +1,146 @@
+"""Tests for latency-aware admission control (load shedding)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ServiceUnavailableError
+from repro.service.admission import ALPHA, AdmissionController
+
+
+def make_controller(**overrides) -> AdmissionController:
+    settings = dict(workers=2, shed_factor=1.0, retry_after_s=1.0)
+    settings.update(overrides)
+    return AdmissionController(**settings)
+
+
+class TestEstimator:
+    def test_cold_start_never_sheds(self):
+        controller = make_controller()
+        # No observations yet: even an absurd depth is admitted, so an
+        # unloaded service behaves exactly as if the controller were
+        # absent.
+        controller.check(10_000, deadline_s=0.001)
+        assert controller.shed == 0
+
+    def test_first_observation_seeds_the_ewma(self):
+        controller = make_controller()
+        controller.observe(2.0)
+        assert controller.ewma_s == 2.0
+
+    def test_later_observations_are_smoothed(self):
+        controller = make_controller()
+        controller.observe(1.0)
+        controller.observe(3.0)
+        assert controller.ewma_s == pytest.approx(1.0 + ALPHA * 2.0)
+
+    def test_negative_samples_are_ignored(self):
+        controller = make_controller()
+        controller.observe(-5.0)
+        assert controller.ewma_s == 0.0
+
+    def test_estimated_wait_scales_with_depth_and_workers(self):
+        controller = make_controller(workers=4)
+        controller.observe(2.0)
+        assert controller.estimated_wait_s(8) == pytest.approx(4.0)
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ValueError):
+            make_controller(workers=0)
+
+
+class TestShedding:
+    def test_sheds_when_estimate_blows_the_deadline(self):
+        controller = make_controller(workers=1, shed_factor=1.0)
+        controller.observe(1.0)
+        with pytest.raises(ServiceUnavailableError) as excinfo:
+            controller.check(10, deadline_s=5.0)
+        assert excinfo.value.reason == "shed"
+        assert controller.shed == 1
+
+    def test_retry_after_tracks_the_estimated_drain(self):
+        controller = make_controller(workers=1, shed_factor=1.0)
+        controller.observe(2.0)
+        with pytest.raises(ServiceUnavailableError) as excinfo:
+            controller.check(5, deadline_s=1.0)
+        # depth 5 x 2s / 1 worker = 10s estimated wait.
+        assert excinfo.value.retry_after_s == pytest.approx(10.0)
+
+    def test_retry_after_is_capped(self):
+        controller = make_controller(workers=1, shed_factor=1.0)
+        controller.observe(10.0)
+        with pytest.raises(ServiceUnavailableError) as excinfo:
+            controller.check(100, deadline_s=1.0)
+        assert excinfo.value.retry_after_s == 30.0
+
+    def test_within_budget_is_admitted(self):
+        controller = make_controller(workers=2, shed_factor=1.0)
+        controller.observe(0.1)
+        controller.check(4, deadline_s=5.0)  # 0.2s wait vs 5s deadline
+        assert controller.shed == 0
+
+    def test_zero_shed_factor_disables_shedding(self):
+        controller = make_controller(shed_factor=0.0)
+        controller.observe(100.0)
+        controller.check(10_000, deadline_s=0.001)
+        assert controller.shed == 0
+
+    def test_zero_deadline_disables_shedding(self):
+        controller = make_controller()
+        controller.observe(100.0)
+        controller.check(10_000, deadline_s=0.0)
+        assert controller.shed == 0
+
+    def test_snapshot_shape(self):
+        controller = make_controller()
+        controller.observe(0.5)
+        snap = controller.snapshot()
+        assert snap == {
+            "ewma_job_s": 0.5,
+            "shed": 0,
+            "shed_factor": 1.0,
+            "workers": 2,
+        }
+
+
+class TestAppIntegration:
+    def test_cell_requests_feed_the_ewma(self, app):
+        status, body, _ = app.handle("POST", "/sessions", {}, {})
+        session_id = body["session_id"]
+        status, _, _ = app.handle(
+            "POST", f"/sessions/{session_id}/cells", {},
+            {"row": 0, "column": 0, "value": "Avatar"},
+        )
+        assert status == 200
+        assert app.admission.ewma_s > 0.0
+
+    def test_overloaded_queue_sheds_with_503_and_retry_after(
+        self, app, monkeypatch
+    ):
+        # Pretend the queue is deep and jobs are slow; the next cell
+        # request must shed *before* touching the pool.
+        app.admission.observe(10.0)
+        monkeypatch.setattr(app.pool, "qsize", lambda: 50)
+        status, body, _ = app.handle("POST", "/sessions", {}, {})
+        session_id = body["session_id"]
+        status, body, headers = app.handle(
+            "POST", f"/sessions/{session_id}/cells", {},
+            {"row": 0, "column": 0, "value": "Avatar"},
+        )
+        assert status == 503
+        assert body["reason"] == "shed"
+        assert int(headers["Retry-After"]) >= 1
+        status, body, _ = app.handle("GET", "/healthz", {}, None)
+        assert body["admission"]["shed"] == 1
+
+    def test_suggest_is_also_admission_checked(self, app, monkeypatch):
+        app.admission.observe(10.0)
+        monkeypatch.setattr(app.pool, "qsize", lambda: 50)
+        status, body, _ = app.handle("POST", "/sessions", {}, {})
+        session_id = body["session_id"]
+        status, body, _ = app.handle(
+            "GET", f"/sessions/{session_id}/suggest",
+            {"row": "0", "column": "0", "prefix": "A"}, None,
+        )
+        assert status == 503
+        assert body["reason"] == "shed"

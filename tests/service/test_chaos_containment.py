@@ -1,0 +1,125 @@
+"""Satellite 3: chaos test proving what process isolation buys.
+
+The scenario is a backend that blocks *inside* a C-level call — modeled
+by a latency fault at ``index.search``, which sleeps where the
+cooperative :class:`~repro.resilience.Budget` has no checkpoint.
+
+* **Thread mode**: the request holds a worker hostage for the full
+  fault duration; the cooperative search deadline sails past unheeded.
+  (The service still answers — but containment failed.)
+* **Process mode**: the same fault is SIGKILLed at deadline × grace,
+  re-queued once, killed again, and answered 503 ``worker_killed`` in
+  bounded time.  Other sessions keep their state and the restarted
+  workers converge the running example afterwards.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.resilience import FaultInjector, FaultSpec
+
+from tests.service.conftest import FLOW_CELLS
+from tests.service.test_isolation_process import make_process_app
+
+pytestmark = pytest.mark.slow
+
+
+def _put(app, session_id, row, column, value):
+    return app.handle(
+        "POST", f"/sessions/{session_id}/cells", {},
+        {"row": row, "column": column, "value": value},
+    )
+
+
+class TestThreadModeHasNoBackstop:
+    def test_blocking_backend_ignores_the_cooperative_budget(self, make_app):
+        app = make_app(search_deadline_s=0.2, request_timeout_s=30.0)
+        _, body, _ = app.handle("POST", "/sessions", {}, {})
+        session_id = body["session_id"]
+        status, _, _ = _put(app, session_id, 0, 0, "Avatar")
+        assert status == 200
+        # The second cell completes row 0 and triggers the search; the
+        # first index probe then blocks for 2s — 10x the cooperative
+        # deadline — and nothing can interrupt it.
+        plan = [FaultSpec("index.search", mode="latency",
+                          latency_s=2.0, times=1)]
+        started = time.monotonic()
+        with FaultInjector(plan):
+            status, body, _ = _put(app, session_id, 0, 1, "James Cameron")
+        elapsed = time.monotonic() - started
+        assert status == 200, body
+        assert elapsed >= 2.0, (
+            "the cooperative budget should have been unable to preempt "
+            "the blocked backend"
+        )
+
+
+class TestProcessModeContains:
+    def test_blocked_worker_is_sigkilled_within_the_kill_budget(self):
+        app = make_process_app(
+            procs=2,
+            request_timeout_s=30.0,
+            search_deadline_s=0.5,
+            kill_grace=2.0,
+        )
+        try:
+            kill_budget = app.config.effective_kill_after_s
+            assert kill_budget == pytest.approx(1.0)
+            # Session B is the bystander: fully converged before chaos.
+            _, body, _ = app.handle("POST", "/sessions", {}, {})
+            bystander = body["session_id"]
+            for row, column, value in FLOW_CELLS:
+                status, body, _ = _put(app, bystander, row, column, value)
+                assert status == 200, body
+            assert body["converged"] is True
+            # Session A receives the poisoned search.
+            _, body, _ = app.handle("POST", "/sessions", {}, {})
+            victim = body["session_id"]
+            status, _, _ = _put(app, victim, 0, 0, "Avatar")
+            assert status == 200
+            plan = [FaultSpec("index.search", mode="latency",
+                              latency_s=60.0)]
+            started = time.monotonic()
+            with FaultInjector(plan):
+                status, body, _ = _put(app, victim, 0, 1, "James Cameron")
+            elapsed = time.monotonic() - started
+            assert status == 503, body
+            assert body["reason"] == "worker_killed"
+            # Two attempts, each killed at ~kill_budget, plus kill/join
+            # overhead — nowhere near the 60s the fault wanted.
+            assert elapsed < 6 * kill_budget + 10.0
+            _, health, _ = app.handle("GET", "/healthz", {}, None)
+            assert health["isolation"]["kills"] >= 2
+            assert health["isolation"]["requeued"] >= 1
+
+            # Containment: the bystander's state is untouched...
+            status, state, _ = app.handle(
+                "GET", f"/sessions/{bystander}", {}, None
+            )
+            assert status == 200
+            assert state["samples"] == 4
+            assert state["converged"] is True
+            # ...the victim's grid survived (its cell was applied
+            # before the chaos request failed)...
+            status, state, _ = app.handle(
+                "GET", f"/sessions/{victim}", {}, None
+            )
+            assert status == 200
+            assert state["samples"] == 1
+            # ...and with the injector gone the restarted workers
+            # finish the victim's flow to convergence.
+            deadline = time.monotonic() + 60.0
+            for row, column, value in FLOW_CELLS[1:]:
+                while True:
+                    status, body, _ = _put(app, victim, row, column, value)
+                    if status == 200 or time.monotonic() > deadline:
+                        break
+                    assert status == 503, body
+                    time.sleep(0.2)
+                assert status == 200, body
+            assert body["converged"] is True
+        finally:
+            app.close()

@@ -1,0 +1,285 @@
+"""Unit tests for the supervised subprocess pool.
+
+These drive :class:`~repro.resilience.isolation.ProcessWorkerPool`
+through its built-in ``diag.*`` tasks — no datasets, no service — so
+each containment property (hard kill, OOM ceiling, recycling,
+requeue-once, fault transport) is asserted in isolation.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.exceptions import (
+    DeadlineExceeded,
+    ServiceOverloadedError,
+    ServiceUnavailableError,
+)
+from repro.resilience import FaultInjector, FaultSpec
+from repro.resilience.isolation import (
+    IsolationLimits,
+    ProcessWorkerPool,
+    WorkerBootstrap,
+    snapshot_fault_specs,
+)
+
+
+def make_pool(**overrides) -> ProcessWorkerPool:
+    settings = dict(procs=2, queue_size=8)
+    settings.update(overrides)
+    pool = ProcessWorkerPool(**settings)
+    assert pool.wait_ready(60.0), "no worker completed its handshake"
+    return pool
+
+
+@pytest.fixture
+def pool():
+    pool = make_pool()
+    yield pool
+    pool.shutdown()
+
+
+class TestHappyPath:
+    def test_echo_round_trip(self, pool):
+        result = pool.run("diag.echo", {"value": 42}, timeout_s=10.0)
+        assert result["echo"] == 42
+        assert result["pid"] != 0
+
+    def test_jobs_run_in_a_different_process(self, pool):
+        import os
+
+        result = pool.run("diag.echo", {"value": 1}, timeout_s=10.0)
+        assert result["pid"] != os.getpid()
+
+    def test_unknown_task_is_an_error_not_a_crash(self, pool):
+        with pytest.raises(RuntimeError, match="KeyError"):
+            pool.run("diag.no-such-task", {}, timeout_s=10.0)
+        # The worker survived the bad task name.
+        assert pool.run("diag.echo", {"value": 2}, timeout_s=10.0)["echo"] == 2
+
+    def test_remote_errors_carry_type_and_message(self, pool):
+        with pytest.raises(RuntimeError, match="RuntimeError: kapow"):
+            pool.run("diag.boom", {"message": "kapow"}, timeout_s=10.0)
+
+    def test_snapshot_shape(self, pool):
+        snap = pool.snapshot()
+        assert snap["procs"] == 2
+        # wait_ready only guarantees one handshake; the other worker
+        # may legitimately still be starting.
+        assert 1 <= snap["alive"] <= 2
+        assert snap["kills"] == 0
+        assert snap["oom_kills"] == 0
+        assert {w["slot"] for w in snap["workers"]} == {0, 1}
+        states = {w["state"] for w in snap["workers"]}
+        assert states <= {"starting", "idle", "busy"}
+        assert any(w["pid"] is not None for w in snap["workers"])
+
+
+class TestDeadlines:
+    def test_waiter_timeout_is_a_504_not_a_kill(self):
+        # kill_after far beyond the waiter deadline: the waiter gives
+        # up (DeadlineExceeded -> 504) while the worker keeps running.
+        pool = make_pool(procs=1)
+        try:
+            with pytest.raises(DeadlineExceeded):
+                pool.run(
+                    "diag.sleep", {"seconds": 1.0},
+                    timeout_s=0.2, kill_after_s=30.0,
+                )
+        finally:
+            pool.shutdown()
+
+    def test_blown_kill_deadline_sigkills_requeues_once_then_503(self):
+        pool = make_pool(procs=2)
+        try:
+            started = time.monotonic()
+            with pytest.raises(ServiceUnavailableError) as excinfo:
+                pool.run(
+                    "diag.sleep", {"seconds": 60.0},
+                    timeout_s=15.0, kill_after_s=0.4,
+                )
+            elapsed = time.monotonic() - started
+            assert excinfo.value.reason == "worker_killed"
+            # Two attempts (the original and the one requeue), each
+            # killed at ~0.4s, plus slack for polling and joins.
+            assert elapsed < 6.0
+            assert pool.kills == 2
+            assert pool.requeued == 1
+        finally:
+            pool.shutdown()
+
+    def test_worker_restarts_after_a_kill(self):
+        pool = make_pool(procs=1)
+        try:
+            with pytest.raises(ServiceUnavailableError):
+                pool.run(
+                    "diag.sleep", {"seconds": 60.0},
+                    timeout_s=15.0, kill_after_s=0.3,
+                )
+            # The slot runner respawns with backoff; the next job waits
+            # in the queue until the replacement is up.
+            result = pool.run("diag.echo", {"value": "back"}, timeout_s=20.0)
+            assert result["echo"] == "back"
+            assert pool.restarts >= 1
+        finally:
+            pool.shutdown()
+
+
+@pytest.mark.slow
+class TestMemoryCeilings:
+    def test_rlimit_oom_is_contained_and_answered_503(self):
+        pool = make_pool(
+            procs=1,
+            bootstrap=WorkerBootstrap(
+                limits=IsolationLimits(address_space_mb=256)
+            ),
+        )
+        try:
+            small = pool.run("diag.alloc", {"mb": 4}, timeout_s=15.0)
+            assert small["allocated_bytes"] == 4 * 1024 * 1024
+            with pytest.raises(ServiceUnavailableError) as excinfo:
+                pool.run("diag.alloc", {"mb": 4096}, timeout_s=20.0)
+            assert excinfo.value.reason == "worker_killed"
+            assert pool.oom_kills >= 1
+            # The replacement worker is healthy.
+            after = pool.run("diag.echo", {"value": "ok"}, timeout_s=20.0)
+            assert after["echo"] == "ok"
+        finally:
+            pool.shutdown()
+
+    def test_rss_growth_recycles_the_worker(self):
+        pool = make_pool(
+            procs=1,
+            bootstrap=WorkerBootstrap(
+                limits=IsolationLimits(max_growth_mb=64)
+            ),
+        )
+        try:
+            first = pool.run(
+                "diag.alloc", {"mb": 128, "hold": True}, timeout_s=20.0
+            )
+            # The growth watchdog retires the bloated worker; the next
+            # job lands on a fresh process.
+            second = pool.run("diag.echo", {"value": "x"}, timeout_s=20.0)
+            assert second["pid"] != first["pid"]
+            assert pool.recycles >= 1
+        finally:
+            pool.shutdown()
+
+
+class TestRecycling:
+    def test_max_requests_retires_workers(self):
+        pool = make_pool(
+            procs=1,
+            bootstrap=WorkerBootstrap(
+                limits=IsolationLimits(max_requests=2)
+            ),
+        )
+        try:
+            pids = {
+                pool.run("diag.echo", {"value": i}, timeout_s=20.0)["pid"]
+                for i in range(5)
+            }
+            assert len(pids) >= 2
+            assert pool.recycles >= 2
+        finally:
+            pool.shutdown()
+
+
+class TestBackpressureAndLifecycle:
+    def test_full_queue_answers_overloaded(self):
+        pool = make_pool(procs=1, queue_size=1)
+        try:
+            # Occupy the only worker, then fill the only queue slot.
+            blocker = pool.submit(
+                "diag.sleep", {"seconds": 2.0},
+                timeout_s=15.0, kill_after_s=30.0,
+            )
+            deadline = time.monotonic() + 5.0
+            queued = None
+            overloaded = None
+            while time.monotonic() < deadline and overloaded is None:
+                try:
+                    if queued is None:
+                        queued = pool.submit(
+                            "diag.sleep", {"seconds": 0.1},
+                            timeout_s=15.0, kill_after_s=30.0,
+                        )
+                    else:
+                        pool.submit("diag.echo", {}, timeout_s=15.0)
+                        time.sleep(0.01)
+                except ServiceOverloadedError as error:
+                    overloaded = error
+            assert overloaded is not None
+            assert overloaded.retry_after_s > 0
+            blocker.wait()
+        finally:
+            pool.shutdown()
+
+    def test_drain_finishes_outstanding_work(self):
+        pool = make_pool(procs=1)
+        job = pool.submit(
+            "diag.sleep", {"seconds": 0.3}, timeout_s=15.0,
+            kill_after_s=30.0,
+        )
+        assert pool.drain(timeout_s=10.0) is True
+        assert job.done.is_set()
+        assert job.error is None
+
+    def test_submit_while_draining_is_refused(self):
+        pool = make_pool(procs=1)
+        pool.drain(timeout_s=5.0)
+        with pytest.raises(ServiceUnavailableError) as excinfo:
+            pool.submit("diag.echo", {}, timeout_s=5.0)
+        assert excinfo.value.reason == "drain"
+
+    def test_shutdown_fails_queued_jobs_fast(self):
+        pool = make_pool(procs=1)
+        blocker = pool.submit(
+            "diag.sleep", {"seconds": 1.0}, timeout_s=30.0,
+            kill_after_s=60.0,
+        )
+        queued = pool.submit("diag.echo", {}, timeout_s=30.0)
+        pool.shutdown()
+        assert queued.done.is_set()
+        assert isinstance(queued.error, ServiceUnavailableError)
+        del blocker
+
+
+class TestFaultTransport:
+    def test_active_injector_snapshot_is_picklable_subset(self):
+        def custom_error():
+            return ValueError("not picklable by policy")
+
+        specs = [
+            FaultSpec("workers.job", mode="latency", latency_s=0.5),
+            FaultSpec("index.search", mode="error", error=custom_error),
+        ]
+        with FaultInjector(specs):
+            snapshot = snapshot_fault_specs()
+        assert snapshot == [{
+            "point": "workers.job",
+            "mode": "latency",
+            "probability": 1.0,
+            "times": None,
+            "latency_s": 0.5,
+            "keep_fraction": 0.5,
+        }]
+
+    def test_no_injector_means_no_snapshot(self):
+        assert snapshot_fault_specs() is None
+
+    def test_error_fault_fires_inside_the_worker(self, pool):
+        plan = [FaultSpec("workers.job", mode="error")]
+        with FaultInjector(plan):
+            with pytest.raises(RuntimeError, match="InjectedFault"):
+                pool.run(
+                    "diag.fault", {"point": "workers.job"}, timeout_s=10.0
+                )
+        # Injector gone: the same task passes through clean.
+        result = pool.run(
+            "diag.fault", {"point": "workers.job"}, timeout_s=10.0
+        )
+        assert result["unfaulted"] is True
