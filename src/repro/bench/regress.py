@@ -382,6 +382,15 @@ def main(argv: list[str] | None = None) -> int:
     a 4x-capacity shed run (accepted-request goodput), and the
     process-isolation happy path whose p50 against the baseline is
     ``meta.process_overhead_pct``.
+
+    ``--obs`` gates the observability stack
+    (:func:`repro.bench.service_load.measure_obs`): record
+    ``results/BENCH_obs.json`` — an instrumentation-off baseline, then
+    metrics-only, metrics+tracing, and the full stack with the
+    sampling profiler, plus Prometheus scrape latency on a warm
+    registry.  ``meta.metrics_overhead_pct`` (the tracing-off serve
+    configuration) and ``meta.tracing_overhead_pct`` report p50 drift
+    against the off baseline.
     """
     parser = argparse.ArgumentParser(
         prog="regress.py",
@@ -413,6 +422,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="bench the overload/isolation workloads "
                              "(shed at 4x capacity + process-mode "
                              "happy path)")
+    parser.add_argument("--obs", action="store_true",
+                        help="bench the observability stack overhead "
+                             "(metrics / tracing / profiler / scrape)")
     parser.add_argument("--clients", default="1,4,8", metavar="N,N,...",
                         help="concurrency levels for --service "
                              "(--resilience uses the first level only)")
@@ -422,12 +434,17 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if not (args.measure or args.check or args.update):
         parser.error("pick at least one of --measure / --check / --update")
-    if sum((args.service, args.resilience, args.overload)) > 1:
+    if sum((args.service, args.resilience, args.overload, args.obs)) > 1:
         parser.error(
-            "--service / --resilience / --overload are mutually exclusive"
+            "--service / --resilience / --overload / --obs "
+            "are mutually exclusive"
         )
 
-    if args.overload:
+    if args.obs:
+        record_name = "BENCH_obs.json"
+        wall_threshold = SERVICE_WALL_THRESHOLD
+        require_all = False
+    elif args.overload:
         record_name = "BENCH_overload.json"
         wall_threshold = SERVICE_WALL_THRESHOLD
         require_all = False
@@ -448,7 +465,21 @@ def main(argv: list[str] | None = None) -> int:
     if args.current:
         current = load_record(args.current)
     if current is None and (args.measure or args.check or args.update):
-        if args.overload:
+        if args.obs:
+            from repro.bench.service_load import measure_obs
+
+            print(f"measuring observability workloads (flows={args.flows})…")
+            current = measure_obs(flows_per_client=args.flows)
+            meta = current.get("meta", {})
+            for label, key in (
+                ("metrics-only", "metrics_overhead_pct"),
+                ("metrics+tracing", "tracing_overhead_pct"),
+                ("full stack", "full_stack_overhead_pct"),
+            ):
+                overhead = meta.get(key)
+                if overhead is not None:
+                    print(f"{label} overhead: {overhead:+.2f}% (p50)")
+        elif args.overload:
             from repro.bench.service_load import measure_overload
 
             print(f"measuring overload workloads (flows={args.flows})…")
@@ -490,7 +521,10 @@ def main(argv: list[str] | None = None) -> int:
         out.write_text(json.dumps(current, indent=2) + "\n", encoding="utf-8")
         print(f"wrote {out}")
 
-    if (args.service or args.resilience or args.overload) and current is not None:
+    service_modes = (
+        args.service or args.resilience or args.overload or args.obs
+    )
+    if service_modes and current is not None:
         # Correctness gates before any latency talk: every flow must
         # have completed, and (where convergence is checked) converged
         # identically to the serial run.  The degraded/faulty workloads

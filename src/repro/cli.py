@@ -21,6 +21,11 @@ Subcommands
     registry, a bounded worker pool and TTL session eviction.  Exit
     codes: 2 for configuration errors (unknown dataset, bad knobs), 1
     for runtime failures (port already bound), 0 on clean shutdown.
+``top``
+    Live terminal dashboard for a running service: polls ``/metrics``
+    and ``/healthz``, renders request rates, latency quantiles, SLO
+    burn rates, worker occupancy and breaker states.  ``--once``
+    prints a single frame (scripts, CI smoke).
 ``datasets``
     Print the generated datasets' schema/size summaries.
 ``study``
@@ -254,12 +259,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             recycle_growth_mb=args.recycle_growth_mb,
             drain_timeout_s=args.drain_timeout,
             shed_factor=args.shed_factor,
+            slo_latency_s=args.slo_latency,
+            slo_availability_target=args.slo_availability_target,
+            slo_latency_target=args.slo_latency_target,
+            profile_hz=args.profile_hz,
+            recorder_capacity=args.recorder_capacity,
+            slow_request_s=args.slow_request,
         ).validate()
     except ServiceConfigError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     # /metrics should report real numbers even without --trace.
     obs.enable_metrics()
+    # Always-on request tracing feeds /debug/requests; the root cap
+    # bounds memory (the flight recorder keeps the interesting ones).
+    # --trace / --trace-out already installed a scoped tracer in main().
+    if args.trace_roots and not obs.tracing_enabled():
+        obs.set_tracer(obs.Tracer(max_roots=args.trace_roots))
     app = ServiceApp(config)
     try:
         server = MappingServer(app)
@@ -288,6 +304,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"journal: {app.journal.path} "
             f"(recovered {app.recovered_sessions} session(s))"
         )
+    print(
+        f"observability: tracing "
+        f"{'on' if obs.tracing_enabled() else 'off'}  "
+        f"profiler {config.profile_hz:g} Hz  "
+        f"recorder {config.recorder_capacity} requests  "
+        f"(GET /metrics?format=prometheus, /debug/requests, "
+        f"/debug/profile)"
+    )
     print("Ctrl-C or SIGTERM to drain and stop.")
 
     # Graceful drain is the default shutdown path for BOTH isolation
@@ -334,6 +358,197 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         state = "clean" if app.drain_report["clean"] else "timed out"
         print(f"drained in {app.drain_report['seconds']:g}s ({state})")
     return 0
+
+
+def _split_key(key: str) -> tuple[str, dict[str, str]]:
+    """``name{a=x,b=y}`` snapshot keys -> (name, labels)."""
+    if "{" not in key:
+        return key, {}
+    name, _, inner = key.partition("{")
+    labels: dict[str, str] = {}
+    for pair in inner.rstrip("}").split(","):
+        label, _, value = pair.partition("=")
+        labels[label] = value
+    return name, labels
+
+
+def _fetch_json(url: str, timeout_s: float) -> dict:
+    import json
+    from urllib.request import urlopen
+
+    with urlopen(url, timeout=timeout_s) as response:  # noqa: S310
+        return json.loads(response.read().decode("utf-8"))
+
+
+def _render_top_frame(
+    metrics_body: dict, health: dict, previous: dict | None, interval_s: float
+) -> tuple[str, dict]:
+    """One dashboard frame plus the state the next frame deltas against."""
+    from repro.obs import histogram_quantile
+
+    snapshot = metrics_body.get("metrics", {})
+    counters = snapshot.get("counters", {})
+    histograms = snapshot.get("histograms", {})
+
+    requests_total = 0
+    errors_total = 0
+    by_route: dict[str, int] = {}
+    for key, value in counters.items():
+        name, labels = _split_key(key)
+        if name != "repro.service.requests":
+            continue
+        requests_total += value
+        by_route[labels.get("route", "?")] = (
+            by_route.get(labels.get("route", "?"), 0) + value
+        )
+        if labels.get("status", "").startswith("5"):
+            errors_total += value
+
+    state = {"requests": requests_total, "errors": errors_total,
+             "by_route": by_route}
+    if previous is not None and interval_s > 0:
+        delta_requests = max(0, requests_total - previous["requests"])
+        delta_errors = max(0, errors_total - previous["errors"])
+        rate = delta_requests / interval_s
+    else:
+        delta_requests = requests_total
+        delta_errors = errors_total
+        rate = None
+
+    latency = histograms.get("repro.service.request.seconds")
+    p50 = p95 = None
+    if latency and latency.get("count"):
+        bounds, counts = latency["bounds"], latency["counts"]
+        p50 = histogram_quantile(bounds, counts, 0.50)
+        p95 = histogram_quantile(bounds, counts, 0.95)
+
+    lines = []
+    status = health.get("status", "?")
+    isolation = health.get("isolation") or {}
+    lines.append(
+        f"mweaver top — status {status}  "
+        f"uptime {health.get('uptime_s', 0):.0f}s  "
+        f"sessions {health.get('sessions', '?')}/"
+        f"{health.get('max_sessions', '?')}"
+    )
+    rate_text = f"{rate:.1f}/s" if rate is not None else "n/a (first frame)"
+    error_pct = (
+        100.0 * delta_errors / delta_requests if delta_requests else 0.0
+    )
+    lines.append(
+        f"requests: {requests_total} total  rate {rate_text}  "
+        f"errors {error_pct:.1f}%"
+    )
+    if p50 is not None:
+        lines.append(
+            f"latency (since boot): p50 {1000 * p50:.1f} ms  "
+            f"p95 {1000 * p95:.1f} ms"
+        )
+    mode = isolation.get("mode", "?")
+    workers = isolation.get("workers", "?")
+    if isinstance(workers, list):
+        # Process mode: healthz ships per-worker dicts, not counts.
+        busy = sum(
+            1 for worker in workers if worker.get("state") == "busy"
+        )
+        workers = isolation.get("alive", len(workers))
+    else:
+        busy = isolation.get("busy", isolation.get("outstanding", "?"))
+    queue_depth = isolation.get(
+        "queue_depth", isolation.get("queued", "?")
+    )
+    lines.append(
+        f"workers [{mode}]: {busy}/{workers} busy  queue {queue_depth}"
+    )
+    admission = health.get("admission") or {}
+    if admission:
+        lines.append(
+            f"admission: ewma job {admission.get('ewma_job_s', 0):.3f}s  "
+            f"shed {admission.get('shed', 0)}"
+        )
+    breakers = health.get("breakers") or []
+    open_breakers = [b["name"] for b in breakers if b["state"] != "closed"]
+    if open_breakers:
+        lines.append(f"breakers not closed: {', '.join(open_breakers)}")
+
+    slo = metrics_body.get("slo") or {}
+    if slo:
+        lines.append("slo burn rates (burn > 1 eats budget):")
+        for objective, detail in sorted(slo.items()):
+            windows = detail.get("windows", {})
+            cells = "  ".join(
+                f"{window}={info['burn_rate']:.2f}"
+                for window, info in sorted(
+                    windows.items(), key=lambda item: len(item[0])
+                )
+            )
+            flag = "  ALERT" if detail.get("alerting") else ""
+            lines.append(
+                f"  {objective} (target {detail['target']:g}): "
+                f"{cells}{flag}"
+            )
+
+    if by_route:
+        lines.append("routes:")
+        for route, count in sorted(
+            by_route.items(), key=lambda item: -item[1]
+        )[:8]:
+            if previous is not None:
+                route_rate = (
+                    max(0, count - previous["by_route"].get(route, 0))
+                    / interval_s
+                )
+                lines.append(f"  {route:<32s} {count:>8d}  "
+                             f"{route_rate:6.1f}/s")
+            else:
+                lines.append(f"  {route:<32s} {count:>8d}")
+    return "\n".join(lines), state
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    base = args.url.rstrip("/")
+    previous: dict | None = None
+    last_poll: float | None = None
+    try:
+        return _top_loop(args, base, previous, last_poll)
+    except KeyboardInterrupt:
+        return 0
+
+
+def _top_loop(
+    args: argparse.Namespace,
+    base: str,
+    previous: dict | None,
+    last_poll: float | None,
+) -> int:
+    import time as _time
+    from urllib.error import URLError
+
+    while True:
+        try:
+            metrics_body = _fetch_json(
+                f"{base}/metrics", timeout_s=args.timeout
+            )
+            health = _fetch_json(f"{base}/healthz", timeout_s=args.timeout)
+        except (URLError, OSError, ValueError) as error:
+            print(f"error: cannot poll {base}: {error}", file=sys.stderr)
+            if args.once:
+                return 1
+            _time.sleep(args.interval)
+            continue
+        now = _time.monotonic()
+        interval = now - last_poll if last_poll is not None else 0.0
+        frame, previous = _render_top_frame(
+            metrics_body, health, previous, interval
+        )
+        last_poll = now
+        if args.once:
+            print(frame)
+            return 0
+        # Clear + home, like top(1); the frame is small enough to not
+        # flicker on any terminal.
+        print(f"\x1b[2J\x1b[H{frame}", flush=True)
+        _time.sleep(args.interval)
 
 
 def _cmd_datasets(args: argparse.Namespace) -> int:
@@ -561,7 +776,70 @@ def build_parser() -> argparse.ArgumentParser:
         help="shed (503 + Retry-After) when estimated queue wait "
              "exceeds FACTOR x the request deadline (0 = off)",
     )
+    serve.add_argument(
+        "--slo-latency", type=float, default=0.25, metavar="SECONDS",
+        help="latency SLO bound; slower requests burn the latency "
+             "error budget",
+    )
+    serve.add_argument(
+        "--slo-availability-target", type=float, default=0.99,
+        metavar="FRACTION",
+        help="promised fraction of requests that do not 5xx",
+    )
+    serve.add_argument(
+        "--slo-latency-target", type=float, default=0.95,
+        metavar="FRACTION",
+        help="promised fraction of requests within --slo-latency",
+    )
+    serve.add_argument(
+        "--profile-hz", type=float, default=97.0, metavar="HZ",
+        help="sampling-profiler frequency for GET /debug/profile "
+             "(0 = off; 97 avoids aliasing with 10/100 Hz work)",
+    )
+    serve.add_argument(
+        "--recorder-capacity", type=int, default=128, metavar="N",
+        help="flight-recorder ring size for GET /debug/requests "
+             "(0 = off)",
+    )
+    serve.add_argument(
+        "--slow-request", type=float, default=None, metavar="SECONDS",
+        help="auto-pin requests slower than this in the flight "
+             "recorder (default: --slo-latency)",
+    )
+    serve.add_argument(
+        "--trace-roots", type=int, default=256, metavar="N",
+        help="always-on request tracing with at most N retained root "
+             "spans (0 = off; feeds /debug/requests span trees)",
+    )
     serve.set_defaults(func=_cmd_serve)
+
+    top = sub.add_parser(
+        "top",
+        help="live dashboard for a running mapping service",
+        description=(
+            "Poll GET /metrics and GET /healthz of a running "
+            "'mweaver serve' and render request rates, latency "
+            "quantiles, SLO burn rates, worker occupancy and breaker "
+            "states. --once prints a single frame and exits."
+        ),
+    )
+    top.add_argument(
+        "--url", default="http://127.0.0.1:8384",
+        help="base URL of the service (default %(default)s)",
+    )
+    top.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="poll interval",
+    )
+    top.add_argument(
+        "--timeout", type=float, default=5.0, metavar="SECONDS",
+        help="per-poll HTTP timeout",
+    )
+    top.add_argument(
+        "--once", action="store_true",
+        help="print one frame and exit (scripts, CI smoke)",
+    )
+    top.set_defaults(func=_cmd_top)
 
     datasets = sub.add_parser("datasets", help="describe the generated datasets")
     datasets.add_argument("--scale", type=int, default=150)

@@ -10,10 +10,13 @@ One import point for the three observability primitives:
 * :mod:`repro.obs.log` — stdlib logging under the ``repro.*``
   namespace,
 
-plus :mod:`repro.obs.export` for JSON-lines and human-readable output
-and :mod:`repro.obs.explain` for per-search decision provenance (prune
+plus :mod:`repro.obs.export` for JSON-lines and human-readable output,
+:mod:`repro.obs.explain` for per-search decision provenance (prune
 reasons, weave fuse statistics, score decompositions) riding the span
-tree.
+tree, and the operations layer: :mod:`repro.obs.prometheus` (text
+exposition), :mod:`repro.obs.slo` (burn-rate objectives),
+:mod:`repro.obs.profiler` (sampling profiler) and
+:mod:`repro.obs.recorder` (request flight recorder).
 
 Everything is **off by default** and zero-cost-when-disabled: the
 shared handles are no-op implementations until :func:`enable` (or the
@@ -42,8 +45,10 @@ from repro.obs.explain import (
 )
 from repro.obs.export import (
     parse_jsonl,
+    records_to_spans,
     render_metrics,
     render_tree,
+    span_records,
     to_jsonl,
     write_jsonl,
 )
@@ -59,6 +64,15 @@ from repro.obs.metrics import (
     metrics_enabled,
     set_metrics,
 )
+from repro.obs.metrics import histogram_quantile
+from repro.obs.profiler import SamplingProfiler
+from repro.obs.prometheus import (
+    ExpositionError,
+    parse_exposition,
+    render_exposition,
+)
+from repro.obs.recorder import FlightRecorder, RequestRecord
+from repro.obs.slo import Objective, SloTracker, default_objectives
 from repro.obs.tracer import (
     NullTracer,
     Span,
@@ -105,8 +119,20 @@ __all__ = [
     "to_jsonl",
     "write_jsonl",
     "parse_jsonl",
+    "span_records",
+    "records_to_spans",
     "render_tree",
     "render_metrics",
+    "histogram_quantile",
+    "render_exposition",
+    "parse_exposition",
+    "ExpositionError",
+    "Objective",
+    "SloTracker",
+    "default_objectives",
+    "SamplingProfiler",
+    "FlightRecorder",
+    "RequestRecord",
 ]
 
 

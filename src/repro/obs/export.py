@@ -5,11 +5,13 @@ The JSON-lines format is one object per line, each tagged with ``kind``:
 ``{"kind": "span", ...}``
     One span.  Fields: ``trace`` (root index within the file), ``id``
     (pre-order index within the trace), ``parent`` (parent ``id`` or
-    ``null`` for roots), ``name``, ``start`` (epoch seconds),
-    ``duration_s``, ``cpu_s``, ``status`` (``ok``/``error``), ``error``
-    (string or ``null``) and ``attrs`` (the span's attributes, which
-    must be JSON-serializable — instrumented call sites stringify dict
-    keys for this reason).
+    ``null`` for roots), ``name``, ``epoch_s`` (wall-clock epoch
+    seconds at which the span opened — the field that lets traces
+    recorded by *different processes* be merged and ordered offline;
+    ``start`` is kept as a legacy alias), ``duration_s``, ``cpu_s``,
+    ``status`` (``ok``/``error``), ``error`` (string or ``null``) and
+    ``attrs`` (the span's attributes, which must be JSON-serializable —
+    instrumented call sites stringify dict keys for this reason).
 
 ``{"kind": "metrics", ...}``
     At most one per file: the registry snapshot (``counters`` /
@@ -50,6 +52,7 @@ def span_records(spans: Sequence[Span]) -> Iterable[dict[str, Any]]:
                 "id": span_id,
                 "parent": parent_id,
                 "name": span.name,
+                "epoch_s": span.start_epoch,
                 "start": span.start_epoch,
                 "duration_s": span.duration,
                 "cpu_s": span.cpu_duration,
@@ -86,13 +89,50 @@ def write_jsonl(
     return target
 
 
+def _restore_one(record: dict[str, Any]) -> Span:
+    return Span.restored(
+        record["name"],
+        attributes=record.get("attrs") or {},
+        start_epoch=record.get("epoch_s", record.get("start", 0.0)),
+        duration=record.get("duration_s", 0.0),
+        cpu_duration=record.get("cpu_s", 0.0),
+        status=record.get("status", "ok"),
+        error=record.get("error"),
+    )
+
+
+def records_to_spans(records: Iterable[dict[str, Any]]) -> list[Span]:
+    """Rebuild root :class:`Span` trees from ``kind=span`` record dicts.
+
+    The exact inverse of :func:`span_records`, minus the JSON framing —
+    this is the transport the isolation worker pool uses to ship span
+    trees over its pipe (records travel as pickled dicts, no text
+    round-trip).  Raises ``ValueError`` on a dangling parent id.
+    """
+    roots: list[Span] = []
+    by_id: dict[tuple[int, int], Span] = {}
+    for index, record in enumerate(records):
+        span = _restore_one(record)
+        by_id[(record.get("trace", 0), record["id"])] = span
+        parent_id = record.get("parent")
+        if parent_id is None:
+            roots.append(span)
+        else:
+            parent = by_id.get((record.get("trace", 0), parent_id))
+            if parent is None:
+                raise ValueError(
+                    f"record {index}: parent {parent_id} not seen yet"
+                )
+            parent.children.append(span)
+    return roots
+
+
 def parse_jsonl(text: str) -> tuple[list[Span], dict[str, Any] | None]:
     """Rebuild ``(root spans, metrics snapshot or None)`` from JSON-lines.
 
     Raises ``ValueError`` on malformed lines or dangling parent ids.
     """
-    roots: list[Span] = []
-    by_id: dict[tuple[int, int], Span] = {}
+    span_records_seen: list[dict[str, Any]] = []
     metrics_snapshot: dict[str, Any] | None = None
     for line_number, line in enumerate(text.splitlines(), start=1):
         if not line.strip():
@@ -109,26 +149,8 @@ def parse_jsonl(text: str) -> tuple[list[Span], dict[str, Any] | None]:
             continue
         if kind != "span":
             raise ValueError(f"line {line_number}: unknown kind {kind!r}")
-        span = Span.restored(
-            record["name"],
-            attributes=record.get("attrs") or {},
-            start_epoch=record.get("start", 0.0),
-            duration=record.get("duration_s", 0.0),
-            cpu_duration=record.get("cpu_s", 0.0),
-            status=record.get("status", "ok"),
-            error=record.get("error"),
-        )
-        by_id[(record["trace"], record["id"])] = span
-        parent_id = record.get("parent")
-        if parent_id is None:
-            roots.append(span)
-        else:
-            parent = by_id.get((record["trace"], parent_id))
-            if parent is None:
-                raise ValueError(
-                    f"line {line_number}: parent {parent_id} not seen yet"
-                )
-            parent.children.append(span)
+        span_records_seen.append(record)
+    roots = records_to_spans(span_records_seen)
     return roots, metrics_snapshot
 
 
@@ -150,12 +172,23 @@ def _format_attrs(attributes: dict[str, Any], limit: int = 6) -> str:
     return "  " + " ".join(parts)
 
 
-def _render_span(span: Span, prefix: str, is_last: bool, lines: list[str]) -> None:
+def _render_span(
+    span: Span,
+    prefix: str,
+    is_last: bool,
+    lines: list[str],
+    *,
+    epoch_base: float | None = None,
+) -> None:
     connector = "" if not prefix and is_last is None else ("└─ " if is_last else "├─ ")
     timing = f"[{span.duration * 1000:.1f}ms"
     if span.cpu_duration:
         timing += f" cpu {span.cpu_duration * 1000:.1f}ms"
     timing += "]"
+    if epoch_base is not None and span.start_epoch:
+        # Wall-clock offset from the earliest root: the key that keeps
+        # spans stitched from different processes readable in order.
+        timing += f" @+{(span.start_epoch - epoch_base) * 1000:.1f}ms"
     marker = " !" if span.status == "error" else ""
     lines.append(
         f"{prefix}{connector}{span.name} {timing}{marker}"
@@ -163,16 +196,28 @@ def _render_span(span: Span, prefix: str, is_last: bool, lines: list[str]) -> No
     )
     child_prefix = prefix + ("" if is_last is None else ("   " if is_last else "│  "))
     for index, child in enumerate(span.children):
-        _render_span(child, child_prefix, index == len(span.children) - 1, lines)
+        _render_span(
+            child, child_prefix, index == len(span.children) - 1, lines,
+            epoch_base=epoch_base,
+        )
 
 
-def render_tree(spans: Sequence[Span]) -> str:
-    """Render root span trees as an indented tree with durations."""
+def render_tree(spans: Sequence[Span], *, epochs: bool = False) -> str:
+    """Render root span trees as an indented tree with durations.
+
+    ``epochs=True`` additionally prints each span's wall-clock offset
+    (``@+12.3ms``) from the earliest root — useful for traces merged
+    from several processes, whose monotonic timings do not correlate.
+    """
     if not spans:
         return "(no spans recorded)"
+    epoch_base: float | None = None
+    if epochs:
+        starts = [span.start_epoch for span in spans if span.start_epoch]
+        epoch_base = min(starts) if starts else None
     lines: list[str] = []
     for root in spans:
-        _render_span(root, "", None, lines)  # type: ignore[arg-type]
+        _render_span(root, "", None, lines, epoch_base=epoch_base)  # type: ignore[arg-type]
     return "\n".join(lines)
 
 

@@ -21,6 +21,7 @@ call per event — and call sites that need to avoid even that check
 from __future__ import annotations
 
 from bisect import bisect_left
+from collections.abc import Sequence
 from threading import Lock
 from typing import Any
 
@@ -138,6 +139,35 @@ class Histogram:
         return self.sum / self.count if self.count else 0.0
 
 
+def histogram_quantile(
+    bounds: Sequence[float], counts: Sequence[int], q: float
+) -> float:
+    """Approximate the ``q``-quantile (0..1) of a fixed-bucket histogram.
+
+    Walks the per-bucket counts (``len(bounds) + 1`` entries, overflow
+    last) to the bucket containing the target rank and interpolates
+    linearly inside it — the same estimate ``histogram_quantile`` makes
+    in PromQL.  Returns 0.0 for an empty histogram; observations in the
+    overflow bucket clamp to the last bound.
+    """
+    total = sum(counts)
+    if total <= 0 or not bounds:
+        return 0.0
+    rank = q * total
+    cumulative = 0.0
+    for index, count in enumerate(counts):
+        previous = cumulative
+        cumulative += count
+        if cumulative >= rank and count:
+            upper = bounds[min(index, len(bounds) - 1)]
+            lower = bounds[index - 1] if 0 < index <= len(bounds) else 0.0
+            if index >= len(bounds):  # overflow bucket: clamp
+                return float(bounds[-1])
+            fraction = (rank - previous) / count
+            return float(lower + (upper - lower) * fraction)
+    return float(bounds[-1])
+
+
 def _key(name: str, labels: dict[str, Any]) -> str:
     if not labels:
         return name
@@ -200,6 +230,19 @@ class MetricsRegistry:
             tuple(sorted((k, str(v)) for k, v in labels.items())),
             buckets,
         )
+
+    def instruments(self) -> list["Counter | Gauge | Histogram"]:
+        """Every live instrument, sorted by registry key.
+
+        This is the iteration surface the Prometheus exposition renders
+        from: unlike :meth:`snapshot` (which flattens labels into the
+        key string), instruments carry their ``name`` and ``labels``
+        separately, exactly what a labelled text format needs.
+        """
+        with self._lock:
+            return [
+                self._instruments[key] for key in sorted(self._instruments)
+            ]
 
     def snapshot(self) -> dict[str, dict[str, Any]]:
         """A JSON-serializable view: counters / gauges / histograms."""
@@ -278,6 +321,10 @@ class NullMetrics:
     ) -> _NullInstrument:
         """The shared no-op instrument (never records)."""
         return _NULL_INSTRUMENT
+
+    def instruments(self) -> list[Any]:
+        """Always empty: the disabled registry keeps no instruments."""
+        return []
 
     def snapshot(self) -> dict[str, dict[str, Any]]:
         """An empty snapshot in the live registry's shape."""

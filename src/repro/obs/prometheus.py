@@ -1,0 +1,269 @@
+"""Prometheus text exposition for the metrics registry.
+
+:func:`render_exposition` turns the live instruments of a
+:class:`~repro.obs.metrics.MetricsRegistry` into the Prometheus text
+format (version 0.0.4) any standard scraper ingests::
+
+    # TYPE repro_service_requests_total counter
+    repro_service_requests_total{route="POST /sessions",status="201"} 12
+    # TYPE repro_service_request_seconds histogram
+    repro_service_request_seconds_bucket{le="0.001"} 3
+    ...
+    repro_service_request_seconds_bucket{le="+Inf"} 40
+    repro_service_request_seconds_sum 0.182
+    repro_service_request_seconds_count 40
+
+Conventions applied:
+
+* dotted ``repro.*`` instrument names become underscore-separated
+  metric names (``repro.service.requests`` →
+  ``repro_service_requests``); any other character outside
+  ``[a-zA-Z0-9_:]`` is folded to ``_``;
+* counters gain the ``_total`` suffix;
+* histograms emit **cumulative** ``_bucket`` series with ``le`` upper
+  bounds (the registry's buckets are stored non-cumulatively) plus the
+  ``+Inf`` bucket, ``_sum`` and ``_count``;
+* label values are escaped per the spec (backslash, double quote,
+  newline).
+
+:func:`parse_exposition` is the matching minimal parser.  It is *not* a
+general Prometheus client — it exists so the test suite and the CI
+``obs-smoke`` job can assert that what the service serves actually
+parses: every line well-formed, histogram buckets monotonically
+non-decreasing, ``_sum``/``_count`` present for every histogram.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import TYPE_CHECKING, Any
+
+from repro.obs.metrics import Counter, Gauge, Histogram
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.obs.metrics import MetricsRegistry, NullMetrics
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_NAME_FOLD = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_FOLD = re.compile(r"[^a-zA-Z0-9_]")
+
+#: One sample line: ``name{labels} value`` (labels optional).
+_SAMPLE_LINE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"          # metric name
+    r"(?:\{(.*)\})?"                         # optional label block
+    r" ([+-]?(?:[0-9.eE+-]+|Inf|NaN))$"      # value
+)
+#: One label pair inside the block: ``key="escaped value"``.
+_LABEL_PAIR = re.compile(
+    r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"'
+)
+
+
+def metric_name(dotted: str, *, suffix: str = "") -> str:
+    """Fold a dotted instrument name into a legal Prometheus name."""
+    name = _NAME_FOLD.sub("_", dotted.replace(".", "_")) + suffix
+    if not _NAME_OK.match(name):
+        name = "_" + name
+    return name
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the exposition spec."""
+    return (
+        value.replace("\\", r"\\").replace("\n", r"\n").replace('"', r'\"')
+    )
+
+
+def _label_block(labels: tuple[tuple[str, str], ...]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{_LABEL_FOLD.sub("_", key)}="{escape_label_value(str(value))}"'
+        for key, value in labels
+    )
+    return "{" + inner + "}"
+
+
+def _merge_labels(
+    labels: tuple[tuple[str, str], ...], extra: tuple[tuple[str, str], ...]
+) -> str:
+    return _label_block(labels + extra)
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value in (math.inf, -math.inf):
+        return "+Inf" if value > 0 else "-Inf"
+    if isinstance(value, int) or float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_exposition(registry: "MetricsRegistry | NullMetrics") -> str:
+    """The registry's live instruments as Prometheus exposition text."""
+    by_name: dict[str, list[Counter | Gauge | Histogram]] = {}
+    types: dict[str, str] = {}
+    for instrument in registry.instruments():
+        if isinstance(instrument, Counter):
+            kind = "counter"
+        elif isinstance(instrument, Gauge):
+            kind = "gauge"
+        else:
+            kind = "histogram"
+        suffix = "_total" if kind == "counter" else ""
+        name = metric_name(instrument.name, suffix=suffix)
+        if name in types and types[name] != kind:
+            # Same folded name claimed by two instrument kinds: keep the
+            # first, drop the clash (an invalid exposition is worse than
+            # a missing series).
+            continue
+        types[name] = kind
+        by_name.setdefault(name, []).append(instrument)
+
+    lines: list[str] = []
+    for name in sorted(by_name):
+        kind = types[name]
+        lines.append(f"# TYPE {name} {kind}")
+        for instrument in by_name[name]:
+            labels = instrument.labels
+            if kind in ("counter", "gauge"):
+                lines.append(
+                    f"{name}{_label_block(labels)} "
+                    f"{_format_value(instrument.value)}"
+                )
+                continue
+            assert isinstance(instrument, Histogram)
+            # The registry stores per-bucket counts; Prometheus buckets
+            # are cumulative.  Snapshot under the instrument's lock so a
+            # concurrent observe() cannot tear bucket/sum/count apart.
+            with instrument._lock:
+                counts = list(instrument.counts)
+                total = instrument.count
+                summed = instrument.sum
+            cumulative = 0
+            for bound, count in zip(instrument.bounds, counts):
+                cumulative += count
+                lines.append(
+                    f"{name}_bucket"
+                    f"{_merge_labels(labels, (('le', _format_value(bound)),))}"
+                    f" {cumulative}"
+                )
+            lines.append(
+                f"{name}_bucket"
+                f"{_merge_labels(labels, (('le', '+Inf'),))} {total}"
+            )
+            lines.append(
+                f"{name}_sum{_label_block(labels)} {_format_value(summed)}"
+            )
+            lines.append(f"{name}_count{_label_block(labels)} {total}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ----------------------------------------------------------------------
+# Minimal validating parser (tests + CI obs-smoke)
+# ----------------------------------------------------------------------
+
+class ExpositionError(ValueError):
+    """The exposition text violated the format or its invariants."""
+
+
+def _parse_labels(block: str | None, line_number: int) -> dict[str, str]:
+    if not block:
+        return {}
+    labels: dict[str, str] = {}
+    position = 0
+    while position < len(block):
+        match = _LABEL_PAIR.match(block, position)
+        if match is None:
+            raise ExpositionError(
+                f"line {line_number}: malformed label block {block!r}"
+            )
+        raw = match.group(2)
+        labels[match.group(1)] = (
+            raw.replace(r"\"", '"').replace(r"\n", "\n").replace(r"\\", "\\")
+        )
+        position = match.end()
+        if position < len(block):
+            if block[position] != ",":
+                raise ExpositionError(
+                    f"line {line_number}: expected ',' in labels {block!r}"
+                )
+            position += 1
+    return labels
+
+
+def parse_exposition(text: str) -> dict[str, list[dict[str, Any]]]:
+    """Parse and validate exposition text into ``name -> samples``.
+
+    Each sample is ``{"labels": {...}, "value": float}``.  Raises
+    :class:`ExpositionError` on any malformed line, a histogram whose
+    cumulative buckets decrease, or a histogram missing its ``+Inf``
+    bucket, ``_sum`` or ``_count`` series.
+    """
+    samples: dict[str, list[dict[str, Any]]] = {}
+    types: dict[str, str] = {}
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                types[parts[2]] = parts[3]
+            continue
+        match = _SAMPLE_LINE.match(line)
+        if match is None:
+            raise ExpositionError(f"line {line_number}: malformed: {line!r}")
+        name, label_block, raw_value = match.groups()
+        labels = _parse_labels(label_block, line_number)
+        try:
+            value = float(raw_value.replace("Inf", "inf"))
+        except ValueError:
+            raise ExpositionError(
+                f"line {line_number}: bad value {raw_value!r}"
+            ) from None
+        samples.setdefault(name, []).append(
+            {"labels": labels, "value": value}
+        )
+
+    # Histogram invariants: monotone cumulative buckets ending at +Inf,
+    # plus _sum and _count for every label set that has buckets.
+    for name, kind in types.items():
+        if kind != "histogram":
+            continue
+        buckets = samples.get(f"{name}_bucket", [])
+        if not buckets:
+            raise ExpositionError(f"histogram {name} has no _bucket series")
+        by_series: dict[tuple, list[tuple[float, float]]] = {}
+        for sample in buckets:
+            labels = dict(sample["labels"])
+            le = labels.pop("le", None)
+            if le is None:
+                raise ExpositionError(
+                    f"histogram {name} bucket without le label"
+                )
+            key = tuple(sorted(labels.items()))
+            bound = math.inf if le == "+Inf" else float(le)
+            by_series.setdefault(key, []).append((bound, sample["value"]))
+        for key, series in by_series.items():
+            series.sort()
+            values = [count for _bound, count in series]
+            if values != sorted(values):
+                raise ExpositionError(
+                    f"histogram {name}{dict(key)} buckets not monotone"
+                )
+            if series[-1][0] != math.inf:
+                raise ExpositionError(
+                    f"histogram {name}{dict(key)} missing +Inf bucket"
+                )
+            for suffix in ("_sum", "_count"):
+                matching = [
+                    s for s in samples.get(f"{name}{suffix}", [])
+                    if tuple(sorted(s["labels"].items())) == key
+                ]
+                if not matching:
+                    raise ExpositionError(
+                        f"histogram {name}{dict(key)} missing {suffix}"
+                    )
+    return samples

@@ -1,0 +1,236 @@
+"""Service-level objectives with multi-window burn-rate computation.
+
+An :class:`Objective` states a promise over a rolling 30-day budget
+window: "99% of requests succeed", "95% of requests finish within
+250 ms".  The :class:`SloTracker` records every request once and
+answers, per objective, how fast the error budget is burning over
+several look-back windows at once — the multi-window, multi-burn-rate
+alerting pattern: a short window catches a fast outage, a long window
+catches a slow bleed, and requiring both to fire suppresses blips.
+
+Burn rate is ``bad_fraction / error_budget``: 1.0 means the budget is
+being spent exactly at the rate that exhausts it at the end of the
+30-day window; 14.4 over 1 h means ~2% of a 30-day budget gone in an
+hour (the classic page threshold).
+
+Internals: one ring of fixed-width time buckets per objective, each
+bucket a ``(good, bad)`` pair, advanced lazily on record/inspect.  The
+clock is injectable so tests can steer time; the default is
+``time.monotonic``.  All updates take the tracker's lock — the service
+records from many request threads at once.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from threading import Lock
+from typing import Any, Callable
+
+#: Default look-back windows (seconds): 5 m, 30 m, 1 h, 6 h.
+DEFAULT_WINDOWS: tuple[float, ...] = (300.0, 1800.0, 3600.0, 21600.0)
+
+#: Burn rate above which a window is flagged ``alerting`` in summaries.
+ALERT_BURN_RATE = 14.4
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One promise: a success-rate target, optionally latency-bounded.
+
+    ``target`` is the promised good fraction (0 < target < 1); the
+    error budget is ``1 - target``.  With ``latency_s`` set, a request
+    is *bad* when it errors **or** takes longer than ``latency_s``;
+    without it, only errors count.
+    """
+
+    name: str
+    target: float
+    latency_s: float | None = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.target < 1.0:
+            raise ValueError(
+                f"objective {self.name!r}: target must be in (0, 1), "
+                f"got {self.target}"
+            )
+        if self.latency_s is not None and self.latency_s <= 0:
+            raise ValueError(
+                f"objective {self.name!r}: latency_s must be positive"
+            )
+
+    @property
+    def budget(self) -> float:
+        """The allowed bad fraction (``1 - target``)."""
+        return 1.0 - self.target
+
+    def is_bad(self, *, error: bool, duration_s: float) -> bool:
+        """Whether one request violates this objective."""
+        if error:
+            return True
+        return self.latency_s is not None and duration_s > self.latency_s
+
+
+@dataclass
+class _Ring:
+    """Time-bucketed (good, bad) counts for one objective."""
+
+    bucket_s: float
+    size: int
+    good: list[int] = field(default_factory=list)
+    bad: list[int] = field(default_factory=list)
+    head_bucket: int = 0  # absolute bucket index of the newest slot
+
+    def __post_init__(self) -> None:
+        self.good = [0] * self.size
+        self.bad = [0] * self.size
+
+    def _advance(self, now: float) -> int:
+        bucket = int(now / self.bucket_s)
+        if bucket > self.head_bucket:
+            # Zero every slot skipped since the last touch (cap at one
+            # full revolution — beyond that everything clears anyway).
+            steps = min(bucket - self.head_bucket, self.size)
+            for offset in range(1, steps + 1):
+                slot = (self.head_bucket + offset) % self.size
+                self.good[slot] = 0
+                self.bad[slot] = 0
+            self.head_bucket = bucket
+        return self.head_bucket % self.size
+
+    def record(self, now: float, bad: bool) -> None:
+        slot = self._advance(now)
+        if bad:
+            self.bad[slot] += 1
+        else:
+            self.good[slot] += 1
+
+    def window_counts(self, now: float, window_s: float) -> tuple[int, int]:
+        """``(good, bad)`` across the last ``window_s`` seconds."""
+        self._advance(now)
+        buckets = min(self.size, max(1, int(window_s / self.bucket_s)))
+        good = bad = 0
+        for offset in range(buckets):
+            slot = (self.head_bucket - offset) % self.size
+            good += self.good[slot]
+            bad += self.bad[slot]
+        return good, bad
+
+
+class SloTracker:
+    """Records request outcomes and computes per-window burn rates."""
+
+    def __init__(
+        self,
+        objectives: tuple[Objective, ...] | list[Objective],
+        *,
+        windows: tuple[float, ...] = DEFAULT_WINDOWS,
+        bucket_s: float = 10.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if not objectives:
+            raise ValueError("SloTracker needs at least one objective")
+        if not windows:
+            raise ValueError("SloTracker needs at least one window")
+        self.objectives = tuple(objectives)
+        self.windows = tuple(sorted(windows))
+        self._clock = clock
+        self._lock = Lock()
+        size = max(1, int(self.windows[-1] / bucket_s)) + 1
+        self._rings = {
+            objective.name: _Ring(bucket_s=bucket_s, size=size)
+            for objective in self.objectives
+        }
+
+    def record(self, *, error: bool, duration_s: float) -> None:
+        """Record one finished request against every objective."""
+        now = self._clock()
+        with self._lock:
+            for objective in self.objectives:
+                self._rings[objective.name].record(
+                    now, objective.is_bad(error=error, duration_s=duration_s)
+                )
+
+    def burn_rates(self) -> dict[str, dict[str, Any]]:
+        """Per-objective burn rates for every configured window.
+
+        Shape (all numbers JSON-friendly)::
+
+            {"availability": {
+                "target": 0.99, "budget": 0.01, "latency_s": null,
+                "windows": {
+                    "300s": {"good": 10, "bad": 0, "bad_fraction": 0.0,
+                             "burn_rate": 0.0, "alerting": false},
+                    ...},
+                "alerting": false}}
+
+        A window with no traffic reports a burn rate of 0.0 — absence
+        of requests is not an outage the SLO can see.
+        """
+        now = self._clock()
+        out: dict[str, dict[str, Any]] = {}
+        with self._lock:
+            for objective in self.objectives:
+                ring = self._rings[objective.name]
+                windows: dict[str, dict[str, Any]] = {}
+                any_alerting = False
+                for window_s in self.windows:
+                    good, bad = ring.window_counts(now, window_s)
+                    total = good + bad
+                    bad_fraction = bad / total if total else 0.0
+                    burn = bad_fraction / objective.budget
+                    alerting = burn >= ALERT_BURN_RATE
+                    any_alerting = any_alerting or alerting
+                    windows[f"{int(window_s)}s"] = {
+                        "good": good,
+                        "bad": bad,
+                        "bad_fraction": bad_fraction,
+                        "burn_rate": burn,
+                        "alerting": alerting,
+                    }
+                out[objective.name] = {
+                    "target": objective.target,
+                    "budget": objective.budget,
+                    "latency_s": objective.latency_s,
+                    "description": objective.description,
+                    "windows": windows,
+                    "alerting": any_alerting,
+                }
+        return out
+
+    def publish(self, metrics: Any) -> None:
+        """Export current burn rates as ``repro.slo.*`` gauges.
+
+        ``metrics`` is the shared registry handle (live or null); one
+        ``repro.slo.burn_rate{objective,window}`` gauge per pair plus a
+        0/1 ``repro.slo.alerting{objective}`` rollup.
+        """
+        for name, state in self.burn_rates().items():
+            for window, window_state in state["windows"].items():
+                metrics.gauge(
+                    "repro.slo.burn_rate", objective=name, window=window
+                ).set(round(window_state["burn_rate"], 6))
+            metrics.gauge("repro.slo.alerting", objective=name).set(
+                1 if state["alerting"] else 0
+            )
+
+
+def default_objectives(
+    *, latency_s: float = 0.25, availability: float = 0.99,
+    latency_target: float = 0.95,
+) -> tuple[Objective, ...]:
+    """The service's stock objectives: availability + bounded latency."""
+    return (
+        Objective(
+            name="availability",
+            target=availability,
+            description="requests that do not 5xx",
+        ),
+        Objective(
+            name="latency",
+            target=latency_target,
+            latency_s=latency_s,
+            description=f"requests finishing within {latency_s * 1000:g}ms",
+        ),
+    )

@@ -56,6 +56,15 @@ span onto its own stack for the duration of the job, so spans it opens
 nest under the adopted parent.  Only one thread may adopt a given span
 at a time (the service's worker pool guarantees this by running each
 request's work on exactly one worker).
+
+Cross-*process* parentage: a worker **process** has its own tracer, so
+``adopt`` cannot reach it.  :meth:`Tracer.graft` is the remote half of
+the same idea — the worker records spans locally, serializes the
+finished trees over its pipe (see
+:func:`repro.obs.export.span_records`), and the request thread grafts
+the rebuilt trees under its open request span.  Spans carry wall-clock
+epochs (:attr:`Span.start_epoch`) precisely so trees stitched from
+different processes still order correctly.
 """
 
 from __future__ import annotations
@@ -233,10 +242,15 @@ class Tracer:
 
     enabled = True
 
-    def __init__(self) -> None:
+    def __init__(self, max_roots: int | None = None) -> None:
         self._local = threading.local()
         self._lock = threading.Lock()
         self._roots: list[Span] = []
+        #: Retention cap for finished roots (oldest dropped beyond it).
+        #: ``None`` (the default) keeps everything — right for scoped
+        #: CLI traces; the always-on service sets a cap so a long-lived
+        #: tracer cannot grow without bound.
+        self.max_roots = max_roots
 
     # -- open-span stack -----------------------------------------------
 
@@ -262,6 +276,11 @@ class Tracer:
         else:
             with self._lock:
                 self._roots.append(span)
+                self._trim_locked()
+
+    def _trim_locked(self) -> None:
+        if self.max_roots is not None and len(self._roots) > self.max_roots:
+            del self._roots[: len(self._roots) - self.max_roots]
 
     # -- public API ----------------------------------------------------
 
@@ -293,6 +312,43 @@ class Tracer:
             elif span in stack:  # a child leaked an unbalanced exit
                 stack.remove(span)
 
+    def graft(self, spans: "list[Span] | tuple[Span, ...]") -> None:
+        """Adopt *finished* spans produced elsewhere — another process,
+        a deserialized trace — into this thread's current position.
+
+        Where :meth:`adopt` bridges threads sharing one tracer, ``graft``
+        bridges *tracers*: the isolation worker pool serializes the span
+        trees a worker process recorded and the request thread grafts
+        them under its open ``service.request`` span, so a process-mode
+        search yields the same single stitched trace thread mode does.
+        With no span open the trees become roots (they are already
+        finished, so they go straight to :attr:`finished`).
+        """
+        if not spans:
+            return
+        current = self.current()
+        if current is not None:
+            current.children.extend(spans)
+        else:
+            with self._lock:
+                self._roots.extend(spans)
+                self._trim_locked()
+
+    def release(self, spans: "list[Span] | tuple[Span, ...]") -> None:
+        """Forget specific finished roots (spans absent are ignored).
+
+        The service's flight recorder takes ownership of each request's
+        root span after the request closes; releasing it here keeps the
+        always-on tracer's memory proportional to ``max_roots``, not to
+        uptime.
+        """
+        with self._lock:
+            for span in spans:
+                try:
+                    self._roots.remove(span)
+                except ValueError:
+                    pass
+
     def current(self) -> Span | None:
         """The innermost open span on this thread, or ``None``."""
         stack = self._stack()
@@ -323,6 +379,12 @@ class NullTracer:
     def adopt(self, span: Any = None) -> Iterator[None]:
         """No-op adoption (the disabled tracer keeps no stacks)."""
         yield None
+
+    def graft(self, spans: Any = ()) -> None:
+        """No-op grafting (the disabled tracer records nothing)."""
+
+    def release(self, spans: Any = ()) -> None:
+        """No-op release (the disabled tracer holds nothing)."""
 
     def current(self) -> None:
         """Always ``None``: the disabled tracer keeps no open-span stack."""

@@ -71,7 +71,9 @@ from repro.exceptions import (
     ServiceUnavailableError,
     SessionError,
 )
-from repro.obs import get_logger, get_metrics, get_tracer
+from repro.obs import get_logger, get_metrics, get_tracer, tracing_enabled
+from repro.obs.export import records_to_spans, span_records
+from repro.obs.tracer import Tracer, disable_tracing, set_tracer
 from repro.resilience.faults import FaultSpec, active_injector
 
 _log = get_logger(__name__)
@@ -231,10 +233,20 @@ def worker_main(
     """Entry point of one worker process (module-level for ``spawn``).
 
     Protocol, parent → worker: ``None`` (graceful retirement) or a job
-    dict ``{"task", "payload", "faults", "seed"}``.  Worker → parent:
-    one ``{"op": "ready", ...}`` handshake, then exactly one
+    dict ``{"task", "payload", "faults", "seed", "trace"}``.  Worker →
+    parent: one ``{"op": "ready", ...}`` handshake, then exactly one
     ``{"op": "result", ...}`` per job carrying ``ok``, the result or
     error description, and the worker's current ``rss_bytes``.
+
+    When the job asks for a trace (``trace`` truthy — the parent's
+    request thread had tracing on at submit), the worker runs the task
+    under a fresh :class:`~repro.obs.tracer.Tracer` wrapped in an
+    ``isolation.task`` span, and the reply carries ``spans``: the
+    finished span trees flattened to :func:`~repro.obs.export.
+    span_records` dicts (plain picklables).  The parent stitches them
+    back under the request span in :meth:`ProcJob.wait` — including on
+    error replies, where the partial trace up to the failure travels
+    too.
     """
     # Hard memory ceiling first: even bootstrap leaks are contained.
     if bootstrap.limits.address_space_mb:
@@ -277,19 +289,25 @@ def worker_main(
             return
         reply: dict[str, Any] = {"op": "result", "ok": True}
         fatal = False
+        tracer: Tracer | None = None
+        if message.get("trace"):
+            tracer = set_tracer(Tracer())
         try:
             task = tasks[message["task"]]
             faults = message.get("faults")
-            if faults:
-                from repro.resilience.faults import FaultInjector
+            with get_tracer().span(
+                "isolation.task", task=message["task"], pid=os.getpid(),
+            ):
+                if faults:
+                    from repro.resilience.faults import FaultInjector
 
-                with FaultInjector(
-                    _rebuild_fault_specs(faults),
-                    seed=int(message.get("seed", 0)),
-                ):
+                    with FaultInjector(
+                        _rebuild_fault_specs(faults),
+                        seed=int(message.get("seed", 0)),
+                    ):
+                        reply["result"] = task(message.get("payload") or {})
+                else:
                     reply["result"] = task(message.get("payload") or {})
-            else:
-                reply["result"] = task(message.get("payload") or {})
         except MemoryError:
             # The rlimit tripped: answer, then retire — the heap is in
             # an unknown state and the parent will restart us anyway.
@@ -308,6 +326,12 @@ def worker_main(
                      "category": category,
                      "error_type": type(error).__name__,
                      "message": str(error)}
+        finally:
+            if tracer is not None:
+                # Back to the no-op handle between jobs, and ship the
+                # finished trees home as plain record dicts.
+                disable_tracing()
+                reply["spans"] = list(span_records(tracer.finished))
         reply["rss_bytes"] = _rss_bytes()
         try:
             conn.send(reply)
@@ -337,8 +361,8 @@ class ProcJob:
 
     __slots__ = (
         "job_id", "task", "payload", "timeout_s", "kill_after_s",
-        "deadline", "faults", "seed", "done", "result", "error",
-        "attempts", "_lock", "_cancelled", "_started",
+        "deadline", "faults", "seed", "trace", "remote_spans", "done",
+        "result", "error", "attempts", "_lock", "_cancelled", "_started",
     )
 
     def __init__(
@@ -351,6 +375,7 @@ class ProcJob:
         kill_after_s: float,
         faults: list[dict[str, Any]] | None,
         seed: int,
+        trace: bool = False,
     ) -> None:
         self.job_id = job_id
         self.task = task
@@ -360,6 +385,8 @@ class ProcJob:
         self.deadline = time.monotonic() + timeout_s
         self.faults = faults
         self.seed = seed
+        self.trace = trace
+        self.remote_spans: list[dict[str, Any]] = []
         self.done = threading.Event()
         self.result: Any = None
         self.error: BaseException | None = None
@@ -401,13 +428,44 @@ class ProcJob:
         with self._lock:
             return self._cancelled
 
+    def adopt_remote_spans(self) -> None:
+        """Stitch worker-side span trees under the caller's open span.
+
+        The records travelled back in the result reply; grafting them
+        into the *calling* thread's tracer position is what makes a
+        process-mode trace read identically to thread mode.  Cleared
+        after one graft so repeated waits cannot duplicate subtrees; a
+        malformed remote trace is dropped (logged), never raised — the
+        result path outranks the trace.
+        """
+        records, self.remote_spans = self.remote_spans, []
+        if not records:
+            return
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return
+        try:
+            tracer.graft(records_to_spans(records))
+        except (ValueError, KeyError):
+            _log.warning(
+                "job %d: dropping malformed remote trace (%d records)",
+                self.job_id, len(records),
+            )
+
     def wait(self) -> Any:
-        """Block for the result; raise the error or ``DeadlineExceeded``."""
+        """Block for the result; raise the error or ``DeadlineExceeded``.
+
+        Worker-side spans shipped with the reply are grafted into the
+        waiting thread's tracer first, so the stitched trace is in
+        place whether the job succeeded or raises below.
+        """
         remaining = self.deadline - time.monotonic()
         if not self.done.wait(timeout=max(0.0, remaining)):
             self.cancel()
             if not self.done.is_set():
+                self.adopt_remote_spans()
                 raise DeadlineExceeded("isolated work", self.timeout_s)
+        self.adopt_remote_spans()
         if self.error is not None:
             raise self.error
         if self.cancelled:
@@ -522,6 +580,9 @@ class ProcessWorkerPool:
             ),
             faults=faults if faults is not None else snapshot_fault_specs(),
             seed=next(self._seeds),
+            # Snapshot on the request thread: this is where the parent
+            # span is open, so it decides whether the worker traces.
+            trace=tracing_enabled(),
         )
         try:
             self._queue.put_nowait(job)
@@ -677,7 +738,7 @@ class ProcessWorkerPool:
         """
         message = {
             "task": job.task, "payload": job.payload,
-            "faults": job.faults, "seed": job.seed,
+            "faults": job.faults, "seed": job.seed, "trace": job.trace,
         }
         try:
             worker.conn.send(message)
@@ -707,6 +768,11 @@ class ProcessWorkerPool:
         elapsed = time.perf_counter() - started
         worker.served += 1
         worker.rss_bytes = int(reply.get("rss_bytes", worker.rss_bytes))
+        if reply.get("spans"):
+            # Extend, don't assign: a re-queued job keeps the spans of
+            # its failed first attempt (e.g. the kill marker) alongside
+            # the retry's trace.
+            job.remote_spans.extend(reply["spans"])
         get_metrics().histogram("repro.isolation.job.seconds").observe(elapsed)
         if reply.get("ok"):
             job.result = reply.get("result")
@@ -744,6 +810,19 @@ class ProcessWorkerPool:
         with self._lock:
             self.kills += 1
         get_metrics().counter("repro.isolation.kills").inc()
+        if job.trace:
+            # A SIGKILLed worker sends nothing back; synthesize the span
+            # it can't, so the stitched trace shows where the job died.
+            job.remote_spans.append({
+                "kind": "span", "trace": len(job.remote_spans), "id": 0,
+                "parent": None, "name": "isolation.task",
+                "epoch_s": time.time() - job.kill_after_s,
+                "duration_s": job.kill_after_s, "cpu_s": 0.0,
+                "status": "error",
+                "error": "worker killed: hard deadline blown",
+                "attrs": {"task": job.task, "pid": worker.pid,
+                          "killed": True, "attempt": job.attempts + 1},
+            })
         self._requeue_or_fail(
             job, "deadline_kill",
             f"hard deadline blown ({job.kill_after_s:.3g}s); worker killed",

@@ -19,6 +19,10 @@ API surface (all JSON)::
     GET    /sessions/{id}/suggest     ?row=&column=&prefix=&limit=
     GET    /healthz                   -> liveness + pool/session gauges
     GET    /metrics                   -> obs snapshot + service stats
+    GET    /metrics?format=prometheus -> text exposition (scrapeable)
+    GET    /debug/profile             -> folded stacks (?format=json)
+    GET    /debug/requests            -> flight-recorder listing
+    GET    /debug/requests/{id}       -> one request's stitched trace
 
 Failure mapping: unknown/evicted session -> 404, malformed input -> 400,
 full work queue or session table -> 429 with ``Retry-After``, an open
@@ -39,6 +43,17 @@ only when the request deadline passes with nothing to return.
 Crash safety: with ``journal_dir`` configured, every applied mutation is
 appended to a JSONL journal and replayed on startup, restoring live
 sessions (same ids, same grids) across a crash or restart.
+
+Operational observability: every request is measured as RED metrics
+(rate/errors by route+status, duration histograms per route), recorded
+against the configured SLOs (multi-window burn rates — see
+:mod:`repro.obs.slo`), and — when tracing is on — filed in the flight
+recorder with its full stitched span tree, retrievable via
+``/debug/requests/{id}`` and tagged with the ``X-Request-Id`` response
+header.  ``GET /metrics?format=prometheus`` serves the whole registry
+as text exposition, with the formerly ``/healthz``-only state (admission
+estimate, breaker states, cache hit rates, pool occupancy) folded in as
+gauges on every scrape.
 """
 
 from __future__ import annotations
@@ -60,6 +75,10 @@ from repro.exceptions import (
     UnknownSessionError,
 )
 from repro.obs import get_logger, get_metrics, get_tracer
+from repro.obs.profiler import SamplingProfiler
+from repro.obs.prometheus import render_exposition
+from repro.obs.recorder import FlightRecorder
+from repro.obs.slo import SloTracker, default_objectives
 from repro.resilience import NULL_BUDGET, Budget, SessionJournal, replay_journal
 from repro.resilience.isolation import (
     IsolationLimits,
@@ -75,8 +94,10 @@ from repro.service.workers import WorkerPool
 
 _log = get_logger(__name__)
 
-#: ``(status, json body or None, extra headers)``.
-Response = tuple[int, "dict[str, Any] | None", "dict[str, str]"]
+#: ``(status, body, extra headers)`` — a dict is JSON-encoded by the
+#: transport, a str is served verbatim as ``text/plain`` (the
+#: Prometheus exposition and folded profiles), ``None`` has no body.
+Response = tuple[int, "dict[str, Any] | str | None", "dict[str, str]"]
 
 
 class _BadRequest(Exception):
@@ -179,6 +200,22 @@ class ServiceApp:
         self.recovered_sessions = 0
         if self.journal is not None:
             self._recover_sessions()
+        self.slo = SloTracker(default_objectives(
+            latency_s=self.config.slo_latency_s,
+            availability=self.config.slo_availability_target,
+            latency_target=self.config.slo_latency_target,
+        ))
+        self.recorder = (
+            FlightRecorder(
+                self.config.recorder_capacity,
+                slow_s=self.config.effective_slow_request_s,
+            )
+            if self.config.recorder_capacity
+            else None
+        )
+        self.profiler: SamplingProfiler | None = None
+        if self.config.profile_hz:
+            self.profiler = SamplingProfiler(self.config.profile_hz).start()
         self.started_at = time.time()
         self._closed = False
 
@@ -319,10 +356,12 @@ class ServiceApp:
         return clean
 
     def close(self) -> None:
-        """Stop the worker pool and close the journal (idempotent)."""
+        """Stop the pool, profiler and journal (idempotent)."""
         if not self._closed:
             self._closed = True
             self.pool.shutdown()
+            if self.profiler is not None:
+                self.profiler.stop()
             if self.journal is not None:
                 self.journal.close()
 
@@ -347,8 +386,12 @@ class ServiceApp:
         query = query or {}
         parts = tuple(part for part in path.split("/") if part)
         route = self._route_template(method, parts)
+        request_id = self.recorder.next_id() if self.recorder else None
+        epoch = time.time()
         tracer = get_tracer()
         with tracer.span("service.request", method=method, route=route) as span:
+            if request_id is not None:
+                span.set("request_id", request_id)
             started = time.perf_counter()
             with self._inflight_cond:
                 self._inflight += 1
@@ -399,11 +442,40 @@ class ServiceApp:
                     self._inflight_cond.notify_all()
             span.set("status", status)
             elapsed = time.perf_counter() - started
+        # RED metrics: rate+errors via the labelled counter, duration
+        # via a per-route histogram alongside the global one.
         metrics = get_metrics()
         metrics.counter(
             "repro.service.requests", route=route, status=status
         ).inc()
         metrics.histogram("repro.service.request.seconds").observe(elapsed)
+        metrics.histogram(
+            "repro.service.request.seconds", route=route
+        ).observe(elapsed)
+        self.slo.record(error=status >= 500, duration_s=elapsed)
+        if self.recorder is not None:
+            reasons = []
+            if isinstance(payload, dict):
+                if payload.get("degraded"):
+                    reasons.append("degraded")
+                if payload.get("reason") == "worker_killed":
+                    reasons.append("worker_killed")
+            spans: tuple[Any, ...] = ()
+            if tracer.enabled:
+                spans = (span,)
+                # A bounded tracer (the always-on serve configuration)
+                # hands each request root over to the recorder; scoped
+                # tracers keep their roots so callers can still read
+                # tracer.finished.
+                if getattr(tracer, "max_roots", None):
+                    tracer.release(spans)
+            self.recorder.record(
+                route=route, status=status, duration_s=elapsed,
+                spans=spans, request_id=request_id, reasons=reasons,
+                epoch_s=epoch,
+            )
+        if request_id is not None:
+            headers = {**headers, "X-Request-Id": request_id}
         return status, payload, headers
 
     @staticmethod
@@ -413,6 +485,8 @@ class ServiceApp:
             tail = "/".join(parts[2:])
             suffix = f"/{tail}" if tail else ""
             return f"{method} /sessions/{{id}}{suffix}"
+        if parts[:2] == ("debug", "requests") and len(parts) >= 3:
+            return f"{method} /debug/requests/{{id}}"
         return f"{method} /{'/'.join(parts)}"
 
     def _dispatch(
@@ -425,7 +499,16 @@ class ServiceApp:
         if parts == ("healthz",) and method == "GET":
             return self.healthz(query)
         if parts == ("metrics",) and method == "GET":
-            return self.metrics()
+            return self.metrics(query)
+        # The /debug surface stays answerable while draining: that is
+        # exactly when an operator wants the flight recorder.
+        if parts and parts[0] == "debug" and method == "GET":
+            if parts == ("debug", "profile"):
+                return self.debug_profile(query)
+            if parts == ("debug", "requests"):
+                return self.debug_requests(query)
+            if len(parts) == 3 and parts[1] == "requests":
+                return self.debug_request(parts[2])
         if self._draining:
             # Health endpoints stay answerable while draining; all
             # other routes fail fast so the drain can finish.
@@ -725,7 +808,16 @@ class ServiceApp:
             "isolation": (
                 {"mode": "process", **self.pool.snapshot()}
                 if self.proc_mode
-                else {"mode": "thread"}
+                else {"mode": "thread", **self.pool.snapshot()}
+            ),
+            "slo": self.slo.burn_rates(),
+            "recorder": (
+                self.recorder.stats() if self.recorder is not None else None
+            ),
+            "profiler": (
+                {"running": self.profiler.running, "hz": self.profiler.hz}
+                if self.profiler is not None
+                else None
             ),
         }
         if query.get("ready", "") in ("1", "true", "yes"):
@@ -742,8 +834,94 @@ class ServiceApp:
                 return 503, body, {"Retry-After": retry}
         return 200, body, {}
 
-    def metrics(self) -> Response:
-        """``GET /metrics`` — obs snapshot plus service-level stats."""
+    def _refresh_op_gauges(self) -> None:
+        """Fold live operational state into the metrics registry.
+
+        Runs on every ``/metrics`` scrape so one scrape sees the whole
+        picture: the admission estimate, per-dataset breaker states,
+        cache hit rates, session/journal/pool occupancy and SLO burn
+        rates that previously lived only in ``/healthz`` JSON all
+        become ordinary gauges here.
+        """
+        metrics = get_metrics()
+        if not metrics.enabled:
+            return
+        metrics.gauge("repro.service.uptime.seconds").set(
+            round(time.time() - self.started_at, 3)
+        )
+        metrics.gauge("repro.service.sessions.live").set(
+            self.sessions.count()
+        )
+        metrics.gauge("repro.service.sessions.evicted").set(
+            self.sessions.evicted
+        )
+        admission = self.admission.snapshot()
+        metrics.gauge("repro.admission.ewma_job_s").set(
+            admission.get("ewma_job_s") or 0.0
+        )
+        metrics.gauge("repro.admission.shed").set(admission.get("shed", 0))
+        for breaker in self.registry.breaker_snapshots():
+            # closed=0, half_open=1, open=2 — alert on anything > 0.
+            state = {"closed": 0, "half_open": 1, "open": 2}.get(
+                str(breaker.get("state")), 2
+            )
+            # Breaker names look like "registry.build:running"; the
+            # label keeps just the dataset part.
+            name = str(breaker.get("name", "?"))
+            metrics.gauge(
+                "repro.breaker.state",
+                dataset=name.rsplit(":", 1)[-1],
+            ).set(state)
+        if self.location_cache is not None:
+            stats = self.location_cache.stats()
+            metrics.gauge("repro.location_cache.hits").set(stats["hits"])
+            metrics.gauge("repro.location_cache.misses").set(stats["misses"])
+            metrics.gauge("repro.location_cache.size").set(stats["size"])
+        if self.journal is not None:
+            metrics.gauge("repro.journal.appended").set(self.journal.appended)
+        if self.proc_mode:
+            pool = self.pool.snapshot()
+            metrics.gauge("repro.isolation.queue.depth").set(
+                pool["queue_depth"]
+            )
+            metrics.gauge("repro.isolation.outstanding").set(
+                pool["outstanding"]
+            )
+            metrics.gauge("repro.isolation.workers.alive").set(pool["alive"])
+            busy = sum(
+                1 for worker in pool["workers"]
+                if worker["state"] == "busy"
+            )
+            metrics.gauge("repro.isolation.workers.busy").set(busy)
+        else:
+            pool = self.pool.snapshot()
+            metrics.gauge("repro.service.workers.busy").set(pool["busy"])
+            metrics.gauge("repro.service.queue.depth").set(
+                pool["queue_depth"]
+            )
+        if self.recorder is not None:
+            recorder = self.recorder.stats()
+            metrics.gauge("repro.recorder.recorded").set(recorder["recorded"])
+            metrics.gauge("repro.recorder.interesting").set(
+                recorder["interesting"]
+            )
+        self.slo.publish(metrics)
+
+    def metrics(self, query: dict[str, str] | None = None) -> Response:
+        """``GET /metrics`` — obs snapshot plus service-level stats.
+
+        ``?format=prometheus`` serves the registry as Prometheus text
+        exposition instead (``text/plain; version=0.0.4``).  Both forms
+        fold the live operational gauges in first, so a single scrape
+        carries admission/breaker/cache/pool/SLO state.
+        """
+        query = query or {}
+        self._refresh_op_gauges()
+        if query.get("format") == "prometheus":
+            text = render_exposition(obs.get_metrics())
+            return 200, text, {
+                "Content-Type": "text/plain; version=0.0.4; charset=utf-8"
+            }
         cache_stats = (
             self.location_cache.stats() if self.location_cache else None
         )
@@ -754,8 +932,58 @@ class ServiceApp:
                 "sessions_evicted": self.sessions.evicted,
                 "location_cache": cache_stats,
             },
+            "slo": self.slo.burn_rates(),
             "metrics": obs.get_metrics().snapshot(),
         }, {}
+
+    def debug_profile(self, query: dict[str, str] | None = None) -> Response:
+        """``GET /debug/profile`` — the sampling profiler's folded stacks.
+
+        Default is collapsed-stack text (one ``stack count`` line —
+        feed it straight to a flamegraph tool); ``?format=json`` returns
+        the structured snapshot; ``?reset=1`` clears the aggregate
+        after rendering.
+        """
+        query = query or {}
+        if self.profiler is None:
+            return 404, {
+                "error": "profiler disabled (profile_hz=0)",
+            }, {}
+        if query.get("format") == "json":
+            body: dict[str, Any] | str = self.profiler.snapshot()
+            headers: dict[str, str] = {}
+        else:
+            body = self.profiler.folded()
+            headers = {"Content-Type": "text/plain; charset=utf-8"}
+        if query.get("reset", "") in ("1", "true", "yes"):
+            self.profiler.reset()
+        return 200, body, headers
+
+    def debug_requests(self, query: dict[str, str] | None = None) -> Response:
+        """``GET /debug/requests`` — the flight recorder's listing."""
+        query = query or {}
+        if self.recorder is None:
+            return 404, {"error": "flight recorder disabled"}, {}
+        limit = _as_int(query.get("limit", 50), "limit")
+        interesting = query.get("interesting", "") in ("1", "true", "yes")
+        return 200, {
+            "requests": self.recorder.list(
+                interesting_only=interesting, limit=max(0, limit)
+            ),
+            "stats": self.recorder.stats(),
+        }, {}
+
+    def debug_request(self, request_id: str) -> Response:
+        """``GET /debug/requests/{id}`` — one request's stitched trace."""
+        if self.recorder is None:
+            return 404, {"error": "flight recorder disabled"}, {}
+        record = self.recorder.get(request_id)
+        if record is None:
+            return 404, {
+                "error": f"no recorded request {request_id!r} "
+                "(aged out or never recorded)",
+            }, {}
+        return 200, record.detail(), {}
 
     # ------------------------------------------------------------------
 

@@ -84,14 +84,24 @@ class _Handler(BaseHTTPRequestHandler):
     def _respond(
         self,
         status: int,
-        payload: dict[str, Any] | None,
+        payload: "dict[str, Any] | str | None",
         headers: dict[str, str],
     ) -> None:
-        data = b""
-        if payload is not None:
+        # A str payload (Prometheus exposition, folded profiles) is
+        # served verbatim as text/plain; dicts are JSON-encoded.  The
+        # app may override Content-Type via its extra headers.
+        if isinstance(payload, str):
+            data = payload.encode("utf-8")
+            content_type = "text/plain; charset=utf-8"
+        elif payload is not None:
             data = (json.dumps(payload) + "\n").encode("utf-8")
+            content_type = "application/json"
+        else:
+            data = b""
+            content_type = "application/json"
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        if "Content-Type" not in headers:
+            self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(data)))
         for name, value in headers.items():
             self.send_header(name, value)

@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.core.session import MappingSession
+from repro.obs import get_tracer
 from repro.resilience import NULL_BUDGET, Budget
 from repro.service.registry import DatasetRegistry, LocationCache
 
@@ -80,27 +81,32 @@ def _session_for(payload: dict[str, Any]) -> MappingSession:
     columns = tuple(str(c) for c in payload["columns"])
     on_irrelevant = str(payload.get("on_irrelevant", "ignore"))
     grid = _decode_grid(payload.get("grid", []))
-    cached = _SESSIONS.get(session_id)
-    if cached is not None:
-        cached_dataset, cached_policy, session = cached
-        if (
-            cached_dataset == dataset
-            and cached_policy == on_irrelevant
-            and tuple(session.spreadsheet.columns) == columns
-            and session.spreadsheet.cells() == grid
-        ):
-            return session
-        del _SESSIONS[session_id]
-    db = _REGISTRY.get(dataset)
-    session = MappingSession(
-        db, list(columns),
-        on_irrelevant=on_irrelevant,
-        location_cache=_CACHE,
-    )
-    if grid:
-        session.load_cells(grid)
-    _SESSIONS[session_id] = (dataset, on_irrelevant, session)
-    return session
+    with get_tracer().span(
+        "proctask.reconcile", session=session_id, dataset=dataset,
+    ) as span:
+        cached = _SESSIONS.get(session_id)
+        if cached is not None:
+            cached_dataset, cached_policy, session = cached
+            if (
+                cached_dataset == dataset
+                and cached_policy == on_irrelevant
+                and tuple(session.spreadsheet.columns) == columns
+                and session.spreadsheet.cells() == grid
+            ):
+                span.set("cache", "hit")
+                return session
+            del _SESSIONS[session_id]
+        span.set("cache", "rebuild")
+        db = _REGISTRY.get(dataset)
+        session = MappingSession(
+            db, list(columns),
+            on_irrelevant=on_irrelevant,
+            location_cache=_CACHE,
+        )
+        if grid:
+            session.load_cells(grid)
+        _SESSIONS[session_id] = (dataset, on_irrelevant, session)
+        return session
 
 
 def _serialize(session: MappingSession) -> dict[str, Any]:

@@ -126,6 +126,8 @@ class WorkerPool:
         self._queue: queue.Queue[Job | None] = queue.Queue(maxsize=queue_size)
         self._ids = itertools.count(1)
         self._closed = False
+        self._busy = 0
+        self._busy_lock = threading.Lock()
         self._threads = [
             threading.Thread(
                 target=self._run, name=f"mweaver-worker-{index}", daemon=True
@@ -171,6 +173,22 @@ class WorkerPool:
         """Jobs waiting in the queue (admission-control input)."""
         return self._queue.qsize()
 
+    def snapshot(self) -> dict[str, int]:
+        """Occupancy view: thread count, busy threads, queue depth."""
+        with self._busy_lock:
+            busy = self._busy
+        return {
+            "workers": len(self._threads),
+            "busy": busy,
+            "queue_depth": self._queue.qsize(),
+        }
+
+    def _set_busy(self, delta: int) -> None:
+        with self._busy_lock:
+            self._busy += delta
+            busy = self._busy
+        get_metrics().gauge("repro.service.workers.busy").set(busy)
+
     # -- worker loop ---------------------------------------------------
 
     def _run(self) -> None:
@@ -187,6 +205,7 @@ class WorkerPool:
                 self._queue.task_done()
                 continue
             started = time.perf_counter()
+            self._set_busy(1)
             try:
                 with get_tracer().adopt(job.parent_span):
                     # Chaos seam: lets tests fail or stall a job right
@@ -196,6 +215,7 @@ class WorkerPool:
             except BaseException as error:  # delivered to the waiter
                 job.error = error
             finally:
+                self._set_busy(-1)
                 metrics.histogram("repro.service.job.seconds").observe(
                     time.perf_counter() - started
                 )

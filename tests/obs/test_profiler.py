@@ -1,0 +1,160 @@
+"""The sampling profiler: folding, lifecycle, bounded aggregation."""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.obs.profiler import MAX_STACKS, SamplingProfiler, fold_frame
+
+
+def current_frame():
+    return sys._getframe()
+
+
+class TestFoldFrame:
+    def test_folds_outermost_first(self):
+        def inner():
+            return fold_frame(sys._getframe())
+
+        def outer():
+            return inner()
+
+        folded = outer()
+        parts = folded.split(";")
+        # The innermost frame is last; both helpers appear in order.
+        assert parts[-1].endswith(":inner")
+        assert parts[-2].endswith(":outer")
+        assert all(":" in part for part in parts)
+
+    def test_depth_is_bounded(self):
+        def recurse(n):
+            if n == 0:
+                return fold_frame(sys._getframe(), max_depth=5)
+            return recurse(n - 1)
+
+        folded = recurse(20)
+        assert folded.startswith("(truncated);")
+        assert folded.count(";") == 5  # marker + 5 frames
+
+    def test_none_frame_is_idle(self):
+        assert fold_frame(None) == "(idle)"
+
+
+class TestLifecycle:
+    def test_rejects_non_positive_hz(self):
+        with pytest.raises(ValueError, match="hz"):
+            SamplingProfiler(0)
+
+    def test_start_stop_and_running(self):
+        profiler = SamplingProfiler(hz=200.0)
+        assert not profiler.running
+        assert profiler.start() is profiler
+        assert profiler.running
+        assert profiler.start() is profiler  # idempotent
+        profiler.stop()
+        assert not profiler.running
+
+    def test_snapshot_without_start_is_empty(self):
+        snapshot = SamplingProfiler().snapshot()
+        assert snapshot["running"] is False
+        assert snapshot["samples"] == 0
+        assert snapshot["top"] == []
+
+
+class TestSampling:
+    def spin_until_sampled(self, profiler, deadline_s=5.0):
+        """Busy-work until the profiler has collected some samples."""
+        start = time.monotonic()
+        while time.monotonic() - start < deadline_s:
+            sum(i * i for i in range(5000))
+            if profiler.snapshot(top=1)["samples"] >= 5:
+                return
+        pytest.fail("profiler collected no samples in time")
+
+    def test_captures_running_stacks_in_folded_form(self):
+        profiler = SamplingProfiler(hz=500.0).start()
+        try:
+            self.spin_until_sampled(profiler)
+            folded = profiler.folded()
+        finally:
+            profiler.stop()
+        assert folded
+        for line in folded.splitlines():
+            stack, _, count = line.rpartition(" ")
+            assert stack
+            assert int(count) >= 1
+        # This very test function must show up somewhere in the stacks.
+        assert "test_profiler.py:" in folded
+
+    def test_folded_is_sorted_hottest_first_and_top_limits(self):
+        profiler = SamplingProfiler(hz=500.0).start()
+        try:
+            self.spin_until_sampled(profiler)
+        finally:
+            profiler.stop()
+        counts = [
+            int(line.rpartition(" ")[2])
+            for line in profiler.folded().splitlines()
+        ]
+        assert counts == sorted(counts, reverse=True)
+        assert len(profiler.folded(top=1).splitlines()) <= 1
+
+    def test_excluded_threads_are_not_sampled(self):
+        profiler = SamplingProfiler(hz=500.0)
+        stop = threading.Event()
+
+        def marked_thread_body_for_exclusion():
+            profiler.exclude_thread()
+            stop.wait()
+
+        thread = threading.Thread(
+            target=marked_thread_body_for_exclusion, daemon=True
+        )
+        thread.start()
+        time.sleep(0.05)  # let the exclusion register before sampling
+        profiler.start()
+        try:
+            self.spin_until_sampled(profiler)
+        finally:
+            profiler.stop()
+            stop.set()
+            thread.join(timeout=2.0)
+        assert "marked_thread_body_for_exclusion" not in profiler.folded()
+
+    def test_reset_clears_aggregates(self):
+        profiler = SamplingProfiler(hz=500.0).start()
+        try:
+            self.spin_until_sampled(profiler)
+        finally:
+            profiler.stop()
+        assert profiler.snapshot()["samples"] >= 5
+        profiler.reset()
+        snapshot = profiler.snapshot()
+        assert snapshot["samples"] == 0
+        assert snapshot["distinct_stacks"] == 0
+        assert profiler.folded() == ""
+
+
+class TestBoundedMemory:
+    def test_overflow_stacks_collapse_into_other(self):
+        profiler = SamplingProfiler(hz=1.0)  # never started: direct poke
+        with profiler._lock:
+            for index in range(MAX_STACKS):
+                profiler._stacks[f"stack-{index}"] = 1
+        # Simulate what _run does for a brand-new stack at capacity.
+        stack = "one-more-stack"
+        with profiler._lock:
+            if stack in profiler._stacks or (
+                len(profiler._stacks) < MAX_STACKS
+            ):
+                profiler._stacks[stack] = 1
+            else:
+                profiler._stacks["(other)"] = (
+                    profiler._stacks.get("(other)", 0) + 1
+                )
+        assert "one-more-stack" not in profiler._stacks
+        assert profiler._stacks["(other)"] == 1

@@ -1,0 +1,182 @@
+"""Prometheus text exposition: rendering validity and the parser.
+
+The renderer must emit format 0.0.4 the real Prometheus scraper would
+accept — mangled names, ``_total`` counters, cumulative ``le`` buckets
+ending in ``+Inf``, ``_sum``/``_count`` series, escaped label values —
+and :func:`parse_exposition` doubles as the validity oracle: it raises
+:class:`ExpositionError` on any histogram whose invariants are broken.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.prometheus import (
+    ExpositionError,
+    escape_label_value,
+    metric_name,
+    parse_exposition,
+    render_exposition,
+)
+
+
+class TestNameMangling:
+    def test_dots_become_underscores(self):
+        assert metric_name("repro.service.requests") == (
+            "repro_service_requests"
+        )
+
+    def test_counter_suffix(self):
+        assert metric_name("repro.tpw.searches", suffix="_total") == (
+            "repro_tpw_searches_total"
+        )
+
+    def test_invalid_characters_collapse_to_underscores(self):
+        # Colons stay (legal in Prometheus names); everything else
+        # outside [a-zA-Z0-9_:] folds to '_'.
+        assert metric_name("weird-name:with spaces") == (
+            "weird_name:with_spaces"
+        )
+
+
+class TestLabelEscaping:
+    def test_backslash_quote_and_newline(self):
+        assert escape_label_value('a"b') == 'a\\"b'
+        assert escape_label_value("a\\b") == "a\\\\b"
+        assert escape_label_value("a\nb") == "a\\nb"
+
+    def test_escaped_labels_round_trip_through_the_parser(self):
+        registry = MetricsRegistry()
+        nasty = 'GET /x "quoted"\nand\\slashed'
+        registry.counter("repro.test.requests", route=nasty).inc(3)
+        parsed = parse_exposition(render_exposition(registry))
+        (sample,) = parsed["repro_test_requests_total"]
+        assert sample["labels"]["route"] == nasty
+        assert sample["value"] == 3.0
+
+
+class TestCounterAndGaugeRendering:
+    def test_counter_gets_total_suffix_and_type_line(self):
+        registry = MetricsRegistry()
+        registry.counter("repro.jobs.done").inc(7)
+        text = render_exposition(registry)
+        assert "# TYPE repro_jobs_done_total counter" in text
+        assert "repro_jobs_done_total 7" in text
+
+    def test_gauge_keeps_bare_name(self):
+        registry = MetricsRegistry()
+        registry.gauge("repro.queue.depth").set(4)
+        text = render_exposition(registry)
+        assert "# TYPE repro_queue_depth gauge" in text
+        assert "repro_queue_depth 4" in text
+
+    def test_labeled_series_share_one_type_line(self):
+        registry = MetricsRegistry()
+        registry.counter("repro.requests", route="a").inc()
+        registry.counter("repro.requests", route="b").inc(2)
+        text = render_exposition(registry)
+        assert text.count("# TYPE repro_requests_total counter") == 1
+        parsed = parse_exposition(text)
+        values = {
+            sample["labels"]["route"]: sample["value"]
+            for sample in parsed["repro_requests_total"]
+        }
+        assert values == {"a": 1.0, "b": 2.0}
+
+
+class TestHistogramRendering:
+    def test_buckets_are_cumulative_and_end_in_inf(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram(
+            "repro.req.seconds", buckets=(0.1, 1.0)
+        )
+        for value in (0.05, 0.5, 5.0):
+            hist.observe(value)
+        text = render_exposition(registry)
+        lines = [
+            line for line in text.splitlines()
+            if line.startswith("repro_req_seconds_bucket")
+        ]
+        assert [line.rsplit(" ", 1)[1] for line in lines] == ["1", "2", "3"]
+        assert 'le="+Inf"' in lines[-1]
+        assert "repro_req_seconds_sum 5.55" in text
+        assert "repro_req_seconds_count 3" in text
+
+    def test_parser_verifies_histogram_invariants(self):
+        registry = MetricsRegistry()
+        registry.histogram("repro.req.seconds").observe(0.2)
+        parsed = parse_exposition(render_exposition(registry))
+        assert parsed["repro_req_seconds_count"][0]["value"] == 1.0
+        assert parsed["repro_req_seconds_sum"][0]["value"] == (
+            pytest.approx(0.2)
+        )
+
+    def test_per_label_histograms_keep_invariants_separately(self):
+        registry = MetricsRegistry()
+        registry.histogram("repro.req.seconds", route="a").observe(0.1)
+        registry.histogram("repro.req.seconds", route="b").observe(9.9)
+        text = render_exposition(registry)
+        parsed = parse_exposition(text)
+        routes = {
+            sample["labels"]["route"]
+            for sample in parsed["repro_req_seconds_count"]
+        }
+        assert routes == {"a", "b"}
+
+
+class TestValueFormatting:
+    def test_non_finite_values_render_prometheus_style(self):
+        registry = MetricsRegistry()
+        registry.gauge("repro.weird").set(math.inf)
+        registry.gauge("repro.weirder").set(math.nan)
+        text = render_exposition(registry)
+        assert "repro_weird +Inf" in text
+        assert "repro_weirder NaN" in text
+        parsed = parse_exposition(text)
+        assert parsed["repro_weird"][0]["value"] == math.inf
+        assert math.isnan(parsed["repro_weirder"][0]["value"])
+
+
+class TestParserRejectsInvalidExposition:
+    def test_non_monotone_buckets_raise(self):
+        text = (
+            "# TYPE x histogram\n"
+            'x_bucket{le="0.1"} 5\n'
+            'x_bucket{le="1.0"} 3\n'
+            'x_bucket{le="+Inf"} 5\n'
+            "x_sum 1\n"
+            "x_count 5\n"
+        )
+        with pytest.raises(ExpositionError, match="monoton"):
+            parse_exposition(text)
+
+    def test_missing_inf_bucket_raises(self):
+        text = (
+            "# TYPE x histogram\n"
+            'x_bucket{le="0.1"} 1\n'
+            "x_sum 0.05\n"
+            "x_count 1\n"
+        )
+        with pytest.raises(ExpositionError, match=r"\+Inf"):
+            parse_exposition(text)
+
+    def test_missing_sum_or_count_raises(self):
+        text = (
+            "# TYPE x histogram\n"
+            'x_bucket{le="0.1"} 1\n'
+            'x_bucket{le="+Inf"} 1\n'
+            "x_sum 0.05\n"
+        )
+        with pytest.raises(ExpositionError, match="count"):
+            parse_exposition(text)
+
+    def test_garbage_line_raises(self):
+        with pytest.raises(ExpositionError):
+            parse_exposition("this is not prometheus\n")
+
+    def test_empty_exposition_is_fine(self):
+        assert parse_exposition("") == {}
+        assert parse_exposition("# just a comment\n") == {}

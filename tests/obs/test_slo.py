@@ -1,0 +1,183 @@
+"""SLO objectives and multi-window burn-rate math.
+
+Every test drives the :class:`SloTracker` through an injected fake
+clock, so window rotation and bucket expiry are deterministic — no
+sleeps, no wall-clock flakiness.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import (
+    ALERT_BURN_RATE,
+    Objective,
+    SloTracker,
+    default_objectives,
+)
+
+
+class FakeClock:
+    def __init__(self, start: float = 1000.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def tick(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestObjective:
+    def test_budget_is_one_minus_target(self):
+        assert Objective("a", target=0.99).budget == pytest.approx(0.01)
+
+    def test_target_must_be_a_fraction(self):
+        with pytest.raises(ValueError, match="target"):
+            Objective("a", target=1.0)
+        with pytest.raises(ValueError, match="target"):
+            Objective("a", target=0.0)
+
+    def test_latency_bound_must_be_positive(self):
+        with pytest.raises(ValueError, match="latency_s"):
+            Objective("a", target=0.9, latency_s=0.0)
+
+    def test_error_is_always_bad(self):
+        objective = Objective("a", target=0.99)
+        assert objective.is_bad(error=True, duration_s=0.001)
+        assert not objective.is_bad(error=False, duration_s=99.0)
+
+    def test_latency_objective_counts_slow_requests(self):
+        objective = Objective("a", target=0.95, latency_s=0.25)
+        assert objective.is_bad(error=False, duration_s=0.3)
+        assert not objective.is_bad(error=False, duration_s=0.2)
+
+
+class TestBurnRates:
+    def make(self, clock, **kwargs):
+        return SloTracker(
+            (Objective("availability", target=0.99),),
+            windows=(60.0, 600.0),
+            bucket_s=10.0,
+            clock=clock,
+            **kwargs,
+        )
+
+    def test_no_traffic_burns_nothing(self):
+        tracker = self.make(FakeClock())
+        state = tracker.burn_rates()["availability"]
+        assert state["alerting"] is False
+        for window in state["windows"].values():
+            assert window == {
+                "good": 0, "bad": 0, "bad_fraction": 0.0,
+                "burn_rate": 0.0, "alerting": False,
+            }
+
+    def test_burn_rate_is_bad_fraction_over_budget(self):
+        clock = FakeClock()
+        tracker = self.make(clock)
+        for _ in range(98):
+            tracker.record(error=False, duration_s=0.01)
+        for _ in range(2):
+            tracker.record(error=True, duration_s=0.01)
+        window = tracker.burn_rates()["availability"]["windows"]["60s"]
+        assert window["bad_fraction"] == pytest.approx(0.02)
+        # 2% bad against a 1% budget: burning at 2x the sustainable rate.
+        assert window["burn_rate"] == pytest.approx(2.0)
+
+    def test_total_outage_alerts(self):
+        clock = FakeClock()
+        tracker = self.make(clock)
+        for _ in range(50):
+            tracker.record(error=True, duration_s=0.01)
+        state = tracker.burn_rates()["availability"]
+        # 100% bad / 1% budget = burn rate 100 — over any alert bar.
+        assert state["windows"]["60s"]["burn_rate"] == pytest.approx(100.0)
+        assert state["windows"]["60s"]["burn_rate"] >= ALERT_BURN_RATE
+        assert state["alerting"] is True
+
+    def test_short_window_recovers_while_long_window_remembers(self):
+        clock = FakeClock()
+        tracker = self.make(clock)
+        for _ in range(10):
+            tracker.record(error=True, duration_s=0.01)
+        # 2 minutes later the 60 s window no longer sees the outage,
+        # the 600 s window still does.
+        clock.tick(120.0)
+        for _ in range(10):
+            tracker.record(error=False, duration_s=0.01)
+        windows = tracker.burn_rates()["availability"]["windows"]
+        assert windows["60s"]["bad"] == 0
+        assert windows["60s"]["burn_rate"] == 0.0
+        assert windows["600s"]["bad"] == 10
+        assert windows["600s"]["burn_rate"] > 0
+
+    def test_everything_expires_past_the_longest_window(self):
+        clock = FakeClock()
+        tracker = self.make(clock)
+        for _ in range(10):
+            tracker.record(error=True, duration_s=0.01)
+        clock.tick(601.0)
+        windows = tracker.burn_rates()["availability"]["windows"]
+        assert windows["600s"] == {
+            "good": 0, "bad": 0, "bad_fraction": 0.0,
+            "burn_rate": 0.0, "alerting": False,
+        }
+
+    def test_latency_objective_burns_on_slow_requests(self):
+        clock = FakeClock()
+        tracker = SloTracker(
+            (Objective("latency", target=0.95, latency_s=0.25),),
+            windows=(60.0,), clock=clock,
+        )
+        tracker.record(error=False, duration_s=0.5)   # slow = bad
+        tracker.record(error=False, duration_s=0.1)   # fast = good
+        window = tracker.burn_rates()["latency"]["windows"]["60s"]
+        assert (window["good"], window["bad"]) == (1, 1)
+
+
+class TestValidation:
+    def test_rejects_empty_objectives(self):
+        with pytest.raises(ValueError, match="objective"):
+            SloTracker(())
+
+    def test_rejects_empty_windows(self):
+        with pytest.raises(ValueError, match="window"):
+            SloTracker((Objective("a", target=0.9),), windows=())
+
+
+class TestPublish:
+    def test_publishes_one_gauge_per_objective_window(self):
+        clock = FakeClock()
+        tracker = SloTracker(
+            default_objectives(), windows=(60.0, 600.0), clock=clock
+        )
+        for _ in range(4):
+            tracker.record(error=True, duration_s=0.01)
+        registry = MetricsRegistry()
+        tracker.publish(registry)
+        snapshot = registry.snapshot()["gauges"]
+        for objective in ("availability", "latency"):
+            for window in ("60s", "600s"):
+                key = (
+                    "repro.slo.burn_rate"
+                    f"{{objective={objective},window={window}}}"
+                )
+                assert snapshot[key] > 0
+            assert (
+                snapshot[f"repro.slo.alerting{{objective={objective}}}"] == 1
+            )
+
+
+class TestDefaultObjectives:
+    def test_shape(self):
+        availability, latency = default_objectives(
+            latency_s=0.5, availability=0.999, latency_target=0.9
+        )
+        assert availability.name == "availability"
+        assert availability.target == 0.999
+        assert availability.latency_s is None
+        assert latency.name == "latency"
+        assert latency.latency_s == 0.5
+        assert "500ms" in latency.description

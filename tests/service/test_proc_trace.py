@@ -1,0 +1,223 @@
+"""Cross-process trace propagation: worker spans stitch under requests.
+
+Process-mode jobs run in supervised subprocesses; the worker installs a
+fresh tracer per traced job, ships its finished spans back over the
+result pipe, and the parent grafts them under the request span that
+submitted the job.  These tests assert the stitched tree looks exactly
+like thread mode to every consumer — ``/debug/requests/{id}``, JSONL
+export, ``mweaver explain`` — including when the worker is SIGKILLed
+mid-span (a synthesized error span marks the kill).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import obs
+from repro.exceptions import ServiceUnavailableError
+from repro.resilience.isolation import ProcessWorkerPool
+from repro.service.app import ServiceApp
+from repro.service.config import ServiceConfig
+
+from tests.service.conftest import FLOW_CELLS
+
+
+def make_pool(**overrides) -> ProcessWorkerPool:
+    settings = dict(procs=1, queue_size=8)
+    settings.update(overrides)
+    pool = ProcessWorkerPool(**settings)
+    assert pool.wait_ready(60.0), "no worker completed its handshake"
+    return pool
+
+
+@pytest.fixture
+def pool():
+    pool = make_pool()
+    yield pool
+    pool.shutdown()
+
+
+class TestPoolTraceTransport:
+    def test_worker_spans_graft_under_the_submitting_span(self, pool):
+        with obs.scoped() as tracer:
+            with tracer.span("test.request") as root:
+                result = pool.run("diag.echo", {"value": 7}, timeout_s=10.0)
+        assert result["echo"] == 7
+        (task_span,) = [
+            span for span in root.walk() if span.name == "isolation.task"
+        ]
+        assert task_span.attributes["task"] == "diag.echo"
+        # The pid attribute proves the span was recorded in the worker.
+        assert task_span.attributes["pid"] == result["pid"]
+        assert task_span.attributes["pid"] != os.getpid()
+        assert task_span.status == "ok"
+        assert task_span.start_epoch > 0
+
+    def test_untraced_jobs_ship_no_spans(self, pool):
+        # Tracing disabled at submit time: the worker must not pay for
+        # span bookkeeping, and nothing grafts on the way back.
+        job = pool.submit("diag.echo", {"value": 1}, timeout_s=10.0)
+        result = job.wait()
+        assert result["echo"] == 1
+        assert job.trace is False
+        assert job.remote_spans == []
+
+    def test_failed_jobs_still_ship_their_partial_trace(self, pool):
+        with obs.scoped() as tracer:
+            with tracer.span("test.request") as root:
+                with pytest.raises(RuntimeError, match="kapow"):
+                    pool.run(
+                        "diag.boom", {"message": "kapow"}, timeout_s=10.0
+                    )
+        (task_span,) = [
+            span for span in root.walk() if span.name == "isolation.task"
+        ]
+        assert task_span.status == "error"
+        assert "kapow" in (task_span.error or "")
+
+    def test_jsonl_round_trip_of_a_stitched_trace(self, pool, tmp_path):
+        with obs.scoped() as tracer:
+            with tracer.span("test.request"):
+                pool.run("diag.echo", {"value": 3}, timeout_s=10.0)
+            spans = tracer.finished
+            snapshot = obs.get_metrics().snapshot()
+        target = obs.write_jsonl(
+            str(tmp_path / "trace.jsonl"), spans, snapshot
+        )
+        roots, _ = obs.parse_jsonl(
+            open(target, encoding="utf-8").read()
+        )
+        (root,) = roots
+        assert [child.name for child in root.children] == [
+            "isolation.task"
+        ]
+
+
+class TestWorkerKillMidSpan:
+    def test_sigkill_synthesizes_an_error_span_per_attempt(self):
+        # kill_after below the waiter timeout: the first kill requeues
+        # the job once, the second kill surfaces 503 — and both
+        # attempts leave a kill marker in the stitched trace.
+        pool = make_pool(procs=1)
+        try:
+            with obs.scoped() as tracer:
+                with tracer.span("test.request") as root:
+                    with pytest.raises(ServiceUnavailableError):
+                        pool.run(
+                            "diag.sleep", {"seconds": 30.0},
+                            timeout_s=30.0, kill_after_s=0.4,
+                        )
+        finally:
+            pool.shutdown()
+        markers = [
+            span for span in root.walk()
+            if span.name == "isolation.task"
+            and span.attributes.get("killed")
+        ]
+        assert [span.attributes["attempt"] for span in markers] == [1, 2]
+        for span in markers:
+            assert span.status == "error"
+            assert "killed" in (span.error or "")
+            assert span.attributes["task"] == "diag.sleep"
+            assert span.start_epoch > 0
+
+
+@pytest.fixture
+def traced_proc_app():
+    """A process-mode app with always-on bounded tracing, like serve."""
+    from repro.obs.tracer import Tracer, disable_tracing, set_tracer
+
+    obs.enable_metrics()
+    set_tracer(Tracer(max_roots=64))
+    app = ServiceApp(
+        ServiceConfig(
+            datasets=("running",),
+            isolation="process",
+            procs=1,
+            workers=2,
+            queue_size=8,
+            request_timeout_s=15.0,
+        )
+    )
+    yield app
+    app.close()
+    disable_tracing()
+    obs.disable()
+
+
+def run_flow_collecting_ids(app) -> list[str]:
+    _, created, headers = app.handle("POST", "/sessions", {}, {})
+    ids = [headers["X-Request-Id"]]
+    session_id = created["session_id"]
+    for row, column, value in FLOW_CELLS:
+        status, body, headers = app.handle(
+            "POST", f"/sessions/{session_id}/cells", {},
+            {"row": row, "column": column, "value": value},
+        )
+        assert status == 200, body
+        ids.append(headers["X-Request-Id"])
+    return ids
+
+
+class TestServiceStitchedTraces:
+    def test_debug_requests_returns_one_stitched_trace(
+        self, traced_proc_app
+    ):
+        ids = run_flow_collecting_ids(traced_proc_app)
+        # The first completed row ran the search in a worker process.
+        status, detail, _ = traced_proc_app.handle(
+            "GET", f"/debug/requests/{ids[2]}", {}, None
+        )
+        assert status == 200
+        roots = obs.records_to_spans(detail["spans"])
+        assert len(roots) == 1, "one request = one stitched trace"
+        (root,) = roots
+        assert root.name == "service.request"
+        task_spans = [
+            span for span in root.walk() if span.name == "isolation.task"
+        ]
+        assert task_spans, "worker spans must stitch under the request"
+        assert all(
+            span.attributes["pid"] != os.getpid() for span in task_spans
+        )
+
+    def test_explain_parity_with_thread_mode(
+        self, traced_proc_app, make_app
+    ):
+        """The stitched process trace explains like the thread trace."""
+
+        def search_explanation(app) -> str:
+            for request_id in run_flow_collecting_ids(app):
+                status, detail, _ = app.handle(
+                    "GET", f"/debug/requests/{request_id}", {}, None
+                )
+                assert status == 200
+                roots = obs.records_to_spans(detail["spans"])
+                searches = obs.find_searches(roots)
+                if searches:
+                    explanation = obs.SearchExplanation.from_trace(
+                        roots,
+                        search_id=searches[0].attributes.get("search_id"),
+                    )
+                    return explanation.to_text()
+            pytest.fail("no request trace contained a search")
+
+        process_text = search_explanation(traced_proc_app)
+        thread_text = search_explanation(make_app())
+
+        def normalize(text: str) -> list[str]:
+            # Strip timings and the global search-id counter — identical
+            # structure, not identical speed or allocation order.
+            import re
+
+            return [
+                re.sub(
+                    r"search #\d+", "search #N",
+                    re.sub(r"\d+\.\d+ms", "Xms", line),
+                )
+                for line in text.splitlines()
+            ]
+
+        assert normalize(process_text) == normalize(thread_text)
