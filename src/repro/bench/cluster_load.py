@@ -1,0 +1,236 @@
+"""Cluster bench: scale-out capacity and failover-under-load.
+
+Boots the real topology — three ``mweaver shard`` subprocesses behind
+an ``mweaver cluster`` coordinator (R=2) — and measures four things:
+
+``cluster/single_node``
+    One extra shard-mode node measured directly, same flags, same
+    machine.  The in-record reference every other number is compared
+    against (the committed ``BENCH_service.json`` was measured on
+    whatever hardware ran that session; this one is measured *here*).
+
+``cluster/capacity3``
+    Per-shard saturation throughput of the three cluster shards,
+    measured one shard at a time and summed.  Sequential on purpose:
+    the bench host timeshares every shard process over
+    ``os.cpu_count()`` cores, so hammering all three at once measures
+    the host's core count, not the cluster.  With one host per shard —
+    the deployment the topology exists for — the sum is the cluster's
+    aggregate capacity.  ``meta.concurrent3_rps`` records the honest
+    same-host concurrent number alongside.
+
+``cluster/routed``
+    The same flow load through the coordinator: one extra HTTP hop,
+    plus placement, journaling and replica fan-out on every write.
+
+``cluster/failover``
+    The headline robustness number: routed load with client-side
+    retries while one shard is ``kill -9``-ed mid-bench.  Zero request
+    errors (refusals are absorbed by retries and counted separately)
+    and a bounded p50 are the acceptance properties; the regression
+    gate enforces both (errors via the correctness gate, latency via
+    the baseline threshold).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import threading
+import time
+from typing import Any
+
+from repro.bench.service_load import LoadResult, percentile, run_load
+from repro.cluster import CoordinatorProcess, ShardProcess
+
+__all__ = ["measure_cluster"]
+
+
+def _combined_entry(results: list[LoadResult]) -> dict[str, Any]:
+    """One workload entry summing throughput across independent nodes.
+
+    Latency percentiles pool every request (each node serves its own
+    clients, so the pooled distribution is what a spread-out client
+    population sees); throughput is the sum of per-node rates.
+    """
+    latencies = [s for result in results for s in result.latencies_s]
+    throughput = sum(result.throughput_rps for result in results)
+    return {
+        "wall_s": percentile(latencies, 95),
+        "p50_s": percentile(latencies, 50),
+        "p95_s": percentile(latencies, 95),
+        "throughput_rps": round(throughput, 2),
+        "clients": sum(result.clients for result in results),
+        "requests": sum(result.requests for result in results),
+        "errors": sum(result.errors for result in results),
+        "mismatches": sum(result.mismatches for result in results),
+        "degraded": sum(result.degraded for result in results),
+        "refused": sum(result.refused for result in results),
+    }
+
+
+def measure_cluster(
+    *,
+    clients: int = 4,
+    flows_per_client: int = 6,
+    n_shards: int = 3,
+    replication: int = 2,
+    kill_after_s: float = 0.2,
+) -> dict[str, Any]:
+    """Measure the cluster bench into one ``bench-record`` dict."""
+    from repro.bench.regress import RECORD_KIND, calibrate
+
+    record: dict[str, Any] = {
+        "kind": RECORD_KIND,
+        "name": "cluster",
+        "calibration_s": calibrate(),
+        "meta": {
+            "shards": n_shards,
+            "replication": replication,
+            "clients": clients,
+            "flows_per_client": flows_per_client,
+            "cores": os.cpu_count(),
+        },
+        "workloads": {},
+    }
+    meta = record["meta"]
+
+    with tempfile.TemporaryDirectory(prefix="bench-cluster-") as tmp:
+        # -- single-node reference (its own process, not in the ring) --
+        reference = ShardProcess(name="reference", workers=8)
+        reference.start().wait_ready()
+        try:
+            run_load(reference.host, reference.port,
+                     clients=1, flows_per_client=1)  # warm caches
+            single = run_load(
+                reference.host, reference.port,
+                clients=clients, flows_per_client=flows_per_client,
+            )
+        finally:
+            reference.terminate()
+        record["workloads"]["cluster/single_node"] = (
+            single.to_workload_entry()
+        )
+        meta["single_node_rps"] = round(single.throughput_rps, 2)
+
+        shards = [
+            ShardProcess(name=f"shard{i}", workers=8)
+            for i in range(n_shards)
+        ]
+        coordinator: CoordinatorProcess | None = None
+        try:
+            for shard in shards:
+                shard.start()
+            for shard in shards:
+                shard.wait_ready()
+
+            # -- aggregate capacity: one shard at a time, summed.
+            # Measured before the coordinator boots so its heartbeat
+            # and replication threads don't timeshare the bench host's
+            # core(s) with the shard under measurement.
+            per_shard: list[LoadResult] = []
+            for shard in shards:
+                run_load(shard.host, shard.port,
+                         clients=1, flows_per_client=1)
+                per_shard.append(run_load(
+                    shard.host, shard.port,
+                    clients=clients, flows_per_client=flows_per_client,
+                ))
+            record["workloads"]["cluster/capacity3"] = (
+                _combined_entry(per_shard)
+            )
+            meta["per_shard_rps"] = [
+                round(result.throughput_rps, 2) for result in per_shard
+            ]
+            meta["aggregate_capacity_rps"] = round(
+                sum(r.throughput_rps for r in per_shard), 2
+            )
+            meta["capacity_vs_single_node"] = round(
+                meta["aggregate_capacity_rps"] / single.throughput_rps, 2
+            ) if single.throughput_rps else None
+
+            # Honest same-host concurrent number: all shards hammered
+            # at once share this host's cores, so this measures the
+            # bench box, not the topology.  Recorded in meta, not gated.
+            concurrent: list[LoadResult | None] = [None] * n_shards
+
+            def _direct(index: int) -> None:
+                concurrent[index] = run_load(
+                    shards[index].host, shards[index].port,
+                    clients=clients, flows_per_client=flows_per_client,
+                )
+
+            threads = [
+                threading.Thread(target=_direct, args=(i,))
+                for i in range(n_shards)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            meta["concurrent3_rps"] = round(
+                sum(r.throughput_rps for r in concurrent if r), 2
+            )
+
+            coordinator = CoordinatorProcess(
+                [shard.address for shard in shards],
+                replication=replication,
+                journal_dir=os.path.join(tmp, "coordinator"),
+            ).start().wait_ready()
+
+            # -- through the coordinator ------------------------------
+            run_load(coordinator.host, coordinator.port,
+                     clients=1, flows_per_client=1)
+            routed = run_load(
+                coordinator.host, coordinator.port,
+                clients=clients, flows_per_client=flows_per_client,
+            )
+            record["workloads"]["cluster/routed"] = (
+                routed.to_workload_entry()
+            )
+            meta["routed_rps"] = round(routed.throughput_rps, 2)
+
+            # -- failover under load: kill -9 one shard mid-bench.
+            # Three times the flows so the run comfortably outlasts
+            # the kill timer and most of it happens with a dead shard
+            # in the ring.
+            victim = shards[0]
+            killer = threading.Timer(kill_after_s, victim.kill)
+            killer.start()
+            try:
+                failover = run_load(
+                    coordinator.host, coordinator.port,
+                    clients=clients,
+                    flows_per_client=flows_per_client * 3,
+                    retry_refusals=True,
+                )
+            finally:
+                killer.cancel()
+                killer.join()
+            if victim.alive():  # bench outran the timer: kill and redo
+                victim.kill()
+                failover = run_load(
+                    coordinator.host, coordinator.port,
+                    clients=clients,
+                    flows_per_client=flows_per_client * 3,
+                    retry_refusals=True,
+                )
+            record["workloads"]["cluster/failover"] = (
+                failover.to_workload_entry()
+            )
+            meta["failover_refusals"] = failover.refused
+            meta["failover_p50_ms"] = round(failover.p50_s * 1000, 2)
+
+            import json as _json
+
+            status, raw = coordinator.request("GET", "/healthz")
+            if status == 200:
+                health = _json.loads(raw)
+                meta["failovers"] = health.get("failovers", 0)
+                meta["shards_up_after_kill"] = health.get("shards_up", 0)
+        finally:
+            if coordinator is not None:
+                coordinator.terminate()
+            for shard in shards:
+                shard.terminate()
+    return record

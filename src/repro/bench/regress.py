@@ -391,6 +391,14 @@ def main(argv: list[str] | None = None) -> int:
     registry.  ``meta.metrics_overhead_pct`` (the tracing-off serve
     configuration) and ``meta.tracing_overhead_pct`` report p50 drift
     against the off baseline.
+
+    ``--cluster`` gates the sharded-cluster bench
+    (:func:`repro.bench.cluster_load.measure_cluster`): record
+    ``results/BENCH_cluster.json`` — a same-machine single-node
+    reference, per-shard aggregate capacity, the coordinator-routed
+    path, and a failover run with one shard ``kill -9``-ed mid-bench.
+    The correctness gate (zero errors / zero mismatches) doubles as
+    the zero-loss failover check; latency gates as usual.
     """
     parser = argparse.ArgumentParser(
         prog="regress.py",
@@ -425,6 +433,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--obs", action="store_true",
                         help="bench the observability stack overhead "
                              "(metrics / tracing / profiler / scrape)")
+    parser.add_argument("--cluster", action="store_true",
+                        help="bench the sharded cluster (scale-out "
+                             "capacity + kill -9 failover under load)")
     parser.add_argument("--clients", default="1,4,8", metavar="N,N,...",
                         help="concurrency levels for --service "
                              "(--resilience uses the first level only)")
@@ -434,13 +445,18 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if not (args.measure or args.check or args.update):
         parser.error("pick at least one of --measure / --check / --update")
-    if sum((args.service, args.resilience, args.overload, args.obs)) > 1:
+    if sum((args.service, args.resilience, args.overload, args.obs,
+            args.cluster)) > 1:
         parser.error(
-            "--service / --resilience / --overload / --obs "
+            "--service / --resilience / --overload / --obs / --cluster "
             "are mutually exclusive"
         )
 
-    if args.obs:
+    if args.cluster:
+        record_name = "BENCH_cluster.json"
+        wall_threshold = SERVICE_WALL_THRESHOLD
+        require_all = False
+    elif args.obs:
         record_name = "BENCH_obs.json"
         wall_threshold = SERVICE_WALL_THRESHOLD
         require_all = False
@@ -465,7 +481,23 @@ def main(argv: list[str] | None = None) -> int:
     if args.current:
         current = load_record(args.current)
     if current is None and (args.measure or args.check or args.update):
-        if args.obs:
+        if args.cluster:
+            from repro.bench.cluster_load import measure_cluster
+
+            print(f"measuring cluster workloads (flows={args.flows})…")
+            current = measure_cluster(flows_per_client=args.flows)
+            meta = current.get("meta", {})
+            print(
+                f"single node: {meta.get('single_node_rps')} rps | "
+                f"aggregate capacity (3 shards): "
+                f"{meta.get('aggregate_capacity_rps')} rps "
+                f"({meta.get('capacity_vs_single_node')}x) | "
+                f"routed: {meta.get('routed_rps')} rps | "
+                f"failover p50: {meta.get('failover_p50_ms')} ms "
+                f"({meta.get('failovers')} failover(s), "
+                f"{meta.get('failover_refusals')} refusal(s) retried)"
+            )
+        elif args.obs:
             from repro.bench.service_load import measure_obs
 
             print(f"measuring observability workloads (flows={args.flows})…")
@@ -523,6 +555,7 @@ def main(argv: list[str] | None = None) -> int:
 
     service_modes = (
         args.service or args.resilience or args.overload or args.obs
+        or args.cluster
     )
     if service_modes and current is not None:
         # Correctness gates before any latency talk: every flow must

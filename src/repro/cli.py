@@ -265,6 +265,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             profile_hz=args.profile_hz,
             recorder_capacity=args.recorder_capacity,
             slow_request_s=args.slow_request,
+            shard_mode=bool(getattr(args, "shard_mode", False)),
         ).validate()
     except ServiceConfigError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -286,7 +287,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
         app.close()
         return 1
-    print(f"mweaver service listening on {server.url}")
+    role = "shard" if config.shard_mode else "service"
+    # flush: cluster harnesses parse this line through a pipe.
+    print(f"mweaver {role} listening on {server.url}", flush=True)
     print(
         f"datasets: {', '.join(config.datasets)}  "
         f"workers: {config.workers}  queue: {config.queue_size}  "
@@ -357,6 +360,107 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if app.drain_report is not None:
         state = "clean" if app.drain_report["clean"] else "timed out"
         print(f"drained in {app.drain_report['seconds']:g}s ({state})")
+    return 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from repro.cluster import ClusterConfig, CoordinatorApp
+    from repro.exceptions import ServiceConfigError
+    from repro.service import MappingServer
+
+    datasets = tuple(
+        name.strip() for name in args.datasets.split(",") if name.strip()
+    )
+    columns = tuple(
+        column.strip() for column in args.columns.split(",") if column.strip()
+    )
+    try:
+        config = ClusterConfig(
+            host=args.host,
+            port=args.port,
+            shards=tuple(args.shards or ()),
+            replication=args.replication,
+            vnodes=args.vnodes,
+            datasets=datasets,
+            default_columns=columns,
+            max_sessions=args.max_sessions,
+            heartbeat_interval_s=args.heartbeat_interval,
+            failure_threshold=args.failure_threshold,
+            breaker_reset_s=args.breaker_reset,
+            request_timeout_s=args.request_timeout,
+            hedge_delay_s=args.hedge_delay,
+            journal_dir=args.journal_dir,
+            replicate_interval_s=args.replicate_interval,
+            retry_after_s=args.retry_after,
+            drain_timeout_s=args.drain_timeout,
+        ).validate()
+    except ServiceConfigError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    obs.enable_metrics()
+    if args.trace_roots and not obs.tracing_enabled():
+        obs.set_tracer(obs.Tracer(max_roots=args.trace_roots))
+    app = CoordinatorApp(config)
+    try:
+        server = MappingServer(app)
+    except OSError as error:
+        print(
+            f"error: cannot bind {config.host}:{config.port}: {error}",
+            file=sys.stderr,
+        )
+        app.close()
+        return 1
+    # flush: cluster harnesses parse this line through a pipe.
+    print(f"mweaver cluster coordinator listening on {server.url}",
+          flush=True)
+    print(
+        f"shards: {', '.join(config.shards)}  "
+        f"replication: R={min(config.replication, len(config.shards))}  "
+        f"heartbeat: {config.heartbeat_interval_s:g}s"
+    )
+    if config.journal_dir:
+        print(
+            f"journal: {app.journal.path} "
+            f"(recovered {app.recovered_sessions} session(s))"
+        )
+    print("Ctrl-C or SIGTERM to drain and stop.")
+
+    drain_started = threading.Event()
+    drain_thread: list[threading.Thread] = []
+
+    def _on_signal(signum: int, _frame) -> None:
+        if drain_started.is_set():
+            return
+        drain_started.set()
+        name = signal.Signals(signum).name
+        print(f"{name} received: draining", flush=True)
+        thread = threading.Thread(
+            target=server.drain, name="mweaver-cluster-drain", daemon=True
+        )
+        drain_thread.append(thread)
+        thread.start()
+
+    previous = {
+        signal.SIGTERM: signal.signal(signal.SIGTERM, _on_signal),
+        signal.SIGINT: signal.signal(signal.SIGINT, _on_signal),
+    }
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - handler owns SIGINT
+        print("shutting down")
+        return 0
+    except Exception as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+        if drain_thread:
+            drain_thread[0].join(timeout=config.drain_timeout_s + 10.0)
+        server.shutdown()
     return 0
 
 
@@ -590,6 +694,123 @@ def _cmd_study(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_service_flags(parser: argparse.ArgumentParser) -> None:
+    """The shared `mweaver serve` / `mweaver shard` flag set."""
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8384,
+                       help="TCP port (0 = let the OS pick)")
+    parser.add_argument(
+        "--datasets",
+        default="running",
+        help="comma-separated datasets to preload (running, yahoo, imdb)",
+    )
+    parser.add_argument("--scale", type=int, default=150,
+                       help="movie count for the generated datasets")
+    parser.add_argument(
+        "--columns",
+        default="Name,Director",
+        help="default target columns for sessions that name none",
+    )
+    parser.add_argument("--workers", type=int, default=4,
+                       help="worker threads running searches")
+    parser.add_argument("--queue-size", type=int, default=32,
+                       help="bounded work-queue depth (full = 429)")
+    parser.add_argument("--max-sessions", type=int, default=64,
+                       help="cap on concurrently live sessions")
+    parser.add_argument("--session-ttl", type=float, default=900.0,
+                       metavar="SECONDS", help="idle eviction TTL")
+    parser.add_argument("--request-timeout", type=float, default=10.0,
+                       metavar="SECONDS", help="per-request deadline")
+    parser.add_argument(
+        "--journal-dir", default=None, metavar="DIR",
+        help="enable crash-safe session journaling in DIR; on startup "
+             "the journal is replayed and live sessions restored",
+    )
+    parser.add_argument(
+        "--search-deadline", type=float, default=None, metavar="SECONDS",
+        help="anytime-search budget per cell input (default: 80%% of "
+             "--request-timeout; 0 disables the budget)",
+    )
+    parser.add_argument("--location-cache", type=int, default=4096,
+                       metavar="ENTRIES",
+                       help="cross-session LocateSample LRU size (0 = off)")
+    parser.add_argument(
+        "--isolation", choices=("thread", "process"), default="thread",
+        help="worker isolation: 'thread' (in-process pool, the default) "
+             "or 'process' (supervised worker processes with hard "
+             "SIGKILL deadlines and memory ceilings)",
+    )
+    parser.add_argument(
+        "--procs", type=int, default=0, metavar="N",
+        help="worker processes for --isolation=process "
+             "(0 = same as --workers)",
+    )
+    parser.add_argument(
+        "--kill-grace", type=float, default=2.0, metavar="FACTOR",
+        help="hard-kill a process-mode job after the search deadline "
+             "times this factor (>= 1.0)",
+    )
+    parser.add_argument(
+        "--worker-memory-mb", type=int, default=0, metavar="MB",
+        help="address-space ceiling per worker process via setrlimit "
+             "(0 = unlimited)",
+    )
+    parser.add_argument(
+        "--recycle-requests", type=int, default=0, metavar="N",
+        help="recycle a worker process after N requests (0 = never)",
+    )
+    parser.add_argument(
+        "--recycle-growth-mb", type=int, default=0, metavar="MB",
+        help="recycle a worker process after MB of RSS growth "
+             "(0 = never)",
+    )
+    parser.add_argument(
+        "--drain-timeout", type=float, default=10.0, metavar="SECONDS",
+        help="graceful-drain budget for in-flight requests on "
+             "SIGTERM/SIGINT",
+    )
+    parser.add_argument(
+        "--shed-factor", type=float, default=1.0, metavar="FACTOR",
+        help="shed (503 + Retry-After) when estimated queue wait "
+             "exceeds FACTOR x the request deadline (0 = off)",
+    )
+    parser.add_argument(
+        "--slo-latency", type=float, default=0.25, metavar="SECONDS",
+        help="latency SLO bound; slower requests burn the latency "
+             "error budget",
+    )
+    parser.add_argument(
+        "--slo-availability-target", type=float, default=0.99,
+        metavar="FRACTION",
+        help="promised fraction of requests that do not 5xx",
+    )
+    parser.add_argument(
+        "--slo-latency-target", type=float, default=0.95,
+        metavar="FRACTION",
+        help="promised fraction of requests within --slo-latency",
+    )
+    parser.add_argument(
+        "--profile-hz", type=float, default=97.0, metavar="HZ",
+        help="sampling-profiler frequency for GET /debug/profile "
+             "(0 = off; 97 avoids aliasing with 10/100 Hz work)",
+    )
+    parser.add_argument(
+        "--recorder-capacity", type=int, default=128, metavar="N",
+        help="flight-recorder ring size for GET /debug/requests "
+             "(0 = off)",
+    )
+    parser.add_argument(
+        "--slow-request", type=float, default=None, metavar="SECONDS",
+        help="auto-pin requests slower than this in the flight "
+             "recorder (default: --slo-latency)",
+    )
+    parser.add_argument(
+        "--trace-roots", type=int, default=256, metavar="N",
+        help="always-on request tracing with at most N retained root "
+             "spans (0 = off; feeds /debug/requests span trees)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``mweaver`` argument parser."""
     parser = argparse.ArgumentParser(
@@ -698,120 +919,112 @@ def build_parser() -> argparse.ArgumentParser:
             "configuration errors, 1 on runtime failures."
         ),
     )
-    serve.add_argument("--host", default="127.0.0.1")
-    serve.add_argument("--port", type=int, default=8384,
-                       help="TCP port (0 = let the OS pick)")
-    serve.add_argument(
-        "--datasets",
-        default="running",
-        help="comma-separated datasets to preload (running, yahoo, imdb)",
+    _add_service_flags(serve)
+    serve.set_defaults(func=_cmd_serve, shard_mode=False)
+
+    shard = sub.add_parser(
+        "shard",
+        parents=[tracing],
+        help="run one cluster shard backend (serve + restore/locate)",
+        description=(
+            "A full mapping service plus the cluster-internal surface "
+            "a coordinator needs: POST /admin/sessions/{id}/restore "
+            "(session failover shipping) and GET /locate (one "
+            "partition of a scatter-gather LocateSample). Same flags "
+            "as serve."
+        ),
     )
-    serve.add_argument("--scale", type=int, default=150,
-                       help="movie count for the generated datasets")
-    serve.add_argument(
-        "--columns",
-        default="Name,Director",
-        help="default target columns for sessions that name none",
+    _add_service_flags(shard)
+    shard.set_defaults(func=_cmd_serve, shard_mode=True)
+
+    cluster = sub.add_parser(
+        "cluster",
+        parents=[tracing],
+        help="run the sharded-cluster coordinator (routing tier)",
+        description=(
+            "Route mapping sessions across replicated mweaver shard "
+            "backends: consistent-hash placement with R-way replica "
+            "sets, heartbeat-driven circuit breakers, journal-replay "
+            "session failover, and hedged scatter-gather LocateSample. "
+            "Speaks the same HTTP surface as serve. Exit codes: 2 on "
+            "configuration errors, 1 on runtime failures."
+        ),
     )
-    serve.add_argument("--workers", type=int, default=4,
-                       help="worker threads running searches")
-    serve.add_argument("--queue-size", type=int, default=32,
-                       help="bounded work-queue depth (full = 429)")
-    serve.add_argument("--max-sessions", type=int, default=64,
-                       help="cap on concurrently live sessions")
-    serve.add_argument("--session-ttl", type=float, default=900.0,
-                       metavar="SECONDS", help="idle eviction TTL")
-    serve.add_argument("--request-timeout", type=float, default=10.0,
-                       metavar="SECONDS", help="per-request deadline")
-    serve.add_argument(
-        "--journal-dir", default=None, metavar="DIR",
-        help="enable crash-safe session journaling in DIR; on startup "
-             "the journal is replayed and live sessions restored",
+    cluster.add_argument("--host", default="127.0.0.1")
+    cluster.add_argument(
+        "--port", type=int, default=8380,
+        help="coordinator port (0 = OS-assigned, default: 8380)",
     )
-    serve.add_argument(
-        "--search-deadline", type=float, default=None, metavar="SECONDS",
-        help="anytime-search budget per cell input (default: 80%% of "
-             "--request-timeout; 0 disables the budget)",
+    cluster.add_argument(
+        "--shard", dest="shards", action="append", metavar="HOST:PORT",
+        help="shard backend address (repeat once per shard)",
     )
-    serve.add_argument("--location-cache", type=int, default=4096,
-                       metavar="ENTRIES",
-                       help="cross-session LocateSample LRU size (0 = off)")
-    serve.add_argument(
-        "--isolation", choices=("thread", "process"), default="thread",
-        help="worker isolation: 'thread' (in-process pool, the default) "
-             "or 'process' (supervised worker processes with hard "
-             "SIGKILL deadlines and memory ceilings)",
+    cluster.add_argument(
+        "--replication", type=int, default=2, metavar="R",
+        help="replica-set size per session (default: 2)",
     )
-    serve.add_argument(
-        "--procs", type=int, default=0, metavar="N",
-        help="worker processes for --isolation=process "
-             "(0 = same as --workers)",
+    cluster.add_argument(
+        "--vnodes", type=int, default=64, metavar="N",
+        help="virtual nodes per shard on the hash ring (default: 64)",
     )
-    serve.add_argument(
-        "--kill-grace", type=float, default=2.0, metavar="FACTOR",
-        help="hard-kill a process-mode job after the search deadline "
-             "times this factor (>= 1.0)",
+    cluster.add_argument(
+        "--datasets", default="running",
+        help="comma-separated datasets the shards serve",
     )
-    serve.add_argument(
-        "--worker-memory-mb", type=int, default=0, metavar="MB",
-        help="address-space ceiling per worker process via setrlimit "
-             "(0 = unlimited)",
+    cluster.add_argument(
+        "--columns", default="Name,Director",
+        help="default target columns for new sessions",
     )
-    serve.add_argument(
-        "--recycle-requests", type=int, default=0, metavar="N",
-        help="recycle a worker process after N requests (0 = never)",
+    cluster.add_argument(
+        "--max-sessions", type=int, default=256,
+        help="cluster-wide live session cap (default: 256)",
     )
-    serve.add_argument(
-        "--recycle-growth-mb", type=int, default=0, metavar="MB",
-        help="recycle a worker process after MB of RSS growth "
-             "(0 = never)",
+    cluster.add_argument(
+        "--heartbeat-interval", type=float, default=0.5, metavar="SECONDS",
+        help="shard health probe interval (default: 0.5)",
     )
-    serve.add_argument(
+    cluster.add_argument(
+        "--failure-threshold", type=int, default=3, metavar="N",
+        help="consecutive failures before a shard breaker opens "
+             "(default: 3)",
+    )
+    cluster.add_argument(
+        "--breaker-reset", type=float, default=2.0, metavar="SECONDS",
+        help="shard breaker open window before a half-open trial "
+             "(default: 2)",
+    )
+    cluster.add_argument(
+        "--request-timeout", type=float, default=10.0, metavar="SECONDS",
+        help="per-shard-call HTTP timeout (default: 10)",
+    )
+    cluster.add_argument(
+        "--hedge-delay", type=float, default=0.15, metavar="SECONDS",
+        help="delay before hedging a locate partition to a second "
+             "replica (0 = no hedging, default: 0.15)",
+    )
+    cluster.add_argument(
+        "--journal-dir", metavar="DIR",
+        help="journal accepted session state to DIR/cluster.journal "
+             "and replay it on startup",
+    )
+    cluster.add_argument(
+        "--replicate-interval", type=float, default=0.2, metavar="SECONDS",
+        help="background replication sweep interval (default: 0.2)",
+    )
+    cluster.add_argument(
+        "--retry-after", type=float, default=1.0, metavar="SECONDS",
+        help="baseline Retry-After hint on 429/503 (default: 1)",
+    )
+    cluster.add_argument(
         "--drain-timeout", type=float, default=10.0, metavar="SECONDS",
-        help="graceful-drain budget for in-flight requests on "
-             "SIGTERM/SIGINT",
+        help="graceful drain window on SIGTERM/SIGINT (default: 10)",
     )
-    serve.add_argument(
-        "--shed-factor", type=float, default=1.0, metavar="FACTOR",
-        help="shed (503 + Retry-After) when estimated queue wait "
-             "exceeds FACTOR x the request deadline (0 = off)",
-    )
-    serve.add_argument(
-        "--slo-latency", type=float, default=0.25, metavar="SECONDS",
-        help="latency SLO bound; slower requests burn the latency "
-             "error budget",
-    )
-    serve.add_argument(
-        "--slo-availability-target", type=float, default=0.99,
-        metavar="FRACTION",
-        help="promised fraction of requests that do not 5xx",
-    )
-    serve.add_argument(
-        "--slo-latency-target", type=float, default=0.95,
-        metavar="FRACTION",
-        help="promised fraction of requests within --slo-latency",
-    )
-    serve.add_argument(
-        "--profile-hz", type=float, default=97.0, metavar="HZ",
-        help="sampling-profiler frequency for GET /debug/profile "
-             "(0 = off; 97 avoids aliasing with 10/100 Hz work)",
-    )
-    serve.add_argument(
-        "--recorder-capacity", type=int, default=128, metavar="N",
-        help="flight-recorder ring size for GET /debug/requests "
-             "(0 = off)",
-    )
-    serve.add_argument(
-        "--slow-request", type=float, default=None, metavar="SECONDS",
-        help="auto-pin requests slower than this in the flight "
-             "recorder (default: --slo-latency)",
-    )
-    serve.add_argument(
+    cluster.add_argument(
         "--trace-roots", type=int, default=256, metavar="N",
         help="always-on request tracing with at most N retained root "
              "spans (0 = off; feeds /debug/requests span trees)",
     )
-    serve.set_defaults(func=_cmd_serve)
+    cluster.set_defaults(func=_cmd_cluster)
 
     top = sub.add_parser(
         "top",

@@ -1,0 +1,60 @@
+"""``repro.cluster`` — the fault-tolerant sharded mapping tier.
+
+A coordinator routes mapping sessions across N replicated
+``mweaver shard`` backends (each a full :mod:`repro.service` stack),
+turning the single-node service into a cluster that survives any
+single shard's ``kill -9`` without losing accepted session state:
+
+* :mod:`repro.cluster.ring` — consistent hashing with R-way replica
+  sets; session placement that stays stable across shard churn,
+* :mod:`repro.cluster.client` — keep-alive shard clients that turn
+  transport failures into typed routing signals,
+* :mod:`repro.cluster.health` — heartbeat probes feeding per-shard
+  circuit breakers (the reused :class:`repro.resilience.CircuitBreaker`),
+* :mod:`repro.cluster.coordinator` — session routing with journal-
+  replay failover, background replication, and hedged scatter-gather
+  LocateSample with partial-result degradation,
+* :mod:`repro.cluster.spawn` — subprocess harness for real topologies
+  (chaos tests, the failover bench, CI smoke).
+
+The coordinator speaks the same HTTP surface as ``mweaver serve``, so
+existing clients, the load bench and ``mweaver top`` work against it
+unchanged; durability comes from journaling accepted mutations through
+the same :class:`repro.resilience.SessionJournal` the shards use.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.client import (
+    HttpShardClient,
+    InProcessShardClient,
+    ShardReply,
+)
+from repro.cluster.config import ClusterConfig
+from repro.cluster.coordinator import (
+    ClusterSession,
+    CoordinatorApp,
+    Replicator,
+)
+from repro.cluster.health import HealthMonitor
+from repro.cluster.ring import HashRing
+from repro.cluster.spawn import (
+    CoordinatorProcess,
+    ServerProcess,
+    ShardProcess,
+)
+
+__all__ = [
+    "ClusterConfig",
+    "CoordinatorApp",
+    "ClusterSession",
+    "Replicator",
+    "HashRing",
+    "HealthMonitor",
+    "ShardReply",
+    "HttpShardClient",
+    "InProcessShardClient",
+    "ServerProcess",
+    "ShardProcess",
+    "CoordinatorProcess",
+]

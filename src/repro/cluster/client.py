@@ -1,0 +1,232 @@
+"""Shard clients: how the coordinator talks to its backends.
+
+Two implementations of one duck-typed contract —
+``call(method, path, query, body) -> ShardReply`` — so the routing and
+failover logic never knows whether a shard is a real ``mweaver shard``
+process across a socket or an in-process :class:`ServiceApp`:
+
+* :class:`HttpShardClient` — the production path.  One keep-alive
+  ``http.client`` connection per (thread, shard), rebuilt on any
+  transport error.  Every transport failure (refused connection, reset,
+  timeout, torn response) becomes a typed
+  :class:`~repro.exceptions.ShardUnavailableError` so the coordinator
+  can treat "shard unreachable" as a routing signal rather than a bug.
+* :class:`InProcessShardClient` — wraps a ``ServiceApp`` directly for
+  fast deterministic tests; failures are injected by swapping the app
+  for a :func:`down` stub.
+
+Both run the ``cluster.shard.call`` fault point first, so chaos tests
+can sever the coordinator→shard link without touching a socket, and
+both record the per-shard RED metrics
+(``repro.cluster.shard.requests``/``.seconds``).
+
+Every call runs inside a ``cluster.shard.call`` span carrying the
+shard name, status and — when the shard returns one — the shard-side
+``X-Request-Id``, which is the stitching key into that shard's
+``/debug/requests/{id}`` flight-recorder entry.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+import urllib.parse
+from typing import Any
+
+from repro.exceptions import ShardUnavailableError
+from repro.obs import get_metrics, get_tracer
+from repro.resilience.faults import fault_point
+
+
+class ShardReply:
+    """One shard response: status, raw body bytes, selected headers.
+
+    The body stays raw so proxied GETs can be passed through verbatim
+    (no decode/re-encode on the hot path); :meth:`json` parses lazily
+    and caches for the paths that do need structure.
+    """
+
+    __slots__ = ("status", "body", "headers", "_parsed")
+
+    def __init__(
+        self, status: int, body: bytes, headers: dict[str, str]
+    ) -> None:
+        self.status = status
+        self.body = body
+        self.headers = headers
+        self._parsed: Any = None
+
+    def json(self) -> Any:
+        """The body parsed as JSON (``None`` for an empty body)."""
+        if self._parsed is None:
+            if not self.body:
+                return None
+            self._parsed = json.loads(self.body.decode("utf-8"))
+        return self._parsed
+
+    def text(self) -> str:
+        """The body decoded as UTF-8 (verbatim passthrough)."""
+        return self.body.decode("utf-8")
+
+
+def _record(shard: str, status: int | str, elapsed_s: float) -> None:
+    """Per-shard RED metrics for one coordinator->shard call."""
+    metrics = get_metrics()
+    metrics.counter(
+        "repro.cluster.shard.requests", shard=shard, status=status
+    ).inc()
+    metrics.histogram(
+        "repro.cluster.shard.seconds", shard=shard
+    ).observe(elapsed_s)
+
+
+def _query_string(query: dict[str, str] | None) -> str:
+    if not query:
+        return ""
+    return "?" + urllib.parse.urlencode(query)
+
+
+class HttpShardClient:
+    """Keep-alive HTTP client for one shard address (``host:port``)."""
+
+    def __init__(self, address: str, *, timeout_s: float = 10.0) -> None:
+        host, _, port = address.rpartition(":")
+        self.address = address
+        self.host = host
+        self.port = int(port)
+        self.timeout_s = timeout_s
+        self._local = threading.local()
+
+    def _connection(self) -> http.client.HTTPConnection:
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout_s
+            )
+            self._local.conn = conn
+        return conn
+
+    def _drop_connection(self) -> None:
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            self._local.conn = None
+            try:
+                conn.close()
+            except Exception:  # noqa: BLE001 - teardown best-effort
+                pass
+
+    def call(
+        self,
+        method: str,
+        path: str,
+        query: dict[str, str] | None = None,
+        body: dict[str, Any] | None = None,
+    ) -> ShardReply:
+        """One round trip; transport failure -> ShardUnavailableError."""
+        fault_point("cluster.shard.call")
+        payload = None
+        headers = {}
+        if body is not None:
+            payload = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        target = path + _query_string(query)
+        started = time.perf_counter()
+        with get_tracer().span(
+            "cluster.shard.call",
+            shard=self.address, method=method, path=path,
+        ) as span:
+            # One reconnect-and-retry for idempotent-safe staleness: a
+            # keep-alive connection the shard closed between requests
+            # surfaces as an error on first use, not a down shard.
+            for attempt in (0, 1):
+                try:
+                    conn = self._connection()
+                    conn.request(method, target, body=payload,
+                                 headers=headers)
+                    response = conn.getresponse()
+                    data = response.read()
+                    reply = ShardReply(
+                        response.status,
+                        data,
+                        {key: value for key, value in response.getheaders()},
+                    )
+                    span.set("status", reply.status)
+                    request_id = reply.headers.get("X-Request-Id")
+                    if request_id:
+                        # The stitching key: this shard's flight
+                        # recorder holds the server-side trace under
+                        # /debug/requests/{id}.
+                        span.set("shard_request_id", request_id)
+                    _record(
+                        self.address, reply.status,
+                        time.perf_counter() - started,
+                    )
+                    return reply
+                except (OSError, http.client.HTTPException) as error:
+                    self._drop_connection()
+                    if attempt == 0 and isinstance(
+                        error, (http.client.CannotSendRequest,
+                                http.client.BadStatusLine,
+                                ConnectionResetError,
+                                BrokenPipeError),
+                    ):
+                        continue
+                    span.set("status", "unreachable")
+                    _record(
+                        self.address, "unreachable",
+                        time.perf_counter() - started,
+                    )
+                    raise ShardUnavailableError(
+                        self.address, error
+                    ) from error
+        raise AssertionError("unreachable")
+
+    def close(self) -> None:
+        """Drop this thread's connection (others close on GC)."""
+        self._drop_connection()
+
+
+class InProcessShardClient:
+    """A shard client over an in-process app (tests, no sockets).
+
+    ``app`` is anything with a ``ServiceApp``-shaped ``handle``.  Set
+    :attr:`down` to make every call fail like a dead shard.
+    """
+
+    def __init__(self, address: str, app: Any) -> None:
+        self.address = address
+        self.app = app
+        self.down = False
+        self.calls: list[tuple[str, str]] = []
+
+    def call(
+        self,
+        method: str,
+        path: str,
+        query: dict[str, str] | None = None,
+        body: dict[str, Any] | None = None,
+    ) -> ShardReply:
+        """Dispatch straight into the wrapped app's ``handle``."""
+        fault_point("cluster.shard.call")
+        self.calls.append((method, path))
+        started = time.perf_counter()
+        if self.down:
+            _record(self.address, "unreachable",
+                    time.perf_counter() - started)
+            raise ShardUnavailableError(
+                self.address, ConnectionRefusedError("shard marked down")
+            )
+        status, payload, headers = self.app.handle(method, path, query, body)
+        if payload is None:
+            data = b""
+        elif isinstance(payload, str):
+            data = payload.encode("utf-8")
+        else:
+            data = json.dumps(payload).encode("utf-8")
+        _record(self.address, status, time.perf_counter() - started)
+        return ShardReply(status, data, dict(headers))
+
+    def close(self) -> None:
+        """Nothing to release."""

@@ -1,0 +1,970 @@
+"""The cluster coordinator: routing, failover, scatter-gather.
+
+:class:`CoordinatorApp` fronts N ``mweaver shard`` backends with the
+same transport contract as :class:`repro.service.app.ServiceApp`
+(``handle(method, path, query, body) -> (status, payload, headers)``),
+so the stock :class:`~repro.service.http.MappingServer` serves it and
+every existing client — including the load bench — works unchanged.
+
+Design:
+
+* **Placement.** Sessions pin to shards via the consistent-hash ring's
+  R-way replica set (:mod:`repro.cluster.ring`).  The first *routable*
+  member is the session's primary; the rest are failover targets.
+* **Durability.** The coordinator journals every accepted mutation
+  (create / applied cell / delete) through the PR 4
+  :class:`~repro.resilience.SessionJournal` *before* acknowledging.
+  "Accepted" means the shard answered 200 with ``applied`` — the same
+  only-what-was-kept rule the shards themselves journal under.
+* **Failover.** A session call walks the replica set: transport
+  failure feeds the shard's breaker and moves on; a shard that answers
+  404 for a session the coordinator knows is re-seated by shipping the
+  journaled grid to ``/admin/sessions/{id}/restore`` and retrying.
+  One mechanism covers a killed primary, a cold secondary, a restarted
+  shard, and a restarted coordinator (lazy re-seat after journal
+  replay).  Only when every replica is exhausted does the client see a
+  503 with ``reason="shard_down"``.
+* **Replication.** The hot path touches one shard; a background
+  :class:`Replicator` warms the other replicas with full-grid restores
+  (idempotent, convergent), so failover replay is usually a no-op.
+* **Scatter-gather.** ``GET /locate`` splits the LocateSample scan
+  into one partition per shard (stable attribute hashing — see
+  :func:`repro.service.registry.locate_partition`), fans them out in
+  parallel with hedged requests, and degrades partially: unserved
+  partitions surface as ``degraded`` with a
+  ``Degradation(phase="cluster", reason="shard_down")`` record instead
+  of failing the whole request.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import itertools
+import os
+import threading
+import time
+from typing import Any
+
+from repro import obs
+from repro.exceptions import (
+    CircuitOpenError,
+    DeadlineExceeded,
+    ReproError,
+    ServiceOverloadedError,
+    ServiceUnavailableError,
+    SessionError,
+    ShardUnavailableError,
+    UnknownSessionError,
+)
+from repro.cluster.client import HttpShardClient, ShardReply
+from repro.cluster.config import ClusterConfig
+from repro.cluster.health import HealthMonitor
+from repro.cluster.ring import HashRing
+from repro.obs import get_logger, get_metrics, get_tracer
+from repro.obs.prometheus import render_exposition
+from repro.resilience import Degradation, SessionJournal, replay_journal
+from repro.service.retry_after import retry_after_header
+
+_log = get_logger(__name__)
+
+Response = tuple[int, "dict[str, Any] | str | None", "dict[str, str]"]
+
+#: Reply headers worth forwarding to the client on passthrough.
+_FORWARD_HEADERS = ("Content-Type", "Retry-After", "X-Request-Id")
+
+
+class _BadRequest(Exception):
+    """Internal: malformed payloads become 400s with this message."""
+
+
+def _require(body: dict[str, Any] | None, key: str) -> Any:
+    if not isinstance(body, dict) or key not in body:
+        raise _BadRequest(f"missing required field {key!r}")
+    return body[key]
+
+
+def _as_int(value: Any, name: str) -> int:
+    try:
+        return int(value)
+    except (TypeError, ValueError):
+        raise _BadRequest(f"{name} must be an integer") from None
+
+
+class ClusterSession:
+    """The coordinator's record of one session: placement + grid."""
+
+    __slots__ = (
+        "session_id", "dataset", "columns", "on_irrelevant",
+        "replicas", "primary", "cells", "failovers", "lock",
+    )
+
+    def __init__(
+        self,
+        session_id: str,
+        dataset: str,
+        columns: list[str],
+        on_irrelevant: str,
+        replicas: tuple[str, ...],
+    ) -> None:
+        self.session_id = session_id
+        self.dataset = dataset
+        self.columns = list(columns)
+        self.on_irrelevant = on_irrelevant
+        self.replicas = replicas
+        self.primary = replicas[0]
+        #: Accepted cells in acceptance order (last write per cell wins).
+        self.cells: dict[tuple[int, int], str] = {}
+        self.failovers = 0
+        self.lock = threading.RLock()
+
+    def restore_payload(self) -> dict[str, Any]:
+        """The body shipped to a shard's ``/admin/.../restore``."""
+        return {
+            "dataset": self.dataset,
+            "columns": list(self.columns),
+            "on_irrelevant": self.on_irrelevant,
+            "cells": [
+                [row, column, value]
+                for (row, column), value in self.cells.items()
+            ],
+        }
+
+
+class Replicator:
+    """Background warming of secondary replicas (full-grid restores).
+
+    The hot path marks a session dirty after every accepted mutation;
+    the sweep ships the whole grid to every non-primary replica.
+    Restores are idempotent and convergent (replace semantics on the
+    shard), so at-least-once delivery with coalescing is safe — and a
+    replica that was down simply stays dirty until a later sweep.
+    ``flush()`` runs one synchronous sweep for deterministic tests.
+    """
+
+    def __init__(self, coordinator: "CoordinatorApp", interval_s: float) -> None:
+        self._coordinator = coordinator
+        self.interval_s = interval_s
+        self._dirty: set[str] = set()
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def mark(self, session_id: str) -> None:
+        """Queue a session for the next replica ship."""
+        with self._lock:
+            self._dirty.add(session_id)
+
+    def pending(self) -> int:
+        """Sessions whose replicas still await a ship."""
+        with self._lock:
+            return len(self._dirty)
+
+    def flush(self) -> None:
+        """One synchronous sweep (tests; drain)."""
+        self._sweep()
+
+    def _sweep(self) -> None:
+        with self._lock:
+            batch = sorted(self._dirty)
+            self._dirty.clear()
+        for session_id in batch:
+            session = self._coordinator._sessions.get(session_id)
+            if session is None:
+                continue
+            with session.lock:
+                payload = session.restore_payload()
+                targets = [
+                    shard for shard in session.replicas
+                    if shard != session.primary
+                ]
+            for shard in targets:
+                if not self._coordinator.health.is_up(shard):
+                    self.mark(session_id)
+                    continue
+                try:
+                    self._coordinator._ship_restore(
+                        shard, session_id, payload
+                    )
+                except ShardUnavailableError:
+                    self._coordinator.health.record_failure(shard)
+                    self.mark(session_id)
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            try:
+                self._sweep()
+            except Exception as error:  # noqa: BLE001 - keep sweeping
+                _log.warning("replication sweep failed: %s", error)
+
+    def start(self) -> "Replicator":
+        """Start the background sweep thread (idempotent)."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._loop, name="cluster-replicator", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the sweep thread and wait for it."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+
+class CoordinatorApp:
+    """One running coordinator instance (transport-independent)."""
+
+    def __init__(
+        self,
+        config: ClusterConfig | None = None,
+        *,
+        clients: dict[str, Any] | None = None,
+        start_background: bool = True,
+    ) -> None:
+        self.config = (config or ClusterConfig()).validate()
+        self.clients: dict[str, Any] = clients or {
+            shard: HttpShardClient(
+                shard, timeout_s=self.config.request_timeout_s
+            )
+            for shard in self.config.shards
+        }
+        if set(self.clients) != set(self.config.shards):
+            raise ValueError("clients must cover exactly config.shards")
+        self.ring = HashRing(
+            self.config.shards,
+            replicas=self.config.replication,
+            vnodes=self.config.vnodes,
+        )
+        self.health = HealthMonitor(
+            self.clients,
+            interval_s=self.config.heartbeat_interval_s,
+            failure_threshold=self.config.failure_threshold,
+            reset_timeout_s=self.config.breaker_reset_s,
+        )
+        self.replicator = Replicator(
+            self, self.config.replicate_interval_s
+        )
+        self.journal: SessionJournal | None = None
+        if self.config.journal_dir:
+            from pathlib import Path
+
+            self.journal = SessionJournal(
+                Path(self.config.journal_dir) / "cluster.journal"
+            )
+        self._sessions: dict[str, ClusterSession] = {}
+        self._sessions_lock = threading.Lock()
+        self._seq = itertools.count(1)
+        self.recovered_sessions = 0
+        if self.journal is not None:
+            self._recover_sessions()
+        self.failovers = 0
+        self.hedges = 0
+        self.degraded_locates = 0
+        self._inflight = 0
+        self._inflight_cond = threading.Condition()
+        self._draining = False
+        workers = max(4, 2 * len(self.config.shards))
+        # Two pools so a scatter task can submit hedge attempts without
+        # ever waiting on its own pool (classic nested-submit deadlock).
+        self._scatter_pool = concurrent.futures.ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="cluster-scatter"
+        )
+        self._hedge_pool = concurrent.futures.ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="cluster-hedge"
+        )
+        if start_background:
+            self.health.start()
+            self.replicator.start()
+        self.started_at = time.time()
+        self._closed = False
+
+    # -- lifecycle -----------------------------------------------------
+
+    def _recover_sessions(self) -> None:
+        """Rebuild the session table from the coordinator journal.
+
+        Shards are *not* contacted here: recovery only restores the
+        coordinator's authoritative view.  The first call that finds a
+        shard answering 404 re-seats the session lazily — so a
+        coordinator restart costs nothing until a session is touched.
+        """
+        assert self.journal is not None
+        recovered = replay_journal(self.journal.path)
+        for session_id, journaled in recovered.items():
+            if journaled.dataset not in self.config.datasets:
+                _log.warning(
+                    "journal recovery skipped session %s: dataset %r not "
+                    "served", session_id, journaled.dataset,
+                )
+                continue
+            session = ClusterSession(
+                session_id,
+                journaled.dataset,
+                journaled.columns,
+                journaled.on_irrelevant,
+                self.ring.replica_set(session_id),
+            )
+            session.cells = journaled.grid()
+            self._sessions[session_id] = session
+            self.replicator.mark(session_id)
+        self.recovered_sessions = len(self._sessions)
+        self.journal.compact(
+            {sid: recovered[sid] for sid in self._sessions}
+        )
+        if recovered:
+            _log.info(
+                "cluster journal recovery: restored %d of %d session(s)",
+                len(self._sessions), len(recovered),
+            )
+
+    def begin_drain(self) -> None:
+        """Stop admitting work; in-flight requests keep running."""
+        with self._inflight_cond:
+            if self._draining:
+                return
+            self._draining = True
+        _log.info("coordinator drain started")
+
+    def wait_idle(self, timeout_s: float) -> bool:
+        """Block until no request is in flight (False on timeout)."""
+        deadline = time.monotonic() + timeout_s
+        with self._inflight_cond:
+            while self._inflight > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._inflight_cond.wait(timeout=min(0.25, remaining))
+        return True
+
+    def drain(self, timeout_s: float | None = None) -> bool:
+        """Full graceful shutdown: stop admitting, wait, close."""
+        timeout = (
+            timeout_s if timeout_s is not None
+            else self.config.drain_timeout_s
+        )
+        self.begin_drain()
+        clean = self.wait_idle(timeout)
+        self.close()
+        return clean
+
+    def close(self) -> None:
+        """Release threads, clients and the journal (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self.health.stop()
+        self.replicator.stop()
+        self._scatter_pool.shutdown(wait=False)
+        self._hedge_pool.shutdown(wait=False)
+        for client in self.clients.values():
+            client.close()
+        if self.journal is not None:
+            self.journal.close()
+
+    def __enter__(self) -> "CoordinatorApp":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()
+
+    # -- dispatch ------------------------------------------------------
+
+    def handle(
+        self,
+        method: str,
+        path: str,
+        query: dict[str, str] | None = None,
+        body: dict[str, Any] | None = None,
+    ) -> Response:
+        """Route one request; never raises — failures become statuses."""
+        query = query or {}
+        parts = tuple(part for part in path.split("/") if part)
+        route = self._route_template(method, parts)
+        tracer = get_tracer()
+        with tracer.span(
+            "cluster.request", method=method, route=route
+        ) as span:
+            started = time.perf_counter()
+            with self._inflight_cond:
+                self._inflight += 1
+            try:
+                try:
+                    status, payload, headers = self._dispatch(
+                        method, parts, query, body
+                    )
+                except _BadRequest as error:
+                    status, payload, headers = 400, {"error": str(error)}, {}
+                except UnknownSessionError as error:
+                    status, payload, headers = 404, {"error": str(error)}, {}
+                except ServiceOverloadedError as error:
+                    status = 429
+                    payload = {"error": str(error),
+                               "retry_after_s": error.retry_after_s}
+                    headers = {
+                        "Retry-After": retry_after_header(
+                            error.retry_after_s
+                        )
+                    }
+                except ServiceUnavailableError as error:
+                    status = 503
+                    payload = {"error": str(error),
+                               "reason": error.reason,
+                               "retry_after_s": error.retry_after_s}
+                    headers = {
+                        "Retry-After": retry_after_header(
+                            error.retry_after_s
+                        )
+                    }
+                except CircuitOpenError as error:
+                    status = 503
+                    payload = {"error": str(error),
+                               "retry_after_s": error.retry_after_s}
+                    headers = {
+                        "Retry-After": retry_after_header(
+                            error.retry_after_s
+                        )
+                    }
+                except DeadlineExceeded as error:
+                    status, payload, headers = 504, {"error": str(error)}, {}
+                except SessionError as error:
+                    status, payload, headers = 400, {"error": str(error)}, {}
+                except ReproError as error:
+                    status, payload, headers = 400, {"error": str(error)}, {}
+                except Exception as error:  # noqa: BLE001 - 500 boundary
+                    _log.exception("unhandled coordinator error")
+                    status = 500
+                    payload = {"error": f"internal error: {error}"}
+                    headers = {}
+            finally:
+                with self._inflight_cond:
+                    self._inflight -= 1
+                    self._inflight_cond.notify_all()
+            span.set("status", status)
+            elapsed = time.perf_counter() - started
+        metrics = get_metrics()
+        metrics.counter(
+            "repro.cluster.requests", route=route, status=status
+        ).inc()
+        metrics.histogram(
+            "repro.cluster.request.seconds"
+        ).observe(elapsed)
+        return status, payload, headers
+
+    @staticmethod
+    def _route_template(method: str, parts: tuple[str, ...]) -> str:
+        if parts and parts[0] == "sessions" and len(parts) >= 2:
+            tail = "/".join(parts[2:])
+            suffix = f"/{tail}" if tail else ""
+            return f"{method} /sessions/{{id}}{suffix}"
+        return f"{method} /{'/'.join(parts)}"
+
+    def _dispatch(
+        self,
+        method: str,
+        parts: tuple[str, ...],
+        query: dict[str, str],
+        body: dict[str, Any] | None,
+    ) -> Response:
+        if parts == ("healthz",) and method == "GET":
+            return self.healthz(query)
+        if parts == ("metrics",) and method == "GET":
+            return self.metrics(query)
+        if self._draining:
+            raise ServiceUnavailableError(
+                "coordinator is draining",
+                retry_after_s=self.config.retry_after_s,
+                reason="drain",
+            )
+        if parts == ("sessions",):
+            if method == "POST":
+                return self.create_session(body)
+            if method == "GET":
+                with self._sessions_lock:
+                    return 200, {"sessions": sorted(self._sessions)}, {}
+        if len(parts) == 2 and parts[0] == "sessions":
+            session_id = parts[1]
+            if method == "GET":
+                return self.proxy_session(
+                    session_id, "GET", f"/sessions/{session_id}", query
+                )
+            if method == "DELETE":
+                return self.delete_session(session_id)
+        if len(parts) == 3 and parts[0] == "sessions":
+            session_id, action = parts[1], parts[2]
+            if action == "cells" and method == "POST":
+                return self.put_cell(session_id, body)
+            if method == "GET" and action in (
+                "candidates", "explain", "suggest"
+            ):
+                return self.proxy_session(
+                    session_id, "GET",
+                    f"/sessions/{session_id}/{action}", query,
+                )
+        if parts == ("locate",) and method == "GET":
+            return self.locate(query)
+        return 404, {"error": f"no route for {method} /{'/'.join(parts)}"}, {}
+
+    # -- shard plumbing ------------------------------------------------
+
+    def _shard_call(
+        self,
+        shard: str,
+        method: str,
+        path: str,
+        query: dict[str, str] | None = None,
+        body: dict[str, Any] | None = None,
+    ) -> ShardReply:
+        return self.clients[shard].call(method, path, query, body)
+
+    def _ship_restore(
+        self, shard: str, session_id: str, payload: dict[str, Any]
+    ) -> None:
+        """Re-seat one session on one shard (raises on any failure)."""
+        reply = self._shard_call(
+            shard, "POST", f"/admin/sessions/{session_id}/restore",
+            None, payload,
+        )
+        if reply.status != 200:
+            raise ShardUnavailableError(
+                shard, f"restore answered {reply.status}"
+            )
+
+    def _call_session(
+        self,
+        session: ClusterSession,
+        method: str,
+        path: str,
+        query: dict[str, str] | None = None,
+        body: dict[str, Any] | None = None,
+    ) -> ShardReply:
+        """One session-pinned call with replica failover.
+
+        Walks the replica set starting at the current primary.  A
+        transport failure feeds the breaker and moves on; a 404 from a
+        shard that *should* hold the session means it lost it (restart,
+        eviction, never-warmed secondary) — re-seat from the
+        coordinator's journaled grid and retry once.  Success promotes
+        whichever shard answered to primary.  Shard refusals (429 /
+        503 / 504) pass through: the shard is alive, just busy.
+        """
+        candidates = [session.primary] + [
+            shard for shard in session.replicas
+            if shard != session.primary
+        ]
+        routable = [s for s in candidates if self.health.is_up(s)]
+        for shard in routable:
+            try:
+                reply = self._shard_call(shard, method, path, query, body)
+                if reply.status == 404:
+                    # The shard lost the session: re-seat and retry.
+                    self._ship_restore(
+                        shard, session.session_id,
+                        session.restore_payload(),
+                    )
+                    reply = self._shard_call(
+                        shard, method, path, query, body
+                    )
+                    if reply.status == 404:
+                        continue
+            except ShardUnavailableError:
+                self.health.record_failure(shard)
+                continue
+            self.health.record_success(shard)
+            if shard != session.primary:
+                _log.warning(
+                    "session %s failed over %s -> %s",
+                    session.session_id, session.primary, shard,
+                )
+                session.primary = shard
+                session.failovers += 1
+                self.failovers += 1
+                get_metrics().counter("repro.cluster.failovers").inc()
+                # The old primary (and any stale secondary) needs the
+                # grid re-shipped once it comes back.
+                self.replicator.mark(session.session_id)
+            return reply
+        raise ServiceUnavailableError(
+            f"no replica of session {session.session_id} is reachable "
+            f"(replicas: {', '.join(session.replicas)})",
+            retry_after_s=self.config.retry_after_s,
+            reason="shard_down",
+        )
+
+    def _passthrough(self, reply: ShardReply) -> Response:
+        """Forward a shard reply verbatim (no decode/re-encode)."""
+        headers = {
+            key: reply.headers[key]
+            for key in _FORWARD_HEADERS
+            if key in reply.headers
+        }
+        if not reply.body:
+            return reply.status, None, headers
+        headers.setdefault("Content-Type", "application/json")
+        return reply.status, reply.text(), headers
+
+    def _session(self, session_id: str) -> ClusterSession:
+        with self._sessions_lock:
+            session = self._sessions.get(session_id)
+        if session is None:
+            raise UnknownSessionError(session_id)
+        return session
+
+    # -- endpoints -----------------------------------------------------
+
+    def create_session(self, body: dict[str, Any] | None) -> Response:
+        """``POST /sessions`` — place and create a replicated session."""
+        body = body or {}
+        dataset = str(body.get("dataset", self.config.datasets[0]))
+        if dataset not in self.config.datasets:
+            raise _BadRequest(
+                f"dataset {dataset!r} is not served (loaded: "
+                f"{', '.join(self.config.datasets)})"
+            )
+        columns = body.get("columns", list(self.config.default_columns))
+        if (
+            not isinstance(columns, (list, tuple))
+            or not columns
+            or not all(isinstance(c, str) and c.strip() for c in columns)
+        ):
+            raise _BadRequest("columns must be a non-empty list of names")
+        on_irrelevant = str(body.get("on_irrelevant", "ignore"))
+        with self._sessions_lock:
+            if len(self._sessions) >= self.config.max_sessions:
+                raise ServiceOverloadedError(
+                    f"session table full ({self.config.max_sessions})",
+                    retry_after_s=self.config.retry_after_s,
+                )
+            session_id = (
+                f"x{next(self._seq):04d}-{os.urandom(3).hex()}"
+            )
+            session = ClusterSession(
+                session_id, dataset, [str(c).strip() for c in columns],
+                on_irrelevant, self.ring.replica_set(session_id),
+            )
+            self._sessions[session_id] = session
+        try:
+            with session.lock:
+                # An empty-grid restore on the primary acts as
+                # create-with-id; failover inside _call_session covers
+                # a down home shard.
+                reply = self._call_session(
+                    session, "POST",
+                    f"/admin/sessions/{session_id}/restore",
+                    None, session.restore_payload(),
+                )
+        except Exception:
+            with self._sessions_lock:
+                self._sessions.pop(session_id, None)
+            raise
+        if reply.status != 200:
+            with self._sessions_lock:
+                self._sessions.pop(session_id, None)
+            return self._passthrough(reply)
+        if self.journal is not None:
+            self.journal.record_create(
+                session_id, dataset, session.columns,
+                on_irrelevant=on_irrelevant,
+            )
+        self.replicator.mark(session_id)
+        state = dict(reply.json())
+        state.pop("restored", None)
+        state.pop("replaced", None)
+        state["replicas"] = list(session.replicas)
+        state["primary"] = session.primary
+        return 201, state, {}
+
+    def put_cell(
+        self, session_id: str, body: dict[str, Any] | None
+    ) -> Response:
+        """``POST /sessions/{id}/cells`` — proxy one input, journal it."""
+        session = self._session(session_id)
+        row = _as_int(_require(body, "row"), "row")
+        value = str(_require(body, "value"))
+        assert body is not None
+        column = body.get("column")
+        column_name = body.get("column_name")
+        if column is None and column_name is None:
+            raise _BadRequest("provide either column or column_name")
+        if column is not None:
+            col_index = _as_int(column, "column")
+        else:
+            try:
+                col_index = session.columns.index(str(column_name))
+            except ValueError:
+                raise _BadRequest(
+                    f"unknown column {column_name!r}"
+                ) from None
+        with session.lock:
+            reply = self._call_session(
+                session, "POST", f"/sessions/{session_id}/cells",
+                None, body,
+            )
+            if reply.status != 200:
+                return self._passthrough(reply)
+            state = reply.json()
+            if state.get("applied"):
+                # Accepted: durable in the coordinator journal before
+                # the client sees the 200 — this is the state failover
+                # replays, so `kill -9` of the shard cannot lose it.
+                session.cells[(row, col_index)] = value
+                if self.journal is not None:
+                    self.journal.record_cell(
+                        session_id, row, col_index, value
+                    )
+                self.replicator.mark(session_id)
+        return 200, state, {}
+
+    def proxy_session(
+        self,
+        session_id: str,
+        method: str,
+        path: str,
+        query: dict[str, str],
+    ) -> Response:
+        """Read-only session calls: route with failover, pass through."""
+        session = self._session(session_id)
+        with session.lock:
+            reply = self._call_session(session, method, path, query, None)
+        return self._passthrough(reply)
+
+    def delete_session(self, session_id: str) -> Response:
+        """``DELETE /sessions/{id}`` — drop everywhere, best-effort."""
+        with self._sessions_lock:
+            session = self._sessions.pop(session_id, None)
+        if session is None:
+            raise UnknownSessionError(session_id)
+        if self.journal is not None:
+            self.journal.record_delete(session_id)
+        for shard in session.replicas:
+            try:
+                self._shard_call(
+                    shard, "DELETE", f"/sessions/{session_id}"
+                )
+            except ShardUnavailableError:
+                # The shard is down; its TTL sweeper will collect the
+                # orphan if it comes back.
+                self.health.record_failure(shard)
+        return 204, None, {}
+
+    # -- scatter-gather LocateSample -----------------------------------
+
+    def locate(self, query: dict[str, str]) -> Response:
+        """``GET /locate`` — scatter one sample across all shards.
+
+        One partition per shard; hedged per-partition requests; union
+        of whatever answered.  Missing partitions degrade the response
+        (``Degradation(phase="cluster", reason="shard_down")``) rather
+        than failing it — unless *nothing* answered.
+        """
+        dataset = str(query.get("dataset", self.config.datasets[0]))
+        if dataset not in self.config.datasets:
+            raise _BadRequest(
+                f"dataset {dataset!r} is not served (loaded: "
+                f"{', '.join(self.config.datasets)})"
+            )
+        if "sample" not in query:
+            raise _BadRequest("missing required query parameter 'sample'")
+        sample = str(query["sample"])
+        parts = len(self.config.shards)
+        started = time.perf_counter()
+        futures = [
+            self._scatter_pool.submit(
+                self._locate_partition, dataset, sample, parts, part
+            )
+            for part in range(parts)
+        ]
+        entries: set[tuple[str, str]] = set()
+        unserved = 0
+        for future in futures:
+            result = future.result()
+            if result is None:
+                unserved += 1
+            else:
+                entries.update(
+                    (str(rel), str(attr)) for rel, attr in result
+                )
+        if unserved == parts:
+            raise ServiceUnavailableError(
+                "no shard served any LocateSample partition",
+                retry_after_s=self.config.retry_after_s,
+                reason="shard_down",
+            )
+        body: dict[str, Any] = {
+            "dataset": dataset,
+            "sample": sample,
+            "entries": [list(entry) for entry in sorted(entries)],
+            "parts": parts,
+            "served_parts": parts - unserved,
+            "degraded": unserved > 0,
+        }
+        if unserved:
+            self.degraded_locates += 1
+            get_metrics().counter("repro.cluster.locate.degraded").inc()
+            body["degradation"] = Degradation(
+                phase="cluster",
+                reason="shard_down",
+                elapsed_s=time.perf_counter() - started,
+                skipped={"partitions": unserved},
+            ).to_dict()
+        return 200, body, {}
+
+    def _locate_partition(
+        self, dataset: str, sample: str, parts: int, part: int
+    ) -> list | None:
+        """Fetch one partition, hedging to the next replica when slow."""
+        candidates = [
+            shard
+            for shard in self.ring.replica_set(f"locate#{part}")
+            if self.health.is_up(shard)
+        ]
+        if not candidates:
+            return None
+
+        def attempt(shard: str) -> list | None:
+            try:
+                reply = self._shard_call(
+                    shard, "GET", "/locate",
+                    {
+                        "dataset": dataset, "sample": sample,
+                        "parts": str(parts), "part": str(part),
+                    },
+                )
+            except ShardUnavailableError:
+                self.health.record_failure(shard)
+                return None
+            if reply.status != 200:
+                return None
+            self.health.record_success(shard)
+            return reply.json()["entries"]
+
+        if self.config.hedge_delay_s <= 0 or len(candidates) == 1:
+            # Hedging disabled (or nowhere to hedge): sequential
+            # failover down the candidate list.
+            for shard in candidates:
+                result = attempt(shard)
+                if result is not None:
+                    return result
+            return None
+        first = self._hedge_pool.submit(attempt, candidates[0])
+        try:
+            result = first.result(timeout=self.config.hedge_delay_s)
+            if result is not None:
+                return result
+        except concurrent.futures.TimeoutError:
+            pass
+        # The preferred shard is slow or freshly failed: race a second
+        # attempt against it and take whichever answers first.
+        self.hedges += 1
+        get_metrics().counter("repro.cluster.locate.hedges").inc()
+        second = self._hedge_pool.submit(attempt, candidates[1])
+        for future in concurrent.futures.as_completed((first, second)):
+            result = future.result()
+            if result is not None:
+                return result
+        return None
+
+    # -- health + metrics ----------------------------------------------
+
+    def healthz(self, query: dict[str, str] | None = None) -> Response:
+        """``GET /healthz`` — cluster view; ``?ready=1`` — readiness."""
+        query = query or {}
+        shards = self.health.snapshot()
+        up = sum(1 for shard in shards if shard["up"])
+        with self._sessions_lock:
+            placement = {
+                session_id: {
+                    "primary": session.primary,
+                    "replicas": list(session.replicas),
+                    "cells": len(session.cells),
+                    "failovers": session.failovers,
+                }
+                for session_id, session in sorted(self._sessions.items())
+            }
+        body: dict[str, Any] = {
+            "status": "ok" if up == len(shards) else "degraded",
+            "role": "coordinator",
+            "uptime_s": round(time.time() - self.started_at, 3),
+            "shards": shards,
+            "shards_up": up,
+            "ring": self.ring.summary(),
+            "sessions": {
+                "count": len(placement),
+                "placement": placement,
+            },
+            "failovers": self.failovers,
+            "hedges": self.hedges,
+            "degraded_locates": self.degraded_locates,
+            "replication_pending": self.replicator.pending(),
+            "journal": (
+                {
+                    "path": str(self.journal.path),
+                    "appended": self.journal.appended,
+                    "recovered_sessions": self.recovered_sessions,
+                }
+                if self.journal is not None
+                else None
+            ),
+            "draining": self._draining,
+        }
+        if query.get("ready", "") in ("1", "true", "yes"):
+            blockers = []
+            if self._draining:
+                blockers.append("draining")
+            if up == 0:
+                blockers.append("no_healthy_shard")
+            body["ready"] = not blockers
+            if blockers:
+                body["ready_blockers"] = blockers
+                retry = retry_after_header(self.config.retry_after_s)
+                return 503, body, {"Retry-After": retry}
+        return 200, body, {}
+
+    def _refresh_gauges(self) -> None:
+        metrics = get_metrics()
+        if not metrics.enabled:
+            return
+        metrics.gauge("repro.cluster.uptime.seconds").set(
+            round(time.time() - self.started_at, 3)
+        )
+        with self._sessions_lock:
+            live = len(self._sessions)
+        metrics.gauge("repro.cluster.sessions.live").set(live)
+        metrics.gauge("repro.cluster.shards.total").set(
+            len(self.config.shards)
+        )
+        up = 0
+        for shard in self.config.shards:
+            shard_up = self.health.is_up(shard)
+            up += 1 if shard_up else 0
+            metrics.gauge(
+                "repro.cluster.shard.up", shard=shard
+            ).set(1 if shard_up else 0)
+        metrics.gauge("repro.cluster.shards.up").set(up)
+        metrics.gauge("repro.cluster.replication.pending").set(
+            self.replicator.pending()
+        )
+
+    def metrics(self, query: dict[str, str] | None = None) -> Response:
+        """``GET /metrics`` — cluster gauges + the obs registry."""
+        query = query or {}
+        self._refresh_gauges()
+        if query.get("format") == "prometheus":
+            text = render_exposition(obs.get_metrics())
+            return 200, text, {
+                "Content-Type": "text/plain; version=0.0.4; charset=utf-8"
+            }
+        with self._sessions_lock:
+            live = len(self._sessions)
+        return 200, {
+            "cluster": {
+                "uptime_s": round(time.time() - self.started_at, 3),
+                "sessions": live,
+                "shards_up": len(self.health.up_shards()),
+                "failovers": self.failovers,
+                "hedges": self.hedges,
+                "degraded_locates": self.degraded_locates,
+            },
+            "metrics": obs.get_metrics().snapshot(),
+        }, {}

@@ -1,0 +1,166 @@
+"""Shard health: heartbeat probes feeding per-shard circuit breakers.
+
+One background thread probes every shard's ``/healthz?ready=1`` on an
+interval and feeds the result straight into that shard's
+:class:`~repro.resilience.CircuitBreaker` — the heartbeat *is* the
+breaker's probe, so the monitor calls ``record_success`` /
+``record_failure`` directly rather than routing through
+``before_call``.  Routing results feed the same breakers, so a shard
+that dies between heartbeats is marked down by the first failed
+request, not only by the next probe round.
+
+A shard is **up** while its breaker is not open.  Open means: stop
+routing there; the next heartbeat (after the breaker's reset window)
+acts as the half-open trial and closes the breaker on the first
+healthy answer.
+
+Determinism hooks for tests: the probe function, the clock, and
+:meth:`HealthMonitor.probe_once` (one synchronous round, no thread).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Callable, Mapping
+from typing import Any
+
+from repro.exceptions import ShardUnavailableError
+from repro.obs import get_logger, get_metrics
+from repro.resilience.retry import CircuitBreaker
+
+_log = get_logger(__name__)
+
+
+class HealthMonitor:
+    """Heartbeats + breakers for a fixed set of shards."""
+
+    def __init__(
+        self,
+        clients: Mapping[str, Any],
+        *,
+        interval_s: float = 0.5,
+        failure_threshold: int = 3,
+        reset_timeout_s: float = 2.0,
+        probe: Callable[[Any], bool] | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.clients = dict(clients)
+        self.interval_s = interval_s
+        self._probe = probe or self._ready_probe
+        self._clock = clock
+        self.breakers: dict[str, CircuitBreaker] = {
+            shard: CircuitBreaker(
+                f"cluster.shard:{shard}",
+                failure_threshold=failure_threshold,
+                reset_timeout_s=reset_timeout_s,
+                clock=clock,
+            )
+            for shard in self.clients
+        }
+        self._last_probe: dict[str, bool | None] = {
+            shard: None for shard in self.clients
+        }
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    @staticmethod
+    def _ready_probe(client: Any) -> bool:
+        """Default probe: the shard's readiness endpoint answers 200.
+
+        A 503 (draining, open dataset breaker) counts as *not ready* —
+        traffic should rotate away — and a transport failure obviously
+        does.  Any other status still proves the process answers, which
+        is what routing needs.
+        """
+        reply = client.call("GET", "/healthz", {"ready": "1"}, None)
+        return reply.status == 200
+
+    # -- probing -------------------------------------------------------
+
+    def probe_once(self) -> dict[str, bool]:
+        """One synchronous probe round; returns shard -> healthy."""
+        results: dict[str, bool] = {}
+        for shard, client in self.clients.items():
+            try:
+                healthy = bool(self._probe(client))
+            except ShardUnavailableError:
+                healthy = False
+            except Exception as error:  # noqa: BLE001 - probe must not die
+                _log.warning("health probe %s failed oddly: %s", shard, error)
+                healthy = False
+            results[shard] = healthy
+            if healthy:
+                self.record_success(shard)
+            else:
+                self.record_failure(shard)
+        return results
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self.probe_once()
+
+    def start(self) -> "HealthMonitor":
+        """Run probe rounds on a daemon thread until :meth:`stop`."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._loop, name="cluster-health", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the heartbeat thread and wait for it."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    # -- breaker feed (heartbeats AND routing results) -----------------
+
+    def record_success(self, shard: str) -> None:
+        """A probe or routed call succeeded: feed the breaker."""
+        breaker = self.breakers[shard]
+        was_up = breaker.state != "open"
+        breaker.record_success()
+        self._last_probe[shard] = True
+        if not was_up:
+            _log.info("shard %s is back up", shard)
+        self._publish(shard)
+
+    def record_failure(self, shard: str) -> None:
+        """A probe or routed call failed: feed the breaker."""
+        breaker = self.breakers[shard]
+        was_up = breaker.state != "open"
+        breaker.record_failure()
+        self._last_probe[shard] = False
+        if was_up and breaker.state == "open":
+            _log.warning("shard %s marked down (breaker open)", shard)
+        self._publish(shard)
+
+    def _publish(self, shard: str) -> None:
+        get_metrics().gauge(
+            "repro.cluster.shard.up", shard=shard
+        ).set(1 if self.is_up(shard) else 0)
+
+    # -- queries -------------------------------------------------------
+
+    def is_up(self, shard: str) -> bool:
+        """Routable: the shard's breaker is not open."""
+        return self.breakers[shard].state != "open"
+
+    def up_shards(self) -> tuple[str, ...]:
+        """Every currently routable shard, in config order."""
+        return tuple(s for s in self.clients if self.is_up(s))
+
+    def snapshot(self) -> list[dict[str, Any]]:
+        """JSON-ready per-shard health for ``/healthz``."""
+        return [
+            {
+                "shard": shard,
+                "up": self.is_up(shard),
+                "last_probe_ok": self._last_probe[shard],
+                "breaker": self.breakers[shard].snapshot(),
+            }
+            for shard in sorted(self.clients)
+        ]

@@ -1,0 +1,83 @@
+"""Consistent-hash ring with R-way replica sets for session placement.
+
+Sessions pin to shards by hashing the session id onto a ring of
+virtual nodes.  Consistent hashing (rather than ``hash(id) % N``)
+keeps placement stable when the shard set changes: removing one shard
+moves only that shard's arc, so a rolling restart does not re-home
+every session in the cluster.
+
+Replica sets come from walking the ring clockwise from the key's
+position and collecting the first R *distinct* shards — the standard
+Dynamo/Cassandra preference list.  The first entry is the session's
+home (primary); the rest are failover targets in preference order.
+
+Hashes are BLAKE2b, not Python's ``hash()``: placement must agree
+between a coordinator and any tooling that reasons about it,
+independent of ``PYTHONHASHSEED``.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from collections.abc import Sequence
+
+
+def _position(key: str) -> int:
+    """A key's position on the ring (stable across processes)."""
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class HashRing:
+    """Immutable consistent-hash ring over named shards."""
+
+    def __init__(
+        self,
+        shards: Sequence[str],
+        *,
+        replicas: int = 2,
+        vnodes: int = 64,
+    ) -> None:
+        if not shards:
+            raise ValueError("ring needs at least one shard")
+        if len(set(shards)) != len(shards):
+            raise ValueError("shard names must be unique")
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.shards = tuple(shards)
+        self.replicas = min(replicas, len(self.shards))
+        self.vnodes = vnodes
+        points: list[tuple[int, str]] = []
+        for shard in self.shards:
+            for vnode in range(vnodes):
+                points.append((_position(f"{shard}#{vnode}"), shard))
+        points.sort()
+        self._points = [position for position, _ in points]
+        self._owners = [shard for _, shard in points]
+
+    def replica_set(self, key: str) -> tuple[str, ...]:
+        """The R distinct shards owning ``key``, in preference order."""
+        start = bisect.bisect(self._points, _position(key)) % len(self._points)
+        chosen: list[str] = []
+        for step in range(len(self._points)):
+            owner = self._owners[(start + step) % len(self._points)]
+            if owner not in chosen:
+                chosen.append(owner)
+                if len(chosen) == self.replicas:
+                    break
+        return tuple(chosen)
+
+    def primary(self, key: str) -> str:
+        """The first (home) shard for ``key``."""
+        return self.replica_set(key)[0]
+
+    def summary(self) -> dict[str, object]:
+        """JSON-ready description for ``/healthz``."""
+        return {
+            "shards": list(self.shards),
+            "replicas": self.replicas,
+            "vnodes": self.vnodes,
+        }

@@ -219,6 +219,23 @@ class WorkerCrashError(ServiceError):
         self.kind = kind
 
 
+class ShardUnavailableError(ServiceError):
+    """A cluster shard could not be reached (or answered garbage).
+
+    Internal to :mod:`repro.cluster`: the coordinator's shard client
+    raises this on connection failures, timeouts and unparseable
+    replies.  The coordinator treats it as a routing signal — record a
+    breaker failure, try the next replica — and only surfaces a
+    :class:`ServiceUnavailableError` (``reason="shard_down"``) once
+    every replica of the session is exhausted.
+    """
+
+    def __init__(self, shard: str, cause: BaseException | str) -> None:
+        super().__init__(f"shard {shard} unavailable: {cause}")
+        self.shard = shard
+        self.cause = cause
+
+
 class UnknownSessionError(ServiceError):
     """A session id was addressed but is not (or no longer) live.
 

@@ -56,6 +56,7 @@ from repro.resilience.isolation import (
     IsolationLimits,
     ProcessWorkerPool,
     WorkerBootstrap,
+    backoff_delay,
     snapshot_fault_specs,
 )
 from repro.resilience.journal import (
@@ -90,6 +91,7 @@ __all__ = [
     "IsolationLimits",
     "WorkerBootstrap",
     "ProcessWorkerPool",
+    "backoff_delay",
     "DIAG_TASKS",
     "snapshot_fault_specs",
     "SessionJournal",

@@ -14,7 +14,8 @@ at the seams:
   the result list is truncated, simulating a flaky secondary index),
 * ``registry.build`` — dataset construction in the service registry,
 * ``workers.job`` — the worker pool, right before a job body runs,
-* ``journal.append`` — the session journal's write path.
+* ``journal.append`` — the session journal's write path,
+* ``cluster.shard.call`` — the coordinator's network hop to a shard.
 
 When no injector is active, a fault point is one module-global read —
 cheap enough for hot paths.  Activation is process-global and
@@ -48,6 +49,7 @@ FAULT_POINTS: frozenset[str] = frozenset({
     "registry.build",
     "workers.job",
     "journal.append",
+    "cluster.shard.call",
 })
 
 #: Supported fault modes.

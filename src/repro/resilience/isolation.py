@@ -59,7 +59,7 @@ import sys
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable
 
 import multiprocessing
 import multiprocessing.connection
@@ -87,6 +87,19 @@ _POLL_STEP_S = 0.02
 #: Restart backoff: ``min(cap, base * 2**failures)`` with ±50% jitter.
 _BACKOFF_BASE_S = 0.05
 _BACKOFF_CAP_S = 2.0
+
+
+def backoff_delay(failures: int, rng: random.Random) -> float:
+    """The jittered respawn delay after ``failures`` consecutive failures.
+
+    Exponential (``base * 2**failures``) capped at :data:`_BACKOFF_CAP_S`,
+    then spread uniformly over [0.5x, 1.5x] so a fleet of restarting
+    slots does not re-collide.  The RNG is a parameter so chaos tests
+    can seed it and assert exact schedules instead of sleeping through
+    random backoff.
+    """
+    delay = min(_BACKOFF_CAP_S, _BACKOFF_BASE_S * (2 ** max(0, failures)))
+    return delay * (0.5 + rng.random())
 
 
 def _rss_bytes() -> int:
@@ -511,6 +524,8 @@ class ProcessWorkerPool:
         kill_grace: float = 2.0,
         retry_after_s: float = 1.0,
         spawn_timeout_s: float = SPAWN_TIMEOUT_S,
+        backoff_rng: random.Random | None = None,
+        backoff_sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         if procs <= 0:
             raise ValueError("procs must be positive")
@@ -521,6 +536,10 @@ class ProcessWorkerPool:
         self.kill_grace = kill_grace
         self.retry_after_s = retry_after_s
         self.spawn_timeout_s = spawn_timeout_s
+        # Injectable so chaos tests can seed the jitter and fake the
+        # sleep — a respawn schedule becomes a deterministic assertion.
+        self._backoff_rng = backoff_rng or random.Random()
+        self._backoff_sleep = backoff_sleep
         self._ctx = multiprocessing.get_context("spawn")
         self._queue: queue.Queue[ProcJob] = queue.Queue(maxsize=queue_size)
         self._ids = itertools.count(1)
@@ -647,8 +666,7 @@ class ProcessWorkerPool:
         self._set_state(slot, "closed")
 
     def _sleep_backoff(self, failures: int) -> None:
-        delay = min(_BACKOFF_CAP_S, _BACKOFF_BASE_S * (2 ** max(0, failures)))
-        time.sleep(delay * (0.5 + random.random()))
+        self._backoff_sleep(backoff_delay(failures, self._backoff_rng))
 
     def _spawn(self, slot: int) -> _WorkerProcess:
         with get_tracer().span("isolation.worker.spawn", slot=slot) as span:

@@ -41,6 +41,10 @@ from repro.service.config import KNOWN_DATASETS, ServiceConfig
 from repro.service.http import MappingServer, make_server
 from repro.service.registry import DatasetRegistry, LocationCache
 from repro.service.remote import RemoteMappingSession
+from repro.service.retry_after import (
+    clamp_retry_after,
+    retry_after_header,
+)
 from repro.service.sessions import ManagedSession, SessionManager
 from repro.service.workers import Job, WorkerPool
 
@@ -58,4 +62,6 @@ __all__ = [
     "Job",
     "AdmissionController",
     "RemoteMappingSession",
+    "retry_after_header",
+    "clamp_retry_after",
 ]

@@ -26,6 +26,7 @@ import threading
 
 from repro.exceptions import ServiceUnavailableError
 from repro.obs import get_metrics
+from repro.service.retry_after import clamp_retry_after
 
 #: EWMA smoothing: each new sample carries this weight.
 ALPHA = 0.2
@@ -90,7 +91,7 @@ class AdmissionController:
         raise ServiceUnavailableError(
             f"estimated queue wait {estimate:.2f}s exceeds "
             f"{self.shed_factor:g}x the {deadline_s:g}s deadline",
-            retry_after_s=max(self.retry_after_s, min(estimate, 30.0)),
+            retry_after_s=clamp_retry_after(estimate, self.retry_after_s),
             reason="shed",
         )
 

@@ -87,8 +87,14 @@ from repro.resilience.isolation import (
 )
 from repro.service.admission import AdmissionController
 from repro.service.config import ServiceConfig
-from repro.service.registry import DatasetRegistry, LocationCache
+from repro.service.registry import (
+    DatasetRegistry,
+    LocationCache,
+    locate_partition,
+    normalize_sample,
+)
 from repro.service.remote import RemoteMappingSession
+from repro.service.retry_after import retry_after_header
 from repro.service.sessions import ManagedSession, SessionManager
 from repro.service.workers import WorkerPool
 
@@ -408,7 +414,7 @@ class ServiceApp:
                 payload = {"error": str(error),
                            "retry_after_s": error.retry_after_s}
                 headers = {
-                    "Retry-After": str(max(1, round(error.retry_after_s)))
+                    "Retry-After": retry_after_header(error.retry_after_s)
                 }
             except ServiceUnavailableError as error:
                 status = 503
@@ -416,14 +422,14 @@ class ServiceApp:
                            "reason": error.reason,
                            "retry_after_s": error.retry_after_s}
                 headers = {
-                    "Retry-After": str(max(1, round(error.retry_after_s)))
+                    "Retry-After": retry_after_header(error.retry_after_s)
                 }
             except CircuitOpenError as error:
                 status = 503
                 payload = {"error": str(error),
                            "retry_after_s": error.retry_after_s}
                 headers = {
-                    "Retry-After": str(max(1, round(error.retry_after_s)))
+                    "Retry-After": retry_after_header(error.retry_after_s)
                 }
             except DeadlineExceeded as error:
                 status, payload, headers = 504, {"error": str(error)}, {}
@@ -481,6 +487,10 @@ class ServiceApp:
     @staticmethod
     def _route_template(method: str, parts: tuple[str, ...]) -> str:
         """Low-cardinality route label (session ids collapsed)."""
+        if parts[:2] == ("admin", "sessions") and len(parts) >= 3:
+            tail = "/".join(parts[3:])
+            suffix = f"/{tail}" if tail else ""
+            return f"{method} /admin/sessions/{{id}}{suffix}"
         if parts and parts[0] == "sessions" and len(parts) >= 2:
             tail = "/".join(parts[2:])
             suffix = f"/{tail}" if tail else ""
@@ -539,6 +549,20 @@ class ServiceApp:
                 return self.explain(session_id)
             if action == "suggest" and method == "GET":
                 return self.suggest(session_id, query)
+        if self.config.shard_mode:
+            # Cluster-internal surface (mweaver shard): the coordinator
+            # restores failed-over sessions and scatters LocateSample
+            # partitions here.  Gated so a standalone serve never
+            # accepts session overwrites from the network.
+            if parts == ("locate",) and method == "GET":
+                return self.locate(query)
+            if (
+                len(parts) == 4
+                and parts[:2] == ("admin", "sessions")
+                and parts[3] == "restore"
+                and method == "POST"
+            ):
+                return self.restore_session(parts[2], body)
         return 404, {"error": f"no route for {method} /{'/'.join(parts)}"}, {}
 
     # ------------------------------------------------------------------
@@ -621,16 +645,21 @@ class ServiceApp:
                         str(column_name)
                     )
                     session.input(row, col_index, value, budget=budget)
-                if self.journal is not None:
-                    # Journal only what the session actually kept: an
-                    # input reverted by the on_irrelevant="ignore"
-                    # policy must not resurrect on replay.
-                    applied = session.spreadsheet.cell(row, col_index)
-                    if applied == (value.strip() or None):
-                        self.journal.record_cell(
-                            managed.session_id, row, col_index, value
-                        )
-                return self._state(managed)
+                # ``applied``: did the cell survive the session's
+                # irrelevance policy?  Journaled (only-what-was-kept —
+                # an input reverted by on_irrelevant="ignore" must not
+                # resurrect on replay) and reported to the caller so a
+                # cluster coordinator can apply the same rule to its
+                # own journal.
+                applied = (
+                    session.spreadsheet.cell(row, col_index)
+                    == (value.strip() or None)
+                )
+                if self.journal is not None and applied:
+                    self.journal.record_cell(
+                        managed.session_id, row, col_index, value
+                    )
+                return {**self._state(managed), "applied": applied}
 
         started = time.perf_counter()
         state = self.pool.run(work, timeout_s=self.config.request_timeout_s)
@@ -672,7 +701,10 @@ class ServiceApp:
                 self.journal.record_cell(
                     managed.session_id, row, col_index, value
                 )
-            state = self._state(managed)
+            state = {
+                **self._state(managed),
+                "applied": bool(reply.get("applied")),
+            }
         self.admission.observe(time.perf_counter() - started)
         return 200, state, {}
 
@@ -767,6 +799,129 @@ class ServiceApp:
         values = self.pool.run(work, timeout_s=self.config.request_timeout_s)
         return 200, {"session_id": session_id, "suggestions": values}, {}
 
+    # ------------------------------------------------------------------
+    # Shard-mode surface (cluster-internal; gated on config.shard_mode)
+    # ------------------------------------------------------------------
+
+    def restore_session(
+        self, session_id: str, body: dict[str, Any] | None
+    ) -> Response:
+        """``POST /admin/sessions/{id}/restore`` — adopt a shipped session.
+
+        The coordinator ships a session's full journaled state here: on
+        failover to a replica, when warming a secondary, and when
+        re-seating sessions after a shard restart.  Semantics are
+        *replace*: any existing session under this id is dropped and
+        rebuilt from the shipped grid via ``load_cells`` — the same
+        replay primitive journal recovery uses — so repeated restores
+        with the same grid are idempotent and convergent.
+        """
+        body = body or {}
+        dataset = str(_require(body, "dataset"))
+        if dataset not in self.config.datasets:
+            raise _BadRequest(
+                f"dataset {dataset!r} is not served (loaded: "
+                f"{', '.join(self.config.datasets)})"
+            )
+        columns = body.get("columns")
+        if (
+            not isinstance(columns, (list, tuple))
+            or not columns
+            or not all(isinstance(c, str) and c.strip() for c in columns)
+        ):
+            raise _BadRequest("columns must be a non-empty list of names")
+        on_irrelevant = str(body.get("on_irrelevant", "ignore"))
+        raw_cells = body.get("cells", [])
+        if not isinstance(raw_cells, (list, tuple)):
+            raise _BadRequest("cells must be a list of [row, column, value]")
+        grid: dict[tuple[int, int], str] = {}
+        for entry in raw_cells:
+            if not isinstance(entry, (list, tuple)) or len(entry) != 3:
+                raise _BadRequest(
+                    "cells must be a list of [row, column, value]"
+                )
+            row, col, value = entry
+            grid[_as_int(row, "cell row"), _as_int(col, "cell column")] = (
+                str(value)
+            )
+        replaced = session_id in self.sessions.ids()
+        if replaced:
+            # Eviction hooks fire (journal delete); the create below
+            # re-records the restored state, keeping the shard's own
+            # journal consistent with what is actually live.
+            self.sessions.remove(session_id)
+        factory = self._session_factory(
+            dataset, list(columns), on_irrelevant=on_irrelevant
+        )
+        managed = self.sessions.create(dataset, factory, session_id=session_id)
+        self._stamp_remote(managed)
+        try:
+            with managed.lock:
+                if grid:
+                    managed.session.load_cells(grid)
+        except Exception:
+            self.sessions.remove(session_id)
+            raise
+        if self.journal is not None:
+            self.journal.record_create(
+                session_id, dataset,
+                list(managed.session.spreadsheet.columns),
+                on_irrelevant=on_irrelevant,
+            )
+            # Journal what the rebuilt session kept, not what was
+            # shipped — same only-what-was-kept rule as put_cell.
+            with managed.lock:
+                kept = sorted(managed.session.spreadsheet.cells().items())
+            for (row, col), value in kept:
+                self.journal.record_cell(session_id, row, col, value)
+        get_metrics().counter("repro.service.sessions.restored").inc()
+        with managed.lock:
+            return 200, {**self._state(managed), "restored": True,
+                         "replaced": replaced}, {}
+
+    def locate(self, query: dict[str, str]) -> Response:
+        """``GET /locate`` — one partition of a scatter LocateSample.
+
+        ``?dataset=&sample=&parts=N&part=i`` scans only the text
+        attributes whose stable hash lands in partition ``i`` of ``N``,
+        so a coordinator can fan one sample out across shards and union
+        the results (Algorithm 1's location map, horizontally split).
+        Partitioning hashes the attribute *name*, not the data, so any
+        shard can serve any partition — that is what lets the
+        coordinator hedge a slow partition onto a replica.
+        """
+        dataset = str(query.get("dataset", self.config.datasets[0]))
+        if dataset not in self.config.datasets:
+            raise _BadRequest(
+                f"dataset {dataset!r} is not served (loaded: "
+                f"{', '.join(self.config.datasets)})"
+            )
+        if "sample" not in query:
+            raise _BadRequest("missing required query parameter 'sample'")
+        sample = normalize_sample(str(query["sample"]))
+        if not sample:
+            raise _BadRequest("sample must not be blank")
+        parts = _as_int(query.get("parts", 1), "parts")
+        part = _as_int(query.get("part", 0), "part")
+        if parts < 1:
+            raise _BadRequest("parts must be >= 1")
+        if not 0 <= part < parts:
+            raise _BadRequest("part must be in [0, parts)")
+        db = self.registry.get(dataset)
+        entries = [
+            [relation, attribute]
+            for relation, attribute in db.schema.text_attribute_pairs()
+            if locate_partition(relation, attribute, parts) == part
+            and db.attribute_contains(relation, attribute, sample)
+        ]
+        return 200, {
+            "dataset": dataset,
+            "sample": sample,
+            "parts": parts,
+            "part": part,
+            "entries": entries,
+        }, {}
+
     def healthz(self, query: dict[str, str] | None = None) -> Response:
         """``GET /healthz`` — liveness; ``?ready=1`` — readiness.
 
@@ -830,7 +985,7 @@ class ServiceApp:
             body["ready"] = not blockers
             if blockers:
                 body["ready_blockers"] = blockers
-                retry = str(max(1, round(self.config.retry_after_s)))
+                retry = retry_after_header(self.config.retry_after_s)
                 return 503, body, {"Retry-After": retry}
         return 200, body, {}
 

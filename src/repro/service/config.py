@@ -106,6 +106,13 @@ class ServiceConfig:
     #: Requests slower than this are auto-pinned by the flight recorder
     #: as "slow".  ``None`` derives the SLO latency bound.
     slow_request_s: float | None = None
+    #: Shard mode (``mweaver shard``): expose the cluster-internal
+    #: surface — ``POST /admin/sessions/{id}/restore`` (coordinator
+    #: ships a session's journaled grid here on failover) and
+    #: ``GET /locate`` (one partition of a scatter-gather LocateSample).
+    #: Off by default: a standalone ``mweaver serve`` should not accept
+    #: session overwrites from the network.
+    shard_mode: bool = False
 
     @property
     def effective_search_deadline_s(self) -> float:

@@ -1,0 +1,548 @@
+"""Tests for the coordinator: routing, failover, replication, locate.
+
+All over in-process shard apps (see conftest) — deterministic, no
+sockets, background threads off.  The invariant under test everywhere:
+killing any single shard with R=2 loses zero accepted session state
+and never surfaces a 500.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from tests.cluster.conftest import FLOW_CELLS, open_breaker, run_flow
+
+
+def _candidates(coordinator, session_id):
+    status, text, _ = coordinator.handle(
+        "GET", f"/sessions/{session_id}/candidates",
+        {"limit": "1", "sql": "1"}, None,
+    )
+    assert status == 200, text
+    return json.loads(text)
+
+
+class TestHappyPath:
+    def test_create_places_an_r_way_replica_set(self, make_cluster):
+        coordinator, _apps, _clients = make_cluster()
+        status, body, _ = coordinator.handle("POST", "/sessions", {}, {})
+        assert status == 201, body
+        assert len(body["replicas"]) == 2
+        assert body["primary"] == body["replicas"][0]
+        assert len(set(body["replicas"])) == 2
+
+    def test_flow_matches_a_single_node_answer(
+        self, make_cluster, cluster_registry
+    ):
+        from repro.service.app import ServiceApp
+        from repro.service.config import ServiceConfig
+
+        coordinator, _apps, _clients = make_cluster()
+        _session, top = run_flow(coordinator)
+        single = ServiceApp(
+            ServiceConfig(datasets=("running",), workers=2),
+            registry=cluster_registry,
+        )
+        try:
+            status, body, _ = single.handle("POST", "/sessions", {}, {})
+            session_id = body["session_id"]
+            for row, column, value in FLOW_CELLS:
+                status, body, _ = single.handle(
+                    "POST", f"/sessions/{session_id}/cells", {},
+                    {"row": row, "column": column, "value": value},
+                )
+                assert status == 200
+            status, expected, _ = single.handle(
+                "GET", f"/sessions/{session_id}/candidates",
+                {"limit": "1", "sql": "1"}, None,
+            )
+            assert status == 200
+        finally:
+            single.close()
+        assert top["candidates"] == expected["candidates"]
+
+    def test_session_calls_pin_to_the_primary(self, make_cluster):
+        coordinator, _apps, clients = make_cluster()
+        session_id, _top = run_flow(coordinator)
+        session = coordinator._session(session_id)
+        secondaries = [s for s in session.replicas if s != session.primary]
+        for shard in secondaries:
+            session_calls = [
+                path for _method, path in clients[shard].calls
+                if f"/sessions/{session_id}" in path
+                and "restore" not in path
+            ]
+            assert session_calls == []
+
+    def test_list_and_delete(self, make_cluster):
+        coordinator, apps, _clients = make_cluster()
+        session_id, _top = run_flow(coordinator)
+        status, body, _ = coordinator.handle("GET", "/sessions", {}, None)
+        assert status == 200 and body["sessions"] == [session_id]
+        status, _body, _ = coordinator.handle(
+            "DELETE", f"/sessions/{session_id}", {}, None
+        )
+        assert status == 204
+        # Dropped everywhere, not just in the coordinator's table.
+        for app in apps.values():
+            assert session_id not in app.sessions.ids()
+        status, _body, _ = coordinator.handle(
+            "GET", f"/sessions/{session_id}", {}, None
+        )
+        assert status == 404
+
+    def test_validation_errors(self, make_cluster):
+        coordinator, _apps, _clients = make_cluster()
+        status, _body, _ = coordinator.handle(
+            "POST", "/sessions", {}, {"dataset": "nope"}
+        )
+        assert status == 400
+        status, _body, _ = coordinator.handle(
+            "GET", "/sessions/ghost", {}, None
+        )
+        assert status == 404
+        status, _body, _ = coordinator.handle(
+            "POST", "/sessions", {}, {"columns": []}
+        )
+        assert status == 400
+
+    def test_session_table_cap_answers_429(self, make_cluster):
+        coordinator, _apps, _clients = make_cluster(max_sessions=1)
+        status, _body, _ = coordinator.handle("POST", "/sessions", {}, {})
+        assert status == 201
+        status, _body, headers = coordinator.handle(
+            "POST", "/sessions", {}, {}
+        )
+        assert status == 429
+        assert int(headers["Retry-After"]) >= 1
+
+
+class TestFailover:
+    def test_primary_loss_loses_zero_accepted_state(self, make_cluster):
+        coordinator, _apps, clients = make_cluster()
+        session_id, before = run_flow(coordinator)
+        session = coordinator._session(session_id)
+        old_primary = session.primary
+
+        clients[old_primary].down = True
+        open_breaker(coordinator, old_primary)
+
+        after = _candidates(coordinator, session_id)
+        assert after["candidates"] == before["candidates"]
+        assert session.primary != old_primary
+        assert session.primary in session.replicas
+        assert coordinator.failovers == 1
+        assert session.failovers == 1
+
+    def test_cold_replica_is_reseated_from_the_journaled_grid(
+        self, make_cluster
+    ):
+        """Without a replication flush the secondary has never heard of
+        the session: failover must ship a restore, then serve."""
+        coordinator, _apps, clients = make_cluster()
+        session_id, before = run_flow(coordinator)
+        session = coordinator._session(session_id)
+        secondary = next(
+            s for s in session.replicas if s != session.primary
+        )
+        assert coordinator.replicator.pending() > 0  # not yet shipped
+
+        clients[session.primary].down = True
+        open_breaker(coordinator, session.primary)
+        after = _candidates(coordinator, session_id)
+        assert after["candidates"] == before["candidates"]
+        restores = [
+            path for _m, path in clients[secondary].calls
+            if path.endswith("/restore")
+        ]
+        assert len(restores) >= 1
+
+    def test_warm_replica_needs_no_restore(self, make_cluster):
+        coordinator, apps, clients = make_cluster()
+        session_id, before = run_flow(coordinator)
+        coordinator.replicator.flush()
+        assert coordinator.replicator.pending() == 0
+        session = coordinator._session(session_id)
+        secondary = next(
+            s for s in session.replicas if s != session.primary
+        )
+        # The background replica already holds the full grid.
+        assert session_id in apps[secondary].sessions.ids()
+
+        restores_before = sum(
+            1 for _m, path in clients[secondary].calls
+            if path.endswith("/restore")
+        )
+        clients[session.primary].down = True
+        open_breaker(coordinator, session.primary)
+        after = _candidates(coordinator, session_id)
+        assert after["candidates"] == before["candidates"]
+        restores_after = sum(
+            1 for _m, path in clients[secondary].calls
+            if path.endswith("/restore")
+        )
+        assert restores_after == restores_before
+
+    def test_session_keeps_accepting_cells_after_failover(
+        self, make_cluster
+    ):
+        coordinator, _apps, clients = make_cluster()
+        session_id, _before = run_flow(coordinator)
+        session = coordinator._session(session_id)
+        clients[session.primary].down = True
+        open_breaker(coordinator, session.primary)
+        status, body, _ = coordinator.handle(
+            "POST", f"/sessions/{session_id}/cells", {},
+            {"row": 2, "column": 0, "value": "Titanic"},
+        )
+        assert status == 200, body
+        assert body["applied"] is True
+        assert (2, 0) in session.cells
+
+    def test_every_replica_down_is_503_shard_down_not_500(
+        self, make_cluster
+    ):
+        coordinator, _apps, clients = make_cluster()
+        session_id, _before = run_flow(coordinator)
+        session = coordinator._session(session_id)
+        for shard in session.replicas:
+            clients[shard].down = True
+            open_breaker(coordinator, shard)
+        status, body, headers = coordinator.handle(
+            "GET", f"/sessions/{session_id}/candidates", {}, None
+        )
+        assert status == 503
+        assert body["reason"] == "shard_down"
+        assert int(headers["Retry-After"]) >= 1
+        # The coordinator itself still answers.
+        status, body, _ = coordinator.handle("GET", "/healthz", {}, None)
+        assert status == 200
+        assert body["status"] == "degraded"
+
+    def test_any_single_shard_loss_is_survivable(self, make_cluster):
+        """The acceptance property, exhaustively: whichever one shard
+        dies, the session answers identically and nothing 500s."""
+        for victim_index in range(3):
+            coordinator, _apps, clients = make_cluster()
+            session_id, before = run_flow(coordinator)
+            victim = coordinator.config.shards[victim_index]
+            clients[victim].down = True
+            open_breaker(coordinator, victim)
+            after = _candidates(coordinator, session_id)
+            assert after["candidates"] == before["candidates"], victim
+            status, body, _ = coordinator.handle(
+                "POST", f"/sessions/{session_id}/cells", {},
+                {"row": 2, "column": 1, "value": "Steven Spielberg"},
+            )
+            assert status == 200, (victim, body)
+
+    def test_shard_refusals_pass_through_not_failover(self, make_cluster):
+        """A 429 from a live shard is backpressure, not death: the
+        coordinator forwards it instead of stampeding the replica."""
+        coordinator, apps, _clients = make_cluster()
+        session_id, _top = run_flow(coordinator)
+        session = coordinator._session(session_id)
+        primary_app = apps[session.primary]
+
+        original = primary_app.handle
+
+        def refusing(method, path, query=None, body=None):
+            if path.endswith("/cells"):
+                return 429, {"error": "busy"}, {"Retry-After": "7"}
+            return original(method, path, query, body)
+
+        primary_app.handle = refusing
+        try:
+            status, _body, headers = coordinator.handle(
+                "POST", f"/sessions/{session_id}/cells", {},
+                {"row": 2, "column": 0, "value": "Titanic"},
+            )
+        finally:
+            primary_app.handle = original
+        assert status == 429
+        assert headers["Retry-After"] == "7"
+        assert session.primary in session.replicas
+        assert coordinator.failovers == 0
+
+
+class TestReplication:
+    def test_flush_ships_the_grid_to_every_replica(self, make_cluster):
+        coordinator, apps, _clients = make_cluster()
+        session_id, _top = run_flow(coordinator)
+        coordinator.replicator.flush()
+        session = coordinator._session(session_id)
+        for shard in session.replicas:
+            assert session_id in apps[shard].sessions.ids()
+
+    def test_down_replica_stays_marked_dirty(self, make_cluster):
+        coordinator, _apps, clients = make_cluster()
+        session_id, _top = run_flow(coordinator)
+        session = coordinator._session(session_id)
+        secondary = next(
+            s for s in session.replicas if s != session.primary
+        )
+        clients[secondary].down = True
+        coordinator.replicator.flush()
+        # Could not ship: the session stays pending for the next sweep.
+        assert coordinator.replicator.pending() == 1
+        clients[secondary].down = False
+        coordinator.replicator.flush()
+        assert coordinator.replicator.pending() == 0
+
+    def test_unapplied_inputs_are_not_replicated(self, make_cluster):
+        coordinator, _apps, _clients = make_cluster()
+        session_id, _top = run_flow(coordinator)
+        session = coordinator._session(session_id)
+        cells_before = dict(session.cells)
+        status, body, _ = coordinator.handle(
+            "POST", f"/sessions/{session_id}/cells", {},
+            {"row": 2, "column": 0, "value": "No Such Movie Anywhere"},
+        )
+        assert status == 200, body
+        assert body["applied"] is False
+        assert session.cells == cells_before
+
+
+class TestLocate:
+    def test_union_matches_the_unpartitioned_answer(self, make_cluster):
+        coordinator, apps, _clients = make_cluster()
+        status, body, _ = coordinator.handle(
+            "GET", "/locate",
+            {"dataset": "running", "sample": "Tim Burton"}, None,
+        )
+        assert status == 200, body
+        assert body["degraded"] is False
+        assert body["served_parts"] == body["parts"] == 3
+
+        any_app = next(iter(apps.values()))
+        status, whole, _ = any_app.handle(
+            "GET", "/locate",
+            {"dataset": "running", "sample": "Tim Burton"}, None,
+        )
+        assert status == 200
+        assert body["entries"] == whole["entries"]
+
+    def test_partial_coverage_degrades_instead_of_failing(
+        self, make_cluster
+    ):
+        coordinator, _apps, clients = make_cluster()
+        ring = coordinator.ring
+        shards = coordinator.config.shards
+        survivor = next(
+            shard for shard in shards
+            if 0 < sum(
+                shard in ring.replica_set(f"locate#{part}")
+                for part in range(len(shards))
+            ) < len(shards)
+        )
+        for shard in shards:
+            if shard != survivor:
+                clients[shard].down = True
+                open_breaker(coordinator, shard)
+        status, body, _ = coordinator.handle(
+            "GET", "/locate",
+            {"dataset": "running", "sample": "Tim Burton"}, None,
+        )
+        assert status == 200, body
+        assert body["degraded"] is True
+        assert 0 < body["served_parts"] < body["parts"]
+        degradation = body["degradation"]
+        assert degradation["phase"] == "cluster"
+        assert degradation["reason"] == "shard_down"
+        assert degradation["skipped"]["partitions"] > 0
+        assert coordinator.degraded_locates == 1
+
+    def test_total_loss_is_503_shard_down(self, make_cluster):
+        coordinator, _apps, clients = make_cluster()
+        for shard in coordinator.config.shards:
+            clients[shard].down = True
+            open_breaker(coordinator, shard)
+        status, body, _ = coordinator.handle(
+            "GET", "/locate",
+            {"dataset": "running", "sample": "Tim Burton"}, None,
+        )
+        assert status == 503
+        assert body["reason"] == "shard_down"
+
+    def test_slow_primary_is_hedged(self, make_cluster):
+        import time as time_module
+
+        coordinator, _apps, clients = make_cluster(hedge_delay_s=0.02)
+
+        # Slow down a shard that is the *preferred* replica of at least
+        # one partition — only the first candidate can be hedged away.
+        slow_shards = {coordinator.ring.replica_set("locate#0")[0]}
+        for address, client in clients.items():
+            if address in slow_shards:
+                original_call = client.call
+
+                def slow_call(
+                    method, path, query=None, body=None,
+                    _orig=original_call,
+                ):
+                    if path == "/locate":
+                        time_module.sleep(0.25)
+                    return _orig(method, path, query, body)
+
+                client.call = slow_call
+        status, body, _ = coordinator.handle(
+            "GET", "/locate",
+            {"dataset": "running", "sample": "Tim Burton"}, None,
+        )
+        assert status == 200, body
+        assert body["degraded"] is False
+        assert coordinator.hedges >= 1
+
+
+class TestJournalRecovery:
+    def test_restart_recovers_the_session_table(
+        self, make_cluster, tmp_path
+    ):
+        from repro.cluster import ClusterConfig, CoordinatorApp
+
+        coordinator, _apps, clients = make_cluster(
+            journal_dir=str(tmp_path)
+        )
+        session_id, before = run_flow(coordinator)
+        coordinator.close()
+
+        reborn = CoordinatorApp(
+            ClusterConfig(
+                shards=coordinator.config.shards,
+                replication=2,
+                journal_dir=str(tmp_path),
+                heartbeat_interval_s=0.05,
+                failure_threshold=2,
+                breaker_reset_s=600.0,
+                hedge_delay_s=0.0,
+            ),
+            clients=clients,
+            start_background=False,
+        )
+        try:
+            assert reborn.recovered_sessions == 1
+            session = reborn._session(session_id)
+            assert session.cells == {
+                (row, column): value for row, column, value in FLOW_CELLS
+            }
+            after = _candidates(reborn, session_id)
+            assert after["candidates"] == before["candidates"]
+        finally:
+            reborn.close()
+
+    def test_recovery_reseats_a_shard_that_lost_everything(
+        self, make_cluster, tmp_path
+    ):
+        """Coordinator journal is the source of truth: even when every
+        shard forgot the session (full-fleet restart), the first touch
+        re-ships the grid and the answer is unchanged."""
+        from repro.cluster import ClusterConfig, CoordinatorApp
+
+        coordinator, apps, clients = make_cluster(
+            journal_dir=str(tmp_path)
+        )
+        session_id, before = run_flow(coordinator)
+        coordinator.close()
+        for app in apps.values():
+            if session_id in app.sessions.ids():
+                app.sessions.remove(session_id)
+
+        reborn = CoordinatorApp(
+            ClusterConfig(
+                shards=coordinator.config.shards,
+                replication=2,
+                journal_dir=str(tmp_path),
+                heartbeat_interval_s=0.05,
+                failure_threshold=2,
+                breaker_reset_s=600.0,
+                hedge_delay_s=0.0,
+            ),
+            clients=clients,
+            start_background=False,
+        )
+        try:
+            after = _candidates(reborn, session_id)
+            assert after["candidates"] == before["candidates"]
+        finally:
+            reborn.close()
+
+    def test_deleted_sessions_stay_deleted_after_restart(
+        self, make_cluster, tmp_path
+    ):
+        from repro.cluster import ClusterConfig, CoordinatorApp
+
+        coordinator, _apps, clients = make_cluster(
+            journal_dir=str(tmp_path)
+        )
+        session_id, _top = run_flow(coordinator)
+        status, _body, _ = coordinator.handle(
+            "DELETE", f"/sessions/{session_id}", {}, None
+        )
+        assert status == 204
+        coordinator.close()
+
+        reborn = CoordinatorApp(
+            ClusterConfig(
+                shards=coordinator.config.shards,
+                replication=2,
+                journal_dir=str(tmp_path),
+                heartbeat_interval_s=0.05,
+                failure_threshold=2,
+                breaker_reset_s=600.0,
+                hedge_delay_s=0.0,
+            ),
+            clients=clients,
+            start_background=False,
+        )
+        try:
+            assert reborn.recovered_sessions == 0
+        finally:
+            reborn.close()
+
+
+class TestDrainAndHealth:
+    def test_drain_refuses_new_work_but_healthz_answers(
+        self, make_cluster
+    ):
+        coordinator, _apps, _clients = make_cluster()
+        coordinator.begin_drain()
+        status, body, _ = coordinator.handle("POST", "/sessions", {}, {})
+        assert status == 503 and body["reason"] == "drain"
+        status, body, _ = coordinator.handle("GET", "/healthz", {}, None)
+        assert status == 200 and body["draining"] is True
+        status, _body, headers = coordinator.handle(
+            "GET", "/healthz", {"ready": "1"}, None
+        )
+        assert status == 503
+        assert "Retry-After" in headers
+
+    def test_healthz_placement_names_the_primary(self, make_cluster):
+        coordinator, _apps, _clients = make_cluster()
+        session_id, _top = run_flow(coordinator)
+        status, body, _ = coordinator.handle("GET", "/healthz", {}, None)
+        assert status == 200
+        placement = body["sessions"]["placement"][session_id]
+        assert placement["primary"] in placement["replicas"]
+        assert placement["cells"] == len(FLOW_CELLS)
+        assert placement["failovers"] == 0
+
+    def test_metrics_endpoint_includes_cluster_gauges(self, make_cluster):
+        import repro.obs as obs
+
+        # scoped(), not enable_metrics(): the global registry must stay
+        # pristine for the service-tier obs tests that run later.
+        with obs.scoped(trace=False):
+            coordinator, _apps, _clients = make_cluster()
+            _session, _top = run_flow(coordinator)
+            status, body, _ = coordinator.handle("GET", "/metrics", {}, None)
+            assert status == 200
+            assert body["cluster"]["sessions"] == 1
+            assert body["cluster"]["shards_up"] == 3
+            status, text, headers = coordinator.handle(
+                "GET", "/metrics", {"format": "prometheus"}, None
+            )
+        assert status == 200
+        assert "repro_cluster_sessions_live" in text
+        assert headers["Content-Type"].startswith("text/plain")

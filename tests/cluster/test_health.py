@@ -1,0 +1,127 @@
+"""Tests for heartbeat-driven shard health and circuit breakers."""
+
+from __future__ import annotations
+
+from repro.cluster import HealthMonitor
+from repro.exceptions import ShardUnavailableError
+
+
+class _Script:
+    """A probe that answers from a per-shard scripted healthy/dead flag."""
+
+    def __init__(self, shards):
+        self.healthy = {shard: True for shard in shards}
+
+    def __call__(self, client) -> bool:
+        if not self.healthy[client]:
+            raise ShardUnavailableError(client, "scripted down")
+        return True
+
+
+def make_monitor(shards=("a:1", "b:1", "c:1"), **overrides):
+    # Clients are only handed to the probe; strings suffice here.
+    script = _Script(shards)
+    settings = dict(
+        interval_s=0.05,
+        failure_threshold=2,
+        reset_timeout_s=600.0,
+        probe=script,
+    )
+    settings.update(overrides)
+    monitor = HealthMonitor({shard: shard for shard in shards}, **settings)
+    return monitor, script
+
+
+class TestProbes:
+    def test_all_up_initially_and_after_a_clean_round(self):
+        monitor, _ = make_monitor()
+        assert monitor.up_shards() == ("a:1", "b:1", "c:1")
+        results = monitor.probe_once()
+        assert all(results.values())
+        assert monitor.up_shards() == ("a:1", "b:1", "c:1")
+
+    def test_failures_below_threshold_keep_the_shard_routable(self):
+        monitor, script = make_monitor(failure_threshold=3)
+        script.healthy["b:1"] = False
+        monitor.probe_once()
+        assert monitor.is_up("b:1")  # 1 of 3 failures
+
+    def test_threshold_failures_open_the_breaker(self):
+        monitor, script = make_monitor(failure_threshold=2)
+        script.healthy["b:1"] = False
+        monitor.probe_once()
+        monitor.probe_once()
+        assert not monitor.is_up("b:1")
+        assert monitor.up_shards() == ("a:1", "c:1")
+
+    def test_a_healthy_probe_closes_the_breaker_again(self):
+        clock = [0.0]
+        monitor, script = make_monitor(
+            reset_timeout_s=5.0, clock=lambda: clock[0]
+        )
+        script.healthy["b:1"] = False
+        monitor.probe_once()
+        monitor.probe_once()
+        assert not monitor.is_up("b:1")
+        script.healthy["b:1"] = True
+        clock[0] = 10.0  # past the reset window: half-open, routable
+        assert monitor.is_up("b:1")
+        monitor.probe_once()
+        assert monitor.is_up("b:1")
+        assert monitor.breakers["b:1"].state == "closed"
+
+    def test_a_probe_raising_oddly_counts_as_failure(self):
+        def weird_probe(_client):
+            raise RuntimeError("probe exploded")
+
+        monitor, _ = make_monitor(probe=weird_probe, failure_threshold=2)
+        monitor.probe_once()
+        monitor.probe_once()
+        assert monitor.up_shards() == ()
+
+
+class TestRoutingFeed:
+    def test_routing_failures_open_the_breaker_between_heartbeats(self):
+        monitor, _ = make_monitor(failure_threshold=2)
+        monitor.record_failure("c:1")
+        monitor.record_failure("c:1")
+        assert not monitor.is_up("c:1")
+
+    def test_routing_success_resets_the_failure_streak(self):
+        monitor, _ = make_monitor(failure_threshold=2)
+        monitor.record_failure("c:1")
+        monitor.record_success("c:1")
+        monitor.record_failure("c:1")
+        assert monitor.is_up("c:1")
+
+
+class TestSnapshot:
+    def test_snapshot_shape(self):
+        monitor, script = make_monitor()
+        script.healthy["c:1"] = False
+        monitor.probe_once()
+        monitor.probe_once()
+        snapshot = monitor.snapshot()
+        assert [entry["shard"] for entry in snapshot] == [
+            "a:1", "b:1", "c:1"
+        ]
+        by_shard = {entry["shard"]: entry for entry in snapshot}
+        assert by_shard["a:1"]["up"] is True
+        assert by_shard["a:1"]["last_probe_ok"] is True
+        assert by_shard["c:1"]["up"] is False
+        assert by_shard["c:1"]["last_probe_ok"] is False
+        assert by_shard["c:1"]["breaker"]["state"] == "open"
+
+
+class TestThread:
+    def test_background_thread_probes_and_stops(self):
+        monitor, script = make_monitor(interval_s=0.01)
+        script.healthy["a:1"] = False
+        monitor.start()
+        import time
+
+        deadline = time.monotonic() + 5.0
+        while monitor.is_up("a:1") and time.monotonic() < deadline:
+            time.sleep(0.01)
+        monitor.stop()
+        assert not monitor.is_up("a:1")

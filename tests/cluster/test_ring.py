@@ -1,0 +1,100 @@
+"""Tests for the consistent-hash ring with R-way replica sets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import HashRing
+
+SHARDS = ("10.0.0.1:8300", "10.0.0.2:8300", "10.0.0.3:8300")
+KEYS = [f"session-{n}" for n in range(400)]
+
+
+class TestBasics:
+    def test_placement_is_deterministic(self):
+        a = HashRing(SHARDS, replicas=2)
+        b = HashRing(SHARDS, replicas=2)
+        for key in KEYS:
+            assert a.replica_set(key) == b.replica_set(key)
+
+    def test_replica_sets_are_distinct_shards(self):
+        ring = HashRing(SHARDS, replicas=2)
+        for key in KEYS:
+            replicas = ring.replica_set(key)
+            assert len(replicas) == 2
+            assert len(set(replicas)) == 2
+            assert set(replicas) <= set(SHARDS)
+
+    def test_primary_is_the_first_replica(self):
+        ring = HashRing(SHARDS, replicas=2)
+        for key in KEYS[:50]:
+            assert ring.primary(key) == ring.replica_set(key)[0]
+
+    def test_replication_is_clamped_to_the_shard_count(self):
+        ring = HashRing(SHARDS[:2], replicas=5)
+        assert len(ring.replica_set("k")) == 2
+
+    def test_single_shard_ring(self):
+        ring = HashRing(("10.0.0.1:8300",), replicas=2)
+        assert ring.replica_set("anything") == ("10.0.0.1:8300",)
+
+    def test_summary_shape(self):
+        summary = HashRing(SHARDS, replicas=2, vnodes=32).summary()
+        assert summary["shards"] == list(SHARDS)
+        assert summary["replicas"] == 2
+        assert summary["vnodes"] == 32
+
+
+class TestValidation:
+    def test_empty_shard_list_is_rejected(self):
+        with pytest.raises(ValueError):
+            HashRing((), replicas=2)
+
+    def test_duplicate_shards_are_rejected(self):
+        with pytest.raises(ValueError):
+            HashRing(("a:1", "a:1"), replicas=1)
+
+    def test_nonpositive_knobs_are_rejected(self):
+        with pytest.raises(ValueError):
+            HashRing(SHARDS, replicas=0)
+        with pytest.raises(ValueError):
+            HashRing(SHARDS, replicas=2, vnodes=0)
+
+
+class TestDistribution:
+    def test_every_shard_owns_a_fair_share(self):
+        ring = HashRing(SHARDS, replicas=1)
+        counts = {shard: 0 for shard in SHARDS}
+        for key in KEYS:
+            counts[ring.primary(key)] += 1
+        for shard, count in counts.items():
+            # Perfectly even would be ~133 of 400; vnodes keep every
+            # shard within a loose band rather than starving one.
+            assert count >= len(KEYS) * 0.15, (shard, counts)
+
+    def test_removing_a_shard_only_moves_its_own_keys(self):
+        """The consistent-hashing contract: keys whose primary survives
+        a shard removal keep exactly that primary."""
+        full = HashRing(SHARDS, replicas=2)
+        removed = SHARDS[1]
+        shrunk = HashRing(
+            tuple(s for s in SHARDS if s != removed), replicas=2
+        )
+        moved = 0
+        for key in KEYS:
+            before = full.primary(key)
+            after = shrunk.primary(key)
+            if before == removed:
+                moved += 1
+                assert after != removed
+            else:
+                assert after == before, key
+        assert moved > 0  # the removed shard did own something
+
+    def test_failover_target_is_the_second_replica(self):
+        """When a primary dies, the ring already names the successor:
+        the second replica — which must differ per key, not be one
+        global scapegoat shard."""
+        ring = HashRing(SHARDS, replicas=2)
+        successors = {ring.replica_set(key)[1] for key in KEYS}
+        assert len(successors) == len(SHARDS)

@@ -142,4 +142,5 @@ class TestCatalog:
         assert FAULT_POINTS == {
             "sqlite.connect", "sqlite.execute", "index.search",
             "registry.build", "workers.job", "journal.append",
+            "cluster.shard.call",
         }

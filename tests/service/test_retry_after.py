@@ -1,0 +1,111 @@
+"""Satellite: one Retry-After computation for every backpressure path.
+
+Shed (429), drain (503) and breaker-open (503) used to round their
+Retry-After hints independently; ``repro.service.retry_after`` is now
+the single helper, so the header is always a positive integer with
+ceiling rounding and the shed estimate is clamped to a sane window.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.service import clamp_retry_after, retry_after_header
+from repro.service.retry_after import MAX_HINT_S
+
+
+class TestHeaderRounding:
+    def test_sub_second_rounds_up_to_one(self):
+        assert retry_after_header(0.2) == "1"
+
+    def test_exact_integer_stays(self):
+        assert retry_after_header(1.0) == "1"
+        assert retry_after_header(30.0) == "30"
+
+    def test_fractional_rounds_up_never_down(self):
+        assert retry_after_header(1.2) == "2"
+        assert retry_after_header(4.01) == "5"
+
+    def test_zero_negative_and_nan_fall_back_to_one(self):
+        assert retry_after_header(0.0) == "1"
+        assert retry_after_header(-5.0) == "1"
+        assert retry_after_header(math.nan) == "1"
+
+    def test_header_is_always_a_positive_integer_string(self):
+        for seconds in (0.001, 0.5, 1.0, 1.5, 7.2, 29.9, 1e6):
+            value = retry_after_header(seconds)
+            assert value == str(int(value))
+            assert int(value) >= 1
+
+
+class TestClamp:
+    def test_floor_wins_over_tiny_estimates(self):
+        assert clamp_retry_after(0.1, 1.0) == 1.0
+
+    def test_estimate_passes_through_in_window(self):
+        assert clamp_retry_after(5.0, 1.0) == 5.0
+
+    def test_cap_bounds_runaway_estimates(self):
+        assert clamp_retry_after(1e9, 1.0) == MAX_HINT_S
+
+    def test_nan_estimate_falls_back_to_floor(self):
+        assert clamp_retry_after(math.nan, 2.0) == 2.0
+
+
+class TestHeaderIntegration:
+    """Every 429/503 surface emits the helper's rounding."""
+
+    def test_drain_503_carries_ceil_header(self, make_app):
+        app = make_app(retry_after_s=2.5)
+        app.begin_drain()
+        status, _body, headers = app.handle("POST", "/sessions", {}, {})
+        assert status == 503
+        assert headers["Retry-After"] == "3"
+
+    def test_unready_healthz_uses_the_same_rounding(self, make_app):
+        app = make_app(retry_after_s=0.25)
+        app.begin_drain()
+        status, _body, headers = app.handle(
+            "GET", "/healthz", {"ready": "1"}, None
+        )
+        assert status == 503
+        assert headers["Retry-After"] == "1"
+
+    def test_shed_header_is_the_clamped_estimate_ceiled(
+        self, make_app, monkeypatch
+    ):
+        # depth 50 x 10s EWMA / 2 workers = 250s estimated wait, far
+        # past the cap: the header must be exactly ceil(MAX_HINT_S).
+        app = make_app(retry_after_s=1.0)
+        status, body, _ = app.handle("POST", "/sessions", {}, {})
+        assert status == 201
+        session_id = body["session_id"]
+        app.admission.observe(10.0)
+        monkeypatch.setattr(app.pool, "qsize", lambda: 50)
+        status, body, headers = app.handle(
+            "POST",
+            f"/sessions/{session_id}/cells",
+            {},
+            {"row": 0, "column": 0, "value": "Avatar"},
+        )
+        assert status == 503
+        assert body["reason"] == "shed"
+        assert headers["Retry-After"] == str(math.ceil(MAX_HINT_S))
+
+    def test_shed_floor_shows_through_for_tiny_estimates(self):
+        # A shallow queue of fast jobs sheds with a tiny estimate; the
+        # configured floor (retry_after_s) must show through the ceil
+        # instead of a sub-second hint rounding up from nothing.
+        from repro.exceptions import ServiceUnavailableError
+        from repro.service.admission import AdmissionController
+
+        controller = AdmissionController(
+            workers=1, shed_factor=1.0, retry_after_s=2.0
+        )
+        controller.observe(0.01)
+        with pytest.raises(ServiceUnavailableError) as excinfo:
+            controller.check(1, deadline_s=0.001)
+        assert excinfo.value.retry_after_s == 2.0
+        assert retry_after_header(excinfo.value.retry_after_s) == "2"
