@@ -30,6 +30,15 @@ an ``mweaver cluster`` coordinator (R=2) — and measures four things:
     and a bounded p50 are the acceptance properties; the regression
     gate enforces both (errors via the correctness gate, latency via
     the baseline threshold).
+
+``cluster/repair``
+    Self-healing convergence time.  The killed shard is respawned on
+    its old port (``pinned_args``, same as the supervisor does) and
+    ``wall_s`` measures replacement-ready → repair-converged: every
+    shard re-admitted through the heartbeat half-open path and a fresh
+    anti-entropy round verifying every replica pair in sync.  Failure
+    to converge within the deadline records an error, tripping the
+    correctness gate.
 """
 
 from __future__ import annotations
@@ -41,7 +50,7 @@ import time
 from typing import Any
 
 from repro.bench.service_load import LoadResult, percentile, run_load
-from repro.cluster import CoordinatorProcess, ShardProcess
+from repro.cluster import CoordinatorProcess, ServerProcess, ShardProcess
 
 __all__ = ["measure_cluster"]
 
@@ -176,6 +185,7 @@ def measure_cluster(
                 [shard.address for shard in shards],
                 replication=replication,
                 journal_dir=os.path.join(tmp, "coordinator"),
+                repair_interval_s=0.25,
             ).start().wait_ready()
 
             # -- through the coordinator ------------------------------
@@ -224,10 +234,61 @@ def measure_cluster(
             import json as _json
 
             status, raw = coordinator.request("GET", "/healthz")
+            rounds_before = 0
             if status == 200:
                 health = _json.loads(raw)
                 meta["failovers"] = health.get("failovers", 0)
                 meta["shards_up_after_kill"] = health.get("shards_up", 0)
+                rounds_before = health.get("repair", {}).get("rounds", 0)
+
+            # -- self-healing: respawn the killed shard on its old port
+            # and measure anti-entropy repair convergence — replacement
+            # ready until every shard is up and a fresh repair round
+            # verifies every replica pair in sync.  Non-convergence
+            # surfaces as an error so the correctness gate trips.
+            respawned = ServerProcess(
+                victim.pinned_args(), name=victim.name
+            )
+            respawned.start().wait_ready()
+            heal_started = time.monotonic()
+            try:
+                deadline = heal_started + 120.0
+                converged_at = None
+                repair: dict[str, Any] = {}
+                while time.monotonic() < deadline:
+                    status, raw = coordinator.request("GET", "/healthz")
+                    if status == 200:
+                        health = _json.loads(raw)
+                        repair = health.get("repair", {})
+                        if (
+                            health.get("shards_up") == n_shards
+                            and repair.get("rounds", 0) > rounds_before
+                            and repair.get("converged")
+                        ):
+                            converged_at = time.monotonic()
+                            break
+                    time.sleep(0.1)
+                heal_s = (
+                    converged_at - heal_started
+                    if converged_at is not None
+                    else 120.0
+                )
+                record["workloads"]["cluster/repair"] = {
+                    "wall_s": round(heal_s, 6),
+                    "p50_s": round(heal_s, 6),
+                    "p95_s": round(heal_s, 6),
+                    "throughput_rps": 0.0,
+                    "clients": 0,
+                    "requests": repair.get("rounds", 0),
+                    "errors": 0 if converged_at is not None else 1,
+                    "mismatches": 0,
+                    "degraded": 0,
+                    "refused": 0,
+                }
+                meta["repair_converge_s"] = round(heal_s, 3)
+                meta["repair_reseats"] = repair.get("total_reseats", 0)
+            finally:
+                respawned.terminate()
         finally:
             if coordinator is not None:
                 coordinator.terminate()

@@ -396,6 +396,11 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             replicate_interval_s=args.replicate_interval,
             retry_after_s=args.retry_after,
             drain_timeout_s=args.drain_timeout,
+            readmit_threshold=args.readmit_threshold,
+            repair_interval_s=args.repair_interval,
+            repair_max_work=args.repair_budget,
+            rebalance_interval_s=args.rebalance_interval,
+            rebalance_batch=args.rebalance_batch,
         ).validate()
     except ServiceConfigError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -461,6 +466,77 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         if drain_thread:
             drain_thread[0].join(timeout=config.drain_timeout_s + 10.0)
         server.shutdown()
+    return 0
+
+
+def _cmd_supervise(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+    from pathlib import Path
+
+    from repro.cluster import ShardProcess, ShardSupervisor
+
+    if args.shards < 1:
+        print("error: --shards must be >= 1", file=sys.stderr)
+        return 2
+    if args.poll_interval <= 0:
+        print("error: --poll-interval must be positive", file=sys.stderr)
+        return 2
+    supervisor = ShardSupervisor(
+        seed=args.seed, poll_interval_s=args.poll_interval
+    )
+    shards: list[ShardProcess] = []
+    try:
+        for index in range(args.shards):
+            journal_dir = (
+                str(Path(args.journal_dir) / f"shard-{index}")
+                if args.journal_dir else None
+            )
+            shard = ShardProcess(
+                datasets=args.datasets,
+                workers=args.workers,
+                journal_dir=journal_dir,
+                name=f"shard-{index}",
+            )
+            shard.start()
+            shard.wait_ready()
+            shards.append(shard)
+            supervisor.manage(shard)
+            # flush: harnesses parse these address lines through a pipe.
+            print(f"{shard.name} listening on {shard.url}", flush=True)
+    except Exception as error:
+        print(f"error: {error}", file=sys.stderr)
+        for shard in shards:
+            shard.terminate()
+        return 1
+    print(
+        f"supervising {len(shards)} shard(s); crashed shards respawn "
+        f"on their original ports (seed={args.seed}). "
+        "Ctrl-C or SIGTERM to stop.",
+        flush=True,
+    )
+    supervisor.start()
+    stop = threading.Event()
+
+    def _on_signal(_signum: int, _frame) -> None:
+        stop.set()
+
+    previous = {
+        signal.SIGTERM: signal.signal(signal.SIGTERM, _on_signal),
+        signal.SIGINT: signal.signal(signal.SIGINT, _on_signal),
+    }
+    try:
+        while not stop.wait(0.5):
+            pass
+    except KeyboardInterrupt:  # pragma: no cover - handler owns SIGINT
+        pass
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+        supervisor.stop()
+        for process in supervisor.processes().values():
+            process.terminate()
+    print("supervisor stopped")
     return 0
 
 
@@ -1020,11 +1096,74 @@ def build_parser() -> argparse.ArgumentParser:
         help="graceful drain window on SIGTERM/SIGINT (default: 10)",
     )
     cluster.add_argument(
+        "--readmit-threshold", type=int, default=2, metavar="N",
+        help="consecutive healthy probes a tripped shard must answer "
+             "before routing resumes (default: 2)",
+    )
+    cluster.add_argument(
+        "--repair-interval", type=float, default=2.0, metavar="SECONDS",
+        help="anti-entropy repair round interval (0 = off, default: 2)",
+    )
+    cluster.add_argument(
+        "--repair-budget", type=int, default=256, metavar="WORK",
+        help="cooperative work budget per repair round "
+             "(0 = unbudgeted, default: 256)",
+    )
+    cluster.add_argument(
+        "--rebalance-interval", type=float, default=0.5, metavar="SECONDS",
+        help="rebalancer sweep interval after membership changes "
+             "(default: 0.5)",
+    )
+    cluster.add_argument(
+        "--rebalance-batch", type=int, default=8, metavar="N",
+        help="sessions reseated per rebalancer sweep (default: 8)",
+    )
+    cluster.add_argument(
         "--trace-roots", type=int, default=256, metavar="N",
         help="always-on request tracing with at most N retained root "
              "spans (0 = off; feeds /debug/requests span trees)",
     )
     cluster.set_defaults(func=_cmd_cluster)
+
+    supervise = sub.add_parser(
+        "supervise",
+        help="run shard processes under a respawning supervisor",
+        description=(
+            "Spawn N mweaver shard processes and watch them: a shard "
+            "that exits is respawned on the same port after a seeded, "
+            "jittered exponential backoff, and the coordinator's "
+            "heartbeats re-admit it once it sustains healthy probes. "
+            "Prints one 'shard listening on ...' line per shard for "
+            "harnesses that parse addresses. Exit codes: 2 on "
+            "configuration errors."
+        ),
+    )
+    supervise.add_argument(
+        "--shards", type=int, default=3, metavar="N",
+        help="number of shard processes to run (default: 3)",
+    )
+    supervise.add_argument(
+        "--datasets", default="running",
+        help="comma-separated datasets each shard serves",
+    )
+    supervise.add_argument(
+        "--workers", type=int, default=4, metavar="N",
+        help="worker threads per shard (default: 4)",
+    )
+    supervise.add_argument(
+        "--journal-dir", metavar="DIR",
+        help="per-shard journals under DIR/shard-N (enables shard-side "
+             "crash recovery)",
+    )
+    supervise.add_argument(
+        "--seed", type=int, default=0, metavar="SEED",
+        help="backoff-jitter RNG seed (default: 0)",
+    )
+    supervise.add_argument(
+        "--poll-interval", type=float, default=0.25, metavar="SECONDS",
+        help="crash-detection poll interval (default: 0.25)",
+    )
+    supervise.set_defaults(func=_cmd_supervise)
 
     top = sub.add_parser(
         "top",

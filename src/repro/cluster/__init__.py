@@ -15,7 +15,15 @@ single shard's ``kill -9`` without losing accepted session state:
   replay failover, background replication, and hedged scatter-gather
   LocateSample with partial-result degradation,
 * :mod:`repro.cluster.spawn` — subprocess harness for real topologies
-  (chaos tests, the failover bench, CI smoke).
+  (chaos tests, the failover bench, CI smoke),
+* :mod:`repro.cluster.supervisor` — crashed-shard respawn with seeded
+  jittered backoff; re-admission rides the heartbeat half-open path,
+* :mod:`repro.cluster.rebalance` — bounded-rate session reseating
+  after live membership changes (the ``/admin/shards`` join/
+  decommission API),
+* :mod:`repro.cluster.antientropy` — periodic digest comparison across
+  each session's replica set, reseating missing/divergent replicas
+  from the coordinator journal under a cooperative work budget.
 
 The coordinator speaks the same HTTP surface as ``mweaver serve``, so
 existing clients, the load bench and ``mweaver top`` work against it
@@ -25,6 +33,7 @@ the same :class:`repro.resilience.SessionJournal` the shards use.
 
 from __future__ import annotations
 
+from repro.cluster.antientropy import AntiEntropyRepairer, RepairRound
 from repro.cluster.client import (
     HttpShardClient,
     InProcessShardClient,
@@ -37,18 +46,25 @@ from repro.cluster.coordinator import (
     Replicator,
 )
 from repro.cluster.health import HealthMonitor
+from repro.cluster.rebalance import Rebalancer
 from repro.cluster.ring import HashRing
 from repro.cluster.spawn import (
     CoordinatorProcess,
     ServerProcess,
     ShardProcess,
 )
+from repro.cluster.supervisor import ShardSupervisor
+from repro.resilience.journal import grid_digest
 
 __all__ = [
     "ClusterConfig",
     "CoordinatorApp",
     "ClusterSession",
     "Replicator",
+    "Rebalancer",
+    "AntiEntropyRepairer",
+    "RepairRound",
+    "ShardSupervisor",
     "HashRing",
     "HealthMonitor",
     "ShardReply",
@@ -57,4 +73,5 @@ __all__ = [
     "ServerProcess",
     "ShardProcess",
     "CoordinatorProcess",
+    "grid_digest",
 ]

@@ -1,0 +1,352 @@
+"""Anti-entropy replica repair: digest comparison + journal reseating.
+
+Replication in this cluster is optimistic — the hot path touches one
+shard, the :class:`~repro.cluster.coordinator.Replicator` warms the
+rest.  Everything that can go wrong with that (a shard restarted
+empty, a replica that missed a ship, a divergent grid) is repaired
+here, by the classic anti-entropy loop:
+
+1. Each repair round asks every live shard for its **session digests**
+   (``GET /admin/digest``): per session, the cell count and a content
+   hash of the grid (:func:`repro.resilience.journal.grid_digest`).
+2. For every session, every member of its replica set is compared
+   against the coordinator's authoritative journaled grid.  A replica
+   that is *missing* the session or holds a *divergent* grid is
+   reseated through the same idempotent
+   ``POST /admin/sessions/{id}/restore`` failover uses.
+3. A round where every (session, replica) pair verified clean — no
+   reseat performed, no pair unverifiable because its shard is down,
+   no budget exhaustion — reports the cluster **converged**.  Chaos
+   tests and operators wait on exactly that bit.
+
+Repair runs under a cooperative :class:`~repro.resilience.Budget`
+(work units: 1 per digest fetch, :data:`RESEAT_COST` per reseat) so a
+large repair backlog never starves live traffic: an exhausted round
+parks its cursor and the next round resumes where it stopped.
+
+Thrash protection: a replica that still reports a different digest
+*after* a reseat (a semantic normalization difference, not data loss)
+is remembered — as long as neither side's digest changes, it counts as
+``stuck`` rather than being re-shipped every round, and does not block
+convergence (the grid cannot get closer than a restore makes it).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.exceptions import ShardUnavailableError
+from repro.obs import get_logger, get_metrics
+from repro.resilience import Budget, NULL_BUDGET
+from repro.resilience.journal import grid_digest
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.coordinator import CoordinatorApp
+
+_log = get_logger(__name__)
+
+#: Work units one reseat charges against the round budget (a restore
+#: ships a full grid and replays a search — far heavier than a digest).
+RESEAT_COST = 8
+
+
+@dataclass
+class RepairRound:
+    """What one anti-entropy round saw and did."""
+
+    #: Sessions examined (pairs come from their replica sets).
+    sessions: int = 0
+    #: (session, replica) pairs compared this round.
+    pairs: int = 0
+    #: Pairs where the replica did not hold the session at all.
+    missing: int = 0
+    #: Pairs where the replica's grid digest did not match.
+    divergent: int = 0
+    #: Reseats performed (missing + divergent, minus stuck/failed).
+    reseated: int = 0
+    #: Pairs that still diverge after a reseat (semantic, not loss).
+    stuck: int = 0
+    #: Pairs that could not be verified (shard down / digest fetch
+    #: failed / reseat failed).
+    unverified: int = 0
+    #: Whether the round stopped early on budget exhaustion.
+    budget_exhausted: bool = False
+    #: Wall seconds the round took.
+    elapsed_s: float = 0.0
+    #: Per-shard digest fetch failures this round.
+    fetch_failures: int = 0
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def converged(self) -> bool:
+        """Every pair verified in sync (stuck pairs cannot get closer)."""
+        return (
+            not self.budget_exhausted
+            and self.missing == 0
+            and self.divergent == self.stuck  # every divergence is stuck
+            and self.reseated == 0
+            and self.unverified == 0
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready rendering for ``/healthz``."""
+        return {
+            "sessions": self.sessions,
+            "pairs": self.pairs,
+            "missing": self.missing,
+            "divergent": self.divergent,
+            "reseated": self.reseated,
+            "stuck": self.stuck,
+            "unverified": self.unverified,
+            "budget_exhausted": self.budget_exhausted,
+            "elapsed_s": round(self.elapsed_s, 6),
+            "converged": self.converged,
+        }
+
+
+class AntiEntropyRepairer:
+    """The coordinator's periodic replica-repair loop."""
+
+    def __init__(
+        self,
+        coordinator: "CoordinatorApp",
+        *,
+        interval_s: float = 2.0,
+        max_work: int = 256,
+    ) -> None:
+        self._coordinator = coordinator
+        self.interval_s = interval_s
+        self.max_work = max_work
+        self.rounds = 0
+        self.total_reseats = 0
+        self.last_round: RepairRound | None = None
+        #: Budget-fairness cursor: session id the next round starts at.
+        self._cursor: str | None = None
+        #: (session_id, shard) -> (expected digest shipped, digest the
+        #: shard reported right after that ship).  See "thrash
+        #: protection" in the module docstring.
+        self._shipped: dict[tuple[str, str], tuple[str, str | None]] = {}
+        self._round_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # -- the loop ------------------------------------------------------
+
+    def start(self) -> "AntiEntropyRepairer":
+        """Run repair rounds on a daemon thread (idempotent)."""
+        if self._thread is None and self.interval_s > 0:
+            self._thread = threading.Thread(
+                target=self._loop, name="cluster-antientropy", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the repair thread and wait for it."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            try:
+                self.run_round()
+            except Exception as error:  # noqa: BLE001 - keep repairing
+                _log.warning("anti-entropy round failed: %s", error)
+
+    # -- one round -----------------------------------------------------
+
+    def _fetch_digests(
+        self, shard: str
+    ) -> dict[str, dict[str, Any]] | None:
+        """One shard's ``session_id -> {cells, digest}`` map (or None)."""
+        coordinator = self._coordinator
+        try:
+            reply = coordinator._shard_call(shard, "GET", "/admin/digest")
+        except ShardUnavailableError:
+            coordinator.health.record_failure(shard)
+            return None
+        except KeyError:
+            return None  # shard left the cluster mid-round
+        if reply.status != 200:
+            return None
+        body = reply.json() or {}
+        sessions = body.get("sessions")
+        return dict(sessions) if isinstance(sessions, dict) else None
+
+    def run_round(self) -> RepairRound:
+        """One synchronous repair round (also the test/admin hook)."""
+        with self._round_lock:
+            return self._run_round_locked()
+
+    def _run_round_locked(self) -> RepairRound:
+        coordinator = self._coordinator
+        started = time.perf_counter()
+        report = RepairRound()
+        budget = (
+            Budget(max_work=self.max_work) if self.max_work else NULL_BUDGET
+        )
+
+        with coordinator._sessions_lock:
+            sessions = dict(coordinator._sessions)
+        session_ids = sorted(sessions)
+        report.sessions = len(session_ids)
+        live_ids = set(session_ids)
+        self._shipped = {
+            key: value for key, value in self._shipped.items()
+            if key[0] in live_ids
+        }
+        if self._cursor is not None and self._cursor in session_ids:
+            pivot = session_ids.index(self._cursor)
+            session_ids = session_ids[pivot:] + session_ids[:pivot]
+        self._cursor = None
+
+        # Digest maps are fetched lazily, once per shard per round.
+        digests: dict[str, dict[str, dict[str, Any]] | None] = {}
+
+        def shard_digests(shard):
+            if shard not in digests:
+                budget.charge(1)
+                if coordinator.health.is_up(shard):
+                    digests[shard] = self._fetch_digests(shard)
+                    if digests[shard] is None:
+                        report.fetch_failures += 1
+                else:
+                    digests[shard] = None
+            return digests[shard]
+
+        for session_id in session_ids:
+            if budget.exhausted():
+                report.budget_exhausted = True
+                self._cursor = session_id
+                break
+            session = sessions[session_id]
+            with session.lock:
+                expected_cells = dict(session.cells)
+                replicas = tuple(session.replicas)
+            expected = grid_digest(expected_cells)
+            for shard in replicas:
+                report.pairs += 1
+                held = shard_digests(shard)
+                if held is None:
+                    report.unverified += 1
+                    continue
+                entry = held.get(session_id)
+                if (
+                    isinstance(entry, dict)
+                    and entry.get("digest") == expected
+                ):
+                    self._shipped.pop((session_id, shard), None)
+                    continue
+                if entry is None:
+                    report.missing += 1
+                else:
+                    report.divergent += 1
+                    memo = self._shipped.get((session_id, shard))
+                    if memo is not None and memo == (
+                        expected, entry.get("digest")
+                    ):
+                        # Already reseated this exact grid and the shard
+                        # normalized it to the same (different) digest:
+                        # re-shipping cannot get closer.
+                        report.stuck += 1
+                        continue
+                budget.charge(RESEAT_COST)
+                if not self._reseat(session, shard, expected, report):
+                    report.unverified += 1
+
+        report.elapsed_s = time.perf_counter() - started
+        self.rounds += 1
+        self.last_round = report
+        self._publish(report)
+        if report.reseated or report.missing or report.divergent:
+            _log.info(
+                "anti-entropy round: %d session(s), %d pair(s), "
+                "%d missing, %d divergent, %d reseated, %d stuck, "
+                "%d unverified%s",
+                report.sessions, report.pairs, report.missing,
+                report.divergent, report.reseated, report.stuck,
+                report.unverified,
+                " (budget exhausted)" if report.budget_exhausted else "",
+            )
+        return report
+
+    def _reseat(
+        self,
+        session: Any,
+        shard: str,
+        expected: str,
+        report: RepairRound,
+    ) -> bool:
+        """Ship one session's journaled grid back onto one replica."""
+        coordinator = self._coordinator
+        with session.lock:
+            payload = session.restore_payload()
+        try:
+            reply_body = coordinator._ship_restore(
+                shard, session.session_id, payload
+            )
+        except ShardUnavailableError:
+            coordinator.health.record_failure(shard)
+            return False
+        except KeyError:
+            return False  # shard left the cluster mid-round
+        after = None
+        if isinstance(reply_body, dict):
+            after = reply_body.get("digest")
+        self._shipped[(session.session_id, shard)] = (expected, after)
+        report.reseated += 1
+        self.total_reseats += 1
+        get_metrics().counter(
+            "repro.cluster.repair.reseats", shard=shard
+        ).inc()
+        return True
+
+    # -- reporting -----------------------------------------------------
+
+    @property
+    def converged(self) -> bool:
+        """Whether the most recent round verified every replica in sync."""
+        return self.last_round is not None and self.last_round.converged
+
+    def _publish(self, report: RepairRound) -> None:
+        metrics = get_metrics()
+        if not metrics.enabled:
+            return
+        metrics.counter("repro.cluster.repair.rounds").inc()
+        metrics.gauge("repro.cluster.repair.converged").set(
+            1 if report.converged else 0
+        )
+        metrics.gauge("repro.cluster.repair.last.pairs").set(report.pairs)
+        metrics.gauge("repro.cluster.repair.last.unverified").set(
+            report.unverified
+        )
+        metrics.gauge("repro.cluster.repair.last.seconds").set(
+            round(report.elapsed_s, 6)
+        )
+        if report.missing:
+            metrics.counter("repro.cluster.repair.missing").inc(
+                report.missing
+            )
+        if report.divergent:
+            metrics.counter("repro.cluster.repair.divergent").inc(
+                report.divergent
+            )
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-ready repair status for ``/healthz``."""
+        return {
+            "enabled": self.interval_s > 0,
+            "interval_s": self.interval_s,
+            "max_work": self.max_work,
+            "rounds": self.rounds,
+            "total_reseats": self.total_reseats,
+            "converged": self.converged,
+            "last_round": (
+                self.last_round.to_dict() if self.last_round else None
+            ),
+        }

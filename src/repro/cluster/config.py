@@ -44,6 +44,10 @@ class ClusterConfig:
     failure_threshold: int = 3
     #: Seconds an open shard breaker waits before allowing a probe.
     breaker_reset_s: float = 2.0
+    #: Consecutive healthy probes a tripped shard must answer before it
+    #: is re-admitted to routing (the sustained-healthy window that
+    #: keeps a flapping shard from oscillating in and out every round).
+    readmit_threshold: int = 2
     #: Per-shard-call timeout (seconds) for proxied requests.
     request_timeout_s: float = 10.0
     #: Scatter-gather hedging: if a LocateSample partition has not
@@ -59,6 +63,19 @@ class ClusterConfig:
     retry_after_s: float = 1.0
     #: Seconds graceful drain waits for in-flight requests on SIGTERM.
     drain_timeout_s: float = 10.0
+    #: Seconds between anti-entropy repair rounds (digest comparison
+    #: across each session's replica set; 0 disables the loop).
+    repair_interval_s: float = 2.0
+    #: Cooperative work budget per repair round (digest fetches cost 1,
+    #: reseats cost :data:`REPAIR_RESEAT_COST`); 0 = unbudgeted.  The
+    #: budget is what keeps repair from starving live traffic: a round
+    #: that runs out resumes where it stopped next round.
+    repair_max_work: int = 256
+    #: Seconds between rebalancer sweeps after a membership change.
+    rebalance_interval_s: float = 0.5
+    #: Sessions reseated per rebalancer sweep (the bounded rate:
+    #: ``rebalance_batch / rebalance_interval_s`` sessions per second).
+    rebalance_batch: int = 8
 
     def validate(self) -> "ClusterConfig":
         """Raise :class:`ServiceConfigError` on any bad knob; return self."""
@@ -112,4 +129,18 @@ class ClusterConfig:
             raise ServiceConfigError("retry_after_s must be positive")
         if self.drain_timeout_s < 0:
             raise ServiceConfigError("drain_timeout_s must be >= 0")
+        if self.readmit_threshold < 1:
+            raise ServiceConfigError("readmit_threshold must be >= 1")
+        if self.repair_interval_s < 0:
+            raise ServiceConfigError(
+                "repair_interval_s must be >= 0 (0 disables repair)"
+            )
+        if self.repair_max_work < 0:
+            raise ServiceConfigError(
+                "repair_max_work must be >= 0 (0 = unbudgeted)"
+            )
+        if self.rebalance_interval_s <= 0:
+            raise ServiceConfigError("rebalance_interval_s must be positive")
+        if self.rebalance_batch < 1:
+            raise ServiceConfigError("rebalance_batch must be >= 1")
         return self

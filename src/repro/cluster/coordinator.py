@@ -56,9 +56,11 @@ from repro.exceptions import (
     ShardUnavailableError,
     UnknownSessionError,
 )
+from repro.cluster.antientropy import AntiEntropyRepairer
 from repro.cluster.client import HttpShardClient, ShardReply
 from repro.cluster.config import ClusterConfig
 from repro.cluster.health import HealthMonitor
+from repro.cluster.rebalance import Rebalancer
 from repro.cluster.ring import HashRing
 from repro.obs import get_logger, get_metrics, get_tracer
 from repro.obs.prometheus import render_exposition
@@ -221,17 +223,26 @@ class CoordinatorApp:
         config: ClusterConfig | None = None,
         *,
         clients: dict[str, Any] | None = None,
+        client_factory: Any = None,
         start_background: bool = True,
     ) -> None:
         self.config = (config or ClusterConfig()).validate()
-        self.clients: dict[str, Any] = clients or {
-            shard: HttpShardClient(
-                shard, timeout_s=self.config.request_timeout_s
+        self._client_factory = client_factory or (
+            lambda address: HttpShardClient(
+                address, timeout_s=self.config.request_timeout_s
             )
+        )
+        self.clients: dict[str, Any] = clients or {
+            shard: self._client_factory(shard)
             for shard in self.config.shards
         }
         if set(self.clients) != set(self.config.shards):
             raise ValueError("clients must cover exactly config.shards")
+        # Guards ring/clients/_decommissioning mutation (admin API);
+        # plain reads ride on atomic attribute access.
+        self._membership_lock = threading.RLock()
+        self._decommissioning: set[str] = set()
+        self.membership_changes = 0
         self.ring = HashRing(
             self.config.shards,
             replicas=self.config.replication,
@@ -242,9 +253,20 @@ class CoordinatorApp:
             interval_s=self.config.heartbeat_interval_s,
             failure_threshold=self.config.failure_threshold,
             reset_timeout_s=self.config.breaker_reset_s,
+            readmit_threshold=self.config.readmit_threshold,
         )
         self.replicator = Replicator(
             self, self.config.replicate_interval_s
+        )
+        self.rebalancer = Rebalancer(
+            self,
+            interval_s=self.config.rebalance_interval_s,
+            batch=self.config.rebalance_batch,
+        )
+        self.repairer = AntiEntropyRepairer(
+            self,
+            interval_s=self.config.repair_interval_s,
+            max_work=self.config.repair_max_work,
         )
         self.journal: SessionJournal | None = None
         if self.config.journal_dir:
@@ -277,6 +299,8 @@ class CoordinatorApp:
         if start_background:
             self.health.start()
             self.replicator.start()
+            self.rebalancer.start()
+            self.repairer.start()  # no-op when repair_interval_s == 0
         self.started_at = time.time()
         self._closed = False
 
@@ -306,7 +330,13 @@ class CoordinatorApp:
                 journaled.on_irrelevant,
                 self.ring.replica_set(session_id),
             )
-            session.cells = journaled.grid()
+            # Same normalization put_cell applies: stripped values,
+            # empty cells absent (a journaled "" is a deletion).
+            session.cells = {
+                position: value.strip()
+                for position, value in journaled.grid().items()
+                if value.strip()
+            }
             self._sessions[session_id] = session
             self.replicator.mark(session_id)
         self.recovered_sessions = len(self._sessions)
@@ -354,6 +384,8 @@ class CoordinatorApp:
         if self._closed:
             return
         self._closed = True
+        self.repairer.stop()
+        self.rebalancer.stop()
         self.health.stop()
         self.replicator.stop()
         self._scatter_pool.shutdown(wait=False)
@@ -458,6 +490,8 @@ class CoordinatorApp:
             tail = "/".join(parts[2:])
             suffix = f"/{tail}" if tail else ""
             return f"{method} /sessions/{{id}}{suffix}"
+        if len(parts) == 3 and parts[:2] == ("admin", "shards"):
+            return f"{method} /admin/shards/{{address}}"
         return f"{method} /{'/'.join(parts)}"
 
     def _dispatch(
@@ -504,6 +538,19 @@ class CoordinatorApp:
                 )
         if parts == ("locate",) and method == "GET":
             return self.locate(query)
+        if parts == ("admin", "shards"):
+            if method == "GET":
+                return self.admin_list_shards()
+            if method == "POST":
+                return self.admin_add_shard(body)
+        if (
+            len(parts) == 3
+            and parts[:2] == ("admin", "shards")
+            and method == "DELETE"
+        ):
+            return self.admin_remove_shard(parts[2])
+        if parts == ("admin", "repair") and method == "POST":
+            return self.admin_repair()
         return 404, {"error": f"no route for {method} /{'/'.join(parts)}"}, {}
 
     # -- shard plumbing ------------------------------------------------
@@ -516,12 +563,21 @@ class CoordinatorApp:
         query: dict[str, str] | None = None,
         body: dict[str, Any] | None = None,
     ) -> ShardReply:
-        return self.clients[shard].call(method, path, query, body)
+        client = self.clients.get(shard)
+        if client is None:
+            # Removed by a concurrent decommission: same contract as a
+            # dead shard — the caller fails over.
+            raise ShardUnavailableError(shard, "shard left the cluster")
+        return client.call(method, path, query, body)
 
     def _ship_restore(
         self, shard: str, session_id: str, payload: dict[str, Any]
-    ) -> None:
-        """Re-seat one session on one shard (raises on any failure)."""
+    ) -> dict[str, Any] | None:
+        """Re-seat one session on one shard (raises on any failure).
+
+        Returns the shard's restore reply body (anti-entropy reads the
+        post-restore ``digest`` from it for thrash detection).
+        """
         reply = self._shard_call(
             shard, "POST", f"/admin/sessions/{session_id}/restore",
             None, payload,
@@ -530,6 +586,10 @@ class CoordinatorApp:
             raise ShardUnavailableError(
                 shard, f"restore answered {reply.status}"
             )
+        try:
+            return reply.json()
+        except Exception:  # noqa: BLE001 - body is advisory
+            return None
 
     def _call_session(
         self,
@@ -708,7 +768,15 @@ class CoordinatorApp:
                 # Accepted: durable in the coordinator journal before
                 # the client sees the 200 — this is the state failover
                 # replays, so `kill -9` of the shard cannot lose it.
-                session.cells[(row, col_index)] = value
+                # Mirror the spreadsheet's normalization (values
+                # stripped, empty cells absent) so the coordinator's
+                # grid hashes identically to the shard's under
+                # anti-entropy digest comparison.
+                stripped = value.strip()
+                if stripped:
+                    session.cells[(row, col_index)] = stripped
+                else:
+                    session.cells.pop((row, col_index), None)
                 if self.journal is not None:
                     self.journal.record_cell(
                         session_id, row, col_index, value
@@ -748,6 +816,152 @@ class CoordinatorApp:
                 self.health.record_failure(shard)
         return 204, None, {}
 
+    # -- live membership (admin API) -----------------------------------
+
+    def admin_list_shards(self) -> Response:
+        """``GET /admin/shards`` — membership + rebalance/repair status."""
+        with self._membership_lock:
+            ring_shards = set(self.ring.shards)
+            decommissioning = set(self._decommissioning)
+        health = {
+            entry["shard"]: entry for entry in self.health.snapshot()
+        }
+        members = [
+            {
+                "address": shard,
+                "on_ring": shard in ring_shards,
+                "decommissioning": shard in decommissioning,
+                "up": bool(health.get(shard, {}).get("up")),
+            }
+            for shard in sorted(ring_shards | decommissioning)
+        ]
+        return 200, {
+            "shards": members,
+            "ring": self.ring.summary(),
+            "membership_changes": self.membership_changes,
+            "rebalance": self.rebalancer.snapshot(),
+            "repair": self.repairer.snapshot(),
+        }, {}
+
+    def admin_add_shard(self, body: dict[str, Any] | None) -> Response:
+        """``POST /admin/shards`` — join a shard to the ring, live.
+
+        The new shard starts receiving heartbeats immediately; the
+        rebalancer then reseats (at its bounded rate) every session
+        whose replica set the join moved.  Re-adding a shard that is
+        mid-decommission cancels the decommission.
+        """
+        address = str(_require(body, "address")).strip()
+        host, _, port = address.rpartition(":")
+        if not host or not port.isdigit():
+            raise _BadRequest(f"address {address!r} is not host:port")
+        with self._membership_lock:
+            if address in self.ring.shards:
+                return 409, {
+                    "error": f"shard {address} is already a member"
+                }, {}
+            rejoining = address in self._decommissioning
+            self.ring = self.ring.add(address)
+            self._decommissioning.discard(address)
+            if address not in self.clients:
+                client = self._client_factory(address)
+                self.clients[address] = client
+                self.health.add_shard(address, client)
+            self.membership_changes += 1
+        queued = self.rebalancer.mark_all()
+        get_metrics().counter(
+            "repro.cluster.membership.changes", op="join"
+        ).inc()
+        _log.info(
+            "shard %s %s the ring (%d session(s) queued for rebalance)",
+            address, "rejoined" if rejoining else "joined", queued,
+        )
+        return 201, {
+            "address": address,
+            "rejoined": rejoining,
+            "ring": self.ring.summary(),
+            "rebalance_pending": self.rebalancer.pending(),
+        }, {}
+
+    def admin_remove_shard(self, address: str) -> Response:
+        """``DELETE /admin/shards/{address}`` — decommission, live.
+
+        The shard leaves the *ring* at once (no new placements) but
+        keeps serving the sessions it holds while the rebalancer
+        drains them off; only when nothing references it any more is
+        it dropped from the health monitor and its client closed
+        (:meth:`_sweep_decommissions`).  Answers 202 — removal is
+        asynchronous by design.
+        """
+        with self._membership_lock:
+            if address not in self.ring.shards:
+                if address in self._decommissioning:
+                    return 202, {
+                        "address": address,
+                        "decommissioning": True,
+                        "rebalance_pending": self.rebalancer.pending(),
+                    }, {}
+                return 404, {
+                    "error": f"shard {address} is not a member"
+                }, {}
+            if len(self.ring.shards) == 1:
+                return 400, {
+                    "error": "cannot decommission the last shard"
+                }, {}
+            self.ring = self.ring.remove(address)
+            self._decommissioning.add(address)
+            self.membership_changes += 1
+        queued = self.rebalancer.mark_all()
+        get_metrics().counter(
+            "repro.cluster.membership.changes", op="decommission"
+        ).inc()
+        _log.info(
+            "shard %s decommissioning (%d session(s) queued for drain)",
+            address, queued,
+        )
+        return 202, {
+            "address": address,
+            "decommissioning": True,
+            "rebalance_pending": self.rebalancer.pending(),
+        }, {}
+
+    def _sweep_decommissions(self) -> None:
+        """Finish any decommission no live session references."""
+        with self._membership_lock:
+            pending = set(self._decommissioning)
+        if not pending:
+            return
+        with self._sessions_lock:
+            referenced: set[str] = set()
+            for session in self._sessions.values():
+                referenced.update(session.replicas)
+                referenced.add(session.primary)
+        for shard in sorted(pending - referenced):
+            self._finish_decommission(shard)
+
+    def _finish_decommission(self, shard: str) -> None:
+        with self._membership_lock:
+            if shard not in self._decommissioning:
+                return
+            self._decommissioning.discard(shard)
+            self.health.remove_shard(shard)
+            client = self.clients.pop(shard, None)
+        if client is not None:
+            client.close()
+        get_metrics().counter(
+            "repro.cluster.membership.changes", op="removed"
+        ).inc()
+        _log.info("shard %s decommissioned (drained and removed)", shard)
+
+    def admin_repair(self) -> Response:
+        """``POST /admin/repair`` — one synchronous anti-entropy round."""
+        report = self.repairer.run_round()
+        return 200, {
+            "round": report.to_dict(),
+            "rounds": self.repairer.rounds,
+            "total_reseats": self.repairer.total_reseats,
+        }, {}
+
     # -- scatter-gather LocateSample -----------------------------------
 
     def locate(self, query: dict[str, str]) -> Response:
@@ -767,7 +981,9 @@ class CoordinatorApp:
         if "sample" not in query:
             raise _BadRequest("missing required query parameter 'sample'")
         sample = str(query["sample"])
-        parts = len(self.config.shards)
+        # Partition over the *live* ring so joins widen the scan and
+        # decommissions stop targeting the departing shard.
+        parts = len(self.ring.shards)
         started = time.perf_counter()
         futures = [
             self._scatter_pool.submit(
@@ -897,6 +1113,12 @@ class CoordinatorApp:
             "hedges": self.hedges,
             "degraded_locates": self.degraded_locates,
             "replication_pending": self.replicator.pending(),
+            "membership": {
+                "changes": self.membership_changes,
+                "decommissioning": sorted(self._decommissioning),
+            },
+            "rebalance": self.rebalancer.snapshot(),
+            "repair": self.repairer.snapshot(),
             "journal": (
                 {
                     "path": str(self.journal.path),
@@ -931,11 +1153,10 @@ class CoordinatorApp:
         with self._sessions_lock:
             live = len(self._sessions)
         metrics.gauge("repro.cluster.sessions.live").set(live)
-        metrics.gauge("repro.cluster.shards.total").set(
-            len(self.config.shards)
-        )
+        monitored = self.health.shards()
+        metrics.gauge("repro.cluster.shards.total").set(len(monitored))
         up = 0
-        for shard in self.config.shards:
+        for shard in monitored:
             shard_up = self.health.is_up(shard)
             up += 1 if shard_up else 0
             metrics.gauge(
@@ -944,6 +1165,12 @@ class CoordinatorApp:
         metrics.gauge("repro.cluster.shards.up").set(up)
         metrics.gauge("repro.cluster.replication.pending").set(
             self.replicator.pending()
+        )
+        metrics.gauge("repro.cluster.rebalance.pending").set(
+            self.rebalancer.pending()
+        )
+        metrics.gauge("repro.cluster.membership.decommissioning").set(
+            len(self._decommissioning)
         )
 
     def metrics(self, query: dict[str, str] | None = None) -> Response:

@@ -1,0 +1,186 @@
+"""Bounded-rate session reseating after a membership change.
+
+When a shard joins or leaves the ring, consistent hashing keeps most
+placements stable — but the sessions whose replica sets *did* change
+must physically move: their grids shipped to the new members, their
+placement records updated, their copies on departed members dropped.
+Doing that all at once would stampede the cluster, so the
+:class:`Rebalancer` works through the backlog at a bounded rate
+(``batch`` sessions per ``interval_s`` sweep), using the same
+idempotent ``/admin/sessions/{id}/restore`` ship as failover and
+anti-entropy — a rebalance interrupted anywhere is simply resumed.
+
+A decommissioned shard stays routable (it keeps serving the sessions
+it still holds) until the rebalancer has drained every placement off
+it; only then does the coordinator drop it from the health monitor and
+close its client (:meth:`CoordinatorApp._sweep_decommissions`).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Any
+
+from repro.exceptions import ShardUnavailableError
+from repro.obs import get_logger, get_metrics
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.coordinator import CoordinatorApp
+
+_log = get_logger(__name__)
+
+
+class Rebalancer:
+    """Move sessions to their post-membership-change replica sets."""
+
+    def __init__(
+        self,
+        coordinator: "CoordinatorApp",
+        *,
+        interval_s: float = 0.5,
+        batch: int = 8,
+    ) -> None:
+        self._coordinator = coordinator
+        self.interval_s = interval_s
+        self.batch = batch
+        self.moved = 0
+        self.deferred = 0
+        self._pending: set[str] = set()
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # -- queueing ------------------------------------------------------
+
+    def mark(self, session_id: str) -> None:
+        """Queue one session for a placement check."""
+        with self._lock:
+            self._pending.add(session_id)
+
+    def mark_all(self) -> int:
+        """Queue every live session (called on any membership change).
+
+        Cheap for the unaffected majority: a queued session whose
+        replica set did not move is dropped by :meth:`run_once` without
+        shipping anything.
+        """
+        with self._coordinator._sessions_lock:
+            session_ids = list(self._coordinator._sessions)
+        with self._lock:
+            self._pending.update(session_ids)
+            return len(self._pending)
+
+    def pending(self) -> int:
+        """Sessions still awaiting a placement check."""
+        with self._lock:
+            return len(self._pending)
+
+    # -- the sweep -----------------------------------------------------
+
+    def run_once(self, batch: int | None = None) -> int:
+        """One bounded sweep; returns how many sessions were reseated."""
+        limit = self.batch if batch is None else batch
+        with self._lock:
+            take = sorted(self._pending)[:limit]
+            self._pending.difference_update(take)
+        moved = 0
+        for session_id in take:
+            if self._reseat(session_id):
+                moved += 1
+        self._coordinator._sweep_decommissions()
+        return moved
+
+    def _reseat(self, session_id: str) -> bool:
+        """Move one session to its current-ring replica set.
+
+        Returns True when the session moved (or needed no move); False
+        re-queues it — every target member was unreachable, so the
+        placement record must not advance past the data.
+        """
+        coordinator = self._coordinator
+        with coordinator._sessions_lock:
+            session = coordinator._sessions.get(session_id)
+        if session is None:
+            return False  # deleted while queued; nothing to move
+        target = coordinator.ring.replica_set(session_id)
+        with session.lock:
+            current = tuple(session.replicas)
+            if target == current:
+                return False  # placement unaffected by the change
+            payload = session.restore_payload()
+        # Ship the grid to every *new* member; members carried over
+        # from the old set already hold it (replicator-warm, and
+        # anti-entropy repairs stragglers).
+        good = set(target) & set(current)
+        for shard in target:
+            if shard in good:
+                continue
+            try:
+                coordinator._ship_restore(shard, session_id, payload)
+                good.add(shard)
+            except (ShardUnavailableError, KeyError):
+                coordinator.health.record_failure(shard)
+        if not good:
+            # Nowhere in the new set holds the session yet: keep the
+            # old placement (still serving) and retry next sweep.
+            self.mark(session_id)
+            self.deferred += 1
+            return False
+        with session.lock:
+            session.replicas = target
+            if session.primary not in target:
+                session.primary = target[0]
+        # Any new member the ship missed stays dirty until warmed.
+        coordinator.replicator.mark(session_id)
+        dropped = [shard for shard in current if shard not in target]
+        for shard in dropped:
+            try:
+                coordinator._shard_call(
+                    shard, "DELETE", f"/sessions/{session_id}"
+                )
+            except (ShardUnavailableError, KeyError):
+                # Down or already removed; its TTL sweeper (or the
+                # decommission teardown) collects the orphan copy.
+                pass
+        self.moved += 1
+        get_metrics().counter("repro.cluster.rebalance.moved").inc()
+        _log.info(
+            "session %s reseated %s -> %s", session_id,
+            ",".join(current), ",".join(target),
+        )
+        return True
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            try:
+                self.run_once()
+            except Exception as error:  # noqa: BLE001 - keep sweeping
+                _log.warning("rebalance sweep failed: %s", error)
+
+    def start(self) -> "Rebalancer":
+        """Sweep on a daemon thread until :meth:`stop` (idempotent)."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._loop, name="cluster-rebalance", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the sweep thread and wait for it."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    # -- reporting -----------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-ready rebalance status for ``/healthz``."""
+        return {
+            "pending": self.pending(),
+            "moved": self.moved,
+            "deferred": self.deferred,
+            "interval_s": self.interval_s,
+            "batch": self.batch,
+        }

@@ -48,6 +48,10 @@ class HashRing:
         if vnodes < 1:
             raise ValueError("vnodes must be >= 1")
         self.shards = tuple(shards)
+        #: The R the operator asked for; the effective ``replicas`` is
+        #: clamped to the member count, so membership changes re-derive
+        #: it (adding a second shard to an R=2 ring restores R=2).
+        self.requested_replicas = replicas
         self.replicas = min(replicas, len(self.shards))
         self.vnodes = vnodes
         points: list[tuple[int, str]] = []
@@ -73,6 +77,32 @@ class HashRing:
     def primary(self, key: str) -> str:
         """The first (home) shard for ``key``."""
         return self.replica_set(key)[0]
+
+    # -- membership (rings are immutable; changes build a new ring) ----
+
+    def add(self, shard: str) -> "HashRing":
+        """A new ring with ``shard`` joined (placement-stable for the
+        rest: only arcs the new shard's vnodes claim move)."""
+        if shard in self.shards:
+            raise ValueError(f"shard {shard!r} is already on the ring")
+        return HashRing(
+            self.shards + (shard,),
+            replicas=self.requested_replicas,
+            vnodes=self.vnodes,
+        )
+
+    def remove(self, shard: str) -> "HashRing":
+        """A new ring without ``shard`` (only its arcs move)."""
+        if shard not in self.shards:
+            raise ValueError(f"shard {shard!r} is not on the ring")
+        remaining = tuple(s for s in self.shards if s != shard)
+        if not remaining:
+            raise ValueError("cannot remove the last shard from the ring")
+        return HashRing(
+            remaining,
+            replicas=self.requested_replicas,
+            vnodes=self.vnodes,
+        )
 
     def summary(self) -> dict[str, object]:
         """JSON-ready description for ``/healthz``."""

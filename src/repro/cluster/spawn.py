@@ -59,7 +59,13 @@ class ServerProcess:
     # -- lifecycle -----------------------------------------------------
 
     def start(self, *, startup_timeout_s: float = 60.0) -> "ServerProcess":
-        """Spawn and wait for the bound address to appear on stdout."""
+        """Spawn and wait for the bound address to appear on stdout.
+
+        A failed start (timeout, or the child exiting before it binds)
+        cleans up fully — child killed, reader thread joined, stdout
+        pipe closed — so a supervisor retrying in a loop does not leak
+        one thread and one fd per attempt.
+        """
         self.process = subprocess.Popen(
             [sys.executable, "-u", "-m", "repro", *self.args],
             stdout=subprocess.PIPE,
@@ -72,14 +78,32 @@ class ServerProcess:
             daemon=True,
         )
         self._reader.start()
-        if not self._url_found.wait(timeout=startup_timeout_s):
-            output = self.output()
-            self.kill()
-            raise RuntimeError(
-                f"{self.name} did not report a listening address within "
-                f"{startup_timeout_s:g}s; output:\n{output}"
-            )
+        deadline = time.monotonic() + startup_timeout_s
+        while not self._url_found.wait(timeout=0.1):
+            early_exit = self.process.poll() is not None
+            if early_exit or time.monotonic() >= deadline:
+                why = (
+                    f"exited with code {self.process.poll()} before "
+                    f"reporting a listening address"
+                    if early_exit else
+                    f"did not report a listening address within "
+                    f"{startup_timeout_s:g}s"
+                )
+                self._cleanup_failed_start()
+                raise RuntimeError(
+                    f"{self.name} {why}; output:\n{self.output()}"
+                )
         return self
+
+    def _cleanup_failed_start(self) -> None:
+        """Kill the child and release the reader thread + stdout pipe."""
+        self.kill()
+        if self._reader is not None:
+            # The reader exits once the dead child's pipe hits EOF.
+            self._reader.join(timeout=10.0)
+            self._reader = None
+        if self.process is not None and self.process.stdout is not None:
+            self.process.stdout.close()
 
     def _drain_output(self) -> None:
         assert self.process is not None and self.process.stdout is not None
@@ -109,6 +133,22 @@ class ServerProcess:
         """Everything the child printed so far (stdout+stderr)."""
         with self._output_lock:
             return "".join(self._output)
+
+    def pinned_args(self) -> list[str]:
+        """The spawn args with ``--port`` pinned to the bound port.
+
+        A supervisor respawning a crashed child must come back on the
+        *same* address (the ring and the coordinator's routing table
+        key on it), so an OS-assigned ``--port 0`` is rewritten to the
+        port the first incarnation actually bound.
+        """
+        if self.port is None:
+            return list(self.args)
+        args = list(self.args)
+        for index, arg in enumerate(args[:-1]):
+            if arg == "--port":
+                args[index + 1] = str(self.port)
+        return args
 
     def alive(self) -> bool:
         """True while the child process has not exited."""
@@ -222,6 +262,9 @@ class CoordinatorProcess(ServerProcess):
         heartbeat_interval_s: float = 0.25,
         failure_threshold: int = 2,
         breaker_reset_s: float = 1.0,
+        readmit_threshold: int | None = None,
+        repair_interval_s: float | None = None,
+        repair_max_work: int | None = None,
         extra_args: tuple[str, ...] = (),
         name: str = "coordinator",
     ) -> None:
@@ -235,6 +278,12 @@ class CoordinatorProcess(ServerProcess):
             "--failure-threshold", str(failure_threshold),
             "--breaker-reset", str(breaker_reset_s),
         ]
+        if readmit_threshold is not None:
+            args += ["--readmit-threshold", str(readmit_threshold)]
+        if repair_interval_s is not None:
+            args += ["--repair-interval", str(repair_interval_s)]
+        if repair_max_work is not None:
+            args += ["--repair-budget", str(repair_max_work)]
         for address in shard_addresses:
             args += ["--shard", address]
         if journal_dir:

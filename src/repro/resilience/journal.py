@@ -48,6 +48,26 @@ _log = get_logger(__name__)
 _FORMAT_VERSION = 1
 
 
+def grid_digest(cells: "dict[tuple[int, int], str]") -> str:
+    """Content hash of a session grid (anti-entropy comparison key).
+
+    BLAKE2b over the sorted ``(row, column, value)`` triples, with the
+    same normalization the spreadsheet applies (values stripped, empty
+    cells absent) — so a coordinator's journaled view and a shard's
+    live spreadsheet hash identically exactly when they hold the same
+    samples, independent of insertion order or process.
+    """
+    import hashlib
+
+    digest = hashlib.blake2b(digest_size=16)
+    for (row, column), value in sorted(cells.items()):
+        stripped = str(value).strip()
+        if not stripped:
+            continue
+        digest.update(f"{row}\x1f{column}\x1f{stripped}\x1e".encode("utf-8"))
+    return digest.hexdigest()
+
+
 @dataclass
 class JournaledSession:
     """One live session reconstructed from the journal."""

@@ -80,6 +80,7 @@ from repro.obs.prometheus import render_exposition
 from repro.obs.recorder import FlightRecorder
 from repro.obs.slo import SloTracker, default_objectives
 from repro.resilience import NULL_BUDGET, Budget, SessionJournal, replay_journal
+from repro.resilience.journal import grid_digest
 from repro.resilience.isolation import (
     IsolationLimits,
     ProcessWorkerPool,
@@ -556,6 +557,8 @@ class ServiceApp:
             # accepts session overwrites from the network.
             if parts == ("locate",) and method == "GET":
                 return self.locate(query)
+            if parts == ("admin", "digest") and method == "GET":
+                return self.session_digests()
             if (
                 len(parts) == 4
                 and parts[:2] == ("admin", "sessions")
@@ -876,8 +879,32 @@ class ServiceApp:
                 self.journal.record_cell(session_id, row, col, value)
         get_metrics().counter("repro.service.sessions.restored").inc()
         with managed.lock:
+            digest = grid_digest(managed.session.spreadsheet.cells())
             return 200, {**self._state(managed), "restored": True,
-                         "replaced": replaced}, {}
+                         "replaced": replaced, "digest": digest}, {}
+
+    def session_digests(self) -> Response:
+        """``GET /admin/digest`` — every held session's grid digest.
+
+        The coordinator's anti-entropy loop compares these against its
+        journaled grids to find missing/divergent replicas — one bulk
+        call per shard per round instead of one probe per session.
+        Sessions that vanish mid-enumeration (TTL eviction races) are
+        simply omitted; the next round sees the settled state.
+        """
+        sessions: dict[str, dict[str, Any]] = {}
+        for session_id in self.sessions.ids():
+            try:
+                managed = self.sessions.get(session_id)
+            except UnknownSessionError:
+                continue
+            with managed.lock:
+                cells = managed.session.spreadsheet.cells()
+            sessions[session_id] = {
+                "cells": len(cells),
+                "digest": grid_digest(cells),
+            }
+        return 200, {"sessions": sessions, "count": len(sessions)}, {}
 
     def locate(self, query: dict[str, str]) -> Response:
         """``GET /locate`` — one partition of a scatter LocateSample.

@@ -46,7 +46,9 @@ def make_cluster(cluster_registry):
         )
         apps: dict[str, ServiceApp] = {}
         clients: dict[str, InProcessShardClient] = {}
-        for address in addresses:
+
+        def make_shard_client(address: str) -> InProcessShardClient:
+            """Client factory: live joins get a fresh in-process shard."""
             app = ServiceApp(
                 ServiceConfig(
                     datasets=("running",),
@@ -60,7 +62,12 @@ def make_cluster(cluster_registry):
             )
             apps[address] = app
             shard_apps.append(app)
-            clients[address] = InProcessShardClient(address, app)
+            client = InProcessShardClient(address, app)
+            clients[address] = client
+            return client
+
+        for address in addresses:
+            make_shard_client(address)
         settings = dict(
             shards=addresses,
             replication=replication,
@@ -75,7 +82,8 @@ def make_cluster(cluster_registry):
         settings.update(overrides)
         coordinator = CoordinatorApp(
             ClusterConfig(**settings),
-            clients=clients,
+            clients=dict(clients),
+            client_factory=make_shard_client,
             start_background=False,
         )
         coordinators.append(coordinator)

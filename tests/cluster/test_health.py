@@ -54,21 +54,40 @@ class TestProbes:
         assert not monitor.is_up("b:1")
         assert monitor.up_shards() == ("a:1", "c:1")
 
-    def test_a_healthy_probe_closes_the_breaker_again(self):
+    def test_sustained_healthy_probes_readmit_a_tripped_shard(self):
         clock = [0.0]
         monitor, script = make_monitor(
-            reset_timeout_s=5.0, clock=lambda: clock[0]
+            reset_timeout_s=5.0, readmit_threshold=2,
+            clock=lambda: clock[0],
         )
         script.healthy["b:1"] = False
         monitor.probe_once()
         monitor.probe_once()
         assert not monitor.is_up("b:1")
         script.healthy["b:1"] = True
-        clock[0] = 10.0  # past the reset window: half-open, routable
-        assert monitor.is_up("b:1")
+        clock[0] = 10.0  # past the reset window: half-open trials begin
+        # One healthy probe is a trial, not a recovery...
+        monitor.probe_once()
+        assert not monitor.is_up("b:1")
+        # ...the second sustained success re-admits and closes fully.
         monitor.probe_once()
         assert monitor.is_up("b:1")
         assert monitor.breakers["b:1"].state == "closed"
+
+    def test_readmit_threshold_one_restores_single_probe_recovery(self):
+        clock = [0.0]
+        monitor, script = make_monitor(
+            reset_timeout_s=5.0, readmit_threshold=1,
+            clock=lambda: clock[0],
+        )
+        script.healthy["b:1"] = False
+        monitor.probe_once()
+        monitor.probe_once()
+        assert not monitor.is_up("b:1")
+        script.healthy["b:1"] = True
+        clock[0] = 10.0
+        monitor.probe_once()
+        assert monitor.is_up("b:1")
 
     def test_a_probe_raising_oddly_counts_as_failure(self):
         def weird_probe(_client):
@@ -78,6 +97,117 @@ class TestProbes:
         monitor.probe_once()
         monitor.probe_once()
         assert monitor.up_shards() == ()
+
+    def test_odd_probe_failures_warn_once_per_episode(self, caplog):
+        import logging
+
+        def weird_probe(_client):
+            raise RuntimeError("probe exploded")
+
+        monitor, _ = make_monitor(
+            shards=("a:1",), probe=weird_probe, failure_threshold=2
+        )
+        with caplog.at_level(logging.WARNING, logger="repro.cluster.health"):
+            for _ in range(20):
+                monitor.probe_once()
+        odd = [
+            record for record in caplog.records
+            if "failed oddly" in record.getMessage()
+        ]
+        # 20 failing rounds, one warning — repeats are suppressed until
+        # the shard recovers (plus the one marked-down transition line).
+        assert len(odd) == 1
+        down = [
+            record for record in caplog.records
+            if "marked down" in record.getMessage()
+        ]
+        assert len(down) == 1
+
+
+class TestFlapping:
+    def test_alternating_probes_do_not_oscillate_routing(self):
+        """A flapping shard must stay out of routing, not bounce.
+
+        Alternating ok/fail heartbeats past the breaker's reset window
+        used to re-admit the shard on every lucky probe and evict it on
+        the next — routing whiplash.  With a sustained-healthy window
+        of 2, a single success between failures never re-admits.
+        """
+        clock = [0.0]
+        monitor, script = make_monitor(
+            shards=("a:1", "b:1"),
+            failure_threshold=2,
+            reset_timeout_s=0.001,  # worst case: every probe is half-open
+            readmit_threshold=2,
+            clock=lambda: clock[0],
+        )
+        script.healthy["b:1"] = False
+        monitor.probe_once()
+        monitor.probe_once()
+        assert not monitor.is_up("b:1")
+        transitions = 0
+        previously_up = monitor.is_up("b:1")
+        for round_number in range(30):
+            script.healthy["b:1"] = round_number % 2 == 0
+            clock[0] += 1.0
+            monitor.probe_once()
+            now_up = monitor.is_up("b:1")
+            if now_up != previously_up:
+                transitions += 1
+            previously_up = now_up
+        assert transitions == 0  # never re-admitted, never flapped
+        assert not monitor.is_up("b:1")
+        # A genuine recovery (sustained successes) still re-admits.
+        script.healthy["b:1"] = True
+        monitor.probe_once()
+        monitor.probe_once()
+        assert monitor.is_up("b:1")
+
+    def test_routed_call_failure_resets_the_healthy_streak(self):
+        clock = [0.0]
+        monitor, script = make_monitor(
+            shards=("a:1", "b:1"),
+            failure_threshold=2,
+            reset_timeout_s=0.001,
+            readmit_threshold=3,
+            clock=lambda: clock[0],
+        )
+        script.healthy["b:1"] = False
+        monitor.probe_once()
+        monitor.probe_once()
+        script.healthy["b:1"] = True
+        monitor.probe_once()
+        monitor.probe_once()  # streak: 2 of 3
+        monitor.record_failure("b:1")  # routed call failed mid-streak
+        monitor.probe_once()
+        monitor.probe_once()  # streak rebuilt to 2: still down
+        assert not monitor.is_up("b:1")
+        monitor.probe_once()
+        assert monitor.is_up("b:1")
+
+
+class TestMembership:
+    def test_add_and_remove_shards_live(self):
+        monitor, script = make_monitor(shards=("a:1",))
+        assert monitor.shards() == ("a:1",)
+        script.healthy["d:1"] = True
+        monitor.add_shard("d:1", "d:1")
+        assert monitor.shards() == ("a:1", "d:1")
+        assert monitor.is_up("d:1")
+        results = monitor.probe_once()
+        assert results == {"a:1": True, "d:1": True}
+        client = monitor.remove_shard("d:1")
+        assert client == "d:1"
+        assert monitor.shards() == ("a:1",)
+        assert not monitor.is_up("d:1")  # unknown shards are not routable
+
+    def test_feedback_for_removed_shards_is_ignored(self):
+        monitor, _ = make_monitor(shards=("a:1", "b:1"))
+        monitor.remove_shard("b:1")
+        monitor.record_failure("b:1")  # late routed-call result: no-op
+        monitor.record_success("b:1")
+        assert monitor.shards() == ("a:1",)
+        assert [entry["shard"] for entry in monitor.snapshot()] == ["a:1"]
 
 
 class TestRoutingFeed:

@@ -133,6 +133,52 @@ class TestRestore:
         assert "x1" not in shard.sessions.ids()
 
 
+class TestDigests:
+    def test_plain_serve_hides_the_digest_surface(self, make_app):
+        app = make_app()
+        status, _, _ = app.handle("GET", "/admin/digest", {}, None)
+        assert status == 404
+
+    def test_digests_enumerate_every_held_session(self, shard):
+        from repro.resilience.journal import grid_digest
+
+        shard.handle(
+            "POST", "/admin/sessions/x1/restore", {}, _restore_payload()
+        )
+        shard.handle(
+            "POST", "/admin/sessions/x2/restore", {},
+            _restore_payload(cells=[[0, 0, "Avatar"]]),
+        )
+        status, body, _ = shard.handle("GET", "/admin/digest", {}, None)
+        assert status == 200
+        assert body["count"] == 2
+        assert set(body["sessions"]) == {"x1", "x2"}
+        assert body["sessions"]["x1"]["cells"] == 4
+        assert body["sessions"]["x2"]["cells"] == 1
+        assert body["sessions"]["x2"]["digest"] == grid_digest(
+            {(0, 0): "Avatar"}
+        )
+
+    def test_restore_reports_the_post_restore_digest(self, shard):
+        from repro.resilience.journal import grid_digest
+
+        status, body, _ = shard.handle(
+            "POST", "/admin/sessions/x1/restore", {},
+            _restore_payload(cells=[[0, 0, "  Avatar  "]]),
+        )
+        assert status == 200
+        # The digest reflects what the spreadsheet *kept* (stripped),
+        # which is what the coordinator's anti-entropy loop compares.
+        assert body["digest"] == grid_digest({(0, 0): "Avatar"})
+        status, listing, _ = shard.handle("GET", "/admin/digest", {}, None)
+        assert listing["sessions"]["x1"]["digest"] == body["digest"]
+
+    def test_empty_shard_reports_no_sessions(self, shard):
+        status, body, _ = shard.handle("GET", "/admin/digest", {}, None)
+        assert status == 200
+        assert body == {"sessions": {}, "count": 0}
+
+
 class TestAppliedFlag:
     def test_kept_cell_reports_applied(self, shard):
         status, body, _ = shard.handle("POST", "/sessions", {}, {})
